@@ -1,0 +1,56 @@
+//! Ablation: the Eq (5) MSB-weighted loss vs the plain Eq (4) loss on all
+//! six benchmarks (generalizing Fig 3's single-function comparison).
+//!
+//! Run with: `cargo run --release -p mei-bench --bin ablation_loss`
+
+use mei::{evaluate_mse, MeiConfig, MeiRcs};
+use mei_bench::{format_table, table1_setups, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    println!("== Ablation: MSB-weighted loss (Eq 5) vs uniform loss (Eq 4) ==\n");
+
+    let mut rows = Vec::new();
+    let mut wins = 0usize;
+    for setup in table1_setups() {
+        let w = &setup.workload;
+        let n_train = if setup.wide { cfg.train_samples.min(3000) } else { cfg.train_samples };
+        let train = w.dataset(n_train, cfg.seed).expect("train data");
+        let test = w.dataset(cfg.test_samples, cfg.seed + 1).expect("test data");
+
+        let mse_for = |weighted: bool| {
+            let rcs = MeiRcs::train(
+                &train,
+                &MeiConfig {
+                    hidden: setup.mei_hidden,
+                    in_bits: setup.mei_in_bits,
+                    out_bits: setup.mei_out_bits,
+                    weighted_loss: weighted,
+                    device: cfg.device(),
+                    train: cfg.mei_train(setup.wide),
+                    seed: cfg.seed,
+                    ..MeiConfig::default()
+                },
+            )
+            .expect("MEI training");
+            evaluate_mse(&rcs, &test)
+        };
+        let weighted = mse_for(true);
+        let uniform = mse_for(false);
+        if weighted <= uniform {
+            wins += 1;
+        }
+        rows.push(vec![
+            w.name().to_string(),
+            format!("{weighted:.5}"),
+            format!("{uniform:.5}"),
+            if weighted <= uniform { "weighted".into() } else { "uniform".into() },
+        ]);
+        eprintln!("[{}] done", w.name());
+    }
+    println!(
+        "{}",
+        format_table(&["benchmark", "weighted MSE", "uniform MSE", "winner"], &rows)
+    );
+    println!("weighted loss wins on {wins}/6 benchmarks (paper Fig 3: weighted wins)");
+}

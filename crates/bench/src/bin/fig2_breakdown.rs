@@ -1,0 +1,40 @@
+//! Fig 2 reproduction: normalized power and area consumption for a 2×8×2
+//! RCS with 8-bit accuracy (the inversek2j robotics topology).
+//!
+//! Paper's observation: AD/DAs contribute > 85% of area and power while
+//! RRAM devices account for ~1%.
+//!
+//! Run with: `cargo run --release -p mei-bench --bin fig2_breakdown`
+
+use interface::cost::{AddaTopology, CostBreakdown, CostModel};
+use mei_bench::pct;
+
+fn print_breakdown(label: &str, b: &CostBreakdown) {
+    let total = b.total();
+    println!("{label}:");
+    println!("  DAC        {:>8}", pct(b.dac / total));
+    println!("  ADC        {:>8}", pct(b.adc / total));
+    println!("  peripheral {:>8}", pct(b.peripheral / total));
+    println!("  RRAM       {:>8}", pct(b.rram / total));
+    println!("  → AD/DA together: {} (paper: > 85%)", pct(b.adda_fraction()));
+}
+
+fn main() {
+    println!("== Fig 2: cost breakdown of a 2×8×2 RCS with 8-bit AD/DAs ==\n");
+    let model = CostModel::dac2015();
+    let topology = AddaTopology::new(2, 8, 2, 8);
+
+    let area = model.area_breakdown_adda(&topology);
+    let power = model.power_breakdown_adda(&topology);
+    print_breakdown("area", &area);
+    println!();
+    print_breakdown("power", &power);
+
+    println!("\nshape check vs paper:");
+    let ok_area = area.adda_fraction() > 0.85;
+    let ok_power = power.adda_fraction() > 0.85;
+    let ok_rram = area.rram_fraction() < 0.02 && power.rram_fraction() < 0.02;
+    println!("  AD/DA > 85% of area : {}", if ok_area { "PASS" } else { "FAIL" });
+    println!("  AD/DA > 85% of power: {}", if ok_power { "PASS" } else { "FAIL" });
+    println!("  RRAM ≈ 1% (< 2%)    : {}", if ok_rram { "PASS" } else { "FAIL" });
+}

@@ -1,0 +1,102 @@
+//! The exponential bit-significance weights of paper Eq (5).
+//!
+//! "We set larger weights to the MSBs while the least significant bits will
+//! be given smaller weights. For example, we exponentially increase the
+//! weight of each bit and set the MSB and LSB weights in an 8-bit output
+//! array to 2⁰ and 2⁻⁷" (§3.1).
+//!
+//! Eq (5) squares the weighted error, `(w_p·(t_p − o_p))²`, so the
+//! *penalty* a port pays is proportional to `w_p²`. We therefore set
+//! `w_p = 2^(−b/2)` for bit `b`, making the effective quadratic penalty
+//! ratio across an 8-bit group exactly `2⁰ : 2⁻¹ : … : 2⁻⁷` — the range the
+//! paper quotes — and, equally important, keeping the LSB gradient at
+//! `2⁻⁷` of the MSB's rather than `2⁻¹⁴` (which would freeze the LSB ports
+//! at their random initialization and corrupt the decoded output). The
+//! penalty per bit then matches each bit's place value, which is the
+//! weighting that minimizes the decoded analog error.
+
+use interface::InterfaceSpec;
+use neural::WeightedMse;
+
+/// Per-port weights for a grouped binary interface: within each group the
+/// MSB gets weight `1` and each following bit `1/√2` of the previous, so the
+/// *squared* (effective) penalty halves per bit — `2⁰ … 2^-(B-1)` across a
+/// B-bit group. Groups are independent and identical.
+///
+/// ```
+/// use interface::InterfaceSpec;
+/// use mei::exponential_bit_weights;
+///
+/// let w = exponential_bit_weights(&InterfaceSpec::new(1, 3));
+/// // Squared weights are 1, 1/2, 1/4.
+/// assert!((w[1] * w[1] - 0.5).abs() < 1e-12);
+/// assert!((w[2] * w[2] - 0.25).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn exponential_bit_weights(spec: &InterfaceSpec) -> Vec<f64> {
+    let mut weights = Vec::with_capacity(spec.ports());
+    for _ in 0..spec.groups() {
+        for b in 0..spec.bits() {
+            weights.push(0.5f64.powf(b as f64 / 2.0));
+        }
+    }
+    weights
+}
+
+/// The Eq (5) loss over a grouped interface: exponential bit weights wrapped
+/// in a [`WeightedMse`].
+#[must_use]
+pub fn msb_weighted_loss(spec: &InterfaceSpec) -> WeightedMse {
+    WeightedMse::new(exponential_bit_weights(spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_bit_penalties_span_paper_range() {
+        let w = exponential_bit_weights(&InterfaceSpec::new(1, 8));
+        assert_eq!(w.len(), 8);
+        assert_eq!(w[0], 1.0); // MSB penalty: 2^0
+        // LSB *squared* weight (the Eq (5) penalty) is 2^-7.
+        assert!((w[7] * w[7] - 0.5f64.powi(7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_strictly_decrease_within_group() {
+        let w = exponential_bit_weights(&InterfaceSpec::new(1, 6));
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+            // Effective penalty halves per bit.
+            assert!((pair[0] * pair[0] / (pair[1] * pair[1]) - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn groups_repeat_identically() {
+        let w = exponential_bit_weights(&InterfaceSpec::new(3, 4));
+        assert_eq!(w.len(), 12);
+        assert_eq!(&w[0..4], &w[4..8]);
+        assert_eq!(&w[4..8], &w[8..12]);
+    }
+
+    #[test]
+    fn loss_penalizes_msb_error_more() {
+        let loss = msb_weighted_loss(&InterfaceSpec::new(1, 6));
+        let target = vec![1.0; 6];
+        let mut msb_wrong = target.clone();
+        msb_wrong[0] = 0.0;
+        let mut lsb_wrong = target.clone();
+        lsb_wrong[5] = 0.0;
+        // Penalty ratio MSB:LSB = 2^5 = 32.
+        let ratio = loss.loss(&target, &msb_wrong) / loss.loss(&target, &lsb_wrong);
+        assert!((ratio - 32.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn single_bit_interface_is_uniform() {
+        let w = exponential_bit_weights(&InterfaceSpec::new(5, 1));
+        assert_eq!(w, vec![1.0; 5]);
+    }
+}

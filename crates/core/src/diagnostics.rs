@@ -1,0 +1,235 @@
+//! Deployment diagnostics: is the crossbar really computing the trained
+//! network, and how fragile are the comparator decisions?
+//!
+//! Two checks a bring-up engineer would run on a physical RCS:
+//!
+//! * [`analog_fidelity`] — drive probe inputs through both the digital
+//!   network and its crossbar realization and report the largest output
+//!   deviation (nonzero deviations come from weight mapping/quantization).
+//! * [`comparator_margins`] — measure how far each output port's analog
+//!   level sits from the 0.5 comparator threshold across a dataset. Ports
+//!   that hover near the threshold flip under the smallest noise; the
+//!   margin distribution predicts the Fig 5 robustness behaviour without
+//!   running a single Monte-Carlo trial.
+
+use std::fmt;
+
+use neural::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mei_arch::MeiRcs;
+
+/// Result of an analog-vs-digital fidelity sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityReport {
+    /// Largest absolute deviation between the digital forward pass and the
+    /// analog (pre-comparator) one, over all probes and output ports.
+    pub max_deviation: f64,
+    /// Mean absolute deviation.
+    pub mean_deviation: f64,
+    /// Number of probe vectors evaluated.
+    pub probes: usize,
+}
+
+impl fmt::Display for FidelityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "analog fidelity over {} probes: max |Δ| = {:.3e}, mean {:.3e}",
+            self.probes, self.max_deviation, self.mean_deviation
+        )
+    }
+}
+
+/// Compare the digital network against its crossbar realization on `probes`
+/// random binary input patterns.
+///
+/// # Panics
+///
+/// Panics if `probes` is zero.
+#[must_use]
+pub fn analog_fidelity(rcs: &MeiRcs, probes: usize, seed: u64) -> FidelityReport {
+    assert!(probes > 0, "fidelity sweep needs at least one probe");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ports = rcs.input_spec().ports();
+    let mut max_dev = 0.0_f64;
+    let mut total = 0.0_f64;
+    let mut count = 0usize;
+    for _ in 0..probes {
+        let bits: Vec<f64> = (0..ports).map(|_| f64::from(rng.gen::<bool>())).collect();
+        let digital = rcs.mlp().forward(&bits);
+        let analog = rcs.analog().forward(&bits);
+        for (d, a) in digital.iter().zip(&analog) {
+            let dev = (d - a).abs();
+            max_dev = max_dev.max(dev);
+            total += dev;
+            count += 1;
+        }
+    }
+    FidelityReport {
+        max_deviation: max_dev,
+        mean_deviation: total / count as f64,
+        probes,
+    }
+}
+
+/// Distribution of comparator margins over a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginReport {
+    /// Smallest observed margin `|v − 0.5|`.
+    pub min: f64,
+    /// Mean margin.
+    pub mean: f64,
+    /// Fraction of port evaluations with a margin below 0.05 — the
+    /// "fragile" decisions that moderate noise will flip.
+    pub fragile_fraction: f64,
+    /// Port evaluations measured (`samples × output ports`).
+    pub evaluations: usize,
+}
+
+impl fmt::Display for MarginReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "comparator margins: min {:.4}, mean {:.4}, {:.1}% fragile (< 0.05) over {} decisions",
+            self.min,
+            self.mean,
+            100.0 * self.fragile_fraction,
+            self.evaluations
+        )
+    }
+}
+
+/// Threshold below which a comparator decision counts as fragile.
+const FRAGILE_MARGIN: f64 = 0.05;
+
+/// Measure the analog comparator margins of every output port over an
+/// analog-valued dataset.
+///
+/// # Panics
+///
+/// Panics if the dataset's input dimensionality doesn't match the RCS.
+#[must_use]
+pub fn comparator_margins(rcs: &MeiRcs, data: &Dataset) -> MarginReport {
+    assert_eq!(
+        data.input_dim(),
+        rcs.input_spec().groups(),
+        "dataset dimensionality vs RCS input groups"
+    );
+    let mut min = f64::INFINITY;
+    let mut total = 0.0_f64;
+    let mut fragile = 0usize;
+    let mut count = 0usize;
+    for (x, _) in data.iter() {
+        let bits = rcs.input_spec().encode(x);
+        let analog = rcs.analog().forward(&bits);
+        for v in analog {
+            let margin = (v - 0.5).abs();
+            min = min.min(margin);
+            total += margin;
+            if margin < FRAGILE_MARGIN {
+                fragile += 1;
+            }
+            count += 1;
+        }
+    }
+    MarginReport {
+        min,
+        mean: total / count as f64,
+        fragile_fraction: fragile as f64 / count as f64,
+        evaluations: count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mei_arch::MeiConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn expfit_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::generate(n, &mut rng, |r| {
+            let x: f64 = r.gen();
+            (vec![x], vec![(-x * x).exp()])
+        })
+        .unwrap()
+    }
+
+    fn quick_rcs() -> MeiRcs {
+        let data = expfit_data(300, 1);
+        let mut cfg = MeiConfig::quick_test();
+        cfg.train.epochs = 40;
+        MeiRcs::train(&data, &cfg).unwrap()
+    }
+
+    #[test]
+    fn fidelity_of_continuous_devices_is_near_perfect() {
+        let rcs = quick_rcs();
+        let report = analog_fidelity(&rcs, 50, 7);
+        assert!(report.max_deviation < 1e-6, "{report}");
+        assert!(report.mean_deviation <= report.max_deviation);
+        assert_eq!(report.probes, 50);
+    }
+
+    #[test]
+    fn fidelity_detects_quantized_devices() {
+        // Coarse 4-level cells must show a measurable mapping deviation.
+        let data = expfit_data(300, 2);
+        let mut cfg = MeiConfig::quick_test();
+        cfg.train.epochs = 40;
+        cfg.device = rram::DeviceParams::hfox_quantized(4);
+        let rcs = MeiRcs::train(&data, &cfg).unwrap();
+        let report = analog_fidelity(&rcs, 50, 8);
+        assert!(
+            report.max_deviation > 1e-4,
+            "4-level cells should deviate visibly: {report}"
+        );
+    }
+
+    #[test]
+    fn margins_are_sane_and_mostly_confident() {
+        let rcs = quick_rcs();
+        let data = expfit_data(200, 3);
+        let report = comparator_margins(&rcs, &data);
+        assert!(report.min >= 0.0 && report.min <= 0.5);
+        assert!(report.mean > report.min);
+        assert!(report.mean <= 0.5);
+        assert_eq!(report.evaluations, 200 * 6);
+        // A trained network saturates most decisions away from threshold.
+        assert!(
+            report.fragile_fraction < 0.5,
+            "too many fragile decisions: {report}"
+        );
+    }
+
+    #[test]
+    fn fragile_fraction_predicts_noise_sensitivity_direction() {
+        // Margins shrink → more bit flips under fluctuation. Verify the
+        // correlation qualitatively: an untrained (random) network has more
+        // fragile decisions than a trained one.
+        let data = expfit_data(200, 4);
+        let trained = quick_rcs();
+        let untrained = {
+            let mlp = neural::MlpBuilder::new(&[6, 16, 6]).seed(9).build();
+            MeiRcs::from_trained(mlp, &MeiConfig::quick_test(), 1, 1).unwrap()
+        };
+        let t = comparator_margins(&trained, &data);
+        let u = comparator_margins(&untrained, &data);
+        assert!(
+            t.fragile_fraction <= u.fragile_fraction + 0.05,
+            "trained {t} vs untrained {u}"
+        );
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let rcs = quick_rcs();
+        let f = analog_fidelity(&rcs, 5, 0);
+        assert!(f.to_string().contains("probes"));
+        let m = comparator_margins(&rcs, &expfit_data(20, 5));
+        assert!(m.to_string().contains("fragile"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Error types shared across the crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crossbar::MapWeightsError;
+use neural::DatasetError;
+
+/// Error training or constructing an RCS.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainRcsError {
+    /// The training dataset is malformed.
+    Dataset(DatasetError),
+    /// The trained weights could not be mapped onto crossbar conductances.
+    Mapping(MapWeightsError),
+    /// The dataset dimensions don't match the requested topology.
+    DimensionMismatch {
+        /// What was expected (e.g. "2 inputs").
+        expected: String,
+        /// What the dataset provided.
+        found: String,
+    },
+    /// A configuration value is out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for TrainRcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainRcsError::Dataset(e) => write!(f, "invalid training dataset: {e}"),
+            TrainRcsError::Mapping(e) => write!(f, "weight mapping failed: {e}"),
+            TrainRcsError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            TrainRcsError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for TrainRcsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrainRcsError::Dataset(e) => Some(e),
+            TrainRcsError::Mapping(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DatasetError> for TrainRcsError {
+    fn from(e: DatasetError) -> Self {
+        TrainRcsError::Dataset(e)
+    }
+}
+
+impl From<MapWeightsError> for TrainRcsError {
+    fn from(e: MapWeightsError) -> Self {
+        TrainRcsError::Mapping(e)
+    }
+}
+
+/// Error running inference on an RCS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferError {
+    /// The input vector has the wrong length.
+    InputLength {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        found: usize,
+    },
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::InputLength { expected, found } => {
+                write!(f, "input vector has length {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for InferError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = TrainRcsError::DimensionMismatch {
+            expected: "2 inputs".into(),
+            found: "3 inputs".into(),
+        };
+        assert!(e.to_string().contains("2 inputs"));
+        let e = InferError::InputLength { expected: 4, found: 2 };
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        let src = DatasetError::Empty;
+        let e: TrainRcsError = src.into();
+        assert!(Error::source(&e).is_some());
+        let e: TrainRcsError = MapWeightsError::EmptyMatrix.into();
+        assert!(e.to_string().contains("mapping"));
+    }
+}

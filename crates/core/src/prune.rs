@@ -1,0 +1,179 @@
+//! LSB pruning (paper §4.3 and Algorithm 2, line 22).
+//!
+//! MEI exposes every interface bit as its own port, so ports "of little
+//! importance" can simply be removed:
+//!
+//! * **inputs** — all groups are treated the same; the LSB of every group is
+//!   removed together, the pruned architecture is tested, and the process
+//!   repeats until the performance requirement would be violated;
+//! * **outputs** — pruned after the input layer is fixed, guided by the rule
+//!   that a bit whose place value is well below the RCS's RMS error carries
+//!   no information (the paper's "remove the 2⁻⁸ bit once the MSE is ~2⁻¹⁰
+//!   or larger").
+
+use neural::Dataset;
+
+use crate::error::TrainRcsError;
+use crate::eval::evaluate_mse;
+use crate::mei_arch::MeiRcs;
+
+/// Result of a pruning search.
+#[derive(Debug, Clone)]
+pub struct PruneReport {
+    /// The pruned architecture.
+    pub rcs: MeiRcs,
+    /// LSBs removed from every input group.
+    pub inputs_pruned: usize,
+    /// LSBs removed from every output group.
+    pub outputs_pruned: usize,
+    /// Test MSE of the pruned architecture.
+    pub mse: f64,
+}
+
+/// How many output LSBs the paper's rule of thumb suggests dropping for a
+/// given test MSE: a bit of place value `2^-b` is prunable when
+/// `2^-b ≤ 4·√MSE` — e.g. MSE `2⁻¹⁰` (√ = `2⁻⁵`) allows pruning the `2⁻⁸`
+/// bit of an 8-bit output, matching the §4.3 example.
+#[must_use]
+pub fn suggested_output_pruning(mse: f64, bits: usize) -> usize {
+    if mse <= 0.0 {
+        return 0;
+    }
+    let threshold = 4.0 * mse.sqrt();
+    let mut prunable = 0;
+    // Bit b (1-indexed from the MSB) has place value 2^-b; scan from the LSB.
+    for b in (1..=bits).rev() {
+        if 0.5f64.powi(b as i32) <= threshold {
+            prunable += 1;
+        } else {
+            break;
+        }
+    }
+    // Never suggest removing every bit.
+    prunable.min(bits - 1)
+}
+
+/// Greedily prune input-group LSBs, then output-group LSBs, keeping the
+/// test MSE within `max_mse` (Algorithm 2's quality guarantee).
+///
+/// # Errors
+///
+/// Propagates remapping errors from [`MeiRcs::pruned`].
+pub fn prune_to_requirement(
+    rcs: &MeiRcs,
+    test: &Dataset,
+    max_mse: f64,
+) -> Result<PruneReport, TrainRcsError> {
+    let base_mse = evaluate_mse(rcs, test);
+
+    // Input pruning: all groups together, one LSB at a time.
+    let mut inputs_pruned = 0;
+    let mut best = rcs.clone();
+    let mut best_mse = base_mse;
+    for p in 1..rcs.input_spec().bits() {
+        let candidate = rcs.pruned(p, 0)?;
+        let mse = evaluate_mse(&candidate, test);
+        if mse <= max_mse {
+            inputs_pruned = p;
+            best = candidate;
+            best_mse = mse;
+        } else {
+            break;
+        }
+    }
+
+    // Output pruning on top of the fixed input layer, seeded by the rule of
+    // thumb and verified on the test set.
+    let mut outputs_pruned = 0;
+    let suggestion = suggested_output_pruning(best_mse, best.output_spec().bits());
+    for p in 1..=suggestion {
+        let candidate = best.pruned(0, p - outputs_pruned)?;
+        let mse = evaluate_mse(&candidate, test);
+        if mse <= max_mse {
+            outputs_pruned = p;
+            best = candidate;
+            best_mse = mse;
+        } else {
+            break;
+        }
+    }
+
+    Ok(PruneReport { rcs: best, inputs_pruned, outputs_pruned, mse: best_mse })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mei_arch::MeiConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn expfit_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::generate(n, &mut rng, |r| {
+            let x: f64 = r.gen();
+            (vec![x], vec![(-x * x).exp()])
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn rule_of_thumb_matches_paper_example() {
+        // MSE ≈ 2⁻¹⁰ on an 8-bit output: the 2⁻⁸ LSB is prunable.
+        let p = suggested_output_pruning(0.5f64.powi(10), 8);
+        assert!(p >= 1, "paper example prunes at least the LSB, got {p}");
+        // A tiny MSE prunes nothing.
+        assert_eq!(suggested_output_pruning(1e-12, 8), 0);
+        // Huge MSE never suggests removing all bits.
+        assert_eq!(suggested_output_pruning(1.0, 8), 7);
+        assert_eq!(suggested_output_pruning(0.0, 8), 0);
+    }
+
+    #[test]
+    fn suggestion_is_monotone_in_mse() {
+        let mut last = 0;
+        for exp in (2..20).rev() {
+            let s = suggested_output_pruning(0.5f64.powi(exp), 8);
+            assert!(s >= last || s == last, "pruning suggestion not monotone");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn pruning_respects_requirement() {
+        let train = expfit_data(500, 1);
+        let test = expfit_data(200, 2);
+        let rcs = MeiRcs::train(&train, &MeiConfig::quick_test()).unwrap();
+        let base = evaluate_mse(&rcs, &test);
+        // A generous budget allows pruning; the result must stay within it.
+        let budget = (base * 4.0).max(0.01);
+        let report = prune_to_requirement(&rcs, &test, budget).unwrap();
+        assert!(report.mse <= budget);
+        assert!(report.rcs.input_spec().bits() <= rcs.input_spec().bits());
+        assert!(report.rcs.output_spec().bits() <= rcs.output_spec().bits());
+    }
+
+    #[test]
+    fn tight_budget_prunes_nothing() {
+        let train = expfit_data(400, 3);
+        let test = expfit_data(150, 4);
+        let rcs = MeiRcs::train(&train, &MeiConfig::quick_test()).unwrap();
+        let base = evaluate_mse(&rcs, &test);
+        // A budget exactly at the base error: any pruning that increases the
+        // error is rejected.
+        let report = prune_to_requirement(&rcs, &test, base).unwrap();
+        assert!(report.mse <= base + 1e-12);
+    }
+
+    #[test]
+    fn generous_budget_prunes_aggressively() {
+        let train = expfit_data(400, 5);
+        let test = expfit_data(150, 6);
+        let rcs = MeiRcs::train(&train, &MeiConfig::quick_test()).unwrap();
+        let report = prune_to_requirement(&rcs, &test, 0.25).unwrap();
+        assert!(
+            report.inputs_pruned + report.outputs_pruned > 0,
+            "a 0.25 MSE budget should allow pruning something"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the core MEI/SAAB machinery.
+//!
+//! Training inside a property loop is expensive, so trained-model
+//! invariants run with a reduced case count; purely analytic properties run
+//! at the default count.
+
+use interface::InterfaceSpec;
+use mei::{exponential_bit_weights, AnalogMlp, MeiConfig, MeiRcs};
+use crossbar::MappingConfig;
+use neural::{Dataset, MlpBuilder};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rram::DeviceParams;
+
+fn expfit_data(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::generate(n, &mut rng, |r| {
+        let x: f64 = r.gen();
+        (vec![x], vec![(-x * x).exp()])
+    })
+    .unwrap()
+}
+
+proptest! {
+    /// Bit weights are positive, bounded by 1, and halve monotonically
+    /// within every group.
+    #[test]
+    fn bit_weights_shape(groups in 1usize..8, bits in 1usize..12) {
+        let w = exponential_bit_weights(&InterfaceSpec::new(groups, bits));
+        prop_assert_eq!(w.len(), groups * bits);
+        for chunk in w.chunks(bits) {
+            prop_assert_eq!(chunk[0], 1.0);
+            for pair in chunk.windows(2) {
+                // The squared (effective) penalty halves per bit.
+                let ratio = (pair[0] * pair[0]) / (pair[1] * pair[1]);
+                prop_assert!((ratio - 2.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The analog crossbar realization agrees with the digital forward pass
+    /// for arbitrary small networks and inputs.
+    #[test]
+    fn analog_realization_is_faithful(
+        seed in any::<u64>(),
+        hidden in 1usize..8,
+        xs in prop::collection::vec(0.0f64..1.0, 3),
+    ) {
+        let net = MlpBuilder::new(&[3, hidden, 2]).seed(seed).build();
+        let analog =
+            AnalogMlp::from_mlp(&net, DeviceParams::hfox(), &MappingConfig::default()).unwrap();
+        let d = net.forward(&xs);
+        let a = analog.forward(&xs);
+        for (u, v) in d.iter().zip(&a) {
+            prop_assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// MEI inference always produces analog outputs representable at the
+    /// output bit width — the decode of a binary pattern.
+    #[test]
+    fn mei_outputs_are_representable(seed in 0u64..1000) {
+        let data = expfit_data(150, seed);
+        let mut cfg = MeiConfig::quick_test();
+        cfg.train.epochs = 30;
+        let rcs = MeiRcs::train(&data, &cfg).unwrap();
+        let levels = (1u64 << cfg.out_bits) as f64;
+        for x in [0.1, 0.5, 0.9] {
+            let y = rcs.infer(&[x]).unwrap()[0];
+            let k = y * levels;
+            prop_assert!((k - k.round()).abs() < 1e-9, "output {y} not {}-bit", cfg.out_bits);
+        }
+    }
+
+    /// Pruning strictly reduces the physical device count and never panics
+    /// for any legal pruning depth.
+    #[test]
+    fn pruning_shrinks_hardware(in_p in 0usize..5, out_p in 0usize..5) {
+        let data = expfit_data(120, 7);
+        let mut cfg = MeiConfig::quick_test();
+        cfg.train.epochs = 20;
+        let rcs = MeiRcs::train(&data, &cfg).unwrap();
+        let pruned = rcs.pruned(in_p, out_p).unwrap();
+        let full_devices = rcs.analog().device_count();
+        let pruned_devices = pruned.analog().device_count();
+        if in_p + out_p > 0 {
+            prop_assert!(pruned_devices < full_devices);
+        } else {
+            prop_assert_eq!(pruned_devices, full_devices);
+        }
+        prop_assert_eq!(pruned.input_spec().bits(), 6 - in_p);
+        prop_assert_eq!(pruned.output_spec().bits(), 6 - out_p);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Persistence round-trips arbitrary (untrained) networks deployed via
+    /// the public constructor: behaviour and metadata are preserved.
+    #[test]
+    fn persistence_roundtrips_arbitrary_networks(
+        seed in any::<u64>(),
+        hidden in 2usize..10,
+        in_bits in 2usize..8,
+        out_bits in 2usize..8,
+    ) {
+        let mlp = MlpBuilder::new(&[2 * in_bits, hidden, out_bits]).seed(seed).build();
+        let cfg = MeiConfig {
+            in_bits,
+            out_bits,
+            hidden,
+            ..MeiConfig::default()
+        };
+        let rcs = mei::MeiRcs::from_trained(mlp, &cfg, 2, 1).unwrap();
+        let back = mei::MeiRcs::from_text(&rcs.to_text()).unwrap();
+        for probe in [[0.1, 0.9], [0.5, 0.5], [0.99, 0.01]] {
+            prop_assert_eq!(rcs.infer(&probe).unwrap(), back.infer(&probe).unwrap());
+        }
+        prop_assert_eq!(rcs.topology(), back.topology());
+    }
+
+    /// The public constructor rejects shape mismatches instead of building
+    /// an inconsistent system.
+    #[test]
+    fn from_trained_rejects_bad_shapes(extra in 1usize..4) {
+        let mlp = MlpBuilder::new(&[8 + extra, 4, 8]).seed(1).build();
+        let cfg = MeiConfig { in_bits: 4, out_bits: 4, hidden: 4, ..MeiConfig::default() };
+        prop_assert!(mei::MeiRcs::from_trained(mlp, &cfg, 2, 2).is_err());
+    }
+}

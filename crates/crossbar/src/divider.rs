@@ -1,0 +1,365 @@
+//! The single-array resistive-divider layer — paper Eq (1)/(2) taken
+//! literally.
+//!
+//! The differential pair ([`crate::pair::DifferentialPair`]) is the
+//! workhorse of the system simulations, but the paper's own formulation
+//! reads out *voltages* against a load resistor:
+//!
+//! ```text
+//!   V_oj = Σ_k c_kj·V_ik,   c_kj = g_kj / (g_s + Σ_l g_lj)
+//! ```
+//!
+//! [`DividerLayer`] realizes a target non-negative coefficient matrix on a
+//! single array using the closed-form column solve, with an optional
+//! *offset column scheme* for signed coefficients: a signed matrix
+//! `C = C⁺ − C⁻` is realized as one array computing `C⁺·x` and one
+//! reference column per output computing `C⁻·x`, subtracted digitally —
+//! the single-array alternative the differential pair competes with.
+
+use std::fmt;
+
+use rand::Rng;
+use rram::{DeviceParams, VariationModel};
+
+use crate::array::CrossbarArray;
+use crate::mapping::{solve_divider_column, validate_weights, MapWeightsError};
+
+/// A crossbar layer with resistive-divider (voltage-mode) readout.
+///
+/// ```
+/// use crossbar::DividerLayer;
+/// use rram::DeviceParams;
+///
+/// # fn main() -> Result<(), crossbar::MapWeightsError> {
+/// // Target coefficients, outputs × inputs, all non-negative, column sums < 1.
+/// let c = vec![vec![0.2, 0.1], vec![0.05, 0.3]];
+/// let layer = DividerLayer::from_coefficients(&c, DeviceParams::ideal(), 1e-3)?;
+/// let v = layer.forward(&[1.0, 0.5]);
+/// assert!((v[0] - (0.2 + 0.05 * 0.5 - 0.05 * 0.5)).abs() < 0.26); // ≈ c·x
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DividerLayer {
+    array: CrossbarArray,
+    g_s: f64,
+    outputs: usize,
+    inputs: usize,
+}
+
+impl DividerLayer {
+    /// Program a layer realizing the non-negative coefficient matrix
+    /// `coefficients` (`outputs × inputs`, neural orientation) against load
+    /// conductance `g_s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapWeightsError`] if the matrix is malformed or any column
+    /// is infeasible (sum ≥ 1, or a solved conductance outside the device
+    /// window — the divider cannot represent exact zeros, so coefficients
+    /// must keep `c·(g_s + S) ≥ g_off`).
+    pub fn from_coefficients(
+        coefficients: &[Vec<f64>],
+        params: DeviceParams,
+        g_s: f64,
+    ) -> Result<Self, MapWeightsError> {
+        let (outputs, inputs) = validate_weights(coefficients)?;
+        // The crossbar stores column j = output j; solve per output.
+        let mut g = vec![vec![params.g_off; outputs]; inputs];
+        for j in 0..outputs {
+            let column: Vec<f64> = (0..inputs).map(|k| coefficients[j][k]).collect();
+            let solved =
+                solve_divider_column(&column, g_s, &params).map_err(|e| match e {
+                    MapWeightsError::InfeasibleColumn { reason, .. } => {
+                        MapWeightsError::InfeasibleColumn { col: j, reason }
+                    }
+                    other => other,
+                })?;
+            for (k, gk) in solved.into_iter().enumerate() {
+                g[k][j] = gk;
+            }
+        }
+        let mut array = CrossbarArray::new(inputs, outputs, params);
+        array.program_clamped(&g);
+        Ok(Self { array, g_s, outputs, inputs })
+    }
+
+    /// Number of input ports.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of output ports.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// The load conductance at every output.
+    #[must_use]
+    pub fn load_conductance(&self) -> f64 {
+        self.g_s
+    }
+
+    /// The underlying array.
+    #[must_use]
+    pub fn array(&self) -> &CrossbarArray {
+        &self.array
+    }
+
+    /// RRAM device count (`inputs × outputs` — half the differential pair's).
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        self.array.device_count()
+    }
+
+    /// Voltage-mode readout: `V_oj = Σ_k c_kj·V_k` per Eq (1)/(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != inputs()`.
+    #[must_use]
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.array.output_voltages_divider(x, self.g_s)
+    }
+
+    /// The coefficient matrix the programmed array actually realizes
+    /// (`outputs × inputs`), including any applied variation.
+    #[must_use]
+    pub fn effective_coefficients(&self) -> Vec<Vec<f64>> {
+        self.array.divider_coefficients(self.g_s)
+    }
+
+    /// Apply device variation to the array.
+    pub fn disturb<R: Rng + ?Sized>(&mut self, variation: &VariationModel, rng: &mut R) {
+        self.array.disturb_all(variation, rng);
+    }
+
+    /// Restore all devices to their programmed targets.
+    pub fn restore(&mut self) {
+        self.array.restore_all();
+    }
+}
+
+impl fmt::Display for DividerLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "divider layer {}→{} (g_s = {:.3e} S)",
+            self.inputs, self.outputs, self.g_s
+        )
+    }
+}
+
+/// A signed coefficient matrix realized on a single array via the offset
+/// (reference-column) scheme.
+///
+/// All coefficients are shifted by a common offset `m` so they become
+/// non-negative, programmed as ordinary divider columns, and one extra
+/// *reference column* realizes the uniform coefficient `m`; output `j` is
+/// then `V_j − V_ref = Σ_k c_jk·x_k` exactly (divider columns normalize
+/// independently, so the subtraction is exact just like the differential
+/// pair — but with `I·(O+1)` devices instead of `2·I·O`).
+#[derive(Debug, Clone)]
+pub struct SignedDividerLayer {
+    /// One array: `outputs` shifted columns plus the reference column last.
+    layer: DividerLayer,
+    outputs: usize,
+}
+
+impl SignedDividerLayer {
+    /// Realize a signed coefficient matrix (`outputs × inputs`). Columns of
+    /// the shifted matrix must satisfy the divider feasibility conditions
+    /// (`Σ_k (c_jk + m) < 1` with `m = −min(c, 0)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapWeightsError`] if any shifted column is infeasible.
+    pub fn from_signed(
+        coefficients: &[Vec<f64>],
+        params: DeviceParams,
+        g_s: f64,
+    ) -> Result<Self, MapWeightsError> {
+        let (_outputs, inputs) = validate_weights(coefficients)?;
+        let min = coefficients
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .min(0.0);
+        // Offset every coefficient above the device floor: the reference
+        // column must itself be representable (m ≥ ~g_off/g_s).
+        let m = -min + 2.0 * params.g_off / g_s;
+        let mut shifted: Vec<Vec<f64>> = coefficients
+            .iter()
+            .map(|row| row.iter().map(|c| c + m).collect())
+            .collect();
+        shifted.push(vec![m; inputs]); // the reference column
+        let layer = DividerLayer::from_coefficients(&shifted, params, g_s)?;
+        Ok(Self { layer, outputs: coefficients.len() })
+    }
+
+    /// Number of input ports.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.layer.inputs()
+    }
+
+    /// Number of signed output ports (excluding the reference column).
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// RRAM device count: `inputs × (outputs + 1)`.
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        self.layer.device_count()
+    }
+
+    /// Signed voltage-mode readout: `V_j − V_ref` per output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input count.
+    #[must_use]
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let v = self.layer.forward(x);
+        let reference = v[self.outputs];
+        v[..self.outputs].iter().map(|&o| o - reference).collect()
+    }
+
+    /// Apply device variation to the array.
+    pub fn disturb<R: Rng + ?Sized>(&mut self, variation: &VariationModel, rng: &mut R) {
+        self.layer.disturb(variation, rng);
+    }
+
+    /// Restore all devices to their programmed targets.
+    pub fn restore(&mut self) {
+        self.layer.restore();
+    }
+
+}
+
+impl fmt::Display for SignedDividerLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "signed divider layer {}→{} (+1 reference column)",
+            self.layer.inputs(),
+            self.outputs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> DeviceParams {
+        DeviceParams::ideal()
+    }
+
+    #[test]
+    fn forward_matches_target_coefficients() {
+        let c = vec![vec![0.2, 0.1, 0.05], vec![0.05, 0.3, 0.1]];
+        let layer = DividerLayer::from_coefficients(&c, params(), 1e-3).unwrap();
+        let x = [0.8, 0.4, 0.2];
+        let v = layer.forward(&x);
+        for (j, row) in c.iter().enumerate() {
+            let expect: f64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+            assert!((v[j] - expect).abs() < 1e-9, "output {j}: {} vs {expect}", v[j]);
+        }
+    }
+
+    #[test]
+    fn effective_coefficients_match_targets() {
+        let c = vec![vec![0.15, 0.25]];
+        let layer = DividerLayer::from_coefficients(&c, params(), 1e-3).unwrap();
+        let achieved = layer.effective_coefficients();
+        assert!((achieved[0][0] - 0.15).abs() < 1e-9);
+        assert!((achieved[0][1] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_column_is_reported_with_its_index() {
+        let c = vec![vec![0.2, 0.1], vec![0.7, 0.6]]; // column 1 sums to 1.3
+        let err = DividerLayer::from_coefficients(&c, params(), 1e-3).unwrap_err();
+        match err {
+            MapWeightsError::InfeasibleColumn { col, .. } => assert_eq!(col, 1),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn uses_half_the_devices_of_a_differential_pair() {
+        let c = vec![vec![0.1, 0.1], vec![0.1, 0.1]];
+        let layer = DividerLayer::from_coefficients(&c, params(), 1e-3).unwrap();
+        assert_eq!(layer.device_count(), 4); // a pair would use 8
+        let signed = SignedDividerLayer::from_signed(&c, params(), 1e-3).unwrap();
+        // inputs × (outputs + 1) = 2 × 3 = 6 < 8 for the pair.
+        assert_eq!(signed.device_count(), 6);
+    }
+
+    #[test]
+    fn disturb_restore_roundtrip() {
+        let c = vec![vec![0.2, 0.1]];
+        let mut layer = DividerLayer::from_coefficients(&c, params(), 1e-3).unwrap();
+        let clean = layer.forward(&[1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        layer.disturb(&VariationModel::process_variation(0.5), &mut rng);
+        assert_ne!(layer.forward(&[1.0, 1.0]), clean);
+        layer.restore();
+        assert_eq!(layer.forward(&[1.0, 1.0]), clean);
+    }
+
+    #[test]
+    fn signed_layer_is_exact_on_signed_matrices() {
+        let c = vec![vec![0.2, -0.1], vec![-0.05, 0.25]];
+        let layer = SignedDividerLayer::from_signed(&c, params(), 1e-3).unwrap();
+        for x in [[0.5, 0.5], [1.0, 0.0], [0.3, 0.9]] {
+            let v = layer.forward(&x);
+            for (j, row) in c.iter().enumerate() {
+                let expect: f64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+                assert!(
+                    (v[j] - expect).abs() < 1e-9,
+                    "output {j}: {} vs {expect}",
+                    v[j]
+                );
+            }
+        }
+        assert_eq!(layer.outputs(), 2);
+        assert_eq!(layer.inputs(), 2);
+    }
+
+    #[test]
+    fn signed_layer_disturb_restore() {
+        let c = vec![vec![0.2, -0.1]];
+        let mut layer = SignedDividerLayer::from_signed(&c, params(), 1e-3).unwrap();
+        let clean = layer.forward(&[0.7, 0.7]);
+        let mut rng = StdRng::seed_from_u64(2);
+        layer.disturb(&VariationModel::process_variation(0.3), &mut rng);
+        assert_ne!(layer.forward(&[0.7, 0.7]), clean);
+        layer.restore();
+        assert_eq!(layer.forward(&[0.7, 0.7]), clean);
+    }
+
+    #[test]
+    fn signed_layer_rejects_infeasible_shift() {
+        // Large negative entries push the shifted column sums past 1.
+        let c = vec![vec![-0.5, -0.5], vec![0.4, 0.4]];
+        assert!(SignedDividerLayer::from_signed(&c, params(), 1e-3).is_err());
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let c = vec![vec![0.1, 0.1, 0.1]];
+        let layer = DividerLayer::from_coefficients(&c, params(), 1e-3).unwrap();
+        assert!(layer.to_string().contains("3→1"));
+        let signed = SignedDividerLayer::from_signed(&c, params(), 1e-3).unwrap();
+        assert!(signed.to_string().contains("reference column"));
+    }
+}

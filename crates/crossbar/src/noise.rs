@@ -1,0 +1,166 @@
+//! Signal fluctuation: lognormal noise on analog input signals.
+//!
+//! The second non-ideal factor the paper sweeps (§5.3): "the signal
+//! fluctuation represents the impact of noise to the electrical signal, such
+//! as the input signal". As with process variation, a lognormal distribution
+//! generates the fluctuation levels; the factor multiplies each input-port
+//! voltage independently per evaluation.
+//!
+//! A key result of the paper is that MEI — whose inputs are discrete 0/1
+//! levels rather than finely-divided DAC voltages — is markedly more robust
+//! to this noise; the `fig5_noise` harness reproduces that comparison.
+
+use std::fmt;
+
+use rand::Rng;
+use rram::{lognormal_factor, NonIdealFactors};
+
+/// Multiplicative lognormal fluctuation applied to every component of an
+/// input vector.
+///
+/// ```
+/// use crossbar::SignalFluctuation;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let sf = SignalFluctuation::new(0.1);
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let noisy = sf.apply(&[1.0, 0.0, 0.5], &mut rng);
+/// assert_eq!(noisy[1], 0.0); // zero signals stay zero (multiplicative noise)
+/// assert_ne!(noisy[0], 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SignalFluctuation {
+    /// Lognormal σ of the per-component factor; `0` is noiseless.
+    pub sigma: f64,
+}
+
+impl SignalFluctuation {
+    /// Create a fluctuation model at level `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or non-finite.
+    #[must_use]
+    pub fn new(sigma: f64) -> Self {
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "signal fluctuation σ must be finite and non-negative, got {sigma}"
+        );
+        Self { sigma }
+    }
+
+    /// A noiseless model.
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self { sigma: 0.0 }
+    }
+
+    /// Whether applying the model is a no-op.
+    #[must_use]
+    pub fn is_ideal(&self) -> bool {
+        self.sigma == 0.0
+    }
+
+    /// Return a noisy copy of `signal`.
+    #[must_use]
+    pub fn apply<R: Rng + ?Sized>(&self, signal: &[f64], rng: &mut R) -> Vec<f64> {
+        if self.is_ideal() {
+            return signal.to_vec();
+        }
+        signal.iter().map(|&v| v * lognormal_factor(self.sigma, rng)).collect()
+    }
+
+    /// Apply the fluctuation in place.
+    pub fn apply_in_place<R: Rng + ?Sized>(&self, signal: &mut [f64], rng: &mut R) {
+        if self.is_ideal() {
+            return;
+        }
+        for v in signal.iter_mut() {
+            *v *= lognormal_factor(self.sigma, rng);
+        }
+    }
+}
+
+impl From<NonIdealFactors> for SignalFluctuation {
+    /// Extract the signal-side component of a σ-vector.
+    fn from(factors: NonIdealFactors) -> Self {
+        Self::new(factors.signal_fluctuation)
+    }
+}
+
+impl fmt::Display for SignalFluctuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "signal fluctuation σ={:.3}", self.sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn ideal_model_is_identity() {
+        let sf = SignalFluctuation::ideal();
+        assert!(sf.is_ideal());
+        let mut r = rng();
+        assert_eq!(sf.apply(&[1.0, -2.0], &mut r), vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn noise_perturbs_every_nonzero_component() {
+        let sf = SignalFluctuation::new(0.2);
+        let mut r = rng();
+        let out = sf.apply(&[1.0, 2.0, 3.0], &mut r);
+        for (a, b) in out.iter().zip(&[1.0, 2.0, 3.0]) {
+            assert_ne!(a, b);
+            // Multiplicative noise preserves sign.
+            assert!(a.signum() == b.signum());
+        }
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply() {
+        let sf = SignalFluctuation::new(0.3);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let x = [0.5, 1.5, -2.5];
+        let out = sf.apply(&x, &mut r1);
+        let mut y = x;
+        sf.apply_in_place(&mut y, &mut r2);
+        assert_eq!(out, y.to_vec());
+    }
+
+    #[test]
+    fn median_factor_is_unbiased() {
+        let sf = SignalFluctuation::new(0.5);
+        let mut r = rng();
+        let mut factors: Vec<f64> =
+            (0..10_001).map(|_| sf.apply(&[1.0], &mut r)[0]).collect();
+        factors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = factors[factors.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn from_non_ideal_factors_takes_sf_component() {
+        let sf = SignalFluctuation::from(NonIdealFactors::new(0.9, 0.12));
+        assert_eq!(sf.sigma, 0.12);
+    }
+
+    #[test]
+    #[should_panic(expected = "signal fluctuation σ")]
+    fn negative_sigma_rejected() {
+        let _ = SignalFluctuation::new(-0.1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", SignalFluctuation::new(0.25)).is_empty());
+    }
+}

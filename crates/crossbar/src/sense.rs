@@ -1,0 +1,178 @@
+//! Sensing circuits: transimpedance amplifiers and 1-bit comparators.
+//!
+//! The traditional RCS senses column outputs with a full B-bit ADC; MEI
+//! replaces that with "flip-flop buffers or analog comparators (to work as
+//! 1-bit ADCs)" (paper §3.1). Both are modelled here as ideal behavioural
+//! elements — their *cost* (area/power) lives in the `interface` crate.
+
+use std::fmt;
+
+/// An ideal transimpedance amplifier: converts a column current into a
+/// voltage, `V = R_f · I`.
+///
+/// In the virtual-ground sensing scheme this is the element that holds the
+/// bit line at 0 V and mirrors the current into the activation circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransimpedanceAmp {
+    /// Feedback resistance in ohms.
+    pub r_feedback: f64,
+}
+
+impl TransimpedanceAmp {
+    /// Create a TIA with feedback resistance `r_feedback` (ohms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is not a positive finite number.
+    #[must_use]
+    pub fn new(r_feedback: f64) -> Self {
+        assert!(
+            r_feedback > 0.0 && r_feedback.is_finite(),
+            "feedback resistance must be positive and finite, got {r_feedback}"
+        );
+        Self { r_feedback }
+    }
+
+    /// Output voltage for input current `i` (amps).
+    #[must_use]
+    pub fn voltage(&self, i: f64) -> f64 {
+        self.r_feedback * i
+    }
+
+    /// Convert a whole current vector.
+    #[must_use]
+    pub fn voltages(&self, currents: &[f64]) -> Vec<f64> {
+        currents.iter().map(|&i| self.voltage(i)).collect()
+    }
+}
+
+impl Default for TransimpedanceAmp {
+    /// 10 kΩ feedback — a convenient mid-scale gain.
+    fn default() -> Self {
+        Self::new(10_000.0)
+    }
+}
+
+impl fmt::Display for TransimpedanceAmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TIA R_f = {:.1} Ω", self.r_feedback)
+    }
+}
+
+/// An analog comparator working as a 1-bit ADC.
+///
+/// MEI binarizes each output port against a threshold (0.5 for sigmoid
+/// outputs in `[0, 1]`).
+///
+/// ```
+/// use crossbar::Comparator;
+/// let c = Comparator::new(0.5);
+/// assert_eq!(c.bit(0.8), 1.0);
+/// assert_eq!(c.bit(0.2), 0.0);
+/// assert!(c.decide(0.5)); // ties resolve high
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparator {
+    /// Decision threshold.
+    pub threshold: f64,
+}
+
+impl Comparator {
+    /// Create a comparator with the given threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not finite.
+    #[must_use]
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold.is_finite(), "comparator threshold must be finite");
+        Self { threshold }
+    }
+
+    /// Boolean decision: `v >= threshold`.
+    #[must_use]
+    pub fn decide(&self, v: f64) -> bool {
+        v >= self.threshold
+    }
+
+    /// The decision as a `0.0` / `1.0` bit.
+    #[must_use]
+    pub fn bit(&self, v: f64) -> f64 {
+        if self.decide(v) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Binarize a whole vector.
+    #[must_use]
+    pub fn bits(&self, values: &[f64]) -> Vec<f64> {
+        values.iter().map(|&v| self.bit(v)).collect()
+    }
+}
+
+impl Default for Comparator {
+    /// Threshold 0.5 — the midpoint of sigmoid-coded logic levels.
+    fn default() -> Self {
+        Self::new(0.5)
+    }
+}
+
+impl fmt::Display for Comparator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "comparator @ {:.3}", self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tia_is_linear() {
+        let tia = TransimpedanceAmp::new(1e4);
+        assert_eq!(tia.voltage(1e-4), 1.0);
+        assert_eq!(tia.voltage(-2e-4), -2.0);
+        assert_eq!(tia.voltages(&[1e-4, 0.0]), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feedback resistance")]
+    fn tia_rejects_nonpositive_resistance() {
+        let _ = TransimpedanceAmp::new(0.0);
+    }
+
+    #[test]
+    fn comparator_thresholds_inclusively() {
+        let c = Comparator::new(0.5);
+        assert!(c.decide(0.5));
+        assert!(!c.decide(0.499_999));
+        assert_eq!(c.bits(&[0.0, 0.5, 1.0]), vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn comparator_handles_negative_thresholds() {
+        let c = Comparator::new(-1.0);
+        assert_eq!(c.bit(-0.5), 1.0);
+        assert_eq!(c.bit(-1.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be finite")]
+    fn comparator_rejects_nan() {
+        let _ = Comparator::new(f64::NAN);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        assert_eq!(Comparator::default().threshold, 0.5);
+        assert_eq!(TransimpedanceAmp::default().r_feedback, 10_000.0);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!format!("{}", Comparator::default()).is_empty());
+        assert!(!format!("{}", TransimpedanceAmp::default()).is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Throughput and energy efficiency estimation.
+//!
+//! The RCS literature's headline metric is computational efficiency in
+//! GOPS/W — the paper's introduction cites "hundreds of times of power
+//! efficiency gains compared with the CPU" for crossbar accelerators. This
+//! module derives that figure from the same Eq (6)/(7) power model used
+//! everywhere else: one analog evaluation of an `I×H×O` network performs
+//! `2·(I·H + H·O)` multiply-accumulates (each differential pair of devices
+//! contributes one signed MAC), all in a single crossbar read per layer.
+
+use std::fmt;
+
+use crate::cost::{AddaTopology, CostModel, MeiTopology};
+
+/// Operating-speed assumptions of the efficiency estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Full network evaluations per second (limited by the read pulse and
+    /// the converter/comparator sampling rate).
+    pub evaluations_per_second: f64,
+}
+
+impl Throughput {
+    /// A conservative mixed-signal operating point: 10 M evaluations/s
+    /// (100 ns read cycles, well within the cited GS/s-class converters).
+    #[must_use]
+    pub fn default_mixed_signal() -> Self {
+        Self { evaluations_per_second: 1e7 }
+    }
+
+    /// Create a throughput assumption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive and finite.
+    #[must_use]
+    pub fn new(evaluations_per_second: f64) -> Self {
+        assert!(
+            evaluations_per_second > 0.0 && evaluations_per_second.is_finite(),
+            "evaluation rate must be positive and finite"
+        );
+        Self { evaluations_per_second }
+    }
+}
+
+impl Default for Throughput {
+    fn default() -> Self {
+        Self::default_mixed_signal()
+    }
+}
+
+/// An efficiency estimate for one architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Efficiency {
+    /// Multiply-accumulates per network evaluation.
+    pub ops_per_evaluation: f64,
+    /// Sustained operation rate in GOPS.
+    pub gops: f64,
+    /// Power draw in watts.
+    pub watts: f64,
+    /// The headline figure: GOPS per watt.
+    pub gops_per_watt: f64,
+}
+
+impl fmt::Display for Efficiency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} GOPS at {:.3} W → {:.0} GOPS/W",
+            self.gops, self.watts, self.gops_per_watt
+        )
+    }
+}
+
+/// MACs per evaluation of an `I×H×O` network (two crossbar layers).
+fn mac_count(inputs: usize, hidden: usize, outputs: usize) -> f64 {
+    ((inputs * hidden) + (hidden * outputs)) as f64
+}
+
+impl CostModel {
+    /// Efficiency of the traditional AD/DA architecture at the given
+    /// throughput.
+    #[must_use]
+    pub fn efficiency_adda(&self, t: &AddaTopology, throughput: &Throughput) -> Efficiency {
+        let ops = mac_count(t.inputs, t.hidden, t.outputs);
+        let watts = self.power_adda(t) * 1e-6; // µW → W
+        let gops = ops * throughput.evaluations_per_second / 1e9;
+        Efficiency { ops_per_evaluation: ops, gops, watts, gops_per_watt: gops / watts }
+    }
+
+    /// Efficiency of the merged-interface architecture at the given
+    /// throughput. MEI performs its MACs over the *bit-level* ports, so the
+    /// op count uses the expanded layer widths.
+    #[must_use]
+    pub fn efficiency_mei(&self, t: &MeiTopology, throughput: &Throughput) -> Efficiency {
+        let ops = mac_count(t.input_ports(), t.hidden, t.output_ports());
+        let watts = self.power_mei(t) * 1e-6;
+        let gops = ops * throughput.evaluations_per_second / 1e9;
+        Efficiency { ops_per_evaluation: ops, gops, watts, gops_per_watt: gops / watts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_count_matches_topology() {
+        assert_eq!(mac_count(2, 8, 2), 32.0);
+        assert_eq!(mac_count(16, 32, 16), 1024.0);
+    }
+
+    #[test]
+    fn adda_efficiency_is_converter_limited() {
+        // The AD/DA architecture burns most of its power in converters, so
+        // its GOPS/W is far below the crossbar's intrinsic capability.
+        let m = CostModel::dac2015();
+        let t = AddaTopology::new(2, 8, 2, 8);
+        let e = m.efficiency_adda(&t, &Throughput::default());
+        assert!(e.gops > 0.0 && e.watts > 0.0);
+        assert!(e.gops_per_watt.is_finite());
+    }
+
+    #[test]
+    fn mei_efficiency_beats_adda_per_watt() {
+        // MEI does *more* raw ops (bit-level ports) at a fraction of the
+        // power: its GOPS/W must exceed the AD/DA design's substantially.
+        let m = CostModel::dac2015();
+        let adda = AddaTopology::new(2, 8, 2, 8);
+        let mei = MeiTopology::new(2, 8, 32, 2, 8);
+        let th = Throughput::default();
+        let ea = m.efficiency_adda(&adda, &th);
+        let em = m.efficiency_mei(&mei, &th);
+        assert!(
+            em.gops_per_watt > 10.0 * ea.gops_per_watt,
+            "MEI {:.0} GOPS/W vs AD/DA {:.0} GOPS/W",
+            em.gops_per_watt,
+            ea.gops_per_watt
+        );
+    }
+
+    #[test]
+    fn efficiency_scales_linearly_with_throughput() {
+        let m = CostModel::dac2015();
+        let t = AddaTopology::new(2, 8, 2, 8);
+        let slow = m.efficiency_adda(&t, &Throughput::new(1e6));
+        let fast = m.efficiency_adda(&t, &Throughput::new(1e7));
+        assert!((fast.gops / slow.gops - 10.0).abs() < 1e-9);
+        // Power is static in this model; GOPS/W scales with rate.
+        assert!((fast.gops_per_watt / slow.gops_per_watt - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "evaluation rate")]
+    fn invalid_throughput_rejected() {
+        let _ = Throughput::new(0.0);
+    }
+
+    #[test]
+    fn display_has_units() {
+        let m = CostModel::dac2015();
+        let e = m.efficiency_adda(&AddaTopology::new(2, 8, 2, 8), &Throughput::default());
+        assert!(e.to_string().contains("GOPS/W"));
+    }
+}

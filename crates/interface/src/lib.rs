@@ -1,0 +1,43 @@
+//! # `interface` — the analog/digital boundary of an RCS
+//!
+//! Models everything the paper's co-optimization bargains over at the
+//! interface between the digital system and the RRAM crossbar:
+//!
+//! * [`quantize`] — the fixed-point bit codec. A B-bit AD/DA quantizes an
+//!   analog value in `[0, 1)` to `B` bits; MEI exposes those same bits as
+//!   individual crossbar ports ([`quantize::InterfaceSpec`] captures the
+//!   `(D·B)` groups notation of Table 1).
+//! * [`cost`] — paper Eq (6)/(7)/(9): area and power estimation of the
+//!   traditional AD/DA architecture and the merged-interface architecture,
+//!   the per-component breakdown of Fig 2, and the maximum SAAB ensemble
+//!   size `K_max`.
+//! * [`calibrate`] — fits the relative cell costs to a set of target savings
+//!   by seeded random search; the shipped defaults were produced by fitting
+//!   the paper's own Table 1 numbers (see [`cost::InterfaceCircuits::dac2015`]).
+//!
+//! ## Example: why MEI wins
+//!
+//! ```
+//! use interface::cost::{AddaTopology, CostModel, MeiTopology};
+//!
+//! let model = CostModel::dac2015();
+//! let adda = AddaTopology::new(2, 8, 2, 8);          // 2×8×2, 8-bit AD/DA
+//! let mei = MeiTopology::new(2, 8, 32, 2, 8);        // (2·8)×32×(2·8)
+//! let saved = model.area_saving(&adda, &mei);
+//! assert!(saved > 0.5, "MEI saves more than half the area: {saved}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod cost;
+pub mod efficiency;
+pub mod quantize;
+
+pub use cost::{AddaTopology, CellCost, CostBreakdown, CostModel, InterfaceCircuits, MeiTopology};
+pub use efficiency::{Efficiency, Throughput};
+pub use quantize::{
+    decode_bits, decode_bits_coded, encode_fraction, encode_fraction_coded, quantize_fraction,
+    BitCoding, InterfaceSpec,
+};

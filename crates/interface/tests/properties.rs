@@ -1,0 +1,106 @@
+//! Property-based tests for the interface crate.
+
+use interface::cost::{AddaTopology, CostModel, MeiTopology};
+use interface::{decode_bits, encode_fraction, quantize_fraction, InterfaceSpec};
+use proptest::prelude::*;
+
+proptest! {
+    /// encode→decode round-trips within one LSB for any in-range value
+    /// (half an LSB in the interior, a full LSB at the saturated top code).
+    #[test]
+    fn codec_roundtrip_error_bounded(x in 0.0f64..1.0, bits in 1usize..16) {
+        let q = quantize_fraction(x, bits);
+        let lsb = 0.5f64.powi(bits as i32);
+        prop_assert!((q - x).abs() <= lsb + 1e-12, "x={x} q={q} bits={bits}");
+    }
+
+    /// Every encoded bit is exactly 0.0 or 1.0.
+    #[test]
+    fn encoded_bits_are_binary(x in -1.0f64..2.0, bits in 1usize..16) {
+        for b in encode_fraction(x, bits) {
+            prop_assert!(b == 0.0 || b == 1.0);
+        }
+    }
+
+    /// Quantization is idempotent: quantizing a quantized value is identity.
+    #[test]
+    fn quantize_idempotent(x in 0.0f64..1.0, bits in 1usize..16) {
+        let q = quantize_fraction(x, bits);
+        prop_assert_eq!(quantize_fraction(q, bits), q);
+    }
+
+    /// Encoding is monotone: larger values never decode below smaller ones.
+    #[test]
+    fn codec_is_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0, bits in 1usize..12) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quantize_fraction(lo, bits) <= quantize_fraction(hi, bits));
+    }
+
+    /// Grouped encode/decode round-trips exactly on representable values.
+    #[test]
+    fn spec_roundtrip(groups in 1usize..6, bits in 1usize..10, seed in any::<u16>()) {
+        let spec = InterfaceSpec::new(groups, bits);
+        let denom = (1u64 << bits) as f64;
+        let values: Vec<f64> = (0..groups)
+            .map(|g| ((seed as u64 + g as u64 * 7) % (1u64 << bits)) as f64 / denom)
+            .collect();
+        let decoded = spec.decode(&spec.encode(&values));
+        for (a, b) in decoded.iter().zip(&values) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// MEI cost strictly increases with hidden size and with bit width; the
+    /// AD/DA cost strictly increases with every dimension.
+    #[test]
+    fn costs_are_monotone(
+        i in 1usize..30, h in 1usize..60, o in 1usize..30, bits in 2usize..12,
+    ) {
+        let m = CostModel::dac2015();
+        let adda = AddaTopology::new(i, h, o, bits);
+        let bigger = AddaTopology::new(i + 1, h + 1, o + 1, bits);
+        prop_assert!(m.area_adda(&bigger) > m.area_adda(&adda));
+        prop_assert!(m.power_adda(&bigger) > m.power_adda(&adda));
+
+        let mei = MeiTopology::new(i, bits, h, o, bits);
+        let wider = MeiTopology::new(i, bits, h + 1, o, bits);
+        let deeper_bits = MeiTopology::new(i, bits + 1, h, o, bits + 1);
+        prop_assert!(m.area_mei(&wider) > m.area_mei(&mei));
+        prop_assert!(m.area_mei(&deeper_bits) > m.area_mei(&mei));
+    }
+
+    /// K_max is consistent with the budget definition: K_max learners fit,
+    /// K_max + 1 exceed at least one of the two budgets.
+    #[test]
+    fn k_max_is_tight(
+        i in 1usize..20, h in 4usize..40, o in 1usize..20,
+    ) {
+        let m = CostModel::dac2015();
+        let adda = AddaTopology::new(i, h, o, 8);
+        let mei = MeiTopology::new(i, 8, h * 2, o, 8);
+        let k = m.k_max(&adda, &mei);
+        let a_org = m.area_adda(&adda);
+        let p_org = m.power_adda(&adda);
+        let a_mei = m.area_mei(&mei);
+        let p_mei = m.power_mei(&mei);
+        prop_assert!(k as f64 * a_mei <= a_org + 1e-9);
+        prop_assert!(k as f64 * p_mei <= p_org + 1e-9);
+        let k1 = (k + 1) as f64;
+        prop_assert!(k1 * a_mei > a_org || k1 * p_mei > p_org);
+    }
+
+    /// Decoding is invariant to how far analog levels sit from the 0.5
+    /// threshold.
+    #[test]
+    fn decode_threshold_invariance(
+        pattern in prop::collection::vec(any::<bool>(), 1..12),
+        noise in 0.0f64..0.49,
+    ) {
+        let crisp: Vec<f64> = pattern.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let fuzzy: Vec<f64> = pattern
+            .iter()
+            .map(|&b| if b { 1.0 - noise } else { noise })
+            .collect();
+        prop_assert_eq!(decode_bits(&crisp), decode_bits(&fuzzy));
+    }
+}

@@ -1,0 +1,167 @@
+//! Activation functions and their derivatives.
+
+use std::fmt;
+
+/// The nonlinearity applied after each layer's affine transform
+/// (paper Eq (3): `y = f(W·x + b)`).
+///
+/// The RCS realizes the sigmoid in analog peripheral circuitry; the other
+/// variants support the digital baseline and ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Logistic sigmoid `1 / (1 + e^{-x})` — the paper's default.
+    #[default]
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Identity (linear output layer).
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation to a scalar.
+    ///
+    /// ```
+    /// use neural::Activation;
+    /// assert_eq!(Activation::Sigmoid.apply(0.0), 0.5);
+    /// assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+    /// ```
+    #[must_use]
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Apply the activation to every element of a slice in place.
+    pub fn apply_in_place(&self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = f(x)`.
+    ///
+    /// For the supported activations the derivative is a simple function of
+    /// the output, which is what backprop has in hand:
+    /// sigmoid → `y(1−y)`, tanh → `1−y²`, ReLU → `1 if y>0 else 0`,
+    /// identity → `1`.
+    #[must_use]
+    pub fn derivative_from_output(&self, y: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// The range of outputs the activation can produce, as `(min, max)`
+    /// (unbounded ends are infinite). Useful for choosing comparator
+    /// thresholds and output scalings.
+    #[must_use]
+    pub fn output_range(&self) -> (f64, f64) {
+        match self {
+            Activation::Sigmoid => (0.0, 1.0),
+            Activation::Tanh => (-1.0, 1.0),
+            Activation::Relu => (0.0, f64::INFINITY),
+            Activation::Identity => (f64::NEG_INFINITY, f64::INFINITY),
+        }
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Relu => "relu",
+            Activation::Identity => "identity",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Activation; 4] = [
+        Activation::Sigmoid,
+        Activation::Tanh,
+        Activation::Relu,
+        Activation::Identity,
+    ];
+
+    #[test]
+    fn sigmoid_fixed_points() {
+        assert_eq!(Activation::Sigmoid.apply(0.0), 0.5);
+        assert!(Activation::Sigmoid.apply(20.0) > 0.999);
+        assert!(Activation::Sigmoid.apply(-20.0) < 0.001);
+    }
+
+    #[test]
+    fn tanh_and_relu_and_identity() {
+        assert_eq!(Activation::Tanh.apply(0.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Identity.apply(-2.5), -2.5);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for act in ALL {
+            for &x in &[-1.5, -0.3, 0.2, 1.7] {
+                let y = act.apply(x);
+                let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let analytic = act.derivative_from_output(y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act} at x={x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply() {
+        let mut v = vec![-1.0, 0.0, 2.0];
+        Activation::Sigmoid.apply_in_place(&mut v);
+        assert_eq!(v[1], 0.5);
+        assert_eq!(v[0], Activation::Sigmoid.apply(-1.0));
+    }
+
+    #[test]
+    fn outputs_stay_in_declared_range() {
+        for act in ALL {
+            let (lo, hi) = act.output_range();
+            for &x in &[-100.0, -1.0, 0.0, 1.0, 100.0] {
+                let y = act.apply(x);
+                assert!(y >= lo && y <= hi, "{act}({x}) = {y} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_sigmoid() {
+        assert_eq!(Activation::default(), Activation::Sigmoid);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", Activation::Sigmoid), "sigmoid");
+        assert_eq!(format!("{}", Activation::Identity), "identity");
+    }
+}

@@ -1,0 +1,519 @@
+//! Datasets: sample storage, splitting, and weighted resampling.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::Rng;
+
+/// Error constructing a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// No samples were provided.
+    Empty,
+    /// `inputs` and `targets` have different lengths.
+    LengthMismatch {
+        /// Number of input vectors.
+        inputs: usize,
+        /// Number of target vectors.
+        targets: usize,
+    },
+    /// Sample `index` has a different dimensionality than sample 0.
+    InconsistentDims {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// Sample `index` contains a NaN or infinity.
+    NonFiniteValue {
+        /// Index of the offending sample.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Empty => write!(f, "dataset has no samples"),
+            DatasetError::LengthMismatch { inputs, targets } => {
+                write!(f, "dataset has {inputs} inputs but {targets} targets")
+            }
+            DatasetError::InconsistentDims { index } => {
+                write!(f, "sample {index} has inconsistent dimensionality")
+            }
+            DatasetError::NonFiniteValue { index } => {
+                write!(f, "sample {index} contains a non-finite value")
+            }
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+/// A supervised dataset: paired input and target vectors of fixed
+/// dimensionality.
+///
+/// ```
+/// use neural::Dataset;
+///
+/// # fn main() -> Result<(), neural::DatasetError> {
+/// let data = Dataset::new(
+///     vec![vec![0.0], vec![1.0]],
+///     vec![vec![1.0], vec![0.0]],
+/// )?;
+/// assert_eq!(data.len(), 2);
+/// assert_eq!(data.input_dim(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    inputs: Vec<Vec<f64>>,
+    targets: Vec<Vec<f64>>,
+}
+
+impl Dataset {
+    /// Create a dataset from paired sample vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] if the collections are empty, have different
+    /// lengths, contain inconsistent dimensionalities, or non-finite values.
+    pub fn new(inputs: Vec<Vec<f64>>, targets: Vec<Vec<f64>>) -> Result<Self, DatasetError> {
+        if inputs.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        if inputs.len() != targets.len() {
+            return Err(DatasetError::LengthMismatch {
+                inputs: inputs.len(),
+                targets: targets.len(),
+            });
+        }
+        let in_dim = inputs[0].len();
+        let out_dim = targets[0].len();
+        if in_dim == 0 || out_dim == 0 {
+            return Err(DatasetError::InconsistentDims { index: 0 });
+        }
+        for i in 0..inputs.len() {
+            if inputs[i].len() != in_dim || targets[i].len() != out_dim {
+                return Err(DatasetError::InconsistentDims { index: i });
+            }
+            if inputs[i].iter().chain(&targets[i]).any(|v| !v.is_finite()) {
+                return Err(DatasetError::NonFiniteValue { index: i });
+            }
+        }
+        Ok(Self { inputs, targets })
+    }
+
+    /// Generate a dataset by drawing `n` samples from `f(rng) → (x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] under the same conditions as
+    /// [`Dataset::new`] (e.g. `n == 0` or `f` emits a NaN).
+    pub fn generate<R, F>(n: usize, rng: &mut R, mut f: F) -> Result<Self, DatasetError>
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> (Vec<f64>, Vec<f64>),
+    {
+        let mut inputs = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (x, y) = f(rng);
+            inputs.push(x);
+            targets.push(y);
+        }
+        Self::new(inputs, targets)
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the dataset is empty (never true for a constructed dataset;
+    /// provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Dimensionality of the input vectors.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.inputs[0].len()
+    }
+
+    /// Dimensionality of the target vectors.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.targets[0].len()
+    }
+
+    /// The `i`-th sample as `(input, target)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn sample(&self, i: usize) -> (&[f64], &[f64]) {
+        (&self.inputs[i], &self.targets[i])
+    }
+
+    /// All input vectors.
+    #[must_use]
+    pub fn inputs(&self) -> &[Vec<f64>] {
+        &self.inputs
+    }
+
+    /// All target vectors.
+    #[must_use]
+    pub fn targets(&self) -> &[Vec<f64>] {
+        &self.targets
+    }
+
+    /// Iterate `(input, target)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], &[f64])> {
+        self.inputs.iter().map(Vec::as_slice).zip(self.targets.iter().map(Vec::as_slice))
+    }
+
+    /// Split into `(first, second)` with `fraction` of samples in `first`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is not in `(0, 1)` or either side would be
+    /// empty.
+    #[must_use]
+    pub fn split(self, fraction: f64) -> (Dataset, Dataset) {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "split fraction must be in (0, 1), got {fraction}"
+        );
+        let cut = ((self.len() as f64) * fraction).round() as usize;
+        assert!(cut > 0 && cut < self.len(), "split would produce an empty side");
+        let mut inputs = self.inputs;
+        let mut targets = self.targets;
+        let tail_inputs = inputs.split_off(cut);
+        let tail_targets = targets.split_off(cut);
+        (
+            Dataset { inputs, targets },
+            Dataset { inputs: tail_inputs, targets: tail_targets },
+        )
+    }
+
+    /// Split into `k` folds for cross-validation: fold `i` pairs a
+    /// validation slice (the `i`-th contiguous chunk) with the remaining
+    /// samples as training data. Shuffle first if the sample order is
+    /// meaningful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > len()`.
+    #[must_use]
+    pub fn kfold(&self, k: usize) -> Vec<(Dataset, Dataset)> {
+        assert!(k >= 2, "cross-validation needs at least 2 folds");
+        assert!(k <= self.len(), "cannot make {k} folds from {} samples", self.len());
+        let n = self.len();
+        (0..k)
+            .map(|i| {
+                let lo = i * n / k;
+                let hi = (i + 1) * n / k;
+                let mut train_in = Vec::with_capacity(n - (hi - lo));
+                let mut train_tg = Vec::with_capacity(n - (hi - lo));
+                let mut val_in = Vec::with_capacity(hi - lo);
+                let mut val_tg = Vec::with_capacity(hi - lo);
+                for j in 0..n {
+                    if (lo..hi).contains(&j) {
+                        val_in.push(self.inputs[j].clone());
+                        val_tg.push(self.targets[j].clone());
+                    } else {
+                        train_in.push(self.inputs[j].clone());
+                        train_tg.push(self.targets[j].clone());
+                    }
+                }
+                (
+                    Dataset { inputs: train_in, targets: train_tg },
+                    Dataset { inputs: val_in, targets: val_tg },
+                )
+            })
+            .collect()
+    }
+
+    /// Shuffle the samples in place.
+    pub fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // Fisher–Yates over both vectors in lock-step.
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.inputs.swap(i, j);
+            self.targets.swap(i, j);
+        }
+    }
+
+    /// Draw `n` samples *with replacement* according to a probability
+    /// distribution over the samples — the "generate training samples `s_k`
+    /// with `X` and distribution `p_n`" step of SAAB (Algorithm 1, line 4).
+    ///
+    /// `weights` need not be normalized; they must be non-negative with a
+    /// positive sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != len()`, any weight is negative or
+    /// non-finite, the sum is zero, or `n == 0`.
+    #[must_use]
+    pub fn resample_weighted<R: Rng + ?Sized>(&self, weights: &[f64], n: usize, rng: &mut R) -> Dataset {
+        assert_eq!(weights.len(), self.len(), "one weight per sample");
+        assert!(n > 0, "cannot resample zero samples");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        // Cumulative distribution for binary-search sampling.
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        let mut inputs = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let u = rng.gen::<f64>() * acc;
+            let idx = match cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+                Ok(i) | Err(i) => i.min(self.len() - 1),
+            };
+            inputs.push(self.inputs[idx].clone());
+            targets.push(self.targets[idx].clone());
+        }
+        Dataset { inputs, targets }
+    }
+
+    /// A new dataset with every target vector replaced by `f(input, target)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] if the mapped targets are inconsistent.
+    pub fn map_targets<F>(&self, mut f: F) -> Result<Dataset, DatasetError>
+    where
+        F: FnMut(&[f64], &[f64]) -> Vec<f64>,
+    {
+        let targets = self
+            .inputs
+            .iter()
+            .zip(&self.targets)
+            .map(|(x, y)| f(x, y))
+            .collect();
+        Dataset::new(self.inputs.clone(), targets)
+    }
+
+    /// A new dataset with every input vector replaced by `f(input)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] if the mapped inputs are inconsistent.
+    pub fn map_inputs<F>(&self, mut f: F) -> Result<Dataset, DatasetError>
+    where
+        F: FnMut(&[f64]) -> Vec<f64>,
+    {
+        let inputs = self.inputs.iter().map(|x| f(x)).collect();
+        Dataset::new(inputs, self.targets.clone())
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dataset: {} samples, {}→{}",
+            self.len(),
+            self.input_dim(),
+            self.output_dim()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            vec![vec![0.0], vec![2.0], vec![4.0], vec![6.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(Dataset::new(vec![], vec![]), Err(DatasetError::Empty));
+        assert_eq!(
+            Dataset::new(vec![vec![1.0]], vec![]),
+            Err(DatasetError::LengthMismatch { inputs: 1, targets: 0 })
+        );
+        assert_eq!(
+            Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![vec![0.0], vec![0.0]]),
+            Err(DatasetError::InconsistentDims { index: 1 })
+        );
+        assert_eq!(
+            Dataset::new(vec![vec![f64::NAN]], vec![vec![0.0]]),
+            Err(DatasetError::NonFiniteValue { index: 0 })
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let d = small();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.input_dim(), 1);
+        assert_eq!(d.output_dim(), 1);
+        assert_eq!(d.sample(2), (&[2.0][..], &[4.0][..]));
+        assert_eq!(d.iter().count(), 4);
+    }
+
+    #[test]
+    fn generate_draws_n_samples() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = Dataset::generate(10, &mut rng, |r| {
+            let x: f64 = r.gen();
+            (vec![x], vec![x * x])
+        })
+        .unwrap();
+        assert_eq!(d.len(), 10);
+        for (x, y) in d.iter() {
+            assert!((y[0] - x[0] * x[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn split_partitions_in_order() {
+        let (a, b) = small().split(0.5);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.sample(0).0, &[0.0]);
+        assert_eq!(b.sample(0).0, &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "split fraction")]
+    fn split_rejects_bad_fraction() {
+        let _ = small().split(1.0);
+    }
+
+    #[test]
+    fn kfold_partitions_cover_everything_exactly_once() {
+        let d = small();
+        let folds = d.kfold(2);
+        assert_eq!(folds.len(), 2);
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), d.len());
+            // Pairing preserved everywhere.
+            for (x, y) in train.iter().chain(val.iter()) {
+                assert_eq!(y[0], 2.0 * x[0]);
+            }
+        }
+        // Each sample appears in exactly one validation fold.
+        let mut seen: Vec<f64> = folds
+            .iter()
+            .flat_map(|(_, val)| val.iter().map(|(x, _)| x[0]).collect::<Vec<_>>())
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(seen, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn kfold_handles_uneven_splits() {
+        let d = Dataset::new(
+            (0..7).map(|i| vec![f64::from(i)]).collect(),
+            (0..7).map(|i| vec![f64::from(2 * i)]).collect(),
+        )
+        .unwrap();
+        let folds = d.kfold(3);
+        let total_val: usize = folds.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total_val, 7);
+        assert!(folds.iter().all(|(t, v)| t.len() + v.len() == 7 && !v.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn kfold_rejects_single_fold() {
+        let _ = small().kfold(1);
+    }
+
+    #[test]
+    fn shuffle_preserves_pairing() {
+        let mut d = small();
+        let mut rng = StdRng::seed_from_u64(2);
+        d.shuffle(&mut rng);
+        assert_eq!(d.len(), 4);
+        for (x, y) in d.iter() {
+            assert_eq!(y[0], 2.0 * x[0], "pairing broken by shuffle");
+        }
+    }
+
+    #[test]
+    fn resample_weighted_respects_distribution() {
+        let d = small();
+        // All weight on sample 3.
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = d.resample_weighted(&[0.0, 0.0, 0.0, 1.0], 50, &mut rng);
+        assert_eq!(r.len(), 50);
+        assert!(r.iter().all(|(x, _)| x[0] == 3.0));
+    }
+
+    #[test]
+    fn resample_weighted_statistics() {
+        let d = small();
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = d.resample_weighted(&[3.0, 1.0, 0.0, 0.0], 40_000, &mut rng);
+        let zeros = r.iter().filter(|(x, _)| x[0] == 0.0).count();
+        let rate = zeros as f64 / 40_000.0;
+        assert!((rate - 0.75).abs() < 0.02, "rate {rate}");
+        assert!(r.iter().all(|(x, _)| x[0] != 2.0 && x[0] != 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn resample_rejects_zero_weights() {
+        let d = small();
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = d.resample_weighted(&[0.0; 4], 10, &mut rng);
+    }
+
+    #[test]
+    fn map_targets_and_inputs() {
+        let d = small();
+        let doubled = d.map_targets(|_, y| vec![y[0] * 2.0]).unwrap();
+        assert_eq!(doubled.sample(1).1, &[4.0]);
+        let shifted = d.map_inputs(|x| vec![x[0] + 1.0, 0.0]).unwrap();
+        assert_eq!(shifted.input_dim(), 2);
+        assert_eq!(shifted.sample(0).0, &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn map_rejects_invalid_result() {
+        let d = small();
+        let res = d.map_targets(|x, y| if x[0] == 0.0 { vec![y[0]] } else { vec![y[0], 0.0] });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        assert!(format!("{}", small()).contains("4 samples"));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            DatasetError::Empty,
+            DatasetError::LengthMismatch { inputs: 1, targets: 2 },
+            DatasetError::InconsistentDims { index: 3 },
+            DatasetError::NonFiniteValue { index: 4 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

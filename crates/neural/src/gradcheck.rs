@@ -1,0 +1,223 @@
+//! Numerical gradient checking.
+//!
+//! The backprop implementation in [`crate::train`] is hand-derived; this
+//! module provides the standard central-difference cross-check so any
+//! future change to the loss, activations or layer structure can be
+//! verified against first principles. It is also used by the test suite to
+//! pin the trainer's gradients.
+
+use crate::data::Dataset;
+use crate::loss::WeightedMse;
+use crate::mlp::Mlp;
+
+/// Result of a gradient check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numerical
+    /// derivatives over all checked parameters.
+    pub max_abs_error: f64,
+    /// Largest relative difference (absolute difference over the larger of
+    /// the two magnitudes, floored at 1e-8).
+    pub max_rel_error: f64,
+    /// Number of parameters checked.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// Whether the analytic gradients agree with the numerical ones within
+    /// `tolerance` (relative).
+    #[must_use]
+    pub fn passes(&self, tolerance: f64) -> bool {
+        self.max_rel_error <= tolerance
+    }
+}
+
+/// Mean loss of the network over a dataset under a given weighted loss.
+fn mean_loss(mlp: &Mlp, data: &Dataset, loss: &WeightedMse) -> f64 {
+    let total: f64 = data.iter().map(|(x, t)| loss.loss(t, &mlp.forward(x))).sum();
+    total / data.len() as f64
+}
+
+/// Analytic gradient of the mean loss with respect to every parameter,
+/// computed by the same backprop recurrence the trainer uses. Returns
+/// per-layer `(weight_grads, bias_grads)` in layer order.
+#[must_use]
+fn analytic_gradients(
+    mlp: &Mlp,
+    data: &Dataset,
+    loss: &WeightedMse,
+) -> Vec<(Vec<Vec<f64>>, Vec<f64>)> {
+    let layers = mlp.layers();
+    let mut grads: Vec<(Vec<Vec<f64>>, Vec<f64>)> = layers
+        .iter()
+        .map(|l| (vec![vec![0.0; l.inputs()]; l.outputs()], vec![0.0; l.outputs()]))
+        .collect();
+    for (x, t) in data.iter() {
+        let trace = mlp.forward_trace(x);
+        let output = trace.last().expect("non-empty");
+        let mut delta = vec![0.0; output.len()];
+        loss.gradient_into(t, output, &mut delta);
+        for (d, &o) in delta.iter_mut().zip(output.iter()) {
+            *d *= layers.last().expect("layers").activation.derivative_from_output(o);
+        }
+        for l in (0..layers.len()).rev() {
+            let a_prev = &trace[l];
+            for (j, &dj) in delta.iter().enumerate() {
+                for (k, &ak) in a_prev.iter().enumerate() {
+                    grads[l].0[j][k] += dj * ak;
+                }
+                grads[l].1[j] += dj;
+            }
+            if l > 0 {
+                let mut prev = layers[l].weights.matvec_transpose(&delta);
+                let act = layers[l - 1].activation;
+                for (d, &a) in prev.iter_mut().zip(a_prev.iter()) {
+                    *d *= act.derivative_from_output(a);
+                }
+                delta = prev;
+            }
+        }
+    }
+    let n = data.len() as f64;
+    for (gw, gb) in &mut grads {
+        for row in gw {
+            for g in row {
+                *g /= n;
+            }
+        }
+        for g in gb {
+            *g /= n;
+        }
+    }
+    grads
+}
+
+/// Compare analytic backprop gradients against central finite differences
+/// on every parameter of `mlp` over `data` under `loss`.
+///
+/// # Panics
+///
+/// Panics if the dataset or loss dimensions don't match the network.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // the layer index addresses three parallel structures
+pub fn check_gradients(mlp: &Mlp, data: &Dataset, loss: &WeightedMse, h: f64) -> GradCheckReport {
+    assert_eq!(data.input_dim(), mlp.input_dim(), "dataset input dim");
+    assert_eq!(loss.ports(), mlp.output_dim(), "loss port count");
+    let analytic = analytic_gradients(mlp, data, loss);
+
+    let mut work = mlp.clone();
+    let mut max_abs = 0.0_f64;
+    let mut max_rel = 0.0_f64;
+    let mut checked = 0usize;
+
+    let layer_count = mlp.layers().len();
+    for l in 0..layer_count {
+        let (outs, ins) = {
+            let layer = &mlp.layers()[l];
+            (layer.outputs(), layer.inputs())
+        };
+        for j in 0..outs {
+            for k in 0..ins {
+                let original = work.layers()[l].weights[(j, k)];
+                work.layers_mut()[l].weights[(j, k)] = original + h;
+                let plus = mean_loss(&work, data, loss);
+                work.layers_mut()[l].weights[(j, k)] = original - h;
+                let minus = mean_loss(&work, data, loss);
+                work.layers_mut()[l].weights[(j, k)] = original;
+                let numeric = (plus - minus) / (2.0 * h);
+                let exact = analytic[l].0[j][k];
+                let abs = (numeric - exact).abs();
+                let rel = abs / numeric.abs().max(exact.abs()).max(1e-8);
+                max_abs = max_abs.max(abs);
+                max_rel = max_rel.max(rel);
+                checked += 1;
+            }
+            let original = work.layers()[l].biases[j];
+            work.layers_mut()[l].biases[j] = original + h;
+            let plus = mean_loss(&work, data, loss);
+            work.layers_mut()[l].biases[j] = original - h;
+            let minus = mean_loss(&work, data, loss);
+            work.layers_mut()[l].biases[j] = original;
+            let numeric = (plus - minus) / (2.0 * h);
+            let exact = analytic[l].1[j];
+            let abs = (numeric - exact).abs();
+            let rel = abs / numeric.abs().max(exact.abs()).max(1e-8);
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+            checked += 1;
+        }
+    }
+
+    GradCheckReport { max_abs_error: max_abs, max_rel_error: max_rel, checked }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::mlp::MlpBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(n: usize, inputs: usize, outputs: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::generate(n, &mut rng, |r| {
+            let x: Vec<f64> = (0..inputs).map(|_| r.gen()).collect();
+            let y: Vec<f64> = (0..outputs).map(|_| r.gen()).collect();
+            (x, y)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn backprop_matches_finite_differences_uniform_loss() {
+        let net = MlpBuilder::new(&[3, 5, 2]).seed(1).build();
+        let data = dataset(16, 3, 2, 2);
+        let loss = WeightedMse::uniform(2);
+        let report = check_gradients(&net, &data, &loss, 1e-5);
+        assert!(report.passes(1e-4), "max rel error {}", report.max_rel_error);
+        assert_eq!(report.checked, (3 * 5 + 5) + (5 * 2 + 2));
+    }
+
+    #[test]
+    fn backprop_matches_finite_differences_weighted_loss() {
+        let net = MlpBuilder::new(&[2, 4, 3])
+            .hidden_activation(Activation::Tanh)
+            .seed(3)
+            .build();
+        let data = dataset(12, 2, 3, 4);
+        let loss = WeightedMse::new(vec![1.0, 0.5, 0.25]);
+        let report = check_gradients(&net, &data, &loss, 1e-5);
+        assert!(report.passes(1e-4), "max rel error {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn deep_network_gradients_check_out() {
+        let net = MlpBuilder::new(&[2, 4, 4, 1]).seed(5).build();
+        let data = dataset(8, 2, 1, 6);
+        let loss = WeightedMse::uniform(1);
+        let report = check_gradients(&net, &data, &loss, 1e-5);
+        assert!(report.passes(1e-4), "max rel error {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn relu_kinks_still_within_tolerance_away_from_zero() {
+        // ReLU derivatives are exact except at the kink; random data almost
+        // surely avoids exact zeros.
+        let net = MlpBuilder::new(&[3, 6, 2])
+            .hidden_activation(Activation::Relu)
+            .seed(7)
+            .build();
+        let data = dataset(10, 3, 2, 8);
+        let loss = WeightedMse::uniform(2);
+        let report = check_gradients(&net, &data, &loss, 1e-6);
+        assert!(report.passes(1e-3), "max rel error {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn report_pass_threshold_behaviour() {
+        let r = GradCheckReport { max_abs_error: 1e-6, max_rel_error: 5e-5, checked: 10 };
+        assert!(r.passes(1e-4));
+        assert!(!r.passes(1e-5));
+    }
+}

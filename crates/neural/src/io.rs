@@ -1,0 +1,268 @@
+//! Plain-text model serialization.
+//!
+//! A trained [`Mlp`] round-trips through a small line-oriented format so
+//! trained RCS weights can be checked in, diffed, and reloaded without any
+//! serialization dependency:
+//!
+//! ```text
+//! mlp v1
+//! layers 2
+//! layer 3 5 sigmoid
+//! b <5 bias values>
+//! w <5 rows × 3 values, one row per line>
+//! …
+//! ```
+//!
+//! Floats are written with Rust's shortest round-trip representation, so a
+//! save/load cycle reproduces the network bit-exactly.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::activation::Activation;
+use crate::matrix::Matrix;
+use crate::mlp::{Layer, Mlp};
+
+/// Error reading a serialized network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseMlpError {
+    /// The header line is missing or has the wrong magic/version.
+    BadHeader,
+    /// A structural line (layer counts, shapes) is malformed.
+    BadStructure(String),
+    /// A numeric field failed to parse.
+    BadNumber(String),
+    /// The input ended before the network was complete.
+    UnexpectedEof,
+}
+
+impl fmt::Display for ParseMlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMlpError::BadHeader => write!(f, "missing or unsupported header (want `mlp v1`)"),
+            ParseMlpError::BadStructure(s) => write!(f, "malformed structure line: {s}"),
+            ParseMlpError::BadNumber(s) => write!(f, "malformed number: {s}"),
+            ParseMlpError::UnexpectedEof => write!(f, "unexpected end of input"),
+        }
+    }
+}
+
+impl Error for ParseMlpError {}
+
+fn activation_name(a: Activation) -> &'static str {
+    match a {
+        Activation::Sigmoid => "sigmoid",
+        Activation::Tanh => "tanh",
+        Activation::Relu => "relu",
+        Activation::Identity => "identity",
+    }
+}
+
+fn activation_from(name: &str) -> Result<Activation, ParseMlpError> {
+    match name {
+        "sigmoid" => Ok(Activation::Sigmoid),
+        "tanh" => Ok(Activation::Tanh),
+        "relu" => Ok(Activation::Relu),
+        "identity" => Ok(Activation::Identity),
+        other => Err(ParseMlpError::BadStructure(format!("unknown activation `{other}`"))),
+    }
+}
+
+/// Serialize a network to a writer. A `&mut` reference works as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_mlp<W: Write>(mut w: W, mlp: &Mlp) -> std::io::Result<()> {
+    writeln!(w, "mlp v1")?;
+    writeln!(w, "layers {}", mlp.layers().len())?;
+    for layer in mlp.layers() {
+        writeln!(
+            w,
+            "layer {} {} {}",
+            layer.inputs(),
+            layer.outputs(),
+            activation_name(layer.activation)
+        )?;
+        let biases: Vec<String> = layer.biases.iter().map(|b| format!("{b:?}")).collect();
+        writeln!(w, "b {}", biases.join(" "))?;
+        for r in 0..layer.outputs() {
+            let row: Vec<String> = layer.weights.row(r).iter().map(|v| format!("{v:?}")).collect();
+            writeln!(w, "w {}", row.join(" "))?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a network from a buffered reader. A `&mut` reference works as
+/// the reader.
+///
+/// # Errors
+///
+/// Returns [`ParseMlpError`] on malformed input (I/O errors surface as
+/// [`ParseMlpError::UnexpectedEof`] after the stream ends).
+pub fn read_mlp<R: BufRead>(r: R) -> Result<Mlp, ParseMlpError> {
+    let mut lines = r.lines().map_while(Result::ok);
+    let header = lines.next().ok_or(ParseMlpError::UnexpectedEof)?;
+    if header.trim() != "mlp v1" {
+        return Err(ParseMlpError::BadHeader);
+    }
+    let count_line = lines.next().ok_or(ParseMlpError::UnexpectedEof)?;
+    let layer_count: usize = count_line
+        .strip_prefix("layers ")
+        .ok_or_else(|| ParseMlpError::BadStructure(count_line.clone()))?
+        .trim()
+        .parse()
+        .map_err(|_| ParseMlpError::BadNumber(count_line.clone()))?;
+    if layer_count == 0 {
+        return Err(ParseMlpError::BadStructure("layers 0".into()));
+    }
+
+    let mut layers = Vec::with_capacity(layer_count);
+    for _ in 0..layer_count {
+        let head = lines.next().ok_or(ParseMlpError::UnexpectedEof)?;
+        let mut parts = head.split_whitespace();
+        if parts.next() != Some("layer") {
+            return Err(ParseMlpError::BadStructure(head.clone()));
+        }
+        let parse_dim = |p: Option<&str>, line: &str| -> Result<usize, ParseMlpError> {
+            p.ok_or_else(|| ParseMlpError::BadStructure(line.to_string()))?
+                .parse()
+                .map_err(|_| ParseMlpError::BadNumber(line.to_string()))
+        };
+        let inputs = parse_dim(parts.next(), &head)?;
+        let outputs = parse_dim(parts.next(), &head)?;
+        let activation =
+            activation_from(parts.next().ok_or_else(|| ParseMlpError::BadStructure(head.clone()))?)?;
+        if inputs == 0 || outputs == 0 {
+            return Err(ParseMlpError::BadStructure(head));
+        }
+
+        let parse_floats = |line: &str, prefix: &str, n: usize| -> Result<Vec<f64>, ParseMlpError> {
+            let body = line
+                .strip_prefix(prefix)
+                .ok_or_else(|| ParseMlpError::BadStructure(line.to_string()))?;
+            let values: Result<Vec<f64>, _> =
+                body.split_whitespace().map(str::parse::<f64>).collect();
+            let values = values.map_err(|_| ParseMlpError::BadNumber(line.to_string()))?;
+            if values.len() != n {
+                return Err(ParseMlpError::BadStructure(format!(
+                    "expected {n} values, got {} in `{line}`",
+                    values.len()
+                )));
+            }
+            Ok(values)
+        };
+
+        let bias_line = lines.next().ok_or(ParseMlpError::UnexpectedEof)?;
+        let biases = parse_floats(&bias_line, "b ", outputs)?;
+        let mut rows = Vec::with_capacity(outputs);
+        for _ in 0..outputs {
+            let row_line = lines.next().ok_or(ParseMlpError::UnexpectedEof)?;
+            rows.push(parse_floats(&row_line, "w ", inputs)?);
+        }
+        let mut layer = Layer::zeros(inputs, outputs, activation);
+        layer.weights = Matrix::from_rows(&rows);
+        layer.biases = biases;
+        layers.push(layer);
+    }
+    Ok(Mlp::from_layers(layers))
+}
+
+impl Mlp {
+    /// Serialize to the `mlp v1` text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut buf = Vec::new();
+        write_mlp(&mut buf, self).expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("format is ASCII")
+    }
+
+    /// Parse a network from the `mlp v1` text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseMlpError`] on malformed input.
+    pub fn from_text(text: &str) -> Result<Mlp, ParseMlpError> {
+        read_mlp(text.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::MlpBuilder;
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let net = MlpBuilder::new(&[3, 7, 2])
+            .hidden_activation(Activation::Tanh)
+            .output_activation(Activation::Identity)
+            .seed(42)
+            .build();
+        let text = net.to_text();
+        let back = Mlp::from_text(&text).unwrap();
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn format_is_humane() {
+        let net = MlpBuilder::new(&[2, 3, 1]).seed(1).build();
+        let text = net.to_text();
+        assert!(text.starts_with("mlp v1\nlayers 2\nlayer 2 3 sigmoid\n"));
+        assert!(text.contains("layer 3 1 sigmoid"));
+    }
+
+    #[test]
+    fn writer_reader_functions_take_references() {
+        let net = MlpBuilder::new(&[1, 2, 1]).seed(0).build();
+        let mut buf = Vec::new();
+        write_mlp(&mut buf, &net).unwrap();
+        let back = read_mlp(&mut buf.as_slice()).unwrap();
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_with_reasons() {
+        assert_eq!(Mlp::from_text(""), Err(ParseMlpError::UnexpectedEof));
+        assert_eq!(Mlp::from_text("nope"), Err(ParseMlpError::BadHeader));
+        assert!(matches!(
+            Mlp::from_text("mlp v1\nlayers x"),
+            Err(ParseMlpError::BadNumber(_))
+        ));
+        assert!(matches!(
+            Mlp::from_text("mlp v1\nlayers 1\nlayer 2 1 frobnicate"),
+            Err(ParseMlpError::BadStructure(_))
+        ));
+        assert!(matches!(
+            Mlp::from_text("mlp v1\nlayers 1\nlayer 2 1 sigmoid\nb 0.0\nw 1.0"),
+            Err(ParseMlpError::BadStructure(_)) // row needs 2 values
+        ));
+        assert_eq!(
+            Mlp::from_text("mlp v1\nlayers 1\nlayer 2 1 sigmoid\nb 0.0"),
+            Err(ParseMlpError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn extreme_values_survive() {
+        let mut net = MlpBuilder::new(&[1, 1]).seed(0).build();
+        net.layers_mut()[0].weights[(0, 0)] = f64::MIN_POSITIVE;
+        net.layers_mut()[0].biases[0] = -1.234_567_890_123_456_7e300;
+        let back = Mlp::from_text(&net.to_text()).unwrap();
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ParseMlpError::BadHeader,
+            ParseMlpError::BadStructure("x".into()),
+            ParseMlpError::BadNumber("y".into()),
+            ParseMlpError::UnexpectedEof,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

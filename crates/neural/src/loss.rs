@@ -1,0 +1,232 @@
+//! The (per-port weighted) squared-error loss.
+//!
+//! Paper Eq (4) is the plain squared error `Σ_n Σ_p (t_p(n) − o_p(n))²`;
+//! Eq (5) generalizes it to `Σ_n Σ_p (w_p·(t_p(n) − o_p(n)))²` so MEI can
+//! penalize errors on most-significant-bit ports exponentially harder than
+//! LSB ports. [`WeightedMse`] implements both (uniform weights recover
+//! Eq (4)).
+
+use std::fmt;
+
+/// Squared-error loss with a fixed non-negative weight per output port.
+///
+/// ```
+/// use neural::WeightedMse;
+///
+/// let uniform = WeightedMse::uniform(2);
+/// assert_eq!(uniform.loss(&[1.0, 0.0], &[0.0, 0.0]), 0.5);
+///
+/// // An MSB-weighted loss: errors on port 0 cost 4× errors on port 1.
+/// let weighted = WeightedMse::new(vec![2.0, 1.0]);
+/// assert_eq!(weighted.loss(&[1.0, 0.0], &[0.0, 0.0]), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedMse {
+    weights: Vec<f64>,
+}
+
+impl WeightedMse {
+    /// A weighted loss with the given per-port weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, or any weight is negative or
+    /// non-finite, or all weights are zero.
+    #[must_use]
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "loss needs at least one output port");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "port weights must be finite and non-negative: {weights:?}"
+        );
+        assert!(weights.iter().any(|&w| w > 0.0), "at least one port weight must be positive");
+        Self { weights }
+    }
+
+    /// The plain Eq (4) loss over `ports` outputs (all weights 1).
+    #[must_use]
+    pub fn uniform(ports: usize) -> Self {
+        Self::new(vec![1.0; ports])
+    }
+
+    /// The per-port weights.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of output ports this loss expects.
+    #[must_use]
+    pub fn ports(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Loss for one sample: `½·Σ_p (w_p (t_p − o_p))²`.
+    ///
+    /// (The ½ cancels against the derivative's 2 and is conventional; it does
+    /// not change any argmin.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices don't match the port count.
+    #[must_use]
+    pub fn loss(&self, target: &[f64], output: &[f64]) -> f64 {
+        assert_eq!(target.len(), self.ports(), "target length");
+        assert_eq!(output.len(), self.ports(), "output length");
+        0.5 * self
+            .weights
+            .iter()
+            .zip(target.iter().zip(output))
+            .map(|(w, (t, o))| {
+                let e = w * (t - o);
+                e * e
+            })
+            .sum::<f64>()
+    }
+
+    /// Gradient of the per-sample loss with respect to the outputs:
+    /// `∂L/∂o_p = −w_p²·(t_p − o_p)`, written into `grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from the port count.
+    pub fn gradient_into(&self, target: &[f64], output: &[f64], grad: &mut [f64]) {
+        assert_eq!(target.len(), self.ports(), "target length");
+        assert_eq!(output.len(), self.ports(), "output length");
+        assert_eq!(grad.len(), self.ports(), "gradient buffer length");
+        for p in 0..self.ports() {
+            let w2 = self.weights[p] * self.weights[p];
+            grad[p] = -w2 * (target[p] - output[p]);
+        }
+    }
+
+    /// Mean per-sample loss over a set of (target, output) pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty or lengths mismatch.
+    #[must_use]
+    pub fn mean_loss<'a, I>(&self, pairs: I) -> f64
+    where
+        I: IntoIterator<Item = (&'a [f64], &'a [f64])>,
+    {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (t, o) in pairs {
+            total += self.loss(t, o);
+            count += 1;
+        }
+        assert!(count > 0, "mean loss of an empty set");
+        total / count as f64
+    }
+}
+
+impl fmt::Display for WeightedMse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.weights.iter().all(|&w| w == self.weights[0]) {
+            write!(f, "MSE over {} ports (uniform)", self.ports())
+        } else {
+            write!(
+                f,
+                "weighted MSE over {} ports (w ∈ [{:.3e}, {:.3e}])",
+                self.ports(),
+                self.weights.iter().cloned().fold(f64::INFINITY, f64::min),
+                self.weights.iter().cloned().fold(0.0, f64::max),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_loss_matches_halved_sse() {
+        let l = WeightedMse::uniform(3);
+        let loss = l.loss(&[1.0, 2.0, 3.0], &[1.0, 1.0, 1.0]);
+        assert!((loss - 0.5 * (0.0 + 1.0 + 4.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weights_scale_quadratically() {
+        let l = WeightedMse::new(vec![2.0]);
+        // error 1 with weight 2 → ½·(2·1)² = 2
+        assert_eq!(l.loss(&[1.0], &[0.0]), 2.0);
+    }
+
+    #[test]
+    fn zero_loss_at_perfect_output() {
+        let l = WeightedMse::new(vec![1.0, 0.5, 0.25]);
+        assert_eq!(l.loss(&[0.3, 0.6, 0.9], &[0.3, 0.6, 0.9]), 0.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let l = WeightedMse::new(vec![1.0, 0.5]);
+        let target = [0.8, 0.2];
+        let output = [0.3, 0.6];
+        let mut grad = [0.0; 2];
+        l.gradient_into(&target, &output, &mut grad);
+        let h = 1e-7;
+        for p in 0..2 {
+            let mut plus = output;
+            plus[p] += h;
+            let mut minus = output;
+            minus[p] -= h;
+            let numeric = (l.loss(&target, &plus) - l.loss(&target, &minus)) / (2.0 * h);
+            assert!((numeric - grad[p]).abs() < 1e-6, "port {p}: {numeric} vs {}", grad[p]);
+        }
+    }
+
+    #[test]
+    fn zero_weight_port_is_ignored() {
+        let l = WeightedMse::new(vec![1.0, 0.0]);
+        assert_eq!(l.loss(&[0.0, 0.0], &[0.0, 100.0]), 0.0);
+        let mut grad = [0.0; 2];
+        l.gradient_into(&[0.0, 0.0], &[0.0, 100.0], &mut grad);
+        assert_eq!(grad[1], 0.0);
+    }
+
+    #[test]
+    fn mean_loss_averages() {
+        let l = WeightedMse::uniform(1);
+        let t1 = [1.0];
+        let o1 = [0.0];
+        let t2 = [1.0];
+        let o2 = [1.0];
+        let pairs: Vec<(&[f64], &[f64])> = vec![(&t1, &o1), (&t2, &o2)];
+        assert_eq!(l.mean_loss(pairs), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output port")]
+    fn rejects_empty_weights() {
+        let _ = WeightedMse::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_weight() {
+        let _ = WeightedMse::new(vec![1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port weight must be positive")]
+    fn rejects_all_zero_weights() {
+        let _ = WeightedMse::new(vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target length")]
+    fn rejects_mismatched_target() {
+        let l = WeightedMse::uniform(2);
+        let _ = l.loss(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn display_distinguishes_uniform() {
+        assert!(format!("{}", WeightedMse::uniform(4)).contains("uniform"));
+        assert!(format!("{}", WeightedMse::new(vec![1.0, 0.5])).contains("weighted"));
+    }
+}

@@ -1,0 +1,334 @@
+//! The multilayer perceptron.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::activation::Activation;
+use crate::matrix::Matrix;
+
+/// One dense layer: `y = f(W·x + b)` with `W` stored `outputs × inputs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Weight matrix, `outputs × inputs`.
+    pub weights: Matrix,
+    /// Bias vector, length `outputs`.
+    pub biases: Vec<f64>,
+    /// The nonlinearity applied to the preactivation.
+    pub activation: Activation,
+}
+
+impl Layer {
+    /// Create a zero-initialized layer.
+    #[must_use]
+    pub fn zeros(inputs: usize, outputs: usize, activation: Activation) -> Self {
+        Self {
+            weights: Matrix::zeros(outputs, inputs),
+            biases: vec![0.0; outputs],
+            activation,
+        }
+    }
+
+    /// Xavier/Glorot-initialized layer: weights uniform in
+    /// `±√(6/(fan_in+fan_out))`, biases zero.
+    #[must_use]
+    pub fn xavier(inputs: usize, outputs: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        let limit = (6.0 / (inputs + outputs) as f64).sqrt();
+        Self {
+            weights: Matrix::random_uniform(outputs, inputs, limit, rng),
+            biases: vec![0.0; outputs],
+            activation,
+        }
+    }
+
+    /// Number of input ports.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of output ports.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Forward pass: `f(W·x + b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != inputs()`.
+    #[must_use]
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut z = self.weights.matvec(x);
+        for (zi, b) in z.iter_mut().zip(&self.biases) {
+            *zi += b;
+        }
+        self.activation.apply_in_place(&mut z);
+        z
+    }
+
+    /// Number of trainable parameters (weights + biases).
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.biases.len()
+    }
+}
+
+/// A feedforward multilayer perceptron (paper Eq (3) stacked per layer).
+///
+/// Construct with [`MlpBuilder`]:
+///
+/// ```
+/// use neural::{Activation, MlpBuilder};
+///
+/// let net = MlpBuilder::new(&[3, 8, 2]).seed(1).build();
+/// assert_eq!(net.input_dim(), 3);
+/// assert_eq!(net.output_dim(), 2);
+/// let y = net.forward(&[0.1, 0.2, 0.3]);
+/// assert_eq!(y.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Assemble an MLP from explicit layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive layer shapes don't chain.
+    #[must_use]
+    pub fn from_layers(layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "an MLP needs at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].outputs(),
+                w[1].inputs(),
+                "layer output/input dimensions must chain"
+            );
+        }
+        Self { layers }
+    }
+
+    /// The layers, input-side first.
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (the trainer updates weights in place).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Input dimensionality.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].inputs()
+    }
+
+    /// Output dimensionality.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").outputs()
+    }
+
+    /// Node counts per layer, `[inputs, hidden…, outputs]`.
+    #[must_use]
+    pub fn layer_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![self.input_dim()];
+        sizes.extend(self.layers.iter().map(Layer::outputs));
+        sizes
+    }
+
+    /// Total number of trainable parameters.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Forward pass through all layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim()`.
+    #[must_use]
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut a = x.to_vec();
+        for layer in &self.layers {
+            a = layer.forward(&a);
+        }
+        a
+    }
+
+    /// Forward pass that returns the activation of *every* layer, starting
+    /// with the input itself — the trace backprop consumes.
+    #[must_use]
+    pub fn forward_trace(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        let mut trace = Vec::with_capacity(self.layers.len() + 1);
+        trace.push(x.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(trace.last().expect("non-empty trace"));
+            trace.push(next);
+        }
+        trace
+    }
+}
+
+impl fmt::Display for Mlp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sizes: Vec<String> = self.layer_sizes().iter().map(ToString::to_string).collect();
+        write!(f, "MLP {} ({} params)", sizes.join("×"), self.param_count())
+    }
+}
+
+/// Builder for [`Mlp`] with seeded Xavier initialization.
+#[derive(Debug, Clone)]
+pub struct MlpBuilder {
+    sizes: Vec<usize>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+    seed: u64,
+}
+
+impl MlpBuilder {
+    /// Start a builder for the given node counts
+    /// (`[inputs, hidden…, outputs]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    #[must_use]
+    pub fn new(sizes: &[usize]) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be nonzero: {sizes:?}");
+        Self {
+            sizes: sizes.to_vec(),
+            hidden_activation: Activation::Sigmoid,
+            output_activation: Activation::Sigmoid,
+            seed: 0,
+        }
+    }
+
+    /// Activation for hidden layers (default sigmoid).
+    #[must_use]
+    pub fn hidden_activation(mut self, activation: Activation) -> Self {
+        self.hidden_activation = activation;
+        self
+    }
+
+    /// Activation for the output layer (default sigmoid).
+    #[must_use]
+    pub fn output_activation(mut self, activation: Activation) -> Self {
+        self.output_activation = activation;
+        self
+    }
+
+    /// RNG seed for weight initialization (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the network.
+    #[must_use]
+    pub fn build(&self) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let last = self.sizes.len() - 2;
+        let layers = self
+            .sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i == last { self.output_activation } else { self.hidden_activation };
+                Layer::xavier(w[0], w[1], act, &mut rng)
+            })
+            .collect();
+        Mlp::from_layers(layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_expected_shape() {
+        let net = MlpBuilder::new(&[4, 7, 3]).seed(5).build();
+        assert_eq!(net.layer_sizes(), vec![4, 7, 3]);
+        assert_eq!(net.param_count(), (4 * 7 + 7) + (7 * 3 + 3));
+        assert_eq!(net.layers().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn builder_rejects_single_size() {
+        let _ = MlpBuilder::new(&[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes must be nonzero")]
+    fn builder_rejects_zero_size() {
+        let _ = MlpBuilder::new(&[4, 0, 2]);
+    }
+
+    #[test]
+    fn same_seed_same_network_different_seed_different() {
+        let a = MlpBuilder::new(&[2, 3, 1]).seed(9).build();
+        let b = MlpBuilder::new(&[2, 3, 1]).seed(9).build();
+        let c = MlpBuilder::new(&[2, 3, 1]).seed(10).build();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn forward_output_in_sigmoid_range() {
+        let net = MlpBuilder::new(&[3, 5, 2]).seed(1).build();
+        let y = net.forward(&[10.0, -10.0, 0.0]);
+        assert!(y.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn forward_trace_layers_match_forward() {
+        let net = MlpBuilder::new(&[2, 4, 4, 1]).seed(3).build();
+        let x = [0.25, -0.75];
+        let trace = net.forward_trace(&x);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace[0], x.to_vec());
+        assert_eq!(trace[3], net.forward(&x));
+    }
+
+    #[test]
+    fn output_activation_override() {
+        let net = MlpBuilder::new(&[1, 2, 1])
+            .output_activation(Activation::Identity)
+            .seed(2)
+            .build();
+        assert_eq!(net.layers()[1].activation, Activation::Identity);
+        assert_eq!(net.layers()[0].activation, Activation::Sigmoid);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must chain")]
+    fn from_layers_rejects_mismatched_chain() {
+        let l1 = Layer::zeros(2, 3, Activation::Sigmoid);
+        let l2 = Layer::zeros(4, 1, Activation::Sigmoid);
+        let _ = Mlp::from_layers(vec![l1, l2]);
+    }
+
+    #[test]
+    fn zero_layer_outputs_bias_activation() {
+        let l = Layer::zeros(3, 2, Activation::Sigmoid);
+        assert_eq!(l.forward(&[1.0, 2.0, 3.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn display_shows_topology() {
+        let net = MlpBuilder::new(&[2, 8, 2]).build();
+        assert!(format!("{net}").contains("2×8×2"));
+    }
+}

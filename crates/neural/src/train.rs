@@ -1,0 +1,508 @@
+//! Mini-batch SGD with momentum: the training algorithm behind every RCS in
+//! the reproduction.
+//!
+//! "The training process of an ANN can be described as adjusting the network
+//! weights to minimize the difference between the target and actual outputs"
+//! (paper §3.1, Eq (4)/(5)). The trainer is fully seeded so experiments are
+//! reproducible run-to-run.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::data::Dataset;
+use crate::loss::WeightedMse;
+use crate::matrix::Matrix;
+use crate::mlp::Mlp;
+
+/// Hyperparameters of a training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// SGD step size.
+    pub learning_rate: f64,
+    /// Momentum coefficient in `[0, 1)`.
+    pub momentum: f64,
+    /// Mini-batch size (clamped to the dataset size).
+    pub batch_size: usize,
+    /// Multiplicative learning-rate decay applied after each epoch.
+    pub lr_decay: f64,
+    /// RNG seed controlling shuffling.
+    pub seed: u64,
+    /// Stop early when the epoch loss drops below this value.
+    pub target_loss: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 200,
+            learning_rate: 0.5,
+            momentum: 0.9,
+            batch_size: 16,
+            lr_decay: 1.0,
+            seed: 0,
+            target_loss: 0.0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Validate the configuration, panicking with a descriptive message on
+    /// nonsensical values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any hyperparameter is out of range.
+    pub fn validate(&self) {
+        assert!(self.epochs > 0, "epochs must be positive");
+        assert!(
+            self.learning_rate > 0.0 && self.learning_rate.is_finite(),
+            "learning rate must be positive and finite"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.momentum),
+            "momentum must be in [0, 1), got {}",
+            self.momentum
+        );
+        assert!(self.batch_size > 0, "batch size must be positive");
+        assert!(
+            self.lr_decay > 0.0 && self.lr_decay <= 1.0,
+            "lr decay must be in (0, 1], got {}",
+            self.lr_decay
+        );
+        assert!(self.target_loss >= 0.0, "target loss must be non-negative");
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Epochs actually executed (≤ configured epochs if the target loss was
+    /// reached early).
+    pub epochs_run: usize,
+    /// Mean per-sample loss over the final epoch.
+    pub final_loss: f64,
+    /// Mean per-sample loss after each epoch.
+    pub loss_history: Vec<f64>,
+}
+
+impl fmt::Display for TrainReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trained {} epochs, final loss {:.6}", self.epochs_run, self.final_loss)
+    }
+}
+
+/// A mini-batch SGD trainer with momentum and a pluggable per-port weighted
+/// loss.
+///
+/// See the crate-level example for a full training run.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+    loss: Option<WeightedMse>,
+}
+
+impl Trainer {
+    /// Trainer with the plain (uniform) Eq (4) loss.
+    #[must_use]
+    pub fn new(config: TrainConfig) -> Self {
+        config.validate();
+        Self { config, loss: None }
+    }
+
+    /// Trainer with an explicit per-port weighted loss (paper Eq (5)).
+    #[must_use]
+    pub fn with_loss(config: TrainConfig, loss: WeightedMse) -> Self {
+        config.validate();
+        Self { config, loss: Some(loss) }
+    }
+
+    /// The training configuration.
+    #[must_use]
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Train `mlp` on `data`, mutating its weights in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset dimensions don't match the network, or if a
+    /// configured loss has a different port count than the network output.
+    pub fn train(&self, mlp: &mut Mlp, data: &Dataset) -> TrainReport {
+        assert_eq!(data.input_dim(), mlp.input_dim(), "dataset input dim vs network");
+        assert_eq!(data.output_dim(), mlp.output_dim(), "dataset output dim vs network");
+        let loss = match &self.loss {
+            Some(l) => {
+                assert_eq!(l.ports(), mlp.output_dim(), "loss port count vs network output");
+                l.clone()
+            }
+            None => WeightedMse::uniform(mlp.output_dim()),
+        };
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let n = data.len();
+        let batch = self.config.batch_size.min(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut lr = self.config.learning_rate;
+
+        // Momentum velocity buffers, one per layer.
+        let mut vel_w: Vec<Matrix> = mlp
+            .layers()
+            .iter()
+            .map(|l| Matrix::zeros(l.outputs(), l.inputs()))
+            .collect();
+        let mut vel_b: Vec<Vec<f64>> = mlp.layers().iter().map(|l| vec![0.0; l.outputs()]).collect();
+        // Gradient accumulators.
+        let mut grad_w: Vec<Matrix> = vel_w.clone();
+        let mut grad_b: Vec<Vec<f64>> = vel_b.clone();
+
+        let mut history = Vec::with_capacity(self.config.epochs);
+        let mut epochs_run = 0;
+
+        for _epoch in 0..self.config.epochs {
+            epochs_run += 1;
+            shuffle_indices(&mut order, &mut rng);
+            let mut epoch_loss = 0.0;
+
+            for chunk in order.chunks(batch) {
+                for g in &mut grad_w {
+                    g.fill_zero();
+                }
+                for g in &mut grad_b {
+                    g.fill(0.0);
+                }
+
+                for &i in chunk {
+                    let (x, t) = data.sample(i);
+                    let trace = mlp.forward_trace(x);
+                    let output = trace.last().expect("trace non-empty");
+                    epoch_loss += loss.loss(t, output);
+
+                    // δ at the output layer: ∂L/∂o ⊙ f'(o).
+                    let mut delta = vec![0.0; output.len()];
+                    loss.gradient_into(t, output, &mut delta);
+                    let layers = mlp.layers();
+                    for (d, &o) in delta.iter_mut().zip(output.iter()) {
+                        *d *= layers.last().expect("layers").activation.derivative_from_output(o);
+                    }
+
+                    // Backward through the layers.
+                    for l in (0..layers.len()).rev() {
+                        let a_prev = &trace[l];
+                        grad_w[l].add_outer(1.0, &delta, a_prev);
+                        for (gb, d) in grad_b[l].iter_mut().zip(&delta) {
+                            *gb += d;
+                        }
+                        if l > 0 {
+                            let mut prev_delta = layers[l].weights.matvec_transpose(&delta);
+                            let act = layers[l - 1].activation;
+                            for (d, &a) in prev_delta.iter_mut().zip(a_prev.iter()) {
+                                *d *= act.derivative_from_output(a);
+                            }
+                            delta = prev_delta;
+                        }
+                    }
+                }
+
+                // Momentum update: v ← μ·v − (lr/|batch|)·∇ ; θ ← θ + v.
+                let scale = lr / chunk.len() as f64;
+                for (l, layer) in mlp.layers_mut().iter_mut().enumerate() {
+                    vel_w[l].scale(self.config.momentum);
+                    vel_w[l].add_scaled(-scale, &grad_w[l]);
+                    layer.weights.add_scaled(1.0, &vel_w[l]);
+                    for j in 0..layer.biases.len() {
+                        vel_b[l][j] =
+                            self.config.momentum * vel_b[l][j] - scale * grad_b[l][j];
+                        layer.biases[j] += vel_b[l][j];
+                    }
+                }
+            }
+
+            let mean_loss = epoch_loss / n as f64;
+            history.push(mean_loss);
+            lr *= self.config.lr_decay;
+            if mean_loss <= self.config.target_loss {
+                break;
+            }
+        }
+
+        TrainReport {
+            epochs_run,
+            final_loss: *history.last().expect("at least one epoch"),
+            loss_history: history,
+        }
+    }
+}
+
+impl Trainer {
+    /// Train with patience-based early stopping on a validation set: after
+    /// every epoch the validation loss is measured, and training stops once
+    /// it has failed to improve for `patience` consecutive epochs. The
+    /// network is left at its *last* state (not rolled back); the report's
+    /// history tracks the validation loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Trainer::train`], or if
+    /// `patience` is zero, or the validation set dimensions mismatch.
+    pub fn train_with_validation(
+        &self,
+        mlp: &mut Mlp,
+        train: &Dataset,
+        validation: &Dataset,
+        patience: usize,
+    ) -> TrainReport {
+        assert!(patience > 0, "patience must be positive");
+        assert_eq!(validation.input_dim(), mlp.input_dim(), "validation input dim");
+        assert_eq!(validation.output_dim(), mlp.output_dim(), "validation output dim");
+
+        let mut one_epoch = self.clone();
+        one_epoch.config.epochs = 1;
+        let mut lr = self.config.learning_rate;
+        let mut best = f64::INFINITY;
+        let mut stalled = 0usize;
+        let mut history = Vec::new();
+        let mut epochs_run = 0usize;
+
+        for epoch in 0..self.config.epochs {
+            one_epoch.config.learning_rate = lr;
+            one_epoch.config.seed = self.config.seed.wrapping_add(epoch as u64);
+            let _ = one_epoch.train(mlp, train);
+            lr *= self.config.lr_decay;
+            epochs_run += 1;
+
+            let val = crate::metrics::mlp_mse(mlp, validation);
+            history.push(val);
+            if val < best - 1e-12 {
+                best = val;
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled >= patience {
+                    break;
+                }
+            }
+            if val <= self.config.target_loss {
+                break;
+            }
+        }
+
+        TrainReport {
+            epochs_run,
+            final_loss: *history.last().expect("at least one epoch"),
+            loss_history: history,
+        }
+    }
+}
+
+/// Fisher–Yates shuffle of an index permutation.
+fn shuffle_indices<R: Rng + ?Sized>(order: &mut [usize], rng: &mut R) {
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::mlp::MlpBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_dataset() -> Dataset {
+        Dataset::new(
+            vec![vec![0., 0.], vec![0., 1.], vec![1., 0.], vec![1., 1.]],
+            vec![vec![0.], vec![1.], vec![1.], vec![0.]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn xor_converges() {
+        let mut net = MlpBuilder::new(&[2, 6, 1]).hidden_activation(Activation::Tanh).seed(3).build();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 3000,
+            learning_rate: 0.5,
+            batch_size: 4,
+            ..TrainConfig::default()
+        });
+        let report = trainer.train(&mut net, &xor_dataset());
+        assert!(report.final_loss < 0.01, "final loss {}", report.final_loss);
+        // Predictions round to the right class.
+        for (x, t) in xor_dataset().iter() {
+            let y = net.forward(x)[0];
+            assert_eq!((y >= 0.5) as u8 as f64, t[0], "x={x:?} y={y}");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seeds() {
+        let run = || {
+            let mut net = MlpBuilder::new(&[2, 4, 1]).seed(1).build();
+            let trainer = Trainer::new(TrainConfig { epochs: 50, ..TrainConfig::default() });
+            let r = trainer.train(&mut net, &xor_dataset());
+            (net, r.final_loss)
+        };
+        let (n1, l1) = run();
+        let (n2, l2) = run();
+        assert_eq!(n1, n2);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn loss_decreases_on_average() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = Dataset::generate(128, &mut rng, |r| {
+            let x: f64 = r.gen();
+            (vec![x], vec![(x * std::f64::consts::PI).sin() * 0.4 + 0.5])
+        })
+        .unwrap();
+        let mut net = MlpBuilder::new(&[1, 8, 1]).seed(2).build();
+        let trainer = Trainer::new(TrainConfig { epochs: 100, learning_rate: 0.8, ..TrainConfig::default() });
+        let report = trainer.train(&mut net, &data);
+        let first = report.loss_history[0];
+        assert!(report.final_loss < 0.5 * first, "{} -> {}", first, report.final_loss);
+    }
+
+    #[test]
+    fn target_loss_stops_early() {
+        let mut net = MlpBuilder::new(&[2, 6, 1]).hidden_activation(Activation::Tanh).seed(3).build();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 100_000,
+            learning_rate: 0.5,
+            batch_size: 4,
+            target_loss: 0.05,
+            ..TrainConfig::default()
+        });
+        let report = trainer.train(&mut net, &xor_dataset());
+        assert!(report.epochs_run < 100_000);
+        assert!(report.final_loss <= 0.05);
+    }
+
+    #[test]
+    fn weighted_loss_prioritizes_heavy_port() {
+        // Two outputs driven by conflicting targets for the same inputs: the
+        // heavily-weighted port must end up much more accurate.
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = Dataset::generate(64, &mut rng, |r| {
+            let x: f64 = r.gen();
+            // Port 0: smooth function; port 1: high-frequency function the
+            // tiny network cannot also fit.
+            (vec![x], vec![x, (20.0 * x).sin() * 0.5 + 0.5])
+        })
+        .unwrap();
+        let make = |weights: Vec<f64>| {
+            let mut net = MlpBuilder::new(&[1, 4, 2]).seed(5).build();
+            let trainer = Trainer::with_loss(
+                TrainConfig { epochs: 400, learning_rate: 0.8, ..TrainConfig::default() },
+                WeightedMse::new(weights),
+            );
+            trainer.train(&mut net, &data);
+            net
+        };
+        let err_port0 = |net: &Mlp| -> f64 {
+            data.iter()
+                .map(|(x, t)| {
+                    let y = net.forward(x);
+                    (y[0] - t[0]).abs()
+                })
+                .sum::<f64>()
+                / data.len() as f64
+        };
+        let favored = make(vec![1.0, 0.01]);
+        let unfavored = make(vec![0.01, 1.0]);
+        assert!(
+            err_port0(&favored) < err_port0(&unfavored),
+            "weighting port 0 should reduce its error: {} vs {}",
+            err_port0(&favored),
+            err_port0(&unfavored)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset input dim")]
+    fn train_rejects_dimension_mismatch() {
+        let mut net = MlpBuilder::new(&[3, 4, 1]).build();
+        let trainer = Trainer::new(TrainConfig::default());
+        let _ = trainer.train(&mut net, &xor_dataset());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss port count")]
+    fn train_rejects_loss_port_mismatch() {
+        let mut net = MlpBuilder::new(&[2, 4, 1]).build();
+        let trainer = Trainer::with_loss(TrainConfig::default(), WeightedMse::uniform(3));
+        let _ = trainer.train(&mut net, &xor_dataset());
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn config_validation_rejects_bad_momentum() {
+        let _ = Trainer::new(TrainConfig { momentum: 1.5, ..TrainConfig::default() });
+    }
+
+    #[test]
+    fn validation_early_stopping_halts_before_budget() {
+        // A validation set the network cannot keep improving on: training
+        // must stop once the patience runs out, well before 100k epochs.
+        let mut rng = StdRng::seed_from_u64(4);
+        let train = Dataset::generate(64, &mut rng, |r| {
+            let x: f64 = r.gen();
+            (vec![x], vec![x])
+        })
+        .unwrap();
+        let val = Dataset::generate(32, &mut rng, |r| {
+            let x: f64 = r.gen();
+            (vec![x], vec![x])
+        })
+        .unwrap();
+        let mut net = MlpBuilder::new(&[1, 4, 1]).seed(1).build();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 100_000,
+            learning_rate: 0.5,
+            ..TrainConfig::default()
+        });
+        let report = trainer.train_with_validation(&mut net, &train, &val, 10);
+        assert!(report.epochs_run < 100_000, "ran {} epochs", report.epochs_run);
+        assert_eq!(report.loss_history.len(), report.epochs_run);
+    }
+
+    #[test]
+    fn validation_history_tracks_validation_not_training() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let train = Dataset::generate(64, &mut rng, |r| {
+            let x: f64 = r.gen();
+            (vec![x], vec![1.0 - x])
+        })
+        .unwrap();
+        let val = train.clone();
+        let mut net = MlpBuilder::new(&[1, 4, 1]).seed(2).build();
+        let trainer = Trainer::new(TrainConfig { epochs: 30, ..TrainConfig::default() });
+        let report = trainer.train_with_validation(&mut net, &train, &val, 30);
+        let direct = crate::metrics::mlp_mse(&net, &val);
+        assert!((report.final_loss - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "patience must be positive")]
+    fn zero_patience_rejected() {
+        let mut net = MlpBuilder::new(&[2, 2, 1]).build();
+        let trainer = Trainer::new(TrainConfig::default());
+        let data = xor_dataset();
+        let _ = trainer.train_with_validation(&mut net, &data, &data, 0);
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let r = TrainReport { epochs_run: 10, final_loss: 0.125, loss_history: vec![0.125] };
+        let s = format!("{r}");
+        assert!(s.contains("10") && s.contains("0.125"));
+    }
+}

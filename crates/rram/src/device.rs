@@ -1,0 +1,322 @@
+//! The programmable RRAM cell.
+//!
+//! [`RramDevice`] is the state machine sitting in every crossbar cross-point:
+//! a conductance that can be (re)programmed inside the window defined by its
+//! [`DeviceParams`], read back, and perturbed by variation models.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::params::{DeviceParams, QuantizationMode};
+use crate::variation::VariationModel;
+use rand::Rng;
+
+/// Error returned when a device cannot be programmed to a requested state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgramDeviceError {
+    /// The conductance the caller asked for.
+    pub requested: f64,
+    /// The feasible window of the device.
+    pub window: (f64, f64),
+}
+
+impl fmt::Display for ProgramDeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requested conductance {:.3e} S outside programmable window [{:.3e}, {:.3e}] S",
+            self.requested, self.window.0, self.window.1
+        )
+    }
+}
+
+impl Error for ProgramDeviceError {}
+
+/// A single two-terminal RRAM cell with a programmable conductance state.
+///
+/// The cell distinguishes the *target* conductance (what the programming
+/// circuit aimed for) from the *actual* conductance (after process variation
+/// is applied by [`RramDevice::disturb`]); both are readable so higher layers
+/// can report programming error statistics.
+///
+/// ```
+/// use rram::{DeviceParams, RramDevice};
+///
+/// # fn main() -> Result<(), rram::ProgramDeviceError> {
+/// let mut cell = RramDevice::new(DeviceParams::ideal());
+/// cell.program(5e-4)?;
+/// assert_eq!(cell.conductance(), 5e-4);
+/// assert_eq!(cell.resistance(), 1.0 / 5e-4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RramDevice {
+    params: DeviceParams,
+    /// Conductance requested by the last `program` call (post-quantization).
+    target: f64,
+    /// Conductance actually presented to the crossbar (post-variation).
+    actual: f64,
+}
+
+impl RramDevice {
+    /// Create a cell in the fully-RESET (lowest conductance) state.
+    #[must_use]
+    pub fn new(params: DeviceParams) -> Self {
+        Self {
+            params,
+            target: params.g_off,
+            actual: params.g_off,
+        }
+    }
+
+    /// The static parameters of this cell.
+    #[must_use]
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Current (post-variation) conductance in siemens.
+    #[must_use]
+    pub fn conductance(&self) -> f64 {
+        self.actual
+    }
+
+    /// Current resistance in ohms, the reciprocal of
+    /// [`conductance`](Self::conductance).
+    #[must_use]
+    pub fn resistance(&self) -> f64 {
+        1.0 / self.actual
+    }
+
+    /// The conductance the programming circuit targeted (before variation).
+    #[must_use]
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Program the cell to conductance `g`.
+    ///
+    /// The value is snapped to the nearest representable state under the
+    /// cell's [`QuantizationMode`] and becomes both the target and the actual
+    /// conductance (variation is applied separately via
+    /// [`disturb`](Self::disturb)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramDeviceError`] if `g` lies outside the programmable
+    /// window or is not finite. Use [`program_clamped`](Self::program_clamped)
+    /// when saturation is the desired behaviour (as in weight mapping).
+    pub fn program(&mut self, g: f64) -> Result<(), ProgramDeviceError> {
+        if !g.is_finite() || g < self.params.g_off || g > self.params.g_on {
+            return Err(ProgramDeviceError {
+                requested: g,
+                window: (self.params.g_off, self.params.g_on),
+            });
+        }
+        self.target = self.params.quantize(g);
+        self.actual = self.target;
+        Ok(())
+    }
+
+    /// Program the cell to conductance `g`, saturating at the window bounds
+    /// instead of failing. Non-finite inputs saturate to `g_off`.
+    pub fn program_clamped(&mut self, g: f64) {
+        let g = if g.is_finite() { g } else { self.params.g_off };
+        self.target = self.params.quantize(self.params.clamp(g));
+        self.actual = self.target;
+    }
+
+    /// Program the cell to one of its discrete levels (`0` = `g_off`,
+    /// `levels-1` = `g_on`). For continuous cells this programs a fraction of
+    /// the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramDeviceError`] if `level` exceeds the level count of a
+    /// quantized cell.
+    pub fn program_level(&mut self, level: u32) -> Result<(), ProgramDeviceError> {
+        match self.params.quantization {
+            QuantizationMode::Levels(n) => {
+                if level >= n {
+                    return Err(ProgramDeviceError {
+                        requested: f64::from(level),
+                        window: (0.0, f64::from(n - 1)),
+                    });
+                }
+                let t = f64::from(level) / f64::from(n - 1);
+                self.program(self.params.g_off + t * self.params.range())
+            }
+            QuantizationMode::Continuous => {
+                // Treat the level as an 8-bit style fraction over 256 states.
+                let t = f64::from(level.min(255)) / 255.0;
+                self.program(self.params.g_off + t * self.params.range())
+            }
+        }
+    }
+
+    /// Re-sample the actual conductance from the target under a variation
+    /// model (lognormal process variation, stuck-at faults, …).
+    ///
+    /// Calling this repeatedly models re-programming the same target in
+    /// different process corners; the target is never modified.
+    pub fn disturb<R: Rng + ?Sized>(&mut self, variation: &VariationModel, rng: &mut R) {
+        self.actual = variation.apply(self.target, &self.params, rng);
+    }
+
+    /// Restore the actual conductance to the programmed target (an ideal,
+    /// variation-free cell).
+    pub fn restore(&mut self) {
+        self.actual = self.target;
+    }
+
+    /// Move the *actual* conductance (clamped to the window) while leaving
+    /// the programmed target untouched — how retention drift and other
+    /// post-programming physics act on a cell. `restore` then models a
+    /// refresh reprogramming cycle.
+    pub fn drift_to(&mut self, g: f64) {
+        self.actual = self.params.clamp(if g.is_finite() { g } else { self.params.g_off });
+    }
+
+    /// Ohmic read current `I = g·V` at read voltage `v`.
+    ///
+    /// The crossbar solver works in the small-signal regime where the cell is
+    /// linear; large-signal nonlinear conduction lives in
+    /// [`crate::model::FilamentModel::current`].
+    #[must_use]
+    pub fn read_current(&self, v: f64) -> f64 {
+        self.actual * v
+    }
+
+    /// Relative programming error `|actual - target| / target` — nonzero only
+    /// after [`disturb`](Self::disturb).
+    #[must_use]
+    pub fn programming_error(&self) -> f64 {
+        (self.actual - self.target).abs() / self.target
+    }
+}
+
+impl Default for RramDevice {
+    fn default() -> Self {
+        Self::new(DeviceParams::default())
+    }
+}
+
+impl fmt::Display for RramDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RRAM cell @ {:.3e} S (target {:.3e} S)",
+            self.actual, self.target
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variation::VariationModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_device_starts_fully_reset() {
+        let p = DeviceParams::ideal();
+        let d = RramDevice::new(p);
+        assert_eq!(d.conductance(), p.g_off);
+        assert_eq!(d.target(), p.g_off);
+    }
+
+    #[test]
+    fn program_in_window_succeeds_exactly() {
+        let mut d = RramDevice::new(DeviceParams::ideal());
+        d.program(2e-4).unwrap();
+        assert_eq!(d.conductance(), 2e-4);
+    }
+
+    #[test]
+    fn program_out_of_window_errors() {
+        let p = DeviceParams::ideal();
+        let mut d = RramDevice::new(p);
+        let err = d.program(2.0 * p.g_on).unwrap_err();
+        assert_eq!(err.window, (p.g_off, p.g_on));
+        assert!(err.to_string().contains("outside programmable window"));
+    }
+
+    #[test]
+    fn program_nan_errors() {
+        let mut d = RramDevice::new(DeviceParams::ideal());
+        assert!(d.program(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn program_clamped_saturates() {
+        let p = DeviceParams::ideal();
+        let mut d = RramDevice::new(p);
+        d.program_clamped(1.0);
+        assert_eq!(d.conductance(), p.g_on);
+        d.program_clamped(-1.0);
+        assert_eq!(d.conductance(), p.g_off);
+        d.program_clamped(f64::NAN);
+        assert_eq!(d.conductance(), p.g_off);
+    }
+
+    #[test]
+    fn program_level_quantized() {
+        let mut d = RramDevice::new(DeviceParams::hfox_quantized(5));
+        d.program_level(0).unwrap();
+        assert_eq!(d.conductance(), d.params().g_off);
+        d.program_level(4).unwrap();
+        assert!((d.conductance() - d.params().g_on).abs() < 1e-18);
+        assert!(d.program_level(5).is_err());
+    }
+
+    #[test]
+    fn program_level_continuous_uses_256_states() {
+        let p = DeviceParams::ideal();
+        let mut d = RramDevice::new(p);
+        d.program_level(255).unwrap();
+        assert!((d.conductance() - p.g_on).abs() < 1e-15);
+    }
+
+    #[test]
+    fn read_current_is_ohmic() {
+        let mut d = RramDevice::new(DeviceParams::ideal());
+        d.program(1e-4).unwrap();
+        assert!((d.read_current(0.5) - 5e-5).abs() < 1e-18);
+        assert_eq!(d.read_current(0.0), 0.0);
+    }
+
+    #[test]
+    fn disturb_then_restore_roundtrips() {
+        let mut d = RramDevice::new(DeviceParams::ideal());
+        d.program(5e-4).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let var = VariationModel::process_variation(0.3);
+        d.disturb(&var, &mut rng);
+        assert_ne!(d.conductance(), d.target());
+        assert!(d.programming_error() > 0.0);
+        d.restore();
+        assert_eq!(d.conductance(), d.target());
+        assert_eq!(d.programming_error(), 0.0);
+    }
+
+    #[test]
+    fn disturbed_conductance_stays_in_window() {
+        let p = DeviceParams::ideal();
+        let mut d = RramDevice::new(p);
+        d.program(9e-4).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let var = VariationModel::process_variation(1.5);
+        for _ in 0..1000 {
+            d.disturb(&var, &mut rng);
+            assert!(d.conductance() >= p.g_off && d.conductance() <= p.g_on);
+        }
+    }
+
+    #[test]
+    fn display_mentions_state() {
+        let d = RramDevice::default();
+        assert!(format!("{d}").contains("RRAM cell"));
+    }
+}

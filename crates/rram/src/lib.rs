@@ -1,0 +1,53 @@
+//! # `rram` — behavioural RRAM device models
+//!
+//! This crate provides the device-level substrate of the MEI/SAAB
+//! reproduction: a behavioural model of an HfOx-class resistive-switching
+//! random access memory (RRAM) cell, together with the non-ideal factors the
+//! paper studies (process variation and signal fluctuation, both lognormal).
+//!
+//! The paper (Li et al., DAC 2015) uses a Verilog-A HfOx device model packed
+//! into SPICE-level crossbar netlists. Here the device is modelled
+//! behaviourally: what the system above cares about is
+//!
+//! 1. a **bounded, programmable conductance** `g ∈ [g_off, g_on]`,
+//! 2. optional **quantization** to a finite number of resistance levels,
+//! 3. **programming dynamics** (pulse-based SET/RESET with a window
+//!    function), and
+//! 4. **statistical deviation** from the programmed target (process
+//!    variation) plus read-time noise.
+//!
+//! Everything else (crossbar topology, sensing, interfaces) lives in the
+//! sibling crates.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rram::{DeviceParams, RramDevice};
+//!
+//! # fn main() -> Result<(), rram::ProgramDeviceError> {
+//! let params = DeviceParams::hfox();
+//! let mut cell = RramDevice::new(params);
+//! // Program the middle of the conductance range.
+//! let target = 0.5 * (params.g_on + params.g_off);
+//! cell.program(target)?;
+//! assert!((cell.conductance() - target).abs() / target < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod model;
+pub mod params;
+pub mod retention;
+pub mod variation;
+
+pub use device::{ProgramDeviceError, RramDevice};
+pub use model::{FilamentModel, ProgrammingPulse, PulsePolarity};
+pub use params::{DeviceParams, QuantizationMode};
+pub use retention::RetentionModel;
+pub use variation::{
+    lognormal_factor, NonIdealFactors, ReadNoise, StuckFault, StuckFaultKind, VariationModel,
+};

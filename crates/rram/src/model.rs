@@ -1,0 +1,420 @@
+//! Pulse-programming filament dynamics.
+//!
+//! [`FilamentModel`] is a behavioural stand-in for the Verilog-A HfOx model
+//! the paper simulates in SPICE: it integrates the filament state under
+//! voltage pulses and produces the nonlinear large-signal I–V curve. The
+//! crossbar solver itself only needs the small-signal conductance (reads are
+//! at low voltage), but the programming path — how a weight update actually
+//! lands on a cell — goes through this model, and the `device_dynamics`
+//! ablation bench exercises it.
+//!
+//! The dynamics follow the common memristor compact-model form
+//!
+//! ```text
+//!   dw/dt = k · sinh(V / V0) · f(w)        (for |V| > V_threshold)
+//!   f(w)  = 1 - (2w - 1)^(2p)              (Joglekar window)
+//!   g(w)  = g_off + w · (g_on - g_off)
+//! ```
+//!
+//! where `w ∈ [0,1]` is the normalized filament state. The `sinh` term gives
+//! the exponential voltage acceleration observed in HfOx cells; the window
+//! function saturates programming near the bounds.
+
+use std::fmt;
+
+use crate::params::DeviceParams;
+
+/// Polarity of a programming pulse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PulsePolarity {
+    /// Positive pulse: grows the filament (SET, conductance increases).
+    Set,
+    /// Negative pulse: dissolves the filament (RESET, conductance decreases).
+    Reset,
+}
+
+/// A rectangular programming pulse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgrammingPulse {
+    /// Pulse amplitude in volts (magnitude; sign comes from `polarity`).
+    pub amplitude: f64,
+    /// Pulse width in seconds.
+    pub width: f64,
+    /// SET or RESET.
+    pub polarity: PulsePolarity,
+}
+
+impl ProgrammingPulse {
+    /// Create a pulse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the amplitude or width is not a positive finite number.
+    #[must_use]
+    pub fn new(amplitude: f64, width: f64, polarity: PulsePolarity) -> Self {
+        assert!(
+            amplitude > 0.0 && amplitude.is_finite(),
+            "pulse amplitude must be positive and finite, got {amplitude}"
+        );
+        assert!(
+            width > 0.0 && width.is_finite(),
+            "pulse width must be positive and finite, got {width}"
+        );
+        Self {
+            amplitude,
+            width,
+            polarity,
+        }
+    }
+
+    /// Signed voltage of the pulse (`+` for SET, `-` for RESET).
+    #[must_use]
+    pub fn signed_voltage(&self) -> f64 {
+        match self.polarity {
+            PulsePolarity::Set => self.amplitude,
+            PulsePolarity::Reset => -self.amplitude,
+        }
+    }
+}
+
+/// Behavioural filament-growth model of one RRAM cell.
+///
+/// ```
+/// use rram::{DeviceParams, FilamentModel, ProgrammingPulse, PulsePolarity};
+///
+/// let mut cell = FilamentModel::new(DeviceParams::hfox());
+/// let g0 = cell.conductance();
+/// let set = ProgrammingPulse::new(2.0, 1e-6, PulsePolarity::Set);
+/// for _ in 0..100 {
+///     cell.apply_pulse(&set);
+/// }
+/// assert!(cell.conductance() > g0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilamentModel {
+    params: DeviceParams,
+    /// Normalized filament state in `[0, 1]`; 0 = fully RESET.
+    state: f64,
+}
+
+/// Characteristic voltage of the `sinh` acceleration term.
+const V0: f64 = 0.5;
+/// Integration sub-step ceiling, as a fraction of state range per step.
+const MAX_STATE_STEP: f64 = 0.05;
+/// Floor applied to the window during integration so a cell parked exactly at
+/// a bound can still be programmed away from it (the classic Joglekar
+/// boundary-lock fix).
+const WINDOW_FLOOR: f64 = 1e-2;
+
+impl FilamentModel {
+    /// A cell in the fully-RESET state.
+    #[must_use]
+    pub fn new(params: DeviceParams) -> Self {
+        Self { params, state: 0.0 }
+    }
+
+    /// Create a cell whose conductance starts at `g` (clamped to the window).
+    #[must_use]
+    pub fn with_conductance(params: DeviceParams, g: f64) -> Self {
+        let g = params.clamp(g);
+        let state = (g - params.g_off) / params.range();
+        Self { params, state }
+    }
+
+    /// Static parameters of the cell.
+    #[must_use]
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Normalized filament state `w ∈ [0, 1]`.
+    #[must_use]
+    pub fn state(&self) -> f64 {
+        self.state
+    }
+
+    /// Present small-signal conductance `g(w)`.
+    #[must_use]
+    pub fn conductance(&self) -> f64 {
+        self.params.g_off + self.state * self.params.range()
+    }
+
+    /// Joglekar window `1 - (2w - 1)^(2p)`; zero at the bounds, one in the
+    /// middle for `p = 1`.
+    #[must_use]
+    pub fn window(&self) -> f64 {
+        let x = 2.0 * self.state - 1.0;
+        1.0 - x.powi(2 * self.params.window_exponent as i32)
+    }
+
+    /// Integrate one rectangular pulse into the filament state.
+    ///
+    /// Pulses below the device threshold voltage are ignored (read-disturb
+    /// immunity). Integration is sub-stepped so a long strong pulse cannot
+    /// jump over the window function.
+    pub fn apply_pulse(&mut self, pulse: &ProgrammingPulse) {
+        let v = pulse.signed_voltage();
+        if v.abs() <= self.params.v_threshold {
+            return;
+        }
+        let mut remaining = pulse.width;
+        // Rate at the window maximum, used to size sub-steps.
+        let peak_rate = self.params.program_rate * (v.abs() / V0).sinh();
+        if peak_rate == 0.0 {
+            return;
+        }
+        let dt_max = MAX_STATE_STEP / peak_rate;
+        while remaining > 0.0 {
+            let dt = remaining.min(dt_max);
+            let rate =
+                self.params.program_rate * (v / V0).sinh() * self.window().max(WINDOW_FLOOR);
+            self.state = (self.state + rate * dt).clamp(0.0, 1.0);
+            remaining -= dt;
+        }
+    }
+
+    /// Apply `n` identical pulses.
+    pub fn apply_pulses(&mut self, pulse: &ProgrammingPulse, n: usize) {
+        for _ in 0..n {
+            self.apply_pulse(pulse);
+        }
+    }
+
+    /// Iteratively program the cell toward target conductance `g_target`
+    /// using fixed-amplitude program-and-verify pulses, returning the number
+    /// of pulses used.
+    ///
+    /// This mirrors the write-verify scheme used for analog RRAM tuning: SET
+    /// or RESET pulses are issued until the conductance is within
+    /// `tolerance` (relative to the window) or `max_pulses` is exhausted.
+    pub fn program_verify(
+        &mut self,
+        g_target: f64,
+        pulse_amplitude: f64,
+        pulse_width: f64,
+        tolerance: f64,
+        max_pulses: usize,
+    ) -> usize {
+        let g_target = self.params.clamp(g_target);
+        let tol_abs = tolerance * self.params.range();
+        for n in 0..max_pulses {
+            let err = g_target - self.conductance();
+            if err.abs() <= tol_abs {
+                return n;
+            }
+            let polarity = if err > 0.0 {
+                PulsePolarity::Set
+            } else {
+                PulsePolarity::Reset
+            };
+            self.apply_pulse(&ProgrammingPulse::new(pulse_amplitude, pulse_width, polarity));
+        }
+        max_pulses
+    }
+
+    /// Large-signal nonlinear current at voltage `v`:
+    /// `I = g · V0' · sinh(v / V0')` with `V0' = 2·V0`, which reduces to the
+    /// ohmic `g·v` for small `v` and grows exponentially at programming
+    /// voltages.
+    #[must_use]
+    pub fn current(&self, v: f64) -> f64 {
+        let v0 = 2.0 * V0;
+        self.conductance() * v0 * (v / v0).sinh()
+    }
+
+    /// Sample the I–V characteristic over `[-v_max, v_max]` with `points`
+    /// evenly spaced samples — the curve a device characterization sweep
+    /// would measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2` or `v_max` is not positive and finite.
+    #[must_use]
+    pub fn iv_curve(&self, v_max: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "an I–V sweep needs at least two points");
+        assert!(v_max > 0.0 && v_max.is_finite(), "sweep range must be positive and finite");
+        (0..points)
+            .map(|i| {
+                let v = -v_max + 2.0 * v_max * i as f64 / (points - 1) as f64;
+                (v, self.current(v))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for FilamentModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "filament w={:.3}, g={:.3e} S",
+            self.state,
+            self.conductance()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_pulse() -> ProgrammingPulse {
+        ProgrammingPulse::new(2.0, 1e-6, PulsePolarity::Set)
+    }
+
+    fn reset_pulse() -> ProgrammingPulse {
+        ProgrammingPulse::new(2.0, 1e-6, PulsePolarity::Reset)
+    }
+
+    #[test]
+    fn starts_fully_reset() {
+        let m = FilamentModel::new(DeviceParams::hfox());
+        assert_eq!(m.state(), 0.0);
+        assert_eq!(m.conductance(), m.params().g_off);
+    }
+
+    #[test]
+    fn set_pulses_increase_conductance_monotonically() {
+        let p = DeviceParams::hfox();
+        let g0 = p.g_off + 0.2 * p.range();
+        let mut m = FilamentModel::with_conductance(p, g0);
+        let mut last = m.conductance();
+        for _ in 0..50 {
+            m.apply_pulse(&set_pulse());
+            assert!(m.conductance() >= last);
+            last = m.conductance();
+        }
+        assert!(m.conductance() > g0);
+    }
+
+    #[test]
+    fn reset_pulses_decrease_conductance() {
+        let p = DeviceParams::hfox();
+        let mut m = FilamentModel::with_conductance(p, p.g_on * 0.5);
+        let before = m.conductance();
+        m.apply_pulses(&reset_pulse(), 20);
+        assert!(m.conductance() < before);
+    }
+
+    #[test]
+    fn state_saturates_within_bounds() {
+        let mut m = FilamentModel::new(DeviceParams::hfox());
+        m.apply_pulses(&ProgrammingPulse::new(3.0, 1e-3, PulsePolarity::Set), 200);
+        assert!(m.state() <= 1.0);
+        m.apply_pulses(&ProgrammingPulse::new(3.0, 1e-3, PulsePolarity::Reset), 400);
+        assert!(m.state() >= 0.0);
+    }
+
+    #[test]
+    fn sub_threshold_pulses_do_nothing() {
+        let p = DeviceParams::hfox(); // threshold 1.2 V
+        let mut m = FilamentModel::with_conductance(p, 1e-4);
+        let g0 = m.conductance();
+        m.apply_pulses(&ProgrammingPulse::new(1.0, 1e-3, PulsePolarity::Set), 100);
+        assert_eq!(m.conductance(), g0, "read-level pulses must not disturb the cell");
+    }
+
+    #[test]
+    fn window_is_zero_at_bounds_and_positive_inside() {
+        let p = DeviceParams::hfox();
+        let m0 = FilamentModel::new(p);
+        assert!(m0.window().abs() < 1e-12);
+        let m1 = FilamentModel::with_conductance(p, p.g_on);
+        assert!(m1.window().abs() < 1e-12);
+        let mid = FilamentModel::with_conductance(p, 0.5 * (p.g_on + p.g_off));
+        assert!(mid.window() > 0.9);
+    }
+
+    #[test]
+    fn program_verify_converges() {
+        let p = DeviceParams::hfox();
+        let mut m = FilamentModel::new(p);
+        let target = 0.6 * p.g_on;
+        let pulses = m.program_verify(target, 2.0, 1e-5, 0.01, 20_000);
+        assert!(pulses < 20_000, "did not converge");
+        assert!(
+            (m.conductance() - target).abs() <= 0.01 * p.range(),
+            "g={:.3e} target={:.3e}",
+            m.conductance(),
+            target
+        );
+    }
+
+    #[test]
+    fn program_verify_zero_pulses_when_already_on_target() {
+        let p = DeviceParams::hfox();
+        let target = 0.3 * p.g_on;
+        let mut m = FilamentModel::with_conductance(p, target);
+        assert_eq!(m.program_verify(target, 1.5, 1e-7, 0.01, 100), 0);
+    }
+
+    #[test]
+    fn current_is_ohmic_at_small_voltage() {
+        let p = DeviceParams::hfox();
+        let m = FilamentModel::with_conductance(p, 1e-4);
+        let v = 0.01;
+        let lin = m.conductance() * v;
+        assert!((m.current(v) - lin).abs() / lin < 1e-3);
+    }
+
+    #[test]
+    fn current_is_superlinear_at_programming_voltage() {
+        let p = DeviceParams::hfox();
+        let m = FilamentModel::with_conductance(p, 1e-4);
+        let i2 = m.current(2.0);
+        let lin = m.conductance() * 2.0;
+        assert!(i2 > 1.5 * lin, "sinh conduction should exceed ohmic: {i2} vs {lin}");
+        // Odd symmetry.
+        assert!((m.current(-2.0) + i2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iv_curve_is_odd_and_monotone() {
+        let p = DeviceParams::hfox();
+        let m = FilamentModel::with_conductance(p, 1e-5);
+        let curve = m.iv_curve(2.0, 101);
+        assert_eq!(curve.len(), 101);
+        assert_eq!(curve[0].0, -2.0);
+        assert_eq!(curve[100].0, 2.0);
+        // Odd symmetry: I(-v) = -I(v).
+        for i in 0..50 {
+            assert!((curve[i].1 + curve[100 - i].1).abs() < 1e-12);
+        }
+        // Monotone in v.
+        for w in curve.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn iv_curve_rejects_single_point() {
+        let m = FilamentModel::new(DeviceParams::hfox());
+        let _ = m.iv_curve(1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pulse amplitude")]
+    fn pulse_rejects_nonpositive_amplitude() {
+        let _ = ProgrammingPulse::new(0.0, 1e-6, PulsePolarity::Set);
+    }
+
+    #[test]
+    #[should_panic(expected = "pulse width")]
+    fn pulse_rejects_nonpositive_width() {
+        let _ = ProgrammingPulse::new(1.0, 0.0, PulsePolarity::Set);
+    }
+
+    #[test]
+    fn with_conductance_clamps() {
+        let p = DeviceParams::hfox();
+        let m = FilamentModel::with_conductance(p, 10.0);
+        assert_eq!(m.conductance(), p.g_on);
+        assert_eq!(m.state(), 1.0);
+    }
+
+    #[test]
+    fn display_shows_state() {
+        let m = FilamentModel::new(DeviceParams::hfox());
+        assert!(format!("{m}").contains("filament"));
+    }
+}

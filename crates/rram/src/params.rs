@@ -1,0 +1,275 @@
+//! Device parameter sets.
+//!
+//! [`DeviceParams`] gathers the static characteristics of an RRAM cell:
+//! conductance bounds, optional level quantization, and the coefficients of
+//! the pulse-programming dynamics used by [`crate::model::FilamentModel`].
+//!
+//! Two presets are provided:
+//!
+//! * [`DeviceParams::hfox`] — an HfOx-class cell in the range reported by
+//!   Yu et al. (Advanced Materials 2013), the device model the paper cites:
+//!   `R_on ≈ 20 kΩ`, `R_off ≈ 2 MΩ`, continuous (analog) programming.
+//! * [`DeviceParams::ideal`] — a mathematically convenient cell with
+//!   conductance in `[1e-6, 1e-3] S` and no quantization, useful in tests.
+
+use std::fmt;
+
+/// How the programmable conductance range is discretized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuantizationMode {
+    /// The conductance can take any value in `[g_off, g_on]`.
+    ///
+    /// Theoretically the resistance of an RRAM device can be tuned to an
+    /// arbitrary state within a specific range (paper §2.1); this mode models
+    /// that idealization.
+    #[default]
+    Continuous,
+    /// The conductance snaps to one of `levels` values spaced uniformly in
+    /// conductance between `g_off` and `g_on` (inclusive).
+    ///
+    /// Real programming schemes (program-and-verify) hit a finite number of
+    /// distinguishable states; 16–64 levels are typical for HfOx cells.
+    Levels(u32),
+}
+
+impl fmt::Display for QuantizationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantizationMode::Continuous => write!(f, "continuous"),
+            QuantizationMode::Levels(n) => write!(f, "{n} levels"),
+        }
+    }
+}
+
+/// Static characteristics of one RRAM cell.
+///
+/// All conductances are in siemens. The struct is `Copy` so an array of
+/// thousands of crossbar cells can share one parameter value cheaply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceParams {
+    /// Maximum (fully SET) conductance, i.e. `1 / R_on`.
+    pub g_on: f64,
+    /// Minimum (fully RESET) conductance, i.e. `1 / R_off`.
+    pub g_off: f64,
+    /// Discretization of the programmable range.
+    pub quantization: QuantizationMode,
+    /// Pulse-programming rate coefficient (fraction of range moved per volt
+    /// second at the window-function maximum). Only used by
+    /// [`crate::model::FilamentModel`].
+    pub program_rate: f64,
+    /// Threshold voltage magnitude below which programming pulses have no
+    /// effect (read disturb immunity).
+    pub v_threshold: f64,
+    /// Exponent of the Joglekar-style window function that saturates
+    /// programming near the conductance bounds. Larger values give a flatter
+    /// middle and sharper saturation.
+    pub window_exponent: u32,
+}
+
+impl DeviceParams {
+    /// HfOx-class analog RRAM cell.
+    ///
+    /// `R_on = 20 kΩ`, `R_off = 2 MΩ` (100× window), continuous programming,
+    /// 1.2 V programming threshold — representative of the device model the
+    /// paper cites for its SPICE-level emulation.
+    ///
+    /// ```
+    /// let p = rram::DeviceParams::hfox();
+    /// assert!(p.g_on > p.g_off);
+    /// ```
+    #[must_use]
+    pub fn hfox() -> Self {
+        Self {
+            g_on: 1.0 / 20_000.0,
+            g_off: 1.0 / 2_000_000.0,
+            quantization: QuantizationMode::Continuous,
+            program_rate: 2.0,
+            v_threshold: 1.2,
+            window_exponent: 2,
+        }
+    }
+
+    /// A convenient idealized cell for unit tests: conductance in
+    /// `[1e-6, 1e-3] S`, continuous programming, no threshold.
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self {
+            g_on: 1e-3,
+            g_off: 1e-6,
+            quantization: QuantizationMode::Continuous,
+            program_rate: 10.0,
+            v_threshold: 0.0,
+            window_exponent: 1,
+        }
+    }
+
+    /// The same cell as [`DeviceParams::hfox`] but quantized to `levels`
+    /// program-and-verify states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`; a programmable memory needs at least two
+    /// distinguishable states.
+    #[must_use]
+    pub fn hfox_quantized(levels: u32) -> Self {
+        assert!(levels >= 2, "an RRAM cell needs at least 2 levels, got {levels}");
+        Self {
+            quantization: QuantizationMode::Levels(levels),
+            ..Self::hfox()
+        }
+    }
+
+    /// Width of the programmable conductance window `g_on - g_off`.
+    #[must_use]
+    pub fn range(&self) -> f64 {
+        self.g_on - self.g_off
+    }
+
+    /// On/off conductance ratio `g_on / g_off`.
+    #[must_use]
+    pub fn on_off_ratio(&self) -> f64 {
+        self.g_on / self.g_off
+    }
+
+    /// Clamp an arbitrary conductance into the programmable window.
+    #[must_use]
+    pub fn clamp(&self, g: f64) -> f64 {
+        g.clamp(self.g_off, self.g_on)
+    }
+
+    /// Snap a conductance to the nearest programmable state under the
+    /// configured [`QuantizationMode`], after clamping to the window.
+    ///
+    /// ```
+    /// use rram::{DeviceParams, QuantizationMode};
+    /// let mut p = DeviceParams::ideal();
+    /// p.quantization = QuantizationMode::Levels(2);
+    /// // Two levels: everything snaps to g_off or g_on.
+    /// assert_eq!(p.quantize(2e-4), p.g_off);
+    /// assert_eq!(p.quantize(9e-4), p.g_on);
+    /// ```
+    #[must_use]
+    pub fn quantize(&self, g: f64) -> f64 {
+        let g = self.clamp(g);
+        match self.quantization {
+            QuantizationMode::Continuous => g,
+            QuantizationMode::Levels(n) => {
+                let steps = f64::from(n - 1);
+                let t = (g - self.g_off) / self.range();
+                let level = (t * steps).round();
+                // Re-clamp: the reconstruction can exceed g_on by one ulp.
+                self.clamp(self.g_off + level / steps * self.range())
+            }
+        }
+    }
+
+    /// Whether the parameter set is physically sensible: positive bounds in
+    /// the right order and a positive programming rate.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.g_off > 0.0
+            && self.g_on > self.g_off
+            && self.program_rate > 0.0
+            && self.v_threshold >= 0.0
+            && self.window_exponent >= 1
+    }
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        Self::hfox()
+    }
+}
+
+impl fmt::Display for DeviceParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RRAM cell: g ∈ [{:.3e}, {:.3e}] S ({}), ratio {:.0}×",
+            self.g_off,
+            self.g_on,
+            self.quantization,
+            self.on_off_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hfox_preset_is_valid() {
+        let p = DeviceParams::hfox();
+        assert!(p.is_valid());
+        assert!((p.on_off_ratio() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_preset_is_valid() {
+        assert!(DeviceParams::ideal().is_valid());
+    }
+
+    #[test]
+    fn default_is_hfox() {
+        assert_eq!(DeviceParams::default(), DeviceParams::hfox());
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let p = DeviceParams::ideal();
+        assert_eq!(p.clamp(0.0), p.g_off);
+        assert_eq!(p.clamp(1.0), p.g_on);
+        let mid = 5e-4;
+        assert_eq!(p.clamp(mid), mid);
+    }
+
+    #[test]
+    fn continuous_quantize_is_identity_inside_window() {
+        let p = DeviceParams::ideal();
+        let g = 3.3e-4;
+        assert_eq!(p.quantize(g), g);
+    }
+
+    #[test]
+    fn quantize_snaps_to_uniform_levels() {
+        let p = DeviceParams {
+            quantization: QuantizationMode::Levels(5),
+            ..DeviceParams::ideal()
+        };
+        // 5 levels over [1e-6, 1e-3]: step = (1e-3 - 1e-6)/4.
+        let step = p.range() / 4.0;
+        let g = p.g_off + 1.4 * step;
+        let q = p.quantize(g);
+        assert!((q - (p.g_off + step)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantize_endpoints_are_exact() {
+        let p = DeviceParams::hfox_quantized(16);
+        assert_eq!(p.quantize(p.g_off), p.g_off);
+        assert!((p.quantize(p.g_on) - p.g_on).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 levels")]
+    fn quantized_preset_rejects_single_level() {
+        let _ = DeviceParams::hfox_quantized(1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", DeviceParams::hfox()).is_empty());
+        assert!(!format!("{}", QuantizationMode::Levels(8)).is_empty());
+    }
+
+    #[test]
+    fn invalid_params_detected() {
+        let mut p = DeviceParams::hfox();
+        p.g_off = -1.0;
+        assert!(!p.is_valid());
+        let mut p = DeviceParams::hfox();
+        p.g_on = p.g_off / 2.0;
+        assert!(!p.is_valid());
+    }
+}

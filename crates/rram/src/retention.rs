@@ -1,0 +1,171 @@
+//! Retention: conductance drift over time.
+//!
+//! Programmed RRAM filaments relax: oxygen vacancies diffuse and the
+//! conductance drifts toward its low state, commonly modelled as a
+//! power-law decay of the programmed *window* position,
+//!
+//! ```text
+//!   w(t) = w₀ · (1 + t/τ)^(−ν)
+//! ```
+//!
+//! with `w` the normalized position inside `[g_off, g_on]`, `τ` a
+//! characteristic retention time and `ν` the drift exponent (≈ 0.05–0.15
+//! for HfOx at room temperature). The paper does not sweep retention — its
+//! robustness study covers programming-time variation — but any deployed
+//! RCS lives with it, so the model ships here and the harness exposes an
+//! ablation for it.
+
+use std::fmt;
+
+use crate::device::RramDevice;
+use crate::params::DeviceParams;
+
+/// A power-law retention (drift) model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetentionModel {
+    /// Characteristic retention time `τ`, in seconds.
+    pub tau: f64,
+    /// Drift exponent `ν`.
+    pub nu: f64,
+}
+
+impl RetentionModel {
+    /// Create a retention model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not positive/finite or `nu` is negative/non-finite.
+    #[must_use]
+    pub fn new(tau: f64, nu: f64) -> Self {
+        assert!(tau > 0.0 && tau.is_finite(), "retention τ must be positive and finite");
+        assert!(nu >= 0.0 && nu.is_finite(), "drift exponent ν must be non-negative and finite");
+        Self { tau, nu }
+    }
+
+    /// Room-temperature HfOx-class retention: `τ = 10⁴ s`, `ν = 0.1`.
+    #[must_use]
+    pub fn hfox_room_temperature() -> Self {
+        Self::new(1e4, 0.1)
+    }
+
+    /// The multiplicative window-position factor after `seconds` of bake:
+    /// `(1 + t/τ)^(−ν)` (equal to 1 at `t = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or non-finite.
+    #[must_use]
+    pub fn decay_factor(&self, seconds: f64) -> f64 {
+        assert!(seconds >= 0.0 && seconds.is_finite(), "bake time must be non-negative");
+        (1.0 + seconds / self.tau).powf(-self.nu)
+    }
+
+    /// The conductance a cell programmed to `g` exhibits after `seconds`.
+    ///
+    /// Drift acts on the window position, so a fully-RESET cell (`g_off`)
+    /// does not move.
+    #[must_use]
+    pub fn drifted_conductance(&self, g: f64, params: &DeviceParams, seconds: f64) -> f64 {
+        let w = (params.clamp(g) - params.g_off) / params.range();
+        params.g_off + w * self.decay_factor(seconds) * params.range()
+    }
+
+    /// Age a device in place: its *actual* conductance drifts while the
+    /// programmed target stays recorded (so `restore` models a refresh
+    /// reprogramming cycle).
+    pub fn age(&self, device: &mut RramDevice, seconds: f64) {
+        let params = *device.params();
+        let aged = self.drifted_conductance(device.conductance(), &params, seconds);
+        device.drift_to(aged);
+    }
+}
+
+impl Default for RetentionModel {
+    fn default() -> Self {
+        Self::hfox_room_temperature()
+    }
+}
+
+impl fmt::Display for RetentionModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "retention τ={:.1e} s, ν={:.3}", self.tau, self.nu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_factor_boundaries() {
+        let m = RetentionModel::hfox_room_temperature();
+        assert_eq!(m.decay_factor(0.0), 1.0);
+        assert!(m.decay_factor(1e4) < 1.0);
+        assert!(m.decay_factor(1e8) < m.decay_factor(1e4));
+    }
+
+    #[test]
+    fn zero_exponent_never_drifts() {
+        let m = RetentionModel::new(1e3, 0.0);
+        assert_eq!(m.decay_factor(1e9), 1.0);
+    }
+
+    #[test]
+    fn reset_cell_does_not_drift() {
+        let p = DeviceParams::hfox();
+        let m = RetentionModel::hfox_room_temperature();
+        assert_eq!(m.drifted_conductance(p.g_off, &p, 1e6), p.g_off);
+    }
+
+    #[test]
+    fn set_cell_drifts_toward_g_off() {
+        let p = DeviceParams::hfox();
+        let m = RetentionModel::hfox_room_temperature();
+        let g = m.drifted_conductance(p.g_on, &p, 1e6);
+        assert!(g < p.g_on && g > p.g_off);
+    }
+
+    #[test]
+    fn aging_a_device_preserves_its_target() {
+        let p = DeviceParams::hfox();
+        let mut d = RramDevice::new(p);
+        d.program_clamped(0.5 * (p.g_on + p.g_off));
+        let target = d.target();
+        let m = RetentionModel::hfox_room_temperature();
+        m.age(&mut d, 1e6);
+        assert_eq!(d.target(), target, "refresh must know the original level");
+        assert!(d.conductance() < target, "drift lowers the conductance");
+        d.restore();
+        assert_eq!(d.conductance(), target, "reprogramming refreshes the cell");
+    }
+
+    #[test]
+    fn drift_is_monotone_in_time() {
+        let p = DeviceParams::hfox();
+        let m = RetentionModel::hfox_room_temperature();
+        let g0 = 0.8 * p.g_on;
+        let mut last = g0;
+        for &t in &[1e2, 1e4, 1e6, 1e8] {
+            let g = m.drifted_conductance(g0, &p, t);
+            assert!(g < last, "t={t}");
+            last = g;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "retention τ")]
+    fn invalid_tau_rejected() {
+        let _ = RetentionModel::new(0.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bake time")]
+    fn negative_time_rejected() {
+        let _ = RetentionModel::hfox_room_temperature().decay_factor(-1.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(RetentionModel::default().to_string().contains("retention"));
+    }
+}

@@ -1,0 +1,407 @@
+//! Non-ideal factors: process variation, read noise, stuck-at faults.
+//!
+//! The paper evaluates two dominant non-idealities of RRAM crossbar systems
+//! (§5.3, citing Hu et al. DAC 2012):
+//!
+//! * **Process variation (PV)** — the programmed conductance deviates from
+//!   its target. Modelled as a *multiplicative lognormal* factor
+//!   `g' = g · exp(σ_pv · z)`, `z ~ N(0,1)`, exactly the "lognormal
+//!   distribution used to generate variations of different levels".
+//! * **Signal fluctuation (SF)** — electrical noise on the analog input
+//!   signals, also lognormal-scaled. The sampling primitive lives here
+//!   ([`lognormal_factor`]); the application point (input voltages) is in the
+//!   `crossbar` crate.
+//!
+//! Additionally this module models **stuck-at faults** (cells frozen at
+//! `g_on`/`g_off`) and additive **read noise**, which are not swept in the
+//! paper but matter for the robustness machinery and are exercised by the
+//! ablation benches.
+
+use std::fmt;
+
+use crate::params::DeviceParams;
+use rand::Rng;
+
+/// Sample one multiplicative lognormal factor `exp(σ·z)`, `z ~ N(0,1)`.
+///
+/// `sigma = 0` deterministically returns `1.0`. The median of the factor is
+/// 1, so the *typical* device is unbiased; the mean is `exp(σ²/2) > 1`,
+/// matching the heavy upper tail of measured RRAM conductance spreads.
+///
+/// A Box–Muller transform is used so that only `rand`'s uniform sampling is
+/// required (no external distribution crates).
+pub fn lognormal_factor<R: Rng + ?Sized>(sigma: f64, rng: &mut R) -> f64 {
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    // Box–Muller: u1 ∈ (0,1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (sigma * z).exp()
+}
+
+/// The σ-vector the paper threads through SAAB and the robustness
+/// evaluation: one lognormal level per non-ideal factor.
+///
+/// `Default` is the ideal system (both zero).
+///
+/// ```
+/// use rram::NonIdealFactors;
+/// let noisy = NonIdealFactors::new(0.1, 0.05);
+/// assert!(!noisy.is_ideal());
+/// assert!(NonIdealFactors::default().is_ideal());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NonIdealFactors {
+    /// Lognormal σ of the per-device conductance deviation.
+    pub process_variation: f64,
+    /// Lognormal σ of the per-sample input signal fluctuation.
+    pub signal_fluctuation: f64,
+}
+
+impl NonIdealFactors {
+    /// Bundle a process-variation and a signal-fluctuation level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either σ is negative or non-finite.
+    #[must_use]
+    pub fn new(process_variation: f64, signal_fluctuation: f64) -> Self {
+        assert!(
+            process_variation >= 0.0 && process_variation.is_finite(),
+            "process variation σ must be a finite non-negative number, got {process_variation}"
+        );
+        assert!(
+            signal_fluctuation >= 0.0 && signal_fluctuation.is_finite(),
+            "signal fluctuation σ must be a finite non-negative number, got {signal_fluctuation}"
+        );
+        Self {
+            process_variation,
+            signal_fluctuation,
+        }
+    }
+
+    /// The ideal system: no variation, no fluctuation.
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self::default()
+    }
+
+    /// Only process variation at level `sigma`.
+    #[must_use]
+    pub fn process_only(sigma: f64) -> Self {
+        Self::new(sigma, 0.0)
+    }
+
+    /// Only signal fluctuation at level `sigma`.
+    #[must_use]
+    pub fn signal_only(sigma: f64) -> Self {
+        Self::new(0.0, sigma)
+    }
+
+    /// True when both σ levels are zero.
+    #[must_use]
+    pub fn is_ideal(&self) -> bool {
+        self.process_variation == 0.0 && self.signal_fluctuation == 0.0
+    }
+}
+
+impl fmt::Display for NonIdealFactors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "σ_pv={:.3}, σ_sf={:.3}",
+            self.process_variation, self.signal_fluctuation
+        )
+    }
+}
+
+/// Which bound a stuck cell is frozen at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StuckFaultKind {
+    /// Cell is stuck fully SET (at `g_on`) — a short-like defect.
+    StuckOn,
+    /// Cell is stuck fully RESET (at `g_off`) — an open-like defect.
+    StuckOff,
+}
+
+/// A Bernoulli stuck-at fault model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StuckFault {
+    /// Probability that any given cell is stuck.
+    pub probability: f64,
+    /// Which state stuck cells are frozen at.
+    pub kind: StuckFaultKind,
+}
+
+impl StuckFault {
+    /// Create a stuck-at fault model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(probability: f64, kind: StuckFaultKind) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "fault probability must be in [0,1], got {probability}"
+        );
+        Self { probability, kind }
+    }
+}
+
+/// Additive Gaussian read noise with standard deviation `sigma` (siemens).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReadNoise {
+    /// Standard deviation of the additive conductance noise, in siemens.
+    pub sigma: f64,
+}
+
+/// A composite per-device variation model.
+///
+/// Applied in order: stuck-at fault (if sampled), then lognormal process
+/// variation, then additive read noise; the result is clamped back into the
+/// device window so no unphysical conductance ever reaches the crossbar
+/// solver.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VariationModel {
+    /// Lognormal σ of the multiplicative conductance deviation.
+    pub process_sigma: f64,
+    /// Optional stuck-at fault model.
+    pub stuck_fault: Option<StuckFault>,
+    /// Additive read noise.
+    pub read_noise: ReadNoise,
+}
+
+impl VariationModel {
+    /// An ideal (no-op) variation model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pure lognormal process variation at level `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or non-finite.
+    #[must_use]
+    pub fn process_variation(sigma: f64) -> Self {
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "process variation σ must be finite and non-negative, got {sigma}"
+        );
+        Self {
+            process_sigma: sigma,
+            ..Self::default()
+        }
+    }
+
+    /// Add a stuck-at fault model (builder style).
+    #[must_use]
+    pub fn with_stuck_fault(mut self, fault: StuckFault) -> Self {
+        self.stuck_fault = Some(fault);
+        self
+    }
+
+    /// Add additive read noise (builder style).
+    #[must_use]
+    pub fn with_read_noise(mut self, sigma: f64) -> Self {
+        self.read_noise = ReadNoise { sigma };
+        self
+    }
+
+    /// True when applying the model never changes a conductance.
+    #[must_use]
+    pub fn is_ideal(&self) -> bool {
+        self.process_sigma == 0.0 && self.stuck_fault.is_none() && self.read_noise.sigma == 0.0
+    }
+
+    /// Sample a disturbed conductance for a device whose target is `g`.
+    ///
+    /// The result always lies inside `[params.g_off, params.g_on]`.
+    pub fn apply<R: Rng + ?Sized>(&self, g: f64, params: &DeviceParams, rng: &mut R) -> f64 {
+        if let Some(fault) = self.stuck_fault {
+            if rng.gen::<f64>() < fault.probability {
+                return match fault.kind {
+                    StuckFaultKind::StuckOn => params.g_on,
+                    StuckFaultKind::StuckOff => params.g_off,
+                };
+            }
+        }
+        let mut g = g * lognormal_factor(self.process_sigma, rng);
+        if self.read_noise.sigma > 0.0 {
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            g += self.read_noise.sigma * z;
+        }
+        params.clamp(g)
+    }
+}
+
+impl From<NonIdealFactors> for VariationModel {
+    /// Extract the device-side (process variation) component of a σ-vector.
+    fn from(factors: NonIdealFactors) -> Self {
+        Self::process_variation(factors.process_variation)
+    }
+}
+
+impl fmt::Display for VariationModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "variation(σ_pv={:.3}", self.process_sigma)?;
+        if let Some(fault) = self.stuck_fault {
+            write!(f, ", stuck {:?} p={:.3}", fault.kind, fault.probability)?;
+        }
+        if self.read_noise.sigma > 0.0 {
+            write!(f, ", read σ={:.3e}", self.read_noise.sigma)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn zero_sigma_factor_is_exactly_one() {
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(lognormal_factor(0.0, &mut r), 1.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_factor_is_positive_and_median_near_one() {
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| lognormal_factor(0.5, &mut r)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median was {median}");
+    }
+
+    #[test]
+    fn lognormal_log_std_matches_sigma() {
+        let mut r = rng();
+        let sigma = 0.3;
+        let logs: Vec<f64> = (0..50_000)
+            .map(|_| lognormal_factor(sigma, &mut r).ln())
+            .collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / logs.len() as f64;
+        assert!((var.sqrt() - sigma).abs() < 0.01, "log-std {}", var.sqrt());
+    }
+
+    #[test]
+    fn non_ideal_factors_constructors() {
+        assert!(NonIdealFactors::ideal().is_ideal());
+        assert_eq!(NonIdealFactors::process_only(0.2).process_variation, 0.2);
+        assert_eq!(NonIdealFactors::signal_only(0.2).signal_fluctuation, 0.2);
+        assert!(!NonIdealFactors::new(0.0, 0.1).is_ideal());
+    }
+
+    #[test]
+    #[should_panic(expected = "process variation σ")]
+    fn negative_pv_rejected() {
+        let _ = NonIdealFactors::new(-0.1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "signal fluctuation σ")]
+    fn negative_sf_rejected() {
+        let _ = NonIdealFactors::new(0.0, -0.1);
+    }
+
+    #[test]
+    fn ideal_variation_model_is_identity() {
+        let p = DeviceParams::ideal();
+        let m = VariationModel::new();
+        assert!(m.is_ideal());
+        let mut r = rng();
+        assert_eq!(m.apply(5e-4, &p, &mut r), 5e-4);
+    }
+
+    #[test]
+    fn applied_variation_clamps_to_window() {
+        let p = DeviceParams::ideal();
+        let m = VariationModel::process_variation(3.0);
+        let mut r = rng();
+        for _ in 0..2000 {
+            let g = m.apply(p.g_on, &p, &mut r);
+            assert!(g >= p.g_off && g <= p.g_on);
+        }
+    }
+
+    #[test]
+    fn stuck_on_fault_with_probability_one_pins_to_g_on() {
+        let p = DeviceParams::ideal();
+        let m = VariationModel::new()
+            .with_stuck_fault(StuckFault::new(1.0, StuckFaultKind::StuckOn));
+        let mut r = rng();
+        assert_eq!(m.apply(p.g_off, &p, &mut r), p.g_on);
+    }
+
+    #[test]
+    fn stuck_off_fault_with_probability_one_pins_to_g_off() {
+        let p = DeviceParams::ideal();
+        let m = VariationModel::new()
+            .with_stuck_fault(StuckFault::new(1.0, StuckFaultKind::StuckOff));
+        let mut r = rng();
+        assert_eq!(m.apply(p.g_on, &p, &mut r), p.g_off);
+    }
+
+    #[test]
+    fn stuck_fault_rate_matches_probability() {
+        let p = DeviceParams::ideal();
+        let m = VariationModel::new()
+            .with_stuck_fault(StuckFault::new(0.25, StuckFaultKind::StuckOff));
+        let mut r = rng();
+        let g_mid = 5e-4;
+        let stuck = (0..20_000)
+            .filter(|_| m.apply(g_mid, &p, &mut r) == p.g_off)
+            .count();
+        let rate = stuck as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "stuck rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fault probability")]
+    fn stuck_fault_rejects_bad_probability() {
+        let _ = StuckFault::new(1.5, StuckFaultKind::StuckOn);
+    }
+
+    #[test]
+    fn read_noise_perturbs_conductance() {
+        let p = DeviceParams::ideal();
+        let m = VariationModel::new().with_read_noise(1e-5);
+        let mut r = rng();
+        let g = m.apply(5e-4, &p, &mut r);
+        assert_ne!(g, 5e-4);
+        assert!(g >= p.g_off && g <= p.g_on);
+    }
+
+    #[test]
+    fn from_non_ideal_factors_takes_pv_component() {
+        let m = VariationModel::from(NonIdealFactors::new(0.2, 0.9));
+        assert_eq!(m.process_sigma, 0.2);
+        assert!(m.stuck_fault.is_none());
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!format!("{}", NonIdealFactors::new(0.1, 0.2)).is_empty());
+        let m = VariationModel::process_variation(0.1)
+            .with_stuck_fault(StuckFault::new(0.01, StuckFaultKind::StuckOn))
+            .with_read_noise(1e-6);
+        assert!(format!("{m}").contains("stuck"));
+    }
+}

@@ -1,0 +1,92 @@
+//! The Fig 3 motivation function: `f(x) = exp(−x²)` on `(0, 1)`.
+//!
+//! The paper's §3.1 experiment uses a `1×N×1` RCS "to perform approximate
+//! computing by fitting the calculation of `f(x) = exp(−x²)`", trained on
+//! 10 000 random samples in `(0, 1)` and tested on another 1 000.
+
+use rand::RngCore;
+
+use crate::metrics::ErrorMetric;
+use crate::workload::Workload;
+
+/// The `exp(−x²)` fitting task.
+///
+/// Both input and output naturally live in `(0, 1)`, so no normalization is
+/// needed: `exp(−x²) ∈ (e⁻¹, 1)` for `x ∈ (0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExpFit;
+
+impl ExpFit {
+    /// Create the workload.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The exact kernel.
+    #[must_use]
+    pub fn exact(x: f64) -> f64 {
+        (-x * x).exp()
+    }
+}
+
+impl Workload for ExpFit {
+    fn name(&self) -> &'static str {
+        "expfit"
+    }
+
+    fn domain(&self) -> &'static str {
+        "approximate computing"
+    }
+
+    fn input_dim(&self) -> usize {
+        1
+    }
+
+    fn output_dim(&self) -> usize {
+        1
+    }
+
+    fn digital_topology(&self) -> (usize, usize, usize) {
+        // Fig 3 sweeps the hidden size; 8 is the mid-sweep reference.
+        (1, 8, 1)
+    }
+
+    fn metric(&self) -> ErrorMetric {
+        ErrorMetric::AverageRelativeError
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> (Vec<f64>, Vec<f64>) {
+        let x = rand::Rng::gen::<f64>(rng);
+        (vec![x], vec![Self::exact(x)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_known_values() {
+        assert_eq!(ExpFit::exact(0.0), 1.0);
+        assert!((ExpFit::exact(1.0) - (-1.0f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn samples_satisfy_kernel() {
+        let w = ExpFit::new();
+        let data = w.dataset(100, 1).unwrap();
+        for (x, y) in data.iter() {
+            assert!((y[0] - ExpFit::exact(x[0])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn outputs_in_unit_interval() {
+        let w = ExpFit::new();
+        let data = w.dataset(100, 2).unwrap();
+        for (_, y) in data.iter() {
+            assert!(y[0] > 0.3 && y[0] <= 1.0);
+        }
+    }
+}

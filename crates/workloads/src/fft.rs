@@ -1,0 +1,273 @@
+//! FFT benchmark: approximating the twiddle-factor computation inside a
+//! radix-2 FFT (signal processing, topology 1×8×2).
+//!
+//! In the neural-processing-unit suite the FFT kernel's hot function maps a
+//! normalized rotation angle to the complex twiddle factor
+//! `(cos 2πt, sin 2πt)`; the network learns that map (1 input, 2 outputs).
+//! This module also ships a complete radix-2 Cooley–Tukey FFT whose twiddle
+//! computation can be swapped for an approximation — that is how the
+//! `fft_pipeline` example measures end-to-end application error.
+
+use std::f64::consts::TAU;
+
+use rand::RngCore;
+
+use crate::metrics::ErrorMetric;
+use crate::workload::Workload;
+
+/// A complex number, kept minimal on purpose.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Create a complex number.
+    #[must_use]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Magnitude `|z|`.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+
+    fn add(self, other: Complex) -> Complex {
+        Complex::new(self.re + other.re, self.im + other.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex::new(self.re - other.re, self.im - other.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+}
+
+/// The exact twiddle factor for normalized angle `t ∈ [0, 1)`:
+/// `e^{−i·2πt} = (cos 2πt, −sin 2πt)`.
+#[must_use]
+pub fn twiddle(t: f64) -> Complex {
+    Complex::new((TAU * t).cos(), -(TAU * t).sin())
+}
+
+/// In-place radix-2 decimation-in-time FFT using a pluggable twiddle
+/// provider (`t ∈ [0, 1) → e^{−i2πt}`).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two (or is zero).
+pub fn fft_with_twiddle<F: FnMut(f64) -> Complex>(signal: &mut [Complex], mut twiddle_fn: F) {
+    let n = signal.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            signal.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        for start in (0..n).step_by(len) {
+            for k in 0..len / 2 {
+                let w = twiddle_fn(k as f64 / len as f64);
+                let a = signal[start + k];
+                let b = signal[start + k + len / 2] * w;
+                signal[start + k] = a + b;
+                signal[start + k + len / 2] = a - b;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Radix-2 FFT with exact twiddle factors.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft(signal: &mut [Complex]) {
+    fft_with_twiddle(signal, twiddle);
+}
+
+/// The FFT twiddle benchmark (Table 1 row "FFT").
+///
+/// One normalized input `t ∈ (0, 1)`; two outputs `(cos 2πt, sin 2πt)`
+/// remapped from `[−1, 1]` to `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fft;
+
+impl Fft {
+    /// Create the workload.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Map an exact twiddle to the normalized network target.
+    #[must_use]
+    pub fn normalize(tw: Complex) -> [f64; 2] {
+        [(tw.re + 1.0) / 2.0, (-tw.im + 1.0) / 2.0]
+    }
+
+    /// Map a normalized network output back to a twiddle factor.
+    #[must_use]
+    pub fn denormalize(out: &[f64]) -> Complex {
+        Complex::new(2.0 * out[0] - 1.0, -(2.0 * out[1] - 1.0))
+    }
+}
+
+impl Workload for Fft {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    fn domain(&self) -> &'static str {
+        "signal processing"
+    }
+
+    fn input_dim(&self) -> usize {
+        1
+    }
+
+    fn output_dim(&self) -> usize {
+        2
+    }
+
+    fn digital_topology(&self) -> (usize, usize, usize) {
+        (1, 8, 2)
+    }
+
+    fn metric(&self) -> ErrorMetric {
+        ErrorMetric::AverageRelativeError
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> (Vec<f64>, Vec<f64>) {
+        let t = rand::Rng::gen::<f64>(rng);
+        let target = Self::normalize(twiddle(t));
+        (vec![t], target.to_vec())
+    }
+}
+
+// Index loops in the tests mirror the DFT bin subscripts.
+#[allow(clippy::needless_range_loop)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twiddle_unit_circle() {
+        for &t in &[0.0, 0.125, 0.25, 0.5, 0.75] {
+            assert!((twiddle(t).abs() - 1.0).abs() < 1e-12);
+        }
+        assert!((twiddle(0.0).re - 1.0).abs() < 1e-12);
+        assert!((twiddle(0.25).im + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::default(); 8];
+        x[0] = Complex::new(1.0, 0.0);
+        fft(&mut x);
+        for c in x {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_at_dc() {
+        let mut x = vec![Complex::new(1.0, 0.0); 8];
+        fft(&mut x);
+        assert!((x[0].re - 8.0).abs() < 1e-12);
+        for c in &x[1..] {
+            assert!(c.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let n = 16;
+        let signal: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut fast = signal.clone();
+        fft(&mut fast);
+        for k in 0..n {
+            let mut acc = Complex::default();
+            for (i, s) in signal.iter().enumerate() {
+                let w = twiddle((k * i) as f64 / n as f64 % 1.0);
+                acc = acc + *s * w;
+            }
+            assert!(
+                (fast[k] - acc).abs() < 1e-9,
+                "bin {k}: {:?} vs {:?}",
+                fast[k],
+                acc
+            );
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 32;
+        let signal: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+        let time_energy: f64 = signal.iter().map(|c| c.abs() * c.abs()).sum();
+        let mut spec = signal;
+        fft(&mut spec);
+        let freq_energy: f64 = spec.iter().map(|c| c.abs() * c.abs()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut x = vec![Complex::default(); 6];
+        fft(&mut x);
+    }
+
+    #[test]
+    fn normalize_denormalize_roundtrip() {
+        for &t in &[0.1, 0.4, 0.9] {
+            let tw = twiddle(t);
+            let back = Fft::denormalize(&Fft::normalize(tw));
+            assert!((back.re - tw.re).abs() < 1e-12);
+            assert!((back.im - tw.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn workload_samples_follow_kernel() {
+        let w = Fft::new();
+        let data = w.dataset(50, 0).unwrap();
+        for (x, y) in data.iter() {
+            let expect = Fft::normalize(twiddle(x[0]));
+            assert!((y[0] - expect[0]).abs() < 1e-12);
+            assert!((y[1] - expect[1]).abs() < 1e-12);
+        }
+    }
+}

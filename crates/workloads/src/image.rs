@@ -1,0 +1,340 @@
+//! A tiny grayscale image type for the image-processing benchmarks.
+//!
+//! JPEG, K-means and Sobel all consume pixel data; since the original
+//! benchmark images are not redistributable, seeded synthetic images with
+//! comparable structure (smooth gradients, edges, blobs) are generated
+//! instead.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A grayscale image with pixel intensities in `[0, 1]`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<f64>,
+}
+
+impl GrayImage {
+    /// An all-black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        Self { width, height, pixels: vec![0.0; width * height] }
+    }
+
+    /// Build an image from `f(x, y) → intensity` (values are clamped to
+    /// `[0, 1]`).
+    #[must_use]
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(width: usize, height: usize, mut f: F) -> Self {
+        let mut img = Self::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.pixels[y * width + x] = f(x, y).clamp(0.0, 1.0);
+            }
+        }
+        img
+    }
+
+    /// A diagonal luminance gradient — smooth content (easy for JPEG).
+    #[must_use]
+    pub fn gradient(width: usize, height: usize) -> Self {
+        Self::from_fn(width, height, |x, y| {
+            (x + y) as f64 / (width + height - 2).max(1) as f64
+        })
+    }
+
+    /// A checkerboard with `cell`-pixel squares — hard edges (hard for JPEG,
+    /// rich in Sobel gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is zero.
+    #[must_use]
+    pub fn checkerboard(width: usize, height: usize, cell: usize) -> Self {
+        assert!(cell > 0, "checkerboard cell size must be nonzero");
+        Self::from_fn(width, height, |x, y| (((x / cell) + (y / cell)) % 2) as f64)
+    }
+
+    /// A seeded composition of Gaussian blobs over a gradient background —
+    /// the "natural-ish" synthetic test content used by the benchmarks.
+    #[must_use]
+    pub fn synthetic(width: usize, height: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blob_count = 3 + (rng.gen::<u64>() % 4) as usize;
+        let blobs: Vec<(f64, f64, f64, f64)> = (0..blob_count)
+            .map(|_| {
+                (
+                    rng.gen::<f64>() * width as f64,
+                    rng.gen::<f64>() * height as f64,
+                    (0.05 + 0.20 * rng.gen::<f64>()) * width.max(height) as f64,
+                    0.3 + 0.7 * rng.gen::<f64>(),
+                )
+            })
+            .collect();
+        Self::from_fn(width, height, |x, y| {
+            let mut v = 0.15 + 0.3 * (x + y) as f64 / (width + height) as f64;
+            for &(cx, cy, radius, amplitude) in &blobs {
+                let dx = x as f64 - cx;
+                let dy = y as f64 - cy;
+                v += amplitude * (-(dx * dx + dy * dy) / (2.0 * radius * radius)).exp();
+            }
+            v
+        })
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[must_use]
+    pub fn pixel(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Set the pixel at `(x, y)` (clamped to `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set_pixel(&mut self, x: usize, y: usize, value: f64) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x] = value.clamp(0.0, 1.0);
+    }
+
+    /// Pixel with edge-clamped coordinates (for window extraction at the
+    /// borders).
+    #[must_use]
+    pub fn pixel_clamped(&self, x: isize, y: isize) -> f64 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.pixel(x, y)
+    }
+
+    /// The 3×3 window centred at `(x, y)`, row-major, with edge clamping.
+    #[must_use]
+    pub fn window3x3(&self, x: usize, y: usize) -> [f64; 9] {
+        let mut w = [0.0; 9];
+        for dy in 0..3 {
+            for dx in 0..3 {
+                w[dy * 3 + dx] =
+                    self.pixel_clamped(x as isize + dx as isize - 1, y as isize + dy as isize - 1);
+            }
+        }
+        w
+    }
+
+    /// The 8×8 block whose top-left corner is `(bx·8, by·8)`, row-major,
+    /// edge-clamped when the image size is not a multiple of 8.
+    #[must_use]
+    pub fn block8x8(&self, bx: usize, by: usize) -> [f64; 64] {
+        let mut b = [0.0; 64];
+        for dy in 0..8 {
+            for dx in 0..8 {
+                b[dy * 8 + dx] =
+                    self.pixel_clamped((bx * 8 + dx) as isize, (by * 8 + dy) as isize);
+            }
+        }
+        b
+    }
+
+    /// Write an 8×8 block back at block coordinates `(bx, by)`; pixels
+    /// outside the image are dropped.
+    pub fn set_block8x8(&mut self, bx: usize, by: usize, block: &[f64; 64]) {
+        for dy in 0..8 {
+            for dx in 0..8 {
+                let x = bx * 8 + dx;
+                let y = by * 8 + dy;
+                if x < self.width && y < self.height {
+                    self.set_pixel(x, y, block[dy * 8 + dx]);
+                }
+            }
+        }
+    }
+
+    /// All pixels, row-major.
+    #[must_use]
+    pub fn pixels(&self) -> &[f64] {
+        &self.pixels
+    }
+
+    /// Mean absolute per-pixel difference to another image of the same size
+    /// — the "image diff" metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn mean_abs_diff(&self, other: &GrayImage) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "image dimensions differ"
+        );
+        let total: f64 = self
+            .pixels
+            .iter()
+            .zip(&other.pixels)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        total / self.pixels.len() as f64
+    }
+
+    /// Map every pixel through `f` (result clamped to `[0, 1]`).
+    #[must_use]
+    pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> GrayImage {
+        GrayImage {
+            width: self.width,
+            height: self.height,
+            pixels: self.pixels.iter().map(|&p| f(p).clamp(0.0, 1.0)).collect(),
+        }
+    }
+
+    /// Serialize to an ASCII PGM (P2) image, 8-bit gray levels — handy for
+    /// eyeballing example outputs with any image viewer.
+    #[must_use]
+    pub fn to_pgm(&self) -> String {
+        let mut s = format!("P2\n{} {}\n255\n", self.width, self.height);
+        for y in 0..self.height {
+            let row: Vec<String> = (0..self.width)
+                .map(|x| ((self.pixel(x, y) * 255.0).round() as u32).to_string())
+                .collect();
+            s.push_str(&row.join(" "));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl fmt::Display for GrayImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}×{} grayscale image", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_clamps() {
+        let img = GrayImage::from_fn(2, 2, |x, _| x as f64 * 5.0 - 1.0);
+        assert_eq!(img.pixel(0, 0), 0.0);
+        assert_eq!(img.pixel(1, 0), 1.0);
+    }
+
+    #[test]
+    fn gradient_monotone_along_diagonal() {
+        let img = GrayImage::gradient(8, 8);
+        assert_eq!(img.pixel(0, 0), 0.0);
+        assert_eq!(img.pixel(7, 7), 1.0);
+        assert!(img.pixel(3, 3) < img.pixel(5, 5));
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let img = GrayImage::checkerboard(4, 4, 1);
+        assert_eq!(img.pixel(0, 0), 0.0);
+        assert_eq!(img.pixel(1, 0), 1.0);
+        assert_eq!(img.pixel(0, 1), 1.0);
+        assert_eq!(img.pixel(1, 1), 0.0);
+    }
+
+    #[test]
+    fn synthetic_is_seeded_and_in_range() {
+        let a = GrayImage::synthetic(16, 16, 7);
+        let b = GrayImage::synthetic(16, 16, 7);
+        let c = GrayImage::synthetic(16, 16, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.pixels().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn window_edge_clamps() {
+        let img = GrayImage::gradient(4, 4);
+        let w = img.window3x3(0, 0);
+        // Top-left corner: out-of-bounds neighbors clamp to the corner pixel.
+        assert_eq!(w[0], img.pixel(0, 0));
+        assert_eq!(w[4], img.pixel(0, 0));
+        assert_eq!(w[8], img.pixel(1, 1));
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let img = GrayImage::synthetic(16, 16, 1);
+        let block = img.block8x8(1, 0);
+        let mut copy = GrayImage::new(16, 16);
+        copy.set_block8x8(1, 0, &block);
+        for dy in 0..8 {
+            for dx in 0..8 {
+                assert_eq!(copy.pixel(8 + dx, dy), img.pixel(8 + dx, dy));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_abs_diff_identity_and_symmetry() {
+        let a = GrayImage::synthetic(8, 8, 2);
+        let b = GrayImage::synthetic(8, 8, 3);
+        assert_eq!(a.mean_abs_diff(&a), 0.0);
+        assert!((a.mean_abs_diff(&b) - b.mean_abs_diff(&a)).abs() < 1e-15);
+        assert!(a.mean_abs_diff(&b) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions differ")]
+    fn mean_abs_diff_rejects_mismatched() {
+        let _ = GrayImage::new(2, 2).mean_abs_diff(&GrayImage::new(3, 3));
+    }
+
+    #[test]
+    fn map_applies_and_clamps() {
+        let img = GrayImage::gradient(4, 4).map(|p| p * 2.0);
+        assert_eq!(img.pixel(3, 3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn pixel_out_of_bounds_panics() {
+        let _ = GrayImage::new(2, 2).pixel(2, 0);
+    }
+
+    #[test]
+    fn display_mentions_size() {
+        assert!(GrayImage::new(3, 5).to_string().contains("3×5"));
+    }
+
+    #[test]
+    fn pgm_serialization_has_header_and_levels() {
+        let mut img = GrayImage::new(2, 2);
+        img.set_pixel(0, 0, 1.0);
+        img.set_pixel(1, 1, 0.5);
+        let pgm = img.to_pgm();
+        assert!(pgm.starts_with("P2\n2 2\n255\n"));
+        assert!(pgm.contains("255 0"));
+        assert!(pgm.contains("0 128"));
+    }
+}

@@ -1,0 +1,382 @@
+//! jmeint benchmark: triangle–triangle intersection testing
+//! (3D gaming, topology 18×48×2).
+//!
+//! The kernel decides whether two 3D triangles intersect — the inner loop of
+//! collision detection in the jMonkeyEngine game engine the suite takes it
+//! from. Inputs are the 18 vertex coordinates; the network output is a
+//! two-port one-hot classification (intersects / does not), scored by miss
+//! rate.
+//!
+//! The exact test here is edge-based: two non-coplanar triangles intersect
+//! iff some edge of one crosses the face of the other, and each
+//! edge–triangle query is a Möller–Trumbore ray cast restricted to the
+//! segment. (Exactly coplanar pairs have probability zero under the random
+//! sampler and are reported as non-intersecting.)
+
+use rand::RngCore;
+
+use crate::metrics::ErrorMetric;
+use crate::workload::Workload;
+
+/// A 3D point/vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Vec3 {
+    /// Create a vector.
+    #[must_use]
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Dot product.
+    #[must_use]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[must_use]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+}
+
+/// A triangle given by its three vertices.
+pub type Triangle = [Vec3; 3];
+
+/// Epsilon guarding the Möller–Trumbore determinant (parallel segment).
+const EPS: f64 = 1e-12;
+
+/// Does the closed segment `p→q` intersect triangle `tri`?
+///
+/// Möller–Trumbore with the ray parameter restricted to `[0, 1]`.
+#[must_use]
+pub fn segment_intersects_triangle(p: Vec3, q: Vec3, tri: &Triangle) -> bool {
+    let dir = q - p;
+    let e1 = tri[1] - tri[0];
+    let e2 = tri[2] - tri[0];
+    let h = dir.cross(e2);
+    let a = e1.dot(h);
+    if a.abs() < EPS {
+        return false; // segment parallel to the triangle plane
+    }
+    let f = 1.0 / a;
+    let s = p - tri[0];
+    let u = f * s.dot(h);
+    if !(0.0..=1.0).contains(&u) {
+        return false;
+    }
+    let qv = s.cross(e1);
+    let v = f * dir.dot(qv);
+    if v < 0.0 || u + v > 1.0 {
+        return false;
+    }
+    let t = f * e2.dot(qv);
+    (0.0..=1.0).contains(&t)
+}
+
+/// Do two triangles intersect?
+///
+/// Non-coplanar triangles intersect iff an edge of one pierces the other;
+/// all six edge–face queries are checked.
+#[must_use]
+pub fn triangles_intersect(t1: &Triangle, t2: &Triangle) -> bool {
+    let edges = |t: &Triangle| [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])];
+    edges(t1).iter().any(|&(p, q)| segment_intersects_triangle(p, q, t2))
+        || edges(t2).iter().any(|&(p, q)| segment_intersects_triangle(p, q, t1))
+}
+
+/// An independent second implementation: Möller's interval-overlap test
+/// (the algorithm the original jmeint kernel uses), kept for
+/// cross-validation of [`triangles_intersect`] in the test suite.
+///
+/// Steps: reject when one triangle lies strictly on one side of the other's
+/// plane; otherwise project onto the intersection line `D = N₁×N₂` and test
+/// the two crossing intervals for overlap. Coplanar pairs (measure zero
+/// under the samplers) are reported as non-intersecting, matching the
+/// primary test's convention.
+#[must_use]
+pub fn triangles_intersect_moller(t1: &Triangle, t2: &Triangle) -> bool {
+    let n2 = (t2[1] - t2[0]).cross(t2[2] - t2[0]);
+    let d2 = -n2.dot(t2[0]);
+    let dist1: Vec<f64> = t1.iter().map(|v| n2.dot(*v) + d2).collect();
+    if dist1.iter().all(|&d| d > EPS) || dist1.iter().all(|&d| d < -EPS) {
+        return false;
+    }
+
+    let n1 = (t1[1] - t1[0]).cross(t1[2] - t1[0]);
+    let d1 = -n1.dot(t1[0]);
+    let dist2: Vec<f64> = t2.iter().map(|v| n1.dot(*v) + d1).collect();
+    if dist2.iter().all(|&d| d > EPS) || dist2.iter().all(|&d| d < -EPS) {
+        return false;
+    }
+
+    let dir = n1.cross(n2);
+    let axis_len2 = dir.dot(dir);
+    if axis_len2 < EPS {
+        return false; // coplanar (or degenerate): report disjoint
+    }
+
+    // Interval of a triangle on the intersection line: for each edge that
+    // crosses the other plane, the crossing point's projection onto `dir`.
+    let interval = |t: &Triangle, dist: &[f64]| -> Option<(f64, f64)> {
+        let mut crossings = Vec::with_capacity(2);
+        for (a, b) in [(0, 1), (1, 2), (2, 0)] {
+            let (da, db) = (dist[a], dist[b]);
+            if (da > 0.0) != (db > 0.0) && (da - db).abs() > EPS {
+                let f = da / (da - db);
+                let p = Vec3::new(
+                    t[a].x + f * (t[b].x - t[a].x),
+                    t[a].y + f * (t[b].y - t[a].y),
+                    t[a].z + f * (t[b].z - t[a].z),
+                );
+                crossings.push(dir.dot(p));
+            }
+        }
+        if crossings.len() < 2 {
+            return None;
+        }
+        let lo = crossings.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = crossings.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Some((lo, hi))
+    };
+    match (interval(t1, &dist1), interval(t2, &dist2)) {
+        (Some((a0, a1)), Some((b0, b1))) => a0 <= b1 + EPS && b0 <= a1 + EPS,
+        _ => false,
+    }
+}
+
+/// The jmeint workload.
+///
+/// Triangle pairs are sampled with nearby centres and comparable extents so
+/// the two classes stay balanced (≈ 40–60% intersecting), as in the original
+/// collision-detection traces.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Jmeint;
+
+/// Half-extent of the vertex cloud around each triangle's centre.
+const SPREAD: f64 = 0.28;
+/// Half-extent of the offset between the two triangle centres. Keeping the
+/// centres close makes roughly half of the sampled pairs intersect, matching
+/// the balanced collision traces of the original benchmark.
+const CENTER_OFFSET: f64 = 0.08;
+
+impl Jmeint {
+    /// Create the workload.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Decode 18 normalized coordinates into two triangles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len() != 18`.
+    #[must_use]
+    pub fn decode(coords: &[f64]) -> (Triangle, Triangle) {
+        assert_eq!(coords.len(), 18, "jmeint expects 18 coordinates");
+        let v = |i: usize| Vec3::new(coords[3 * i], coords[3 * i + 1], coords[3 * i + 2]);
+        ([v(0), v(1), v(2)], [v(3), v(4), v(5)])
+    }
+
+    /// The one-hot class target: `[1, 0]` intersecting, `[0, 1]` disjoint.
+    #[must_use]
+    pub fn label(intersects: bool) -> [f64; 2] {
+        if intersects {
+            [1.0, 0.0]
+        } else {
+            [0.0, 1.0]
+        }
+    }
+}
+
+impl Workload for Jmeint {
+    fn name(&self) -> &'static str {
+        "jmeint"
+    }
+
+    fn domain(&self) -> &'static str {
+        "3d gaming"
+    }
+
+    fn input_dim(&self) -> usize {
+        18
+    }
+
+    fn output_dim(&self) -> usize {
+        2
+    }
+
+    fn digital_topology(&self) -> (usize, usize, usize) {
+        (18, 48, 2)
+    }
+
+    fn metric(&self) -> ErrorMetric {
+        ErrorMetric::MissRate
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> (Vec<f64>, Vec<f64>) {
+        let mut gen = |lo: f64, hi: f64| lo + rand::Rng::gen::<f64>(rng) * (hi - lo);
+        // Shared neighbourhood: the first triangle's centre sits in the
+        // middle of the unit cube, the second's is a small offset away, and
+        // vertices scatter within ±SPREAD of their centre.
+        let mut coords = [0.0f64; 18];
+        let c1 = [gen(0.4, 0.6), gen(0.4, 0.6), gen(0.4, 0.6)];
+        let c2 = [
+            c1[0] + gen(-CENTER_OFFSET, CENTER_OFFSET),
+            c1[1] + gen(-CENTER_OFFSET, CENTER_OFFSET),
+            c1[2] + gen(-CENTER_OFFSET, CENTER_OFFSET),
+        ];
+        for (tri, centre) in [c1, c2].iter().enumerate() {
+            for vert in 0..3 {
+                let base = tri * 9 + vert * 3;
+                for axis in 0..3 {
+                    coords[base + axis] =
+                        (centre[axis] + gen(-SPREAD, SPREAD)).clamp(0.0, 1.0);
+                }
+            }
+        }
+        let (t1, t2) = Self::decode(&coords);
+        let label = Self::label(triangles_intersect(&t1, &t2));
+        (coords.to_vec(), label.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri(a: [f64; 3], b: [f64; 3], c: [f64; 3]) -> Triangle {
+        [
+            Vec3::new(a[0], a[1], a[2]),
+            Vec3::new(b[0], b[1], b[2]),
+            Vec3::new(c[0], c[1], c[2]),
+        ]
+    }
+
+    #[test]
+    fn crossing_triangles_intersect() {
+        // A triangle in the z=0 plane and one piercing it vertically.
+        let flat = tri([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        let pierce = tri([0.2, 0.2, -0.5], [0.2, 0.2, 0.5], [0.8, 0.8, 0.5]);
+        assert!(triangles_intersect(&flat, &pierce));
+        assert!(triangles_intersect(&pierce, &flat));
+    }
+
+    #[test]
+    fn distant_triangles_do_not_intersect() {
+        let a = tri([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        let b = tri([0.0, 0.0, 5.0], [1.0, 0.0, 5.0], [0.0, 1.0, 5.0]);
+        assert!(!triangles_intersect(&a, &b));
+    }
+
+    #[test]
+    fn parallel_close_triangles_do_not_intersect() {
+        let a = tri([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        let b = tri([0.0, 0.0, 0.01], [1.0, 0.0, 0.01], [0.0, 1.0, 0.01]);
+        assert!(!triangles_intersect(&a, &b));
+    }
+
+    #[test]
+    fn shared_region_triangles_intersect() {
+        // Two triangles crossing like an X.
+        let a = tri([0.0, 0.0, -1.0], [0.0, 0.0, 1.0], [1.0, 0.0, 0.0]);
+        let b = tri([0.5, -1.0, 0.0], [0.5, 1.0, 0.0], [0.5, 0.0, 1.0]);
+        assert!(triangles_intersect(&a, &b));
+    }
+
+    #[test]
+    fn segment_test_respects_segment_bounds() {
+        let flat = tri([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        // Line through the triangle, but the segment stops short of the plane.
+        let p = Vec3::new(0.2, 0.2, 1.0);
+        let q = Vec3::new(0.2, 0.2, 0.5);
+        assert!(!segment_intersects_triangle(p, q, &flat));
+        let q2 = Vec3::new(0.2, 0.2, -0.5);
+        assert!(segment_intersects_triangle(p, q2, &flat));
+    }
+
+    #[test]
+    fn intersection_is_symmetric_on_random_pairs() {
+        let w = Jmeint::new();
+        let data = w.dataset(200, 11).unwrap();
+        for (x, _) in data.iter() {
+            let (t1, t2) = Jmeint::decode(x);
+            assert_eq!(triangles_intersect(&t1, &t2), triangles_intersect(&t2, &t1));
+        }
+    }
+
+    #[test]
+    fn sampler_produces_balanced_classes() {
+        let w = Jmeint::new();
+        let data = w.dataset(2000, 13).unwrap();
+        let positives = data.iter().filter(|(_, y)| y[0] == 1.0).count();
+        let rate = positives as f64 / data.len() as f64;
+        assert!(
+            (0.2..=0.8).contains(&rate),
+            "intersection rate {rate} too imbalanced for classification"
+        );
+    }
+
+    #[test]
+    fn moller_agrees_with_edge_test_on_known_cases() {
+        let flat = tri([0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        let pierce = tri([0.2, 0.2, -0.5], [0.2, 0.2, 0.5], [0.8, 0.8, 0.5]);
+        let far = tri([0.0, 0.0, 5.0], [1.0, 0.0, 5.0], [0.0, 1.0, 5.0]);
+        assert!(triangles_intersect_moller(&flat, &pierce));
+        assert!(!triangles_intersect_moller(&flat, &far));
+    }
+
+    #[test]
+    fn the_two_implementations_agree_on_random_pairs() {
+        // Two independently-derived algorithms; their (near-)perfect
+        // agreement on thousands of sampled pairs validates both. Ties at
+        // exact contact (measure zero) are the only allowed divergence.
+        let w = Jmeint::new();
+        let data = w.dataset(3000, 77).unwrap();
+        let mut disagreements = 0usize;
+        for (x, _) in data.iter() {
+            let (t1, t2) = Jmeint::decode(x);
+            if triangles_intersect(&t1, &t2) != triangles_intersect_moller(&t1, &t2) {
+                disagreements += 1;
+            }
+        }
+        assert!(
+            disagreements <= 3,
+            "{disagreements}/3000 disagreements between implementations"
+        );
+    }
+
+    #[test]
+    fn labels_are_one_hot() {
+        assert_eq!(Jmeint::label(true), [1.0, 0.0]);
+        assert_eq!(Jmeint::label(false), [0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "18 coordinates")]
+    fn decode_rejects_wrong_length() {
+        let _ = Jmeint::decode(&[0.0; 17]);
+    }
+}

@@ -1,0 +1,308 @@
+//! JPEG benchmark: 8×8 block DCT + quantization
+//! (compression, topology 64×16×64).
+//!
+//! The kernel is the hot loop of a JPEG encoder: shift an 8×8 pixel block,
+//! take its 2D DCT-II, and quantize with the standard luminance table. The
+//! network maps the 64 input pixels directly to the 64 normalized quantized
+//! coefficients; the application error is the image diff after decoding the
+//! approximate coefficients back to pixels.
+
+use rand::RngCore;
+
+use crate::image::GrayImage;
+use crate::metrics::ErrorMetric;
+use crate::workload::Workload;
+
+/// The standard JPEG luminance quantization table (Annex K of ITU T.81),
+/// row-major `u` (vertical frequency) then `v`.
+pub const LUMINANCE_QUANT: [f64; 64] = [
+    16.0, 11.0, 10.0, 16.0, 24.0, 40.0, 51.0, 61.0, //
+    12.0, 12.0, 14.0, 19.0, 26.0, 58.0, 60.0, 55.0, //
+    14.0, 13.0, 16.0, 24.0, 40.0, 57.0, 69.0, 56.0, //
+    14.0, 17.0, 22.0, 29.0, 51.0, 87.0, 80.0, 62.0, //
+    18.0, 22.0, 37.0, 56.0, 68.0, 109.0, 103.0, 77.0, //
+    24.0, 35.0, 55.0, 64.0, 81.0, 104.0, 113.0, 92.0, //
+    49.0, 64.0, 78.0, 87.0, 103.0, 121.0, 120.0, 101.0, //
+    72.0, 92.0, 95.0, 98.0, 112.0, 100.0, 103.0, 99.0,
+];
+
+/// Pixel scale matching the 8-bit convention the quantization table assumes.
+const PIXEL_SCALE: f64 = 255.0;
+
+fn alpha(u: usize) -> f64 {
+    if u == 0 {
+        (1.0f64 / 8.0).sqrt()
+    } else {
+        (2.0f64 / 8.0).sqrt()
+    }
+}
+
+/// 2D DCT-II of an 8×8 pixel block (pixels in `[0, 1]`, internally shifted
+/// to a zero-centred 8-bit range so the standard quantization table applies).
+#[must_use]
+pub fn dct2(pixels: &[f64; 64]) -> [f64; 64] {
+    let mut coeffs = [0.0; 64];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0.0;
+            for y in 0..8 {
+                for x in 0..8 {
+                    let p = (pixels[y * 8 + x] - 0.5) * PIXEL_SCALE;
+                    acc += p
+                        * ((2 * y + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos()
+                        * ((2 * x + 1) as f64 * v as f64 * std::f64::consts::PI / 16.0).cos();
+                }
+            }
+            coeffs[u * 8 + v] = alpha(u) * alpha(v) * acc;
+        }
+    }
+    coeffs
+}
+
+/// Inverse 2D DCT back to pixels in `[0, 1]` (clamped).
+#[must_use]
+pub fn idct2(coeffs: &[f64; 64]) -> [f64; 64] {
+    let mut pixels = [0.0; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0;
+            for u in 0..8 {
+                for v in 0..8 {
+                    acc += alpha(u)
+                        * alpha(v)
+                        * coeffs[u * 8 + v]
+                        * ((2 * y + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos()
+                        * ((2 * x + 1) as f64 * v as f64 * std::f64::consts::PI / 16.0).cos();
+                }
+            }
+            pixels[y * 8 + x] = (acc / PIXEL_SCALE + 0.5).clamp(0.0, 1.0);
+        }
+    }
+    pixels
+}
+
+/// Quantize DCT coefficients with the luminance table: `round(C / Q)`.
+#[must_use]
+pub fn quantize(coeffs: &[f64; 64]) -> [i32; 64] {
+    let mut q = [0i32; 64];
+    for i in 0..64 {
+        q[i] = (coeffs[i] / LUMINANCE_QUANT[i]).round() as i32;
+    }
+    q
+}
+
+/// Dequantize: `C ≈ q · Q`.
+#[must_use]
+pub fn dequantize(quantized: &[i32; 64]) -> [f64; 64] {
+    let mut c = [0.0; 64];
+    for i in 0..64 {
+        c[i] = f64::from(quantized[i]) * LUMINANCE_QUANT[i];
+    }
+    c
+}
+
+/// Largest quantized magnitude per coefficient: `|C| ≤ 1024` in 8-bit units,
+/// so `|q| ≤ 1024 / Q`.
+fn q_range(i: usize) -> f64 {
+    (1024.0 / LUMINANCE_QUANT[i]).ceil()
+}
+
+/// Normalize a quantized coefficient vector to `[0, 1]` per coefficient
+/// (0.5 = zero, full scale = ± the coefficient's maximum magnitude).
+#[must_use]
+pub fn normalize_quantized(quantized: &[i32; 64]) -> [f64; 64] {
+    let mut n = [0.0; 64];
+    for i in 0..64 {
+        n[i] = (f64::from(quantized[i]) / (2.0 * q_range(i)) + 0.5).clamp(0.0, 1.0);
+    }
+    n
+}
+
+/// Invert [`normalize_quantized`] (rounding to the nearest integer level).
+#[must_use]
+pub fn denormalize_quantized(normalized: &[f64; 64]) -> [i32; 64] {
+    let mut q = [0i32; 64];
+    for i in 0..64 {
+        q[i] = ((normalized[i] - 0.5) * 2.0 * q_range(i)).round() as i32;
+    }
+    q
+}
+
+/// The full exact encode: pixels → normalized quantized coefficients.
+#[must_use]
+pub fn encode_block(pixels: &[f64; 64]) -> [f64; 64] {
+    normalize_quantized(&quantize(&dct2(pixels)))
+}
+
+/// The full decode: normalized coefficients → pixels.
+#[must_use]
+pub fn decode_block(normalized: &[f64; 64]) -> [f64; 64] {
+    idct2(&dequantize(&denormalize_quantized(normalized)))
+}
+
+/// Round-trip an image through block encode/decode using an arbitrary
+/// encoder (the exact one, or a neural approximation with the same
+/// signature).
+pub fn compress_image<F>(image: &GrayImage, mut encoder: F) -> GrayImage
+where
+    F: FnMut(&[f64; 64]) -> [f64; 64],
+{
+    let bw = image.width().div_ceil(8);
+    let bh = image.height().div_ceil(8);
+    let mut out = GrayImage::new(image.width(), image.height());
+    for by in 0..bh {
+        for bx in 0..bw {
+            let block = image.block8x8(bx, by);
+            let decoded = decode_block(&encoder(&block));
+            out.set_block8x8(bx, by, &decoded);
+        }
+    }
+    out
+}
+
+/// The JPEG workload: blocks drawn from seeded synthetic images.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Jpeg;
+
+impl Jpeg {
+    /// Create the workload.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Workload for Jpeg {
+    fn name(&self) -> &'static str {
+        "jpeg"
+    }
+
+    fn domain(&self) -> &'static str {
+        "compression"
+    }
+
+    fn input_dim(&self) -> usize {
+        64
+    }
+
+    fn output_dim(&self) -> usize {
+        64
+    }
+
+    fn digital_topology(&self) -> (usize, usize, usize) {
+        (64, 16, 64)
+    }
+
+    fn metric(&self) -> ErrorMetric {
+        ErrorMetric::ImageDiff
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> (Vec<f64>, Vec<f64>) {
+        // Blocks come from photograph-scale synthetic scenes so their DCT
+        // statistics (energy concentrated in low frequencies) match the
+        // original benchmark's image traces.
+        let seed = rand::Rng::gen::<u64>(rng);
+        let img = GrayImage::synthetic(32, 32, seed);
+        let bx = rand::Rng::gen_range(rng, 0..4);
+        let by = rand::Rng::gen_range(rng, 0..4);
+        let block = img.block8x8(bx, by);
+        (block.to_vec(), encode_block(&block).to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block(seed: u64) -> [f64; 64] {
+        let img = GrayImage::synthetic(8, 8, seed);
+        let mut b = [0.0; 64];
+        b.copy_from_slice(img.pixels());
+        b
+    }
+
+    #[test]
+    fn dct_idct_roundtrip_is_near_exact() {
+        let block = sample_block(1);
+        let back = idct2(&dct2(&block));
+        for (a, b) in back.iter().zip(&block) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn constant_block_has_only_dc() {
+        let block = [0.75; 64];
+        let coeffs = dct2(&block);
+        assert!(coeffs[0].abs() > 1.0, "DC should carry the mean");
+        for (i, c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-9, "AC coefficient {i} = {c}");
+        }
+    }
+
+    #[test]
+    fn dct_is_orthonormal_energy_preserving() {
+        let block = sample_block(2);
+        let coeffs = dct2(&block);
+        let pix_energy: f64 =
+            block.iter().map(|p| ((p - 0.5) * 255.0).powi(2)).sum();
+        let coef_energy: f64 = coeffs.iter().map(|c| c * c).sum();
+        assert!((pix_energy - coef_energy).abs() < 1e-6 * pix_energy.max(1.0));
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded_by_table() {
+        let coeffs = dct2(&sample_block(3));
+        let restored = dequantize(&quantize(&coeffs));
+        for i in 0..64 {
+            assert!(
+                (coeffs[i] - restored[i]).abs() <= 0.5 * LUMINANCE_QUANT[i] + 1e-9,
+                "coefficient {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn normalization_roundtrip_is_exact_on_quantized_values() {
+        let q = quantize(&dct2(&sample_block(4)));
+        let back = denormalize_quantized(&normalize_quantized(&q));
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn encode_decode_block_reconstructs_smooth_content_well() {
+        // A smooth gradient block compresses almost losslessly.
+        let img = GrayImage::gradient(8, 8);
+        let mut block = [0.0; 64];
+        block.copy_from_slice(img.pixels());
+        let decoded = decode_block(&encode_block(&block));
+        let err: f64 =
+            decoded.iter().zip(&block).map(|(a, b)| (a - b).abs()).sum::<f64>() / 64.0;
+        assert!(err < 0.03, "mean reconstruction error {err}");
+    }
+
+    #[test]
+    fn compress_image_with_exact_encoder_is_faithful() {
+        let img = GrayImage::synthetic(16, 16, 5);
+        let out = compress_image(&img, encode_block);
+        assert!(img.mean_abs_diff(&out) < 0.05, "diff {}", img.mean_abs_diff(&out));
+    }
+
+    #[test]
+    fn workload_targets_match_exact_encoder() {
+        let w = Jpeg::new();
+        let data = w.dataset(10, 6).unwrap();
+        for (x, y) in data.iter() {
+            let mut block = [0.0; 64];
+            block.copy_from_slice(x);
+            assert_eq!(encode_block(&block).to_vec(), y.to_vec());
+        }
+    }
+
+    #[test]
+    fn normalized_targets_center_on_half() {
+        // Zero quantized coefficients map to exactly 0.5.
+        let q = [0i32; 64];
+        assert!(normalize_quantized(&q).iter().all(|&n| n == 0.5));
+    }
+}

@@ -1,0 +1,297 @@
+//! K-means benchmark: the distance computation of pixel clustering
+//! (machine learning, topology 6×20×1).
+//!
+//! The kernel is the inner loop of K-means image segmentation: given a pixel
+//! colour and a centroid colour (6 inputs), compute their normalized
+//! Euclidean distance (1 output). Replacing it with a network approximates
+//! the clustering; the application error is the image diff between an image
+//! segmented with exact distances and one segmented with approximate
+//! distances.
+
+use rand::RngCore;
+
+use crate::image::GrayImage;
+use crate::metrics::ErrorMetric;
+use crate::workload::Workload;
+
+/// An RGB colour with channels in `[0, 1]`.
+pub type Rgb = [f64; 3];
+
+/// Normalized Euclidean distance between two RGB colours, in `[0, 1]`
+/// (divided by `√3`, the diagonal of the unit colour cube).
+#[must_use]
+pub fn normalized_distance(a: &Rgb, b: &Rgb) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (d2 / 3.0).sqrt()
+}
+
+/// Assign each pixel to the nearest centroid under an arbitrary distance
+/// function (exact, or a neural approximation).
+///
+/// Returns one centroid index per pixel.
+///
+/// # Panics
+///
+/// Panics if `centroids` is empty.
+pub fn assign_clusters<F>(pixels: &[Rgb], centroids: &[Rgb], mut distance: F) -> Vec<usize>
+where
+    F: FnMut(&Rgb, &Rgb) -> f64,
+{
+    assert!(!centroids.is_empty(), "need at least one centroid");
+    pixels
+        .iter()
+        .map(|p| {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (i, c) in centroids.iter().enumerate() {
+                let d = distance(p, c);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// One Lloyd iteration: recompute each centroid as the mean of its assigned
+/// pixels (empty clusters keep their previous centroid).
+#[must_use]
+pub fn update_centroids(pixels: &[Rgb], assignment: &[usize], centroids: &[Rgb]) -> Vec<Rgb> {
+    let k = centroids.len();
+    let mut sums = vec![[0.0f64; 3]; k];
+    let mut counts = vec![0usize; k];
+    for (p, &a) in pixels.iter().zip(assignment) {
+        for ch in 0..3 {
+            sums[a][ch] += p[ch];
+        }
+        counts[a] += 1;
+    }
+    (0..k)
+        .map(|i| {
+            if counts[i] == 0 {
+                centroids[i]
+            } else {
+                let n = counts[i] as f64;
+                [sums[i][0] / n, sums[i][1] / n, sums[i][2] / n]
+            }
+        })
+        .collect()
+}
+
+/// Run `iterations` of Lloyd's algorithm with a pluggable distance function,
+/// returning the final `(assignment, centroids)`.
+pub fn kmeans<F>(
+    pixels: &[Rgb],
+    mut centroids: Vec<Rgb>,
+    iterations: usize,
+    mut distance: F,
+) -> (Vec<usize>, Vec<Rgb>)
+where
+    F: FnMut(&Rgb, &Rgb) -> f64,
+{
+    let mut assignment = assign_clusters(pixels, &centroids, &mut distance);
+    for _ in 0..iterations {
+        centroids = update_centroids(pixels, &assignment, &centroids);
+        assignment = assign_clusters(pixels, &centroids, &mut distance);
+    }
+    (assignment, centroids)
+}
+
+/// Segment a grayscale image: treat each pixel's intensity as a gray RGB,
+/// cluster with `k` seeded centroids, and paint every pixel with its
+/// centroid's intensity. The `distance` function is pluggable so a neural
+/// approximation can be swapped in.
+pub fn segment_image<F>(image: &GrayImage, k: usize, iterations: usize, distance: F) -> GrayImage
+where
+    F: FnMut(&Rgb, &Rgb) -> f64,
+{
+    assert!(k > 0, "need at least one cluster");
+    let pixels: Vec<Rgb> = image.pixels().iter().map(|&p| [p, p, p]).collect();
+    // Deterministic spread of initial centroids over the intensity range.
+    let centroids: Vec<Rgb> = (0..k)
+        .map(|i| {
+            let v = (i as f64 + 0.5) / k as f64;
+            [v, v, v]
+        })
+        .collect();
+    let (assignment, centroids) = kmeans(&pixels, centroids, iterations, distance);
+    let mut out = GrayImage::new(image.width(), image.height());
+    for y in 0..image.height() {
+        for x in 0..image.width() {
+            let c = centroids[assignment[y * image.width() + x]];
+            out.set_pixel(x, y, c[0]);
+        }
+    }
+    out
+}
+
+/// The K-means workload: 6 inputs `(pixel RGB, centroid RGB)` → 1 output
+/// (normalized distance).
+///
+/// The sampler reproduces the distance distribution the kernel sees in the
+/// real application: once clustering converges, most queries compare a pixel
+/// against a *nearby* centroid (small distances), with a minority of
+/// far-centroid comparisons from the assignment scans. Concretely, 70% of
+/// samples draw the centroid as a Gaussian perturbation (σ = 0.15 per
+/// channel) of the pixel and 30% draw it uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KMeans;
+
+/// Fraction of samples whose centroid is near the pixel (converged pairs).
+const NEAR_FRACTION: f64 = 0.7;
+/// Per-channel σ of the near-centroid perturbation.
+const NEAR_SIGMA: f64 = 0.15;
+
+impl KMeans {
+    /// Create the workload.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Pack a pixel/centroid pair into the 6-element network input.
+    #[must_use]
+    pub fn pack(pixel: &Rgb, centroid: &Rgb) -> [f64; 6] {
+        [pixel[0], pixel[1], pixel[2], centroid[0], centroid[1], centroid[2]]
+    }
+}
+
+impl Workload for KMeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn domain(&self) -> &'static str {
+        "machine learning"
+    }
+
+    fn input_dim(&self) -> usize {
+        6
+    }
+
+    fn output_dim(&self) -> usize {
+        1
+    }
+
+    fn digital_topology(&self) -> (usize, usize, usize) {
+        (6, 20, 1)
+    }
+
+    fn metric(&self) -> ErrorMetric {
+        ErrorMetric::ImageDiff
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> (Vec<f64>, Vec<f64>) {
+        let mut gen = || rand::Rng::gen::<f64>(rng);
+        let pixel: Rgb = [gen(), gen(), gen()];
+        let centroid: Rgb = if gen() < NEAR_FRACTION {
+            let mut c = [0.0; 3];
+            for (ci, pi) in c.iter_mut().zip(&pixel) {
+                // Box–Muller normal perturbation around the pixel channel.
+                let u1: f64 = 1.0 - gen();
+                let u2: f64 = gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                *ci = (pi + NEAR_SIGMA * z).clamp(0.0, 1.0);
+            }
+            c
+        } else {
+            [gen(), gen(), gen()]
+        };
+        (
+            KMeans::pack(&pixel, &centroid).to_vec(),
+            vec![normalized_distance(&pixel, &centroid)],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_properties() {
+        let a: Rgb = [0.1, 0.5, 0.9];
+        let b: Rgb = [0.9, 0.2, 0.0];
+        assert_eq!(normalized_distance(&a, &a), 0.0);
+        assert!((normalized_distance(&a, &b) - normalized_distance(&b, &a)).abs() < 1e-15);
+        assert!((normalized_distance(&[0.0; 3], &[1.0; 3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assignment_picks_nearest() {
+        let pixels: Vec<Rgb> = vec![[0.1, 0.1, 0.1], [0.9, 0.9, 0.9]];
+        let centroids: Vec<Rgb> = vec![[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]];
+        let a = assign_clusters(&pixels, &centroids, normalized_distance);
+        assert_eq!(a, vec![0, 1]);
+    }
+
+    #[test]
+    fn centroid_update_takes_means() {
+        let pixels: Vec<Rgb> = vec![[0.0, 0.0, 0.0], [0.2, 0.2, 0.2], [1.0, 1.0, 1.0]];
+        let centroids: Vec<Rgb> = vec![[0.1, 0.1, 0.1], [0.9, 0.9, 0.9]];
+        let assignment = vec![0, 0, 1];
+        let updated = update_centroids(&pixels, &assignment, &centroids);
+        assert!((updated[0][0] - 0.1).abs() < 1e-12);
+        assert!((updated[1][0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cluster_keeps_centroid() {
+        let pixels: Vec<Rgb> = vec![[0.0; 3]];
+        let centroids: Vec<Rgb> = vec![[0.0; 3], [0.8; 3]];
+        let updated = update_centroids(&pixels, &[0], &centroids);
+        assert_eq!(updated[1], [0.8; 3]);
+    }
+
+    #[test]
+    fn kmeans_separates_two_blobs() {
+        let mut pixels: Vec<Rgb> = Vec::new();
+        for i in 0..20 {
+            let v = 0.1 + 0.01 * (i as f64);
+            pixels.push([v, v, v]);
+        }
+        for i in 0..20 {
+            let v = 0.8 + 0.005 * (i as f64);
+            pixels.push([v, v, v]);
+        }
+        let (assignment, centroids) =
+            kmeans(&pixels, vec![[0.4; 3], [0.6; 3]], 10, normalized_distance);
+        // All of the first blob together, all of the second together.
+        assert!(assignment[..20].iter().all(|&a| a == assignment[0]));
+        assert!(assignment[20..].iter().all(|&a| a == assignment[20]));
+        assert_ne!(assignment[0], assignment[20]);
+        let lo = centroids[assignment[0]][0];
+        let hi = centroids[assignment[20]][0];
+        assert!((lo - 0.195).abs() < 0.02, "low centroid {lo}");
+        assert!((hi - 0.8475).abs() < 0.02, "high centroid {hi}");
+    }
+
+    #[test]
+    fn segmentation_with_exact_distance_reduces_levels() {
+        let img = GrayImage::synthetic(16, 16, 9);
+        let seg = segment_image(&img, 4, 5, normalized_distance);
+        let mut levels: Vec<u64> = seg.pixels().iter().map(|p| p.to_bits()).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        assert!(levels.len() <= 4, "got {} distinct levels", levels.len());
+    }
+
+    #[test]
+    fn workload_targets_match_kernel() {
+        let w = KMeans::new();
+        let data = w.dataset(50, 3).unwrap();
+        for (x, y) in data.iter() {
+            let p: Rgb = [x[0], x[1], x[2]];
+            let c: Rgb = [x[3], x[4], x[5]];
+            assert!((y[0] - normalized_distance(&p, &c)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one centroid")]
+    fn assignment_rejects_no_centroids() {
+        let _ = assign_clusters(&[[0.0; 3]], &[], normalized_distance);
+    }
+}

@@ -1,0 +1,56 @@
+//! # `workloads` — the paper's six approximate-computing benchmarks
+//!
+//! The paper evaluates MEI/SAAB on the benchmark suite of the neural
+//! processing unit literature (Esmaeilzadeh MICRO 2012, St. Amant ISCA
+//! 2014): six kernels from diverse domains, each approximated by a small
+//! neural network whose topology Table 1 lists.
+//!
+//! For every kernel this crate provides:
+//!
+//! 1. the **exact reference implementation** (ground truth),
+//! 2. a **sample generator** emitting `(input, output)` pairs normalized to
+//!    `[0, 1]` (the operating range of the sigmoid RCS), and
+//! 3. the paper's **application error metric** (average relative error,
+//!    miss rate, or image diff).
+//!
+//! | Benchmark | Domain | Topology | Metric |
+//! |---|---|---|---|
+//! | [`fft::Fft`] | signal processing | 1×8×2 | average relative error |
+//! | [`inversek2j::InverseK2j`] | robotics | 2×8×2 | average relative error |
+//! | [`jmeint::Jmeint`] | 3D gaming | 18×48×2 | miss rate |
+//! | [`jpeg::Jpeg`] | compression | 64×16×64 | image diff |
+//! | [`kmeans::KMeans`] | machine learning | 6×20×1 | image diff |
+//! | [`sobel::Sobel`] | image processing | 9×8×1 | image diff |
+//!
+//! [`expfit::ExpFit`] additionally provides the `f(x) = exp(−x²)` function
+//! the paper's Fig 3 motivation experiment fits.
+//!
+//! ## Example
+//!
+//! ```
+//! use workloads::{sobel::Sobel, Workload};
+//!
+//! let w = Sobel::new();
+//! let data = w.dataset(100, 42).expect("valid dataset");
+//! assert_eq!(data.input_dim(), 9);
+//! assert_eq!(data.output_dim(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expfit;
+pub mod fft;
+pub mod image;
+pub mod inversek2j;
+pub mod jmeint;
+pub mod jpeg;
+pub mod kmeans;
+pub mod metrics;
+pub mod sobel;
+pub mod traces;
+pub mod workload;
+
+pub use image::GrayImage;
+pub use metrics::ErrorMetric;
+pub use workload::{all_benchmarks, Workload};

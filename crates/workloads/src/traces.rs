@@ -1,0 +1,281 @@
+//! Application traces: datasets recorded from real kernel invocations.
+//!
+//! The original benchmark suite trains its networks on *traces* — the
+//! actual `(input, output)` pairs the hot function sees while the full
+//! application runs. The [`Workload`](crate::Workload) samplers approximate
+//! those statistics; this module reproduces the methodology itself: run the
+//! application, record every kernel query, and return the log as a
+//! [`Dataset`].
+//!
+//! ```
+//! use workloads::{traces, GrayImage};
+//!
+//! let image = GrayImage::synthetic(16, 16, 1);
+//! let data = traces::sobel_trace(&image).expect("non-empty image");
+//! assert_eq!(data.len(), 16 * 16); // one window per pixel
+//! ```
+
+use neural::{Dataset, DatasetError};
+
+use crate::fft::{fft_with_twiddle, twiddle, Complex, Fft};
+use crate::image::GrayImage;
+use crate::inversek2j::{inverse_kinematics, InverseK2j};
+use crate::jmeint::{triangles_intersect, Jmeint};
+use crate::jpeg::encode_block;
+use crate::kmeans::{kmeans, normalized_distance, Rgb};
+use crate::sobel::sobel_window;
+
+/// Every 3×3 Sobel query made while filtering `image` (one per pixel).
+///
+/// # Errors
+///
+/// Propagates [`DatasetError`] (cannot occur for a valid image).
+pub fn sobel_trace(image: &GrayImage) -> Result<Dataset, DatasetError> {
+    let mut inputs = Vec::with_capacity(image.width() * image.height());
+    let mut targets = Vec::with_capacity(inputs.capacity());
+    for y in 0..image.height() {
+        for x in 0..image.width() {
+            let w = image.window3x3(x, y);
+            targets.push(vec![sobel_window(&w)]);
+            inputs.push(w.to_vec());
+        }
+    }
+    Dataset::new(inputs, targets)
+}
+
+/// Every 8×8 block-encode query made while compressing `image`.
+///
+/// # Errors
+///
+/// Propagates [`DatasetError`] (cannot occur for a valid image).
+pub fn jpeg_trace(image: &GrayImage) -> Result<Dataset, DatasetError> {
+    let bw = image.width().div_ceil(8);
+    let bh = image.height().div_ceil(8);
+    let mut inputs = Vec::with_capacity(bw * bh);
+    let mut targets = Vec::with_capacity(bw * bh);
+    for by in 0..bh {
+        for bx in 0..bw {
+            let block = image.block8x8(bx, by);
+            targets.push(encode_block(&block).to_vec());
+            inputs.push(block.to_vec());
+        }
+    }
+    Dataset::new(inputs, targets)
+}
+
+/// Every distance query issued while running `iterations` of Lloyd's
+/// algorithm on `image` with `k` clusters — including the multi-centroid
+/// scans of each assignment pass, exactly what the approximate kernel
+/// replaces in the original application.
+///
+/// # Errors
+///
+/// Propagates [`DatasetError`].
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn kmeans_trace(image: &GrayImage, k: usize, iterations: usize) -> Result<Dataset, DatasetError> {
+    assert!(k > 0, "need at least one cluster");
+    let pixels: Vec<Rgb> = image.pixels().iter().map(|&p| [p, p, p]).collect();
+    let centroids: Vec<Rgb> = (0..k)
+        .map(|i| {
+            let v = (i as f64 + 0.5) / k as f64;
+            [v, v, v]
+        })
+        .collect();
+    let mut inputs = Vec::new();
+    let mut targets = Vec::new();
+    let (_, _) = kmeans(&pixels, centroids, iterations, |p, c| {
+        let d = normalized_distance(p, c);
+        inputs.push(crate::kmeans::KMeans::pack(p, c).to_vec());
+        targets.push(vec![d]);
+        d
+    });
+    Dataset::new(inputs, targets)
+}
+
+/// Every twiddle-factor query issued while transforming `signal` (recorded
+/// from a real radix-2 run; the signal length must be a power of two).
+///
+/// # Errors
+///
+/// Propagates [`DatasetError`].
+///
+/// # Panics
+///
+/// Panics if the signal length is not a power of two.
+pub fn fft_trace(signal: &[Complex]) -> Result<Dataset, DatasetError> {
+    let mut work = signal.to_vec();
+    let mut inputs = Vec::new();
+    let mut targets = Vec::new();
+    fft_with_twiddle(&mut work, |t| {
+        let tw = twiddle(t);
+        inputs.push(vec![t]);
+        targets.push(Fft::normalize(tw).to_vec());
+        tw
+    });
+    Dataset::new(inputs, targets)
+}
+
+/// Inverse-kinematics queries along a smooth joint-space trajectory of
+/// `points` samples: the arm sweeps a Lissajous-like path through its valid
+/// joint envelope, and every visited pose becomes one (position → angles)
+/// query — the robot-arm control loop the original benchmark traces.
+///
+/// # Errors
+///
+/// Propagates [`DatasetError`].
+///
+/// # Panics
+///
+/// Panics if `points` is zero.
+pub fn inversek2j_trace(points: usize) -> Result<Dataset, DatasetError> {
+    assert!(points > 0, "need at least one trajectory point");
+    let mut inputs = Vec::with_capacity(points);
+    let mut targets = Vec::with_capacity(points);
+    for i in 0..points {
+        let phase = i as f64 / points as f64 * std::f64::consts::TAU;
+        let t1 = std::f64::consts::FRAC_PI_2 * (0.5 + 0.45 * phase.sin());
+        let t2 = 0.1 + (std::f64::consts::PI - 0.2) * (0.5 + 0.45 * (2.0 * phase).cos());
+        let (x, y) = crate::inversek2j::forward_kinematics(t1, t2);
+        // Sanity: the closed-form inverse solves every visited pose.
+        debug_assert!(inverse_kinematics(x, y).is_some());
+        inputs.push(InverseK2j::normalize_position(x, y).to_vec());
+        targets.push(InverseK2j::normalize_angles(t1, t2).to_vec());
+    }
+    Dataset::new(inputs, targets)
+}
+
+/// Collision queries from sweeping one triangle soup through another:
+/// `frames` time steps of a linear sweep, all-pairs tested each frame —
+/// the collision-detection inner loop jmeint models.
+///
+/// # Errors
+///
+/// Propagates [`DatasetError`].
+pub fn jmeint_trace(frames: usize) -> Result<Dataset, DatasetError> {
+    // Two deterministic little "meshes" of 4 triangles each.
+    let base = |i: usize, o: f64| -> [f64; 9] {
+        let s = 0.12;
+        let cx = 0.3 + 0.15 * (i % 2) as f64 + o;
+        let cy = 0.3 + 0.15 * ((i / 2) % 2) as f64;
+        let cz = 0.5;
+        [
+            cx - s, cy - s, cz, //
+            cx + s, cy - s, cz + s * (1.0 + i as f64 * 0.3), //
+            cx, cy + s, cz - s,
+        ]
+    };
+    let mut inputs = Vec::new();
+    let mut targets = Vec::new();
+    for f in 0..frames {
+        // Mesh B slides across mesh A.
+        let offset = -0.3 + 0.6 * f as f64 / frames.max(1) as f64;
+        for a in 0..4usize {
+            for b in 0..4usize {
+                let ta = base(a, 0.0);
+                let tb = base(b, offset);
+                let mut coords = [0.0; 18];
+                coords[..9].copy_from_slice(&ta);
+                coords[9..].copy_from_slice(&tb);
+                for c in &mut coords {
+                    *c = c.clamp(0.0, 1.0);
+                }
+                let (t1, t2) = Jmeint::decode(&coords);
+                inputs.push(coords.to_vec());
+                targets.push(Jmeint::label(triangles_intersect(&t1, &t2)).to_vec());
+            }
+        }
+    }
+    Dataset::new(inputs, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sobel_trace_covers_every_pixel() {
+        let img = GrayImage::synthetic(12, 9, 1);
+        let t = sobel_trace(&img).unwrap();
+        assert_eq!(t.len(), 12 * 9);
+        assert_eq!(t.input_dim(), 9);
+        // Targets match the kernel.
+        let (x, y) = t.sample(20);
+        let mut w = [0.0; 9];
+        w.copy_from_slice(x);
+        assert_eq!(y[0], sobel_window(&w));
+    }
+
+    #[test]
+    fn jpeg_trace_covers_every_block() {
+        let img = GrayImage::synthetic(24, 16, 2);
+        let t = jpeg_trace(&img).unwrap();
+        assert_eq!(t.len(), 3 * 2);
+        assert_eq!(t.input_dim(), 64);
+        assert_eq!(t.output_dim(), 64);
+    }
+
+    #[test]
+    fn kmeans_trace_records_all_assignment_scans() {
+        let img = GrayImage::synthetic(8, 8, 3);
+        let k = 3;
+        let iterations = 2;
+        let t = kmeans_trace(&img, k, iterations).unwrap();
+        // Each assignment pass scans all k centroids for all 64 pixels, and
+        // there are iterations + 1 passes.
+        assert_eq!(t.len(), 64 * k * (iterations + 1));
+        // Recorded distances match the kernel.
+        let (x, y) = t.sample(5);
+        let p: Rgb = [x[0], x[1], x[2]];
+        let c: Rgb = [x[3], x[4], x[5]];
+        assert!((y[0] - normalized_distance(&p, &c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_trace_has_per_butterfly_queries() {
+        let signal: Vec<Complex> =
+            (0..16).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+        let t = fft_trace(&signal).unwrap();
+        // Radix-2 on N=16: N/2·log2(N) = 32 twiddle queries.
+        assert_eq!(t.len(), 32);
+        for (x, y) in t.iter() {
+            assert_eq!(Fft::normalize(twiddle(x[0])).to_vec(), y.to_vec());
+        }
+    }
+
+    #[test]
+    fn inversek2j_trace_is_solvable_everywhere() {
+        let t = inversek2j_trace(200).unwrap();
+        assert_eq!(t.len(), 200, "every joint-space pose is valid");
+        assert!(t
+            .iter()
+            .all(|(x, y)| x.iter().chain(y).all(|v| (0.0..=1.0).contains(v))));
+    }
+
+    #[test]
+    fn jmeint_trace_sweep_produces_both_classes() {
+        let t = jmeint_trace(20).unwrap();
+        assert_eq!(t.len(), 20 * 16);
+        let hits = t.iter().filter(|(_, y)| y[0] == 1.0).count();
+        assert!(hits > 0, "the sweep must collide somewhere");
+        assert!(hits < t.len(), "and separate somewhere");
+    }
+
+    #[test]
+    fn traces_feed_training_directly() {
+        // End-to-end smoke: a digital net learns from a recorded trace.
+        use neural::{MlpBuilder, TrainConfig, Trainer};
+        let img = GrayImage::synthetic(16, 16, 4);
+        let trace = sobel_trace(&img).unwrap();
+        let mut net = MlpBuilder::new(&[9, 8, 1]).seed(1).build();
+        let report = Trainer::new(TrainConfig {
+            epochs: 40,
+            learning_rate: 0.8,
+            ..TrainConfig::default()
+        })
+        .train(&mut net, &trace);
+        assert!(report.final_loss < 0.05, "trace-trained loss {}", report.final_loss);
+    }
+}

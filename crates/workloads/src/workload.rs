@@ -1,0 +1,139 @@
+//! The common interface every benchmark implements.
+
+use neural::{Dataset, DatasetError};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::metrics::ErrorMetric;
+
+/// A benchmark kernel: an exact function the RCS approximates, plus the
+/// normalization and error metric the paper evaluates it with.
+///
+/// Inputs and targets are normalized to `[0, 1]` so they can drive (and be
+/// produced by) sigmoid analog circuits and B-bit interfaces directly.
+///
+/// The trait is object-safe; [`all_benchmarks`] returns the paper's suite as
+/// trait objects for table-driven harnesses.
+pub trait Workload {
+    /// Short lowercase benchmark name (Table 1's "Name" column).
+    fn name(&self) -> &'static str;
+
+    /// Application domain ("Type" column).
+    fn domain(&self) -> &'static str;
+
+    /// Input dimensionality (normalized analog values).
+    fn input_dim(&self) -> usize;
+
+    /// Output dimensionality (normalized analog values).
+    fn output_dim(&self) -> usize;
+
+    /// The digital/AD-DA network topology `(I, H, O)` from Table 1.
+    fn digital_topology(&self) -> (usize, usize, usize);
+
+    /// The application error metric from Table 1.
+    fn metric(&self) -> ErrorMetric;
+
+    /// Draw one `(input, target)` sample, both normalized to `[0, 1]`.
+    fn sample(&self, rng: &mut dyn RngCore) -> (Vec<f64>, Vec<f64>);
+
+    /// Generate a seeded dataset of `n` samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DatasetError`] if the sampler misbehaves (mismatched or
+    /// non-finite dimensions) — a bug in the workload, surfaced rather than
+    /// hidden.
+    fn dataset(&self, n: usize, seed: u64) -> Result<Dataset, DatasetError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut inputs = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (x, y) = self.sample(&mut rng);
+            inputs.push(x);
+            targets.push(y);
+        }
+        Dataset::new(inputs, targets)
+    }
+}
+
+/// The paper's full benchmark suite, in Table 1 order.
+#[must_use]
+pub fn all_benchmarks() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(crate::fft::Fft::new()),
+        Box::new(crate::inversek2j::InverseK2j::new()),
+        Box::new(crate::jmeint::Jmeint::new()),
+        Box::new(crate::jpeg::Jpeg::new()),
+        Box::new(crate::kmeans::KMeans::new()),
+        Box::new(crate::sobel::Sobel::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_six_benchmarks_in_table1_order() {
+        let names: Vec<&str> = all_benchmarks().iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["fft", "inversek2j", "jmeint", "jpeg", "kmeans", "sobel"]);
+    }
+
+    #[test]
+    fn topologies_match_table1() {
+        let expected = [
+            (1, 8, 2),
+            (2, 8, 2),
+            (18, 48, 2),
+            (64, 16, 64),
+            (6, 20, 1),
+            (9, 8, 1),
+        ];
+        for (w, e) in all_benchmarks().iter().zip(expected) {
+            assert_eq!(w.digital_topology(), e, "{}", w.name());
+            assert_eq!(w.input_dim(), e.0, "{}", w.name());
+            assert_eq!(w.output_dim(), e.2, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn all_samples_are_normalized() {
+        for w in all_benchmarks() {
+            let data = w.dataset(200, 99).expect("dataset");
+            for (x, y) in data.iter() {
+                assert_eq!(x.len(), w.input_dim(), "{}", w.name());
+                assert_eq!(y.len(), w.output_dim(), "{}", w.name());
+                assert!(
+                    x.iter().chain(y).all(|v| (0.0..=1.0).contains(v)),
+                    "{}: sample outside [0,1]",
+                    w.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn datasets_are_seeded() {
+        for w in all_benchmarks() {
+            let a = w.dataset(20, 5).unwrap();
+            let b = w.dataset(20, 5).unwrap();
+            let c = w.dataset(20, 6).unwrap();
+            assert_eq!(a, b, "{}", w.name());
+            assert_ne!(a, c, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn outputs_vary_across_samples() {
+        // A constant-target benchmark would be degenerate.
+        for w in all_benchmarks() {
+            let data = w.dataset(100, 3).unwrap();
+            let first = data.sample(0).1.to_vec();
+            assert!(
+                data.iter().any(|(_, y)| y != first.as_slice()),
+                "{}: all targets identical",
+                w.name()
+            );
+        }
+    }
+}

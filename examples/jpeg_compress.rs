@@ -1,0 +1,65 @@
+//! JPEG block encoding through a merged-interface RCS.
+//!
+//! Trains MEI on the 64→64 DCT+quantization kernel (Table 1's largest
+//! benchmark and its biggest area saving at 86%), then compresses a whole
+//! synthetic image with the crossbar encoder and writes before/after PGM
+//! files you can open in any image viewer.
+//!
+//! Run with: `cargo run --release --example jpeg_compress`
+
+use mei::{MeiConfig, MeiRcs};
+use neural::TrainConfig;
+use workloads::jpeg::{compress_image, encode_block, Jpeg};
+use workloads::{GrayImage, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Jpeg::new();
+    println!("== JPEG (compression, 64×16×64) through MEI ==\n");
+    println!("training the (64·6)×64×(64·7) merged-interface RCS…");
+    let train = workload.dataset(2_500, 1)?;
+    let rcs = MeiRcs::train(
+        &train,
+        &MeiConfig {
+            in_bits: 6,
+            out_bits: 7,
+            hidden: 64,
+            train: TrainConfig {
+                epochs: 80,
+                learning_rate: 0.3,
+                batch_size: 32,
+                lr_decay: 0.99,
+                ..TrainConfig::default()
+            },
+            ..MeiConfig::default()
+        },
+    )?;
+    println!("trained MEI RCS {}", rcs.topology());
+
+    let image = GrayImage::synthetic(64, 64, 11);
+    let exact = compress_image(&image, encode_block);
+    let approx = compress_image(&image, |block| {
+        let out = rcs.infer(block).expect("64-pixel block");
+        let mut coeffs = [0.0; 64];
+        coeffs.copy_from_slice(&out);
+        coeffs
+    });
+
+    let psnr = |a: &GrayImage, b: &GrayImage| {
+        workloads::metrics::psnr(&[a.pixels().to_vec()], &[b.pixels().to_vec()])
+    };
+    println!("\nimage diff (PSNR) vs original:");
+    println!("  exact JPEG codec : {:.4} ({:.1} dB)", image.mean_abs_diff(&exact), psnr(&image, &exact));
+    println!("  MEI crossbar     : {:.4} ({:.1} dB)", image.mean_abs_diff(&approx), psnr(&image, &approx));
+    println!("  MEI vs exact     : {:.4} ({:.1} dB)", exact.mean_abs_diff(&approx), psnr(&exact, &approx));
+
+    for (name, img) in [
+        ("jpeg_original.pgm", &image),
+        ("jpeg_exact.pgm", &exact),
+        ("jpeg_mei.pgm", &approx),
+    ] {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, img.to_pgm())?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Quickstart: approximate `f(x) = exp(−x²)` with a merged-interface RCS.
+//!
+//! This is the paper's §3.1 motivating experiment in miniature: train the
+//! traditional AD/DA architecture and MEI on the same samples, compare
+//! their accuracy, and show where the area/power savings come from.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use interface::cost::{AddaTopology, CostModel};
+use mei::{evaluate_mse, AddaConfig, AddaRcs, DigitalAnn, MeiConfig, MeiRcs};
+use neural::{Dataset, TrainConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn expfit(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::generate(n, &mut rng, |r| {
+        let x: f64 = r.gen();
+        (vec![x], vec![(-x * x).exp()])
+    })
+    .expect("valid dataset")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper trains on 10 000 samples in (0, 1) and tests on 1 000.
+    let train = expfit(10_000, 1);
+    let test = expfit(1_000, 2);
+    let budget = TrainConfig {
+        epochs: 300,
+        learning_rate: 0.5,
+        lr_decay: 0.995,
+        ..TrainConfig::default()
+    };
+
+    println!("== Approximating f(x) = exp(-x²) (paper §3.1 / Fig 3) ==\n");
+
+    // 1. The ideal floating-point baseline ("Digital ANN").
+    let digital = DigitalAnn::train(&train, 8, &budget, 0)?;
+    let digital_mse = evaluate_mse(&digital, &test);
+    println!("digital ANN   1×8×1   : MSE {digital_mse:.6}");
+
+    // 2. The traditional RCS with 8-bit AD/DAs.
+    let adda = AddaRcs::train(&train, &AddaConfig { hidden: 8, train: budget, ..AddaConfig::default() })?;
+    let adda_mse = evaluate_mse(&adda, &test);
+    println!("AD/DA RCS     {} : MSE {adda_mse:.6}", adda.topology());
+
+    // 3. MEI: the interface merged into the crossbar, MSB-weighted loss.
+    // Binary-coded targets make the loss landscape rugged, so initialization
+    // matters more than for the analog baselines; Algorithm 2's hidden-size
+    // search restarts cover this in the full DSE flow.
+    let mei_cfg = MeiConfig { hidden: 8, seed: 1, train: budget, ..MeiConfig::default() };
+    let mei = MeiRcs::train(&train, &mei_cfg)?;
+    let mei_mse = evaluate_mse(&mei, &test);
+    println!("MEI RCS       {} : MSE {mei_mse:.6}", mei.topology());
+
+    // 4. What the merge buys: Eq (6)/(7) cost comparison.
+    let cost = CostModel::dac2015();
+    let adda_topo = AddaTopology::new(1, 8, 1, 8);
+    let mei_topo = mei.topology();
+    println!("\n== Cost (Eq 6 vs Eq 7, calibrated DAC-2015 parameters) ==");
+    println!(
+        "area : AD/DA {:.0} µm² → MEI {:.0} µm²  ({:.1}% saved)",
+        cost.area_adda(&adda_topo),
+        cost.area_mei(&mei_topo),
+        100.0 * cost.area_saving(&adda_topo, &mei_topo)
+    );
+    println!(
+        "power: AD/DA {:.0} µW  → MEI {:.0} µW   ({:.1}% saved)",
+        cost.power_adda(&adda_topo),
+        cost.power_mei(&mei_topo),
+        100.0 * cost.power_saving(&adda_topo, &mei_topo)
+    );
+    println!(
+        "Eq (9) SAAB budget: up to K = {} MEI arrays fit in the AD/DA envelope",
+        cost.k_max(&adda_topo, &mei_topo)
+    );
+    let throughput = interface::Throughput::default();
+    println!(
+        "efficiency: AD/DA {} | MEI {}",
+        cost.efficiency_adda(&adda_topo, &throughput),
+        cost.efficiency_mei(&mei_topo, &throughput)
+    );
+
+    // 5. Spot-check a prediction end to end.
+    let x = 0.5;
+    let y = mei.infer(&[x])?;
+    println!("\nMEI(exp(-{x}²)) = {:.4}   (exact {:.4})", y[0], (-x * x).exp());
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Sobel edge detection with a merged-interface RCS in the loop.
+//!
+//! Trains MEI on the Sobel kernel (Table 1's 9×8×1 benchmark, the one where
+//! MEI nearly matches the digital baseline), then runs a *whole image*
+//! through the approximate edge detector and reports the paper's "image
+//! diff" metric plus the hardware savings.
+//!
+//! Run with: `cargo run --release --example sobel_pipeline`
+
+use interface::cost::{AddaTopology, CostModel};
+use mei::{MeiConfig, MeiRcs};
+use neural::TrainConfig;
+use workloads::sobel::{edge_map, filter_image, Sobel};
+use workloads::{GrayImage, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Sobel::new();
+    let train = workload.dataset(8_000, 1)?;
+
+    println!("== Sobel (image processing, 9×8×1) through MEI ==\n");
+    let cfg = MeiConfig {
+        in_bits: 6,
+        out_bits: 6,
+        hidden: 16,
+        train: TrainConfig { epochs: 120, learning_rate: 0.8, ..TrainConfig::default() },
+        ..MeiConfig::default()
+    };
+    let rcs = MeiRcs::train(&train, &cfg)?;
+    println!("trained MEI RCS {}", rcs.topology());
+
+    // Run a full image through the crossbar-approximated operator.
+    let image = GrayImage::synthetic(48, 48, 7);
+    let exact = edge_map(&image);
+    let approx = filter_image(&image, |window| {
+        rcs.infer(window).expect("window is 9 pixels")[0]
+    });
+    let diff = exact.mean_abs_diff(&approx);
+    println!("image diff (48×48 synthetic scene): {:.4}", diff);
+
+    // ASCII render of a strip so the result is visible in the terminal.
+    println!("\nexact vs MEI edge maps (rows 20..26, '█' = strong edge):");
+    for y in 20..26 {
+        let render = |img: &GrayImage| -> String {
+            (0..48)
+                .map(|x| match img.pixel(x, y) {
+                    v if v > 0.5 => '█',
+                    v if v > 0.25 => '▒',
+                    v if v > 0.1 => '·',
+                    _ => ' ',
+                })
+                .collect()
+        };
+        println!("  {} | {}", render(&exact), render(&approx));
+    }
+
+    // What the merge saves on this benchmark (Table 1 row "Sobel").
+    let cost = CostModel::dac2015();
+    let (i, h, o) = workload.digital_topology();
+    let adda = AddaTopology::new(i, h, o, 8);
+    let mei_topo = rcs.topology();
+    println!(
+        "\narea saved {:.1}%, power saved {:.1}% vs the {} AD/DA design",
+        100.0 * cost.area_saving(&adda, &mei_topo),
+        100.0 * cost.power_saving(&adda, &mei_topo),
+        adda
+    );
+    Ok(())
+}

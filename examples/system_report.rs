@@ -1,0 +1,58 @@
+//! Generate a design-review report for a trained MEI system.
+//!
+//! Trains the Sobel MEI design, renders the markdown summary
+//! ([`mei::system_report`]) covering accuracy, robustness, Eq (6)/(7)
+//! costs and the physical diagnostics, and writes it next to the saved
+//! system file.
+//!
+//! Run with: `cargo run --release --example system_report`
+
+use interface::cost::AddaTopology;
+use mei::{system_report, MeiConfig, MeiRcs, NonIdealFactors, ReportConfig};
+use neural::TrainConfig;
+use workloads::{sobel::Sobel, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Sobel::new();
+    let train = workload.dataset(6_000, 1)?;
+    let test = workload.dataset(1_000, 2)?;
+    let rcs = MeiRcs::train(
+        &train,
+        &MeiConfig {
+            in_bits: 6,
+            out_bits: 6,
+            hidden: 16,
+            train: TrainConfig {
+                epochs: 200,
+                learning_rate: 0.5,
+                lr_decay: 0.995,
+                ..TrainConfig::default()
+            },
+            ..MeiConfig::default()
+        },
+    )?;
+
+    let (i, h, o) = workload.digital_topology();
+    let report = system_report(
+        &rcs,
+        &test,
+        &ReportConfig {
+            baseline: AddaTopology::new(i, h, o, 8),
+            factors: NonIdealFactors::new(0.1, 0.05),
+            trials: 25,
+            fidelity_probes: 100,
+            seed: 7,
+        },
+    );
+    println!("{report}");
+
+    let dir = std::env::temp_dir();
+    std::fs::write(dir.join("sobel_mei_report.md"), &report)?;
+    std::fs::write(dir.join("sobel_mei.rcs"), rcs.to_text())?;
+    println!(
+        "wrote {} and {}",
+        dir.join("sobel_mei_report.md").display(),
+        dir.join("sobel_mei.rcs").display()
+    );
+    Ok(())
+}

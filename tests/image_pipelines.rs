@@ -1,0 +1,78 @@
+//! Integration: whole-image application pipelines with the crossbar RCS
+//! substituted for the hot kernel — the paper's "image diff" experiments.
+
+use mei::{MeiConfig, MeiRcs};
+use neural::TrainConfig;
+use rram::DeviceParams;
+use workloads::jpeg::{compress_image, encode_block};
+use workloads::kmeans::{normalized_distance, segment_image, KMeans};
+use workloads::sobel::{edge_map, filter_image, Sobel};
+use workloads::{GrayImage, Workload};
+
+fn budget() -> TrainConfig {
+    TrainConfig { epochs: 80, learning_rate: 0.8, ..TrainConfig::default() }
+}
+
+fn device() -> DeviceParams {
+    DeviceParams::hfox()
+}
+
+#[test]
+fn sobel_edge_map_through_mei_is_close_to_exact() {
+    let w = Sobel::new();
+    let train = w.dataset(3_000, 1).unwrap();
+    let rcs = MeiRcs::train(
+        &train,
+        &MeiConfig {
+            in_bits: 6,
+            out_bits: 6,
+            hidden: 16,
+            device: device(),
+            train: budget(),
+            ..MeiConfig::default()
+        },
+    )
+    .unwrap();
+
+    let image = GrayImage::synthetic(24, 24, 3);
+    let exact = edge_map(&image);
+    let approx = filter_image(&image, |win| rcs.infer(win).unwrap()[0]);
+    let diff = exact.mean_abs_diff(&approx);
+    assert!(diff < 0.08, "sobel image diff {diff}");
+}
+
+#[test]
+fn jpeg_block_codec_through_exact_path_is_faithful() {
+    // Pipeline sanity independent of training: exact encode through the
+    // interface quantization and back.
+    let image = GrayImage::synthetic(32, 32, 4);
+    let out = compress_image(&image, encode_block);
+    let diff = image.mean_abs_diff(&out);
+    assert!(diff < 0.06, "exact JPEG roundtrip diff {diff}");
+}
+
+#[test]
+fn kmeans_segmentation_with_approximate_distance_matches_exact() {
+    let w = KMeans::new();
+    let train = w.dataset(4_000, 5).unwrap();
+    let rcs = MeiRcs::train(
+        &train,
+        &MeiConfig {
+            in_bits: 6,
+            out_bits: 6,
+            hidden: 20,
+            device: device(),
+            train: budget(),
+            ..MeiConfig::default()
+        },
+    )
+    .unwrap();
+
+    let image = GrayImage::synthetic(20, 20, 6);
+    let exact = segment_image(&image, 4, 4, normalized_distance);
+    let approx = segment_image(&image, 4, 4, |p, c| {
+        rcs.infer(&KMeans::pack(p, c)).unwrap()[0]
+    });
+    let diff = exact.mean_abs_diff(&approx);
+    assert!(diff < 0.15, "kmeans image diff {diff}");
+}

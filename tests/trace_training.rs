@@ -1,0 +1,73 @@
+//! Integration: training RCSs from recorded application traces — the
+//! original benchmark suite's methodology end to end.
+
+use mei::{evaluate_mse, MeiConfig, MeiRcs};
+use neural::TrainConfig;
+use workloads::sobel::edge_map;
+use workloads::traces;
+use workloads::GrayImage;
+
+#[test]
+fn mei_trained_on_a_sobel_trace_generalizes_to_new_images() {
+    // Record the trace of filtering a few training images…
+    let mut inputs = Vec::new();
+    let mut targets = Vec::new();
+    for seed in 0..6 {
+        let img = GrayImage::synthetic(24, 24, seed);
+        let t = traces::sobel_trace(&img).unwrap();
+        inputs.extend(t.inputs().to_vec());
+        targets.extend(t.targets().to_vec());
+    }
+    let trace = neural::Dataset::new(inputs, targets).unwrap();
+
+    // …train the merged-interface RCS on it…
+    let rcs = MeiRcs::train(
+        &trace,
+        &MeiConfig {
+            in_bits: 6,
+            out_bits: 6,
+            hidden: 16,
+            train: TrainConfig { epochs: 60, learning_rate: 0.8, ..TrainConfig::default() },
+            ..MeiConfig::default()
+        },
+    )
+    .unwrap();
+
+    // …and apply it to an unseen image.
+    let unseen = GrayImage::synthetic(24, 24, 99);
+    let exact = edge_map(&unseen);
+    let approx = workloads::sobel::filter_image(&unseen, |w| rcs.infer(w).unwrap()[0]);
+    let diff = exact.mean_abs_diff(&approx);
+    assert!(diff < 0.08, "trace-trained MEI image diff {diff}");
+}
+
+#[test]
+fn kmeans_trace_distances_train_an_accurate_mei() {
+    let img = GrayImage::synthetic(20, 20, 5);
+    let trace = traces::kmeans_trace(&img, 4, 3).unwrap();
+    let rcs = MeiRcs::train(
+        &trace,
+        &MeiConfig {
+            in_bits: 6,
+            out_bits: 6,
+            hidden: 24,
+            train: TrainConfig { epochs: 50, learning_rate: 0.8, ..TrainConfig::default() },
+            ..MeiConfig::default()
+        },
+    )
+    .unwrap();
+    let mse = evaluate_mse(&rcs, &trace);
+    assert!(mse < 0.02, "trace-trained kmeans MEI MSE {mse}");
+}
+
+#[test]
+fn fft_trace_covers_all_butterfly_angles() {
+    use workloads::fft::Complex;
+    let signal: Vec<Complex> = (0..64)
+        .map(|i| Complex::new((i as f64 * 0.3).sin(), 0.0))
+        .collect();
+    let trace = traces::fft_trace(&signal).unwrap();
+    // N/2·log2(N) = 192 queries over dyadic angles in [0, 0.5).
+    assert_eq!(trace.len(), 192);
+    assert!(trace.iter().all(|(x, _)| (0.0..0.5).contains(&x[0])));
+}
