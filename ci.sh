@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Everything runs with --offline: this workspace
+# has zero registry dependencies by policy (see DESIGN.md "Hermetic build"),
+# so CI must prove the build needs no network.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> hermetic-manifest check (no registry dependencies)"
+if grep -rn "rand\|proptest\|criterion" --include=Cargo.toml Cargo.toml crates/; then
+    echo "ERROR: a manifest references an external registry dependency" >&2
+    exit 1
+fi
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> benches compile"
+cargo build --offline -p mei-bench --benches
+
+echo "CI gate passed."

@@ -1,12 +1,13 @@
-//! Criterion micro-benchmarks of the training and device substrates:
-//! one backprop epoch at benchmark scale, MEI dataset encoding, weighted
-//! resampling, and pulse-based device programming.
+//! Micro-benchmarks of the training and device substrates on the in-repo
+//! `Instant`-based runner (`mei_bench::timing`): one backprop epoch at
+//! benchmark scale, MEI dataset encoding, weighted resampling, and
+//! pulse-based device programming.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use interface::InterfaceSpec;
+use mei_bench::timing::{print_header, Runner};
 use neural::{Dataset, MlpBuilder, TrainConfig, Trainer};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 use rram::{DeviceParams, FilamentModel};
 use std::hint::black_box;
 
@@ -15,72 +16,60 @@ fn synthetic_dataset(inputs: usize, outputs: usize, n: usize) -> Dataset {
     Dataset::generate(n, &mut rng, |r| {
         let x: Vec<f64> = (0..inputs).map(|_| r.gen()).collect();
         let s: f64 = x.iter().sum::<f64>() / inputs as f64;
-        let y: Vec<f64> = (0..outputs).map(|j| ((s + j as f64) * 0.7).sin().abs()).collect();
+        let y: Vec<f64> = (0..outputs)
+            .map(|j| ((s + j as f64) * 0.7).sin().abs())
+            .collect();
         (x, y)
     })
     .expect("dataset")
 }
 
-fn bench_training_epoch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("backprop_epoch");
-    group.sample_size(10);
+fn bench_training_epoch(r: &mut Runner) {
     // (inputs, hidden, outputs): sobel MEI and inversek2j MEI shapes.
     for &(i, h, o) in &[(9usize, 16usize, 6usize), (16, 32, 16), (54, 64, 6)] {
         let data = synthetic_dataset(i, o, 256);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{i}x{h}x{o}")),
-            &data,
-            |b, data| {
-                b.iter(|| {
-                    let mut net = MlpBuilder::new(&[i, h, o]).seed(7).build();
-                    let trainer = Trainer::new(TrainConfig {
-                        epochs: 1,
-                        ..TrainConfig::default()
-                    });
-                    black_box(trainer.train(&mut net, data))
-                })
-            },
-        );
+        r.bench(&format!("backprop_epoch/{i}x{h}x{o}"), || {
+            let mut net = MlpBuilder::new(&[i, h, o]).seed(7).build();
+            let trainer = Trainer::new(TrainConfig {
+                epochs: 1,
+                ..TrainConfig::default()
+            });
+            trainer.train(&mut net, black_box(&data))
+        });
     }
-    group.finish();
 }
 
-fn bench_interface_encoding(c: &mut Criterion) {
+fn bench_interface_encoding(r: &mut Runner) {
     let spec = InterfaceSpec::new(64, 8);
     let values: Vec<f64> = (0..64).map(|i| (i as f64 / 64.0 * 1.7).fract()).collect();
-    c.bench_function("encode_64_groups_8bit", |b| {
-        b.iter(|| black_box(spec.encode(black_box(&values))))
-    });
+    r.bench("encode_64_groups_8bit", || spec.encode(black_box(&values)));
     let bits = spec.encode(&values);
-    c.bench_function("decode_64_groups_8bit", |b| {
-        b.iter(|| black_box(spec.decode(black_box(&bits))))
-    });
+    r.bench("decode_64_groups_8bit", || spec.decode(black_box(&bits)));
 }
 
-fn bench_weighted_resampling(c: &mut Criterion) {
+fn bench_weighted_resampling(r: &mut Runner) {
     let data = synthetic_dataset(8, 2, 4096);
     let weights: Vec<f64> = (0..4096).map(|i| 1.0 + (i % 7) as f64).collect();
-    c.bench_function("resample_weighted_4096", |b| {
-        let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| black_box(data.resample_weighted(black_box(&weights), 4096, &mut rng)))
+    let mut rng = StdRng::seed_from_u64(3);
+    r.bench("resample_weighted_4096", || {
+        data.resample_weighted(black_box(&weights), 4096, &mut rng)
     });
 }
 
-fn bench_device_programming(c: &mut Criterion) {
-    c.bench_function("program_verify_to_60pct", |b| {
-        let p = DeviceParams::hfox();
-        b.iter(|| {
-            let mut cell = FilamentModel::new(p);
-            black_box(cell.program_verify(0.6 * p.g_on, 2.0, 1e-5, 0.01, 20_000))
-        })
+fn bench_device_programming(r: &mut Runner) {
+    let p = DeviceParams::hfox();
+    r.bench("program_verify_to_60pct", || {
+        let mut cell = FilamentModel::new(p);
+        cell.program_verify(0.6 * p.g_on, 2.0, 1e-5, 0.01, 20_000)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_training_epoch,
-    bench_interface_encoding,
-    bench_weighted_resampling,
-    bench_device_programming
-);
-criterion_main!(benches);
+fn main() {
+    print_header("training");
+    let mut r = Runner::new("training");
+    bench_training_epoch(&mut r);
+    bench_interface_encoding(&mut r);
+    bench_weighted_resampling(&mut r);
+    bench_device_programming(&mut r);
+    r.finish();
+}

@@ -11,8 +11,8 @@
 use mei::{evaluate_mse, MeiConfig, Saab, SaabConfig};
 use mei_bench::{format_table, ExperimentConfig};
 use neural::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 
 fn expfit(n: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -40,7 +40,11 @@ fn main() {
     let mut rows = Vec::new();
     let mut best = (0usize, f64::INFINITY);
     for bc in 1..=8usize {
-        let saab_cfg = SaabConfig { rounds: 3, compare_bits: bc, ..SaabConfig::default() };
+        let saab_cfg = SaabConfig {
+            rounds: 3,
+            compare_bits: bc,
+            ..SaabConfig::default()
+        };
         match Saab::train(&train, &mei_cfg, &saab_cfg) {
             Ok(saab) => {
                 let mse = evaluate_mse(&saab, &test);
@@ -56,7 +60,10 @@ fn main() {
             Err(_) => rows.push(vec![bc.to_string(), "0".into(), "all discarded".into()]),
         }
     }
-    println!("{}", format_table(&["B_C", "learners kept", "ensemble MSE"], &rows));
+    println!(
+        "{}",
+        format_table(&["B_C", "learners kept", "ensemble MSE"], &rows)
+    );
     println!(
         "best B_C = {} (paper recommends 4–6 of 8; too-strict comparisons discard \
          learners, too-lax ones stop separating hard samples)",

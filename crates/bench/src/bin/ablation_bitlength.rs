@@ -19,7 +19,9 @@ fn main() {
     let cost = CostModel::dac2015();
     let w = InverseK2j::new();
     let train = w.dataset(cfg.train_samples, cfg.seed).expect("train data");
-    let test = w.dataset(cfg.test_samples, cfg.seed + 1).expect("test data");
+    let test = w
+        .dataset(cfg.test_samples, cfg.seed + 1)
+        .expect("test data");
     let adda_topology = AddaTopology::new(2, 8, 2, 8);
 
     println!("== Ablation: MEI interface bit-length on inversek2j ==\n");
@@ -61,6 +63,10 @@ fn main() {
     println!("shape check: accuracy improves (or holds) from 6 → 10 bits while the");
     println!(
         "cost saving shrinks — the accuracy/cost trade-off the paper's DSE navigates: {}",
-        if mses[1] <= mses[0] * 1.2 { "PASS" } else { "FAIL" }
+        if mses[1] <= mses[0] * 1.2 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 }

@@ -14,8 +14,8 @@ use interface::BitCoding;
 use mei::{evaluate_mse, mse_scorer, robustness, MeiConfig, MeiRcs, NonIdealFactors};
 use mei_bench::{format_table, ExperimentConfig};
 use neural::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 use workloads::{kmeans::KMeans, Workload};
 
 fn expfit(n: usize, seed: u64) -> Dataset {
@@ -43,7 +43,9 @@ fn main() {
         ),
         (
             "kmeans",
-            kmeans.dataset(cfg.train_samples.min(4000), 3).expect("data"),
+            kmeans
+                .dataset(cfg.train_samples.min(4000), 3)
+                .expect("data"),
             kmeans.dataset(cfg.test_samples, 4).expect("data"),
             32,
         ),
@@ -87,7 +89,10 @@ fn main() {
     }
     println!(
         "{}",
-        format_table(&["task", "coding", "clean MSE", "noisy MSE (σ=0.1/0.05)"], &rows)
+        format_table(
+            &["task", "coding", "clean MSE", "noisy MSE (σ=0.1/0.05)"],
+            &rows
+        )
     );
     println!("(Gray trades the binary Hamming cliffs for uniform single-bit transitions;");
     println!("whether that wins depends on how much of the task's mass sits near code");

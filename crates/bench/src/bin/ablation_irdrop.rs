@@ -31,11 +31,7 @@ fn main() {
         for &r_wire in &[1.0, 2.5, 10.0] {
             let cfg = IrDropConfig::with_wire_resistance(r_wire);
             let att = attenuation(&xbar, &inputs, &cfg);
-            let worst = att
-                .iter()
-                .flatten()
-                .cloned()
-                .fold(0.0f64, f64::max);
+            let worst = att.iter().flatten().cloned().fold(0.0f64, f64::max);
             row.push(pct(worst));
         }
         rows.push(row);
@@ -54,8 +50,12 @@ fn main() {
     // End-to-end: what IR drop does to a trained MEI system's accuracy.
     let cfg = ExperimentConfig::from_env();
     let w = Sobel::new();
-    let train = w.dataset(cfg.train_samples.min(3000), cfg.seed).expect("train data");
-    let test = w.dataset(cfg.test_samples.min(300), cfg.seed + 1).expect("test data");
+    let train = w
+        .dataset(cfg.train_samples.min(3000), cfg.seed)
+        .expect("train data");
+    let test = w
+        .dataset(cfg.test_samples.min(300), cfg.seed + 1)
+        .expect("test data");
     let rcs = MeiRcs::train(
         &train,
         &MeiConfig {

@@ -14,9 +14,15 @@ fn main() {
     let mut wins = 0usize;
     for setup in table1_setups() {
         let w = &setup.workload;
-        let n_train = if setup.wide { cfg.train_samples.min(3000) } else { cfg.train_samples };
+        let n_train = if setup.wide {
+            cfg.train_samples.min(3000)
+        } else {
+            cfg.train_samples
+        };
         let train = w.dataset(n_train, cfg.seed).expect("train data");
-        let test = w.dataset(cfg.test_samples, cfg.seed + 1).expect("test data");
+        let test = w
+            .dataset(cfg.test_samples, cfg.seed + 1)
+            .expect("test data");
 
         let mse_for = |weighted: bool| {
             let rcs = MeiRcs::train(
@@ -44,13 +50,20 @@ fn main() {
             w.name().to_string(),
             format!("{weighted:.5}"),
             format!("{uniform:.5}"),
-            if weighted <= uniform { "weighted".into() } else { "uniform".into() },
+            if weighted <= uniform {
+                "weighted".into()
+            } else {
+                "uniform".into()
+            },
         ]);
         eprintln!("[{}] done", w.name());
     }
     println!(
         "{}",
-        format_table(&["benchmark", "weighted MSE", "uniform MSE", "winner"], &rows)
+        format_table(
+            &["benchmark", "weighted MSE", "uniform MSE", "winner"],
+            &rows
+        )
     );
     println!("weighted loss wins on {wins}/6 benchmarks (paper Fig 3: weighted wins)");
 }

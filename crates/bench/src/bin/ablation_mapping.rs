@@ -13,8 +13,8 @@
 
 use crossbar::{DifferentialPair, MappingConfig, SignedDividerLayer};
 use mei_bench::format_table;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 use rram::{DeviceParams, VariationModel};
 
 fn random_matrix(outputs: usize, inputs: usize, scale: f64, rng: &mut StdRng) -> Vec<Vec<f64>> {
@@ -24,11 +24,16 @@ fn random_matrix(outputs: usize, inputs: usize, scale: f64, rng: &mut StdRng) ->
 }
 
 fn matvec(w: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
-    w.iter().map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum()).collect()
+    w.iter()
+        .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+        .collect()
 }
 
 fn max_err(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0, f64::max)
 }
 
 fn main() {
@@ -47,8 +52,7 @@ fn main() {
 
         let mut pair =
             DifferentialPair::from_weights(&w, params, &MappingConfig::default()).expect("pair");
-        let mut divider =
-            SignedDividerLayer::from_signed(&w, params, 1e-3).expect("divider");
+        let mut divider = SignedDividerLayer::from_signed(&w, params, 1e-3).expect("divider");
 
         let pair_err = max_err(&pair.matvec(&x), &exact);
         let div_err = max_err(&divider.forward(&x), &exact);

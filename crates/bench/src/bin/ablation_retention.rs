@@ -16,8 +16,12 @@ use workloads::{sobel::Sobel, Workload};
 fn main() {
     let cfg = ExperimentConfig::from_env();
     let w = Sobel::new();
-    let train = w.dataset(cfg.train_samples.min(3000), cfg.seed).expect("train data");
-    let test = w.dataset(cfg.test_samples.min(400), cfg.seed + 1).expect("test data");
+    let train = w
+        .dataset(cfg.train_samples.min(3000), cfg.seed)
+        .expect("train data");
+    let test = w
+        .dataset(cfg.test_samples.min(400), cfg.seed + 1)
+        .expect("test data");
     let mut rcs = MeiRcs::train(
         &train,
         &MeiConfig {
@@ -46,10 +50,16 @@ fn main() {
     ] {
         rcs.restore();
         rcs.age(&retention, seconds);
-        rows.push(vec![label.to_string(), format!("{:.5}", evaluate_mse(&rcs, &test))]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.5}", evaluate_mse(&rcs, &test)),
+        ]);
     }
     rcs.restore();
-    rows.push(vec!["after refresh".to_string(), format!("{:.5}", evaluate_mse(&rcs, &test))]);
+    rows.push(vec![
+        "after refresh".to_string(),
+        format!("{:.5}", evaluate_mse(&rcs, &test)),
+    ]);
     println!("{}", format_table(&["age", "test MSE"], &rows));
     println!("drift degrades gradually; a reprogramming refresh restores the fresh MSE");
     println!("exactly — the digital weight store makes refresh lossless.");

@@ -16,7 +16,10 @@ fn print_breakdown(label: &str, b: &CostBreakdown) {
     println!("  ADC        {:>8}", pct(b.adc / total));
     println!("  peripheral {:>8}", pct(b.peripheral / total));
     println!("  RRAM       {:>8}", pct(b.rram / total));
-    println!("  → AD/DA together: {} (paper: > 85%)", pct(b.adda_fraction()));
+    println!(
+        "  → AD/DA together: {} (paper: > 85%)",
+        pct(b.adda_fraction())
+    );
 }
 
 fn main() {
@@ -34,7 +37,16 @@ fn main() {
     let ok_area = area.adda_fraction() > 0.85;
     let ok_power = power.adda_fraction() > 0.85;
     let ok_rram = area.rram_fraction() < 0.02 && power.rram_fraction() < 0.02;
-    println!("  AD/DA > 85% of area : {}", if ok_area { "PASS" } else { "FAIL" });
-    println!("  AD/DA > 85% of power: {}", if ok_power { "PASS" } else { "FAIL" });
-    println!("  RRAM ≈ 1% (< 2%)    : {}", if ok_rram { "PASS" } else { "FAIL" });
+    println!(
+        "  AD/DA > 85% of area : {}",
+        if ok_area { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "  AD/DA > 85% of power: {}",
+        if ok_power { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "  RRAM ≈ 1% (< 2%)    : {}",
+        if ok_rram { "PASS" } else { "FAIL" }
+    );
 }

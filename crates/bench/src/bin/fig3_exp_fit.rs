@@ -11,8 +11,8 @@
 use mei::{evaluate_mse, AddaConfig, AddaRcs, MeiConfig, MeiRcs};
 use mei_bench::{format_table, mean_over_write_draws, ExperimentConfig};
 use neural::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 
 fn expfit(n: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -76,7 +76,10 @@ fn main() {
     }
     println!(
         "{}",
-        format_table(&["topology", "AD/DA MSE", "MEI unweighted", "MEI weighted"], &rows)
+        format_table(
+            &["topology", "AD/DA MSE", "MEI unweighted", "MEI weighted"],
+            &rows
+        )
     );
 
     // Shape checks against the paper's qualitative claims.
@@ -87,11 +90,19 @@ fn main() {
     println!("shape checks vs paper:");
     println!(
         "  weighted loss beats unweighted at the largest size: {}",
-        if weighted_last <= unweighted_last { "PASS" } else { "FAIL" }
+        if weighted_last <= unweighted_last {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     println!(
         "  MEI improves with hidden size: {}",
-        if weighted_last < weighted_first { "PASS" } else { "FAIL" }
+        if weighted_last < weighted_first {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     let tail_change = (parse(&rows[4][3]) - parse(&rows[3][3])).abs() / parse(&rows[3][3]);
     println!(

@@ -10,7 +10,10 @@
 
 use interface::cost::{AddaTopology, CostModel};
 use mei::{evaluate_metric, MeiConfig, SaabConfig};
-use mei_bench::{format_table, mean_over_write_draws, table1_setups, train_saab_adaptive, train_trio, ExperimentConfig};
+use mei_bench::{
+    format_table, mean_over_write_draws, table1_setups, train_saab_adaptive, train_trio,
+    ExperimentConfig,
+};
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
@@ -23,9 +26,15 @@ fn main() {
     for setup in table1_setups() {
         let w = &setup.workload;
         let started = std::time::Instant::now();
-        let n_train = if setup.wide { cfg.train_samples.min(3000) } else { cfg.train_samples };
+        let n_train = if setup.wide {
+            cfg.train_samples.min(3000)
+        } else {
+            cfg.train_samples
+        };
         let train = w.dataset(n_train, cfg.seed).expect("train data");
-        let test = w.dataset(cfg.test_samples, cfg.seed + 1).expect("test data");
+        let test = w
+            .dataset(cfg.test_samples, cfg.seed + 1)
+            .expect("test data");
         let metric = w.metric();
 
         let mut trio = train_trio(&setup, &train, &cfg);
@@ -74,12 +83,19 @@ fn main() {
             format!("{err_mei:.4}"),
             format!("{err_saab:.4} (K={}, B_C={bc})", saab.len()),
         ]);
-        eprintln!("[{}] done in {:.0}s", w.name(), started.elapsed().as_secs_f64());
+        eprintln!(
+            "[{}] done in {:.0}s",
+            w.name(),
+            started.elapsed().as_secs_f64()
+        );
     }
 
     println!(
         "{}",
-        format_table(&["name", "metric", "Digital", "AD/DA", "MEI", "MEI+SAAB"], &rows)
+        format_table(
+            &["name", "metric", "Digital", "AD/DA", "MEI", "MEI+SAAB"],
+            &rows
+        )
     );
 
     let avg_improvement: f64 = improvements.iter().sum::<f64>() / improvements.len() as f64;

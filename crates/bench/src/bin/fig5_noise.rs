@@ -36,9 +36,15 @@ fn main() {
             continue;
         }
         let started = std::time::Instant::now();
-        let n_train = if setup.wide { cfg.train_samples.min(3000) } else { cfg.train_samples };
+        let n_train = if setup.wide {
+            cfg.train_samples.min(3000)
+        } else {
+            cfg.train_samples
+        };
         let train = w.dataset(n_train, cfg.seed).expect("train data");
-        let test = w.dataset(cfg.test_samples.min(400), cfg.seed + 1).expect("test data");
+        let test = w
+            .dataset(cfg.test_samples.min(400), cfg.seed + 1)
+            .expect("test data");
 
         let mut trio = train_trio(&setup, &train, &cfg);
 
@@ -67,13 +73,24 @@ fn main() {
         // The increasing-hidden-layer alternative: 3× hidden nodes.
         let mut wide = MeiRcs::train(
             &train,
-            &MeiConfig { hidden: 3 * setup.mei_hidden, ..mei_cfg },
+            &MeiConfig {
+                hidden: 3 * setup.mei_hidden,
+                ..mei_cfg
+            },
         )
         .expect("wide MEI training");
 
         for (factor_name, levels, make) in [
-            ("process variation", PV_LEVELS, NonIdealFactors::process_only as fn(f64) -> _),
-            ("signal fluctuation", SF_LEVELS, NonIdealFactors::signal_only as fn(f64) -> _),
+            (
+                "process variation",
+                PV_LEVELS,
+                NonIdealFactors::process_only as fn(f64) -> _,
+            ),
+            (
+                "signal fluctuation",
+                SF_LEVELS,
+                NonIdealFactors::signal_only as fn(f64) -> _,
+            ),
         ] {
             let mut rows = Vec::new();
             for &sigma in &levels {
@@ -95,20 +112,31 @@ fn main() {
             println!("--- {} | {} sweep ---", w.name(), factor_name);
             println!(
                 "{}",
-                format_table(
-                    &["σ", "AD/DA", "MEI", "MEI+SAAB(3)", "MEI wide(3H)"],
-                    &rows
-                )
+                format_table(&["σ", "AD/DA", "MEI", "MEI+SAAB(3)", "MEI wide(3H)"], &rows)
             );
         }
 
         // Shape check: at the strongest SF level, MEI's *relative*
         // degradation is below the AD/DA architecture's.
         let sf = NonIdealFactors::signal_only(SF_LEVELS[3]);
-        let base_adda =
-            robustness(&mut trio.adda, &test, &NonIdealFactors::ideal(), 1, 0, mse_scorer).mean;
-        let base_mei =
-            robustness(&mut trio.mei, &test, &NonIdealFactors::ideal(), 1, 0, mse_scorer).mean;
+        let base_adda = robustness(
+            &mut trio.adda,
+            &test,
+            &NonIdealFactors::ideal(),
+            1,
+            0,
+            mse_scorer,
+        )
+        .mean;
+        let base_mei = robustness(
+            &mut trio.mei,
+            &test,
+            &NonIdealFactors::ideal(),
+            1,
+            0,
+            mse_scorer,
+        )
+        .mean;
         let noisy_adda =
             robustness(&mut trio.adda, &test, &sf, cfg.noise_trials, 33, mse_scorer).mean;
         let noisy_mei =
@@ -120,9 +148,17 @@ fn main() {
             w.name(),
             adda_deg,
             mei_deg,
-            if mei_deg < adda_deg { "PASS (MEI more robust, as in the paper)" } else { "FAIL" }
+            if mei_deg < adda_deg {
+                "PASS (MEI more robust, as in the paper)"
+            } else {
+                "FAIL"
+            }
         );
-        eprintln!("[{}] done in {:.0}s\n", w.name(), started.elapsed().as_secs_f64());
+        eprintln!(
+            "[{}] done in {:.0}s\n",
+            w.name(),
+            started.elapsed().as_secs_f64()
+        );
         println!();
     }
 }

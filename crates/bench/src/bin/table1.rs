@@ -10,17 +10,49 @@
 use interface::cost::{AddaTopology, CostModel};
 use mei::prune::prune_to_requirement;
 use mei::{evaluate_metric, evaluate_mse};
-use mei_bench::{format_table, mean_over_write_draws, pct, table1_setups, train_trio, ExperimentConfig};
+use mei_bench::{
+    format_table, mean_over_write_draws, pct, table1_setups, train_trio, ExperimentConfig,
+};
 
 /// The paper's Table 1 reference values: (mse_digital, mse_adda, mse_mei,
 /// err_digital, err_adda, err_mei, area_saved, power_saved).
 const PAPER: [(&str, [f64; 8]); 6] = [
-    ("fft", [0.0046, 0.0071, 0.0052, 0.0603, 0.1072, 0.0887, 0.7424, 0.8723]),
-    ("inversek2j", [0.0038, 0.0053, 0.0067, 0.0657, 0.0907, 0.1045, 0.5463, 0.7373]),
-    ("jmeint", [0.0117, 0.0258, 0.0262, 0.0719, 0.0950, 0.0996, 0.6967, 0.6182]),
-    ("jpeg", [0.0081, 0.0153, 0.0142, 0.0689, 0.1144, 0.0973, 0.8614, 0.7958]),
-    ("kmeans", [0.0052, 0.0081, 0.0094, 0.0359, 0.0759, 0.0813, 0.6700, 0.7025]),
-    ("sobel", [0.0024, 0.0028, 0.0026, 0.0371, 0.0400, 0.0377, 0.8599, 0.8680]),
+    (
+        "fft",
+        [
+            0.0046, 0.0071, 0.0052, 0.0603, 0.1072, 0.0887, 0.7424, 0.8723,
+        ],
+    ),
+    (
+        "inversek2j",
+        [
+            0.0038, 0.0053, 0.0067, 0.0657, 0.0907, 0.1045, 0.5463, 0.7373,
+        ],
+    ),
+    (
+        "jmeint",
+        [
+            0.0117, 0.0258, 0.0262, 0.0719, 0.0950, 0.0996, 0.6967, 0.6182,
+        ],
+    ),
+    (
+        "jpeg",
+        [
+            0.0081, 0.0153, 0.0142, 0.0689, 0.1144, 0.0973, 0.8614, 0.7958,
+        ],
+    ),
+    (
+        "kmeans",
+        [
+            0.0052, 0.0081, 0.0094, 0.0359, 0.0759, 0.0813, 0.6700, 0.7025,
+        ],
+    ),
+    (
+        "sobel",
+        [
+            0.0024, 0.0028, 0.0026, 0.0371, 0.0400, 0.0377, 0.8599, 0.8680,
+        ],
+    ),
 ];
 
 fn main() {
@@ -38,9 +70,15 @@ fn main() {
         let w = &setup.workload;
         assert_eq!(w.name(), paper_name);
         let started = std::time::Instant::now();
-        let n_train = if setup.wide { cfg.train_samples.min(3000) } else { cfg.train_samples };
+        let n_train = if setup.wide {
+            cfg.train_samples.min(3000)
+        } else {
+            cfg.train_samples
+        };
         let train = w.dataset(n_train, cfg.seed).expect("train data");
-        let test = w.dataset(cfg.test_samples, cfg.seed + 1).expect("test data");
+        let test = w
+            .dataset(cfg.test_samples, cfg.seed + 1)
+            .expect("test data");
 
         let mut trio = train_trio(setup, &train, &cfg);
         let metric = w.metric();
@@ -49,14 +87,12 @@ fn main() {
         // MEI error. Table 1 reports the pruned *topology* (and computes the
         // savings from it) alongside the B_r = 8 system's accuracy.
         let mse_mei_clean = evaluate_mse(&trio.mei, &test);
-        let pruned = prune_to_requirement(&trio.mei, &test, mse_mei_clean * 1.10)
-            .expect("pruning");
+        let pruned = prune_to_requirement(&trio.mei, &test, mse_mei_clean * 1.10).expect("pruning");
         let mei_topology = pruned.rcs.topology();
 
         // Digital is noise-free; the two RCSs average over write draws.
         let mse_digital = evaluate_mse(&trio.digital, &test);
-        let err_digital =
-            evaluate_metric(&trio.digital, &test, |p, t| metric.evaluate(p, t));
+        let err_digital = evaluate_metric(&trio.digital, &test, |p, t| metric.evaluate(p, t));
         let mse_adda = mean_over_write_draws(&mut trio.adda, cfg.write_draws, 11, |r| {
             evaluate_mse(r, &test)
         });
@@ -105,7 +141,11 @@ fn main() {
                 w.name()
             ));
         }
-        eprintln!("[{}] done in {:.0}s", w.name(), started.elapsed().as_secs_f64());
+        eprintln!(
+            "[{}] done in {:.0}s",
+            w.name(),
+            started.elapsed().as_secs_f64()
+        );
     }
 
     println!(

@@ -16,7 +16,8 @@
 //! | `ablation_retention` | conductance drift over deployment time |
 //! | `ablation_encoding` | binary vs Gray-coded interfaces (extension) |
 //!
-//! Criterion micro-benchmarks (`benches/`) cover the substrate hot paths.
+//! The in-repo micro-benchmarks (`benches/`, on the [`timing`] runner)
+//! cover the substrate hot paths.
 //!
 //! ## The experimental substrate
 //!
@@ -34,10 +35,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use mei::{AddaConfig, AddaRcs, DigitalAnn, MeiConfig, MeiRcs, Rcs};
 use neural::{Dataset, TrainConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use prng::rngs::StdRng;
+use prng::SeedableRng;
 use rram::{DeviceParams, VariationModel};
 use workloads::{all_benchmarks, Workload};
 
@@ -71,7 +74,9 @@ impl ExperimentConfig {
     /// The default budgets, honouring `MEI_BENCH_QUICK=1`.
     #[must_use]
     pub fn from_env() -> Self {
-        let quick = std::env::var("MEI_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+        let quick = std::env::var("MEI_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         if quick {
             Self {
                 train_samples: 1_500,
@@ -117,7 +122,11 @@ impl ExperimentConfig {
     #[must_use]
     pub fn mei_train(&self, wide: bool) -> TrainConfig {
         TrainConfig {
-            epochs: if wide { self.mei_epochs / 3 } else { self.mei_epochs },
+            epochs: if wide {
+                self.mei_epochs / 3
+            } else {
+                self.mei_epochs
+            },
             learning_rate: if wide { 0.3 } else { 0.5 },
             batch_size: if wide { 32 } else { 16 },
             lr_decay: 0.995,
@@ -153,7 +162,13 @@ pub fn table1_setups() -> Vec<BenchmarkSetup> {
         .zip(hidden)
         .map(|(workload, mei_hidden)| {
             let wide = workload.name() == "jpeg";
-            BenchmarkSetup { workload, mei_hidden, mei_in_bits: 8, mei_out_bits: 8, wide }
+            BenchmarkSetup {
+                workload,
+                mei_hidden,
+                mei_in_bits: 8,
+                mei_out_bits: 8,
+                wide,
+            }
         })
         .collect()
 }
@@ -240,12 +255,7 @@ pub fn train_saab_adaptive(
 
 /// Mean of `score` over `draws` manufactured chips: each draw programs the
 /// arrays with fresh lognormal write noise, scores, and restores.
-pub fn mean_over_write_draws<F>(
-    rcs: &mut dyn Rcs,
-    draws: usize,
-    seed: u64,
-    mut score: F,
-) -> f64
+pub fn mean_over_write_draws<F>(rcs: &mut dyn Rcs, draws: usize, seed: u64, mut score: F) -> f64
 where
     F: FnMut(&dyn Rcs) -> f64,
 {
@@ -306,7 +316,10 @@ mod tests {
         let setups = table1_setups();
         assert_eq!(setups.len(), 6);
         let names: Vec<&str> = setups.iter().map(|s| s.workload.name()).collect();
-        assert_eq!(names, vec!["fft", "inversek2j", "jmeint", "jpeg", "kmeans", "sobel"]);
+        assert_eq!(
+            names,
+            vec!["fft", "inversek2j", "jmeint", "jpeg", "kmeans", "sobel"]
+        );
         assert!(setups.iter().all(|s| s.mei_hidden >= 16));
     }
 
@@ -345,7 +358,10 @@ mod tests {
     fn table_formatting_aligns() {
         let t = format_table(
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
         );
         assert!(t.contains("name"));
         assert!(t.lines().count() == 4);

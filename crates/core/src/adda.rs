@@ -6,7 +6,7 @@ use crossbar::{MappingConfig, SignalFluctuation};
 use interface::cost::AddaTopology;
 use interface::quantize_fraction;
 use neural::{Dataset, Mlp, MlpBuilder, TrainConfig, Trainer};
-use rand::Rng;
+use prng::Rng;
 use rram::{DeviceParams, VariationModel};
 
 use crate::analog::AnalogMlp;
@@ -67,7 +67,9 @@ impl AddaRcs {
     /// crossbars.
     pub fn train(data: &Dataset, config: &AddaConfig) -> Result<Self, TrainRcsError> {
         if config.hidden == 0 {
-            return Err(TrainRcsError::InvalidConfig("hidden size must be nonzero".into()));
+            return Err(TrainRcsError::InvalidConfig(
+                "hidden size must be nonzero".into(),
+            ));
         }
         if config.bits == 0 || config.bits > interface::quantize::MAX_BITS {
             return Err(TrainRcsError::InvalidConfig(format!(
@@ -78,19 +80,29 @@ impl AddaRcs {
         }
         // What the DACs/ADCs deliver: B-bit quantized values.
         let quantized = data
-            .map_inputs(|x| x.iter().map(|&v| quantize_fraction(v, config.bits)).collect())?
-            .map_targets(|_, y| y.iter().map(|&v| quantize_fraction(v, config.bits)).collect())?;
+            .map_inputs(|x| {
+                x.iter()
+                    .map(|&v| quantize_fraction(v, config.bits))
+                    .collect()
+            })?
+            .map_targets(|_, y| {
+                y.iter()
+                    .map(|&v| quantize_fraction(v, config.bits))
+                    .collect()
+            })?;
 
-        let mut mlp = MlpBuilder::new(&[
-            quantized.input_dim(),
-            config.hidden,
-            quantized.output_dim(),
-        ])
-        .seed(config.seed)
-        .build();
+        let mut mlp =
+            MlpBuilder::new(&[quantized.input_dim(), config.hidden, quantized.output_dim()])
+                .seed(config.seed)
+                .build();
         Trainer::new(config.train).train(&mut mlp, &quantized);
         let analog = AnalogMlp::from_mlp(&mlp, config.device, &config.mapping)?;
-        Ok(Self { mlp, analog, bits: config.bits, hidden: config.hidden })
+        Ok(Self {
+            mlp,
+            analog,
+            bits: config.bits,
+            hidden: config.hidden,
+        })
     }
 
     /// AD/DA resolution in bits.
@@ -132,7 +144,10 @@ impl AddaRcs {
         self.check_input(x)?;
         let dac: Vec<f64> = x.iter().map(|&v| quantize_fraction(v, self.bits)).collect();
         let out = self.analog.forward(&dac);
-        Ok(out.iter().map(|&v| quantize_fraction(v, self.bits)).collect())
+        Ok(out
+            .iter()
+            .map(|&v| quantize_fraction(v, self.bits))
+            .collect())
     }
 
     /// Inference with signal fluctuation on every analog voltage (the DAC
@@ -151,7 +166,10 @@ impl AddaRcs {
         self.check_input(x)?;
         let dac: Vec<f64> = x.iter().map(|&v| quantize_fraction(v, self.bits)).collect();
         let out = self.analog.forward_noisy(&dac, fluctuation, rng);
-        Ok(out.iter().map(|&v| quantize_fraction(v, self.bits)).collect())
+        Ok(out
+            .iter()
+            .map(|&v| quantize_fraction(v, self.bits))
+            .collect())
     }
 
     /// Apply process variation to every RRAM device.
@@ -184,8 +202,8 @@ impl fmt::Display for AddaRcs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use prng::rngs::StdRng;
+    use prng::SeedableRng;
 
     fn expfit_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -199,7 +217,11 @@ mod tests {
     fn quick_config() -> AddaConfig {
         AddaConfig {
             hidden: 8,
-            train: TrainConfig { epochs: 150, learning_rate: 1.0, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 150,
+                learning_rate: 1.0,
+                ..TrainConfig::default()
+            },
             ..AddaConfig::default()
         }
     }
@@ -224,7 +246,10 @@ mod tests {
         let rcs = AddaRcs::train(&data, &quick_config()).unwrap();
         let y = rcs.infer(&[0.37]).unwrap()[0];
         let levels = 256.0;
-        assert!((y * levels - (y * levels).round()).abs() < 1e-9, "output {y} not 8-bit");
+        assert!(
+            (y * levels - (y * levels).round()).abs() < 1e-9,
+            "output {y} not 8-bit"
+        );
     }
 
     #[test]
@@ -238,9 +263,15 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         let data = expfit_data(10, 5);
-        let bad_hidden = AddaConfig { hidden: 0, ..quick_config() };
+        let bad_hidden = AddaConfig {
+            hidden: 0,
+            ..quick_config()
+        };
         assert!(AddaRcs::train(&data, &bad_hidden).is_err());
-        let bad_bits = AddaConfig { bits: 0, ..quick_config() };
+        let bad_bits = AddaConfig {
+            bits: 0,
+            ..quick_config()
+        };
         assert!(AddaRcs::train(&data, &bad_bits).is_err());
     }
 
@@ -248,13 +279,19 @@ mod tests {
     fn wrong_input_length_is_an_error() {
         let data = expfit_data(20, 6);
         let cfg = AddaConfig {
-            train: TrainConfig { epochs: 2, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 2,
+                ..TrainConfig::default()
+            },
             ..AddaConfig::default()
         };
         let rcs = AddaRcs::train(&data, &cfg).unwrap();
         assert_eq!(
             rcs.infer(&[0.1, 0.2]).unwrap_err(),
-            InferError::InputLength { expected: 1, found: 2 }
+            InferError::InputLength {
+                expected: 1,
+                found: 2
+            }
         );
     }
 

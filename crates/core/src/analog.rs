@@ -11,7 +11,7 @@ use std::fmt;
 
 use crossbar::{DifferentialPair, IrDropConfig, MapWeightsError, MappingConfig, SignalFluctuation};
 use neural::{Activation, Mlp};
-use rand::Rng;
+use prng::Rng;
 use rram::{DeviceParams, VariationModel};
 
 /// One crossbar-mapped layer: a differential pair over the augmented
@@ -70,7 +70,10 @@ impl AnalogMlp {
                 row.push(b);
             }
             let pair = DifferentialPair::from_weights(&augmented, params, config)?;
-            layers.push(AnalogLayer { pair, activation: layer.activation });
+            layers.push(AnalogLayer {
+                pair,
+                activation: layer.activation,
+            });
         }
         Ok(Self {
             layers,
@@ -202,8 +205,8 @@ impl fmt::Display for AnalogMlp {
 mod tests {
     use super::*;
     use neural::MlpBuilder;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use prng::rngs::StdRng;
+    use prng::SeedableRng;
 
     fn net() -> Mlp {
         MlpBuilder::new(&[3, 5, 2]).seed(7).build()
@@ -274,8 +277,8 @@ mod tests {
     #[test]
     fn deep_network_maps_correctly() {
         let deep = MlpBuilder::new(&[2, 6, 6, 3]).seed(11).build();
-        let p = AnalogMlp::from_mlp(&deep, DeviceParams::hfox(), &MappingConfig::default())
-            .unwrap();
+        let p =
+            AnalogMlp::from_mlp(&deep, DeviceParams::hfox(), &MappingConfig::default()).unwrap();
         let x = [0.25, 0.75];
         let d = deep.forward(&x);
         let a = p.forward(&x);
@@ -294,7 +297,10 @@ mod tests {
     fn ideal_wires_match_plain_forward() {
         let p = analog();
         let x = [0.2, 0.5, 0.8];
-        assert_eq!(p.forward_ir(&x, &crossbar::IrDropConfig::ideal()), p.forward(&x));
+        assert_eq!(
+            p.forward_ir(&x, &crossbar::IrDropConfig::ideal()),
+            p.forward(&x)
+        );
     }
 
     #[test]

@@ -59,7 +59,7 @@ mod tests {
         let w = exponential_bit_weights(&InterfaceSpec::new(1, 8));
         assert_eq!(w.len(), 8);
         assert_eq!(w[0], 1.0); // MSB penalty: 2^0
-        // LSB *squared* weight (the Eq (5) penalty) is 2^-7.
+                               // LSB *squared* weight (the Eq (5) penalty) is 2^-7.
         assert!((w[7] * w[7] - 0.5f64.powi(7)).abs() < 1e-12);
     }
 

@@ -15,8 +15,8 @@
 use std::fmt;
 
 use neural::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 
 use crate::mei_arch::MeiRcs;
 
@@ -146,8 +146,8 @@ pub fn comparator_margins(rcs: &MeiRcs, data: &Dataset) -> MarginReport {
 mod tests {
     use super::*;
     use crate::mei_arch::MeiConfig;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use prng::rngs::StdRng;
+    use prng::{Rng, SeedableRng};
 
     fn expfit_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);

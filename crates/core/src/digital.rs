@@ -41,7 +41,9 @@ impl DigitalAnn {
         seed: u64,
     ) -> Result<Self, TrainRcsError> {
         if hidden == 0 {
-            return Err(TrainRcsError::InvalidConfig("hidden size must be nonzero".into()));
+            return Err(TrainRcsError::InvalidConfig(
+                "hidden size must be nonzero".into(),
+            ));
         }
         let mut mlp = MlpBuilder::new(&[data.input_dim(), hidden, data.output_dim()])
             .seed(seed)
@@ -84,8 +86,8 @@ impl fmt::Display for DigitalAnn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use prng::rngs::StdRng;
+    use prng::{Rng, SeedableRng};
 
     fn expfit_data(n: usize) -> Dataset {
         let mut rng = StdRng::seed_from_u64(2);
@@ -99,7 +101,11 @@ mod tests {
     #[test]
     fn digital_ann_fits_expfit_tightly() {
         let data = expfit_data(400);
-        let cfg = TrainConfig { epochs: 300, learning_rate: 1.0, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 300,
+            learning_rate: 1.0,
+            ..TrainConfig::default()
+        };
         let ann = DigitalAnn::train(&data, 8, &cfg, 1).unwrap();
         let mse = neural::mlp_mse(ann.mlp(), &data);
         assert!(mse < 1e-3, "digital baseline MSE {mse}");
@@ -115,7 +121,10 @@ mod tests {
     #[test]
     fn infer_matches_underlying_mlp() {
         let data = expfit_data(50);
-        let cfg = TrainConfig { epochs: 10, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        };
         let ann = DigitalAnn::train(&data, 4, &cfg, 3).unwrap();
         assert_eq!(ann.infer(&[0.3]), ann.mlp().forward(&[0.3]));
         assert!(ann.report().epochs_run == 10);
@@ -124,7 +133,10 @@ mod tests {
     #[test]
     fn display_nonempty() {
         let data = expfit_data(10);
-        let cfg = TrainConfig { epochs: 1, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::default()
+        };
         let ann = DigitalAnn::train(&data, 2, &cfg, 0).unwrap();
         assert!(ann.to_string().contains("digital ANN"));
     }

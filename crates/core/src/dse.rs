@@ -210,20 +210,28 @@ pub fn explore(
     loop {
         let next = config.growth.next(hidden);
         if next > config.max_hidden {
-            log.push(format!("hidden search stopped at cap {}", config.max_hidden));
+            log.push(format!(
+                "hidden search stopped at cap {}",
+                config.max_hidden
+            ));
             break;
         }
         let candidate = train_at(next, config.seed)?;
         let next_mse = evaluate_mse(&candidate, test);
         let eta = ((next_mse - mse) / mse).abs();
-        log.push(format!("hidden search: H={next} → MSE {next_mse:.6} (η={eta:.3})"));
+        log.push(format!(
+            "hidden search: H={next} → MSE {next_mse:.6} (η={eta:.3})"
+        ));
         if next_mse < mse {
             rcs = candidate;
             mse = next_mse;
             hidden = next;
         }
         if eta < config.change_rate_threshold {
-            log.push(format!("change rate below {} — H={hidden} selected", config.change_rate_threshold));
+            log.push(format!(
+                "change rate below {} — H={hidden} selected",
+                config.change_rate_threshold
+            ));
             break;
         }
         if next_mse >= mse && next != hidden {
@@ -240,8 +248,15 @@ pub fn explore(
 
     // ---- Lines 3–6: does a single RCS already satisfy both requirements?
     let noisy = |r: &mut dyn Rcs| {
-        robustness(r, test, &config.factors, config.robustness_trials, config.seed, mse_scorer)
-            .mean
+        robustness(
+            r,
+            test,
+            &config.factors,
+            config.robustness_trials,
+            config.seed,
+            mse_scorer,
+        )
+        .mean
     };
     let mut rcs_for_noise = rcs.clone();
     let mut noisy_error = noisy(&mut rcs_for_noise);
@@ -261,11 +276,15 @@ pub fn explore(
             group_error_tolerance: 0.0,
             seed: config.seed,
         };
-        let mut trainer = SaabTrainer::new(train, &{
-            let mut cfg = *mei_base;
-            cfg.hidden = hidden;
-            cfg
-        }, &saab_cfg)?;
+        let mut trainer = SaabTrainer::new(
+            train,
+            &{
+                let mut cfg = *mei_base;
+                cfg.hidden = hidden;
+                cfg
+            },
+            &saab_cfg,
+        )?;
 
         for k in 2..=k_max {
             let _ = trainer.boost()?;
@@ -320,7 +339,11 @@ pub fn explore(
 
     // ---- Line 22: prune interface LSBs within the quality guarantee. ----
     if config.prune {
-        let budget = if feasible { config.max_error } else { error.max(config.max_error) };
+        let budget = if feasible {
+            config.max_error
+        } else {
+            error.max(config.max_error)
+        };
         match &design {
             DseDesign::Single(r) => {
                 let report = prune_to_requirement(r, test, budget)?;
@@ -380,8 +403,8 @@ pub fn explore(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use prng::rngs::StdRng;
+    use prng::{Rng, SeedableRng};
 
     fn expfit_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -412,7 +435,11 @@ mod tests {
     fn growth_schedules() {
         assert_eq!(HiddenGrowth::Linear(4).next(8), 12);
         assert_eq!(HiddenGrowth::Exponential.next(8), 16);
-        assert_eq!(HiddenGrowth::Linear(0).next(8), 9, "zero step still advances");
+        assert_eq!(
+            HiddenGrowth::Linear(0).next(8),
+            9,
+            "zero step still advances"
+        );
     }
 
     #[test]
@@ -445,8 +472,15 @@ mod tests {
             max_noisy_error: 1e-12,
             ..quick_dse()
         };
-        let result =
-            explore(&train, &test, &adda, &quick_mei(), &cfg, &CostModel::dac2015()).unwrap();
+        let result = explore(
+            &train,
+            &test,
+            &adda,
+            &quick_mei(),
+            &cfg,
+            &CostModel::dac2015(),
+        )
+        .unwrap();
         assert!(!result.feasible);
         assert!(result.log.iter().any(|l| l.contains("Mission Impossible")));
     }
@@ -456,8 +490,20 @@ mod tests {
         let train = expfit_data(50, 5);
         let test = expfit_data(20, 6);
         let adda = AddaTopology::new(1, 8, 1, 8);
-        let cfg = DseConfig { initial_hidden: 16, max_hidden: 8, ..quick_dse() };
-        assert!(explore(&train, &test, &adda, &quick_mei(), &cfg, &CostModel::dac2015()).is_err());
+        let cfg = DseConfig {
+            initial_hidden: 16,
+            max_hidden: 8,
+            ..quick_dse()
+        };
+        assert!(explore(
+            &train,
+            &test,
+            &adda,
+            &quick_mei(),
+            &cfg,
+            &CostModel::dac2015()
+        )
+        .is_err());
     }
 
     #[test]

@@ -94,7 +94,10 @@ mod tests {
             found: "3 inputs".into(),
         };
         assert!(e.to_string().contains("2 inputs"));
-        let e = InferError::InputLength { expected: 4, found: 2 };
+        let e = InferError::InputLength {
+            expected: 4,
+            found: 2,
+        };
         assert!(e.to_string().contains('4'));
     }
 

@@ -5,8 +5,8 @@ use std::fmt;
 
 use crossbar::SignalFluctuation;
 use neural::Dataset;
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{RngCore, SeedableRng};
 use rram::{NonIdealFactors, VariationModel};
 
 use crate::adda::AddaRcs;
@@ -32,8 +32,12 @@ pub trait Rcs {
 
     /// Prediction with signal fluctuation on the analog/binary drive
     /// signals. Digital systems ignore the fluctuation.
-    fn predict_noisy(&self, x: &[f64], fluctuation: &SignalFluctuation, rng: &mut dyn RngCore)
-        -> Vec<f64>;
+    fn predict_noisy(
+        &self,
+        x: &[f64],
+        fluctuation: &SignalFluctuation,
+        rng: &mut dyn RngCore,
+    ) -> Vec<f64>;
 
     /// Apply process variation to the device state (no-op for digital).
     fn disturb(&mut self, variation: &VariationModel, rng: &mut dyn RngCore);
@@ -80,7 +84,8 @@ impl Rcs for AddaRcs {
         fluctuation: &SignalFluctuation,
         rng: &mut dyn RngCore,
     ) -> Vec<f64> {
-        self.infer_noisy(x, fluctuation, rng).expect("dataset-validated input")
+        self.infer_noisy(x, fluctuation, rng)
+            .expect("dataset-validated input")
     }
 
     fn disturb(&mut self, variation: &VariationModel, rng: &mut dyn RngCore) {
@@ -107,7 +112,8 @@ impl Rcs for MeiRcs {
         fluctuation: &SignalFluctuation,
         rng: &mut dyn RngCore,
     ) -> Vec<f64> {
-        self.infer_noisy(x, fluctuation, rng).expect("dataset-validated input")
+        self.infer_noisy(x, fluctuation, rng)
+            .expect("dataset-validated input")
     }
 
     fn disturb(&mut self, variation: &VariationModel, rng: &mut dyn RngCore) {
@@ -276,7 +282,7 @@ mod tests {
     use crate::adda::AddaConfig;
     use crate::mei_arch::MeiConfig;
     use neural::TrainConfig;
-    use rand::Rng;
+    use prng::Rng;
 
     fn expfit_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -288,7 +294,11 @@ mod tests {
     }
 
     fn quick_train() -> TrainConfig {
-        TrainConfig { epochs: 100, learning_rate: 1.0, ..TrainConfig::default() }
+        TrainConfig {
+            epochs: 100,
+            learning_rate: 1.0,
+            ..TrainConfig::default()
+        }
     }
 
     #[test]
@@ -314,7 +324,10 @@ mod tests {
         let data = expfit_data(200, 2);
         let mut rcs = AddaRcs::train(
             &data,
-            &AddaConfig { train: quick_train(), ..AddaConfig::default() },
+            &AddaConfig {
+                train: quick_train(),
+                ..AddaConfig::default()
+            },
         )
         .unwrap();
         let clean = evaluate_mse(&rcs, &data);
@@ -326,7 +339,11 @@ mod tests {
             3,
             mse_scorer,
         );
-        assert!(noisy.mean > clean, "noise must hurt: {clean} vs {}", noisy.mean);
+        assert!(
+            noisy.mean > clean,
+            "noise must hurt: {clean} vs {}",
+            noisy.mean
+        );
         assert!(noisy.std_dev > 0.0);
         assert!(noisy.min <= noisy.mean && noisy.mean <= noisy.max);
         // Device state restored after the report.
@@ -407,7 +424,13 @@ mod tests {
 
     #[test]
     fn report_display_has_stats() {
-        let r = RobustnessReport { mean: 0.1, std_dev: 0.01, min: 0.08, max: 0.12, trials: 9 };
+        let r = RobustnessReport {
+            mean: 0.1,
+            std_dev: 0.01,
+            min: 0.08,
+            max: 0.12,
+            trials: 9,
+        };
         let s = r.to_string();
         assert!(s.contains("0.1") && s.contains('9'));
     }

@@ -27,13 +27,13 @@
 //! ```
 //! use mei::{MeiConfig, MeiRcs};
 //! use neural::Dataset;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use prng::{rngs::StdRng, SeedableRng};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Approximate f(x) = exp(-x²) with a merged-interface RCS.
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let data = Dataset::generate(400, &mut rng, |r| {
-//!     let x: f64 = rand::Rng::gen(r);
+//!     let x: f64 = prng::Rng::gen(r);
 //!     (vec![x], vec![(-x * x).exp()])
 //! })?;
 //! let config = MeiConfig::quick_test(); // small budgets for doc tests
@@ -69,8 +69,8 @@ pub use digital::DigitalAnn;
 pub use dse::{DseConfig, DseDesign, DseResult, HiddenGrowth};
 pub use error::{InferError, TrainRcsError};
 pub use eval::{
-    evaluate_metric, evaluate_mse, mse_scorer, robustness, sweep_robustness, Rcs,
-    RobustnessReport, SweepPoint,
+    evaluate_metric, evaluate_mse, mse_scorer, robustness, sweep_robustness, Rcs, RobustnessReport,
+    SweepPoint,
 };
 pub use mei_arch::{MeiConfig, MeiRcs};
 pub use persist::ParseRcsError;

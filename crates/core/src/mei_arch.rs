@@ -13,7 +13,7 @@ use crossbar::{Comparator, MappingConfig, SignalFluctuation};
 use interface::cost::MeiTopology;
 use interface::{BitCoding, InterfaceSpec};
 use neural::{Dataset, Mlp, MlpBuilder, TrainConfig, Trainer};
-use rand::Rng;
+use prng::Rng;
 use rram::{DeviceParams, VariationModel};
 
 use crate::analog::AnalogMlp;
@@ -72,7 +72,11 @@ impl MeiConfig {
             in_bits: 6,
             out_bits: 6,
             hidden: 16,
-            train: TrainConfig { epochs: 120, learning_rate: 1.0, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 120,
+                learning_rate: 1.0,
+                ..TrainConfig::default()
+            },
             ..Self::default()
         }
     }
@@ -103,10 +107,15 @@ impl MeiRcs {
     /// dataset, or an unmappable trained network.
     pub fn train(data: &Dataset, config: &MeiConfig) -> Result<Self, TrainRcsError> {
         if config.hidden == 0 {
-            return Err(TrainRcsError::InvalidConfig("hidden size must be nonzero".into()));
+            return Err(TrainRcsError::InvalidConfig(
+                "hidden size must be nonzero".into(),
+            ));
         }
         let max = interface::quantize::MAX_BITS;
-        if config.in_bits == 0 || config.in_bits > max || config.out_bits == 0 || config.out_bits > max
+        if config.in_bits == 0
+            || config.in_bits > max
+            || config.out_bits == 0
+            || config.out_bits > max
         {
             return Err(TrainRcsError::InvalidConfig(format!(
                 "bit widths must be in 1..={max}: in={}, out={}",
@@ -124,13 +133,9 @@ impl MeiRcs {
             .map_inputs(|x| input_spec.encode(x))?
             .map_targets(|_, y| output_spec.encode(y))?;
 
-        let mut mlp = MlpBuilder::new(&[
-            input_spec.ports(),
-            config.hidden,
-            output_spec.ports(),
-        ])
-        .seed(config.seed)
-        .build();
+        let mut mlp = MlpBuilder::new(&[input_spec.ports(), config.hidden, output_spec.ports()])
+            .seed(config.seed)
+            .build();
 
         let trainer = if config.weighted_loss {
             Trainer::with_loss(config.train, msb_weighted_loss(&output_spec))
@@ -304,7 +309,9 @@ impl MeiRcs {
             });
         }
         let bits_in = self.input_spec.encode(x);
-        let bits_out = self.comparator.bits(&self.analog.forward_ir(&bits_in, config));
+        let bits_out = self
+            .comparator
+            .bits(&self.analog.forward_ir(&bits_in, config));
         Ok(self.output_spec.decode(&bits_out))
     }
 
@@ -425,8 +432,8 @@ impl fmt::Display for MeiRcs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use prng::rngs::StdRng;
+    use prng::SeedableRng;
 
     fn expfit_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -489,7 +496,10 @@ mod tests {
         let weighted = MeiRcs::train(&data, &MeiConfig::quick_test()).unwrap();
         let unweighted = MeiRcs::train(
             &data,
-            &MeiConfig { weighted_loss: false, ..MeiConfig::quick_test() },
+            &MeiConfig {
+                weighted_loss: false,
+                ..MeiConfig::quick_test()
+            },
         )
         .unwrap();
         assert!(
@@ -581,9 +591,18 @@ mod tests {
     fn invalid_configs_rejected() {
         let data = expfit_data(20, 13);
         for cfg in [
-            MeiConfig { hidden: 0, ..MeiConfig::quick_test() },
-            MeiConfig { in_bits: 0, ..MeiConfig::quick_test() },
-            MeiConfig { out_bits: 99, ..MeiConfig::quick_test() },
+            MeiConfig {
+                hidden: 0,
+                ..MeiConfig::quick_test()
+            },
+            MeiConfig {
+                in_bits: 0,
+                ..MeiConfig::quick_test()
+            },
+            MeiConfig {
+                out_bits: 99,
+                ..MeiConfig::quick_test()
+            },
         ] {
             assert!(MeiRcs::train(&data, &cfg).is_err());
         }

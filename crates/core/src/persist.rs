@@ -44,7 +44,9 @@ pub enum ParseRcsError {
 impl fmt::Display for ParseRcsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseRcsError::BadHeader => write!(f, "missing or unsupported header (want `meircs v1`)"),
+            ParseRcsError::BadHeader => {
+                write!(f, "missing or unsupported header (want `meircs v1`)")
+            }
             ParseRcsError::BadStructure(s) => write!(f, "malformed line: {s}"),
             ParseRcsError::Network(e) => write!(f, "embedded network: {e}"),
             ParseRcsError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
@@ -79,7 +81,9 @@ fn coding_from(s: &str) -> Result<BitCoding, ParseRcsError> {
     match s {
         "binary" => Ok(BitCoding::Binary),
         "gray" => Ok(BitCoding::Gray),
-        other => Err(ParseRcsError::BadStructure(format!("unknown coding `{other}`"))),
+        other => Err(ParseRcsError::BadStructure(format!(
+            "unknown coding `{other}`"
+        ))),
     }
 }
 
@@ -135,13 +139,18 @@ impl MeiRcs {
 
         let iface = structural(lines.next(), "interface ")?;
         if iface.len() != 5 {
-            return Err(ParseRcsError::BadStructure(format!("interface {}", iface.join(" "))));
+            return Err(ParseRcsError::BadStructure(format!(
+                "interface {}",
+                iface.join(" ")
+            )));
         }
         let parse_usize = |s: &str| -> Result<usize, ParseRcsError> {
-            s.parse().map_err(|_| ParseRcsError::BadStructure(s.to_string()))
+            s.parse()
+                .map_err(|_| ParseRcsError::BadStructure(s.to_string()))
         };
         let parse_f64 = |s: &str| -> Result<f64, ParseRcsError> {
-            s.parse().map_err(|_| ParseRcsError::BadStructure(s.to_string()))
+            s.parse()
+                .map_err(|_| ParseRcsError::BadStructure(s.to_string()))
         };
         let in_groups = parse_usize(&iface[0])?;
         let in_bits = parse_usize(&iface[1])?;
@@ -157,13 +166,18 @@ impl MeiRcs {
 
         let dev = structural(lines.next(), "device ")?;
         if dev.len() != 6 {
-            return Err(ParseRcsError::BadStructure(format!("device {}", dev.join(" "))));
+            return Err(ParseRcsError::BadStructure(format!(
+                "device {}",
+                dev.join(" ")
+            )));
         }
         let quantization = if dev[2] == "continuous" {
             QuantizationMode::Continuous
         } else {
             QuantizationMode::Levels(
-                dev[2].parse().map_err(|_| ParseRcsError::BadStructure(dev[2].clone()))?,
+                dev[2]
+                    .parse()
+                    .map_err(|_| ParseRcsError::BadStructure(dev[2].clone()))?,
             )
         };
         let device = DeviceParams {
@@ -175,7 +189,9 @@ impl MeiRcs {
             window_exponent: parse_usize(&dev[5])? as u32,
         };
         if !device.is_valid() {
-            return Err(ParseRcsError::BadStructure("invalid device parameters".into()));
+            return Err(ParseRcsError::BadStructure(
+                "invalid device parameters".into(),
+            ));
         }
 
         let weighted = structural(lines.next(), "weighted_loss ")?;
@@ -187,7 +203,9 @@ impl MeiRcs {
 
         let sep = lines.next();
         if sep.map(str::trim) != Some("--- network ---") {
-            return Err(ParseRcsError::BadStructure("missing network separator".into()));
+            return Err(ParseRcsError::BadStructure(
+                "missing network separator".into(),
+            ));
         }
         let body: String = lines.collect::<Vec<_>>().join("\n");
         let mlp = Mlp::from_text(&body)?;
@@ -238,8 +256,8 @@ impl MeiRcs {
 mod tests {
     use super::*;
     use neural::Dataset;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use prng::rngs::StdRng;
+    use prng::{Rng, SeedableRng};
 
     fn trained() -> MeiRcs {
         let mut rng = StdRng::seed_from_u64(3);
@@ -284,8 +302,14 @@ mod tests {
 
     #[test]
     fn malformed_inputs_rejected() {
-        assert!(matches!(MeiRcs::from_text(""), Err(ParseRcsError::BadHeader)));
-        assert!(matches!(MeiRcs::from_text("nope"), Err(ParseRcsError::BadHeader)));
+        assert!(matches!(
+            MeiRcs::from_text(""),
+            Err(ParseRcsError::BadHeader)
+        ));
+        assert!(matches!(
+            MeiRcs::from_text("nope"),
+            Err(ParseRcsError::BadHeader)
+        ));
         assert!(matches!(
             MeiRcs::from_text("meircs v1\ninterface 1 2 3"),
             Err(ParseRcsError::BadStructure(_))
@@ -294,7 +318,10 @@ mod tests {
         let text = rcs.to_text();
         // Corrupt the interface so the embedded network no longer fits.
         let bad = text.replace("interface 1 6 1 6", "interface 1 5 1 6");
-        assert!(matches!(MeiRcs::from_text(&bad), Err(ParseRcsError::ShapeMismatch(_))));
+        assert!(matches!(
+            MeiRcs::from_text(&bad),
+            Err(ParseRcsError::ShapeMismatch(_))
+        ));
     }
 
     #[test]

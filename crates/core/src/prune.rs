@@ -98,15 +98,20 @@ pub fn prune_to_requirement(
         }
     }
 
-    Ok(PruneReport { rcs: best, inputs_pruned, outputs_pruned, mse: best_mse })
+    Ok(PruneReport {
+        rcs: best,
+        inputs_pruned,
+        outputs_pruned,
+        mse: best_mse,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::mei_arch::MeiConfig;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use prng::rngs::StdRng;
+    use prng::{Rng, SeedableRng};
 
     fn expfit_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -71,7 +71,11 @@ pub fn system_report(rcs: &MeiRcs, test: &Dataset, config: &ReportConfig) -> Str
     let _ = writeln!(out);
     let _ = writeln!(out, "| metric | value |");
     let _ = writeln!(out, "|---|---|");
-    let _ = writeln!(out, "| topology | `{topology}` ({} coding) |", rcs.input_spec().coding());
+    let _ = writeln!(
+        out,
+        "| topology | `{topology}` ({} coding) |",
+        rcs.input_spec().coding()
+    );
     let _ = writeln!(out, "| RRAM devices | {} |", rcs.analog().device_count());
     let _ = writeln!(out, "| test MSE (clean) | {mse:.6} |");
     let _ = writeln!(
@@ -121,8 +125,8 @@ pub fn system_report(rcs: &MeiRcs, test: &Dataset, config: &ReportConfig) -> Str
 mod tests {
     use super::*;
     use crate::mei_arch::MeiConfig;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use prng::rngs::StdRng;
+    use prng::{Rng, SeedableRng};
 
     fn expfit_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -142,7 +146,11 @@ mod tests {
         let report = system_report(
             &rcs,
             &expfit_data(80, 2),
-            &ReportConfig { trials: 3, fidelity_probes: 10, ..ReportConfig::default() },
+            &ReportConfig {
+                trials: 3,
+                fidelity_probes: 10,
+                ..ReportConfig::default()
+            },
         );
         for needle in [
             "# MEI system report",
@@ -167,7 +175,14 @@ mod tests {
         cfg.train.epochs = 20;
         let rcs = MeiRcs::train(&data, &cfg).unwrap();
         let test = expfit_data(50, 4);
-        let rc = ReportConfig { trials: 2, fidelity_probes: 5, ..ReportConfig::default() };
-        assert_eq!(system_report(&rcs, &test, &rc), system_report(&rcs, &test, &rc));
+        let rc = ReportConfig {
+            trials: 2,
+            fidelity_probes: 5,
+            ..ReportConfig::default()
+        };
+        assert_eq!(
+            system_report(&rcs, &test, &rc),
+            system_report(&rcs, &test, &rc)
+        );
     }
 }

@@ -17,8 +17,8 @@ use std::fmt;
 use crossbar::SignalFluctuation;
 use interface::InterfaceSpec;
 use neural::Dataset;
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{RngCore, SeedableRng};
 use rram::{NonIdealFactors, VariationModel};
 
 use crate::error::{InferError, TrainRcsError};
@@ -109,7 +109,9 @@ impl SaabTrainer {
         config: &SaabConfig,
     ) -> Result<Self, TrainRcsError> {
         if config.rounds == 0 {
-            return Err(TrainRcsError::InvalidConfig("SAAB needs at least one round".into()));
+            return Err(TrainRcsError::InvalidConfig(
+                "SAAB needs at least one round".into(),
+            ));
         }
         if config.compare_bits == 0 || config.compare_bits > mei_config.out_bits {
             return Err(TrainRcsError::InvalidConfig(format!(
@@ -124,8 +126,11 @@ impl SaabTrainer {
             )));
         }
         let output_spec = InterfaceSpec::new(data.output_dim(), mei_config.out_bits);
-        let encoded_targets: Vec<Vec<f64>> =
-            data.targets().iter().map(|y| output_spec.encode(y)).collect();
+        let encoded_targets: Vec<Vec<f64>> = data
+            .targets()
+            .iter()
+            .map(|y| output_spec.encode(y))
+            .collect();
         Ok(Self {
             data: data.clone(),
             encoded_targets,
@@ -166,7 +171,8 @@ impl SaabTrainer {
         let round_data = if uniform && n >= self.data.len() {
             self.data.clone()
         } else {
-            self.data.resample_weighted(&self.sample_weights, n, &mut self.rng)
+            self.data
+                .resample_weighted(&self.sample_weights, n, &mut self.rng)
         };
 
         // Line 5: train the new learner (fresh init per round).
@@ -207,7 +213,10 @@ impl SaabTrainer {
         }
 
         self.learners.push((learner, alpha));
-        Ok(BoostOutcome::Added { error: epsilon, alpha })
+        Ok(BoostOutcome::Added {
+            error: epsilon,
+            alpha,
+        })
     }
 
     /// The ensemble built from the accepted learners.
@@ -218,7 +227,9 @@ impl SaabTrainer {
     #[must_use]
     pub fn ensemble(&self) -> Saab {
         assert!(!self.learners.is_empty(), "no accepted learners yet");
-        Saab { learners: self.learners.clone() }
+        Saab {
+            learners: self.learners.clone(),
+        }
     }
 
     /// Per-sample correctness of a learner on the top `B_C` bits of every
@@ -233,8 +244,7 @@ impl SaabTrainer {
         let out_bits = learner.output_spec().bits();
         let groups = learner.output_spec().groups();
         let bc = self.config.compare_bits.min(out_bits);
-        let allowed_wrong =
-            (self.config.group_error_tolerance * groups as f64).floor() as usize;
+        let allowed_wrong = (self.config.group_error_tolerance * groups as f64).floor() as usize;
         let in_spec = learner.input_spec();
         let correct: Vec<bool> = self
             .data
@@ -359,7 +369,7 @@ impl Saab {
     /// # Errors
     ///
     /// Returns [`InferError::InputLength`] on a wrong-sized input.
-    pub fn infer_bits_noisy<R: rand::Rng + ?Sized>(
+    pub fn infer_bits_noisy<R: prng::Rng + ?Sized>(
         &self,
         bits: &[f64],
         fluctuation: &SignalFluctuation,
@@ -393,7 +403,7 @@ impl Saab {
     /// # Errors
     ///
     /// Returns [`InferError::InputLength`] on a wrong-sized input.
-    pub fn infer_noisy<R: rand::Rng + ?Sized>(
+    pub fn infer_noisy<R: prng::Rng + ?Sized>(
         &self,
         x: &[f64],
         fluctuation: &SignalFluctuation,
@@ -410,7 +420,7 @@ impl Saab {
     }
 
     /// Apply process variation to every learner.
-    pub fn disturb<R: rand::Rng + ?Sized>(&mut self, variation: &VariationModel, rng: &mut R) {
+    pub fn disturb<R: prng::Rng + ?Sized>(&mut self, variation: &VariationModel, rng: &mut R) {
         for (learner, _) in &mut self.learners {
             learner.disturb(variation, rng);
         }
@@ -481,7 +491,9 @@ fn tally_group(patterns: &[(&[f64], f64)]) -> Vec<f64> {
     votes
         .into_iter()
         .max_by(|(ka, wa), (kb, wb)| {
-            wa.partial_cmp(wb).expect("finite weights").then_with(|| ka.cmp(kb))
+            wa.partial_cmp(wb)
+                .expect("finite weights")
+                .then_with(|| ka.cmp(kb))
         })
         .expect("at least one learner")
         .0
@@ -511,7 +523,8 @@ impl crate::eval::Rcs for Saab {
         fluctuation: &SignalFluctuation,
         rng: &mut dyn RngCore,
     ) -> Vec<f64> {
-        self.infer_noisy(x, fluctuation, rng).expect("dataset-validated input")
+        self.infer_noisy(x, fluctuation, rng)
+            .expect("dataset-validated input")
     }
 
     fn disturb(&mut self, variation: &VariationModel, rng: &mut dyn RngCore) {
@@ -527,7 +540,7 @@ impl crate::eval::Rcs for Saab {
 mod tests {
     use super::*;
     use crate::eval::{evaluate_mse, Rcs};
-    use rand::Rng;
+    use prng::Rng;
 
     fn expfit_data(n: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -539,7 +552,11 @@ mod tests {
     }
 
     fn quick_saab(rounds: usize) -> SaabConfig {
-        SaabConfig { rounds, compare_bits: 4, ..SaabConfig::default() }
+        SaabConfig {
+            rounds,
+            compare_bits: 4,
+            ..SaabConfig::default()
+        }
     }
 
     #[test]
@@ -550,13 +567,19 @@ mod tests {
         assert!(SaabTrainer::new(
             &data,
             &mei,
-            &SaabConfig { compare_bits: 0, ..quick_saab(1) }
+            &SaabConfig {
+                compare_bits: 0,
+                ..quick_saab(1)
+            }
         )
         .is_err());
         assert!(SaabTrainer::new(
             &data,
             &mei,
-            &SaabConfig { compare_bits: 7, ..quick_saab(1) } // out_bits = 6
+            &SaabConfig {
+                compare_bits: 7,
+                ..quick_saab(1)
+            } // out_bits = 6
         )
         .is_err());
     }
@@ -654,7 +677,11 @@ mod tests {
         let saab = Saab::train(
             &data,
             &MeiConfig::quick_test(),
-            &SaabConfig { rounds: 2, compare_bits: 4, ..SaabConfig::default() },
+            &SaabConfig {
+                rounds: 2,
+                compare_bits: 4,
+                ..SaabConfig::default()
+            },
         )
         .unwrap();
         // Single-group output here; just confirm ensemble output decodes to
@@ -667,7 +694,11 @@ mod tests {
     fn noisy_factors_in_scoring_change_weights() {
         let data = expfit_data(200, 8);
         let mei = MeiConfig::quick_test();
-        let clean = SaabConfig { rounds: 1, compare_bits: 4, ..SaabConfig::default() };
+        let clean = SaabConfig {
+            rounds: 1,
+            compare_bits: 4,
+            ..SaabConfig::default()
+        };
         let noisy = SaabConfig {
             factors: NonIdealFactors::new(0.3, 0.2),
             ..clean
@@ -682,7 +713,10 @@ mod tests {
         let e2 = match o2 {
             BoostOutcome::Added { error, .. } | BoostOutcome::Discarded { error } => error,
         };
-        assert!(e2 >= e1, "noisy scoring should not reduce error: {e1} vs {e2}");
+        assert!(
+            e2 >= e1,
+            "noisy scoring should not reduce error: {e1} vs {e2}"
+        );
     }
 
     #[test]

@@ -1,16 +1,17 @@
-//! Property-based tests for the core MEI/SAAB machinery.
+//! Property-based tests for the core MEI/SAAB machinery, on the in-repo
+//! deterministic harness (`prng::prop`).
 //!
 //! Training inside a property loop is expensive, so trained-model
 //! invariants run with a reduced case count; purely analytic properties run
 //! at the default count.
 
+use crossbar::MappingConfig;
 use interface::InterfaceSpec;
 use mei::{exponential_bit_weights, AnalogMlp, MeiConfig, MeiRcs};
-use crossbar::MappingConfig;
 use neural::{Dataset, MlpBuilder};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::prop_check;
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 use rram::DeviceParams;
 
 fn expfit_data(n: usize, seed: u64) -> Dataset {
@@ -22,49 +23,51 @@ fn expfit_data(n: usize, seed: u64) -> Dataset {
     .unwrap()
 }
 
-proptest! {
-    /// Bit weights are positive, bounded by 1, and halve monotonically
-    /// within every group.
-    #[test]
-    fn bit_weights_shape(groups in 1usize..8, bits in 1usize..12) {
+/// Bit weights are positive, bounded by 1, and halve monotonically
+/// within every group.
+#[test]
+fn bit_weights_shape() {
+    prop_check!(|g| {
+        let groups = g.usize_in(1, 8);
+        let bits = g.usize_in(1, 12);
         let w = exponential_bit_weights(&InterfaceSpec::new(groups, bits));
-        prop_assert_eq!(w.len(), groups * bits);
+        assert_eq!(w.len(), groups * bits);
         for chunk in w.chunks(bits) {
-            prop_assert_eq!(chunk[0], 1.0);
+            assert_eq!(chunk[0], 1.0);
             for pair in chunk.windows(2) {
                 // The squared (effective) penalty halves per bit.
                 let ratio = (pair[0] * pair[0]) / (pair[1] * pair[1]);
-                prop_assert!((ratio - 2.0).abs() < 1e-9);
+                assert!((ratio - 2.0).abs() < 1e-9);
             }
         }
-    }
+    });
+}
 
-    /// The analog crossbar realization agrees with the digital forward pass
-    /// for arbitrary small networks and inputs.
-    #[test]
-    fn analog_realization_is_faithful(
-        seed in any::<u64>(),
-        hidden in 1usize..8,
-        xs in prop::collection::vec(0.0f64..1.0, 3),
-    ) {
+/// The analog crossbar realization agrees with the digital forward pass
+/// for arbitrary small networks and inputs.
+#[test]
+fn analog_realization_is_faithful() {
+    prop_check!(64, |g| {
+        let seed = g.u64_any();
+        let hidden = g.usize_in(1, 8);
+        let xs = g.vec_f64(0.0, 1.0, 3);
         let net = MlpBuilder::new(&[3, hidden, 2]).seed(seed).build();
         let analog =
             AnalogMlp::from_mlp(&net, DeviceParams::hfox(), &MappingConfig::default()).unwrap();
         let d = net.forward(&xs);
         let a = analog.forward(&xs);
         for (u, v) in d.iter().zip(&a) {
-            prop_assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(4))]
-
-    /// MEI inference always produces analog outputs representable at the
-    /// output bit width — the decode of a binary pattern.
-    #[test]
-    fn mei_outputs_are_representable(seed in 0u64..1000) {
+/// MEI inference always produces analog outputs representable at the
+/// output bit width — the decode of a binary pattern.
+#[test]
+fn mei_outputs_are_representable() {
+    prop_check!(4, |g| {
+        let seed = u64::from(g.u16_any() % 1000);
         let data = expfit_data(150, seed);
         let mut cfg = MeiConfig::quick_test();
         cfg.train.epochs = 30;
@@ -73,14 +76,22 @@ proptest! {
         for x in [0.1, 0.5, 0.9] {
             let y = rcs.infer(&[x]).unwrap()[0];
             let k = y * levels;
-            prop_assert!((k - k.round()).abs() < 1e-9, "output {y} not {}-bit", cfg.out_bits);
+            assert!(
+                (k - k.round()).abs() < 1e-9,
+                "output {y} not {}-bit",
+                cfg.out_bits
+            );
         }
-    }
+    });
+}
 
-    /// Pruning strictly reduces the physical device count and never panics
-    /// for any legal pruning depth.
-    #[test]
-    fn pruning_shrinks_hardware(in_p in 0usize..5, out_p in 0usize..5) {
+/// Pruning strictly reduces the physical device count and never panics
+/// for any legal pruning depth.
+#[test]
+fn pruning_shrinks_hardware() {
+    prop_check!(4, |g| {
+        let in_p = g.usize_in(0, 5);
+        let out_p = g.usize_in(0, 5);
         let data = expfit_data(120, 7);
         let mut cfg = MeiConfig::quick_test();
         cfg.train.epochs = 20;
@@ -89,28 +100,27 @@ proptest! {
         let full_devices = rcs.analog().device_count();
         let pruned_devices = pruned.analog().device_count();
         if in_p + out_p > 0 {
-            prop_assert!(pruned_devices < full_devices);
+            assert!(pruned_devices < full_devices);
         } else {
-            prop_assert_eq!(pruned_devices, full_devices);
+            assert_eq!(pruned_devices, full_devices);
         }
-        prop_assert_eq!(pruned.input_spec().bits(), 6 - in_p);
-        prop_assert_eq!(pruned.output_spec().bits(), 6 - out_p);
-    }
+        assert_eq!(pruned.input_spec().bits(), 6 - in_p);
+        assert_eq!(pruned.output_spec().bits(), 6 - out_p);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Persistence round-trips arbitrary (untrained) networks deployed via
-    /// the public constructor: behaviour and metadata are preserved.
-    #[test]
-    fn persistence_roundtrips_arbitrary_networks(
-        seed in any::<u64>(),
-        hidden in 2usize..10,
-        in_bits in 2usize..8,
-        out_bits in 2usize..8,
-    ) {
-        let mlp = MlpBuilder::new(&[2 * in_bits, hidden, out_bits]).seed(seed).build();
+/// Persistence round-trips arbitrary (untrained) networks deployed via
+/// the public constructor: behaviour and metadata are preserved.
+#[test]
+fn persistence_roundtrips_arbitrary_networks() {
+    prop_check!(8, |g| {
+        let seed = g.u64_any();
+        let hidden = g.usize_in(2, 10);
+        let in_bits = g.usize_in(2, 8);
+        let out_bits = g.usize_in(2, 8);
+        let mlp = MlpBuilder::new(&[2 * in_bits, hidden, out_bits])
+            .seed(seed)
+            .build();
         let cfg = MeiConfig {
             in_bits,
             out_bits,
@@ -120,17 +130,25 @@ proptest! {
         let rcs = mei::MeiRcs::from_trained(mlp, &cfg, 2, 1).unwrap();
         let back = mei::MeiRcs::from_text(&rcs.to_text()).unwrap();
         for probe in [[0.1, 0.9], [0.5, 0.5], [0.99, 0.01]] {
-            prop_assert_eq!(rcs.infer(&probe).unwrap(), back.infer(&probe).unwrap());
+            assert_eq!(rcs.infer(&probe).unwrap(), back.infer(&probe).unwrap());
         }
-        prop_assert_eq!(rcs.topology(), back.topology());
-    }
+        assert_eq!(rcs.topology(), back.topology());
+    });
+}
 
-    /// The public constructor rejects shape mismatches instead of building
-    /// an inconsistent system.
-    #[test]
-    fn from_trained_rejects_bad_shapes(extra in 1usize..4) {
+/// The public constructor rejects shape mismatches instead of building
+/// an inconsistent system.
+#[test]
+fn from_trained_rejects_bad_shapes() {
+    prop_check!(8, |g| {
+        let extra = g.usize_in(1, 4);
         let mlp = MlpBuilder::new(&[8 + extra, 4, 8]).seed(1).build();
-        let cfg = MeiConfig { in_bits: 4, out_bits: 4, hidden: 4, ..MeiConfig::default() };
-        prop_assert!(mei::MeiRcs::from_trained(mlp, &cfg, 2, 2).is_err());
-    }
+        let cfg = MeiConfig {
+            in_bits: 4,
+            out_bits: 4,
+            hidden: 4,
+            ..MeiConfig::default()
+        };
+        assert!(mei::MeiRcs::from_trained(mlp, &cfg, 2, 2).is_err());
+    });
 }

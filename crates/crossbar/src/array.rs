@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use rand::Rng;
+use prng::Rng;
 use rram::{DeviceParams, RramDevice, VariationModel};
 
 use crate::ir_drop::IrDropConfig;
@@ -49,7 +49,10 @@ impl CrossbarArray {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(rows: usize, cols: usize, params: DeviceParams) -> Self {
-        assert!(rows > 0 && cols > 0, "crossbar dimensions must be nonzero: {rows}×{cols}");
+        assert!(
+            rows > 0 && cols > 0,
+            "crossbar dimensions must be nonzero: {rows}×{cols}"
+        );
         Self {
             rows,
             cols,
@@ -89,7 +92,10 @@ impl CrossbarArray {
     /// Panics if the indices are out of bounds.
     #[must_use]
     pub fn cell(&self, row: usize, col: usize) -> &RramDevice {
-        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row},{col}) out of bounds"
+        );
         &self.cells[row * self.cols + col]
     }
 
@@ -99,7 +105,10 @@ impl CrossbarArray {
     ///
     /// Panics if the indices are out of bounds.
     pub fn cell_mut(&mut self, row: usize, col: usize) -> &mut RramDevice {
-        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row},{col}) out of bounds"
+        );
         &mut self.cells[row * self.cols + col]
     }
 
@@ -111,9 +120,17 @@ impl CrossbarArray {
     ///
     /// Panics if the matrix shape does not match the array.
     pub fn program_clamped(&mut self, conductances: &[Vec<f64>]) {
-        assert_eq!(conductances.len(), self.rows, "conductance matrix row count");
+        assert_eq!(
+            conductances.len(),
+            self.rows,
+            "conductance matrix row count"
+        );
         for (k, row) in conductances.iter().enumerate() {
-            assert_eq!(row.len(), self.cols, "conductance matrix column count in row {k}");
+            assert_eq!(
+                row.len(),
+                self.cols,
+                "conductance matrix column count in row {k}"
+            );
             for (j, &g) in row.iter().enumerate() {
                 self.cells[k * self.cols + j].program_clamped(g);
             }
@@ -124,7 +141,11 @@ impl CrossbarArray {
     #[must_use]
     pub fn conductances(&self) -> Vec<Vec<f64>> {
         (0..self.rows)
-            .map(|k| (0..self.cols).map(|j| self.cells[k * self.cols + j].conductance()).collect())
+            .map(|k| {
+                (0..self.cols)
+                    .map(|j| self.cells[k * self.cols + j].conductance())
+                    .collect()
+            })
             .collect()
     }
 
@@ -219,8 +240,9 @@ impl CrossbarArray {
         let currents = self.column_currents(inputs);
         (0..self.cols)
             .map(|j| {
-                let col_sum: f64 =
-                    (0..self.rows).map(|k| self.cells[k * self.cols + j].conductance()).sum();
+                let col_sum: f64 = (0..self.rows)
+                    .map(|k| self.cells[k * self.cols + j].conductance())
+                    .sum();
                 currents[j] / (g_s + col_sum)
             })
             .collect()
@@ -233,8 +255,9 @@ impl CrossbarArray {
         assert!(g_s > 0.0, "load conductance must be positive, got {g_s}");
         (0..self.cols)
             .map(|j| {
-                let col_sum: f64 =
-                    (0..self.rows).map(|k| self.cells[k * self.cols + j].conductance()).sum();
+                let col_sum: f64 = (0..self.rows)
+                    .map(|k| self.cells[k * self.cols + j].conductance())
+                    .sum();
                 (0..self.rows)
                     .map(|k| self.cells[k * self.cols + j].conductance() / (g_s + col_sum))
                     .collect()
@@ -262,15 +285,21 @@ impl CrossbarArray {
 
 impl fmt::Display for CrossbarArray {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}×{} RRAM crossbar ({} cells)", self.rows, self.cols, self.device_count())
+        write!(
+            f,
+            "{}×{} RRAM crossbar ({} cells)",
+            self.rows,
+            self.cols,
+            self.device_count()
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use prng::rngs::StdRng;
+    use prng::SeedableRng;
 
     fn two_by_two() -> CrossbarArray {
         let mut x = CrossbarArray::new(2, 2, DeviceParams::ideal());
@@ -383,8 +412,14 @@ mod tests {
     #[test]
     fn ir_readout_with_zero_wire_resistance_matches_ideal() {
         let x = two_by_two();
-        let cfg = IrDropConfig { wire_resistance: 0.0, ..IrDropConfig::default() };
-        assert_eq!(x.column_currents_ir(&[1.0, 0.5], &cfg), x.column_currents(&[1.0, 0.5]));
+        let cfg = IrDropConfig {
+            wire_resistance: 0.0,
+            ..IrDropConfig::default()
+        };
+        assert_eq!(
+            x.column_currents_ir(&[1.0, 0.5], &cfg),
+            x.column_currents(&[1.0, 0.5])
+        );
     }
 
     #[test]

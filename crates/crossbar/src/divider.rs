@@ -18,7 +18,7 @@
 
 use std::fmt;
 
-use rand::Rng;
+use prng::Rng;
 use rram::{DeviceParams, VariationModel};
 
 use crate::array::CrossbarArray;
@@ -68,20 +68,24 @@ impl DividerLayer {
         let mut g = vec![vec![params.g_off; outputs]; inputs];
         for j in 0..outputs {
             let column: Vec<f64> = (0..inputs).map(|k| coefficients[j][k]).collect();
-            let solved =
-                solve_divider_column(&column, g_s, &params).map_err(|e| match e {
-                    MapWeightsError::InfeasibleColumn { reason, .. } => {
-                        MapWeightsError::InfeasibleColumn { col: j, reason }
-                    }
-                    other => other,
-                })?;
+            let solved = solve_divider_column(&column, g_s, &params).map_err(|e| match e {
+                MapWeightsError::InfeasibleColumn { reason, .. } => {
+                    MapWeightsError::InfeasibleColumn { col: j, reason }
+                }
+                other => other,
+            })?;
             for (k, gk) in solved.into_iter().enumerate() {
                 g[k][j] = gk;
             }
         }
         let mut array = CrossbarArray::new(inputs, outputs, params);
         array.program_clamped(&g);
-        Ok(Self { array, g_s, outputs, inputs })
+        Ok(Self {
+            array,
+            g_s,
+            outputs,
+            inputs,
+        })
     }
 
     /// Number of input ports.
@@ -197,7 +201,10 @@ impl SignedDividerLayer {
             .collect();
         shifted.push(vec![m; inputs]); // the reference column
         let layer = DividerLayer::from_coefficients(&shifted, params, g_s)?;
-        Ok(Self { layer, outputs: coefficients.len() })
+        Ok(Self {
+            layer,
+            outputs: coefficients.len(),
+        })
     }
 
     /// Number of input ports.
@@ -239,7 +246,6 @@ impl SignedDividerLayer {
     pub fn restore(&mut self) {
         self.layer.restore();
     }
-
 }
 
 impl fmt::Display for SignedDividerLayer {
@@ -256,8 +262,8 @@ impl fmt::Display for SignedDividerLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use prng::rngs::StdRng;
+    use prng::SeedableRng;
 
     fn params() -> DeviceParams {
         DeviceParams::ideal()
@@ -271,7 +277,11 @@ mod tests {
         let v = layer.forward(&x);
         for (j, row) in c.iter().enumerate() {
             let expect: f64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
-            assert!((v[j] - expect).abs() < 1e-9, "output {j}: {} vs {expect}", v[j]);
+            assert!(
+                (v[j] - expect).abs() < 1e-9,
+                "output {j}: {} vs {expect}",
+                v[j]
+            );
         }
     }
 

@@ -49,7 +49,10 @@ impl IrDropConfig {
     /// IR drop disabled (ideal wires).
     #[must_use]
     pub fn ideal() -> Self {
-        Self { wire_resistance: 0.0, ..Self::default() }
+        Self {
+            wire_resistance: 0.0,
+            ..Self::default()
+        }
     }
 
     /// A given wire resistance with default solver settings.
@@ -63,7 +66,10 @@ impl IrDropConfig {
             ohms >= 0.0 && ohms.is_finite(),
             "wire resistance must be finite and non-negative, got {ohms}"
         );
-        Self { wire_resistance: ohms, ..Self::default() }
+        Self {
+            wire_resistance: ohms,
+            ..Self::default()
+        }
     }
 }
 
@@ -201,7 +207,11 @@ pub fn solve_grid(array: &CrossbarArray, inputs: &[f64], config: &IrDropConfig) 
 /// `1 − I_ir / I_ideal` (zero for ideal wires; `None` where the ideal
 /// current is zero).
 #[must_use]
-pub fn attenuation(array: &CrossbarArray, inputs: &[f64], config: &IrDropConfig) -> Vec<Option<f64>> {
+pub fn attenuation(
+    array: &CrossbarArray,
+    inputs: &[f64],
+    config: &IrDropConfig,
+) -> Vec<Option<f64>> {
     let ideal = array.column_currents(inputs);
     let real = solve_grid(array, inputs, config);
     ideal
@@ -257,7 +267,10 @@ mod tests {
         let ideal = x.column_currents(&inputs);
         let real = solve_grid(&x, &inputs, &cfg);
         for (a, b) in ideal.iter().zip(&real) {
-            assert!(*b > 0.0 && *b < *a, "IR drop must strictly attenuate: {a} vs {b}");
+            assert!(
+                *b > 0.0 && *b < *a,
+                "IR drop must strictly attenuate: {a} vs {b}"
+            );
         }
     }
 
@@ -284,7 +297,10 @@ mod tests {
         let att = attenuation(&x, &inputs, &IrDropConfig::with_wire_resistance(20.0));
         let first = att[0].unwrap();
         let last = att[7].unwrap();
-        assert!(last > first, "far column should attenuate more: {first} vs {last}");
+        assert!(
+            last > first,
+            "far column should attenuate more: {first} vs {last}"
+        );
     }
 
     #[test]

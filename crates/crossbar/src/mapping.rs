@@ -176,7 +176,11 @@ pub fn map_differential(
     let mut g_minus = vec![vec![params.g_off; outputs]; inputs];
     if w_max == 0.0 {
         // All-zero matrix: both arrays fully RESET, output identically zero.
-        return Ok(DifferentialMapping { g_plus, g_minus, current_scale: 0.0 });
+        return Ok(DifferentialMapping {
+            g_plus,
+            g_minus,
+            current_scale: 0.0,
+        });
     }
     for (j, row) in weights.iter().enumerate() {
         for (k, &w) in row.iter().enumerate() {
@@ -188,7 +192,11 @@ pub fn map_differential(
             }
         }
     }
-    Ok(DifferentialMapping { g_plus, g_minus, current_scale: w_max / range })
+    Ok(DifferentialMapping {
+        g_plus,
+        g_minus,
+        current_scale: w_max / range,
+    })
 }
 
 /// Closed-form solve of the Eq (2) divider for one column.
@@ -258,7 +266,10 @@ mod tests {
     #[test]
     fn validate_rejects_empty_and_ragged_and_nan() {
         assert_eq!(validate_weights(&[]), Err(MapWeightsError::EmptyMatrix));
-        assert_eq!(validate_weights(&[vec![]]), Err(MapWeightsError::EmptyMatrix));
+        assert_eq!(
+            validate_weights(&[vec![]]),
+            Err(MapWeightsError::EmptyMatrix)
+        );
         assert_eq!(
             validate_weights(&[vec![1.0], vec![1.0, 2.0]]),
             Err(MapWeightsError::RaggedMatrix { row: 1 })

@@ -12,7 +12,7 @@
 
 use std::fmt;
 
-use rand::Rng;
+use prng::Rng;
 use rram::{lognormal_factor, NonIdealFactors};
 
 /// Multiplicative lognormal fluctuation applied to every component of an
@@ -20,7 +20,7 @@ use rram::{lognormal_factor, NonIdealFactors};
 ///
 /// ```
 /// use crossbar::SignalFluctuation;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use prng::{rngs::StdRng, SeedableRng};
 ///
 /// let sf = SignalFluctuation::new(0.1);
 /// let mut rng = StdRng::seed_from_u64(3);
@@ -67,7 +67,10 @@ impl SignalFluctuation {
         if self.is_ideal() {
             return signal.to_vec();
         }
-        signal.iter().map(|&v| v * lognormal_factor(self.sigma, rng)).collect()
+        signal
+            .iter()
+            .map(|&v| v * lognormal_factor(self.sigma, rng))
+            .collect()
     }
 
     /// Apply the fluctuation in place.
@@ -97,8 +100,8 @@ impl fmt::Display for SignalFluctuation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use prng::rngs::StdRng;
+    use prng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(11)
@@ -140,8 +143,7 @@ mod tests {
     fn median_factor_is_unbiased() {
         let sf = SignalFluctuation::new(0.5);
         let mut r = rng();
-        let mut factors: Vec<f64> =
-            (0..10_001).map(|_| sf.apply(&[1.0], &mut r)[0]).collect();
+        let mut factors: Vec<f64> = (0..10_001).map(|_| sf.apply(&[1.0], &mut r)[0]).collect();
         factors.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = factors[factors.len() / 2];
         assert!((median - 1.0).abs() < 0.05, "median {median}");

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use rand::Rng;
+use prng::Rng;
 use rram::{DeviceParams, VariationModel};
 
 use crate::array::CrossbarArray;
@@ -60,7 +60,13 @@ impl DifferentialPair {
         let mut minus = CrossbarArray::new(inputs, outputs, params);
         plus.program_clamped(&mapping.g_plus);
         minus.program_clamped(&mapping.g_minus);
-        Ok(Self { plus, minus, current_scale: mapping.current_scale, outputs, inputs })
+        Ok(Self {
+            plus,
+            minus,
+            current_scale: mapping.current_scale,
+            outputs,
+            inputs,
+        })
     }
 
     /// Number of input ports.
@@ -102,7 +108,10 @@ impl DifferentialPair {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         let ip = self.plus.column_currents(x);
         let im = self.minus.column_currents(x);
-        ip.iter().zip(&im).map(|(&a, &b)| (a - b) * self.current_scale).collect()
+        ip.iter()
+            .zip(&im)
+            .map(|(&a, &b)| (a - b) * self.current_scale)
+            .collect()
     }
 
     /// Matrix-vector product with lognormal signal fluctuation applied to the
@@ -126,7 +135,10 @@ impl DifferentialPair {
     pub fn matvec_ir(&self, x: &[f64], config: &IrDropConfig) -> Vec<f64> {
         let ip = self.plus.column_currents_ir(x, config);
         let im = self.minus.column_currents_ir(x, config);
-        ip.iter().zip(&im).map(|(&a, &b)| (a - b) * self.current_scale).collect()
+        ip.iter()
+            .zip(&im)
+            .map(|(&a, &b)| (a - b) * self.current_scale)
+            .collect()
     }
 
     /// Apply a device-variation model to every cell of both arrays.
@@ -190,8 +202,8 @@ impl fmt::Display for DifferentialPair {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use prng::rngs::StdRng;
+    use prng::SeedableRng;
 
     fn sample_weights() -> Vec<Vec<f64>> {
         vec![vec![0.5, -1.0, 0.25], vec![-0.125, 2.0, 0.0]]
@@ -207,7 +219,9 @@ mod tests {
     }
 
     fn manual_matvec(w: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
-        w.iter().map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum()).collect()
+        w.iter()
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     #[test]

@@ -1,145 +1,163 @@
-//! Property-based tests for the crossbar substrate.
+//! Property-based tests for the crossbar substrate, on the in-repo
+//! deterministic harness (`prng::prop`).
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use prng::prop::Gen;
+use prng::prop_check;
+use prng::rngs::StdRng;
+use prng::SeedableRng;
 
 use crossbar::{CrossbarArray, DifferentialPair, IrDropConfig, MappingConfig};
 use rram::{DeviceParams, VariationModel};
 
-fn arb_weights(max_out: usize, max_in: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    (1..=max_out, 1..=max_in).prop_flat_map(|(o, i)| {
-        prop::collection::vec(prop::collection::vec(-5.0f64..5.0, i), o)
-    })
+/// A weight matrix of up to `max_out × max_in` values in `[-5, 5)`.
+fn arb_weights(g: &mut Gen, max_out: usize, max_in: usize) -> Vec<Vec<f64>> {
+    let o = g.usize_in(1, max_out + 1);
+    let i = g.usize_in(1, max_in + 1);
+    g.matrix_f64(-5.0, 5.0, o, i)
 }
 
 fn manual_matvec(w: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
-    w.iter().map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum()).collect()
+    w.iter()
+        .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+        .collect()
 }
 
-proptest! {
-    /// The differential mapping + ideal sensing computes W·x exactly
-    /// (up to floating-point error) for any finite weight matrix.
-    #[test]
-    fn differential_pair_is_exact_mvm(
-        w in arb_weights(6, 6),
-        xs in prop::collection::vec(-1.0f64..1.0, 6),
-    ) {
-        let pair = DifferentialPair::from_weights(&w, DeviceParams::hfox(), &MappingConfig::default()).unwrap();
+/// The differential mapping + ideal sensing computes W·x exactly
+/// (up to floating-point error) for any finite weight matrix.
+#[test]
+fn differential_pair_is_exact_mvm() {
+    prop_check!(|g| {
+        let w = arb_weights(g, 6, 6);
+        let xs = g.vec_f64(-1.0, 1.0, 6);
+        let pair =
+            DifferentialPair::from_weights(&w, DeviceParams::hfox(), &MappingConfig::default())
+                .unwrap();
         let x = &xs[..pair.inputs()];
         let y = pair.matvec(x);
         let expect = manual_matvec(&w, x);
-        let wmax = w.iter().flatten().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-12);
+        let wmax = w
+            .iter()
+            .flatten()
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+            .max(1e-12);
         for (a, b) in y.iter().zip(&expect) {
-            prop_assert!((a - b).abs() < 1e-8 * wmax * x.len() as f64 + 1e-12);
+            assert!((a - b).abs() < 1e-8 * wmax * x.len() as f64 + 1e-12);
         }
-    }
+    });
+}
 
-    /// MVM is linear: f(αx) = α·f(x).
-    #[test]
-    fn matvec_is_homogeneous(
-        w in arb_weights(4, 4),
-        xs in prop::collection::vec(-1.0f64..1.0, 4),
-        alpha in -3.0f64..3.0,
-    ) {
-        let pair = DifferentialPair::from_weights(&w, DeviceParams::hfox(), &MappingConfig::default()).unwrap();
+/// MVM is linear: f(αx) = α·f(x).
+#[test]
+fn matvec_is_homogeneous() {
+    prop_check!(|g| {
+        let w = arb_weights(g, 4, 4);
+        let xs = g.vec_f64(-1.0, 1.0, 4);
+        let alpha = g.f64_in(-3.0, 3.0);
+        let pair =
+            DifferentialPair::from_weights(&w, DeviceParams::hfox(), &MappingConfig::default())
+                .unwrap();
         let x = &xs[..pair.inputs()];
         let scaled: Vec<f64> = x.iter().map(|v| v * alpha).collect();
         let y1 = pair.matvec(&scaled);
         let y2: Vec<f64> = pair.matvec(x).iter().map(|v| v * alpha).collect();
         for (a, b) in y1.iter().zip(&y2) {
-            prop_assert!((a - b).abs() < 1e-9 + 1e-9 * b.abs());
+            assert!((a - b).abs() < 1e-9 + 1e-9 * b.abs());
         }
-    }
+    });
+}
 
-    /// Divider outputs never exceed the largest input magnitude (passive
-    /// network property).
-    #[test]
-    fn divider_is_passive(
-        gs in prop::collection::vec(1e-6f64..1e-3, 9),
-        xs in prop::collection::vec(0.0f64..1.0, 3),
-    ) {
+/// Divider outputs never exceed the largest input magnitude (passive
+/// network property).
+#[test]
+fn divider_is_passive() {
+    prop_check!(|g| {
+        let gs = g.vec_f64(1e-6, 1e-3, 9);
+        let xs = g.vec_f64(0.0, 1.0, 3);
         let mut x = CrossbarArray::new(3, 3, DeviceParams::ideal());
         let rows: Vec<Vec<f64>> = gs.chunks(3).map(<[f64]>::to_vec).collect();
         x.program_clamped(&rows);
         let out = x.output_voltages_divider(&xs, 1e-4);
         let vmax = xs.iter().fold(0.0f64, |m, &v| m.max(v));
         for o in out {
-            prop_assert!(o <= vmax + 1e-12);
-            prop_assert!(o >= 0.0);
+            assert!(o <= vmax + 1e-12);
+            assert!(o >= 0.0);
         }
-    }
+    });
+}
 
-    /// IR drop only ever attenuates a uniform-excitation array (currents
-    /// bounded by the ideal ones) and currents remain positive.
-    #[test]
-    fn ir_drop_attenuates_not_amplifies(
-        g in 1e-5f64..1e-3,
-        r_wire in 0.1f64..50.0,
-        n in 2usize..10,
-    ) {
+/// IR drop only ever attenuates a uniform-excitation array (currents
+/// bounded by the ideal ones) and currents remain positive.
+#[test]
+fn ir_drop_attenuates_not_amplifies() {
+    prop_check!(|g| {
+        let cond = g.f64_in(1e-5, 1e-3);
+        let r_wire = g.f64_in(0.1, 50.0);
+        let n = g.usize_in(2, 10);
         let mut x = CrossbarArray::new(n, n, DeviceParams::ideal());
-        x.program_clamped(&vec![vec![g; n]; n]);
+        x.program_clamped(&vec![vec![cond; n]; n]);
         let inputs = vec![1.0; n];
         let ideal = x.column_currents(&inputs);
         let real = x.column_currents_ir(&inputs, &IrDropConfig::with_wire_resistance(r_wire));
         for (a, b) in ideal.iter().zip(&real) {
-            prop_assert!(*b <= *a + 1e-15);
-            prop_assert!(*b > 0.0);
+            assert!(*b <= *a + 1e-15);
+            assert!(*b > 0.0);
         }
-    }
+    });
+}
 
-    /// Device variation never drives the effective weights outside the range
-    /// representable by the conductance window.
-    #[test]
-    fn varied_weights_stay_bounded(
-        w in arb_weights(3, 3),
-        sigma in 0.0f64..1.5,
-        seed in any::<u64>(),
-    ) {
-        let mut pair = DifferentialPair::from_weights(&w, DeviceParams::hfox(), &MappingConfig::default()).unwrap();
+/// Device variation never drives the effective weights outside the range
+/// representable by the conductance window.
+#[test]
+fn varied_weights_stay_bounded() {
+    prop_check!(|g| {
+        let w = arb_weights(g, 3, 3);
+        let sigma = g.f64_in(0.0, 1.5);
+        let seed = g.u64_any();
+        let mut pair =
+            DifferentialPair::from_weights(&w, DeviceParams::hfox(), &MappingConfig::default())
+                .unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         pair.disturb(&VariationModel::process_variation(sigma), &mut rng);
         let wmax = w.iter().flatten().fold(0.0f64, |m, &v| m.max(v.abs()));
         for row in pair.effective_weights() {
             for v in row {
                 // |g+ − g−| ≤ range ⇒ |w_eff| ≤ w_max (the full-scale weight).
-                prop_assert!(v.abs() <= wmax + 1e-12);
+                assert!(v.abs() <= wmax + 1e-12);
             }
         }
-    }
+    });
 }
 
-proptest! {
-    /// The divider layer reproduces any feasible non-negative coefficient
-    /// matrix exactly (closed-form solve + Eq (2) readout are inverses).
-    #[test]
-    fn divider_layer_realizes_coefficients(
-        c in prop::collection::vec(prop::collection::vec(0.02f64..0.2, 3), 2),
-        xs in prop::collection::vec(0.0f64..1.0, 3),
-    ) {
+/// The divider layer reproduces any feasible non-negative coefficient
+/// matrix exactly (closed-form solve + Eq (2) readout are inverses).
+#[test]
+fn divider_layer_realizes_coefficients() {
+    prop_check!(|g| {
+        let c = g.matrix_f64(0.02, 0.2, 2, 3);
+        let xs = g.vec_f64(0.0, 1.0, 3);
         let layer =
             crossbar::DividerLayer::from_coefficients(&c, DeviceParams::ideal(), 1e-3).unwrap();
         let v = layer.forward(&xs);
         for (j, row) in c.iter().enumerate() {
             let expect: f64 = row.iter().zip(&xs).map(|(a, b)| a * b).sum();
-            prop_assert!((v[j] - expect).abs() < 1e-9);
+            assert!((v[j] - expect).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    /// The signed divider layer computes the exact signed product for any
-    /// feasible coefficient matrix (offset-column subtraction is exact).
-    #[test]
-    fn signed_divider_is_exact(
-        c in prop::collection::vec(prop::collection::vec(-0.15f64..0.15, 2), 2),
-        xs in prop::collection::vec(0.0f64..1.0, 2),
-    ) {
+/// The signed divider layer computes the exact signed product for any
+/// feasible coefficient matrix (offset-column subtraction is exact).
+#[test]
+fn signed_divider_is_exact() {
+    prop_check!(|g| {
+        let c = g.matrix_f64(-0.15, 0.15, 2, 2);
+        let xs = g.vec_f64(0.0, 1.0, 2);
         let layer =
             crossbar::SignedDividerLayer::from_signed(&c, DeviceParams::ideal(), 1e-3).unwrap();
         let v = layer.forward(&xs);
         for (j, row) in c.iter().enumerate() {
             let expect: f64 = row.iter().zip(&xs).map(|(a, b)| a * b).sum();
-            prop_assert!((v[j] - expect).abs() < 1e-9);
+            assert!((v[j] - expect).abs() < 1e-9);
         }
-    }
+    });
 }

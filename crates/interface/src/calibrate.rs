@@ -16,9 +16,9 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use prng::rngs::StdRng;
+use prng::Rng;
+use prng::SeedableRng;
 
 use crate::cost::{AddaTopology, MeiTopology};
 
@@ -53,8 +53,7 @@ impl RelativeCosts {
             + adda.outputs as f64
             + adda.hidden as f64 * self.peripheral
             + adda.device_count() as f64 * self.rram;
-        let mei_cost =
-            mei.hidden as f64 * self.peripheral + mei.device_count() as f64 * self.rram;
+        let mei_cost = mei.hidden as f64 * self.peripheral + mei.device_count() as f64 * self.rram;
         1.0 - mei_cost / org
     }
 
@@ -100,7 +99,11 @@ pub struct CalibrationConfig {
 
 impl Default for CalibrationConfig {
     fn default() -> Self {
-        Self { iterations: 200_000, seed: 0, initial_step: 0.5 }
+        Self {
+            iterations: 200_000,
+            seed: 0,
+            initial_step: 0.5,
+        }
     }
 }
 
@@ -117,14 +120,17 @@ impl Default for CalibrationConfig {
 pub fn fit(observations: &[Observation], config: &CalibrationConfig) -> RelativeCosts {
     assert!(!observations.is_empty(), "need at least one observation");
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut best = RelativeCosts { dac: 0.3, peripheral: 0.05, rram: 1e-3 };
+    let mut best = RelativeCosts {
+        dac: 0.3,
+        peripheral: 0.05,
+        rram: 1e-3,
+    };
     let mut best_err = best.rmse(observations);
     let decay = config.iterations as f64 / 5.0;
     for it in 0..config.iterations {
         let scale = config.initial_step * (-(it as f64) / decay).exp();
-        let perturb = |v: f64, rng: &mut StdRng| {
-            (v * (rng.gen_range(-scale..=scale)).exp()).max(1e-9)
-        };
+        let perturb =
+            |v: f64, rng: &mut StdRng| (v * (rng.gen_range(-scale..=scale)).exp()).max(1e-9);
         let candidate = RelativeCosts {
             dac: perturb(best.dac, &mut rng),
             peripheral: perturb(best.peripheral, &mut rng),
@@ -176,14 +182,22 @@ mod tests {
 
     #[test]
     fn shipped_area_ratios_fit_table1_tightly() {
-        let shipped = RelativeCosts { dac: 0.506_37, peripheral: 0.041_05, rram: 1.013e-4 };
+        let shipped = RelativeCosts {
+            dac: 0.506_37,
+            peripheral: 0.041_05,
+            rram: 1.013e-4,
+        };
         let rmse = shipped.rmse(&table1_area_observations());
         assert!(rmse < 0.01, "area rmse {rmse}");
     }
 
     #[test]
     fn shipped_power_ratios_fit_table1_tightly() {
-        let shipped = RelativeCosts { dac: 0.248_48, peripheral: 0.012_32, rram: 1.453e-4 };
+        let shipped = RelativeCosts {
+            dac: 0.248_48,
+            peripheral: 0.012_32,
+            rram: 1.453e-4,
+        };
         let rmse = shipped.rmse(&table1_power_observations());
         assert!(rmse < 0.01, "power rmse {rmse}");
     }
@@ -192,7 +206,11 @@ mod tests {
     fn fit_recovers_synthetic_parameters() {
         // Generate observations from known ratios and check the fit finds
         // parameters with equivalent predictions.
-        let truth = RelativeCosts { dac: 0.4, peripheral: 0.03, rram: 2e-4 };
+        let truth = RelativeCosts {
+            dac: 0.4,
+            peripheral: 0.03,
+            rram: 2e-4,
+        };
         let observations: Vec<Observation> = table1_area_observations()
             .into_iter()
             .map(|mut o| {
@@ -202,15 +220,25 @@ mod tests {
             .collect();
         let fitted = fit(
             &observations,
-            &CalibrationConfig { iterations: 60_000, ..CalibrationConfig::default() },
+            &CalibrationConfig {
+                iterations: 60_000,
+                ..CalibrationConfig::default()
+            },
         );
-        assert!(fitted.rmse(&observations) < 0.005, "rmse {}", fitted.rmse(&observations));
+        assert!(
+            fitted.rmse(&observations) < 0.005,
+            "rmse {}",
+            fitted.rmse(&observations)
+        );
     }
 
     #[test]
     fn fit_is_deterministic_per_seed() {
         let obs = table1_area_observations();
-        let cfg = CalibrationConfig { iterations: 5_000, ..CalibrationConfig::default() };
+        let cfg = CalibrationConfig {
+            iterations: 5_000,
+            ..CalibrationConfig::default()
+        };
         let a = fit(&obs, &cfg);
         let b = fit(&obs, &cfg);
         assert_eq!(a, b);
@@ -219,8 +247,15 @@ mod tests {
     #[test]
     fn fit_improves_over_starting_point() {
         let obs = table1_power_observations();
-        let start = RelativeCosts { dac: 0.3, peripheral: 0.05, rram: 1e-3 };
-        let cfg = CalibrationConfig { iterations: 30_000, ..CalibrationConfig::default() };
+        let start = RelativeCosts {
+            dac: 0.3,
+            peripheral: 0.05,
+            rram: 1e-3,
+        };
+        let cfg = CalibrationConfig {
+            iterations: 30_000,
+            ..CalibrationConfig::default()
+        };
         let fitted = fit(&obs, &cfg);
         assert!(fitted.rmse(&obs) < start.rmse(&obs));
     }
@@ -233,7 +268,11 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        let c = RelativeCosts { dac: 0.5, peripheral: 0.04, rram: 1e-4 };
+        let c = RelativeCosts {
+            dac: 0.5,
+            peripheral: 0.04,
+            rram: 1e-4,
+        };
         assert!(format!("{c}").contains("ADC"));
     }
 }

@@ -131,7 +131,12 @@ impl AddaTopology {
             inputs > 0 && hidden > 0 && outputs > 0 && bits > 0,
             "topology dimensions and bit width must be nonzero"
         );
-        Self { inputs, hidden, outputs, bits }
+        Self {
+            inputs,
+            hidden,
+            outputs,
+            bits,
+        }
     }
 
     /// RRAM device count: `2(I+O)·H` (differential pairs for both layers).
@@ -143,7 +148,11 @@ impl AddaTopology {
 
 impl fmt::Display for AddaTopology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}×{}×{} ({}-bit AD/DA)", self.inputs, self.hidden, self.outputs, self.bits)
+        write!(
+            f,
+            "{}×{}×{} ({}-bit AD/DA)",
+            self.inputs, self.hidden, self.outputs, self.bits
+        )
     }
 }
 
@@ -271,7 +280,9 @@ impl CostModel {
     /// Model over the calibrated DAC-2015 parameters.
     #[must_use]
     pub fn dac2015() -> Self {
-        Self { circuits: InterfaceCircuits::dac2015() }
+        Self {
+            circuits: InterfaceCircuits::dac2015(),
+        }
     }
 
     /// Model over explicit circuit parameters.
@@ -421,8 +432,16 @@ mod tests {
         let t = AddaTopology::new(2, 8, 2, 8);
         let area = m.area_breakdown_adda(&t);
         let power = m.power_breakdown_adda(&t);
-        assert!(area.adda_fraction() > 0.85, "area AD/DA {:.3}", area.adda_fraction());
-        assert!(power.adda_fraction() > 0.85, "power AD/DA {:.3}", power.adda_fraction());
+        assert!(
+            area.adda_fraction() > 0.85,
+            "area AD/DA {:.3}",
+            area.adda_fraction()
+        );
+        assert!(
+            power.adda_fraction() > 0.85,
+            "power AD/DA {:.3}",
+            power.adda_fraction()
+        );
         assert!(area.rram_fraction() < 0.02);
         assert!(power.rram_fraction() < 0.02);
     }
@@ -460,7 +479,10 @@ mod tests {
             })
             .collect();
         let inversek2j = area[1];
-        assert!(area.iter().all(|&a| a >= inversek2j), "inversek2j saves least area");
+        assert!(
+            area.iter().all(|&a| a >= inversek2j),
+            "inversek2j saves least area"
+        );
         assert!(area[3] > 0.8 && area[5] > 0.8, "jpeg/sobel save most");
         // Every benchmark saves more than half of both area and power.
         for (name, (i, h, o), (ig, ib, hm, og, ob), _, _) in TABLE1 {
@@ -500,9 +522,8 @@ mod tests {
     #[test]
     fn comparator_cost_increases_mei_only() {
         let base = CostModel::dac2015();
-        let with = CostModel::new(
-            InterfaceCircuits::dac2015().with_comparator(CellCost::new(50.0, 10.0)),
-        );
+        let with =
+            CostModel::new(InterfaceCircuits::dac2015().with_comparator(CellCost::new(50.0, 10.0)));
         let adda = AddaTopology::new(2, 8, 2, 8);
         let mei = MeiTopology::new(2, 8, 32, 2, 8);
         assert_eq!(base.area_adda(&adda), with.area_adda(&adda));
@@ -518,7 +539,12 @@ mod tests {
 
     #[test]
     fn breakdown_total_and_display() {
-        let b = CostBreakdown { dac: 1.0, adc: 2.0, peripheral: 3.0, rram: 4.0 };
+        let b = CostBreakdown {
+            dac: 1.0,
+            adc: 2.0,
+            peripheral: 3.0,
+            rram: 4.0,
+        };
         assert_eq!(b.total(), 10.0);
         assert!((b.adda_fraction() - 0.3).abs() < 1e-12);
         assert!(format!("{b}").contains('%'));
@@ -526,7 +552,13 @@ mod tests {
 
     #[test]
     fn topology_displays() {
-        assert_eq!(format!("{}", AddaTopology::new(2, 8, 2, 8)), "2×8×2 (8-bit AD/DA)");
-        assert_eq!(format!("{}", MeiTopology::new(2, 8, 32, 2, 8)), "(2·8)×32×(2·8)");
+        assert_eq!(
+            format!("{}", AddaTopology::new(2, 8, 2, 8)),
+            "2×8×2 (8-bit AD/DA)"
+        );
+        assert_eq!(
+            format!("{}", MeiTopology::new(2, 8, 32, 2, 8)),
+            "(2·8)×32×(2·8)"
+        );
     }
 }

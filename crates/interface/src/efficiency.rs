@@ -25,7 +25,9 @@ impl Throughput {
     /// (100 ns read cycles, well within the cited GS/s-class converters).
     #[must_use]
     pub fn default_mixed_signal() -> Self {
-        Self { evaluations_per_second: 1e7 }
+        Self {
+            evaluations_per_second: 1e7,
+        }
     }
 
     /// Create a throughput assumption.
@@ -39,7 +41,9 @@ impl Throughput {
             evaluations_per_second > 0.0 && evaluations_per_second.is_finite(),
             "evaluation rate must be positive and finite"
         );
-        Self { evaluations_per_second }
+        Self {
+            evaluations_per_second,
+        }
     }
 }
 
@@ -85,7 +89,12 @@ impl CostModel {
         let ops = mac_count(t.inputs, t.hidden, t.outputs);
         let watts = self.power_adda(t) * 1e-6; // µW → W
         let gops = ops * throughput.evaluations_per_second / 1e9;
-        Efficiency { ops_per_evaluation: ops, gops, watts, gops_per_watt: gops / watts }
+        Efficiency {
+            ops_per_evaluation: ops,
+            gops,
+            watts,
+            gops_per_watt: gops / watts,
+        }
     }
 
     /// Efficiency of the merged-interface architecture at the given
@@ -96,7 +105,12 @@ impl CostModel {
         let ops = mac_count(t.input_ports(), t.hidden, t.output_ports());
         let watts = self.power_mei(t) * 1e-6;
         let gops = ops * throughput.evaluations_per_second / 1e9;
-        Efficiency { ops_per_evaluation: ops, gops, watts, gops_per_watt: gops / watts }
+        Efficiency {
+            ops_per_evaluation: ops,
+            gops,
+            watts,
+            gops_per_watt: gops / watts,
+        }
     }
 }
 

@@ -39,5 +39,5 @@ pub use cost::{AddaTopology, CellCost, CostBreakdown, CostModel, InterfaceCircui
 pub use efficiency::{Efficiency, Throughput};
 pub use quantize::{
     decode_bits, decode_bits_coded, encode_fraction, encode_fraction_coded, quantize_fraction,
-    BitCoding, InterfaceSpec,
+    BitCoding, InterfaceSpec, MAX_BITS,
 };

@@ -69,9 +69,13 @@ pub fn encode_fraction(x: f64, bits: usize) -> Vec<f64> {
 /// Panics if `bits` is zero or exceeds [`MAX_BITS`].
 #[must_use]
 pub fn encode_fraction_coded(x: f64, bits: usize, coding: BitCoding) -> Vec<f64> {
-    assert!(bits > 0 && bits <= MAX_BITS, "bit width must be in 1..={MAX_BITS}, got {bits}");
+    assert!(
+        bits > 0 && bits <= MAX_BITS,
+        "bit width must be in 1..={MAX_BITS}, got {bits}"
+    );
     let levels = (1u64 << bits) as f64;
-    let x = if x.is_finite() { x.clamp(0.0, 1.0) } else { 0.0 };
+    // NaN reads as zero drive; ±∞ saturate like any other out-of-range value.
+    let x = if x.is_nan() { 0.0 } else { x.clamp(0.0, 1.0) };
     let mut k = ((x * levels).round() as u64).min((1u64 << bits) - 1);
     if coding == BitCoding::Gray {
         k ^= k >> 1;
@@ -174,8 +178,15 @@ impl InterfaceSpec {
     #[must_use]
     pub fn new(groups: usize, bits: usize) -> Self {
         assert!(groups > 0, "an interface needs at least one group");
-        assert!(bits > 0 && bits <= MAX_BITS, "bit width must be in 1..={MAX_BITS}, got {bits}");
-        Self { groups, bits, coding: BitCoding::Binary }
+        assert!(
+            bits > 0 && bits <= MAX_BITS,
+            "bit width must be in 1..={MAX_BITS}, got {bits}"
+        );
+        Self {
+            groups,
+            bits,
+            coding: BitCoding::Binary,
+        }
     }
 
     /// The same interface with a different wire coding (builder style).
@@ -217,8 +228,16 @@ impl InterfaceSpec {
     /// Panics if pruning would remove every bit.
     #[must_use]
     pub fn prune_lsbs(&self, pruned: usize) -> Self {
-        assert!(pruned < self.bits, "cannot prune all {} bits of a group", self.bits);
-        Self { groups: self.groups, bits: self.bits - pruned, coding: self.coding }
+        assert!(
+            pruned < self.bits,
+            "cannot prune all {} bits of a group",
+            self.bits
+        );
+        Self {
+            groups: self.groups,
+            bits: self.bits - pruned,
+            coding: self.coding,
+        }
     }
 
     /// Encode one analog vector (`groups` values in `[0, 1)`) into
@@ -252,7 +271,9 @@ impl InterfaceSpec {
     #[must_use]
     pub fn decode(&self, bits: &[f64]) -> Vec<f64> {
         assert_eq!(bits.len(), self.ports(), "bit vector length");
-        bits.chunks(self.bits).map(|c| decode_bits_coded(c, self.coding)).collect()
+        bits.chunks(self.bits)
+            .map(|c| decode_bits_coded(c, self.coding))
+            .collect()
     }
 
     /// Worst-case quantization error of one group: half an LSB plus the
@@ -374,7 +395,10 @@ mod tests {
     #[test]
     fn error_bound_halves_per_bit() {
         assert_eq!(InterfaceSpec::new(1, 1).quantization_error_bound(), 0.5);
-        assert_eq!(InterfaceSpec::new(1, 8).quantization_error_bound(), 1.0 / 256.0);
+        assert_eq!(
+            InterfaceSpec::new(1, 8).quantization_error_bound(),
+            1.0 / 256.0
+        );
     }
 
     #[test]

@@ -1,80 +1,112 @@
-//! Property-based tests for the interface crate.
+//! Property-based tests for the interface crate, on the in-repo
+//! deterministic harness (`prng::prop`), plus exhaustive regression tests
+//! pinning the codec's saturation-edge behaviour.
 
 use interface::cost::{AddaTopology, CostModel, MeiTopology};
-use interface::{decode_bits, encode_fraction, quantize_fraction, InterfaceSpec};
-use proptest::prelude::*;
+use interface::{
+    decode_bits, decode_bits_coded, encode_fraction, encode_fraction_coded, quantize_fraction,
+    BitCoding, InterfaceSpec, MAX_BITS,
+};
+use prng::prop_check;
 
-proptest! {
-    /// encode→decode round-trips within one LSB for any in-range value
-    /// (half an LSB in the interior, a full LSB at the saturated top code).
-    #[test]
-    fn codec_roundtrip_error_bounded(x in 0.0f64..1.0, bits in 1usize..16) {
+/// encode→decode round-trips within one LSB for any in-range value
+/// (half an LSB in the interior, a full LSB at the saturated top code).
+#[test]
+fn codec_roundtrip_error_bounded() {
+    prop_check!(|g| {
+        let x = g.f64_in(0.0, 1.0);
+        let bits = g.usize_in(1, 16);
         let q = quantize_fraction(x, bits);
         let lsb = 0.5f64.powi(bits as i32);
-        prop_assert!((q - x).abs() <= lsb + 1e-12, "x={x} q={q} bits={bits}");
-    }
+        assert!((q - x).abs() <= lsb + 1e-12, "x={x} q={q} bits={bits}");
+    });
+}
 
-    /// Every encoded bit is exactly 0.0 or 1.0.
-    #[test]
-    fn encoded_bits_are_binary(x in -1.0f64..2.0, bits in 1usize..16) {
+/// Every encoded bit is exactly 0.0 or 1.0.
+#[test]
+fn encoded_bits_are_binary() {
+    prop_check!(|g| {
+        let x = g.f64_in(-1.0, 2.0);
+        let bits = g.usize_in(1, 16);
         for b in encode_fraction(x, bits) {
-            prop_assert!(b == 0.0 || b == 1.0);
+            assert!(b == 0.0 || b == 1.0);
         }
-    }
+    });
+}
 
-    /// Quantization is idempotent: quantizing a quantized value is identity.
-    #[test]
-    fn quantize_idempotent(x in 0.0f64..1.0, bits in 1usize..16) {
+/// Quantization is idempotent: quantizing a quantized value is identity.
+#[test]
+fn quantize_idempotent() {
+    prop_check!(|g| {
+        let x = g.f64_in(0.0, 1.0);
+        let bits = g.usize_in(1, 16);
         let q = quantize_fraction(x, bits);
-        prop_assert_eq!(quantize_fraction(q, bits), q);
-    }
+        assert_eq!(quantize_fraction(q, bits), q);
+    });
+}
 
-    /// Encoding is monotone: larger values never decode below smaller ones.
-    #[test]
-    fn codec_is_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0, bits in 1usize..12) {
+/// Encoding is monotone: larger values never decode below smaller ones.
+#[test]
+fn codec_is_monotone() {
+    prop_check!(|g| {
+        let a = g.f64_in(0.0, 1.0);
+        let b = g.f64_in(0.0, 1.0);
+        let bits = g.usize_in(1, 12);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(quantize_fraction(lo, bits) <= quantize_fraction(hi, bits));
-    }
+        assert!(quantize_fraction(lo, bits) <= quantize_fraction(hi, bits));
+    });
+}
 
-    /// Grouped encode/decode round-trips exactly on representable values.
-    #[test]
-    fn spec_roundtrip(groups in 1usize..6, bits in 1usize..10, seed in any::<u16>()) {
+/// Grouped encode/decode round-trips exactly on representable values.
+#[test]
+fn spec_roundtrip() {
+    prop_check!(|g| {
+        let groups = g.usize_in(1, 6);
+        let bits = g.usize_in(1, 10);
+        let seed = g.u16_any();
         let spec = InterfaceSpec::new(groups, bits);
         let denom = (1u64 << bits) as f64;
         let values: Vec<f64> = (0..groups)
-            .map(|g| ((seed as u64 + g as u64 * 7) % (1u64 << bits)) as f64 / denom)
+            .map(|grp| ((u64::from(seed) + grp as u64 * 7) % (1u64 << bits)) as f64 / denom)
             .collect();
         let decoded = spec.decode(&spec.encode(&values));
         for (a, b) in decoded.iter().zip(&values) {
-            prop_assert!((a - b).abs() < 1e-12);
+            assert!((a - b).abs() < 1e-12);
         }
-    }
+    });
+}
 
-    /// MEI cost strictly increases with hidden size and with bit width; the
-    /// AD/DA cost strictly increases with every dimension.
-    #[test]
-    fn costs_are_monotone(
-        i in 1usize..30, h in 1usize..60, o in 1usize..30, bits in 2usize..12,
-    ) {
+/// MEI cost strictly increases with hidden size and with bit width; the
+/// AD/DA cost strictly increases with every dimension.
+#[test]
+fn costs_are_monotone() {
+    prop_check!(|g| {
+        let i = g.usize_in(1, 30);
+        let h = g.usize_in(1, 60);
+        let o = g.usize_in(1, 30);
+        let bits = g.usize_in(2, 12);
         let m = CostModel::dac2015();
         let adda = AddaTopology::new(i, h, o, bits);
         let bigger = AddaTopology::new(i + 1, h + 1, o + 1, bits);
-        prop_assert!(m.area_adda(&bigger) > m.area_adda(&adda));
-        prop_assert!(m.power_adda(&bigger) > m.power_adda(&adda));
+        assert!(m.area_adda(&bigger) > m.area_adda(&adda));
+        assert!(m.power_adda(&bigger) > m.power_adda(&adda));
 
         let mei = MeiTopology::new(i, bits, h, o, bits);
         let wider = MeiTopology::new(i, bits, h + 1, o, bits);
         let deeper_bits = MeiTopology::new(i, bits + 1, h, o, bits + 1);
-        prop_assert!(m.area_mei(&wider) > m.area_mei(&mei));
-        prop_assert!(m.area_mei(&deeper_bits) > m.area_mei(&mei));
-    }
+        assert!(m.area_mei(&wider) > m.area_mei(&mei));
+        assert!(m.area_mei(&deeper_bits) > m.area_mei(&mei));
+    });
+}
 
-    /// K_max is consistent with the budget definition: K_max learners fit,
-    /// K_max + 1 exceed at least one of the two budgets.
-    #[test]
-    fn k_max_is_tight(
-        i in 1usize..20, h in 4usize..40, o in 1usize..20,
-    ) {
+/// K_max is consistent with the budget definition: K_max learners fit,
+/// K_max + 1 exceed at least one of the two budgets.
+#[test]
+fn k_max_is_tight() {
+    prop_check!(|g| {
+        let i = g.usize_in(1, 20);
+        let h = g.usize_in(4, 40);
+        let o = g.usize_in(1, 20);
         let m = CostModel::dac2015();
         let adda = AddaTopology::new(i, h, o, 8);
         let mei = MeiTopology::new(i, 8, h * 2, o, 8);
@@ -83,24 +115,135 @@ proptest! {
         let p_org = m.power_adda(&adda);
         let a_mei = m.area_mei(&mei);
         let p_mei = m.power_mei(&mei);
-        prop_assert!(k as f64 * a_mei <= a_org + 1e-9);
-        prop_assert!(k as f64 * p_mei <= p_org + 1e-9);
+        assert!(k as f64 * a_mei <= a_org + 1e-9);
+        assert!(k as f64 * p_mei <= p_org + 1e-9);
         let k1 = (k + 1) as f64;
-        prop_assert!(k1 * a_mei > a_org || k1 * p_mei > p_org);
-    }
+        assert!(k1 * a_mei > a_org || k1 * p_mei > p_org);
+    });
+}
 
-    /// Decoding is invariant to how far analog levels sit from the 0.5
-    /// threshold.
-    #[test]
-    fn decode_threshold_invariance(
-        pattern in prop::collection::vec(any::<bool>(), 1..12),
-        noise in 0.0f64..0.49,
-    ) {
+/// Decoding is invariant to how far analog levels sit from the 0.5
+/// threshold.
+#[test]
+fn decode_threshold_invariance() {
+    prop_check!(|g| {
+        let len = g.usize_in(1, 12);
+        let pattern = g.vec_bool(len);
+        let noise = g.f64_in(0.0, 0.49);
         let crisp: Vec<f64> = pattern.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
         let fuzzy: Vec<f64> = pattern
             .iter()
             .map(|&b| if b { 1.0 - noise } else { noise })
             .collect();
-        prop_assert_eq!(decode_bits(&crisp), decode_bits(&fuzzy));
+        assert_eq!(decode_bits(&crisp), decode_bits(&fuzzy));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Saturation-edge regression tests: pin the `k = ⌊x·2^B + ½⌋` clamp at the
+// exact boundaries, for both wire codings and every supported bit width.
+// ---------------------------------------------------------------------------
+
+const CODINGS: [BitCoding; 2] = [BitCoding::Binary, BitCoding::Gray];
+
+/// `x = 0` encodes to the all-zero code and round-trips to exactly 0.
+#[test]
+fn boundary_zero_is_exact_at_every_width() {
+    for coding in CODINGS {
+        for bits in 1..=MAX_BITS {
+            let enc = encode_fraction_coded(0.0, bits, coding);
+            assert_eq!(enc, vec![0.0; bits], "coding={coding} bits={bits}");
+            assert_eq!(decode_bits_coded(&enc, coding), 0.0);
+        }
+    }
+}
+
+/// `x = 1 − 2^-(B+1)` sits exactly half an LSB below 1: rounding hits
+/// `2^B` and the clamp must saturate it to the top code `2^B − 1`, which
+/// decodes to `1 − 2^-B` — an exactly one-LSB round-trip error, never a
+/// wraparound to 0.
+#[test]
+fn boundary_half_lsb_below_one_saturates_to_top_code() {
+    for coding in CODINGS {
+        // Beyond 52 bits the f64 sum 1 − 2^-(B+1) rounds to 1.0 itself, so
+        // every representable width is covered by MAX_BITS = 32.
+        for bits in 1..=MAX_BITS {
+            let x = 1.0 - 0.5f64.powi(bits as i32 + 1);
+            let enc = encode_fraction_coded(x, bits, coding);
+            let decoded = decode_bits_coded(&enc, coding);
+            let top = ((1u64 << bits) - 1) as f64 / (1u64 << bits) as f64;
+            assert_eq!(decoded, top, "coding={coding} bits={bits} x={x}");
+            let lsb = 0.5f64.powi(bits as i32);
+            assert!((decoded - x).abs() <= lsb, "round-trip error above one LSB");
+        }
+    }
+}
+
+/// `x ≥ 1` (including +∞) saturates to the top code instead of wrapping.
+#[test]
+fn boundary_at_and_above_one_saturates() {
+    for coding in CODINGS {
+        for bits in [1, 2, 8, MAX_BITS] {
+            let top = ((1u64 << bits) - 1) as f64 / (1u64 << bits) as f64;
+            for x in [1.0, 1.0 + 1e-12, 2.0, 1e9, f64::INFINITY] {
+                let enc = encode_fraction_coded(x, bits, coding);
+                assert_eq!(
+                    decode_bits_coded(&enc, coding),
+                    top,
+                    "coding={coding} bits={bits} x={x}"
+                );
+            }
+        }
+    }
+}
+
+/// Negative values and NaN clamp to the all-zero code.
+#[test]
+fn boundary_below_zero_and_nan_clamp_to_zero() {
+    for coding in CODINGS {
+        for bits in [1, 8, MAX_BITS] {
+            for x in [-1e-12, -1.0, f64::NEG_INFINITY, f64::NAN] {
+                let enc = encode_fraction_coded(x, bits, coding);
+                assert_eq!(
+                    decode_bits_coded(&enc, coding),
+                    0.0,
+                    "coding={coding} bits={bits}"
+                );
+            }
+        }
+    }
+}
+
+/// The full edge suite at `bits = MAX_BITS`: the widest width exercises
+/// the `u64` shifts (`1 << 32`) where an off-by-one in the clamp would
+/// overflow or wrap.
+#[test]
+fn boundary_max_bits_roundtrip_is_exact_on_representable_values() {
+    let bits = MAX_BITS;
+    let levels = 1u64 << bits;
+    for coding in CODINGS {
+        for k in [0u64, 1, levels / 2 - 1, levels / 2, levels - 2, levels - 1] {
+            let x = k as f64 / levels as f64;
+            let enc = encode_fraction_coded(x, bits, coding);
+            assert_eq!(
+                decode_bits_coded(&enc, coding),
+                x,
+                "coding={coding} k={k} must round-trip exactly"
+            );
+        }
+    }
+}
+
+/// Half-LSB interior rounding: values exactly on the rounding midpoint go
+/// up (ties-away semantics of `f64::round`), pinning `k = ⌊x·2^B + ½⌋`.
+#[test]
+fn boundary_interior_midpoints_round_up() {
+    for bits in [2usize, 4, 8] {
+        let levels = (1u64 << bits) as f64;
+        for k in 0..(1u64 << bits) - 1 {
+            let midpoint = (k as f64 + 0.5) / levels;
+            let q = quantize_fraction(midpoint, bits);
+            assert_eq!(q, (k + 1) as f64 / levels, "bits={bits} k={k}");
+        }
     }
 }

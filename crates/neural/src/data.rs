@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use rand::Rng;
+use prng::Rng;
 
 /// Error constructing a [`Dataset`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,7 +173,10 @@ impl Dataset {
 
     /// Iterate `(input, target)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[f64], &[f64])> {
-        self.inputs.iter().map(Vec::as_slice).zip(self.targets.iter().map(Vec::as_slice))
+        self.inputs
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.targets.iter().map(Vec::as_slice))
     }
 
     /// Split into `(first, second)` with `fraction` of samples in `first`.
@@ -189,14 +192,20 @@ impl Dataset {
             "split fraction must be in (0, 1), got {fraction}"
         );
         let cut = ((self.len() as f64) * fraction).round() as usize;
-        assert!(cut > 0 && cut < self.len(), "split would produce an empty side");
+        assert!(
+            cut > 0 && cut < self.len(),
+            "split would produce an empty side"
+        );
         let mut inputs = self.inputs;
         let mut targets = self.targets;
         let tail_inputs = inputs.split_off(cut);
         let tail_targets = targets.split_off(cut);
         (
             Dataset { inputs, targets },
-            Dataset { inputs: tail_inputs, targets: tail_targets },
+            Dataset {
+                inputs: tail_inputs,
+                targets: tail_targets,
+            },
         )
     }
 
@@ -211,7 +220,11 @@ impl Dataset {
     #[must_use]
     pub fn kfold(&self, k: usize) -> Vec<(Dataset, Dataset)> {
         assert!(k >= 2, "cross-validation needs at least 2 folds");
-        assert!(k <= self.len(), "cannot make {k} folds from {} samples", self.len());
+        assert!(
+            k <= self.len(),
+            "cannot make {k} folds from {} samples",
+            self.len()
+        );
         let n = self.len();
         (0..k)
             .map(|i| {
@@ -231,8 +244,14 @@ impl Dataset {
                     }
                 }
                 (
-                    Dataset { inputs: train_in, targets: train_tg },
-                    Dataset { inputs: val_in, targets: val_tg },
+                    Dataset {
+                        inputs: train_in,
+                        targets: train_tg,
+                    },
+                    Dataset {
+                        inputs: val_in,
+                        targets: val_tg,
+                    },
                 )
             })
             .collect()
@@ -260,7 +279,12 @@ impl Dataset {
     /// Panics if `weights.len() != len()`, any weight is negative or
     /// non-finite, the sum is zero, or `n == 0`.
     #[must_use]
-    pub fn resample_weighted<R: Rng + ?Sized>(&self, weights: &[f64], n: usize, rng: &mut R) -> Dataset {
+    pub fn resample_weighted<R: Rng + ?Sized>(
+        &self,
+        weights: &[f64],
+        n: usize,
+        rng: &mut R,
+    ) -> Dataset {
         assert_eq!(weights.len(), self.len(), "one weight per sample");
         assert!(n > 0, "cannot resample zero samples");
         assert!(
@@ -335,8 +359,8 @@ impl fmt::Display for Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use prng::rngs::StdRng;
+    use prng::SeedableRng;
 
     fn small() -> Dataset {
         Dataset::new(
@@ -351,7 +375,10 @@ mod tests {
         assert_eq!(Dataset::new(vec![], vec![]), Err(DatasetError::Empty));
         assert_eq!(
             Dataset::new(vec![vec![1.0]], vec![]),
-            Err(DatasetError::LengthMismatch { inputs: 1, targets: 0 })
+            Err(DatasetError::LengthMismatch {
+                inputs: 1,
+                targets: 0
+            })
         );
         assert_eq!(
             Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![vec![0.0], vec![0.0]]),
@@ -434,7 +461,9 @@ mod tests {
         let folds = d.kfold(3);
         let total_val: usize = folds.iter().map(|(_, v)| v.len()).sum();
         assert_eq!(total_val, 7);
-        assert!(folds.iter().all(|(t, v)| t.len() + v.len() == 7 && !v.is_empty()));
+        assert!(folds
+            .iter()
+            .all(|(t, v)| t.len() + v.len() == 7 && !v.is_empty()));
     }
 
     #[test]
@@ -496,7 +525,13 @@ mod tests {
     #[test]
     fn map_rejects_invalid_result() {
         let d = small();
-        let res = d.map_targets(|x, y| if x[0] == 0.0 { vec![y[0]] } else { vec![y[0], 0.0] });
+        let res = d.map_targets(|x, y| {
+            if x[0] == 0.0 {
+                vec![y[0]]
+            } else {
+                vec![y[0], 0.0]
+            }
+        });
         assert!(res.is_err());
     }
 
@@ -509,7 +544,10 @@ mod tests {
     fn error_display_nonempty() {
         for e in [
             DatasetError::Empty,
-            DatasetError::LengthMismatch { inputs: 1, targets: 2 },
+            DatasetError::LengthMismatch {
+                inputs: 1,
+                targets: 2,
+            },
             DatasetError::InconsistentDims { index: 3 },
             DatasetError::NonFiniteValue { index: 4 },
         ] {

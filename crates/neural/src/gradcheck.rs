@@ -34,7 +34,10 @@ impl GradCheckReport {
 
 /// Mean loss of the network over a dataset under a given weighted loss.
 fn mean_loss(mlp: &Mlp, data: &Dataset, loss: &WeightedMse) -> f64 {
-    let total: f64 = data.iter().map(|(x, t)| loss.loss(t, &mlp.forward(x))).sum();
+    let total: f64 = data
+        .iter()
+        .map(|(x, t)| loss.loss(t, &mlp.forward(x)))
+        .sum();
     total / data.len() as f64
 }
 
@@ -50,7 +53,12 @@ fn analytic_gradients(
     let layers = mlp.layers();
     let mut grads: Vec<(Vec<Vec<f64>>, Vec<f64>)> = layers
         .iter()
-        .map(|l| (vec![vec![0.0; l.inputs()]; l.outputs()], vec![0.0; l.outputs()]))
+        .map(|l| {
+            (
+                vec![vec![0.0; l.inputs()]; l.outputs()],
+                vec![0.0; l.outputs()],
+            )
+        })
         .collect();
     for (x, t) in data.iter() {
         let trace = mlp.forward_trace(x);
@@ -58,7 +66,11 @@ fn analytic_gradients(
         let mut delta = vec![0.0; output.len()];
         loss.gradient_into(t, output, &mut delta);
         for (d, &o) in delta.iter_mut().zip(output.iter()) {
-            *d *= layers.last().expect("layers").activation.derivative_from_output(o);
+            *d *= layers
+                .last()
+                .expect("layers")
+                .activation
+                .derivative_from_output(o);
         }
         for l in (0..layers.len()).rev() {
             let a_prev = &trace[l];
@@ -148,7 +160,11 @@ pub fn check_gradients(mlp: &Mlp, data: &Dataset, loss: &WeightedMse, h: f64) ->
         }
     }
 
-    GradCheckReport { max_abs_error: max_abs, max_rel_error: max_rel, checked }
+    GradCheckReport {
+        max_abs_error: max_abs,
+        max_rel_error: max_rel,
+        checked,
+    }
 }
 
 #[cfg(test)]
@@ -156,8 +172,8 @@ mod tests {
     use super::*;
     use crate::activation::Activation;
     use crate::mlp::MlpBuilder;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use prng::rngs::StdRng;
+    use prng::{Rng, SeedableRng};
 
     fn dataset(n: usize, inputs: usize, outputs: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -175,7 +191,11 @@ mod tests {
         let data = dataset(16, 3, 2, 2);
         let loss = WeightedMse::uniform(2);
         let report = check_gradients(&net, &data, &loss, 1e-5);
-        assert!(report.passes(1e-4), "max rel error {}", report.max_rel_error);
+        assert!(
+            report.passes(1e-4),
+            "max rel error {}",
+            report.max_rel_error
+        );
         assert_eq!(report.checked, (3 * 5 + 5) + (5 * 2 + 2));
     }
 
@@ -188,7 +208,11 @@ mod tests {
         let data = dataset(12, 2, 3, 4);
         let loss = WeightedMse::new(vec![1.0, 0.5, 0.25]);
         let report = check_gradients(&net, &data, &loss, 1e-5);
-        assert!(report.passes(1e-4), "max rel error {}", report.max_rel_error);
+        assert!(
+            report.passes(1e-4),
+            "max rel error {}",
+            report.max_rel_error
+        );
     }
 
     #[test]
@@ -197,7 +221,11 @@ mod tests {
         let data = dataset(8, 2, 1, 6);
         let loss = WeightedMse::uniform(1);
         let report = check_gradients(&net, &data, &loss, 1e-5);
-        assert!(report.passes(1e-4), "max rel error {}", report.max_rel_error);
+        assert!(
+            report.passes(1e-4),
+            "max rel error {}",
+            report.max_rel_error
+        );
     }
 
     #[test]
@@ -211,12 +239,20 @@ mod tests {
         let data = dataset(10, 3, 2, 8);
         let loss = WeightedMse::uniform(2);
         let report = check_gradients(&net, &data, &loss, 1e-6);
-        assert!(report.passes(1e-3), "max rel error {}", report.max_rel_error);
+        assert!(
+            report.passes(1e-3),
+            "max rel error {}",
+            report.max_rel_error
+        );
     }
 
     #[test]
     fn report_pass_threshold_behaviour() {
-        let r = GradCheckReport { max_abs_error: 1e-6, max_rel_error: 5e-5, checked: 10 };
+        let r = GradCheckReport {
+            max_abs_error: 1e-6,
+            max_rel_error: 5e-5,
+            checked: 10,
+        };
         assert!(r.passes(1e-4));
         assert!(!r.passes(1e-5));
     }

@@ -65,7 +65,9 @@ fn activation_from(name: &str) -> Result<Activation, ParseMlpError> {
         "tanh" => Ok(Activation::Tanh),
         "relu" => Ok(Activation::Relu),
         "identity" => Ok(Activation::Identity),
-        other => Err(ParseMlpError::BadStructure(format!("unknown activation `{other}`"))),
+        other => Err(ParseMlpError::BadStructure(format!(
+            "unknown activation `{other}`"
+        ))),
     }
 }
 
@@ -88,7 +90,12 @@ pub fn write_mlp<W: Write>(mut w: W, mlp: &Mlp) -> std::io::Result<()> {
         let biases: Vec<String> = layer.biases.iter().map(|b| format!("{b:?}")).collect();
         writeln!(w, "b {}", biases.join(" "))?;
         for r in 0..layer.outputs() {
-            let row: Vec<String> = layer.weights.row(r).iter().map(|v| format!("{v:?}")).collect();
+            let row: Vec<String> = layer
+                .weights
+                .row(r)
+                .iter()
+                .map(|v| format!("{v:?}"))
+                .collect();
             writeln!(w, "w {}", row.join(" "))?;
         }
     }
@@ -133,27 +140,31 @@ pub fn read_mlp<R: BufRead>(r: R) -> Result<Mlp, ParseMlpError> {
         };
         let inputs = parse_dim(parts.next(), &head)?;
         let outputs = parse_dim(parts.next(), &head)?;
-        let activation =
-            activation_from(parts.next().ok_or_else(|| ParseMlpError::BadStructure(head.clone()))?)?;
+        let activation = activation_from(
+            parts
+                .next()
+                .ok_or_else(|| ParseMlpError::BadStructure(head.clone()))?,
+        )?;
         if inputs == 0 || outputs == 0 {
             return Err(ParseMlpError::BadStructure(head));
         }
 
-        let parse_floats = |line: &str, prefix: &str, n: usize| -> Result<Vec<f64>, ParseMlpError> {
-            let body = line
-                .strip_prefix(prefix)
-                .ok_or_else(|| ParseMlpError::BadStructure(line.to_string()))?;
-            let values: Result<Vec<f64>, _> =
-                body.split_whitespace().map(str::parse::<f64>).collect();
-            let values = values.map_err(|_| ParseMlpError::BadNumber(line.to_string()))?;
-            if values.len() != n {
-                return Err(ParseMlpError::BadStructure(format!(
-                    "expected {n} values, got {} in `{line}`",
-                    values.len()
-                )));
-            }
-            Ok(values)
-        };
+        let parse_floats =
+            |line: &str, prefix: &str, n: usize| -> Result<Vec<f64>, ParseMlpError> {
+                let body = line
+                    .strip_prefix(prefix)
+                    .ok_or_else(|| ParseMlpError::BadStructure(line.to_string()))?;
+                let values: Result<Vec<f64>, _> =
+                    body.split_whitespace().map(str::parse::<f64>).collect();
+                let values = values.map_err(|_| ParseMlpError::BadNumber(line.to_string()))?;
+                if values.len() != n {
+                    return Err(ParseMlpError::BadStructure(format!(
+                        "expected {n} values, got {} in `{line}`",
+                        values.len()
+                    )));
+                }
+                Ok(values)
+            };
 
         let bias_line = lines.next().ok_or(ParseMlpError::UnexpectedEof)?;
         let biases = parse_floats(&bias_line, "b ", outputs)?;

@@ -39,7 +39,10 @@ impl WeightedMse {
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "port weights must be finite and non-negative: {weights:?}"
         );
-        assert!(weights.iter().any(|&w| w > 0.0), "at least one port weight must be positive");
+        assert!(
+            weights.iter().any(|&w| w > 0.0),
+            "at least one port weight must be positive"
+        );
         Self { weights }
     }
 
@@ -175,7 +178,11 @@ mod tests {
             let mut minus = output;
             minus[p] -= h;
             let numeric = (l.loss(&target, &plus) - l.loss(&target, &minus)) / (2.0 * h);
-            assert!((numeric - grad[p]).abs() < 1e-6, "port {p}: {numeric} vs {}", grad[p]);
+            assert!(
+                (numeric - grad[p]).abs() < 1e-6,
+                "port {p}: {numeric} vs {}",
+                grad[p]
+            );
         }
     }
 

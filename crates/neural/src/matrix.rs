@@ -4,7 +4,7 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-use rand::Rng;
+use prng::Rng;
 
 /// A dense `rows × cols` matrix of `f64`, stored row-major.
 ///
@@ -30,8 +30,15 @@ impl Matrix {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero: {rows}×{cols}");
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        assert!(
+            rows > 0 && cols > 0,
+            "matrix dimensions must be nonzero: {rows}×{cols}"
+        );
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build a matrix from nested row vectors.
@@ -41,14 +48,21 @@ impl Matrix {
     /// Panics if the rows are empty or ragged.
     #[must_use]
     pub fn from_rows(rows: &[Vec<f64>]) -> Self {
-        assert!(!rows.is_empty() && !rows[0].is_empty(), "matrix must be non-empty");
+        assert!(
+            !rows.is_empty() && !rows[0].is_empty(),
+            "matrix must be non-empty"
+        );
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, row) in rows.iter().enumerate() {
             assert_eq!(row.len(), cols, "row {i} has inconsistent length");
             data.extend_from_slice(row);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Build a matrix by evaluating `f(row, col)` at every position.
@@ -70,8 +84,16 @@ impl Matrix {
     ///
     /// Panics if `limit` is negative or non-finite.
     #[must_use]
-    pub fn random_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, limit: f64, rng: &mut R) -> Self {
-        assert!(limit >= 0.0 && limit.is_finite(), "init limit must be finite and non-negative");
+    pub fn random_uniform<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        limit: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            limit >= 0.0 && limit.is_finite(),
+            "init limit must be finite and non-negative"
+        );
         Self::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
     }
 
@@ -162,7 +184,11 @@ impl Matrix {
     #[allow(clippy::needless_range_loop)] // row-major kernel: indexing is the clear form
     pub fn add_outer(&mut self, alpha: f64, u: &[f64], v: &[f64]) {
         assert_eq!(u.len(), self.rows, "outer-product row dimension mismatch");
-        assert_eq!(v.len(), self.cols, "outer-product column dimension mismatch");
+        assert_eq!(
+            v.len(),
+            self.cols,
+            "outer-product column dimension mismatch"
+        );
         for r in 0..self.rows {
             let s = alpha * u[r];
             if s == 0.0 {
@@ -181,7 +207,11 @@ impl Matrix {
     ///
     /// Panics if the shapes differ.
     pub fn add_scaled(&mut self, alpha: f64, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }
@@ -216,14 +246,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -251,8 +287,8 @@ impl fmt::Display for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use prng::rngs::StdRng;
+    use prng::SeedableRng;
 
     #[test]
     fn zeros_has_right_shape() {

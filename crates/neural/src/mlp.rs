@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use prng::rngs::StdRng;
+use prng::SeedableRng;
 
 use crate::activation::Activation;
 use crate::matrix::Matrix;
@@ -203,8 +203,14 @@ impl MlpBuilder {
     /// Panics if fewer than two sizes are given or any size is zero.
     #[must_use]
     pub fn new(sizes: &[usize]) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
-        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be nonzero: {sizes:?}");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "layer sizes must be nonzero: {sizes:?}"
+        );
         Self {
             sizes: sizes.to_vec(),
             hidden_activation: Activation::Sigmoid,
@@ -244,7 +250,11 @@ impl MlpBuilder {
             .windows(2)
             .enumerate()
             .map(|(i, w)| {
-                let act = if i == last { self.output_activation } else { self.hidden_activation };
+                let act = if i == last {
+                    self.output_activation
+                } else {
+                    self.hidden_activation
+                };
                 Layer::xavier(w[0], w[1], act, &mut rng)
             })
             .collect();

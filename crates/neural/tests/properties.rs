@@ -1,20 +1,20 @@
-//! Property-based tests for the neural substrate.
+//! Property-based tests for the neural substrate, on the in-repo
+//! deterministic harness (`prng::prop`).
 
 use neural::{Activation, Dataset, Matrix, MlpBuilder, WeightedMse};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use prng::prop_check;
+use prng::rngs::StdRng;
+use prng::SeedableRng;
 
-proptest! {
-    /// ⟨A·x, y⟩ = ⟨x, Aᵀ·y⟩ — matvec and matvec_transpose are adjoint.
-    #[test]
-    fn matvec_adjoint_identity(
-        rows in 1usize..6,
-        cols in 1usize..6,
-        seed in any::<u64>(),
-        xs in prop::collection::vec(-2.0f64..2.0, 6),
-        ys in prop::collection::vec(-2.0f64..2.0, 6),
-    ) {
+/// ⟨A·x, y⟩ = ⟨x, Aᵀ·y⟩ — matvec and matvec_transpose are adjoint.
+#[test]
+fn matvec_adjoint_identity() {
+    prop_check!(|g| {
+        let rows = g.usize_in(1, 6);
+        let cols = g.usize_in(1, 6);
+        let seed = g.u64_any();
+        let xs = g.vec_f64(-2.0, 2.0, 6);
+        let ys = g.vec_f64(-2.0, 2.0, 6);
         let mut rng = StdRng::seed_from_u64(seed);
         let a = Matrix::random_uniform(rows, cols, 1.0, &mut rng);
         let x = &xs[..cols];
@@ -23,36 +23,38 @@ proptest! {
         let aty = a.matvec_transpose(y);
         let lhs: f64 = ax.iter().zip(y).map(|(p, q)| p * q).sum();
         let rhs: f64 = x.iter().zip(&aty).map(|(p, q)| p * q).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-9);
-    }
+        assert!((lhs - rhs).abs() < 1e-9);
+    });
+}
 
-    /// The weighted loss is non-negative, zero iff outputs equal targets on
-    /// positively-weighted ports.
-    #[test]
-    fn weighted_loss_nonnegative_and_faithful(
-        ws in prop::collection::vec(0.01f64..4.0, 1..8),
-        ts in prop::collection::vec(0.0f64..1.0, 8),
-        os in prop::collection::vec(0.0f64..1.0, 8),
-    ) {
+/// The weighted loss is non-negative, zero iff outputs equal targets on
+/// positively-weighted ports.
+#[test]
+fn weighted_loss_nonnegative_and_faithful() {
+    prop_check!(|g| {
+        let ws = g.vec_f64_between(0.01, 4.0, 1, 8);
+        let ts = g.vec_f64(0.0, 1.0, 8);
+        let os = g.vec_f64(0.0, 1.0, 8);
         let n = ws.len();
         let loss = WeightedMse::new(ws);
         let t = &ts[..n];
         let o = &os[..n];
         let l = loss.loss(t, o);
-        prop_assert!(l >= 0.0);
-        prop_assert_eq!(loss.loss(t, t), 0.0);
+        assert!(l >= 0.0);
+        assert_eq!(loss.loss(t, t), 0.0);
         if t != o {
-            prop_assert!(l > 0.0);
+            assert!(l > 0.0);
         }
-    }
+    });
+}
 
-    /// Loss gradient matches central finite differences on random points.
-    #[test]
-    fn loss_gradient_is_correct(
-        ws in prop::collection::vec(0.1f64..2.0, 1..5),
-        ts in prop::collection::vec(0.0f64..1.0, 5),
-        os in prop::collection::vec(0.0f64..1.0, 5),
-    ) {
+/// Loss gradient matches central finite differences on random points.
+#[test]
+fn loss_gradient_is_correct() {
+    prop_check!(|g| {
+        let ws = g.vec_f64_between(0.1, 2.0, 1, 5);
+        let ts = g.vec_f64(0.0, 1.0, 5);
+        let os = g.vec_f64(0.0, 1.0, 5);
         let n = ws.len();
         let loss = WeightedMse::new(ws);
         let t = &ts[..n];
@@ -66,41 +68,44 @@ proptest! {
             let mut minus = o.clone();
             minus[p] -= h;
             let numeric = (loss.loss(t, &plus) - loss.loss(t, &minus)) / (2.0 * h);
-            prop_assert!((numeric - grad[p]).abs() < 1e-4);
+            assert!((numeric - grad[p]).abs() < 1e-4);
         }
-    }
+    });
+}
 
-    /// Sigmoid MLP outputs always lie in (0, 1) regardless of input scale.
-    #[test]
-    fn sigmoid_mlp_outputs_bounded(
-        seed in any::<u64>(),
-        xs in prop::collection::vec(-100.0f64..100.0, 3),
-    ) {
+/// Sigmoid MLP outputs always lie in (0, 1) regardless of input scale.
+#[test]
+fn sigmoid_mlp_outputs_bounded() {
+    prop_check!(64, |g| {
+        let seed = g.u64_any();
+        let xs = g.vec_f64(-100.0, 100.0, 3);
         let net = MlpBuilder::new(&[3, 5, 2]).seed(seed).build();
         let y = net.forward(&xs);
-        prop_assert!(y.iter().all(|v| (0.0..=1.0).contains(v)));
-    }
+        assert!(y.iter().all(|v| (0.0..=1.0).contains(v)));
+    });
+}
 
-    /// forward_trace's last element equals forward.
-    #[test]
-    fn trace_consistent_with_forward(
-        seed in any::<u64>(),
-        xs in prop::collection::vec(-1.0f64..1.0, 4),
-    ) {
+/// forward_trace's last element equals forward.
+#[test]
+fn trace_consistent_with_forward() {
+    prop_check!(64, |g| {
+        let seed = g.u64_any();
+        let xs = g.vec_f64(-1.0, 1.0, 4);
         let net = MlpBuilder::new(&[4, 6, 3])
             .hidden_activation(Activation::Tanh)
             .seed(seed)
             .build();
         let trace = net.forward_trace(&xs);
-        prop_assert_eq!(trace.last().unwrap().clone(), net.forward(&xs));
-    }
+        assert_eq!(trace.last().unwrap().clone(), net.forward(&xs));
+    });
+}
 
-    /// Weighted resampling only ever draws samples with positive weight.
-    #[test]
-    fn resampling_respects_support(
-        n in 2usize..20,
-        seed in any::<u64>(),
-    ) {
+/// Weighted resampling only ever draws samples with positive weight.
+#[test]
+fn resampling_respects_support() {
+    prop_check!(64, |g| {
+        let n = g.usize_in(2, 20);
+        let seed = g.u64_any();
         let inputs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
         let targets = inputs.clone();
         let data = Dataset::new(inputs, targets).unwrap();
@@ -109,7 +114,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let r = data.resample_weighted(&weights, 64, &mut rng);
         for (x, _) in r.iter() {
-            prop_assert_eq!(x[0] as usize % 2, 0);
+            assert_eq!(x[0] as usize % 2, 0);
         }
-    }
+    });
 }

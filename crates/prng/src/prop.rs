@@ -1,0 +1,297 @@
+//! A small deterministic property-test harness — the in-repo replacement
+//! for `proptest`.
+//!
+//! Each property runs a fixed number of **cases**. Every case gets its own
+//! [`Gen`], seeded deterministically from the property's name and the case
+//! index, and draws whatever inputs it needs. On failure the harness
+//! reports the property name, case index and seed, and the seed alone
+//! reproduces the case:
+//!
+//! ```text
+//! property 'crates/foo/tests/properties.rs:17' failed at case 3/256 \
+//!     (seed 0x1d0ea04b94667d1c); rerun with MEI_PROP_SEED=0x1d0ea04b94667d1c
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `MEI_PROP_SEED=<seed>` — run every property once, with exactly that
+//!   case seed (decimal or `0x`-prefixed hex). For replaying failures.
+//! * `MEI_PROP_CASES=<n>` — override the per-property case count (e.g. a
+//!   nightly job can crank it up, a smoke run can set it to 1).
+//!
+//! Unlike `proptest` there is no shrinking: cases are cheap and fully
+//! reproducible, so the failing input can be inspected directly by
+//! re-running its seed. In exchange the harness is ~150 lines, has no
+//! dependencies, and its case streams never change under the workspace's
+//! determinism contract.
+//!
+//! Use through the [`prop_check!`](crate::prop_check) macro:
+//!
+//! ```
+//! prng::prop_check!(64, |g| {
+//!     let x = g.f64_in(0.0, 1.0);
+//!     let n = g.usize_in(1, 16);
+//!     assert!(x * n as f64 >= 0.0);
+//! });
+//! ```
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rngs::StdRng;
+use crate::xoshiro::SplitMix64;
+use crate::{Rng, RngCore, SeedableRng};
+
+/// Default number of cases per property (matches `proptest`'s default).
+pub const DEFAULT_CASES: u64 = 256;
+
+/// Per-case input generator: a seeded [`StdRng`] plus drawing helpers.
+///
+/// For anything beyond the helpers, [`rng`](Gen::rng) exposes the
+/// underlying generator (or use the [`Rng`] methods directly — `Gen`
+/// implements [`RngCore`]).
+#[derive(Debug, Clone)]
+pub struct Gen {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl Gen {
+    /// A generator for one case, seeded with `seed`.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this case was created from (what the failure report
+    /// prints).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// An arbitrary `u64`.
+    pub fn u64_any(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// An arbitrary `u16`.
+    pub fn u16_any(&mut self) -> u16 {
+        self.rng.gen()
+    }
+
+    /// A fair coin flip.
+    pub fn bool_any(&mut self) -> bool {
+        self.rng.gen()
+    }
+
+    /// `len` uniform `f64` values in `[lo, hi)`.
+    pub fn vec_f64(&mut self, lo: f64, hi: f64, len: usize) -> Vec<f64> {
+        (0..len).map(|_| self.f64_in(lo, hi)).collect()
+    }
+
+    /// Between `min_len` and `max_len − 1` uniform values in `[lo, hi)` —
+    /// the analogue of `proptest`'s `vec(lo..hi, min..max)`.
+    pub fn vec_f64_between(
+        &mut self,
+        lo: f64,
+        hi: f64,
+        min_len: usize,
+        max_len: usize,
+    ) -> Vec<f64> {
+        let len = self.usize_in(min_len, max_len);
+        self.vec_f64(lo, hi, len)
+    }
+
+    /// `len` fair coin flips.
+    pub fn vec_bool(&mut self, len: usize) -> Vec<bool> {
+        (0..len).map(|_| self.bool_any()).collect()
+    }
+
+    /// A `rows × cols` matrix of uniform values in `[lo, hi)`.
+    pub fn matrix_f64(&mut self, lo: f64, hi: f64, rows: usize, cols: usize) -> Vec<Vec<f64>> {
+        (0..rows).map(|_| self.vec_f64(lo, hi, cols)).collect()
+    }
+}
+
+impl RngCore for Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// FNV-1a over the property name: a stable, dependency-free way to give
+/// every property its own base seed.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn parse_seed(text: &str) -> Option<u64> {
+    let text = text.trim();
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// Run `cases` seeded cases of a property. Prefer the
+/// [`prop_check!`](crate::prop_check) macro, which fills in `name` from
+/// the call site.
+///
+/// # Panics
+///
+/// Re-raises the first failing case's panic, after printing the property
+/// name, case index and reproduction seed to stderr.
+pub fn run<F: FnMut(&mut Gen)>(name: &str, cases: u64, mut property: F) {
+    if let Some(seed) = std::env::var("MEI_PROP_SEED")
+        .ok()
+        .as_deref()
+        .and_then(parse_seed)
+    {
+        let mut g = Gen::from_seed(seed);
+        property(&mut g);
+        return;
+    }
+    let cases = std::env::var("MEI_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cases)
+        .max(1);
+    let mut seeds = SplitMix64::new(fnv1a(name));
+    for case in 0..cases {
+        let seed = seeds.next_u64();
+        let mut g = Gen::from_seed(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut g)));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "property '{name}' failed at case {case}/{cases} (seed {seed:#018x}); \
+                 rerun with MEI_PROP_SEED={seed:#x}"
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+/// Check a property over deterministically seeded random cases.
+///
+/// Forms:
+///
+/// * `prop_check!(|g| { ... })` — [`DEFAULT_CASES`] cases;
+/// * `prop_check!(N, |g| { ... })` — `N` cases (use small counts for
+///   properties that train networks).
+///
+/// The closure receives `&mut Gen` and asserts with the ordinary
+/// `assert!`/`assert_eq!` macros; any panic fails the property and prints
+/// the reproduction seed.
+#[macro_export]
+macro_rules! prop_check {
+    (|$g:ident| $body:expr) => {
+        $crate::prop_check!($crate::prop::DEFAULT_CASES, |$g| $body)
+    };
+    ($cases:expr, |$g:ident| $body:expr) => {
+        $crate::prop::run(
+            concat!(file!(), ":", line!()),
+            $cases,
+            |$g: &mut $crate::prop::Gen| {
+                let _ = &$g; // allow properties that ignore the generator
+                $body
+            },
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_case_reproduce_identical_inputs() {
+        let mut first = Vec::new();
+        run("stable-name", 8, |g| first.push(g.f64_in(0.0, 1.0)));
+        let mut second = Vec::new();
+        run("stable-name", 8, |g| second.push(g.f64_in(0.0, 1.0)));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn different_names_explore_different_inputs() {
+        let mut a = Vec::new();
+        run("name-a", 8, |g| a.push(g.u64_any()));
+        let mut b = Vec::new();
+        run("name-b", 8, |g| b.push(g.u64_any()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn failing_case_panics_with_original_payload() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run("always-fails", 4, |_g| panic!("boom"));
+        }));
+        let payload = caught.expect_err("property must fail");
+        let text = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(text, "boom");
+    }
+
+    #[test]
+    fn cases_see_distinct_seeds() {
+        let mut seeds = Vec::new();
+        run("seed-walk", 16, |g| seeds.push(g.seed()));
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn vec_between_respects_length_bounds() {
+        run("vec-bounds", 64, |g| {
+            let v = g.vec_f64_between(-1.0, 1.0, 1, 30);
+            assert!((1..30).contains(&v.len()));
+            assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        });
+    }
+
+    #[test]
+    fn macro_forms_compile_and_run() {
+        crate::prop_check!(|g| {
+            let x = g.f64_in(0.0, 1.0);
+            assert!((0.0..1.0).contains(&x));
+        });
+        crate::prop_check!(4, |g| {
+            let m = g.matrix_f64(-1.0, 1.0, 2, 3);
+            assert_eq!(m.len(), 2);
+            assert!(m.iter().all(|row| row.len() == 3));
+        });
+    }
+
+    #[test]
+    fn parse_seed_accepts_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0x2a"), Some(42));
+        assert_eq!(parse_seed("0X2A"), Some(42));
+        assert_eq!(parse_seed("nope"), None);
+    }
+}

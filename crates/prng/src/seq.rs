@@ -1,0 +1,137 @@
+//! Sequence operations: Fisher–Yates shuffling and weighted index
+//! sampling, the two reordering primitives the training stack uses
+//! (epoch shuffling and AdaBoost-style weighted resampling).
+
+use crate::{Rng, RngCore};
+
+/// Shuffle a slice in place with the Fisher–Yates algorithm.
+///
+/// Uniform over all `n!` permutations (up to the generator), `O(n)` time,
+/// and consumes exactly `n − 1` draws — a fixed entropy budget, which
+/// keeps downstream sampling positions deterministic.
+///
+/// ```
+/// use prng::rngs::StdRng;
+/// use prng::SeedableRng;
+///
+/// let mut v: Vec<u32> = (0..10).collect();
+/// let mut rng = StdRng::seed_from_u64(8);
+/// prng::seq::shuffle(&mut v, &mut rng);
+/// let mut sorted = v.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+/// ```
+pub fn shuffle<T, R: RngCore + ?Sized>(slice: &mut [T], rng: &mut R) {
+    for i in (1..slice.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        slice.swap(i, j);
+    }
+}
+
+/// Sample one index in `0..weights.len()` with probability proportional to
+/// its weight, by inverse-CDF over the cumulative sum.
+///
+/// Returns `None` if the slice is empty or the total weight is not a
+/// positive finite number. Negative weights are treated as zero.
+pub fn sample_weighted_index<R: RngCore + ?Sized>(weights: &[f64], rng: &mut R) -> Option<usize> {
+    let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    if total <= 0.0 || !total.is_finite() {
+        return None;
+    }
+    let mut target = rng.gen::<f64>() * total;
+    let mut last_positive = None;
+    for (i, &w) in weights.iter().enumerate() {
+        let w = w.max(0.0);
+        if w > 0.0 {
+            last_positive = Some(i);
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+    }
+    // Rounding can push `target` past the final bucket; attribute the
+    // leftover mass to the last positive-weight entry.
+    last_positive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<usize> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "100 elements left in order"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let mut a: Vec<usize> = (0..50).collect();
+        let mut b: Vec<usize> = (0..50).collect();
+        shuffle(&mut a, &mut StdRng::seed_from_u64(7));
+        shuffle(&mut b, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_slices() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut empty: [u8; 0] = [];
+        shuffle(&mut empty, &mut rng);
+        let mut one = [42];
+        shuffle(&mut one, &mut rng);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn weighted_index_respects_support() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [0.0, 1.0, 0.0, 2.0];
+        for _ in 0..1_000 {
+            let i = sample_weighted_index(&weights, &mut rng).unwrap();
+            assert!(i == 1 || i == 3);
+        }
+    }
+
+    #[test]
+    fn weighted_index_matches_proportions() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let weights = [1.0, 3.0];
+        let n = 40_000;
+        let ones = (0..n)
+            .filter(|_| sample_weighted_index(&weights, &mut rng) == Some(1))
+            .count();
+        let rate = ones as f64 / f64::from(n);
+        assert!((rate - 0.75).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_degenerate_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(sample_weighted_index(&[], &mut rng), None);
+        assert_eq!(sample_weighted_index(&[0.0, 0.0], &mut rng), None);
+        assert_eq!(sample_weighted_index(&[-1.0], &mut rng), None);
+        assert_eq!(sample_weighted_index(&[f64::INFINITY], &mut rng), None);
+    }
+
+    #[test]
+    fn weighted_index_ignores_negative_weights() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let weights = [-5.0, 1.0];
+        for _ in 0..100 {
+            assert_eq!(sample_weighted_index(&weights, &mut rng), Some(1));
+        }
+    }
+}

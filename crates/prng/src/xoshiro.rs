@@ -1,0 +1,170 @@
+//! The generators: SplitMix64 (seed expansion) and xoshiro256++ (the
+//! workspace default, [`crate::rngs::StdRng`]).
+//!
+//! Both algorithms are from Blackman & Vigna, "Scrambled linear
+//! pseudorandom number generators" (ACM TOMS 2021); the reference C
+//! implementations are public domain. xoshiro256++ passes BigCrush and
+//! PractRand, has a 2²⁵⁶−1 period, and is one rotate/add faster than a
+//! cryptographic generator — the right trade for Monte-Carlo device
+//! variation sweeps where throughput matters and adversarial prediction
+//! does not.
+//!
+//! **Stability contract:** the output streams below are pinned by
+//! reference-vector tests and must never change (experiment baselines and
+//! the determinism suite depend on them).
+
+use crate::{RngCore, SeedableRng};
+
+/// SplitMix64: a 64-bit state, fixed-increment generator.
+///
+/// Used to expand `u64` seeds into full xoshiro state (never leaving a
+/// xoshiro generator in the forbidden all-zero state: SplitMix64 visits
+/// every 64-bit value exactly once per period, so four consecutive outputs
+/// are never all zero), and directly by the property harness to derive
+/// per-case seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator whose stream is a function of `seed` only.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self::new(u64::from_le_bytes(seed))
+    }
+}
+
+/// xoshiro256++: 256 bits of state, the `++` output scrambler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // The all-zero state is a fixed point of the linear engine; it is
+        // unreachable through seed_from_u64 but a raw seed could request
+        // it. Redirect to a fixed full-entropy state instead of looping on
+        // zeros forever.
+        if s == [0; 4] {
+            let mut sm = SplitMix64::new(0x9E37_79B9_7F4A_7C15);
+            for word in &mut s {
+                *word = sm.next_u64();
+            }
+        }
+        Self { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vector from the public-domain C `splitmix64.c` seeded
+    /// with 1234567: pins the stream forever.
+    #[test]
+    fn splitmix64_matches_reference_vector() {
+        let mut sm = SplitMix64::new(1_234_567);
+        let expect: [u64; 5] = [
+            6_457_827_717_110_365_317,
+            3_203_168_211_198_807_973,
+            9_817_491_932_198_370_423,
+            4_593_380_528_125_082_431,
+            16_408_922_859_458_223_821,
+        ];
+        for e in expect {
+            assert_eq!(sm.next_u64(), e);
+        }
+    }
+
+    /// Reference vector from the public-domain C `xoshiro256plusplus.c`
+    /// with state seeded by splitmix64(1234567): pins the stream forever.
+    #[test]
+    fn xoshiro_matches_reference_vector() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1_234_567);
+        let expect: [u64; 5] = [
+            437_095_814_655_224_680,
+            8_127_161_015_984_454_572,
+            18_128_670_339_019_551_454,
+            254_746_599_813_523_466,
+            6_010_839_568_078_443_526,
+        ];
+        for e in expect {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_streams() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn clone_replays_the_stream() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(99);
+        let mut b = a.clone();
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn all_zero_raw_seed_is_redirected() {
+        let mut rng = Xoshiro256PlusPlus::from_seed([0u8; 32]);
+        // A zero-state xoshiro would emit only zeros; the redirect must not.
+        assert!((0..4).any(|_| rng.next_u64() != 0));
+    }
+
+    #[test]
+    fn output_is_roughly_uniform_in_high_bit() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let ones = (0..10_000).filter(|_| rng.next_u64() >> 63 == 1).count();
+        assert!((4_500..5_500).contains(&ones), "high-bit count {ones}");
+    }
+}

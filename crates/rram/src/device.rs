@@ -9,7 +9,7 @@ use std::fmt;
 
 use crate::params::{DeviceParams, QuantizationMode};
 use crate::variation::VariationModel;
-use rand::Rng;
+use prng::Rng;
 
 /// Error returned when a device cannot be programmed to a requested state.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -175,7 +175,9 @@ impl RramDevice {
     /// post-programming physics act on a cell. `restore` then models a
     /// refresh reprogramming cycle.
     pub fn drift_to(&mut self, g: f64) {
-        self.actual = self.params.clamp(if g.is_finite() { g } else { self.params.g_off });
+        self.actual = self
+            .params
+            .clamp(if g.is_finite() { g } else { self.params.g_off });
     }
 
     /// Ohmic read current `I = g·V` at read voltage `v`.
@@ -216,8 +218,8 @@ impl fmt::Display for RramDevice {
 mod tests {
     use super::*;
     use crate::variation::VariationModel;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use prng::rngs::StdRng;
+    use prng::SeedableRng;
 
     #[test]
     fn new_device_starts_fully_reset() {

@@ -166,8 +166,7 @@ impl FilamentModel {
         let dt_max = MAX_STATE_STEP / peak_rate;
         while remaining > 0.0 {
             let dt = remaining.min(dt_max);
-            let rate =
-                self.params.program_rate * (v / V0).sinh() * self.window().max(WINDOW_FLOOR);
+            let rate = self.params.program_rate * (v / V0).sinh() * self.window().max(WINDOW_FLOOR);
             self.state = (self.state + rate * dt).clamp(0.0, 1.0);
             remaining -= dt;
         }
@@ -207,7 +206,11 @@ impl FilamentModel {
             } else {
                 PulsePolarity::Reset
             };
-            self.apply_pulse(&ProgrammingPulse::new(pulse_amplitude, pulse_width, polarity));
+            self.apply_pulse(&ProgrammingPulse::new(
+                pulse_amplitude,
+                pulse_width,
+                polarity,
+            ));
         }
         max_pulses
     }
@@ -232,7 +235,10 @@ impl FilamentModel {
     #[must_use]
     pub fn iv_curve(&self, v_max: f64, points: usize) -> Vec<(f64, f64)> {
         assert!(points >= 2, "an I–V sweep needs at least two points");
-        assert!(v_max > 0.0 && v_max.is_finite(), "sweep range must be positive and finite");
+        assert!(
+            v_max > 0.0 && v_max.is_finite(),
+            "sweep range must be positive and finite"
+        );
         (0..points)
             .map(|i| {
                 let v = -v_max + 2.0 * v_max * i as f64 / (points - 1) as f64;
@@ -310,7 +316,11 @@ mod tests {
         let mut m = FilamentModel::with_conductance(p, 1e-4);
         let g0 = m.conductance();
         m.apply_pulses(&ProgrammingPulse::new(1.0, 1e-3, PulsePolarity::Set), 100);
-        assert_eq!(m.conductance(), g0, "read-level pulses must not disturb the cell");
+        assert_eq!(
+            m.conductance(),
+            g0,
+            "read-level pulses must not disturb the cell"
+        );
     }
 
     #[test]
@@ -362,7 +372,10 @@ mod tests {
         let m = FilamentModel::with_conductance(p, 1e-4);
         let i2 = m.current(2.0);
         let lin = m.conductance() * 2.0;
-        assert!(i2 > 1.5 * lin, "sinh conduction should exceed ohmic: {i2} vs {lin}");
+        assert!(
+            i2 > 1.5 * lin,
+            "sinh conduction should exceed ohmic: {i2} vs {lin}"
+        );
         // Odd symmetry.
         assert!((m.current(-2.0) + i2).abs() < 1e-12);
     }

@@ -112,7 +112,10 @@ impl DeviceParams {
     /// distinguishable states.
     #[must_use]
     pub fn hfox_quantized(levels: u32) -> Self {
-        assert!(levels >= 2, "an RRAM cell needs at least 2 levels, got {levels}");
+        assert!(
+            levels >= 2,
+            "an RRAM cell needs at least 2 levels, got {levels}"
+        );
         Self {
             quantization: QuantizationMode::Levels(levels),
             ..Self::hfox()

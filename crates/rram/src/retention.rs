@@ -37,8 +37,14 @@ impl RetentionModel {
     /// Panics if `tau` is not positive/finite or `nu` is negative/non-finite.
     #[must_use]
     pub fn new(tau: f64, nu: f64) -> Self {
-        assert!(tau > 0.0 && tau.is_finite(), "retention τ must be positive and finite");
-        assert!(nu >= 0.0 && nu.is_finite(), "drift exponent ν must be non-negative and finite");
+        assert!(
+            tau > 0.0 && tau.is_finite(),
+            "retention τ must be positive and finite"
+        );
+        assert!(
+            nu >= 0.0 && nu.is_finite(),
+            "drift exponent ν must be non-negative and finite"
+        );
         Self { tau, nu }
     }
 
@@ -56,7 +62,10 @@ impl RetentionModel {
     /// Panics if `seconds` is negative or non-finite.
     #[must_use]
     pub fn decay_factor(&self, seconds: f64) -> f64 {
-        assert!(seconds >= 0.0 && seconds.is_finite(), "bake time must be non-negative");
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "bake time must be non-negative"
+        );
         (1.0 + seconds / self.tau).powf(-self.nu)
     }
 

@@ -20,7 +20,7 @@
 use std::fmt;
 
 use crate::params::DeviceParams;
-use rand::Rng;
+use prng::Rng;
 
 /// Sample one multiplicative lognormal factor `exp(σ·z)`, `z ~ N(0,1)`.
 ///
@@ -28,7 +28,7 @@ use rand::Rng;
 /// 1, so the *typical* device is unbiased; the mean is `exp(σ²/2) > 1`,
 /// matching the heavy upper tail of measured RRAM conductance spreads.
 ///
-/// A Box–Muller transform is used so that only `rand`'s uniform sampling is
+/// A Box–Muller transform is used so that only `prng`'s uniform sampling is
 /// required (no external distribution crates).
 pub fn lognormal_factor<R: Rng + ?Sized>(sigma: f64, rng: &mut R) -> f64 {
     if sigma == 0.0 {
@@ -264,8 +264,8 @@ impl fmt::Display for VariationModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use prng::rngs::StdRng;
+    use prng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)
@@ -344,8 +344,8 @@ mod tests {
     #[test]
     fn stuck_on_fault_with_probability_one_pins_to_g_on() {
         let p = DeviceParams::ideal();
-        let m = VariationModel::new()
-            .with_stuck_fault(StuckFault::new(1.0, StuckFaultKind::StuckOn));
+        let m =
+            VariationModel::new().with_stuck_fault(StuckFault::new(1.0, StuckFaultKind::StuckOn));
         let mut r = rng();
         assert_eq!(m.apply(p.g_off, &p, &mut r), p.g_on);
     }
@@ -353,8 +353,8 @@ mod tests {
     #[test]
     fn stuck_off_fault_with_probability_one_pins_to_g_off() {
         let p = DeviceParams::ideal();
-        let m = VariationModel::new()
-            .with_stuck_fault(StuckFault::new(1.0, StuckFaultKind::StuckOff));
+        let m =
+            VariationModel::new().with_stuck_fault(StuckFault::new(1.0, StuckFaultKind::StuckOff));
         let mut r = rng();
         assert_eq!(m.apply(p.g_on, &p, &mut r), p.g_off);
     }
@@ -362,8 +362,8 @@ mod tests {
     #[test]
     fn stuck_fault_rate_matches_probability() {
         let p = DeviceParams::ideal();
-        let m = VariationModel::new()
-            .with_stuck_fault(StuckFault::new(0.25, StuckFaultKind::StuckOff));
+        let m =
+            VariationModel::new().with_stuck_fault(StuckFault::new(0.25, StuckFaultKind::StuckOff));
         let mut r = rng();
         let g_mid = 5e-4;
         let stuck = (0..20_000)

@@ -1,83 +1,106 @@
-//! Property-based tests for the RRAM device substrate.
+//! Property-based tests for the RRAM device substrate, on the in-repo
+//! deterministic harness (`prng::prop`).
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use prng::prop::Gen;
+use prng::prop_check;
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 use rram::{
     DeviceParams, FilamentModel, ProgrammingPulse, PulsePolarity, QuantizationMode, RramDevice,
     VariationModel,
 };
 
-fn arb_params() -> impl Strategy<Value = DeviceParams> {
-    (1e-7f64..1e-5, 10.0f64..1000.0, prop_oneof![
-        Just(QuantizationMode::Continuous),
-        (2u32..64).prop_map(QuantizationMode::Levels),
-    ])
-        .prop_map(|(g_off, ratio, quantization)| DeviceParams {
-            g_off,
-            g_on: g_off * ratio,
-            quantization,
-            ..DeviceParams::ideal()
-        })
+fn arb_params(g: &mut Gen) -> DeviceParams {
+    let g_off = g.f64_in(1e-7, 1e-5);
+    let ratio = g.f64_in(10.0, 1000.0);
+    let quantization = if g.bool_any() {
+        QuantizationMode::Continuous
+    } else {
+        QuantizationMode::Levels(g.rng().gen_range(2u32..64))
+    };
+    DeviceParams {
+        g_off,
+        g_on: g_off * ratio,
+        quantization,
+        ..DeviceParams::ideal()
+    }
 }
 
-proptest! {
-    #[test]
-    fn quantize_is_idempotent(p in arb_params(), g in 0f64..1e-2) {
-        let q = p.quantize(g);
-        prop_assert!((p.quantize(q) - q).abs() <= 1e-12 * q.abs().max(1e-18));
-    }
+#[test]
+fn quantize_is_idempotent() {
+    prop_check!(|g| {
+        let p = arb_params(g);
+        let c = g.f64_in(0.0, 1e-2);
+        let q = p.quantize(c);
+        assert!((p.quantize(q) - q).abs() <= 1e-12 * q.abs().max(1e-18));
+    });
+}
 
-    #[test]
-    fn quantize_stays_in_window(p in arb_params(), g in -1e-2f64..1e-2) {
-        let q = p.quantize(g);
-        prop_assert!(q >= p.g_off && q <= p.g_on);
-    }
+#[test]
+fn quantize_stays_in_window() {
+    prop_check!(|g| {
+        let p = arb_params(g);
+        let c = g.f64_in(-1e-2, 1e-2);
+        let q = p.quantize(c);
+        assert!(q >= p.g_off && q <= p.g_on);
+    });
+}
 
-    #[test]
-    fn program_clamped_always_lands_in_window(p in arb_params(), g in -1.0f64..1.0) {
+#[test]
+fn program_clamped_always_lands_in_window() {
+    prop_check!(|g| {
+        let p = arb_params(g);
+        let c = g.f64_in(-1.0, 1.0);
         let mut d = RramDevice::new(p);
-        d.program_clamped(g);
-        prop_assert!(d.conductance() >= p.g_off && d.conductance() <= p.g_on);
-    }
+        d.program_clamped(c);
+        assert!(d.conductance() >= p.g_off && d.conductance() <= p.g_on);
+    });
+}
 
-    #[test]
-    fn variation_preserves_window(
-        p in arb_params(),
-        sigma in 0f64..2.0,
-        frac in 0f64..1.0,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn variation_preserves_window() {
+    prop_check!(|g| {
+        let p = arb_params(g);
+        let sigma = g.f64_in(0.0, 2.0);
+        let frac = g.f64_in(0.0, 1.0);
+        let seed = g.u64_any();
         let mut d = RramDevice::new(p);
         d.program_clamped(p.g_off + frac * p.range());
         let mut rng = StdRng::seed_from_u64(seed);
         d.disturb(&VariationModel::process_variation(sigma), &mut rng);
-        prop_assert!(d.conductance() >= p.g_off && d.conductance() <= p.g_on);
-    }
+        assert!(d.conductance() >= p.g_off && d.conductance() <= p.g_on);
+    });
+}
 
-    #[test]
-    fn filament_state_bounded_under_arbitrary_pulse_trains(
-        amps in prop::collection::vec(1.3f64..3.0, 1..30),
-        set_mask in prop::collection::vec(any::<bool>(), 1..30),
-    ) {
+#[test]
+fn filament_state_bounded_under_arbitrary_pulse_trains() {
+    prop_check!(|g| {
+        let amps = g.vec_f64_between(1.3, 3.0, 1, 30);
+        let mask_len = g.usize_in(1, 30);
+        let set_mask = g.vec_bool(mask_len);
         let mut m = FilamentModel::new(DeviceParams::hfox());
         for (a, is_set) in amps.iter().zip(set_mask.iter().cycle()) {
-            let pol = if *is_set { PulsePolarity::Set } else { PulsePolarity::Reset };
+            let pol = if *is_set {
+                PulsePolarity::Set
+            } else {
+                PulsePolarity::Reset
+            };
             m.apply_pulse(&ProgrammingPulse::new(*a, 1e-6, pol));
-            prop_assert!((0.0..=1.0).contains(&m.state()));
+            assert!((0.0..=1.0).contains(&m.state()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn program_verify_hits_tolerance_or_exhausts(
-        frac in 0.05f64..0.95,
-    ) {
+#[test]
+fn program_verify_hits_tolerance_or_exhausts() {
+    prop_check!(64, |g| {
+        let frac = g.f64_in(0.05, 0.95);
         let p = DeviceParams::hfox();
         let mut m = FilamentModel::new(p);
         let target = p.g_off + frac * p.range();
         let used = m.program_verify(target, 1.5, 1e-7, 0.02, 20_000);
         if used < 20_000 {
-            prop_assert!((m.conductance() - target).abs() <= 0.02 * p.range());
+            assert!((m.conductance() - target).abs() <= 0.02 * p.range());
         }
-    }
+    });
 }

@@ -4,7 +4,7 @@
 //! computing by fitting the calculation of `f(x) = exp(−x²)`", trained on
 //! 10 000 random samples in `(0, 1)` and tested on another 1 000.
 
-use rand::RngCore;
+use prng::RngCore;
 
 use crate::metrics::ErrorMetric;
 use crate::workload::Workload;
@@ -57,7 +57,7 @@ impl Workload for ExpFit {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> (Vec<f64>, Vec<f64>) {
-        let x = rand::Rng::gen::<f64>(rng);
+        let x = prng::Rng::gen::<f64>(rng);
         (vec![x], vec![Self::exact(x)])
     }
 }

@@ -10,7 +10,7 @@
 
 use std::f64::consts::TAU;
 
-use rand::RngCore;
+use prng::RngCore;
 
 use crate::metrics::ErrorMetric;
 use crate::workload::Workload;
@@ -80,7 +80,10 @@ pub fn twiddle(t: f64) -> Complex {
 /// Panics if the length is not a power of two (or is zero).
 pub fn fft_with_twiddle<F: FnMut(f64) -> Complex>(signal: &mut [Complex], mut twiddle_fn: F) {
     let n = signal.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
@@ -167,7 +170,7 @@ impl Workload for Fft {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> (Vec<f64>, Vec<f64>) {
-        let t = rand::Rng::gen::<f64>(rng);
+        let t = prng::Rng::gen::<f64>(rng);
         let target = Self::normalize(twiddle(t));
         (vec![t], target.to_vec())
     }
@@ -234,8 +237,9 @@ mod tests {
     #[test]
     fn parseval_energy_is_preserved() {
         let n = 32;
-        let signal: Vec<Complex> =
-            (0..n).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+        let signal: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), 0.0))
+            .collect();
         let time_energy: f64 = signal.iter().map(|c| c.abs() * c.abs()).sum();
         let mut spec = signal;
         fft(&mut spec);

@@ -7,9 +7,9 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use prng::rngs::StdRng;
+use prng::Rng;
+use prng::SeedableRng;
 
 /// A grayscale image with pixel intensities in `[0, 1]`, row-major.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,7 +28,11 @@ impl GrayImage {
     #[must_use]
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be nonzero");
-        Self { width, height, pixels: vec![0.0; width * height] }
+        Self {
+            width,
+            height,
+            pixels: vec![0.0; width * height],
+        }
     }
 
     /// Build an image from `f(x, y) → intensity` (values are clamped to
@@ -110,7 +114,10 @@ impl GrayImage {
     /// Panics if the coordinates are out of bounds.
     #[must_use]
     pub fn pixel(&self, x: usize, y: usize) -> f64 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[y * self.width + x]
     }
 
@@ -120,7 +127,10 @@ impl GrayImage {
     ///
     /// Panics if the coordinates are out of bounds.
     pub fn set_pixel(&mut self, x: usize, y: usize, value: f64) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[y * self.width + x] = value.clamp(0.0, 1.0);
     }
 
@@ -153,8 +163,7 @@ impl GrayImage {
         let mut b = [0.0; 64];
         for dy in 0..8 {
             for dx in 0..8 {
-                b[dy * 8 + dx] =
-                    self.pixel_clamped((bx * 8 + dx) as isize, (by * 8 + dy) as isize);
+                b[dy * 8 + dx] = self.pixel_clamped((bx * 8 + dx) as isize, (by * 8 + dy) as isize);
             }
         }
         b

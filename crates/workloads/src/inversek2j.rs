@@ -13,7 +13,7 @@
 
 use std::f64::consts::FRAC_PI_2;
 
-use rand::RngCore;
+use prng::RngCore;
 
 use crate::metrics::ErrorMetric;
 use crate::workload::Workload;
@@ -119,9 +119,9 @@ impl Workload for InverseK2j {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> (Vec<f64>, Vec<f64>) {
-        let theta1 = rand::Rng::gen::<f64>(rng) * FRAC_PI_2;
-        let theta2 =
-            THETA2_MARGIN + rand::Rng::gen::<f64>(rng) * (std::f64::consts::PI - 2.0 * THETA2_MARGIN);
+        let theta1 = prng::Rng::gen::<f64>(rng) * FRAC_PI_2;
+        let theta2 = THETA2_MARGIN
+            + prng::Rng::gen::<f64>(rng) * (std::f64::consts::PI - 2.0 * THETA2_MARGIN);
         let (x, y) = forward_kinematics(theta1, theta2);
         (
             Self::normalize_position(x, y).to_vec(),
@@ -133,8 +133,8 @@ impl Workload for InverseK2j {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use prng::rngs::StdRng;
+    use prng::SeedableRng;
 
     #[test]
     fn forward_known_poses() {
@@ -150,8 +150,8 @@ mod tests {
     fn inverse_round_trips_forward() {
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..200 {
-            let t1 = rand::Rng::gen::<f64>(&mut rng) * FRAC_PI_2;
-            let t2 = 0.1 + rand::Rng::gen::<f64>(&mut rng) * 2.8;
+            let t1 = prng::Rng::gen::<f64>(&mut rng) * FRAC_PI_2;
+            let t2 = 0.1 + prng::Rng::gen::<f64>(&mut rng) * 2.8;
             let (x, y) = forward_kinematics(t1, t2);
             let (s1, s2) = inverse_kinematics(x, y).expect("reachable");
             // The inverse may return the mirrored solution; verify by

@@ -13,7 +13,7 @@
 //! segment. (Exactly coplanar pairs have probability zero under the random
 //! sampler and are reported as non-intersecting.)
 
-use rand::RngCore;
+use prng::RngCore;
 
 use crate::metrics::ErrorMetric;
 use crate::workload::Workload;
@@ -102,8 +102,12 @@ pub fn segment_intersects_triangle(p: Vec3, q: Vec3, tri: &Triangle) -> bool {
 #[must_use]
 pub fn triangles_intersect(t1: &Triangle, t2: &Triangle) -> bool {
     let edges = |t: &Triangle| [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])];
-    edges(t1).iter().any(|&(p, q)| segment_intersects_triangle(p, q, t2))
-        || edges(t2).iter().any(|&(p, q)| segment_intersects_triangle(p, q, t1))
+    edges(t1)
+        .iter()
+        .any(|&(p, q)| segment_intersects_triangle(p, q, t2))
+        || edges(t2)
+            .iter()
+            .any(|&(p, q)| segment_intersects_triangle(p, q, t1))
 }
 
 /// An independent second implementation: Möller's interval-overlap test
@@ -237,7 +241,7 @@ impl Workload for Jmeint {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> (Vec<f64>, Vec<f64>) {
-        let mut gen = |lo: f64, hi: f64| lo + rand::Rng::gen::<f64>(rng) * (hi - lo);
+        let mut gen = |lo: f64, hi: f64| lo + prng::Rng::gen::<f64>(rng) * (hi - lo);
         // Shared neighbourhood: the first triangle's centre sits in the
         // middle of the unit cube, the second's is a small offset away, and
         // vertices scatter within ±SPREAD of their centre.
@@ -252,8 +256,7 @@ impl Workload for Jmeint {
             for vert in 0..3 {
                 let base = tri * 9 + vert * 3;
                 for axis in 0..3 {
-                    coords[base + axis] =
-                        (centre[axis] + gen(-SPREAD, SPREAD)).clamp(0.0, 1.0);
+                    coords[base + axis] = (centre[axis] + gen(-SPREAD, SPREAD)).clamp(0.0, 1.0);
                 }
             }
         }

@@ -7,7 +7,7 @@
 //! coefficients; the application error is the image diff after decoding the
 //! approximate coefficients back to pixels.
 
-use rand::RngCore;
+use prng::RngCore;
 
 use crate::image::GrayImage;
 use crate::metrics::ErrorMetric;
@@ -201,10 +201,10 @@ impl Workload for Jpeg {
         // Blocks come from photograph-scale synthetic scenes so their DCT
         // statistics (energy concentrated in low frequencies) match the
         // original benchmark's image traces.
-        let seed = rand::Rng::gen::<u64>(rng);
+        let seed = prng::Rng::gen::<u64>(rng);
         let img = GrayImage::synthetic(32, 32, seed);
-        let bx = rand::Rng::gen_range(rng, 0..4);
-        let by = rand::Rng::gen_range(rng, 0..4);
+        let bx = prng::Rng::gen_range(rng, 0..4);
+        let by = prng::Rng::gen_range(rng, 0..4);
         let block = img.block8x8(bx, by);
         (block.to_vec(), encode_block(&block).to_vec())
     }
@@ -244,8 +244,7 @@ mod tests {
     fn dct_is_orthonormal_energy_preserving() {
         let block = sample_block(2);
         let coeffs = dct2(&block);
-        let pix_energy: f64 =
-            block.iter().map(|p| ((p - 0.5) * 255.0).powi(2)).sum();
+        let pix_energy: f64 = block.iter().map(|p| ((p - 0.5) * 255.0).powi(2)).sum();
         let coef_energy: f64 = coeffs.iter().map(|c| c * c).sum();
         assert!((pix_energy - coef_energy).abs() < 1e-6 * pix_energy.max(1.0));
     }
@@ -276,8 +275,12 @@ mod tests {
         let mut block = [0.0; 64];
         block.copy_from_slice(img.pixels());
         let decoded = decode_block(&encode_block(&block));
-        let err: f64 =
-            decoded.iter().zip(&block).map(|(a, b)| (a - b).abs()).sum::<f64>() / 64.0;
+        let err: f64 = decoded
+            .iter()
+            .zip(&block)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 64.0;
         assert!(err < 0.03, "mean reconstruction error {err}");
     }
 
@@ -285,7 +288,11 @@ mod tests {
     fn compress_image_with_exact_encoder_is_faithful() {
         let img = GrayImage::synthetic(16, 16, 5);
         let out = compress_image(&img, encode_block);
-        assert!(img.mean_abs_diff(&out) < 0.05, "diff {}", img.mean_abs_diff(&out));
+        assert!(
+            img.mean_abs_diff(&out) < 0.05,
+            "diff {}",
+            img.mean_abs_diff(&out)
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! segmented with exact distances and one segmented with approximate
 //! distances.
 
-use rand::RngCore;
+use prng::RngCore;
 
 use crate::image::GrayImage;
 use crate::metrics::ErrorMetric;
@@ -154,7 +154,14 @@ impl KMeans {
     /// Pack a pixel/centroid pair into the 6-element network input.
     #[must_use]
     pub fn pack(pixel: &Rgb, centroid: &Rgb) -> [f64; 6] {
-        [pixel[0], pixel[1], pixel[2], centroid[0], centroid[1], centroid[2]]
+        [
+            pixel[0],
+            pixel[1],
+            pixel[2],
+            centroid[0],
+            centroid[1],
+            centroid[2],
+        ]
     }
 }
 
@@ -184,7 +191,7 @@ impl Workload for KMeans {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> (Vec<f64>, Vec<f64>) {
-        let mut gen = || rand::Rng::gen::<f64>(rng);
+        let mut gen = || prng::Rng::gen::<f64>(rng);
         let pixel: Rgb = [gen(), gen(), gen()];
         let centroid: Rgb = if gen() < NEAR_FRACTION {
             let mut c = [0.0; 3];

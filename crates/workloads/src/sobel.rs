@@ -5,7 +5,7 @@
 //! 9 inputs, 1 output. The application error is the image diff between an
 //! exact edge map and one produced by the approximate kernel.
 
-use rand::RngCore;
+use prng::RngCore;
 
 use crate::image::GrayImage;
 use crate::metrics::ErrorMetric;
@@ -98,10 +98,10 @@ impl Workload for Sobel {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> (Vec<f64>, Vec<f64>) {
-        let seed = rand::Rng::gen::<u64>(rng);
+        let seed = prng::Rng::gen::<u64>(rng);
         let img = GrayImage::synthetic(CANVAS, CANVAS, seed);
-        let x = 1 + rand::Rng::gen_range(rng, 0..CANVAS - 2);
-        let y = 1 + rand::Rng::gen_range(rng, 0..CANVAS - 2);
+        let x = 1 + prng::Rng::gen_range(rng, 0..CANVAS - 2);
+        let y = 1 + prng::Rng::gen_range(rng, 0..CANVAS - 2);
         let window = img.window3x3(x, y);
         (window.to_vec(), vec![sobel_window(&window)])
     }

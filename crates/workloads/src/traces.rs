@@ -75,7 +75,11 @@ pub fn jpeg_trace(image: &GrayImage) -> Result<Dataset, DatasetError> {
 /// # Panics
 ///
 /// Panics if `k` is zero.
-pub fn kmeans_trace(image: &GrayImage, k: usize, iterations: usize) -> Result<Dataset, DatasetError> {
+pub fn kmeans_trace(
+    image: &GrayImage,
+    k: usize,
+    iterations: usize,
+) -> Result<Dataset, DatasetError> {
     assert!(k > 0, "need at least one cluster");
     let pixels: Vec<Rgb> = image.pixels().iter().map(|&p| [p, p, p]).collect();
     let centroids: Vec<Rgb> = (0..k)
@@ -162,9 +166,15 @@ pub fn jmeint_trace(frames: usize) -> Result<Dataset, DatasetError> {
         let cy = 0.3 + 0.15 * ((i / 2) % 2) as f64;
         let cz = 0.5;
         [
-            cx - s, cy - s, cz, //
-            cx + s, cy - s, cz + s * (1.0 + i as f64 * 0.3), //
-            cx, cy + s, cz - s,
+            cx - s,
+            cy - s,
+            cz, //
+            cx + s,
+            cy - s,
+            cz + s * (1.0 + i as f64 * 0.3), //
+            cx,
+            cy + s,
+            cz - s,
         ]
     };
     let mut inputs = Vec::new();
@@ -235,8 +245,9 @@ mod tests {
 
     #[test]
     fn fft_trace_has_per_butterfly_queries() {
-        let signal: Vec<Complex> =
-            (0..16).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+        let signal: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).sin(), 0.0))
+            .collect();
         let t = fft_trace(&signal).unwrap();
         // Radix-2 on N=16: N/2·log2(N) = 32 twiddle queries.
         assert_eq!(t.len(), 32);
@@ -276,6 +287,10 @@ mod tests {
             ..TrainConfig::default()
         })
         .train(&mut net, &trace);
-        assert!(report.final_loss < 0.05, "trace-trained loss {}", report.final_loss);
+        assert!(
+            report.final_loss < 0.05,
+            "trace-trained loss {}",
+            report.final_loss
+        );
     }
 }

@@ -1,8 +1,8 @@
 //! The common interface every benchmark implements.
 
 use neural::{Dataset, DatasetError};
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{RngCore, SeedableRng};
 
 use crate::metrics::ErrorMetric;
 
@@ -76,7 +76,10 @@ mod tests {
     #[test]
     fn suite_has_six_benchmarks_in_table1_order() {
         let names: Vec<&str> = all_benchmarks().iter().map(|w| w.name()).collect();
-        assert_eq!(names, vec!["fft", "inversek2j", "jmeint", "jpeg", "kmeans", "sobel"]);
+        assert_eq!(
+            names,
+            vec!["fft", "inversek2j", "jmeint", "jpeg", "kmeans", "sobel"]
+        );
     }
 
     #[test]

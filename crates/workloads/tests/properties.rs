@@ -1,6 +1,7 @@
-//! Property-based tests for the benchmark kernels.
+//! Property-based tests for the benchmark kernels, on the in-repo
+//! deterministic harness (`prng::prop`).
 
-use proptest::prelude::*;
+use prng::prop_check;
 use workloads::fft::{fft, twiddle, Complex};
 use workloads::inversek2j::{forward_kinematics, inverse_kinematics};
 use workloads::jmeint::{triangles_intersect, Jmeint, Vec3};
@@ -8,54 +9,57 @@ use workloads::jpeg::{dct2, denormalize_quantized, idct2, normalize_quantized, q
 use workloads::kmeans::{normalized_distance, Rgb};
 use workloads::sobel::sobel_window;
 
-proptest! {
-    /// FFT is linear: FFT(a·x) = a·FFT(x).
-    #[test]
-    fn fft_is_homogeneous(
-        res in prop::collection::vec(-1.0f64..1.0, 8),
-        scale in -2.0f64..2.0,
-    ) {
+/// FFT is linear: FFT(a·x) = a·FFT(x).
+#[test]
+fn fft_is_homogeneous() {
+    prop_check!(|g| {
+        let res = g.vec_f64(-1.0, 1.0, 8);
+        let scale = g.f64_in(-2.0, 2.0);
         let mut x: Vec<Complex> = res.iter().map(|&r| Complex::new(r, 0.0)).collect();
-        let mut sx: Vec<Complex> =
-            res.iter().map(|&r| Complex::new(r * scale, 0.0)).collect();
+        let mut sx: Vec<Complex> = res.iter().map(|&r| Complex::new(r * scale, 0.0)).collect();
         fft(&mut x);
         fft(&mut sx);
         for (a, b) in x.iter().zip(&sx) {
-            prop_assert!((a.re * scale - b.re).abs() < 1e-9);
-            prop_assert!((a.im * scale - b.im).abs() < 1e-9);
+            assert!((a.re * scale - b.re).abs() < 1e-9);
+            assert!((a.im * scale - b.im).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    /// Twiddle factors lie on the unit circle for any angle.
-    #[test]
-    fn twiddles_have_unit_magnitude(t in 0.0f64..1.0) {
-        prop_assert!((twiddle(t).abs() - 1.0).abs() < 1e-12);
-    }
+/// Twiddle factors lie on the unit circle for any angle.
+#[test]
+fn twiddles_have_unit_magnitude() {
+    prop_check!(|g| {
+        let t = g.f64_in(0.0, 1.0);
+        assert!((twiddle(t).abs() - 1.0).abs() < 1e-12);
+    });
+}
 
-    /// Forward kinematics of any valid joint pair lands inside the reach
-    /// disk, and the inverse reproduces the position.
-    #[test]
-    fn kinematics_roundtrip(
-        t1 in 0.0f64..std::f64::consts::FRAC_PI_2,
-        t2 in 0.05f64..3.0,
-    ) {
+/// Forward kinematics of any valid joint pair lands inside the reach
+/// disk, and the inverse reproduces the position.
+#[test]
+fn kinematics_roundtrip() {
+    prop_check!(|g| {
+        let t1 = g.f64_in(0.0, std::f64::consts::FRAC_PI_2);
+        let t2 = g.f64_in(0.05, 3.0);
         let (x, y) = forward_kinematics(t1, t2);
-        prop_assert!(x * x + y * y <= 1.0 + 1e-12);
+        assert!(x * x + y * y <= 1.0 + 1e-12);
         let (s1, s2) = inverse_kinematics(x, y).expect("reachable");
         let (x2, y2) = forward_kinematics(s1, s2);
-        prop_assert!((x - x2).abs() < 1e-9 && (y - y2).abs() < 1e-9);
-    }
+        assert!((x - x2).abs() < 1e-9 && (y - y2).abs() < 1e-9);
+    });
+}
 
-    /// Triangle intersection is symmetric and invariant under common
-    /// translation of both triangles.
-    #[test]
-    fn triangle_test_invariances(
-        coords in prop::collection::vec(0.0f64..1.0, 18),
-        shift in prop::collection::vec(-0.5f64..0.5, 3),
-    ) {
+/// Triangle intersection is symmetric and invariant under common
+/// translation of both triangles.
+#[test]
+fn triangle_test_invariances() {
+    prop_check!(|g| {
+        let coords = g.vec_f64(0.0, 1.0, 18);
+        let shift = g.vec_f64(-0.5, 0.5, 3);
         let (t1, t2) = Jmeint::decode(&coords);
         let hit = triangles_intersect(&t1, &t2);
-        prop_assert_eq!(hit, triangles_intersect(&t2, &t1));
+        assert_eq!(hit, triangles_intersect(&t2, &t1));
         let mv = |t: &[Vec3; 3]| -> [Vec3; 3] {
             [
                 Vec3::new(t[0].x + shift[0], t[0].y + shift[1], t[0].z + shift[2]),
@@ -63,54 +67,60 @@ proptest! {
                 Vec3::new(t[2].x + shift[0], t[2].y + shift[1], t[2].z + shift[2]),
             ]
         };
-        prop_assert_eq!(hit, triangles_intersect(&mv(&t1), &mv(&t2)));
-    }
+        assert_eq!(hit, triangles_intersect(&mv(&t1), &mv(&t2)));
+    });
+}
 
-    /// DCT-II round-trips through its inverse for any pixel block.
-    #[test]
-    fn dct_roundtrip(pixels in prop::collection::vec(0.0f64..1.0, 64)) {
+/// DCT-II round-trips through its inverse for any pixel block.
+#[test]
+fn dct_roundtrip() {
+    prop_check!(|g| {
+        let pixels = g.vec_f64(0.0, 1.0, 64);
         let mut block = [0.0; 64];
         block.copy_from_slice(&pixels);
         let back = idct2(&dct2(&block));
         for (a, b) in back.iter().zip(&block) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    /// Quantized-coefficient normalization round-trips exactly.
-    #[test]
-    fn quantized_normalization_roundtrip(pixels in prop::collection::vec(0.0f64..1.0, 64)) {
+/// Quantized-coefficient normalization round-trips exactly.
+#[test]
+fn quantized_normalization_roundtrip() {
+    prop_check!(|g| {
+        let pixels = g.vec_f64(0.0, 1.0, 64);
         let mut block = [0.0; 64];
         block.copy_from_slice(&pixels);
         let q = quantize(&dct2(&block));
-        prop_assert_eq!(denormalize_quantized(&normalize_quantized(&q)), q);
-    }
+        assert_eq!(denormalize_quantized(&normalize_quantized(&q)), q);
+    });
+}
 
-    /// The K-means distance is a metric on the colour cube: symmetric,
-    /// zero iff equal, triangle inequality.
-    #[test]
-    fn colour_distance_is_a_metric(
-        a in prop::collection::vec(0.0f64..1.0, 3),
-        b in prop::collection::vec(0.0f64..1.0, 3),
-        c in prop::collection::vec(0.0f64..1.0, 3),
-    ) {
+/// The K-means distance is a metric on the colour cube: symmetric,
+/// zero iff equal, triangle inequality.
+#[test]
+fn colour_distance_is_a_metric() {
+    prop_check!(|g| {
+        let a = g.vec_f64(0.0, 1.0, 3);
+        let b = g.vec_f64(0.0, 1.0, 3);
+        let c = g.vec_f64(0.0, 1.0, 3);
         let (a, b, c): (Rgb, Rgb, Rgb) =
             ([a[0], a[1], a[2]], [b[0], b[1], b[2]], [c[0], c[1], c[2]]);
         let dab = normalized_distance(&a, &b);
-        prop_assert!((dab - normalized_distance(&b, &a)).abs() < 1e-15);
-        prop_assert!((0.0..=1.0).contains(&dab));
-        prop_assert!(
-            dab <= normalized_distance(&a, &c) + normalized_distance(&c, &b) + 1e-12
-        );
-    }
+        assert!((dab - normalized_distance(&b, &a)).abs() < 1e-15);
+        assert!((0.0..=1.0).contains(&dab));
+        assert!(dab <= normalized_distance(&a, &c) + normalized_distance(&c, &b) + 1e-12);
+    });
+}
 
-    /// The Sobel response is invariant to adding a constant to the window
-    /// (gradients see differences only) and bounded in [0, 1].
-    #[test]
-    fn sobel_shift_invariance(
-        win in prop::collection::vec(0.0f64..0.5, 9),
-        offset in 0.0f64..0.5,
-    ) {
+/// The Sobel response is invariant to adding a constant to the window
+/// (gradients see differences only) and bounded in [0, 1].
+#[test]
+fn sobel_shift_invariance() {
+    prop_check!(|g| {
+        let win = g.vec_f64(0.0, 0.5, 9);
+        let offset = g.f64_in(0.0, 0.5);
         let mut w = [0.0; 9];
         w.copy_from_slice(&win);
         let mut shifted = w;
@@ -119,7 +129,7 @@ proptest! {
         }
         let a = sobel_window(&w);
         let b = sobel_window(&shifted);
-        prop_assert!((a - b).abs() < 1e-9);
-        prop_assert!((0.0..=1.0).contains(&a));
-    }
+        assert!((a - b).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&a));
+    });
 }

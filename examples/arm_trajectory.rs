@@ -13,8 +13,8 @@
 use crossbar::SignalFluctuation;
 use mei::{AddaConfig, AddaRcs, MeiConfig, MeiRcs};
 use neural::TrainConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use prng::rngs::StdRng;
+use prng::SeedableRng;
 use workloads::inversek2j::{forward_kinematics, InverseK2j};
 use workloads::traces::inversek2j_trace;
 
@@ -36,7 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             in_bits: 8,
             out_bits: 8,
             hidden: 32,
-            train: TrainConfig { epochs: 150, learning_rate: 0.5, lr_decay: 0.995, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 150,
+                learning_rate: 0.5,
+                lr_decay: 0.995,
+                ..TrainConfig::default()
+            },
             ..MeiConfig::default()
         },
     )?;
@@ -51,7 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &train,
         &AddaConfig {
             hidden: 8,
-            train: TrainConfig { epochs: 150, learning_rate: 0.8, lr_decay: 0.995, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 150,
+                learning_rate: 0.8,
+                lr_decay: 0.995,
+                ..TrainConfig::default()
+            },
             ..AddaConfig::default()
         },
     )?;
@@ -89,7 +99,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         worst,
         adda_total / steps as f64
     );
-    println!("every MEI angle came out of the crossbar as an 8-bit binary word — no DACs, no ADCs.");
+    println!(
+        "every MEI angle came out of the crossbar as an 8-bit binary word — no DACs, no ADCs."
+    );
 
     // The flip the paper predicts: under signal fluctuation the binary
     // interface holds up while the analog one falls apart (Fig 5).

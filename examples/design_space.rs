@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mei_base = MeiConfig {
         in_bits: 8,
         out_bits: 8,
-        train: TrainConfig { epochs: 120, learning_rate: 0.8, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 120,
+            learning_rate: 0.8,
+            ..TrainConfig::default()
+        },
         ..MeiConfig::default()
     };
     let dse_cfg = DseConfig {
@@ -45,7 +49,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 3,
     };
 
-    let result = explore(&train, &test, &adda, &mei_base, &dse_cfg, &CostModel::dac2015())?;
+    let result = explore(
+        &train,
+        &test,
+        &adda,
+        &mei_base,
+        &dse_cfg,
+        &CostModel::dac2015(),
+    )?;
 
     println!("decision log:");
     for line in &result.log {

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         in_bits: 8,
         out_bits: 8,
         hidden: 16,
-        train: TrainConfig { epochs: 150, learning_rate: 0.8, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 150,
+            learning_rate: 0.8,
+            ..TrainConfig::default()
+        },
         ..MeiConfig::default()
     };
     let rcs = MeiRcs::train(&train, &cfg)?;

@@ -48,9 +48,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         workloads::metrics::psnr(&[a.pixels().to_vec()], &[b.pixels().to_vec()])
     };
     println!("\nimage diff (PSNR) vs original:");
-    println!("  exact JPEG codec : {:.4} ({:.1} dB)", image.mean_abs_diff(&exact), psnr(&image, &exact));
-    println!("  MEI crossbar     : {:.4} ({:.1} dB)", image.mean_abs_diff(&approx), psnr(&image, &approx));
-    println!("  MEI vs exact     : {:.4} ({:.1} dB)", exact.mean_abs_diff(&approx), psnr(&exact, &approx));
+    println!(
+        "  exact JPEG codec : {:.4} ({:.1} dB)",
+        image.mean_abs_diff(&exact),
+        psnr(&image, &exact)
+    );
+    println!(
+        "  MEI crossbar     : {:.4} ({:.1} dB)",
+        image.mean_abs_diff(&approx),
+        psnr(&image, &approx)
+    );
+    println!(
+        "  MEI vs exact     : {:.4} ({:.1} dB)",
+        exact.mean_abs_diff(&approx),
+        psnr(&exact, &approx)
+    );
 
     for (name, img) in [
         ("jpeg_original.pgm", &image),

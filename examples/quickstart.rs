@@ -9,8 +9,8 @@
 use interface::cost::{AddaTopology, CostModel};
 use mei::{evaluate_mse, AddaConfig, AddaRcs, DigitalAnn, MeiConfig, MeiRcs};
 use neural::{Dataset, TrainConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
 
 fn expfit(n: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -40,7 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("digital ANN   1×8×1   : MSE {digital_mse:.6}");
 
     // 2. The traditional RCS with 8-bit AD/DAs.
-    let adda = AddaRcs::train(&train, &AddaConfig { hidden: 8, train: budget, ..AddaConfig::default() })?;
+    let adda = AddaRcs::train(
+        &train,
+        &AddaConfig {
+            hidden: 8,
+            train: budget,
+            ..AddaConfig::default()
+        },
+    )?;
     let adda_mse = evaluate_mse(&adda, &test);
     println!("AD/DA RCS     {} : MSE {adda_mse:.6}", adda.topology());
 
@@ -48,7 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Binary-coded targets make the loss landscape rugged, so initialization
     // matters more than for the analog baselines; Algorithm 2's hidden-size
     // search restarts cover this in the full DSE flow.
-    let mei_cfg = MeiConfig { hidden: 8, seed: 1, train: budget, ..MeiConfig::default() };
+    let mei_cfg = MeiConfig {
+        hidden: 8,
+        seed: 1,
+        train: budget,
+        ..MeiConfig::default()
+    };
     let mei = MeiRcs::train(&train, &mei_cfg)?;
     let mei_mse = evaluate_mse(&mei, &test);
     println!("MEI RCS       {} : MSE {mei_mse:.6}", mei.topology());
@@ -84,6 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. Spot-check a prediction end to end.
     let x = 0.5;
     let y = mei.infer(&[x])?;
-    println!("\nMEI(exp(-{x}²)) = {:.4}   (exact {:.4})", y[0], (-x * x).exp());
+    println!(
+        "\nMEI(exp(-{x}²)) = {:.4}   (exact {:.4})",
+        y[0],
+        (-x * x).exp()
+    );
     Ok(())
 }

@@ -20,7 +20,11 @@ fn dse_on_sobel_finds_a_cost_saving_design() {
         in_bits: 6,
         out_bits: 6,
         device: DeviceParams::hfox(),
-        train: TrainConfig { epochs: 60, learning_rate: 0.8, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 60,
+            learning_rate: 0.8,
+            ..TrainConfig::default()
+        },
         ..MeiConfig::default()
     };
     let cfg = DseConfig {
@@ -35,16 +39,27 @@ fn dse_on_sobel_finds_a_cost_saving_design() {
         prune: true,
         ..DseConfig::default()
     };
-    let result =
-        explore(&train, &test, &adda, &mei_base, &cfg, &CostModel::dac2015()).unwrap();
+    let result = explore(&train, &test, &adda, &mei_base, &cfg, &CostModel::dac2015()).unwrap();
 
-    assert!(result.feasible, "DSE should satisfy the requirements; log: {:?}", result.log);
+    assert!(
+        result.feasible,
+        "DSE should satisfy the requirements; log: {:?}",
+        result.log
+    );
     assert!(result.error <= cfg.max_error);
     assert!(result.noisy_error <= cfg.max_noisy_error);
     // The whole point: the selected design still costs less than the AD/DA
     // architecture it replaces.
-    assert!(result.area_saving > 0.0, "area saving {}", result.area_saving);
-    assert!(result.power_saving > 0.0, "power saving {}", result.power_saving);
+    assert!(
+        result.area_saving > 0.0,
+        "area saving {}",
+        result.area_saving
+    );
+    assert!(
+        result.power_saving > 0.0,
+        "power saving {}",
+        result.power_saving
+    );
     assert!(result.k_max >= 1);
     // The log narrates the search.
     assert!(result.log.iter().any(|l| l.contains("hidden search")));
@@ -62,7 +77,11 @@ fn dse_respects_the_ensemble_budget() {
         in_bits: 6,
         out_bits: 6,
         device: DeviceParams::hfox(),
-        train: TrainConfig { epochs: 40, learning_rate: 0.8, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 40,
+            learning_rate: 0.8,
+            ..TrainConfig::default()
+        },
         ..MeiConfig::default()
     };
     // Force the SAAB branch with an unreachable clean-error requirement but
@@ -77,8 +96,7 @@ fn dse_respects_the_ensemble_budget() {
         prune: false,
         ..DseConfig::default()
     };
-    let result =
-        explore(&train, &test, &adda, &mei_base, &cfg, &CostModel::dac2015()).unwrap();
+    let result = explore(&train, &test, &adda, &mei_base, &cfg, &CostModel::dac2015()).unwrap();
     assert!(!result.feasible);
     assert!(result.design.learner_count() <= result.k_max.max(1));
     assert!(result.log.iter().any(|l| l.contains("Mission Impossible")));

@@ -1,0 +1,110 @@
+//! Cross-run determinism: with every seed pinned, two *independent* runs —
+//! separate dataset construction, separate training, separate ensembles —
+//! must agree bit-for-bit.
+//!
+//! This is the contract the hermetic in-repo PRNG exists to provide: its
+//! output streams are frozen by reference-vector tests, so any identical
+//! seed reproduces the exact same trained system on any machine, forever.
+//! (Shortest-round-trip `{:?}` float formatting makes string equality of
+//! the serialized systems equivalent to bit equality of the weights.)
+
+use mei::{MeiConfig, MeiRcs, Saab, SaabConfig};
+use neural::{Dataset, MlpBuilder, TrainConfig, Trainer};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
+
+fn expfit(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::generate(n, &mut rng, |r| {
+        let x: f64 = r.gen();
+        (vec![x], vec![(-x * x).exp()])
+    })
+    .unwrap()
+}
+
+fn mei_config() -> MeiConfig {
+    MeiConfig {
+        in_bits: 6,
+        out_bits: 6,
+        hidden: 12,
+        seed: 99,
+        train: TrainConfig {
+            epochs: 40,
+            learning_rate: 0.8,
+            ..TrainConfig::default()
+        },
+        ..MeiConfig::default()
+    }
+}
+
+/// The per-epoch loss trajectory of MEI-style training is bit-identical
+/// across two runs that share nothing but seeds.
+#[test]
+fn training_trajectory_is_bit_identical_across_runs() {
+    let run = || {
+        let data = expfit(400, 21);
+        let mut net = MlpBuilder::new(&[1, 12, 1]).seed(99).build();
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 60,
+            learning_rate: 0.8,
+            ..TrainConfig::default()
+        });
+        let report = trainer.train(&mut net, &data);
+        (report.loss_history, net)
+    };
+    let (hist_a, net_a) = run();
+    let (hist_b, net_b) = run();
+    assert_eq!(hist_a.len(), hist_b.len());
+    for (e, (a, b)) in hist_a.iter().zip(&hist_b).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "loss diverged at epoch {e}: {a} vs {b}"
+        );
+    }
+    assert_eq!(net_a, net_b, "trained networks differ");
+}
+
+/// A full MEI RCS — encoder, trained network, analog mapping — serializes
+/// identically across two independent runs with the same seeds.
+#[test]
+fn mei_rcs_is_bit_identical_across_runs() {
+    let run = || {
+        let data = expfit(400, 22);
+        MeiRcs::train(&data, &mei_config()).unwrap().to_text()
+    };
+    assert_eq!(run(), run());
+}
+
+/// SAAB boosting — weighted resampling, noisy scoring, ensemble voting —
+/// reproduces the exact ensemble: same per-learner weights (α), same
+/// learner networks, same inference results.
+#[test]
+fn saab_ensemble_is_bit_identical_across_runs() {
+    let run = || {
+        let data = expfit(400, 23);
+        let saab = Saab::train(
+            &data,
+            &mei_config(),
+            &SaabConfig {
+                rounds: 3,
+                compare_bits: 4,
+                ..SaabConfig::default()
+            },
+        )
+        .unwrap();
+        let alphas: Vec<u64> = saab.alphas().iter().map(|a| a.to_bits()).collect();
+        let learners: Vec<String> = saab.learners().iter().map(|l| l.to_text()).collect();
+        let probe: Vec<u64> = [0.05, 0.35, 0.65, 0.95]
+            .iter()
+            .flat_map(|&x| saab.infer(&[x]).unwrap())
+            .map(f64::to_bits)
+            .collect();
+        (alphas, learners, probe)
+    };
+    let (alphas_a, learners_a, probe_a) = run();
+    let (alphas_b, learners_b, probe_b) = run();
+    assert_eq!(alphas_a, alphas_b, "ensemble weights differ");
+    assert_eq!(learners_a, learners_b, "learner networks differ");
+    assert_eq!(probe_a, probe_b, "ensemble inference differs");
+}

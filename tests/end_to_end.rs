@@ -8,7 +8,11 @@ use rram::DeviceParams;
 use workloads::{sobel::Sobel, Workload};
 
 fn budget() -> TrainConfig {
-    TrainConfig { epochs: 80, learning_rate: 0.8, ..TrainConfig::default() }
+    TrainConfig {
+        epochs: 80,
+        learning_rate: 0.8,
+        ..TrainConfig::default()
+    }
 }
 
 /// The experimental device: a continuous HfOx cell (write-accuracy noise is
@@ -27,12 +31,22 @@ fn sobel_three_architectures_have_paper_ordering() {
     let digital = DigitalAnn::train(&train, h, &budget(), 0).unwrap();
     let adda = AddaRcs::train(
         &train,
-        &AddaConfig { hidden: h, device: device(), train: budget(), ..AddaConfig::default() },
+        &AddaConfig {
+            hidden: h,
+            device: device(),
+            train: budget(),
+            ..AddaConfig::default()
+        },
     )
     .unwrap();
     let mei = MeiRcs::train(
         &train,
-        &MeiConfig { hidden: 2 * h, device: device(), train: budget(), ..MeiConfig::default() },
+        &MeiConfig {
+            hidden: 2 * h,
+            device: device(),
+            train: budget(),
+            ..MeiConfig::default()
+        },
     )
     .unwrap();
 
@@ -42,8 +56,14 @@ fn sobel_three_architectures_have_paper_ordering() {
 
     // The ideal float baseline is the best; the two RCS variants are
     // comparable to each other (within the paper's observed spread).
-    assert!(digital_mse <= adda_mse * 1.5 + 1e-6, "digital {digital_mse} vs adda {adda_mse}");
-    assert!(digital_mse <= mei_mse * 1.5 + 1e-6, "digital {digital_mse} vs mei {mei_mse}");
+    assert!(
+        digital_mse <= adda_mse * 1.5 + 1e-6,
+        "digital {digital_mse} vs adda {adda_mse}"
+    );
+    assert!(
+        digital_mse <= mei_mse * 1.5 + 1e-6,
+        "digital {digital_mse} vs mei {mei_mse}"
+    );
     assert!(
         mei_mse < 6.0 * adda_mse + 1e-4,
         "MEI must stay comparable: {mei_mse} vs {adda_mse}"
@@ -60,9 +80,18 @@ fn sobel_three_architectures_have_paper_ordering() {
     // The application metric is finite and small for all three.
     let metric = w.metric();
     for (name, err) in [
-        ("digital", evaluate_metric(&digital, &test, |p, t| metric.evaluate(p, t))),
-        ("adda", evaluate_metric(&adda, &test, |p, t| metric.evaluate(p, t))),
-        ("mei", evaluate_metric(&mei, &test, |p, t| metric.evaluate(p, t))),
+        (
+            "digital",
+            evaluate_metric(&digital, &test, |p, t| metric.evaluate(p, t)),
+        ),
+        (
+            "adda",
+            evaluate_metric(&adda, &test, |p, t| metric.evaluate(p, t)),
+        ),
+        (
+            "mei",
+            evaluate_metric(&mei, &test, |p, t| metric.evaluate(p, t)),
+        ),
     ] {
         assert!(err.is_finite() && err < 0.2, "{name} image diff {err}");
     }
@@ -114,5 +143,8 @@ fn jmeint_classification_beats_chance_through_the_full_stack() {
     .unwrap();
     let metric = w.metric();
     let miss = evaluate_metric(&mei, &test, |p, t| metric.evaluate(p, t));
-    assert!(miss < 0.45, "jmeint miss rate {miss} not better than chance");
+    assert!(
+        miss < 0.45,
+        "jmeint miss rate {miss} not better than chance"
+    );
 }

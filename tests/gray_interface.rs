@@ -12,7 +12,11 @@ fn config(coding: BitCoding) -> MeiConfig {
         out_bits: 6,
         hidden: 24,
         coding,
-        train: TrainConfig { epochs: 80, learning_rate: 0.8, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 80,
+            learning_rate: 0.8,
+            ..TrainConfig::default()
+        },
         ..MeiConfig::default()
     }
 }
@@ -47,7 +51,10 @@ fn gray_coding_survives_noise_and_persistence() {
         mse_scorer,
     )
     .mean;
-    assert!(noisy < clean * 5.0 + 0.01, "gray noisy {noisy} vs clean {clean}");
+    assert!(
+        noisy < clean * 5.0 + 0.01,
+        "gray noisy {noisy} vs clean {clean}"
+    );
 
     // Round-trips through the persistence format with identical behaviour.
     let reloaded = MeiRcs::from_text(&gray.to_text()).unwrap();

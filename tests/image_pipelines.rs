@@ -10,7 +10,11 @@ use workloads::sobel::{edge_map, filter_image, Sobel};
 use workloads::{GrayImage, Workload};
 
 fn budget() -> TrainConfig {
-    TrainConfig { epochs: 80, learning_rate: 0.8, ..TrainConfig::default() }
+    TrainConfig {
+        epochs: 80,
+        learning_rate: 0.8,
+        ..TrainConfig::default()
+    }
 }
 
 fn device() -> DeviceParams {

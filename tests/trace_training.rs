@@ -27,7 +27,11 @@ fn mei_trained_on_a_sobel_trace_generalizes_to_new_images() {
             in_bits: 6,
             out_bits: 6,
             hidden: 16,
-            train: TrainConfig { epochs: 60, learning_rate: 0.8, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 60,
+                learning_rate: 0.8,
+                ..TrainConfig::default()
+            },
             ..MeiConfig::default()
         },
     )
@@ -51,7 +55,11 @@ fn kmeans_trace_distances_train_an_accurate_mei() {
             in_bits: 6,
             out_bits: 6,
             hidden: 24,
-            train: TrainConfig { epochs: 50, learning_rate: 0.8, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 50,
+                learning_rate: 0.8,
+                ..TrainConfig::default()
+            },
             ..MeiConfig::default()
         },
     )
