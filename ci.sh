@@ -14,8 +14,8 @@ fi
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline --workspace
+echo "==> cargo test -q --offline (reduced property-test budget)"
+MEI_PROP_CASES=32 cargo test -q --offline --workspace
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -25,5 +25,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> benches compile"
 cargo build --offline -p mei-bench --benches
+
+echo "==> throughput bench smoke (1-second windows)"
+MEI_BENCH_FAST=1 MEI_BENCH_SECONDS=1 \
+    cargo run --release --offline -p mei-bench --bin throughput > /dev/null
 
 echo "CI gate passed."

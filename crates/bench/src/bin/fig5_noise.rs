@@ -16,18 +16,35 @@
 //!
 //! Run with: `cargo run --release -p mei-bench --bin fig5_noise`
 
-use mei::{mse_scorer, robustness, MeiConfig, MeiRcs, NonIdealFactors, Rcs, SaabConfig};
+use mei::{mse_scorer, robustness_par, MeiConfig, MeiRcs, NonIdealFactors, Rcs, SaabConfig};
 use mei_bench::{format_table, table1_setups, train_saab_adaptive, train_trio, ExperimentConfig};
+use neural::Dataset;
+use runtime::ThreadPool;
 
 const PV_LEVELS: [f64; 4] = [0.0, 0.1, 0.2, 0.4];
 const SF_LEVELS: [f64; 4] = [0.0, 0.05, 0.1, 0.2];
 const BENCHMARKS: [&str; 3] = ["inversek2j", "jpeg", "sobel"];
 
+/// Mean MC-robustness error of one system at one σ point, with the trials
+/// spread over the pool (bit-identical for every thread count).
+fn mc_mean<T: Rcs + Clone + Send + Sync>(
+    pool: &ThreadPool,
+    rcs: &T,
+    test: &Dataset,
+    factors: &NonIdealFactors,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    robustness_par(pool, rcs, test, factors, trials, seed, mse_scorer).mean
+}
+
 fn main() {
     let cfg = ExperimentConfig::from_env();
+    let pool = cfg.pool();
     println!(
-        "== Fig 5: error under noisy conditions ({} MC trials per point) ==\n",
-        cfg.noise_trials
+        "== Fig 5: error under noisy conditions ({} MC trials per point, {} threads) ==\n",
+        cfg.noise_trials,
+        pool.threads()
     );
 
     for setup in table1_setups() {
@@ -46,7 +63,7 @@ fn main() {
             .dataset(cfg.test_samples.min(400), cfg.seed + 1)
             .expect("test data");
 
-        let mut trio = train_trio(&setup, &train, &cfg);
+        let trio = train_trio(&setup, &train, &cfg);
 
         // SAAB trained with representative σ injected during scoring
         // (Algorithm 1 line 6), K = 3 learners.
@@ -59,19 +76,20 @@ fn main() {
             seed: cfg.seed,
             ..MeiConfig::default()
         };
-        let (mut saab, _bc) = train_saab_adaptive(
+        let (saab, _bc) = train_saab_adaptive(
             &train,
             &mei_cfg,
             &SaabConfig {
                 rounds: 3,
                 compare_bits: setup.mei_out_bits.clamp(1, 5),
                 factors: NonIdealFactors::new(0.1, 0.05),
+                threads: cfg.threads,
                 ..SaabConfig::default()
             },
         );
 
         // The increasing-hidden-layer alternative: 3× hidden nodes.
-        let mut wide = MeiRcs::train(
+        let wide = MeiRcs::train(
             &train,
             &MeiConfig {
                 hidden: 3 * setup.mei_hidden,
@@ -95,18 +113,27 @@ fn main() {
             let mut rows = Vec::new();
             for &sigma in &levels {
                 let factors = make(sigma);
-                let eval = |rcs: &mut dyn Rcs| {
-                    format!(
-                        "{:.5}",
-                        robustness(rcs, &test, &factors, cfg.noise_trials, 31, mse_scorer).mean
-                    )
-                };
+                let cell = |mean: f64| format!("{mean:.5}");
                 rows.push(vec![
                     format!("{sigma:.2}"),
-                    eval(&mut trio.adda),
-                    eval(&mut trio.mei),
-                    eval(&mut saab),
-                    eval(&mut wide),
+                    cell(mc_mean(
+                        &pool,
+                        &trio.adda,
+                        &test,
+                        &factors,
+                        cfg.noise_trials,
+                        31,
+                    )),
+                    cell(mc_mean(
+                        &pool,
+                        &trio.mei,
+                        &test,
+                        &factors,
+                        cfg.noise_trials,
+                        31,
+                    )),
+                    cell(mc_mean(&pool, &saab, &test, &factors, cfg.noise_trials, 31)),
+                    cell(mc_mean(&pool, &wide, &test, &factors, cfg.noise_trials, 31)),
                 ]);
             }
             println!("--- {} | {} sweep ---", w.name(), factor_name);
@@ -119,28 +146,11 @@ fn main() {
         // Shape check: at the strongest SF level, MEI's *relative*
         // degradation is below the AD/DA architecture's.
         let sf = NonIdealFactors::signal_only(SF_LEVELS[3]);
-        let base_adda = robustness(
-            &mut trio.adda,
-            &test,
-            &NonIdealFactors::ideal(),
-            1,
-            0,
-            mse_scorer,
-        )
-        .mean;
-        let base_mei = robustness(
-            &mut trio.mei,
-            &test,
-            &NonIdealFactors::ideal(),
-            1,
-            0,
-            mse_scorer,
-        )
-        .mean;
-        let noisy_adda =
-            robustness(&mut trio.adda, &test, &sf, cfg.noise_trials, 33, mse_scorer).mean;
-        let noisy_mei =
-            robustness(&mut trio.mei, &test, &sf, cfg.noise_trials, 33, mse_scorer).mean;
+        let ideal = NonIdealFactors::ideal();
+        let base_adda = mc_mean(&pool, &trio.adda, &test, &ideal, 1, 0);
+        let base_mei = mc_mean(&pool, &trio.mei, &test, &ideal, 1, 0);
+        let noisy_adda = mc_mean(&pool, &trio.adda, &test, &sf, cfg.noise_trials, 33);
+        let noisy_mei = mc_mean(&pool, &trio.mei, &test, &sf, cfg.noise_trials, 33);
         let adda_deg = noisy_adda - base_adda;
         let mei_deg = noisy_mei - base_mei;
         println!(

@@ -11,7 +11,7 @@ use interface::cost::{AddaTopology, CostModel};
 use mei::prune::prune_to_requirement;
 use mei::{evaluate_metric, evaluate_mse};
 use mei_bench::{
-    format_table, mean_over_write_draws, pct, table1_setups, train_trio, ExperimentConfig,
+    format_table, mean_over_write_draws_par, pct, table1_setups, train_trio, ExperimentConfig,
 };
 
 /// The paper's Table 1 reference values: (mse_digital, mse_adda, mse_mei,
@@ -57,10 +57,14 @@ const PAPER: [(&str, [f64; 8]); 6] = [
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
+    let pool = cfg.pool();
     let cost = CostModel::dac2015();
     println!(
-        "== Table 1: six benchmarks, {} train / {} test samples, {} write draws ==\n",
-        cfg.train_samples, cfg.test_samples, cfg.write_draws
+        "== Table 1: six benchmarks, {} train / {} test samples, {} write draws, {} threads ==\n",
+        cfg.train_samples,
+        cfg.test_samples,
+        cfg.write_draws,
+        pool.threads()
     );
 
     let mut rows = Vec::new();
@@ -80,7 +84,7 @@ fn main() {
             .dataset(cfg.test_samples, cfg.seed + 1)
             .expect("test data");
 
-        let mut trio = train_trio(setup, &train, &cfg);
+        let trio = train_trio(setup, &train, &cfg);
         let metric = w.metric();
 
         // LSB pruning within a 10% quality guarantee relative to the clean
@@ -93,16 +97,16 @@ fn main() {
         // Digital is noise-free; the two RCSs average over write draws.
         let mse_digital = evaluate_mse(&trio.digital, &test);
         let err_digital = evaluate_metric(&trio.digital, &test, |p, t| metric.evaluate(p, t));
-        let mse_adda = mean_over_write_draws(&mut trio.adda, cfg.write_draws, 11, |r| {
+        let mse_adda = mean_over_write_draws_par(&pool, &trio.adda, cfg.write_draws, 11, |r| {
             evaluate_mse(r, &test)
         });
-        let err_adda = mean_over_write_draws(&mut trio.adda, cfg.write_draws, 11, |r| {
+        let err_adda = mean_over_write_draws_par(&pool, &trio.adda, cfg.write_draws, 11, |r| {
             evaluate_metric(r, &test, |p, t| metric.evaluate(p, t))
         });
-        let mse_mei = mean_over_write_draws(&mut trio.mei, cfg.write_draws, 13, |r| {
+        let mse_mei = mean_over_write_draws_par(&pool, &trio.mei, cfg.write_draws, 13, |r| {
             evaluate_mse(r, &test)
         });
-        let err_mei = mean_over_write_draws(&mut trio.mei, cfg.write_draws, 13, |r| {
+        let err_mei = mean_over_write_draws_par(&pool, &trio.mei, cfg.write_draws, 13, |r| {
             evaluate_metric(r, &test, |p, t| metric.evaluate(p, t))
         });
 

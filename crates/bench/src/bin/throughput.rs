@@ -1,0 +1,222 @@
+//! Serving-throughput benchmark: batched inference on a manufactured chip
+//! pool (`runtime::ChipPool`) at several pool sizes.
+//!
+//! The workload is the Table 1 **inversek2j** MEI system trained with a
+//! small budget. For each chip count in `{1, 2, 4, auto}` the benchmark
+//! runs two phases:
+//!
+//! 1. **closed** — saturating batches with no think time, measuring the
+//!    maximum sustainable requests/sec;
+//! 2. **open** — a Poisson-free open-loop load at ~70% of the measured
+//!    closed-phase rate (uniform arrival spacing), measuring p50/p99
+//!    latency *including queueing delay* and per-chip utilization.
+//!
+//! The human-readable table goes to stderr; the machine-diffable JSON
+//! report goes to stdout (and to `MEI_BENCH_JSON` when set). On a
+//! single-hardware-thread host the multi-chip speedup is reported, never
+//! asserted.
+//!
+//! Environment knobs:
+//!
+//! * `MEI_BENCH_SECONDS=<f>` — closed-phase measurement window per pool
+//!   size (default 2.0);
+//! * `MEI_BENCH_FAST=1` — smoke mode: ~0.2 s windows and a tiny training
+//!   budget;
+//! * `MEI_BENCH_JSON=<path>` — also write the JSON report to a file;
+//! * `MEI_THREADS` is *not* read here: the pool size under test is the
+//!   experiment variable.
+//!
+//! Run with: `cargo run --release -p mei-bench --bin throughput`
+
+use std::time::{Duration, Instant};
+
+use mei::{manufacture_chips, MeiConfig, MeiRcs};
+use mei_bench::{format_table, table1_setups, ExperimentConfig, EXPERIMENT_WRITE_SIGMA};
+use neural::TrainConfig;
+use runtime::{resolve_threads, ChipPool, Placement, ServeStats};
+
+/// One pool size's measurements.
+struct PoolResult {
+    chips: usize,
+    closed_rps: f64,
+    open: ServeStats,
+}
+
+impl PoolResult {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"chips\":{},\"closed_requests_per_sec\":{:.3},\"open\":{}}}",
+            self.chips,
+            self.closed_rps,
+            self.open.to_json()
+        )
+    }
+}
+
+fn measure_window() -> Duration {
+    let fast = std::env::var("MEI_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let default = if fast { 0.2 } else { 2.0 };
+    let secs = std::env::var("MEI_BENCH_SECONDS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(default);
+    Duration::from_secs_f64(secs.clamp(0.05, 60.0))
+}
+
+/// Closed phase: serve saturating batches until the window elapses.
+fn closed_phase(pool: &ChipPool<MeiRcs>, inputs: &[Vec<f64>], window: Duration) -> f64 {
+    let start = Instant::now();
+    let mut requests = 0usize;
+    while start.elapsed() < window {
+        let outcome = pool.serve(inputs, Placement::LeastLoaded);
+        requests += outcome.outputs.len();
+    }
+    requests as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Open phase: uniform arrivals at `rate` req/s for the window.
+fn open_phase(
+    pool: &ChipPool<MeiRcs>,
+    inputs: &[Vec<f64>],
+    rate: f64,
+    window: Duration,
+) -> ServeStats {
+    let spacing = Duration::from_secs_f64(1.0 / rate.max(1.0));
+    let n = ((window.as_secs_f64() * rate).ceil() as usize).max(1);
+    let requests: Vec<Vec<f64>> = (0..n).map(|i| inputs[i % inputs.len()].clone()).collect();
+    let arrivals: Vec<Duration> = (0..n).map(|i| spacing * i as u32).collect();
+    pool.serve_open_loop(&requests, &arrivals, Placement::LeastLoaded)
+        .stats
+}
+
+fn main() {
+    let fast = std::env::var("MEI_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let window = measure_window();
+    let cfg = ExperimentConfig::from_env();
+
+    // The Table 1 inversek2j MEI system, trained with a small budget —
+    // the serving workload, not the accuracy experiment.
+    let setup = table1_setups()
+        .into_iter()
+        .find(|s| s.workload.name() == "inversek2j")
+        .expect("inversek2j is a Table 1 row");
+    let train_samples = if fast { 400 } else { 1_500 };
+    let train = setup
+        .workload
+        .dataset(train_samples, cfg.seed)
+        .expect("train data");
+    let test = setup.workload.dataset(64, cfg.seed + 1).expect("test data");
+    let mei = MeiRcs::train(
+        &train,
+        &MeiConfig {
+            hidden: setup.mei_hidden,
+            in_bits: setup.mei_in_bits,
+            out_bits: setup.mei_out_bits,
+            device: cfg.device(),
+            train: TrainConfig {
+                epochs: if fast { 15 } else { 60 },
+                learning_rate: 0.8,
+                ..TrainConfig::default()
+            },
+            seed: cfg.seed,
+            ..MeiConfig::default()
+        },
+    )
+    .expect("MEI training");
+    let inputs: Vec<Vec<f64>> = test.inputs().to_vec();
+
+    let auto = resolve_threads(0);
+    let mut chip_counts = vec![1usize, 2, 4, auto];
+    chip_counts.sort_unstable();
+    chip_counts.dedup();
+
+    eprintln!(
+        "== throughput: inversek2j MEI serving, {} hardware threads, {:.2}s windows ==",
+        auto,
+        window.as_secs_f64()
+    );
+
+    let mut results: Vec<PoolResult> = Vec::new();
+    for &chips in &chip_counts {
+        let pool = manufacture_chips(&mei, chips, EXPERIMENT_WRITE_SIGMA, cfg.seed);
+        let closed_rps = closed_phase(&pool, &inputs, window);
+        let open = open_phase(&pool, &inputs, closed_rps * 0.7, window);
+        eprintln!("  {} chips: {}", chips, open);
+        results.push(PoolResult {
+            chips,
+            closed_rps,
+            open,
+        });
+    }
+
+    let rps_of = |chips: usize| {
+        results
+            .iter()
+            .find(|r| r.chips == chips)
+            .map(|r| r.closed_rps)
+    };
+    let speedup_4v1 = match (rps_of(4), rps_of(1)) {
+        (Some(four), Some(one)) if one > 0.0 => Some(four / one),
+        _ => None,
+    };
+    let speedup_json = speedup_4v1.map_or_else(|| "null".into(), |s| format!("{s:.4}"));
+    let speedup_text = speedup_4v1.map_or_else(|| "n/a".into(), |s| format!("{s:.2}×"));
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let max_util = r
+                .open
+                .per_chip
+                .iter()
+                .map(|c| c.utilization)
+                .fold(0.0, f64::max);
+            vec![
+                r.chips.to_string(),
+                format!("{:.0}", r.closed_rps),
+                format!("{:.0}", r.open.requests_per_sec),
+                format!("{:.1}", r.open.p50_latency_us),
+                format!("{:.1}", r.open.p99_latency_us),
+                format!("{:.2}", max_util),
+            ]
+        })
+        .collect();
+    eprintln!(
+        "{}",
+        format_table(
+            &[
+                "chips",
+                "closed req/s",
+                "open req/s",
+                "p50 µs",
+                "p99 µs",
+                "max util",
+            ],
+            &rows
+        )
+    );
+    eprintln!(
+        "speedup 4 chips vs 1 (closed): {} ({} hardware threads — reported, not asserted)",
+        speedup_text, auto
+    );
+
+    let body: Vec<String> = results.iter().map(PoolResult::to_json).collect();
+    let json = format!(
+        "{{\"suite\":\"throughput/inversek2j\",\"hardware_threads\":{},\
+         \"window_secs\":{:.3},\"speedup_4v1\":{},\"pools\":[{}]}}",
+        auto,
+        window.as_secs_f64(),
+        speedup_json,
+        body.join(",")
+    );
+    println!("{json}");
+    if let Ok(path) = std::env::var("MEI_BENCH_JSON") {
+        if let Err(err) = std::fs::write(&path, &json) {
+            panic!("cannot write MEI_BENCH_JSON report to '{path}': {err}");
+        }
+    }
+}

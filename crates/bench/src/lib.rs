@@ -68,6 +68,9 @@ pub struct ExperimentConfig {
     pub noise_trials: usize,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for parallel evaluation (`0` = auto-detect). Set via
+    /// `MEI_THREADS`; results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl ExperimentConfig {
@@ -77,6 +80,10 @@ impl ExperimentConfig {
         let quick = std::env::var("MEI_BENCH_QUICK")
             .map(|v| v == "1")
             .unwrap_or(false);
+        let threads = std::env::var("MEI_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
         if quick {
             Self {
                 train_samples: 1_500,
@@ -86,6 +93,7 @@ impl ExperimentConfig {
                 write_draws: 2,
                 noise_trials: 20,
                 seed: 1,
+                threads,
             }
         } else {
             Self {
@@ -96,8 +104,15 @@ impl ExperimentConfig {
                 write_draws: 5,
                 noise_trials: 100,
                 seed: 1,
+                threads,
             }
         }
+    }
+
+    /// The worker pool every parallel evaluation path shares.
+    #[must_use]
+    pub fn pool(&self) -> runtime::ThreadPool {
+        runtime::ThreadPool::new(self.threads)
     }
 
     /// The experimental device model.
@@ -270,6 +285,38 @@ where
     total / draws.max(1) as f64
 }
 
+/// Parallel variant of [`mean_over_write_draws`]: draw `i` disturbs a
+/// *clone* of `rcs` under its `(seed, i)` substream, so the result is
+/// bit-identical for every thread count (including 1). The per-draw
+/// streams differ from the serial variant's single shared stream, so the
+/// two functions agree statistically, not bitwise.
+pub fn mean_over_write_draws_par<T, F>(
+    pool: &runtime::ThreadPool,
+    rcs: &T,
+    draws: usize,
+    seed: u64,
+    score: F,
+) -> f64
+where
+    T: Rcs + Clone + Send + Sync,
+    F: Fn(&dyn Rcs) -> f64 + Sync,
+{
+    let variation = VariationModel::process_variation(EXPERIMENT_WRITE_SIGMA);
+    let draws = draws.max(1);
+    let total = pool.par_reduce(
+        &vec![(); draws],
+        |i, ()| {
+            let mut chip = rcs.clone();
+            let mut rng = StdRng::seed_from_u64(prng::substream(seed, i as u64));
+            chip.disturb(&variation, &mut rng);
+            score(&chip)
+        },
+        0.0,
+        |acc, s| acc + s,
+    );
+    total / draws as f64
+}
+
 /// Render an aligned text table.
 #[must_use]
 pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -343,6 +390,7 @@ mod tests {
             write_draws: 1,
             noise_trials: 2,
             seed: 3,
+            threads: 1,
         };
         let setups = table1_setups();
         let sobel = &setups[5];
@@ -352,6 +400,16 @@ mod tests {
         assert!(evaluate_mse(&trio.digital, &test).is_finite());
         let noisy = mean_over_write_draws(&mut trio.mei, 2, 7, |r| evaluate_mse(r, &test));
         assert!(noisy.is_finite() && noisy >= 0.0);
+        // The parallel mean is bit-identical for every thread count.
+        let par = |threads| {
+            mean_over_write_draws_par(&runtime::ThreadPool::new(threads), &trio.mei, 3, 7, |r| {
+                evaluate_mse(r, &test)
+            })
+        };
+        let serial = par(1);
+        assert!(serial.is_finite() && serial >= 0.0);
+        assert_eq!(serial.to_bits(), par(2).to_bits());
+        assert_eq!(serial.to_bits(), par(4).to_bits());
     }
 
     #[test]

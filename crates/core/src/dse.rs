@@ -70,6 +70,9 @@ pub struct DseConfig {
     pub prune: bool,
     /// Seed for every stochastic step.
     pub seed: u64,
+    /// Worker threads for SAAB learner scoring inside the exploration;
+    /// `0` means "auto". Results are bit-identical for any value.
+    pub threads: usize,
 }
 
 impl Default for DseConfig {
@@ -86,6 +89,7 @@ impl Default for DseConfig {
             compare_bits: 5,
             prune: true,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -275,6 +279,7 @@ pub fn explore(
             samples_per_round: None,
             group_error_tolerance: 0.0,
             seed: config.seed,
+            threads: config.threads,
         };
         let mut trainer = SaabTrainer::new(
             train,

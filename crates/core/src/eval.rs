@@ -8,6 +8,7 @@ use neural::Dataset;
 use prng::rngs::StdRng;
 use prng::{RngCore, SeedableRng};
 use rram::{NonIdealFactors, VariationModel};
+use runtime::ThreadPool;
 
 use crate::adda::AddaRcs;
 use crate::digital::DigitalAnn;
@@ -213,6 +214,12 @@ where
         }
     }
 
+    report_from_scores(&scores)
+}
+
+/// Aggregate per-trial scores into a [`RobustnessReport`].
+fn report_from_scores(scores: &[f64]) -> RobustnessReport {
+    let trials = scores.len();
     let mean = scores.iter().sum::<f64>() / trials as f64;
     let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / trials as f64;
     RobustnessReport {
@@ -222,6 +229,56 @@ where
         max: scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
         trials,
     }
+}
+
+/// The Monte-Carlo robustness protocol of [`robustness`], parallelized
+/// over trials on a [`ThreadPool`].
+///
+/// Unlike [`robustness`], which threads one generator through the trial
+/// loop, every trial here derives its own stream from
+/// `(seed, trial_index)` via [`prng::substream`] and disturbs its own
+/// clone of the system — so the report is **bit-identical for every
+/// thread count** (including 1) and across runs, per the workspace's
+/// deterministic-parallelism rule (DESIGN.md, "Parallel execution"). The
+/// two protocols draw different streams, so their reports differ
+/// numerically while agreeing statistically.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero.
+pub fn robustness_par<T, S>(
+    pool: &ThreadPool,
+    rcs: &T,
+    data: &Dataset,
+    factors: &NonIdealFactors,
+    trials: usize,
+    seed: u64,
+    scorer: S,
+) -> RobustnessReport
+where
+    T: Rcs + Clone + Send + Sync,
+    S: Fn(&[Vec<f64>], &[Vec<f64>]) -> f64 + Sync,
+{
+    assert!(trials > 0, "robustness needs at least one trial");
+    let variation = VariationModel::process_variation(factors.process_variation);
+    let fluctuation = SignalFluctuation::new(factors.signal_fluctuation);
+    let targets: Vec<Vec<f64>> = data.targets().to_vec();
+
+    let trial_slots = vec![(); trials];
+    let scores = pool.par_map(&trial_slots, |trial, ()| {
+        let mut rng = StdRng::seed_from_u64(prng::substream(seed, trial as u64));
+        let mut chip = rcs.clone();
+        if !variation.is_ideal() {
+            chip.disturb(&variation, &mut rng);
+        }
+        let predictions: Vec<Vec<f64>> = data
+            .iter()
+            .map(|(x, _)| chip.predict_noisy(x, &fluctuation, &mut rng))
+            .collect();
+        scorer(&predictions, &targets)
+    });
+
+    report_from_scores(&scores)
 }
 
 /// One point of a robustness sweep: the σ level and its Monte-Carlo report.
@@ -260,6 +317,41 @@ where
         .map(|&sigma| SweepPoint {
             sigma,
             report: robustness(rcs, data, &factor_of(sigma), trials, seed, &mut scorer),
+        })
+        .collect()
+}
+
+/// [`sweep_robustness`] on the parallel protocol: every level is
+/// evaluated with [`robustness_par`] under the same seed, so levels
+/// differ only by σ and the whole sweep is bit-identical for any thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if `levels` is empty or `trials` is zero.
+// One argument over clippy's limit, to stay parallel to sweep_robustness.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_robustness_par<T, F, S>(
+    pool: &ThreadPool,
+    rcs: &T,
+    data: &Dataset,
+    levels: &[f64],
+    factor_of: F,
+    trials: usize,
+    seed: u64,
+    scorer: S,
+) -> Vec<SweepPoint>
+where
+    T: Rcs + Clone + Send + Sync,
+    F: Fn(f64) -> NonIdealFactors,
+    S: Fn(&[Vec<f64>], &[Vec<f64>]) -> f64 + Sync,
+{
+    assert!(!levels.is_empty(), "sweep needs at least one level");
+    levels
+        .iter()
+        .map(|&sigma| SweepPoint {
+            sigma,
+            report: robustness_par(pool, rcs, data, &factor_of(sigma), trials, seed, &scorer),
         })
         .collect()
 }
@@ -417,6 +509,92 @@ mod tests {
             &[],
             NonIdealFactors::process_only,
             1,
+            0,
+            mse_scorer,
+        );
+    }
+
+    #[test]
+    fn parallel_robustness_is_thread_count_invariant() {
+        let data = expfit_data(80, 9);
+        let rcs = MeiRcs::train(&data, &MeiConfig::quick_test()).unwrap();
+        let sigma = NonIdealFactors::new(0.2, 0.1);
+        let serial = robustness_par(&ThreadPool::new(1), &rcs, &data, &sigma, 6, 17, mse_scorer);
+        for threads in [2, 4, 8] {
+            let parallel = robustness_par(
+                &ThreadPool::new(threads),
+                &rcs,
+                &data,
+                &sigma,
+                6,
+                17,
+                mse_scorer,
+            );
+            assert_eq!(serial.mean.to_bits(), parallel.mean.to_bits());
+            assert_eq!(serial.std_dev.to_bits(), parallel.std_dev.to_bits());
+            assert_eq!(serial.min.to_bits(), parallel.min.to_bits());
+            assert_eq!(serial.max.to_bits(), parallel.max.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_robustness_agrees_statistically_with_serial() {
+        let data = expfit_data(100, 10);
+        let mut rcs = MeiRcs::train(&data, &MeiConfig::quick_test()).unwrap();
+        let sigma = NonIdealFactors::new(0.2, 0.1);
+        let a = robustness(&mut rcs, &data, &sigma, 12, 5, mse_scorer);
+        let b = robustness_par(&ThreadPool::new(4), &rcs, &data, &sigma, 12, 5, mse_scorer);
+        // Different streams, same distribution: means within a few σ.
+        let spread = (a.std_dev + b.std_dev).max(1e-6);
+        assert!(
+            (a.mean - b.mean).abs() < 6.0 * spread,
+            "serial {a} vs parallel {b}"
+        );
+        // And the device state is untouched (clones absorbed the disturbs).
+        let clean = evaluate_mse(&rcs, &data);
+        let again = evaluate_mse(&rcs, &data);
+        assert_eq!(clean.to_bits(), again.to_bits());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_pointwise_calls() {
+        let data = expfit_data(60, 11);
+        let rcs = MeiRcs::train(&data, &MeiConfig::quick_test()).unwrap();
+        let pool = ThreadPool::new(3);
+        let points = sweep_robustness_par(
+            &pool,
+            &rcs,
+            &data,
+            &[0.0, 0.2],
+            NonIdealFactors::process_only,
+            4,
+            7,
+            mse_scorer,
+        );
+        assert_eq!(points.len(), 2);
+        let lone = robustness_par(
+            &pool,
+            &rcs,
+            &data,
+            &NonIdealFactors::process_only(0.2),
+            4,
+            7,
+            mse_scorer,
+        );
+        assert_eq!(points[1].report, lone);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn parallel_zero_trials_rejected() {
+        let data = expfit_data(10, 12);
+        let ann = DigitalAnn::train(&data, 2, &quick_train(), 0).unwrap();
+        let _ = robustness_par(
+            &ThreadPool::new(2),
+            &ann,
+            &data,
+            &NonIdealFactors::ideal(),
+            0,
             0,
             mse_scorer,
         );

@@ -60,6 +60,7 @@ pub mod persist;
 pub mod prune;
 pub mod report;
 pub mod saab;
+pub mod serve;
 
 pub use adda::{AddaConfig, AddaRcs};
 pub use analog::AnalogMlp;
@@ -69,13 +70,14 @@ pub use digital::DigitalAnn;
 pub use dse::{DseConfig, DseDesign, DseResult, HiddenGrowth};
 pub use error::{InferError, TrainRcsError};
 pub use eval::{
-    evaluate_metric, evaluate_mse, mse_scorer, robustness, sweep_robustness, Rcs, RobustnessReport,
-    SweepPoint,
+    evaluate_metric, evaluate_mse, mse_scorer, robustness, robustness_par, sweep_robustness,
+    sweep_robustness_par, Rcs, RobustnessReport, SweepPoint,
 };
 pub use mei_arch::{MeiConfig, MeiRcs};
 pub use persist::ParseRcsError;
 pub use report::{system_report, ReportConfig};
 pub use saab::{Saab, SaabConfig, SaabTrainer};
+pub use serve::manufacture_chips;
 
 // The σ-vector shared by every noisy evaluation path.
 pub use rram::NonIdealFactors;

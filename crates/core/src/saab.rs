@@ -20,6 +20,7 @@ use neural::Dataset;
 use prng::rngs::StdRng;
 use prng::{RngCore, SeedableRng};
 use rram::{NonIdealFactors, VariationModel};
+use runtime::ThreadPool;
 
 use crate::error::{InferError, TrainRcsError};
 use crate::mei_arch::{MeiConfig, MeiRcs};
@@ -48,6 +49,13 @@ pub struct SaabConfig {
     pub group_error_tolerance: f64,
     /// RNG seed for resampling and noisy evaluation.
     pub seed: u64,
+    /// Worker threads for per-sample learner scoring (line 6's noisy
+    /// evaluation over the whole dataset); `0` means "auto"
+    /// ([`std::thread::available_parallelism`], the default). Per the
+    /// deterministic-parallelism rule every sample derives its stream from
+    /// `(round_seed, sample_index)`, so the trained ensemble is
+    /// bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for SaabConfig {
@@ -59,6 +67,7 @@ impl Default for SaabConfig {
             samples_per_round: None,
             group_error_tolerance: 0.0,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -234,6 +243,13 @@ impl SaabTrainer {
 
     /// Per-sample correctness of a learner on the top `B_C` bits of every
     /// output group, evaluated under the configured non-ideal factors.
+    ///
+    /// Scoring is embarrassingly parallel over samples and runs on
+    /// [`SaabConfig::threads`] workers: the trainer's stream contributes
+    /// one draw (the round's evaluation seed), and sample `i` derives its
+    /// own generator from `(eval_seed, i)` — so the correctness vector,
+    /// and with it the whole boosted ensemble, is bit-identical for every
+    /// thread count.
     fn evaluate_correctness(&mut self, learner: &mut MeiRcs) -> Vec<bool> {
         let factors = self.config.factors;
         let variation = VariationModel::process_variation(factors.process_variation);
@@ -241,30 +257,30 @@ impl SaabTrainer {
         if !variation.is_ideal() {
             learner.disturb(&variation, &mut self.rng);
         }
+        let eval_seed = self.rng.next_u64();
         let out_bits = learner.output_spec().bits();
         let groups = learner.output_spec().groups();
         let bc = self.config.compare_bits.min(out_bits);
         let allowed_wrong = (self.config.group_error_tolerance * groups as f64).floor() as usize;
         let in_spec = learner.input_spec();
-        let correct: Vec<bool> = self
-            .data
-            .inputs()
-            .iter()
-            .zip(&self.encoded_targets)
-            .map(|(x, target_bits)| {
-                let bits_in = in_spec.encode(x);
-                let out = learner
-                    .infer_bits_noisy(&bits_in, &fluctuation, &mut self.rng)
-                    .expect("validated input");
-                let wrong_groups = (0..groups)
-                    .filter(|g| {
-                        let base = g * out_bits;
-                        (0..bc).any(|b| out[base + b] != target_bits[base + b])
-                    })
-                    .count();
-                wrong_groups <= allowed_wrong
-            })
-            .collect();
+        let pool = ThreadPool::new(self.config.threads);
+        let encoded_targets = &self.encoded_targets;
+        let scored: &MeiRcs = learner;
+        let correct: Vec<bool> = pool.par_map(self.data.inputs(), |i, x| {
+            let target_bits = &encoded_targets[i];
+            let mut rng: StdRng = prng::substream_rng(eval_seed, i as u64);
+            let bits_in = in_spec.encode(x);
+            let out = scored
+                .infer_bits_noisy(&bits_in, &fluctuation, &mut rng)
+                .expect("validated input");
+            let wrong_groups = (0..groups)
+                .filter(|g| {
+                    let base = g * out_bits;
+                    (0..bc).any(|b| out[base + b] != target_bits[base + b])
+                })
+                .count();
+            wrong_groups <= allowed_wrong
+        });
         if !variation.is_ideal() {
             learner.restore();
         }
@@ -717,6 +733,35 @@ mod tests {
             e2 >= e1,
             "noisy scoring should not reduce error: {e1} vs {e2}"
         );
+    }
+
+    #[test]
+    fn training_is_bit_identical_for_every_thread_count() {
+        let data = expfit_data(250, 30);
+        let train_at = |threads: usize| {
+            let saab = Saab::train(
+                &data,
+                &MeiConfig::quick_test(),
+                &SaabConfig {
+                    threads,
+                    factors: NonIdealFactors::new(0.2, 0.1),
+                    ..quick_saab(2)
+                },
+            )
+            .unwrap();
+            let alphas: Vec<u64> = saab.alphas().iter().map(|a| a.to_bits()).collect();
+            let probe: Vec<u64> = saab
+                .infer(&[0.4])
+                .unwrap()
+                .iter()
+                .map(|y| y.to_bits())
+                .collect();
+            (alphas, probe)
+        };
+        let serial = train_at(1);
+        for threads in [2, 8] {
+            assert_eq!(train_at(threads), serial, "threads = {threads}");
+        }
     }
 
     #[test]

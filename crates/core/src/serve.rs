@@ -1,0 +1,144 @@
+//! Serving integration: the trained architectures as [`runtime::Chip`]s,
+//! and chip-pool manufacturing with per-chip write-noise draws.
+//!
+//! A deployment serves inference from *manufactured* chips: every chip is
+//! programmed from the same trained weights but carries its own
+//! program-and-verify (write-accuracy) noise draw. [`manufacture_chips`]
+//! builds such a pool from any trained [`Rcs`]: chip `i` is disturbed
+//! with a generator derived from `(root_seed, i)`, so chip `i` is the
+//! same physical device on every run and for every pool size — the
+//! serving-side face of the workspace's deterministic-parallelism rule.
+
+use prng::rngs::StdRng;
+use prng::SeedableRng;
+use rram::VariationModel;
+use runtime::{Chip, ChipPool};
+
+use crate::adda::AddaRcs;
+use crate::digital::DigitalAnn;
+use crate::eval::Rcs;
+use crate::mei_arch::MeiRcs;
+use crate::saab::Saab;
+
+impl Chip for MeiRcs {
+    fn infer(&self, input: &[f64]) -> Vec<f64> {
+        MeiRcs::infer(self, input).expect("dataset-validated input")
+    }
+}
+
+impl Chip for AddaRcs {
+    fn infer(&self, input: &[f64]) -> Vec<f64> {
+        AddaRcs::infer(self, input).expect("dataset-validated input")
+    }
+}
+
+impl Chip for Saab {
+    fn infer(&self, input: &[f64]) -> Vec<f64> {
+        Saab::infer(self, input).expect("dataset-validated input")
+    }
+}
+
+impl Chip for DigitalAnn {
+    fn infer(&self, input: &[f64]) -> Vec<f64> {
+        DigitalAnn::infer(self, input)
+    }
+}
+
+/// Manufacture a pool of `chips` instances of a trained system: each chip
+/// is a clone of `rcs` disturbed by lognormal write noise of level
+/// `write_sigma` under its `(root_seed, chip_index)`-derived stream.
+/// `write_sigma = 0` yields identical ideal chips.
+///
+/// # Panics
+///
+/// Panics if `chips` is zero.
+pub fn manufacture_chips<T>(rcs: &T, chips: usize, write_sigma: f64, root_seed: u64) -> ChipPool<T>
+where
+    T: Rcs + Chip + Clone,
+{
+    let variation = VariationModel::process_variation(write_sigma);
+    ChipPool::manufacture(root_seed, chips, |_, chip_seed| {
+        let mut chip = rcs.clone();
+        if !variation.is_ideal() {
+            let mut rng = StdRng::seed_from_u64(chip_seed);
+            chip.disturb(&variation, &mut rng);
+        }
+        chip
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mei_arch::MeiConfig;
+    use neural::Dataset;
+    use prng::Rng;
+    use runtime::Placement;
+
+    fn expfit_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::generate(n, &mut rng, |r| {
+            let x: f64 = r.gen();
+            (vec![x], vec![(-x * x).exp()])
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn chip_infer_matches_rcs_infer() {
+        let data = expfit_data(200, 1);
+        let rcs = MeiRcs::train(&data, &MeiConfig::quick_test()).unwrap();
+        let direct = MeiRcs::infer(&rcs, &[0.3]).unwrap();
+        let chip: &dyn Chip = &rcs;
+        assert_eq!(chip.infer(&[0.3]), direct);
+    }
+
+    #[test]
+    fn manufactured_chips_are_distinct_but_reproducible() {
+        let data = expfit_data(200, 2);
+        let rcs = MeiRcs::train(&data, &MeiConfig::quick_test()).unwrap();
+        let pool_a = manufacture_chips(&rcs, 3, 0.05, 42);
+        let pool_b = manufacture_chips(&rcs, 3, 0.05, 42);
+        let x = [0.6];
+        for (a, b) in pool_a.chips().iter().zip(pool_b.chips()) {
+            // Reproducible: chip i identical across manufacture runs.
+            assert_eq!(Chip::infer(a, &x), Chip::infer(b, &x));
+        }
+        // Distinct draws: some chip differs from the ideal weights.
+        let ideal = Chip::infer(&rcs, &x);
+        assert!(
+            pool_a.chips().iter().any(|c| Chip::infer(c, &x) != ideal),
+            "write noise should perturb at least one chip"
+        );
+    }
+
+    #[test]
+    fn zero_write_sigma_gives_ideal_chips() {
+        let data = expfit_data(150, 3);
+        let rcs = MeiRcs::train(&data, &MeiConfig::quick_test()).unwrap();
+        let pool = manufacture_chips(&rcs, 2, 0.0, 7);
+        let x = [0.25];
+        let ideal = Chip::infer(&rcs, &x);
+        for chip in pool.chips() {
+            assert_eq!(Chip::infer(chip, &x), ideal);
+        }
+    }
+
+    #[test]
+    fn pool_serves_a_batch_through_mei_chips() {
+        let data = expfit_data(250, 4);
+        let rcs = MeiRcs::train(&data, &MeiConfig::quick_test()).unwrap();
+        let pool = manufacture_chips(&rcs, 2, 0.02, 11);
+        let inputs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 12.0]).collect();
+        let outcome = pool.serve(&inputs, Placement::RoundRobin);
+        assert_eq!(outcome.outputs.len(), 12);
+        assert_eq!(outcome.stats.per_chip.len(), 2);
+        for (input, out) in inputs.iter().zip(&outcome.outputs) {
+            let expect = (-input[0] * input[0]).exp();
+            assert!(
+                (out[0] - expect).abs() < 0.4,
+                "serving should stay near f(x)"
+            );
+        }
+    }
+}

@@ -31,6 +31,8 @@
 //! * [`distributions`] — [`Standard`] uniform sampling, [`Normal`]
 //!   (Box–Muller) and [`Bernoulli`];
 //! * [`seq::shuffle`] — Fisher–Yates;
+//! * [`stream::substream`] — `(root_seed, task_index)` stream splitting
+//!   for deterministic parallelism;
 //! * [`prop`] — the deterministic property-test harness behind
 //!   [`prop_check!`].
 //!
@@ -47,9 +49,11 @@
 pub mod distributions;
 pub mod prop;
 pub mod seq;
+pub mod stream;
 pub mod xoshiro;
 
 pub use distributions::{Bernoulli, Distribution, Normal, Standard};
+pub use stream::{substream, substream_rng};
 
 /// Namespace mirroring `rand::rngs` so migrated imports keep their shape.
 pub mod rngs {

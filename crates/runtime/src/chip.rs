@@ -1,0 +1,379 @@
+//! Chip pools: N independently manufactured accelerator instances serving
+//! batched inference requests from per-chip queues.
+//!
+//! A deployed RRAM accelerator is not one crossbar — it is a board (or
+//! rack) of chips, each programmed from the same trained weights but
+//! carrying its *own* write-noise draw, serving a shared request stream
+//! (cf. the multi-array throughput evaluations of arXiv:1811.02187 and
+//! arXiv:2505.07490). [`ChipPool`] reproduces that shape in the
+//! behavioural simulator:
+//!
+//! * [`ChipPool::manufacture`] builds N chips, handing each factory call a
+//!   seed derived from `(root_seed, chip_index)` via [`prng::substream`] —
+//!   chip `i` is the same device on every run and for every pool size ≥ i;
+//! * [`ChipPool::serve`] / [`ChipPool::serve_open_loop`] split a request
+//!   batch across per-chip FIFO queues under a [`Placement`] policy and
+//!   run one worker thread per chip;
+//! * placement is decided up front from request *cost* (input length), so
+//!   the request → chip assignment — and therefore every output bit — is
+//!   a pure function of the batch, never of thread timing.
+
+use std::time::{Duration, Instant};
+
+use crate::stats::ServeStats;
+
+/// Anything the pool can serve requests on. One chip is used by exactly
+/// one worker thread at a time, but placement may hand the *same* trained
+/// weights to several chips, hence `Sync`.
+pub trait Chip: Send + Sync {
+    /// Run one inference request.
+    fn infer(&self, input: &[f64]) -> Vec<f64>;
+}
+
+impl<C: Chip + ?Sized> Chip for &C {
+    fn infer(&self, input: &[f64]) -> Vec<f64> {
+        (**self).infer(input)
+    }
+}
+
+impl<C: Chip + ?Sized> Chip for Box<C> {
+    fn infer(&self, input: &[f64]) -> Vec<f64> {
+        (**self).infer(input)
+    }
+}
+
+/// How requests are placed onto chips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Request `i` goes to chip `i mod N`.
+    RoundRobin,
+    /// Each request (in order) goes to the chip with the least total
+    /// assigned cost so far — cost being the request's input length, a
+    /// proxy for its service time. Ties break toward the lowest chip id,
+    /// so the assignment is deterministic.
+    LeastLoaded,
+}
+
+/// What a serve run returns: outputs in request order plus the run's
+/// statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// One output vector per request, in request order.
+    pub outputs: Vec<Vec<f64>>,
+    /// Throughput / latency / utilization statistics.
+    pub stats: ServeStats,
+}
+
+/// A pool of N manufactured chips with per-chip request queues.
+#[derive(Debug, Clone)]
+pub struct ChipPool<C: Chip> {
+    chips: Vec<C>,
+}
+
+impl<C: Chip> ChipPool<C> {
+    /// Manufacture `chips` instances. The factory receives
+    /// `(chip_index, chip_seed)` with `chip_seed = substream(root_seed,
+    /// chip_index)`; use the seed for the chip's write-noise draw so chip
+    /// `i` is identical across runs and pool sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero.
+    pub fn manufacture<F>(root_seed: u64, chips: usize, mut factory: F) -> Self
+    where
+        F: FnMut(usize, u64) -> C,
+    {
+        assert!(chips > 0, "a pool needs at least one chip");
+        Self {
+            chips: (0..chips)
+                .map(|i| factory(i, prng::substream(root_seed, i as u64)))
+                .collect(),
+        }
+    }
+
+    /// Wrap already-built chips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is empty.
+    #[must_use]
+    pub fn from_chips(chips: Vec<C>) -> Self {
+        assert!(!chips.is_empty(), "a pool needs at least one chip");
+        Self { chips }
+    }
+
+    /// Number of chips.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Whether the pool is empty (never true — construction rejects it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chips.is_empty()
+    }
+
+    /// The chips, indexed by chip id.
+    #[must_use]
+    pub fn chips(&self) -> &[C] {
+        &self.chips
+    }
+
+    /// The deterministic request → chip assignment a serve run will use:
+    /// `assignment[i]` is the chip id serving request `i`. Exposed so
+    /// callers (and tests) can reason about placement without timing.
+    #[must_use]
+    pub fn assignment(&self, costs: &[usize], placement: Placement) -> Vec<usize> {
+        match placement {
+            Placement::RoundRobin => (0..costs.len()).map(|i| i % self.chips.len()).collect(),
+            Placement::LeastLoaded => {
+                let mut load = vec![0usize; self.chips.len()];
+                costs
+                    .iter()
+                    .map(|&cost| {
+                        let chip = load
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|&(id, &l)| (l, id))
+                            .map(|(id, _)| id)
+                            .expect("non-empty pool");
+                        load[chip] += cost.max(1);
+                        chip
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Serve a closed batch: every request is ready at time zero. Outputs
+    /// come back in request order; request latency is measured from the
+    /// start of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    #[must_use]
+    pub fn serve(&self, inputs: &[Vec<f64>], placement: Placement) -> ServeOutcome {
+        self.run(inputs, None, placement)
+    }
+
+    /// Serve an open-loop load: request `i` *arrives* at `arrivals[i]`
+    /// (offsets from the start of the run) and may not start earlier, as
+    /// in an open-loop throughput benchmark; latency is completion minus
+    /// arrival, so queueing delay is included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or the lengths differ.
+    #[must_use]
+    pub fn serve_open_loop(
+        &self,
+        inputs: &[Vec<f64>],
+        arrivals: &[Duration],
+        placement: Placement,
+    ) -> ServeOutcome {
+        assert_eq!(
+            inputs.len(),
+            arrivals.len(),
+            "one arrival offset per request"
+        );
+        self.run(inputs, Some(arrivals), placement)
+    }
+
+    fn run(
+        &self,
+        inputs: &[Vec<f64>],
+        arrivals: Option<&[Duration]>,
+        placement: Placement,
+    ) -> ServeOutcome {
+        assert!(!inputs.is_empty(), "a serve run needs requests");
+        let costs: Vec<usize> = inputs.iter().map(Vec::len).collect();
+        let assignment = self.assignment(&costs, placement);
+
+        // Per-chip FIFO queues of request indices, in arrival order.
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.chips.len()];
+        for (request, &chip) in assignment.iter().enumerate() {
+            queues[chip].push(request);
+        }
+
+        // One worker per chip; each returns (request, output, latency)
+        // triples plus its busy time.
+        type WorkerLog = (Vec<(usize, Vec<f64>, Duration)>, Duration);
+
+        let epoch = Instant::now();
+        let per_worker: Vec<WorkerLog> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .chips
+                .iter()
+                .zip(&queues)
+                .map(|(chip, queue)| {
+                    scope.spawn(move || {
+                        let mut served = Vec::with_capacity(queue.len());
+                        let mut busy = Duration::ZERO;
+                        for &request in queue {
+                            let arrival = arrivals.map_or(Duration::ZERO, |a| a[request]);
+                            let now = epoch.elapsed();
+                            if arrival > now {
+                                std::thread::sleep(arrival - now);
+                            }
+                            let start = epoch.elapsed();
+                            let output = chip.infer(&inputs[request]);
+                            let done = epoch.elapsed();
+                            busy += done - start;
+                            served.push((request, output, done.saturating_sub(arrival)));
+                        }
+                        (served, busy)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("chip worker does not panic"))
+                .collect()
+        });
+        let wall = epoch.elapsed();
+
+        let mut outputs: Vec<Option<Vec<f64>>> = vec![None; inputs.len()];
+        let mut latencies: Vec<Duration> = vec![Duration::ZERO; inputs.len()];
+        let mut per_chip = Vec::with_capacity(self.chips.len());
+        for (served, busy) in per_worker {
+            per_chip.push((served.len(), busy));
+            for (request, output, latency) in served {
+                latencies[request] = latency;
+                outputs[request] = Some(output);
+            }
+        }
+
+        ServeOutcome {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("every request served"))
+                .collect(),
+            stats: ServeStats::from_run(&latencies, wall, per_chip),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy chip: output = input scaled by a per-chip factor derived from
+    /// the manufacture seed, so different chips are distinguishable.
+    struct ToyChip {
+        scale: f64,
+    }
+
+    impl Chip for ToyChip {
+        fn infer(&self, input: &[f64]) -> Vec<f64> {
+            input.iter().map(|x| x * self.scale).collect()
+        }
+    }
+
+    fn toy_pool(n: usize) -> ChipPool<ToyChip> {
+        ChipPool::manufacture(77, n, |_, seed| ToyChip {
+            scale: 1.0 + (seed % 1000) as f64 / 1000.0,
+        })
+    }
+
+    #[test]
+    fn manufacture_derives_stable_per_chip_seeds() {
+        let mut seeds_a = Vec::new();
+        let _ = ChipPool::manufacture(5, 4, |i, seed| {
+            seeds_a.push((i, seed));
+            ToyChip { scale: 1.0 }
+        });
+        let mut seeds_b = Vec::new();
+        let _ = ChipPool::manufacture(5, 8, |i, seed| {
+            seeds_b.push((i, seed));
+            ToyChip { scale: 1.0 }
+        });
+        // Same prefix for a bigger pool: chip i is chip i, regardless of N.
+        assert_eq!(seeds_a, seeds_b[..4]);
+        assert_eq!(seeds_a[0].1, prng::substream(5, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chip")]
+    fn empty_pool_rejected() {
+        let _ = ChipPool::<ToyChip>::from_chips(Vec::new());
+    }
+
+    #[test]
+    fn round_robin_cycles_over_chips() {
+        let pool = toy_pool(3);
+        let costs = [1usize; 7];
+        assert_eq!(
+            pool.assignment(&costs, Placement::RoundRobin),
+            vec![0, 1, 2, 0, 1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn least_loaded_balances_uneven_costs() {
+        let pool = toy_pool(2);
+        // Costs 10, 1, 1, 1: after the big request lands on chip 0, the
+        // small ones should all go to chip 1 until it catches up.
+        let assignment = pool.assignment(&[10, 1, 1, 1], Placement::LeastLoaded);
+        assert_eq!(assignment, vec![0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn outputs_come_back_in_request_order() {
+        let pool = toy_pool(3);
+        let inputs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let outcome = pool.serve(&inputs, Placement::RoundRobin);
+        assert_eq!(outcome.outputs.len(), 10);
+        for (i, out) in outcome.outputs.iter().enumerate() {
+            let chip = i % 3;
+            let expected = inputs[i][0] * pool.chips()[chip].scale;
+            assert_eq!(out, &vec![expected], "request {i}");
+        }
+    }
+
+    #[test]
+    fn serve_results_are_identical_across_runs_and_placements_agree() {
+        let pool = toy_pool(2);
+        let inputs: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64, 1.0]).collect();
+        let a = pool.serve(&inputs, Placement::RoundRobin);
+        let b = pool.serve(&inputs, Placement::RoundRobin);
+        assert_eq!(a.outputs, b.outputs, "same pool, same batch → same bits");
+        // Equal-cost requests: least-loaded degenerates to round-robin.
+        let costs = vec![2usize; 9];
+        assert_eq!(
+            pool.assignment(&costs, Placement::LeastLoaded),
+            pool.assignment(&costs, Placement::RoundRobin)
+        );
+    }
+
+    #[test]
+    fn stats_cover_every_chip_and_request() {
+        let pool = toy_pool(4);
+        let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let outcome = pool.serve(&inputs, Placement::RoundRobin);
+        let stats = &outcome.stats;
+        assert_eq!(stats.requests, 20);
+        assert_eq!(stats.per_chip.len(), 4);
+        assert_eq!(stats.per_chip.iter().map(|c| c.served).sum::<usize>(), 20);
+        assert!(stats.requests_per_sec > 0.0);
+        assert!(stats.p50_latency_us <= stats.p99_latency_us);
+    }
+
+    #[test]
+    fn open_loop_respects_arrival_times() {
+        let pool = toy_pool(1);
+        let inputs: Vec<Vec<f64>> = (0..3).map(|i| vec![i as f64]).collect();
+        let arrivals = vec![
+            Duration::ZERO,
+            Duration::from_millis(5),
+            Duration::from_millis(10),
+        ];
+        let epoch = Instant::now();
+        let outcome = pool.serve_open_loop(&inputs, &arrivals, Placement::RoundRobin);
+        // The run cannot finish before the last arrival.
+        assert!(epoch.elapsed() >= Duration::from_millis(10));
+        assert_eq!(outcome.outputs.len(), 3);
+        assert!(outcome.stats.wall_secs >= 0.010);
+    }
+}

@@ -1,0 +1,42 @@
+//! # `runtime` — deterministic parallel inference runtime
+//!
+//! The serial reproduction binaries leave every core but one idle; a
+//! production RRAM accelerator deployment is the opposite shape — many
+//! chips, many threads, heavy request traffic. This crate provides the
+//! parallel substrate for both, with one hard rule: **parallelism never
+//! changes results**.
+//!
+//! * [`ThreadPool`] — a work-stealing, scoped thread pool on
+//!   `std::thread` + `std::sync` with [`par_map`](ThreadPool::par_map) /
+//!   [`par_reduce`](ThreadPool::par_reduce) primitives. Task closures may
+//!   borrow from the caller; a panicking task is caught at the task
+//!   boundary, the rest of the batch completes, and the lowest-indexed
+//!   panic is re-raised in the caller.
+//! * [`ChipPool`] — N independently manufactured [`Chip`] instances (each
+//!   with its own `(root_seed, chip_index)`-derived write-noise draw)
+//!   serving batched requests from per-chip queues under a deterministic
+//!   [`Placement`] policy, with open-loop load support and
+//!   throughput/latency/utilization [`ServeStats`].
+//!
+//! ## The determinism rule
+//!
+//! Every parallel task derives its randomness from the root seed and its
+//! *task index* via [`prng::substream`] — never from a generator threaded
+//! through the loop. Results are then a pure function of the seed: serial,
+//! 2-thread and 64-thread runs produce bit-identical output
+//! (`tests/parallel_determinism.rs` at the workspace root holds the
+//! end-to-end proof over Monte-Carlo robustness and SAAB training).
+//!
+//! Like the rest of the workspace the crate is hermetic: `std` only, no
+//! external dependencies (see DESIGN.md, "Hermetic build").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chip;
+pub mod pool;
+pub mod stats;
+
+pub use chip::{Chip, ChipPool, Placement, ServeOutcome};
+pub use pool::{resolve_threads, ThreadPool};
+pub use stats::{percentile, ChipStats, ServeStats};

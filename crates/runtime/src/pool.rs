@@ -1,0 +1,348 @@
+//! A work-stealing thread pool on `std::thread` + `std::sync`.
+//!
+//! The pool is *scoped*: [`ThreadPool::par_map`] spawns its workers inside
+//! [`std::thread::scope`], so task closures may borrow from the caller's
+//! stack — no `'static` bound, no `Arc` plumbing, no unsafe. Each worker
+//! owns a deque of task indices; it drains its own deque from the front
+//! and, when empty, steals from the *back* of a sibling's deque, so an
+//! uneven workload (one slow Monte-Carlo trial, one fast one) rebalances
+//! automatically.
+//!
+//! ## Determinism
+//!
+//! Results are written into their task's slot, so the output order is the
+//! input order no matter which worker ran which task or in what
+//! interleaving. Combined with the workspace's stream-splitting rule
+//! (every task derives its RNG from `(root_seed, task_index)` via
+//! [`prng::substream`]), a parallel map is bit-identical to the serial
+//! one for every thread count and every run.
+//!
+//! ## Panic policy
+//!
+//! A panicking task must not poison the pool: the panic is caught at the
+//! task boundary, the worker moves on, **every remaining task still
+//! runs**, and after the batch completes the payload of the
+//! lowest-indexed panicking task is re-raised in the caller. (Lowest
+//! index, not first observed, so even the failure mode is deterministic.)
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// What one task produced: its value, or the panic payload it raised.
+enum TaskOutcome<R> {
+    Done(R),
+    Panicked(Box<dyn std::any::Any + Send + 'static>),
+}
+
+/// The number of workers a `threads` knob resolves to: the value itself,
+/// or [`std::thread::available_parallelism`] when it is `0` ("auto").
+#[must_use]
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// A deterministic work-stealing thread pool.
+///
+/// Cheap to construct (workers are spawned per batch, inside a scope);
+/// hold one wherever a `threads: usize` knob lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool of `threads` workers; `0` means "auto"
+    /// ([`std::thread::available_parallelism`]).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: resolve_threads(threads),
+        }
+    }
+
+    /// A pool sized to the machine.
+    #[must_use]
+    pub fn auto() -> Self {
+        Self::new(0)
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Map `f` over `items` in parallel; `f` receives `(task_index, item)`.
+    ///
+    /// The result vector is in input order, and — provided `f(i, x)` is a
+    /// pure function of its arguments (derive any randomness from the task
+    /// index, see [`prng::substream`]) — bit-identical to the serial
+    /// `items.iter().enumerate().map(...)` for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// If tasks panic, every *other* task still completes and then the
+    /// payload of the lowest-indexed panicking task is re-raised here.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n).max(1);
+
+        // Per-worker deques of task indices: contiguous chunks, so a
+        // worker's own tasks are cache-friendly and steals take from the
+        // far end of a victim's range.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let lo = w * n / workers;
+                let hi = (w + 1) * n / workers;
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
+
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+
+        std::thread::scope(|scope| {
+            let queues = &queues;
+            let f = &f;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut produced: Vec<(usize, TaskOutcome<R>)> = Vec::new();
+                        while let Some(i) = pop_or_steal(queues, w) {
+                            let outcome = match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                                Ok(value) => TaskOutcome::Done(value),
+                                Err(payload) => TaskOutcome::Panicked(payload),
+                            };
+                            produced.push((i, outcome));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let produced = handle.join().expect("pool worker caught task panics");
+                for (i, outcome) in produced {
+                    match outcome {
+                        TaskOutcome::Done(value) => slots[i] = Some(value),
+                        TaskOutcome::Panicked(payload) => {
+                            if first_panic.as_ref().is_none_or(|(j, _)| i < *j) {
+                                first_panic = Some((i, payload));
+                            }
+                        }
+                    }
+                }
+            }
+        });
+
+        if let Some((_, payload)) = first_panic {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every task index executed"))
+            .collect()
+    }
+
+    /// Parallel map + ordered fold: `map` runs on the pool, then the
+    /// per-task results are folded **in task order** on the calling
+    /// thread, so non-associative accumulators (floating-point sums) stay
+    /// bit-identical across thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Propagates task panics exactly like [`par_map`](Self::par_map).
+    pub fn par_reduce<T, R, A, M, F>(&self, items: &[T], map: M, init: A, fold: F) -> A
+    where
+        T: Sync,
+        R: Send,
+        M: Fn(usize, &T) -> R + Sync,
+        F: FnMut(A, R) -> A,
+    {
+        self.par_map(items, map).into_iter().fold(init, fold)
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Pop from our own deque's front, else steal from the back of the first
+/// non-empty sibling (scanning ring-wise from our right neighbour).
+fn pop_or_steal(queues: &[Mutex<VecDeque<usize>>], worker: usize) -> Option<usize> {
+    if let Some(i) = queues[worker].lock().expect("queue lock").pop_front() {
+        return Some(i);
+    }
+    for offset in 1..queues.len() {
+        let victim = (worker + offset) % queues.len();
+        if let Some(i) = queues[victim].lock().expect("queue lock").pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn resolve_threads_keeps_explicit_values() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn par_map_matches_serial_for_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| prng::substream(9, i as u64) ^ x)
+            .collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = ThreadPool::new(threads);
+            let parallel = pool.par_map(&items, |i, &x| prng::substream(9, i as u64) ^ x);
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single_inputs() {
+        let pool = ThreadPool::new(4);
+        let empty: Vec<i32> = pool.par_map(&[], |_, x: &i32| *x);
+        assert!(empty.is_empty());
+        assert_eq!(pool.par_map(&[5], |i, x| i as i32 + x), vec![5]);
+    }
+
+    #[test]
+    fn par_map_borrows_from_the_caller() {
+        let data = vec![1.0f64, 2.0, 3.0];
+        let scale = 2.5;
+        let pool = ThreadPool::new(2);
+        let out = pool.par_map(&data, |_, x| x * scale);
+        assert_eq!(out, vec![2.5, 5.0, 7.5]);
+        // `data` still usable: the borrow ended with the call.
+        assert_eq!(data.len(), 3);
+    }
+
+    #[test]
+    fn par_reduce_is_bit_identical_across_thread_counts() {
+        // Summing f64s is non-associative; the ordered fold must hide that.
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: f64 = items
+            .iter()
+            .enumerate()
+            .map(|(i, _)| 1.0 / (1.0 + prng::substream(3, i as u64) as f64))
+            .sum();
+        for threads in [1, 2, 5, 32] {
+            let pool = ThreadPool::new(threads);
+            let total = pool.par_reduce(
+                &items,
+                |i, _| 1.0 / (1.0 + prng::substream(3, i as u64) as f64),
+                0.0f64,
+                |acc, x| acc + x,
+            );
+            assert_eq!(total.to_bits(), expected.to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn panicking_task_does_not_stop_the_others() {
+        let completed = AtomicUsize::new(0);
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |i, _| {
+                if i == 13 {
+                    panic!("task 13 exploded");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+                i
+            })
+        }));
+        let payload = result.expect_err("the panic must surface to the caller");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_default()
+            .to_string();
+        assert!(message.contains("task 13"), "got panic message {message:?}");
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            99,
+            "remaining tasks must all complete"
+        );
+    }
+
+    #[test]
+    fn lowest_index_panic_wins_deterministically() {
+        let pool = ThreadPool::new(8);
+        let items: Vec<usize> = (0..64).collect();
+        for _ in 0..5 {
+            let payload = catch_unwind(AssertUnwindSafe(|| {
+                pool.par_map(&items, |i, _| {
+                    if i % 10 == 7 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+            }))
+            .expect_err("panics expected");
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert_eq!(message, "boom at 7");
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_batch() {
+        // No poisoned state: the same pool value works fine afterwards.
+        let pool = ThreadPool::new(3);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&[0usize; 4], |i, _| {
+                if i == 0 {
+                    panic!("first batch fails")
+                }
+            })
+        }));
+        let ok = pool.par_map(&[1, 2, 3], |_, x| x * 2);
+        assert_eq!(ok, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn work_stealing_drains_an_uneven_queue() {
+        // One long chunk of tasks; with 4 workers over 8 items the chunks
+        // are uneven in cost, and stealing must still complete them all.
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..8).collect();
+        let out = pool.par_map(&items, |i, &x| {
+            if i == 0 {
+                // Slow task: spin a little real work.
+                (0..20_000u64).fold(x, |a, b| a.wrapping_add(b * b))
+            } else {
+                x
+            }
+        });
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[1..], items[1..]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Serving statistics: throughput, latency percentiles, per-chip
+//! utilization, and their JSON rendering (hand-rolled — the workspace has
+//! no serialization dependency by policy, same as `mei_bench::timing`).
+
+use std::fmt;
+use std::time::Duration;
+
+/// One chip worker's share of a serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipStats {
+    /// Requests this chip served.
+    pub served: usize,
+    /// Time spent inside `Chip::infer`, seconds.
+    pub busy_secs: f64,
+    /// `busy_secs / wall_secs` — the worker thread's utilization.
+    pub utilization: f64,
+}
+
+/// Aggregate statistics of one serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Requests completed.
+    pub requests: usize,
+    /// Wall-clock duration of the whole run, seconds.
+    pub wall_secs: f64,
+    /// `requests / wall_secs`.
+    pub requests_per_sec: f64,
+    /// Median request latency (arrival → completion), microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Worst request latency, microseconds.
+    pub max_latency_us: f64,
+    /// Per-chip breakdown, indexed by chip id.
+    pub per_chip: Vec<ChipStats>,
+}
+
+impl ServeStats {
+    /// Aggregate from raw per-request latencies and per-chip tallies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latencies` is empty (a serve run always has requests).
+    #[must_use]
+    pub fn from_run(
+        latencies: &[Duration],
+        wall: Duration,
+        per_chip: Vec<(usize, Duration)>,
+    ) -> Self {
+        assert!(!latencies.is_empty(), "a serve run needs requests");
+        let mut sorted_us: Vec<f64> = latencies.iter().map(|l| l.as_secs_f64() * 1e6).collect();
+        sorted_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let wall_secs = wall.as_secs_f64();
+        Self {
+            requests: latencies.len(),
+            wall_secs,
+            requests_per_sec: latencies.len() as f64 / wall_secs.max(f64::MIN_POSITIVE),
+            p50_latency_us: percentile(&sorted_us, 0.50),
+            p99_latency_us: percentile(&sorted_us, 0.99),
+            max_latency_us: *sorted_us.last().expect("non-empty"),
+            per_chip: per_chip
+                .into_iter()
+                .map(|(served, busy)| ChipStats {
+                    served,
+                    busy_secs: busy.as_secs_f64(),
+                    utilization: busy.as_secs_f64() / wall_secs.max(f64::MIN_POSITIVE),
+                })
+                .collect(),
+        }
+    }
+
+    /// The stats as a JSON object (machine-diffable, `MEI_BENCH_JSON`
+    /// style).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let chips: Vec<String> = self
+            .per_chip
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"served\":{},\"busy_secs\":{:.6},\"utilization\":{:.4}}}",
+                    c.served, c.busy_secs, c.utilization
+                )
+            })
+            .collect();
+        format!(
+            "{{\"requests\":{},\"wall_secs\":{:.6},\"requests_per_sec\":{:.3},\
+             \"p50_latency_us\":{:.3},\"p99_latency_us\":{:.3},\"max_latency_us\":{:.3},\
+             \"per_chip\":[{}]}}",
+            self.requests,
+            self.wall_secs,
+            self.requests_per_sec,
+            self.p50_latency_us,
+            self.p99_latency_us,
+            self.max_latency_us,
+            chips.join(",")
+        )
+    }
+}
+
+impl fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} req in {:.3}s → {:.0} req/s (p50 {:.1} µs, p99 {:.1} µs) on {} chips",
+            self.requests,
+            self.wall_secs,
+            self.requests_per_sec,
+            self.p50_latency_us,
+            self.p99_latency_us,
+            self.per_chip.len()
+        )
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice, `q` in
+/// `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert_eq!(percentile(&xs, 0.5), 2.5);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        let _ = percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn stats_aggregate_and_order() {
+        let lat: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let stats = ServeStats::from_run(
+            &lat,
+            Duration::from_millis(10),
+            vec![
+                (60, Duration::from_millis(6)),
+                (40, Duration::from_millis(4)),
+            ],
+        );
+        assert_eq!(stats.requests, 100);
+        assert!(stats.requests_per_sec > 0.0);
+        assert!(stats.p50_latency_us <= stats.p99_latency_us);
+        assert!(stats.p99_latency_us <= stats.max_latency_us);
+        assert_eq!(stats.per_chip.len(), 2);
+        assert!((stats.per_chip[0].utilization - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let stats = ServeStats::from_run(
+            &[Duration::from_micros(5), Duration::from_micros(15)],
+            Duration::from_millis(1),
+            vec![(2, Duration::from_micros(20))],
+        );
+        let json = stats.to_json();
+        assert!(json.starts_with("{\"requests\":2,"));
+        assert!(json.contains("\"per_chip\":[{\"served\":2,"));
+        assert!(json.contains("\"requests_per_sec\":"));
+    }
+
+    #[test]
+    fn display_mentions_throughput() {
+        let stats = ServeStats::from_run(
+            &[Duration::from_micros(5)],
+            Duration::from_millis(1),
+            vec![(1, Duration::from_micros(5))],
+        );
+        let s = stats.to_string();
+        assert!(s.contains("req/s") && s.contains("1 chips"));
+    }
+}

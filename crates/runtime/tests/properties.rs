@@ -1,0 +1,189 @@
+//! Property-based tests for the parallel runtime, on the in-repo
+//! deterministic harness (`prng::prop`), plus the pool's poison/panic
+//! contract.
+//!
+//! The load-bearing property is the determinism rule: for task closures
+//! that are pure functions of `(task_index, item)`, a parallel map or
+//! reduce is bit-identical to the serial one for *every* thread count —
+//! that is what lets the Monte-Carlo and SAAB hot paths parallelize
+//! without changing a single recorded result.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use prng::{prop_check, substream};
+use runtime::{Chip, ChipPool, Placement, ThreadPool};
+
+/// Parallel map equals the serial map, for arbitrary inputs, task counts
+/// and thread counts.
+#[test]
+fn par_map_matches_serial_for_any_shape() {
+    prop_check!(|g| {
+        let n = g.usize_in(0, 40);
+        let items: Vec<u64> = (0..n).map(|_| g.u64_any()).collect();
+        let root = g.u64_any();
+        let threads = g.usize_in(1, 9);
+        let task = |i: usize, x: &u64| substream(root, i as u64).wrapping_add(*x);
+        let serial: Vec<u64> = items.iter().enumerate().map(|(i, x)| task(i, x)).collect();
+        let parallel = ThreadPool::new(threads).par_map(&items, task);
+        assert_eq!(parallel, serial);
+    });
+}
+
+/// Ordered parallel reduce over f64 sums is bit-identical to the serial
+/// fold, despite floating-point non-associativity.
+#[test]
+fn par_reduce_is_bit_identical_to_serial_fold() {
+    prop_check!(|g| {
+        let n = g.usize_in(1, 60);
+        let items = g.vec_f64(-10.0, 10.0, n);
+        let threads = g.usize_in(1, 9);
+        let serial = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * (1.0 + i as f64))
+            .fold(0.0f64, |a, b| a + b);
+        let parallel = ThreadPool::new(threads).par_reduce(
+            &items,
+            |i, x| x * (1.0 + i as f64),
+            0.0f64,
+            |a, b| a + b,
+        );
+        assert_eq!(parallel.to_bits(), serial.to_bits());
+    });
+}
+
+/// A toy chip whose output is a pure function of its manufacture seed.
+struct SeededChip {
+    offset: f64,
+}
+
+impl Chip for SeededChip {
+    fn infer(&self, input: &[f64]) -> Vec<f64> {
+        input.iter().map(|x| x + self.offset).collect()
+    }
+}
+
+fn seeded_pool(root: u64, n: usize) -> ChipPool<SeededChip> {
+    ChipPool::manufacture(root, n, |_, seed| SeededChip {
+        offset: (seed % 997) as f64,
+    })
+}
+
+/// Serving a batch is deterministic: same pool, same batch, same
+/// placement → bit-identical outputs, for arbitrary batches and pool
+/// sizes, under both placement policies.
+#[test]
+fn chip_pool_outputs_are_deterministic() {
+    prop_check!(|g| {
+        let root = g.u64_any();
+        let chips = g.usize_in(1, 6);
+        let n = g.usize_in(1, 24);
+        let inputs: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let len = g.usize_in(1, 5);
+                g.vec_f64(0.0, 1.0, len)
+            })
+            .collect();
+        let pool = seeded_pool(root, chips);
+        for placement in [Placement::RoundRobin, Placement::LeastLoaded] {
+            let a = pool.serve(&inputs, placement);
+            let b = pool.serve(&inputs, placement);
+            assert_eq!(a.outputs, b.outputs);
+            // And the outputs follow the published assignment exactly.
+            let costs: Vec<usize> = inputs.iter().map(Vec::len).collect();
+            let assignment = pool.assignment(&costs, placement);
+            for (i, out) in a.outputs.iter().enumerate() {
+                let expect: Vec<f64> = inputs[i]
+                    .iter()
+                    .map(|x| x + pool.chips()[assignment[i]].offset)
+                    .collect();
+                assert_eq!(out, &expect);
+            }
+        }
+    });
+}
+
+/// Least-loaded placement never assigns a request to a chip whose load
+/// exceeds the minimum by more than the request costs seen so far allow —
+/// concretely, final loads differ by at most the largest request cost.
+#[test]
+fn least_loaded_keeps_loads_balanced() {
+    prop_check!(|g| {
+        let chips = g.usize_in(1, 6);
+        let n = g.usize_in(1, 30);
+        let costs: Vec<usize> = (0..n).map(|_| g.usize_in(1, 20)).collect();
+        let pool = seeded_pool(1, chips);
+        let assignment = pool.assignment(&costs, Placement::LeastLoaded);
+        let mut load = vec![0usize; chips];
+        for (&chip, &cost) in assignment.iter().zip(&costs) {
+            load[chip] += cost;
+        }
+        let max_cost = *costs.iter().max().expect("non-empty");
+        let lo = *load.iter().min().expect("non-empty");
+        let hi = *load.iter().max().expect("non-empty");
+        assert!(
+            hi - lo <= max_cost,
+            "imbalance {} exceeds max request cost {max_cost}",
+            hi - lo
+        );
+    });
+}
+
+/// The poison/panic contract, end to end: a panicking task neither
+/// deadlocks nor poisons the pool — the batch's remaining tasks all
+/// complete, the panic payload reaches the caller, and the same pool
+/// value serves the next batch normally.
+#[test]
+fn panicking_task_does_not_poison_the_pool() {
+    let pool = ThreadPool::new(4);
+    let items: Vec<usize> = (0..50).collect();
+    let completed = AtomicUsize::new(0);
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        pool.par_map(&items, |i, _| {
+            if i == 17 || i == 31 {
+                panic!("injected failure in task {i}");
+            }
+            completed.fetch_add(1, Ordering::SeqCst);
+        })
+    }));
+
+    let payload = outcome.expect_err("panic must be surfaced, not swallowed");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic payload is the format string");
+    assert_eq!(
+        message, "injected failure in task 17",
+        "lowest task index wins deterministically"
+    );
+    assert_eq!(
+        completed.load(Ordering::SeqCst),
+        48,
+        "all non-panicking tasks must have run"
+    );
+
+    // No deadlock, no poisoned state: the pool still works.
+    let doubled = pool.par_map(&items, |_, &x| 2 * x);
+    assert_eq!(doubled[49], 98);
+}
+
+/// Open-loop serving honours arrivals and reports sane statistics.
+#[test]
+fn open_loop_stats_are_consistent() {
+    let pool = seeded_pool(3, 2);
+    let inputs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+    let arrivals: Vec<Duration> = (0..8).map(|i| Duration::from_micros(200 * i)).collect();
+    let outcome = pool.serve_open_loop(&inputs, &arrivals, Placement::RoundRobin);
+    let stats = &outcome.stats;
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.per_chip.iter().map(|c| c.served).sum::<usize>(), 8);
+    assert!(stats.wall_secs >= 1.4e-3, "last arrival bounds the wall");
+    assert!(stats.p50_latency_us <= stats.p99_latency_us);
+    assert!(stats.p99_latency_us <= stats.max_latency_us);
+    for chip in &stats.per_chip {
+        assert!((0.0..=1.0).contains(&chip.utilization));
+    }
+}

@@ -47,6 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         compare_bits: 5,
         prune: true,
         seed: 3,
+        threads: 0,
     };
 
     let result = explore(
