@@ -30,4 +30,11 @@ echo "==> throughput bench smoke (1-second windows)"
 MEI_BENCH_FAST=1 MEI_BENCH_SECONDS=1 \
     cargo run --release --offline -p mei-bench --bin throughput > /dev/null
 
+echo "==> training throughput bench smoke (1-epoch calls, 0.3-second windows)"
+# The 0.9x sanity floor on the 2-thread speedup is enforced by the binary
+# only on hosts with >= 2 hardware threads; the bit-identity check across
+# thread counts is asserted everywhere.
+MEI_BENCH_FAST=1 MEI_BENCH_SECONDS=0.3 MEI_BENCH_MIN_SPEEDUP=0.9 \
+    cargo run --release --offline -p mei-bench --bin training_throughput > /dev/null
+
 echo "CI gate passed."

@@ -128,6 +128,7 @@ impl ExperimentConfig {
             epochs: self.adda_epochs,
             learning_rate: 0.8,
             lr_decay: 0.995,
+            threads: self.threads,
             ..TrainConfig::default()
         }
     }
@@ -145,6 +146,7 @@ impl ExperimentConfig {
             learning_rate: if wide { 0.3 } else { 0.5 },
             batch_size: if wide { 32 } else { 16 },
             lr_decay: 0.995,
+            threads: self.threads,
             ..TrainConfig::default()
         }
     }

@@ -70,8 +70,9 @@ pub struct DseConfig {
     pub prune: bool,
     /// Seed for every stochastic step.
     pub seed: u64,
-    /// Worker threads for SAAB learner scoring inside the exploration;
-    /// `0` means "auto". Results are bit-identical for any value.
+    /// Worker threads for SAAB learner scoring and sharded backprop inside
+    /// the exploration; `0` means "auto". Results are bit-identical for
+    /// any value.
     pub threads: usize,
 }
 
@@ -205,6 +206,7 @@ pub fn explore(
         cfg.hidden = hidden;
         cfg.seed = seed;
         cfg.train.seed = seed;
+        cfg.train.threads = config.threads;
         MeiRcs::train(train, &cfg)
     };
     let mut hidden = config.initial_hidden;

@@ -50,7 +50,8 @@ pub struct SaabConfig {
     /// RNG seed for resampling and noisy evaluation.
     pub seed: u64,
     /// Worker threads for per-sample learner scoring (line 6's noisy
-    /// evaluation over the whole dataset); `0` means "auto"
+    /// evaluation over the whole dataset) and for each learner's sharded
+    /// backprop ([`neural::TrainConfig::threads`]); `0` means "auto"
     /// ([`std::thread::available_parallelism`], the default). Per the
     /// deterministic-parallelism rule every sample derives its stream from
     /// `(round_seed, sample_index)`, so the trained ensemble is
@@ -191,6 +192,7 @@ impl SaabTrainer {
             .seed
             .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(self.rounds_attempted as u64));
         cfg.train.seed = cfg.seed;
+        cfg.train.threads = self.config.threads;
         let mut learner = MeiRcs::train(&round_data, &cfg)?;
 
         // Line 6: weighted error under the non-ideal factors, comparing the

@@ -3,12 +3,15 @@
 //! The backprop implementation in [`crate::train`] is hand-derived; this
 //! module provides the standard central-difference cross-check so any
 //! future change to the loss, activations or layer structure can be
-//! verified against first principles. It is also used by the test suite to
-//! pin the trainer's gradients.
+//! verified against first principles. The analytic side comes straight
+//! from [`crate::train::sharded_mean_gradients`] — the trainer's own
+//! shard-accumulated backprop path — so the check pins the code the
+//! trainer actually runs, not a parallel reimplementation.
 
 use crate::data::Dataset;
 use crate::loss::WeightedMse;
 use crate::mlp::Mlp;
+use crate::train::sharded_mean_gradients;
 
 /// Result of a gradient check.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,70 +44,8 @@ fn mean_loss(mlp: &Mlp, data: &Dataset, loss: &WeightedMse) -> f64 {
     total / data.len() as f64
 }
 
-/// Analytic gradient of the mean loss with respect to every parameter,
-/// computed by the same backprop recurrence the trainer uses. Returns
-/// per-layer `(weight_grads, bias_grads)` in layer order.
-#[must_use]
-fn analytic_gradients(
-    mlp: &Mlp,
-    data: &Dataset,
-    loss: &WeightedMse,
-) -> Vec<(Vec<Vec<f64>>, Vec<f64>)> {
-    let layers = mlp.layers();
-    let mut grads: Vec<(Vec<Vec<f64>>, Vec<f64>)> = layers
-        .iter()
-        .map(|l| {
-            (
-                vec![vec![0.0; l.inputs()]; l.outputs()],
-                vec![0.0; l.outputs()],
-            )
-        })
-        .collect();
-    for (x, t) in data.iter() {
-        let trace = mlp.forward_trace(x);
-        let output = trace.last().expect("non-empty");
-        let mut delta = vec![0.0; output.len()];
-        loss.gradient_into(t, output, &mut delta);
-        for (d, &o) in delta.iter_mut().zip(output.iter()) {
-            *d *= layers
-                .last()
-                .expect("layers")
-                .activation
-                .derivative_from_output(o);
-        }
-        for l in (0..layers.len()).rev() {
-            let a_prev = &trace[l];
-            for (j, &dj) in delta.iter().enumerate() {
-                for (k, &ak) in a_prev.iter().enumerate() {
-                    grads[l].0[j][k] += dj * ak;
-                }
-                grads[l].1[j] += dj;
-            }
-            if l > 0 {
-                let mut prev = layers[l].weights.matvec_transpose(&delta);
-                let act = layers[l - 1].activation;
-                for (d, &a) in prev.iter_mut().zip(a_prev.iter()) {
-                    *d *= act.derivative_from_output(a);
-                }
-                delta = prev;
-            }
-        }
-    }
-    let n = data.len() as f64;
-    for (gw, gb) in &mut grads {
-        for row in gw {
-            for g in row {
-                *g /= n;
-            }
-        }
-        for g in gb {
-            *g /= n;
-        }
-    }
-    grads
-}
-
-/// Compare analytic backprop gradients against central finite differences
+/// Compare analytic backprop gradients — the trainer's shard-accumulated
+/// path, [`sharded_mean_gradients`] — against central finite differences
 /// on every parameter of `mlp` over `data` under `loss`.
 ///
 /// # Panics
@@ -115,7 +56,7 @@ fn analytic_gradients(
 pub fn check_gradients(mlp: &Mlp, data: &Dataset, loss: &WeightedMse, h: f64) -> GradCheckReport {
     assert_eq!(data.input_dim(), mlp.input_dim(), "dataset input dim");
     assert_eq!(loss.ports(), mlp.output_dim(), "loss port count");
-    let analytic = analytic_gradients(mlp, data, loss);
+    let (analytic_w, analytic_b) = sharded_mean_gradients(mlp, data, loss);
 
     let mut work = mlp.clone();
     let mut max_abs = 0.0_f64;
@@ -137,7 +78,7 @@ pub fn check_gradients(mlp: &Mlp, data: &Dataset, loss: &WeightedMse, h: f64) ->
                 let minus = mean_loss(&work, data, loss);
                 work.layers_mut()[l].weights[(j, k)] = original;
                 let numeric = (plus - minus) / (2.0 * h);
-                let exact = analytic[l].0[j][k];
+                let exact = analytic_w[l][(j, k)];
                 let abs = (numeric - exact).abs();
                 let rel = abs / numeric.abs().max(exact.abs()).max(1e-8);
                 max_abs = max_abs.max(abs);
@@ -151,7 +92,7 @@ pub fn check_gradients(mlp: &Mlp, data: &Dataset, loss: &WeightedMse, h: f64) ->
             let minus = mean_loss(&work, data, loss);
             work.layers_mut()[l].biases[j] = original;
             let numeric = (plus - minus) / (2.0 * h);
-            let exact = analytic[l].1[j];
+            let exact = analytic_b[l][j];
             let abs = (numeric - exact).abs();
             let rel = abs / numeric.abs().max(exact.abs()).max(1e-8);
             max_abs = max_abs.max(abs);

@@ -14,7 +14,9 @@
 //! * [`mlp::Mlp`] — a multilayer perceptron built via [`mlp::MlpBuilder`].
 //! * [`loss::WeightedMse`] — `Σ_p (w_p·(t_p − o_p))²`, the loss MEI modifies
 //!   to prioritize most-significant bits (Eq (5)).
-//! * [`train::Trainer`] — seeded mini-batch SGD with momentum.
+//! * [`train::Trainer`] — seeded mini-batch SGD with momentum; sharded
+//!   data-parallel backprop that is bit-identical at every
+//!   [`train::TrainConfig::threads`] setting.
 //! * [`data::Dataset`] — sample storage, splitting, and the *weighted
 //!   resampling* SAAB uses to focus new learners on hard examples
 //!   (Algorithm 1, line 4).
@@ -65,4 +67,4 @@ pub use loss::WeightedMse;
 pub use matrix::Matrix;
 pub use metrics::{dataset_mse, mlp_mse};
 pub use mlp::{Layer, Mlp, MlpBuilder};
-pub use train::{TrainConfig, TrainReport, Trainer};
+pub use train::{sharded_mean_gradients, TrainConfig, TrainReport, Trainer};

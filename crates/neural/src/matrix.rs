@@ -137,10 +137,22 @@ impl Matrix {
     ///
     /// Panics if `x.len() != cols`.
     #[must_use]
-    #[allow(clippy::needless_range_loop)] // row-major kernel: indexing is the clear form
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y ← A·x` into a caller-provided buffer — the allocation-free form
+    /// of [`matvec`](Self::matvec), same arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    #[allow(clippy::needless_range_loop)] // row-major kernel: indexing is the clear form
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output length mismatch");
         for r in 0..self.rows {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0.0;
@@ -149,7 +161,6 @@ impl Matrix {
             }
             y[r] = acc;
         }
-        y
     }
 
     /// `y = Aᵀ·x` (length `cols`) without materializing the transpose.
@@ -158,10 +169,28 @@ impl Matrix {
     ///
     /// Panics if `x.len() != rows`.
     #[must_use]
-    #[allow(clippy::needless_range_loop)] // row-major kernel: indexing is the clear form
     pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "transpose matvec dimension mismatch");
         let mut y = vec![0.0; self.cols];
+        self.matvec_transpose_into(x, &mut y);
+        y
+    }
+
+    /// `y ← Aᵀ·x` into a caller-provided buffer — the allocation-free form
+    /// of [`matvec_transpose`](Self::matvec_transpose), same arithmetic
+    /// (including the zero-row skip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `y.len() != cols`.
+    #[allow(clippy::needless_range_loop)] // row-major kernel: indexing is the clear form
+    pub fn matvec_transpose_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "transpose matvec dimension mismatch");
+        assert_eq!(
+            y.len(),
+            self.cols,
+            "transpose matvec output length mismatch"
+        );
+        y.fill(0.0);
         for r in 0..self.rows {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let xr = x[r];
@@ -172,7 +201,6 @@ impl Matrix {
                 y[c] += a * xr;
             }
         }
-        y
     }
 
     /// Rank-1 update `A += α·u·vᵀ` — the weight-gradient accumulation of
@@ -195,6 +223,26 @@ impl Matrix {
                 continue;
             }
             let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (a, b) in row.iter_mut().zip(v) {
+                *a += s * b;
+            }
+        }
+    }
+
+    /// Fused rank-1 update `A += α·u·vᵀ` with **no** zero-skip branch:
+    /// the steady-state gradient accumulation of the backprop hot path,
+    /// where `u` is a dense error vector and [`add_outer`](Self::add_outer)'s
+    /// sparsity test would only mispredict. Identical results on finite
+    /// data (skipping a `0.0·v` contribution equals adding it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len() != rows` or `v.len() != cols`.
+    pub fn rank_one_add(&mut self, alpha: f64, u: &[f64], v: &[f64]) {
+        assert_eq!(u.len(), self.rows, "rank-1 row dimension mismatch");
+        assert_eq!(v.len(), self.cols, "rank-1 column dimension mismatch");
+        for (row, &ur) in self.data.chunks_exact_mut(self.cols).zip(u) {
+            let s = alpha * ur;
             for (a, b) in row.iter_mut().zip(v) {
                 *a += s * b;
             }
@@ -343,6 +391,59 @@ mod tests {
         m.add_outer(2.0, &[1.0, -1.0], &[1.0, 2.0, 3.0]);
         assert_eq!(m.row(0), &[2.0, 4.0, 6.0]);
         assert_eq!(m.row(1), &[-2.0, -4.0, -6.0]);
+    }
+
+    #[test]
+    fn rank_one_add_matches_naive_outer_product_loop() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut m = Matrix::random_uniform(5, 7, 1.0, &mut rng);
+        let naive_base = m.clone();
+        let u: Vec<f64> = (0..5).map(|i| (i as f64 - 2.0) * 0.7).collect(); // includes u[2] == 0
+        let v: Vec<f64> = (0..7).map(|i| (i as f64 * 1.3).sin()).collect();
+        let alpha = -0.35;
+        m.rank_one_add(alpha, &u, &v);
+        let mut naive = naive_base.clone();
+        for r in 0..5 {
+            for c in 0..7 {
+                naive[(r, c)] += alpha * u[r] * v[c];
+            }
+        }
+        for r in 0..5 {
+            for c in 0..7 {
+                assert!(
+                    (m[(r, c)] - naive[(r, c)]).abs() < 1e-15,
+                    "({r},{c}): {} vs {}",
+                    m[(r, c)],
+                    naive[(r, c)]
+                );
+            }
+        }
+        // And bit-identical to the branchy add_outer on the same inputs.
+        let mut branchy = naive_base;
+        branchy.add_outer(alpha, &u, &v);
+        assert_eq!(m.as_slice(), branchy.as_slice());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels_bitwise() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let m = Matrix::random_uniform(4, 6, 2.0, &mut rng);
+        let x: Vec<f64> = (0..6).map(|i| i as f64 * 0.25 - 0.7).collect();
+        let mut y = vec![f64::NAN; 4]; // stale contents must be overwritten
+        m.matvec_into(&x, &mut y);
+        assert_eq!(y, m.matvec(&x));
+        let t = [0.5, 0.0, -1.25, 2.0];
+        let mut yt = vec![f64::NAN; 6];
+        m.matvec_transpose_into(&t, &mut yt);
+        assert_eq!(yt, m.matvec_transpose(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec output length mismatch")]
+    fn matvec_into_rejects_wrong_output_length() {
+        let m = Matrix::zeros(2, 3);
+        let mut y = vec![0.0; 3];
+        m.matvec_into(&[0.0; 3], &mut y);
     }
 
     #[test]

@@ -5,16 +5,52 @@
 //! weights to minimize the difference between the target and actual outputs"
 //! (paper §3.1, Eq (4)/(5)). The trainer is fully seeded so experiments are
 //! reproducible run-to-run.
+//!
+//! ## Deterministic data parallelism
+//!
+//! Training is data-parallel under the workspace determinism contract:
+//! thread count is a pure performance knob ([`TrainConfig::threads`]),
+//! never an experimental variable. Each mini-batch is partitioned into
+//! **fixed contiguous shards** whose geometry depends on the batch size
+//! alone, each shard accumulates its gradients into its own reusable
+//! [`Workspace`] on a persistent `runtime` crew, and the per-shard
+//! gradients are folded **in shard-index order** before the momentum
+//! update — the `par_reduce` ordered-reduction treatment, so the
+//! non-associative f64 sums see the same grouping at every thread count.
+//! The serial path runs the very same sharded code, making serial and
+//! parallel the same arithmetic by construction.
+//!
+//! The steady-state inner loop is allocation-free: traces, deltas, shard
+//! index lists and gradient accumulators all live in per-shard workspaces
+//! allocated once per `train` call ([`Mlp::forward_trace_into`],
+//! [`Matrix::rank_one_add`], [`Matrix::matvec_transpose_into`]).
 
 use std::fmt;
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
 
 use prng::rngs::StdRng;
 use prng::SeedableRng;
+use runtime::{resolve_threads, ThreadPool};
 
 use crate::data::Dataset;
 use crate::loss::WeightedMse;
 use crate::matrix::Matrix;
 use crate::mlp::Mlp;
+
+/// Largest number of gradient shards a mini-batch is split into.
+const MAX_SHARDS: usize = 8;
+
+/// Smallest shard worth accumulating separately: below this the per-shard
+/// zero + fold overhead dominates the per-sample arithmetic.
+const MIN_SHARD_SAMPLES: usize = 4;
+
+/// Samples per gradient shard — a function of the batch size **only**
+/// (never the thread count), so the shard partition, and with it every
+/// floating-point fold, is identical at every thread count.
+fn shard_samples(batch: usize) -> usize {
+    batch.div_ceil(MAX_SHARDS).max(MIN_SHARD_SAMPLES)
+}
 
 /// Hyperparameters of a training run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +69,11 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Stop early when the epoch loss drops below this value.
     pub target_loss: f64,
+    /// Worker threads for sharded gradient computation: `1` (the default)
+    /// trains serially, `0` auto-detects, any value produces bit-identical
+    /// results — the shard partition depends only on the batch size and
+    /// shard gradients fold in shard-index order.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -45,6 +86,7 @@ impl Default for TrainConfig {
             lr_decay: 1.0,
             seed: 0,
             target_loss: 0.0,
+            threads: 1,
         }
     }
 }
@@ -78,7 +120,7 @@ impl TrainConfig {
 }
 
 /// Outcome of a training run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TrainReport {
     /// Epochs actually executed (≤ configured epochs if the target loss was
     /// reached early).
@@ -87,15 +129,187 @@ pub struct TrainReport {
     pub final_loss: f64,
     /// Mean per-sample loss after each epoch.
     pub loss_history: Vec<f64>,
+    /// Wall-clock duration of the run in seconds (`std::time::Instant`).
+    pub wall_time_secs: f64,
+    /// Training throughput: samples processed per second over the run.
+    pub samples_per_sec: f64,
+}
+
+impl PartialEq for TrainReport {
+    /// Timing fields (`wall_time_secs`, `samples_per_sec`) are
+    /// measurements of the host, not outcomes of the algorithm — they are
+    /// excluded so determinism tests can compare reports exactly.
+    fn eq(&self, other: &Self) -> bool {
+        self.epochs_run == other.epochs_run
+            && self.final_loss == other.final_loss
+            && self.loss_history == other.loss_history
+    }
 }
 
 impl fmt::Display for TrainReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "trained {} epochs, final loss {:.6}",
-            self.epochs_run, self.final_loss
+            "trained {} epochs, final loss {:.6}, {:.0} samples/s ({:.3}s wall)",
+            self.epochs_run, self.final_loss, self.samples_per_sec, self.wall_time_secs
         )
+    }
+}
+
+/// Per-shard scratch: every buffer forward + backward touches, allocated
+/// once per training run and reused by whichever worker claims the shard,
+/// so the steady-state inner loop performs zero heap allocation.
+struct Workspace {
+    /// Activation trace, `layers + 1` buffers ([`Mlp::forward_trace_into`]).
+    trace: Vec<Vec<f64>>,
+    /// Per-layer δ buffers, `deltas[l].len() == layers[l].outputs()`.
+    deltas: Vec<Vec<f64>>,
+    /// This shard's sample indices, copied out of the shared shuffle order
+    /// under a short lock.
+    indices: Vec<usize>,
+    /// Per-layer weight-gradient accumulators.
+    grad_w: Vec<Matrix>,
+    /// Per-layer bias-gradient accumulators.
+    grad_b: Vec<Vec<f64>>,
+    /// Sum of per-sample losses over the shard, in index order.
+    loss_sum: f64,
+}
+
+impl Workspace {
+    fn new(mlp: &Mlp, shard_capacity: usize) -> Self {
+        let layers = mlp.layers();
+        let mut trace = Vec::with_capacity(layers.len() + 1);
+        trace.push(vec![0.0; mlp.input_dim()]);
+        trace.extend(layers.iter().map(|l| vec![0.0; l.outputs()]));
+        Self {
+            trace,
+            deltas: layers.iter().map(|l| vec![0.0; l.outputs()]).collect(),
+            indices: Vec::with_capacity(shard_capacity),
+            grad_w: layers
+                .iter()
+                .map(|l| Matrix::zeros(l.outputs(), l.inputs()))
+                .collect(),
+            grad_b: layers.iter().map(|l| vec![0.0; l.outputs()]).collect(),
+            loss_sum: 0.0,
+        }
+    }
+
+    fn reset(&mut self) {
+        for g in &mut self.grad_w {
+            g.fill_zero();
+        }
+        for g in &mut self.grad_b {
+            g.fill(0.0);
+        }
+        self.loss_sum = 0.0;
+    }
+
+    /// Forward + backward every sample in `self.indices`, accumulating
+    /// gradients and loss. This is *the* trainer arithmetic: the serial
+    /// path, every parallel path, and the gradient checker all run this
+    /// exact code over the same fixed shard partition.
+    fn accumulate(&mut self, mlp: &Mlp, data: &Dataset, loss: &WeightedMse) {
+        let layers = mlp.layers();
+        let last = layers.len() - 1;
+        for pos in 0..self.indices.len() {
+            let (x, t) = data.sample(self.indices[pos]);
+            mlp.forward_trace_into(x, &mut self.trace);
+            let output = &self.trace[last + 1];
+            self.loss_sum += loss.loss(t, output);
+
+            // δ at the output layer: ∂L/∂o ⊙ f'(o).
+            let out_delta = &mut self.deltas[last];
+            loss.gradient_into(t, output, out_delta);
+            let act = layers[last].activation;
+            for (d, &o) in out_delta.iter_mut().zip(output.iter()) {
+                *d *= act.derivative_from_output(o);
+            }
+
+            // Backward through the layers.
+            for l in (0..=last).rev() {
+                let a_prev = &self.trace[l];
+                let (lower, upper) = self.deltas.split_at_mut(l);
+                let delta = &upper[0];
+                self.grad_w[l].rank_one_add(1.0, delta, a_prev);
+                for (gb, d) in self.grad_b[l].iter_mut().zip(delta.iter()) {
+                    *gb += d;
+                }
+                if l > 0 {
+                    let prev = &mut lower[l - 1];
+                    layers[l].weights.matvec_transpose_into(delta, prev);
+                    let act = layers[l - 1].activation;
+                    for (d, &a) in prev.iter_mut().zip(a_prev.iter()) {
+                        *d *= act.derivative_from_output(a);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Mean-loss gradients of `mlp` over all of `data` under `loss`, computed
+/// by the exact shard-accumulation path [`Trainer::train`] uses: the fixed
+/// contiguous shard partition of one dataset-sized batch, per-shard
+/// accumulation, and an ordered shard-index fold. Returns per-layer weight
+/// and bias gradients; [`crate::gradcheck::check_gradients`] pins this
+/// against central finite differences.
+///
+/// # Panics
+///
+/// Panics if the dataset or loss dimensions don't match the network.
+#[must_use]
+pub fn sharded_mean_gradients(
+    mlp: &Mlp,
+    data: &Dataset,
+    loss: &WeightedMse,
+) -> (Vec<Matrix>, Vec<Vec<f64>>) {
+    assert_eq!(data.input_dim(), mlp.input_dim(), "dataset input dim");
+    assert_eq!(loss.ports(), mlp.output_dim(), "loss port count");
+    let n = data.len();
+    let shard = shard_samples(n);
+    let mut ws = Workspace::new(mlp, shard);
+    let mut grad_w: Vec<Matrix> = mlp
+        .layers()
+        .iter()
+        .map(|l| Matrix::zeros(l.outputs(), l.inputs()))
+        .collect();
+    let mut grad_b: Vec<Vec<f64>> = mlp
+        .layers()
+        .iter()
+        .map(|l| vec![0.0; l.outputs()])
+        .collect();
+    let mut start = 0usize;
+    while start < n {
+        let hi = (start + shard).min(n);
+        ws.indices.clear();
+        ws.indices.extend(start..hi);
+        ws.reset();
+        ws.accumulate(mlp, data, loss);
+        fold_workspace(&ws, &mut grad_w, &mut grad_b);
+        start = hi;
+    }
+    let inv = 1.0 / n as f64;
+    for g in &mut grad_w {
+        g.scale(inv);
+    }
+    for g in &mut grad_b {
+        for v in g {
+            *v *= inv;
+        }
+    }
+    (grad_w, grad_b)
+}
+
+/// Add one shard's accumulated gradients into the global accumulators —
+/// the single fold step both the trainer and the gradient checker use.
+fn fold_workspace(ws: &Workspace, grad_w: &mut [Matrix], grad_b: &mut [Vec<f64>]) {
+    for (dst, src) in grad_w.iter_mut().zip(&ws.grad_w) {
+        dst.add_scaled(1.0, src);
+    }
+    for (dst, src) in grad_b.iter_mut().zip(&ws.grad_b) {
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            *d += s;
+        }
     }
 }
 
@@ -135,6 +349,10 @@ impl Trainer {
 
     /// Train `mlp` on `data`, mutating its weights in place.
     ///
+    /// The mini-batch loop is sharded ([module docs](self)): the result is
+    /// a pure function of the configuration and the data, bit-identical at
+    /// every [`TrainConfig::threads`] setting.
+    ///
     /// # Panics
     ///
     /// Panics if the dataset dimensions don't match the network, or if a
@@ -162,12 +380,26 @@ impl Trainer {
             None => WeightedMse::uniform(mlp.output_dim()),
         };
 
+        let started = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let n = data.len();
         let batch = self.config.batch_size.min(n);
-        let mut order: Vec<usize> = (0..n).collect();
-        let mut lr = self.config.learning_rate;
+        let shard = shard_samples(batch);
+        let slots = batch.div_ceil(shard);
+        let workers = resolve_threads(self.config.threads).min(slots).max(1);
 
+        // Shared state for the crew: the shuffle order, the current network
+        // (read by shard tasks, write-locked only between rounds for the
+        // momentum update), and one workspace per shard slot — per-*shard*,
+        // not per-worker, so accumulation groups are fixed by the partition
+        // and the ordered fold below is thread-count invariant.
+        let order: Mutex<Vec<usize>> = Mutex::new((0..n).collect());
+        let net: RwLock<Mlp> = RwLock::new(mlp.clone());
+        let workspaces: Vec<Mutex<Workspace>> = (0..slots)
+            .map(|_| Mutex::new(Workspace::new(mlp, shard)))
+            .collect();
+
+        let mut lr = self.config.learning_rate;
         // Momentum velocity buffers, one per layer.
         let mut vel_w: Vec<Matrix> = mlp
             .layers()
@@ -179,87 +411,94 @@ impl Trainer {
             .iter()
             .map(|l| vec![0.0; l.outputs()])
             .collect();
-        // Gradient accumulators.
+        // Folded gradient accumulators.
         let mut grad_w: Vec<Matrix> = vel_w.clone();
         let mut grad_b: Vec<Vec<f64>> = vel_b.clone();
 
-        let mut history = Vec::with_capacity(self.config.epochs);
-        let mut epochs_run = 0;
+        // The per-round task: shard `s` of the mini-batch starting at
+        // `chunk_start`. Everything it needs is a pure function of those
+        // two numbers plus shared state, so the dispatch is two words.
+        let task = |chunk_start: usize, s: usize| {
+            let len = (n - chunk_start).min(batch);
+            let lo = chunk_start + s * shard;
+            let hi = chunk_start + ((s + 1) * shard).min(len);
+            let mut ws = workspaces[s].lock().expect("workspace lock");
+            {
+                let order = order.lock().expect("order lock");
+                ws.indices.clear();
+                ws.indices.extend_from_slice(&order[lo..hi]);
+            }
+            ws.reset();
+            let net = net.read().expect("net lock");
+            ws.accumulate(&net, data, &loss);
+        };
 
-        for _epoch in 0..self.config.epochs {
-            epochs_run += 1;
-            prng::seq::shuffle(&mut order, &mut rng);
-            let mut epoch_loss = 0.0;
-
-            for chunk in order.chunks(batch) {
-                for g in &mut grad_w {
-                    g.fill_zero();
+        let pool = ThreadPool::new(workers);
+        let (history, epochs_run) = pool.crew(task, |crew| {
+            let mut history = Vec::with_capacity(self.config.epochs);
+            let mut epochs_run = 0usize;
+            for _epoch in 0..self.config.epochs {
+                epochs_run += 1;
+                {
+                    let mut order = order.lock().expect("order lock");
+                    prng::seq::shuffle(&mut order, &mut rng);
                 }
-                for g in &mut grad_b {
-                    g.fill(0.0);
-                }
+                let mut epoch_loss = 0.0;
 
-                for &i in chunk {
-                    let (x, t) = data.sample(i);
-                    let trace = mlp.forward_trace(x);
-                    let output = trace.last().expect("trace non-empty");
-                    epoch_loss += loss.loss(t, output);
+                let mut chunk_start = 0usize;
+                while chunk_start < n {
+                    let len = (n - chunk_start).min(batch);
+                    crew.run(chunk_start, len.div_ceil(shard));
 
-                    // δ at the output layer: ∂L/∂o ⊙ f'(o).
-                    let mut delta = vec![0.0; output.len()];
-                    loss.gradient_into(t, output, &mut delta);
-                    let layers = mlp.layers();
-                    for (d, &o) in delta.iter_mut().zip(output.iter()) {
-                        *d *= layers
-                            .last()
-                            .expect("layers")
-                            .activation
-                            .derivative_from_output(o);
+                    // Ordered reduction: fold shard gradients strictly in
+                    // shard-index order so the f64 sums group identically
+                    // at every thread count.
+                    for g in &mut grad_w {
+                        g.fill_zero();
+                    }
+                    for g in &mut grad_b {
+                        g.fill(0.0);
+                    }
+                    for slot in workspaces.iter().take(len.div_ceil(shard)) {
+                        let ws = slot.lock().expect("workspace lock");
+                        fold_workspace(&ws, &mut grad_w, &mut grad_b);
+                        epoch_loss += ws.loss_sum;
                     }
 
-                    // Backward through the layers.
-                    for l in (0..layers.len()).rev() {
-                        let a_prev = &trace[l];
-                        grad_w[l].add_outer(1.0, &delta, a_prev);
-                        for (gb, d) in grad_b[l].iter_mut().zip(&delta) {
-                            *gb += d;
+                    // Momentum update: v ← μ·v − (lr/|batch|)·∇ ; θ ← θ + v.
+                    let scale = lr / len as f64;
+                    let mut net = net.write().expect("net lock");
+                    for (l, layer) in net.layers_mut().iter_mut().enumerate() {
+                        vel_w[l].scale(self.config.momentum);
+                        vel_w[l].add_scaled(-scale, &grad_w[l]);
+                        layer.weights.add_scaled(1.0, &vel_w[l]);
+                        for j in 0..layer.biases.len() {
+                            vel_b[l][j] = self.config.momentum * vel_b[l][j] - scale * grad_b[l][j];
+                            layer.biases[j] += vel_b[l][j];
                         }
-                        if l > 0 {
-                            let mut prev_delta = layers[l].weights.matvec_transpose(&delta);
-                            let act = layers[l - 1].activation;
-                            for (d, &a) in prev_delta.iter_mut().zip(a_prev.iter()) {
-                                *d *= act.derivative_from_output(a);
-                            }
-                            delta = prev_delta;
-                        }
                     }
+                    chunk_start += len;
                 }
 
-                // Momentum update: v ← μ·v − (lr/|batch|)·∇ ; θ ← θ + v.
-                let scale = lr / chunk.len() as f64;
-                for (l, layer) in mlp.layers_mut().iter_mut().enumerate() {
-                    vel_w[l].scale(self.config.momentum);
-                    vel_w[l].add_scaled(-scale, &grad_w[l]);
-                    layer.weights.add_scaled(1.0, &vel_w[l]);
-                    for j in 0..layer.biases.len() {
-                        vel_b[l][j] = self.config.momentum * vel_b[l][j] - scale * grad_b[l][j];
-                        layer.biases[j] += vel_b[l][j];
-                    }
+                let mean_loss = epoch_loss / n as f64;
+                history.push(mean_loss);
+                lr *= self.config.lr_decay;
+                if mean_loss <= self.config.target_loss {
+                    break;
                 }
             }
+            (history, epochs_run)
+        });
 
-            let mean_loss = epoch_loss / n as f64;
-            history.push(mean_loss);
-            lr *= self.config.lr_decay;
-            if mean_loss <= self.config.target_loss {
-                break;
-            }
-        }
-
+        *mlp = net.into_inner().expect("net lock poisoned");
+        let wall = started.elapsed().as_secs_f64();
+        let samples = (epochs_run * n) as f64;
         TrainReport {
             epochs_run,
             final_loss: *history.last().expect("at least one epoch"),
             loss_history: history,
+            wall_time_secs: wall,
+            samples_per_sec: if wall > 0.0 { samples / wall } else { 0.0 },
         }
     }
 }
@@ -294,6 +533,7 @@ impl Trainer {
             "validation output dim"
         );
 
+        let started = Instant::now();
         let mut one_epoch = self.clone();
         one_epoch.config.epochs = 1;
         let mut lr = self.config.learning_rate;
@@ -325,10 +565,14 @@ impl Trainer {
             }
         }
 
+        let wall = started.elapsed().as_secs_f64();
+        let samples = (epochs_run * train.len()) as f64;
         TrainReport {
             epochs_run,
             final_loss: *history.last().expect("at least one epoch"),
             loss_history: history,
+            wall_time_secs: wall,
+            samples_per_sec: if wall > 0.0 { samples / wall } else { 0.0 },
         }
     }
 }
@@ -573,8 +817,89 @@ mod tests {
             epochs_run: 10,
             final_loss: 0.125,
             loss_history: vec![0.125],
+            wall_time_secs: 0.5,
+            samples_per_sec: 1280.0,
         };
         let s = format!("{r}");
-        assert!(s.contains("10") && s.contains("0.125"));
+        assert!(s.contains("10") && s.contains("0.125") && s.contains("1280"));
+    }
+
+    #[test]
+    fn report_equality_ignores_timing() {
+        let mut a = TrainReport {
+            epochs_run: 3,
+            final_loss: 0.25,
+            loss_history: vec![1.0, 0.5, 0.25],
+            wall_time_secs: 0.1,
+            samples_per_sec: 100.0,
+        };
+        let mut b = a.clone();
+        b.wall_time_secs = 99.0;
+        b.samples_per_sec = 1.0;
+        assert_eq!(a, b);
+        a.final_loss = 0.3;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn training_is_bit_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = Dataset::generate(37, &mut rng, |r| {
+            let x: f64 = r.gen();
+            let y: f64 = r.gen();
+            (vec![x, y], vec![(x * y).sqrt()])
+        })
+        .unwrap();
+        let run = |threads: usize| {
+            let mut net = MlpBuilder::new(&[2, 6, 1]).seed(9).build();
+            let trainer = Trainer::new(TrainConfig {
+                epochs: 8,
+                batch_size: 10,
+                learning_rate: 0.6,
+                threads,
+                ..TrainConfig::default()
+            });
+            let report = trainer.train(&mut net, &data);
+            (net, report)
+        };
+        let (serial_net, serial_report) = run(1);
+        for threads in [2, 3, 0] {
+            let (net, report) = run(threads);
+            assert_eq!(serial_net, net, "weights diverged at threads={threads}");
+            assert_eq!(
+                serial_report, report,
+                "report diverged at threads={threads}"
+            );
+            let bits: Vec<u64> = report.loss_history.iter().map(|l| l.to_bits()).collect();
+            let serial_bits: Vec<u64> = serial_report
+                .loss_history
+                .iter()
+                .map(|l| l.to_bits())
+                .collect();
+            assert_eq!(serial_bits, bits, "loss bits diverged at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_mean_gradients_are_finite_and_shaped() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let data = Dataset::generate(21, &mut rng, |r| {
+            let x: f64 = r.gen();
+            (vec![x], vec![1.0 - x, x * x])
+        })
+        .unwrap();
+        let net = MlpBuilder::new(&[1, 5, 2]).seed(4).build();
+        let loss = WeightedMse::uniform(2);
+        let (gw, gb) = sharded_mean_gradients(&net, &data, &loss);
+        assert_eq!(gw.len(), net.layers().len());
+        assert_eq!(gb.len(), net.layers().len());
+        for (l, layer) in net.layers().iter().enumerate() {
+            assert_eq!(
+                (gw[l].rows(), gw[l].cols()),
+                (layer.outputs(), layer.inputs())
+            );
+            assert_eq!(gb[l].len(), layer.outputs());
+            assert!(gb[l].iter().all(|g| g.is_finite()));
+        }
     }
 }

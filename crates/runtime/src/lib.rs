@@ -12,6 +12,11 @@
 //!   borrow from the caller; a panicking task is caught at the task
 //!   boundary, the rest of the batch completes, and the lowest-indexed
 //!   panic is re-raised in the caller.
+//! * [`Crew`] — a persistent fork-join crew ([`ThreadPool::crew`]):
+//!   workers spawn once and then execute any number of dispatched rounds
+//!   of the same borrowed task closure, so an iterative hot loop (the
+//!   trainer's per-mini-batch shards) pays a condvar wake per round
+//!   instead of a thread spawn.
 //! * [`ChipPool`] — N independently manufactured [`Chip`] instances (each
 //!   with its own `(root_seed, chip_index)`-derived write-noise draw)
 //!   serving batched requests from per-chip queues under a deterministic
@@ -34,9 +39,11 @@
 #![warn(missing_docs)]
 
 pub mod chip;
+pub mod crew;
 pub mod pool;
 pub mod stats;
 
 pub use chip::{Chip, ChipPool, Placement, ServeOutcome};
+pub use crew::Crew;
 pub use pool::{resolve_threads, ThreadPool};
 pub use stats::{percentile, ChipStats, ServeStats};

@@ -12,7 +12,7 @@ use mei::{
     manufacture_chips, mse_scorer, robustness_par, MeiConfig, MeiRcs, NonIdealFactors, Saab,
     SaabConfig,
 };
-use neural::{Dataset, TrainConfig};
+use neural::{Dataset, MlpBuilder, TrainConfig, TrainReport, Trainer, WeightedMse};
 use prng::rngs::StdRng;
 use prng::{Rng, SeedableRng};
 use runtime::{Chip, Placement, ThreadPool};
@@ -98,6 +98,91 @@ fn saab_training_is_bit_identical_across_thread_counts() {
     let serial = train(1);
     assert_eq!(serial, train(2), "2-thread SAAB differs from serial");
     assert_eq!(serial, train(8), "8-thread SAAB differs from serial");
+}
+
+/// One full `Trainer::train` run at a given thread count, over a batch
+/// size (10) that does not divide the dataset (157 samples) or the thread
+/// counts under test — exercising the tail chunk and the tail shard.
+fn trainer_outcome(threads: usize, weighted: bool) -> (neural::Mlp, TrainReport) {
+    let mut rng = StdRng::seed_from_u64(21);
+    let data = Dataset::generate(157, &mut rng, |r| {
+        let x: f64 = r.gen();
+        let y: f64 = r.gen();
+        (vec![x, y], vec![x * y, 1.0 - x, (x + y) / 2.0])
+    })
+    .unwrap();
+    let mut net = MlpBuilder::new(&[2, 10, 3]).seed(5).build();
+    let config = TrainConfig {
+        epochs: 12,
+        batch_size: 10,
+        learning_rate: 0.7,
+        threads,
+        ..TrainConfig::default()
+    };
+    let trainer = if weighted {
+        Trainer::with_loss(
+            config,
+            WeightedMse::new(vec![1.0, std::f64::consts::FRAC_1_SQRT_2, 0.5]),
+        )
+    } else {
+        Trainer::new(config)
+    };
+    let report = trainer.train(&mut net, &data);
+    (net, report)
+}
+
+/// Sharded data-parallel backprop: the full training outcome — weights,
+/// epochs run and every per-epoch loss — is bit-identical whether the
+/// gradients are computed on 1, 2 or 8 threads, with either loss.
+#[test]
+fn trainer_is_bit_identical_across_thread_counts() {
+    for weighted in [false, true] {
+        let (serial_net, serial_report) = trainer_outcome(1, weighted);
+        let serial_bits: Vec<u64> = serial_report
+            .loss_history
+            .iter()
+            .map(|l| l.to_bits())
+            .collect();
+        for threads in [2, 8] {
+            let (net, report) = trainer_outcome(threads, weighted);
+            assert_eq!(
+                serial_net, net,
+                "weights diverged at {threads} threads (weighted={weighted})"
+            );
+            assert_eq!(
+                serial_report, report,
+                "report diverged at {threads} threads (weighted={weighted})"
+            );
+            assert_eq!(serial_report.epochs_run, report.epochs_run);
+            let bits: Vec<u64> = report.loss_history.iter().map(|l| l.to_bits()).collect();
+            assert_eq!(
+                serial_bits, bits,
+                "loss history bits diverged at {threads} threads (weighted={weighted})"
+            );
+        }
+    }
+}
+
+/// End-to-end through the `mei` crate: an MEI RCS trained with parallel
+/// backprop is the identical system the serial trainer produces.
+#[test]
+fn mei_training_with_parallel_backprop_matches_serial() {
+    let data = expfit(300, 44);
+    let train = |threads: usize| {
+        let mut cfg = mei_config();
+        cfg.train.threads = threads;
+        MeiRcs::train(&data, &cfg).unwrap()
+    };
+    let serial = train(1);
+    let parallel = train(4);
+    assert_eq!(
+        serial.mlp(),
+        parallel.mlp(),
+        "4-thread MEI backprop differs from serial"
+    );
+    for &x in &[0.05, 0.45, 0.95] {
+        assert_eq!(serial.infer(&[x]).unwrap(), parallel.infer(&[x]).unwrap());
+    }
 }
 
 /// Chip manufacturing and batched serving: chip `i` is the same device at
