@@ -26,9 +26,14 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> benches compile"
 cargo build --offline -p mei-bench --benches
 
-echo "==> throughput bench smoke (1-second windows)"
-MEI_BENCH_FAST=1 MEI_BENCH_SECONDS=1 \
+echo "==> throughput bench smoke (ramp-to-knee, in-process + loopback TCP)"
+# FAST mode shrinks training, windows, and the open-loop ramp; the bench
+# drives the same ramp through the TCP front-end over 127.0.0.1.
+MEI_BENCH_FAST=1 MEI_BENCH_SECONDS=0.5 \
     cargo run --release --offline -p mei-bench --bin throughput > /dev/null
+
+echo "==> TCP front-end smoke (loopback round trip, in-band errors, shutdown)"
+cargo run --release --offline --example serve_tcp > /dev/null
 
 echo "==> training throughput bench smoke (1-epoch calls, 0.3-second windows)"
 # The 0.9x sanity floor on the 2-thread speedup is enforced by the binary

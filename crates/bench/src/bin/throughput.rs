@@ -1,63 +1,61 @@
-//! Serving-throughput benchmark: batched inference on a manufactured chip
-//! pool (`runtime::ChipPool`) at several pool sizes.
+//! Serving-throughput benchmark: the policy-driven engine under closed,
+//! open-loop and over-the-wire load.
 //!
 //! The workload is the Table 1 **inversek2j** MEI system trained with a
-//! small budget. For each chip count in `{1, 2, 4, auto}` the benchmark
-//! runs two phases:
+//! small budget. Four phases:
 //!
-//! 1. **closed** — saturating batches with no think time, measuring the
-//!    maximum sustainable requests/sec;
-//! 2. **open** — a Poisson-free open-loop load at ~70% of the measured
-//!    closed-phase rate (uniform arrival spacing), measuring p50/p99
-//!    latency *including queueing delay* and per-chip utilization.
+//! 1. **closed sweep** — saturating batches at pool sizes `{1, 2, 4,
+//!    auto}`, measuring the maximum sustainable requests/sec;
+//! 2. **in-process knee** — a ramping open-loop controller
+//!    (`mei_bench::ramp`) walks the arrival rate up on the largest pool
+//!    until p99 latency knees, reporting the knee rate and p50/p99 there
+//!    instead of a blind fixed-utilization point;
+//! 3. **loopback-TCP knee** — the same ramp driven through
+//!    `runtime::net` over 127.0.0.1, a real socket round-trip per
+//!    request;
+//! 4. **policy comparison** — a *mixed-topology* pool (2 narrow + 2 wide
+//!    chips of the same workload) served open-loop at a fixed rate under
+//!    `RoundRobin`, `LeastLoaded` (input-length proxy) and `SizeAware`
+//!    over a **calibrated** cost model; the calibrated policy should buy
+//!    lower p99 at equal offered rate on multi-core hosts (reported
+//!    always, never asserted here).
 //!
-//! The human-readable table goes to stderr; the machine-diffable JSON
-//! report goes to stdout (and to `MEI_BENCH_JSON` when set). On a
-//! single-hardware-thread host the multi-chip speedup is reported, never
-//! asserted.
+//! The human-readable tables go to stderr; the machine-diffable JSON
+//! report goes to stdout (and to `MEI_BENCH_JSON` when set).
 //!
 //! Environment knobs:
 //!
-//! * `MEI_BENCH_SECONDS=<f>` — closed-phase measurement window per pool
-//!   size (default 2.0);
-//! * `MEI_BENCH_FAST=1` — smoke mode: ~0.2 s windows and a tiny training
-//!   budget;
+//! * `MEI_BENCH_SECONDS=<f>` — measurement window per phase (default 2.0);
+//! * `MEI_BENCH_FAST=1` — smoke mode: ~0.2 s windows, tiny training
+//!   budget, shorter ramps;
 //! * `MEI_BENCH_JSON=<path>` — also write the JSON report to a file;
 //! * `MEI_THREADS` is *not* read here: the pool size under test is the
 //!   experiment variable.
 //!
 //! Run with: `cargo run --release -p mei-bench --bin throughput`
 
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use mei::{manufacture_chips, MeiConfig, MeiRcs};
+use mei_bench::ramp::{ramp_to_knee, RampConfig, RampReport};
 use mei_bench::{format_table, table1_setups, ExperimentConfig, EXPERIMENT_WRITE_SIGMA};
 use neural::TrainConfig;
-use runtime::{resolve_threads, ChipPool, Placement, ServeStats};
+use runtime::net::{NetWorkload, Response, Server, ServerConfig};
+use runtime::{
+    resolve_threads, Chip, ChipPool, CostModel, Engine, LeastLoaded, RoundRobin, ServeStats,
+    SizeAware,
+};
 
-/// One pool size's measurements.
-struct PoolResult {
-    chips: usize,
-    closed_rps: f64,
-    open: ServeStats,
-}
-
-impl PoolResult {
-    fn to_json(&self) -> String {
-        format!(
-            "{{\"chips\":{},\"closed_requests_per_sec\":{:.3},\"open\":{}}}",
-            self.chips,
-            self.closed_rps,
-            self.open.to_json()
-        )
-    }
+fn fast_mode() -> bool {
+    std::env::var("MEI_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 fn measure_window() -> Duration {
-    let fast = std::env::var("MEI_BENCH_FAST")
-        .map(|v| v == "1")
-        .unwrap_or(false);
-    let default = if fast { 0.2 } else { 2.0 };
+    let default = if fast_mode() { 0.2 } else { 2.0 };
     let secs = std::env::var("MEI_BENCH_SECONDS")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
@@ -66,19 +64,19 @@ fn measure_window() -> Duration {
 }
 
 /// Closed phase: serve saturating batches until the window elapses.
-fn closed_phase(pool: &ChipPool<MeiRcs>, inputs: &[Vec<f64>], window: Duration) -> f64 {
+fn closed_phase<C: Chip>(engine: &Engine<C>, inputs: &[Vec<f64>], window: Duration) -> f64 {
     let start = Instant::now();
     let mut requests = 0usize;
     while start.elapsed() < window {
-        let outcome = pool.serve(inputs, Placement::LeastLoaded);
+        let outcome = engine.serve(inputs);
         requests += outcome.outputs.len();
     }
     requests as f64 / start.elapsed().as_secs_f64()
 }
 
 /// Open phase: uniform arrivals at `rate` req/s for the window.
-fn open_phase(
-    pool: &ChipPool<MeiRcs>,
+fn open_phase<C: Chip>(
+    engine: &Engine<C>,
     inputs: &[Vec<f64>],
     rate: f64,
     window: Duration,
@@ -87,14 +85,142 @@ fn open_phase(
     let n = ((window.as_secs_f64() * rate).ceil() as usize).max(1);
     let requests: Vec<Vec<f64>> = (0..n).map(|i| inputs[i % inputs.len()].clone()).collect();
     let arrivals: Vec<Duration> = (0..n).map(|i| spacing * i as u32).collect();
-    pool.serve_open_loop(&requests, &arrivals, Placement::LeastLoaded)
-        .stats
+    engine.serve_open_loop(&requests, &arrivals).stats
 }
 
+/// Open phase over loopback TCP: a paced writer thread sends requests at
+/// their scheduled arrival times over one connection; this thread reads
+/// responses in order and measures completion − scheduled arrival (so
+/// queueing in the server and the socket both count). Per-chip busy time
+/// is approximated from the server-reported service latencies.
+fn tcp_open_phase(
+    addr: std::net::SocketAddr,
+    workload: &str,
+    chips: usize,
+    inputs: &[Vec<f64>],
+    rate: f64,
+    window: Duration,
+) -> ServeStats {
+    let spacing = Duration::from_secs_f64(1.0 / rate.max(1.0));
+    let n = ((window.as_secs_f64() * rate).ceil() as usize).max(1);
+    let stream = TcpStream::connect(addr).expect("connect to bench server");
+    stream.set_nodelay(true).expect("nodelay");
+    let reader_half = stream.try_clone().expect("clone stream");
+
+    let epoch = Instant::now();
+    let writer_inputs: Vec<&Vec<f64>> = (0..n).map(|i| &inputs[i % inputs.len()]).collect();
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut writer = BufWriter::new(stream);
+            for (i, input) in writer_inputs.iter().enumerate() {
+                let due = spacing * i as u32;
+                let now = epoch.elapsed();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                if writeln!(writer, "{workload} {}", runtime::net::format_csv(input)).is_err()
+                    || writer.flush().is_err()
+                {
+                    return;
+                }
+            }
+        });
+
+        let mut reader = BufReader::new(reader_half);
+        let mut latencies: Vec<Duration> = Vec::with_capacity(n);
+        let mut per_chip: Vec<(usize, usize, Duration)> = vec![(0, 0, Duration::ZERO); chips];
+        let mut line = String::new();
+        for i in 0..n {
+            line.clear();
+            let bytes = reader.read_line(&mut line).expect("read response");
+            assert!(bytes > 0, "server closed mid-ramp");
+            let done = epoch.elapsed();
+            let arrival = spacing * i as u32;
+            latencies.push(done.saturating_sub(arrival));
+            match Response::parse(line.trim_end()).expect("well-formed response") {
+                Response::Ok {
+                    chip, latency_us, ..
+                } => {
+                    per_chip[chip].0 += 1;
+                    per_chip[chip].1 += 1;
+                    per_chip[chip].2 += Duration::from_micros(latency_us as u64);
+                }
+                Response::Error(e) => panic!("bench request rejected: {e}"),
+            }
+        }
+        ServeStats::from_run("tcp/least_loaded", &latencies, epoch.elapsed(), per_chip)
+    })
+}
+
+/// Build the mixed-topology pool: `narrow_n` chips of the narrow system
+/// and `wide_n` of the wide one, as one type-erased pool. Chip ids
+/// `0..narrow_n` are the fast chips.
+fn mixed_pool(
+    narrow: &MeiRcs,
+    wide: &MeiRcs,
+    narrow_n: usize,
+    wide_n: usize,
+    seed: u64,
+) -> ChipPool<Box<dyn Chip>> {
+    let mut chips: Vec<Box<dyn Chip>> =
+        manufacture_chips(narrow, narrow_n, EXPERIMENT_WRITE_SIGMA, seed)
+            .boxed()
+            .into_chips();
+    chips.extend(
+        manufacture_chips(wide, wide_n, EXPERIMENT_WRITE_SIGMA, seed + 1)
+            .boxed()
+            .into_chips(),
+    );
+    ChipPool::from_chips(chips)
+}
+
+struct PolicyResult {
+    name: &'static str,
+    offered_rps: f64,
+    stats: ServeStats,
+}
+
+impl PolicyResult {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"policy\":\"{}\",\"offered_rps\":{:.3},\"stats\":{}}}",
+            self.name,
+            self.offered_rps,
+            self.stats.to_json()
+        )
+    }
+}
+
+fn knee_table(label: &str, report: &RampReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .steps
+        .iter()
+        .map(|s| {
+            vec![
+                format!("{:.0}", s.offered_rps),
+                format!("{:.0}", s.stats.requests_per_sec),
+                format!("{:.1}", s.stats.p50_latency_us),
+                format!("{:.1}", s.stats.p99_latency_us),
+            ]
+        })
+        .collect();
+    let knee = report.knee_step();
+    format!(
+        "{}\nknee[{label}]: {:.0} req/s (p50 {:.1} µs, p99 {:.1} µs, elbow {})",
+        format_table(
+            &["offered req/s", "served req/s", "p50 µs", "p99 µs"],
+            &rows
+        ),
+        knee.offered_rps,
+        knee.stats.p50_latency_us,
+        knee.stats.p99_latency_us,
+        if report.kneed { "found" } else { "not reached" }
+    )
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() {
-    let fast = std::env::var("MEI_BENCH_FAST")
-        .map(|v| v == "1")
-        .unwrap_or(false);
+    let fast = fast_mode();
     let window = measure_window();
     let cfg = ExperimentConfig::from_env();
 
@@ -110,29 +236,34 @@ fn main() {
         .dataset(train_samples, cfg.seed)
         .expect("train data");
     let test = setup.workload.dataset(64, cfg.seed + 1).expect("test data");
-    let mei = MeiRcs::train(
-        &train,
-        &MeiConfig {
-            hidden: setup.mei_hidden,
-            in_bits: setup.mei_in_bits,
-            out_bits: setup.mei_out_bits,
-            device: cfg.device(),
-            train: TrainConfig {
-                epochs: if fast { 15 } else { 60 },
-                learning_rate: 0.8,
-                ..TrainConfig::default()
+    let train_mei = |hidden: usize| {
+        MeiRcs::train(
+            &train,
+            &MeiConfig {
+                hidden,
+                in_bits: setup.mei_in_bits,
+                out_bits: setup.mei_out_bits,
+                device: cfg.device(),
+                train: TrainConfig {
+                    epochs: if fast { 15 } else { 60 },
+                    learning_rate: 0.8,
+                    ..TrainConfig::default()
+                },
+                seed: cfg.seed,
+                ..MeiConfig::default()
             },
-            seed: cfg.seed,
-            ..MeiConfig::default()
-        },
-    )
-    .expect("MEI training");
+        )
+        .expect("MEI training")
+    };
+    let mei = train_mei(setup.mei_hidden);
     let inputs: Vec<Vec<f64>> = test.inputs().to_vec();
+    let input_dim = inputs[0].len();
 
     let auto = resolve_threads(0);
     let mut chip_counts = vec![1usize, 2, 4, auto];
     chip_counts.sort_unstable();
     chip_counts.dedup();
+    let largest = *chip_counts.last().expect("non-empty");
 
     eprintln!(
         "== throughput: inversek2j MEI serving, {} hardware threads, {:.2}s windows ==",
@@ -140,48 +271,147 @@ fn main() {
         window.as_secs_f64()
     );
 
-    let mut results: Vec<PoolResult> = Vec::new();
+    // Phase 1: closed saturation sweep over pool sizes.
+    let mut closed: Vec<(usize, f64)> = Vec::new();
     for &chips in &chip_counts {
-        let pool = manufacture_chips(&mei, chips, EXPERIMENT_WRITE_SIGMA, cfg.seed);
-        let closed_rps = closed_phase(&pool, &inputs, window);
-        let open = open_phase(&pool, &inputs, closed_rps * 0.7, window);
-        eprintln!("  {} chips: {}", chips, open);
-        results.push(PoolResult {
+        let engine = Engine::new(manufacture_chips(
+            &mei,
             chips,
-            closed_rps,
-            open,
-        });
+            EXPERIMENT_WRITE_SIGMA,
+            cfg.seed,
+        ));
+        closed.push((chips, closed_phase(&engine, &inputs, window)));
     }
-
-    let rps_of = |chips: usize| {
-        results
-            .iter()
-            .find(|r| r.chips == chips)
-            .map(|r| r.closed_rps)
-    };
+    let rows: Vec<Vec<String>> = closed
+        .iter()
+        .map(|(chips, rps)| vec![chips.to_string(), format!("{rps:.0}")])
+        .collect();
+    eprintln!("{}", format_table(&["chips", "closed req/s"], &rows));
+    let rps_of = |chips: usize| closed.iter().find(|r| r.0 == chips).map(|r| r.1);
     let speedup_4v1 = match (rps_of(4), rps_of(1)) {
         (Some(four), Some(one)) if one > 0.0 => Some(four / one),
         _ => None,
     };
-    let speedup_json = speedup_4v1.map_or_else(|| "null".into(), |s| format!("{s:.4}"));
-    let speedup_text = speedup_4v1.map_or_else(|| "n/a".into(), |s| format!("{s:.2}×"));
+    eprintln!(
+        "speedup 4 chips vs 1 (closed): {} ({} hardware threads — reported, not asserted)",
+        speedup_4v1.map_or_else(|| "n/a".into(), |s| format!("{s:.2}×")),
+        auto
+    );
 
-    let rows: Vec<Vec<String>> = results
+    // Phase 2: in-process knee on the largest pool.
+    let closed_largest = rps_of(largest).expect("largest pool measured");
+    let ramp_config = RampConfig {
+        start_rps: (closed_largest * 0.15).max(10.0),
+        growth: if fast { 1.6 } else { 1.35 },
+        max_steps: if fast { 6 } else { 12 },
+        knee_factor: 4.0,
+    };
+    let knee_window = if fast {
+        window
+    } else {
+        window.min(Duration::from_secs(1))
+    };
+    let engine = Engine::new(manufacture_chips(
+        &mei,
+        largest,
+        EXPERIMENT_WRITE_SIGMA,
+        cfg.seed,
+    ));
+    let in_process = ramp_to_knee(&ramp_config, |rate| {
+        open_phase(&engine, &inputs, rate, knee_window)
+    });
+    eprintln!(
+        "\n-- in-process open-loop ramp ({largest} chips) --\n{}",
+        knee_table("in_process", &in_process)
+    );
+
+    // Phase 3: the same ramp through the TCP front-end over loopback.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        vec![NetWorkload::new(
+            "inversek2j",
+            input_dim,
+            Engine::new(manufacture_chips(&mei, largest, EXPERIMENT_WRITE_SIGMA, cfg.seed).boxed()),
+        )],
+        ServerConfig::default(),
+    )
+    .expect("bind loopback server");
+    let addr = server.addr();
+    // A single connection serves inline, so the TCP ramp starts lower.
+    let tcp_config = RampConfig {
+        start_rps: (closed_largest * 0.05 / largest as f64).max(10.0),
+        ..ramp_config
+    };
+    let tcp = ramp_to_knee(&tcp_config, |rate| {
+        tcp_open_phase(addr, "inversek2j", largest, &inputs, rate, knee_window)
+    });
+    server.shutdown();
+    eprintln!(
+        "\n-- loopback TCP open-loop ramp ({largest} chips, 1 connection) --\n{}",
+        knee_table("tcp", &tcp)
+    );
+
+    // Phase 4: mixed-topology policy comparison. Two narrow (fast) and
+    // two wide (slow) chips of the same workload; the calibrated
+    // size-aware policy should hold a lower p99 at equal offered rate.
+    let wide = train_mei(setup.mei_hidden * 6);
+    let build = || mixed_pool(&mei, &wide, 2, 2, cfg.seed);
+    let calibration = CostModel::calibrate(&build(), &inputs[..8.min(inputs.len())], 3);
+    eprintln!(
+        "\n-- mixed-topology pool (2× hidden={}, 2× hidden={}) --\ncalibrated cost model: {}",
+        setup.mei_hidden,
+        setup.mei_hidden * 6,
+        calibration.to_json()
+    );
+    let mixed_closed = closed_phase(
+        &Engine::new(build()).with_policy(LeastLoaded),
+        &inputs,
+        window,
+    );
+    let offered = mixed_closed * 0.6;
+    let policies: Vec<PolicyResult> = vec![
+        PolicyResult {
+            name: "round_robin",
+            offered_rps: offered,
+            stats: open_phase(
+                &Engine::new(build()).with_policy(RoundRobin),
+                &inputs,
+                offered,
+                window,
+            ),
+        },
+        PolicyResult {
+            name: "least_loaded",
+            offered_rps: offered,
+            stats: open_phase(
+                &Engine::new(build()).with_policy(LeastLoaded),
+                &inputs,
+                offered,
+                window,
+            ),
+        },
+        PolicyResult {
+            name: "size_aware",
+            offered_rps: offered,
+            stats: open_phase(
+                &Engine::new(build())
+                    .with_policy(SizeAware)
+                    .with_cost_model(calibration.clone()),
+                &inputs,
+                offered,
+                window,
+            ),
+        },
+    ];
+    let rows: Vec<Vec<String>> = policies
         .iter()
-        .map(|r| {
-            let max_util = r
-                .open
-                .per_chip
-                .iter()
-                .map(|c| c.utilization)
-                .fold(0.0, f64::max);
+        .map(|p| {
             vec![
-                r.chips.to_string(),
-                format!("{:.0}", r.closed_rps),
-                format!("{:.0}", r.open.requests_per_sec),
-                format!("{:.1}", r.open.p50_latency_us),
-                format!("{:.1}", r.open.p99_latency_us),
-                format!("{:.2}", max_util),
+                p.name.to_string(),
+                format!("{:.0}", p.offered_rps),
+                format!("{:.0}", p.stats.requests_per_sec),
+                format!("{:.1}", p.stats.p50_latency_us),
+                format!("{:.1}", p.stats.p99_latency_us),
             ]
         })
         .collect();
@@ -189,29 +419,51 @@ fn main() {
         "{}",
         format_table(
             &[
-                "chips",
-                "closed req/s",
-                "open req/s",
+                "policy",
+                "offered req/s",
+                "served req/s",
                 "p50 µs",
-                "p99 µs",
-                "max util",
+                "p99 µs"
             ],
             &rows
         )
     );
+    let p99_of = |name: &str| {
+        policies
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.stats.p99_latency_us)
+            .expect("policy measured")
+    };
     eprintln!(
-        "speedup 4 chips vs 1 (closed): {} ({} hardware threads — reported, not asserted)",
-        speedup_text, auto
+        "size_aware p99 / round_robin p99 = {:.3} (multi-core hosts should see < 1; \
+         {} hardware threads here — reported, not asserted)",
+        p99_of("size_aware") / p99_of("round_robin"),
+        auto
     );
 
-    let body: Vec<String> = results.iter().map(PoolResult::to_json).collect();
+    let closed_json: Vec<String> = closed
+        .iter()
+        .map(|(chips, rps)| format!("{{\"chips\":{chips},\"closed_requests_per_sec\":{rps:.3}}}"))
+        .collect();
+    let policies_json: Vec<String> = policies.iter().map(PolicyResult::to_json).collect();
     let json = format!(
         "{{\"suite\":\"throughput/inversek2j\",\"hardware_threads\":{},\
-         \"window_secs\":{:.3},\"speedup_4v1\":{},\"pools\":[{}]}}",
+         \"window_secs\":{:.3},\"speedup_4v1\":{},\"pools\":[{}],\
+         \"knee\":{{\"in_process\":{},\"tcp\":{}}},\
+         \"mixed_topology\":{{\"narrow_hidden\":{},\"wide_hidden\":{},\
+         \"cost_model\":{},\"closed_requests_per_sec\":{:.3},\"policies\":[{}]}}}}",
         auto,
         window.as_secs_f64(),
-        speedup_json,
-        body.join(",")
+        speedup_4v1.map_or_else(|| "null".into(), |s| format!("{s:.4}")),
+        closed_json.join(","),
+        in_process.to_json(),
+        tcp.to_json(),
+        setup.mei_hidden,
+        setup.mei_hidden * 6,
+        calibration.to_json(),
+        mixed_closed,
+        policies_json.join(",")
     );
     println!("{json}");
     if let Ok(path) = std::env::var("MEI_BENCH_JSON") {

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ramp;
 pub mod timing;
 
 use mei::{AddaConfig, AddaRcs, DigitalAnn, MeiConfig, MeiRcs, Rcs};

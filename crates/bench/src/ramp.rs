@@ -1,0 +1,228 @@
+//! Adaptive open-loop ramp: walk the offered arrival rate up until the
+//! p99 latency knees, and report the knee instead of an arbitrary
+//! fixed-utilization point.
+//!
+//! Open-loop serving has a characteristic hockey-stick: below the pool's
+//! capacity the p99 latency sits near the bare service time; past it the
+//! queue grows without bound and latency explodes. The 70%-of-closed-rate
+//! point the bench used before is a blind guess at where the elbow sits —
+//! [`ramp_to_knee`] finds it by measurement, generically over any driver
+//! (in-process engine or loopback TCP), so both report comparable knees.
+//!
+//! The controller is deliberately simple and deterministic in structure:
+//! a geometric rate sweep, a latency budget derived from the first
+//! (lightly loaded) step, and "two steps over budget in a row" as the
+//! stop condition, so one noisy window cannot end the ramp early.
+
+use runtime::ServeStats;
+
+/// One ramp step: the offered rate and what the pool did under it.
+#[derive(Debug, Clone)]
+pub struct RampStep {
+    /// Offered arrival rate, requests/second.
+    pub offered_rps: f64,
+    /// Measured serving statistics at that rate.
+    pub stats: ServeStats,
+}
+
+impl RampStep {
+    /// The step as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"offered_rps\":{:.3},\"stats\":{}}}",
+            self.offered_rps,
+            self.stats.to_json()
+        )
+    }
+}
+
+/// Ramp controller knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RampConfig {
+    /// First offered rate, requests/second.
+    pub start_rps: f64,
+    /// Multiplicative rate step (> 1).
+    pub growth: f64,
+    /// Hard cap on steps, in case the knee never shows.
+    pub max_steps: usize,
+    /// A step is "over budget" when its p99 exceeds
+    /// `knee_factor × baseline p99` (baseline = the first step).
+    pub knee_factor: f64,
+}
+
+impl Default for RampConfig {
+    fn default() -> Self {
+        Self {
+            start_rps: 100.0,
+            growth: 1.3,
+            max_steps: 12,
+            knee_factor: 4.0,
+        }
+    }
+}
+
+/// The ramp's verdict: every step taken plus the knee — the last step
+/// whose p99 stayed within budget (or the final step, when the budget
+/// never blew within `max_steps`).
+#[derive(Debug, Clone)]
+pub struct RampReport {
+    /// All measured steps, in ramp order.
+    pub steps: Vec<RampStep>,
+    /// Index into `steps` of the knee.
+    pub knee: usize,
+    /// Whether the ramp actually found the elbow (two consecutive
+    /// over-budget steps) rather than running out of steps.
+    pub kneed: bool,
+}
+
+impl RampReport {
+    /// The knee step.
+    #[must_use]
+    pub fn knee_step(&self) -> &RampStep {
+        &self.steps[self.knee]
+    }
+
+    /// The report as a JSON object (knee summary + full step trace).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let knee = self.knee_step();
+        let steps: Vec<String> = self.steps.iter().map(RampStep::to_json).collect();
+        format!(
+            "{{\"knee_rps\":{:.3},\"kneed\":{},\"knee_p50_us\":{:.3},\"knee_p99_us\":{:.3},\
+             \"steps\":[{}]}}",
+            knee.offered_rps,
+            self.kneed,
+            knee.stats.p50_latency_us,
+            knee.stats.p99_latency_us,
+            steps.join(",")
+        )
+    }
+}
+
+/// Walk the offered rate up geometrically, calling `measure(rate)` for
+/// each step, until p99 blows past the budget on two consecutive steps
+/// (or `max_steps` runs out). Returns every step and the knee: the last
+/// step that stayed within `knee_factor ×` the first step's p99.
+///
+/// # Panics
+///
+/// Panics if the config is degenerate (non-positive start rate, growth
+/// ≤ 1, zero steps, knee factor ≤ 1).
+pub fn ramp_to_knee<F>(config: &RampConfig, mut measure: F) -> RampReport
+where
+    F: FnMut(f64) -> ServeStats,
+{
+    assert!(config.start_rps > 0.0, "start rate must be positive");
+    assert!(config.growth > 1.0, "the ramp must actually ramp");
+    assert!(config.max_steps > 0, "the ramp needs at least one step");
+    assert!(config.knee_factor > 1.0, "the budget must exceed baseline");
+
+    let mut steps: Vec<RampStep> = Vec::new();
+    let mut budget_us = f64::INFINITY;
+    let mut over_in_a_row = 0usize;
+    let mut rate = config.start_rps;
+    let mut kneed = false;
+    for step in 0..config.max_steps {
+        let stats = measure(rate);
+        let p99 = stats.p99_latency_us;
+        steps.push(RampStep {
+            offered_rps: rate,
+            stats,
+        });
+        if step == 0 {
+            budget_us = p99 * config.knee_factor;
+        }
+        if p99 > budget_us {
+            over_in_a_row += 1;
+            if over_in_a_row >= 2 {
+                kneed = true;
+                break;
+            }
+        } else {
+            over_in_a_row = 0;
+        }
+        rate *= config.growth;
+    }
+
+    // The knee is the last within-budget step; if even the first step
+    // blew (budget == first p99 × factor > first p99, so it cannot),
+    // fall back to the last step.
+    let knee = steps
+        .iter()
+        .rposition(|s| s.stats.p99_latency_us <= budget_us)
+        .unwrap_or(steps.len() - 1);
+    RampReport { steps, knee, kneed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// A synthetic pool: p99 flat at 100 µs below 1000 rps, exploding
+    /// ~10× per step above it.
+    fn synthetic(rate: f64) -> ServeStats {
+        let p99_us = if rate <= 1000.0 {
+            100.0
+        } else {
+            100.0 * (rate / 1000.0).powi(4)
+        };
+        let lat = Duration::from_secs_f64(p99_us * 1e-6);
+        ServeStats::from_run("synthetic", &[lat; 4], Duration::from_millis(10), vec![])
+    }
+
+    #[test]
+    fn ramp_finds_the_synthetic_knee() {
+        let config = RampConfig {
+            start_rps: 250.0,
+            growth: 1.5,
+            max_steps: 16,
+            knee_factor: 4.0,
+        };
+        let report = ramp_to_knee(&config, synthetic);
+        assert!(report.kneed, "the synthetic elbow must be found");
+        let knee = report.knee_step();
+        assert!(
+            knee.offered_rps <= 1300.0,
+            "knee rate {} is past the synthetic capacity",
+            knee.offered_rps
+        );
+        assert!(knee.stats.p99_latency_us <= 400.0);
+        // The ramp stopped soon after the blow-up, not at max_steps.
+        assert!(report.steps.len() < 16);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"knee_rps\":"));
+        assert!(json.contains("\"steps\":["));
+    }
+
+    #[test]
+    fn ramp_without_a_knee_reports_the_last_step() {
+        let config = RampConfig {
+            start_rps: 10.0,
+            growth: 2.0,
+            max_steps: 5,
+            knee_factor: 4.0,
+        };
+        let report = ramp_to_knee(&config, |_| synthetic(100.0));
+        assert!(!report.kneed);
+        assert_eq!(report.steps.len(), 5);
+        assert_eq!(report.knee, 4, "flat latency → knee is the last step");
+    }
+
+    #[test]
+    fn one_noisy_step_does_not_end_the_ramp() {
+        let mut calls = 0usize;
+        let report = ramp_to_knee(&RampConfig::default(), |rate| {
+            calls += 1;
+            // Step 3 alone spikes; the ramp must keep going after it.
+            if calls == 3 {
+                synthetic(10_000.0)
+            } else {
+                synthetic(rate.min(500.0))
+            }
+        });
+        assert!(!report.kneed);
+        assert_eq!(report.steps.len(), RampConfig::default().max_steps);
+    }
+}

@@ -12,7 +12,7 @@
 use prng::rngs::StdRng;
 use prng::SeedableRng;
 use rram::VariationModel;
-use runtime::{Chip, ChipPool};
+use runtime::{Chip, ChipPool, Engine};
 
 use crate::adda::AddaRcs;
 use crate::digital::DigitalAnn;
@@ -65,6 +65,41 @@ where
         }
         chip
     })
+}
+
+/// Manufacture a pool (as [`manufacture_chips`]) and wrap it in a
+/// serving [`Engine`] with the default least-loaded policy over the
+/// input-length cost proxy. Rebind policy/cost model with the engine's
+/// `with_*` builders; `.calibrated(...)` fits a measured cost model for
+/// the size-aware policy.
+///
+/// # Panics
+///
+/// Panics if `chips` is zero.
+pub fn manufacture_engine<T>(rcs: &T, chips: usize, write_sigma: f64, root_seed: u64) -> Engine<T>
+where
+    T: Rcs + Chip + Clone,
+{
+    Engine::new(manufacture_chips(rcs, chips, write_sigma, root_seed))
+}
+
+/// [`manufacture_engine`], but over type-erased chips — the form
+/// `runtime::net::NetWorkload` takes, and the one that lets chips of
+/// several trained systems share a pool.
+///
+/// # Panics
+///
+/// Panics if `chips` is zero.
+pub fn manufacture_boxed_engine<T>(
+    rcs: &T,
+    chips: usize,
+    write_sigma: f64,
+    root_seed: u64,
+) -> Engine<Box<dyn Chip>>
+where
+    T: Rcs + Chip + Clone + 'static,
+{
+    Engine::new(manufacture_chips(rcs, chips, write_sigma, root_seed).boxed())
 }
 
 #[cfg(test)]
@@ -122,6 +157,22 @@ mod tests {
         for chip in pool.chips() {
             assert_eq!(Chip::infer(chip, &x), ideal);
         }
+    }
+
+    #[test]
+    fn engine_and_enum_adapter_place_and_serve_identically() {
+        let data = expfit_data(200, 5);
+        let rcs = MeiRcs::train(&data, &MeiConfig::quick_test()).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 10.0]).collect();
+        let pool_outcome =
+            manufacture_chips(&rcs, 3, 0.05, 9).serve(&inputs, Placement::LeastLoaded);
+        // Engine default = LeastLoaded over the input-length proxy: the
+        // exact placement (and therefore bits) the enum produced.
+        let engine = manufacture_engine(&rcs, 3, 0.05, 9);
+        assert_eq!(engine.serve(&inputs).outputs, pool_outcome.outputs);
+        // The boxed engine is the same pool behind `dyn Chip`.
+        let boxed = manufacture_boxed_engine(&rcs, 3, 0.05, 9);
+        assert_eq!(boxed.serve(&inputs).outputs, pool_outcome.outputs);
     }
 
     #[test]

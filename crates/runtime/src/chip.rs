@@ -17,9 +17,19 @@
 //! * placement is decided up front from request *cost* (input length), so
 //!   the request → chip assignment — and therefore every output bit — is
 //!   a pure function of the batch, never of thread timing.
+//!
+//! The serve entry points here are **thin adapters**: [`Placement`] maps
+//! onto the [`PlacementPolicy`](crate::PlacementPolicy) trait
+//! ([`Placement::policy`]) and the execution lives in
+//! [`Engine`](crate::Engine). Code that wants calibrated cost models,
+//! the size-aware policy, coalescing control, or streaming sessions
+//! should build an `Engine` directly; these adapters exist so existing
+//! callers keep their exact placement behaviour.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use crate::engine::run_batch;
+use crate::policy::{self, CostModel, LeastLoaded, PlacementPolicy, RoundRobin};
 use crate::stats::ServeStats;
 
 /// Anything the pool can serve requests on. One chip is used by exactly
@@ -42,16 +52,32 @@ impl<C: Chip + ?Sized> Chip for Box<C> {
     }
 }
 
-/// How requests are placed onto chips.
+/// How requests are placed onto chips — the legacy enum, kept as a thin
+/// adapter over the [`PlacementPolicy`] trait.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
     /// Request `i` goes to chip `i mod N`.
     RoundRobin,
     /// Each request (in order) goes to the chip with the least total
     /// assigned cost so far — cost being the request's input length, a
-    /// proxy for its service time. Ties break toward the lowest chip id,
-    /// so the assignment is deterministic.
+    /// proxy for its service time. Ties break toward the lowest chip id
+    /// (see the tie-breaking contract in [`crate::policy`]), so the
+    /// assignment is deterministic.
     LeastLoaded,
+}
+
+impl Placement {
+    /// The trait-object equivalent of this enum variant. Placement
+    /// computed through the returned policy (over the
+    /// [`CostModel::input_length`] proxy) is bit-identical to what the
+    /// enum historically produced.
+    #[must_use]
+    pub fn policy(self) -> &'static dyn PlacementPolicy {
+        match self {
+            Placement::RoundRobin => &RoundRobin,
+            Placement::LeastLoaded => &LeastLoaded,
+        }
+    }
 }
 
 /// What a serve run returns: outputs in request order plus the run's
@@ -120,30 +146,40 @@ impl<C: Chip> ChipPool<C> {
         &self.chips
     }
 
+    /// Unwrap into the chip vector (e.g. to box chips of several
+    /// concrete types into one heterogeneous `ChipPool<Box<dyn Chip>>`).
+    #[must_use]
+    pub fn into_chips(self) -> Vec<C> {
+        self.chips
+    }
+
+    /// Erase the chip type: the same pool as `ChipPool<Box<dyn Chip>>`,
+    /// so pools of different concrete architectures share one engine or
+    /// server type.
+    #[must_use]
+    pub fn boxed(self) -> ChipPool<Box<dyn Chip>>
+    where
+        C: 'static,
+    {
+        ChipPool {
+            chips: self
+                .chips
+                .into_iter()
+                .map(|c| Box::new(c) as Box<dyn Chip>)
+                .collect(),
+        }
+    }
+
     /// The deterministic request → chip assignment a serve run will use:
     /// `assignment[i]` is the chip id serving request `i`. Exposed so
     /// callers (and tests) can reason about placement without timing.
     #[must_use]
     pub fn assignment(&self, costs: &[usize], placement: Placement) -> Vec<usize> {
-        match placement {
-            Placement::RoundRobin => (0..costs.len()).map(|i| i % self.chips.len()).collect(),
-            Placement::LeastLoaded => {
-                let mut load = vec![0usize; self.chips.len()];
-                costs
-                    .iter()
-                    .map(|&cost| {
-                        let chip = load
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|&(id, &l)| (l, id))
-                            .map(|(id, _)| id)
-                            .expect("non-empty pool");
-                        load[chip] += cost.max(1);
-                        chip
-                    })
-                    .collect()
-            }
-        }
+        policy::assign_batch(
+            costs,
+            placement.policy(),
+            &CostModel::input_length(self.chips.len()),
+        )
     }
 
     /// Serve a closed batch: every request is ready at time zero. Outputs
@@ -190,74 +226,21 @@ impl<C: Chip> ChipPool<C> {
         assert!(!inputs.is_empty(), "a serve run needs requests");
         let costs: Vec<usize> = inputs.iter().map(Vec::len).collect();
         let assignment = self.assignment(&costs, placement);
-
-        // Per-chip FIFO queues of request indices, in arrival order.
-        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.chips.len()];
-        for (request, &chip) in assignment.iter().enumerate() {
-            queues[chip].push(request);
-        }
-
-        // One worker per chip; each returns (request, output, latency)
-        // triples plus its busy time.
-        type WorkerLog = (Vec<(usize, Vec<f64>, Duration)>, Duration);
-
-        let epoch = Instant::now();
-        let per_worker: Vec<WorkerLog> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .chips
-                .iter()
-                .zip(&queues)
-                .map(|(chip, queue)| {
-                    scope.spawn(move || {
-                        let mut served = Vec::with_capacity(queue.len());
-                        let mut busy = Duration::ZERO;
-                        for &request in queue {
-                            let arrival = arrivals.map_or(Duration::ZERO, |a| a[request]);
-                            let now = epoch.elapsed();
-                            if arrival > now {
-                                std::thread::sleep(arrival - now);
-                            }
-                            let start = epoch.elapsed();
-                            let output = chip.infer(&inputs[request]);
-                            let done = epoch.elapsed();
-                            busy += done - start;
-                            served.push((request, output, done.saturating_sub(arrival)));
-                        }
-                        (served, busy)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("chip worker does not panic"))
-                .collect()
-        });
-        let wall = epoch.elapsed();
-
-        let mut outputs: Vec<Option<Vec<f64>>> = vec![None; inputs.len()];
-        let mut latencies: Vec<Duration> = vec![Duration::ZERO; inputs.len()];
-        let mut per_chip = Vec::with_capacity(self.chips.len());
-        for (served, busy) in per_worker {
-            per_chip.push((served.len(), busy));
-            for (request, output, latency) in served {
-                latencies[request] = latency;
-                outputs[request] = Some(output);
-            }
-        }
-
-        ServeOutcome {
-            outputs: outputs
-                .into_iter()
-                .map(|o| o.expect("every request served"))
-                .collect(),
-            stats: ServeStats::from_run(&latencies, wall, per_chip),
-        }
+        run_batch(
+            &self.chips,
+            inputs,
+            arrivals,
+            &assignment,
+            0,
+            placement.policy().name(),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     /// A toy chip: output = input scaled by a per-chip factor derived from
     /// the manufacture seed, so different chips are distinguishable.
@@ -319,6 +302,19 @@ mod tests {
         assert_eq!(assignment, vec![0, 1, 1, 1]);
     }
 
+    /// The documented least-loaded tie-break (lowest chip index wins) at
+    /// the enum adapter level: equal-cost requests sweep the chips in
+    /// index order, exactly as before the policy refactor.
+    #[test]
+    fn least_loaded_tie_break_is_lowest_chip_index() {
+        let pool = toy_pool(3);
+        let costs = [4usize; 7];
+        assert_eq!(
+            pool.assignment(&costs, Placement::LeastLoaded),
+            vec![0, 1, 2, 0, 1, 2, 0]
+        );
+    }
+
     #[test]
     fn outputs_come_back_in_request_order() {
         let pool = toy_pool(3);
@@ -354,6 +350,7 @@ mod tests {
         let outcome = pool.serve(&inputs, Placement::RoundRobin);
         let stats = &outcome.stats;
         assert_eq!(stats.requests, 20);
+        assert_eq!(stats.policy, "round_robin");
         assert_eq!(stats.per_chip.len(), 4);
         assert_eq!(stats.per_chip.iter().map(|c| c.served).sum::<usize>(), 20);
         assert!(stats.requests_per_sec > 0.0);

@@ -1,0 +1,434 @@
+//! The serving engine: a chip pool bound to a placement policy, a cost
+//! model, and a coalescing discipline.
+//!
+//! [`Engine`] is the layered replacement for the monolithic
+//! `ChipPool::serve(placement)` entry points (which survive as thin
+//! adapters over this module):
+//!
+//! ```text
+//! requests ──▶ CostModel ──▶ PlacementPolicy ──▶ per-chip queues ──▶ Chip::infer
+//!              (estimate)    (pure assignment)   (coalesced batches)
+//! ```
+//!
+//! Two serving shapes share one placement definition
+//! ([`policy::assign_batch`]):
+//!
+//! * **Batch** — [`Engine::serve`] / [`Engine::serve_open_loop`]: the
+//!   whole request batch is assigned up front, split into per-chip FIFO
+//!   queues, and run on one worker thread per chip. A worker *coalesces*
+//!   contiguous runs of already-arrived requests into back-to-back
+//!   batches (no arrival re-check between them), bounded by
+//!   [`Engine::with_coalesce`].
+//! * **Stream** — [`Engine::session`] + [`Engine::serve_one`]: requests
+//!   arrive one at a time (a network connection), each placed against the
+//!   session's accumulated [`PoolState`] and run inline. Feeding a batch
+//!   through a fresh session visits exactly the chips
+//!   [`Engine::assignment`] predicts, which is what makes in-process and
+//!   over-the-wire serving bit-identical.
+//!
+//! Coalescing and threading never change outputs: placement is decided
+//! before execution and each chip is deterministic, so batching only
+//! affects *when* an inference runs, not what it returns.
+
+use std::time::{Duration, Instant};
+
+use crate::chip::{Chip, ChipPool, ServeOutcome};
+use crate::policy::{self, CostModel, LeastLoaded, PlacementPolicy, PoolState};
+use crate::stats::ServeStats;
+
+/// A chip pool bound to a placement policy, cost model and coalescing
+/// cap. Build with [`Engine::new`] and the `with_*` builders.
+pub struct Engine<C: Chip> {
+    pool: ChipPool<C>,
+    policy: Box<dyn PlacementPolicy>,
+    model: CostModel,
+    coalesce: usize,
+}
+
+impl<C: Chip> Engine<C> {
+    /// Wrap a pool with the defaults: [`LeastLoaded`] placement over the
+    /// [`CostModel::input_length`] proxy, unbounded coalescing.
+    #[must_use]
+    pub fn new(pool: ChipPool<C>) -> Self {
+        let chips = pool.len();
+        Self {
+            pool,
+            policy: Box::new(LeastLoaded),
+            model: CostModel::input_length(chips),
+            coalesce: 0,
+        }
+    }
+
+    /// Replace the placement policy.
+    #[must_use]
+    pub fn with_policy<P: PlacementPolicy + 'static>(self, policy: P) -> Self {
+        self.with_boxed_policy(Box::new(policy))
+    }
+
+    /// Replace the placement policy with an already-boxed one (e.g. one
+    /// chosen at runtime from a CLI flag).
+    #[must_use]
+    pub fn with_boxed_policy(mut self, policy: Box<dyn PlacementPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model covers a different number of chips than the
+    /// pool holds.
+    #[must_use]
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        assert_eq!(
+            model.chips(),
+            self.pool.len(),
+            "cost model must cover every chip"
+        );
+        self.model = model;
+        self
+    }
+
+    /// Cap coalesced batches at `cap` requests (0 = unbounded, the
+    /// default).
+    #[must_use]
+    pub fn with_coalesce(mut self, cap: usize) -> Self {
+        self.coalesce = cap;
+        self
+    }
+
+    /// Calibrate the cost model in place: time every chip's `infer` on
+    /// `representative` inputs ([`CostModel::calibrate`]) and freeze the
+    /// fitted coefficients as this engine's model.
+    #[must_use]
+    pub fn calibrated(mut self, representative: &[Vec<f64>], passes: usize) -> Self {
+        self.model = CostModel::calibrate(&self.pool, representative, passes);
+        self
+    }
+
+    /// The underlying pool.
+    #[must_use]
+    pub fn pool(&self) -> &ChipPool<C> {
+        &self.pool
+    }
+
+    /// The active placement policy.
+    #[must_use]
+    pub fn policy(&self) -> &dyn PlacementPolicy {
+        self.policy.as_ref()
+    }
+
+    /// The active cost model.
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The deterministic request → chip assignment a batch serve will
+    /// use, given per-request input lengths.
+    #[must_use]
+    pub fn assignment(&self, input_lens: &[usize]) -> Vec<usize> {
+        policy::assign_batch(input_lens, self.policy.as_ref(), &self.model)
+    }
+
+    /// Serve a closed batch (every request ready at time zero). Outputs
+    /// come back in request order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    #[must_use]
+    pub fn serve(&self, inputs: &[Vec<f64>]) -> ServeOutcome {
+        self.run(inputs, None)
+    }
+
+    /// Serve an open-loop load: request `i` arrives `arrivals[i]` after
+    /// the start of the run and may not start earlier; latency includes
+    /// queueing delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or the lengths differ.
+    #[must_use]
+    pub fn serve_open_loop(&self, inputs: &[Vec<f64>], arrivals: &[Duration]) -> ServeOutcome {
+        assert_eq!(
+            inputs.len(),
+            arrivals.len(),
+            "one arrival offset per request"
+        );
+        self.run(inputs, Some(arrivals))
+    }
+
+    fn run(&self, inputs: &[Vec<f64>], arrivals: Option<&[Duration]>) -> ServeOutcome {
+        let lens: Vec<usize> = inputs.iter().map(Vec::len).collect();
+        let assignment = self.assignment(&lens);
+        run_batch(
+            self.pool.chips(),
+            inputs,
+            arrivals,
+            &assignment,
+            self.coalesce,
+            self.policy.name(),
+        )
+    }
+
+    /// Open a streaming placement session (one per client connection).
+    #[must_use]
+    pub fn session(&self) -> Session {
+        Session {
+            state: PoolState::new(self.pool.len()),
+            costs: Vec::with_capacity(self.pool.len()),
+        }
+    }
+
+    /// Serve one request against a session, inline on the caller's
+    /// thread: place it with the policy, commit the estimated cost to the
+    /// session state, run `infer`, and report which chip served it.
+    ///
+    /// Feeding a request sequence through a fresh session reproduces
+    /// [`Engine::assignment`] for that sequence exactly — streaming and
+    /// batch serving are the same pure placement function.
+    pub fn serve_one(&self, session: &mut Session, input: &[f64]) -> Served {
+        self.model.estimates_into(input.len(), &mut session.costs);
+        let chip = self.policy.place(&session.costs, &session.state);
+        assert!(chip < self.pool.len(), "policy chose an out-of-range chip");
+        session.state.commit(chip, session.costs[chip]);
+        let start = Instant::now();
+        let output = self.pool.chips()[chip].infer(input);
+        Served {
+            chip,
+            latency: start.elapsed(),
+            output,
+        }
+    }
+}
+
+/// Streaming placement state for one request source (e.g. one TCP
+/// connection): the policy sees only this session's history, so
+/// concurrent sessions cannot perturb each other's placement.
+#[derive(Debug, Clone)]
+pub struct Session {
+    state: PoolState,
+    costs: Vec<f64>,
+}
+
+impl Session {
+    /// Requests served through this session so far.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.state.placed()
+    }
+}
+
+/// One streamed request's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Served {
+    /// Chip id that ran the request.
+    pub chip: usize,
+    /// Service latency of the inline `infer` call.
+    pub latency: Duration,
+    /// The output vector.
+    pub output: Vec<f64>,
+}
+
+/// Execute a pre-assigned batch on one worker thread per chip, coalescing
+/// contiguous already-arrived requests into back-to-back runs (capped at
+/// `coalesce` when non-zero). Shared by [`Engine`] and the legacy
+/// `ChipPool::serve` adapters.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or `assignment` length differs.
+#[must_use]
+pub(crate) fn run_batch<C: Chip>(
+    chips: &[C],
+    inputs: &[Vec<f64>],
+    arrivals: Option<&[Duration]>,
+    assignment: &[usize],
+    coalesce: usize,
+    policy_name: &str,
+) -> ServeOutcome {
+    assert!(!inputs.is_empty(), "a serve run needs requests");
+    assert_eq!(inputs.len(), assignment.len(), "one chip per request");
+
+    // Per-chip FIFO queues of request indices, in arrival order.
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); chips.len()];
+    for (request, &chip) in assignment.iter().enumerate() {
+        queues[chip].push(request);
+    }
+
+    // One worker per chip; each returns (request, output, latency)
+    // triples plus its busy time and coalesced-batch count.
+    type WorkerLog = (Vec<(usize, Vec<f64>, Duration)>, Duration, usize);
+
+    let arrival_of = |request: usize| arrivals.map_or(Duration::ZERO, |a| a[request]);
+    let epoch = Instant::now();
+    let per_worker: Vec<WorkerLog> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chips
+            .iter()
+            .zip(&queues)
+            .map(|(chip, queue)| {
+                scope.spawn(move || {
+                    let mut served = Vec::with_capacity(queue.len());
+                    let mut busy = Duration::ZERO;
+                    let mut batches = 0usize;
+                    let mut i = 0usize;
+                    while i < queue.len() {
+                        // Wait for the head request, then coalesce every
+                        // queued request that has already arrived into
+                        // one contiguous batch.
+                        let head = arrival_of(queue[i]);
+                        let mut now = epoch.elapsed();
+                        if head > now {
+                            std::thread::sleep(head - now);
+                            now = epoch.elapsed();
+                        }
+                        let cap = if coalesce == 0 {
+                            queue.len()
+                        } else {
+                            (i + coalesce).min(queue.len())
+                        };
+                        let mut j = i + 1;
+                        while j < cap && arrival_of(queue[j]) <= now {
+                            j += 1;
+                        }
+                        batches += 1;
+                        for &request in &queue[i..j] {
+                            let start = epoch.elapsed();
+                            let output = chip.infer(&inputs[request]);
+                            let done = epoch.elapsed();
+                            busy += done - start;
+                            served.push((
+                                request,
+                                output,
+                                done.saturating_sub(arrival_of(request)),
+                            ));
+                        }
+                        i = j;
+                    }
+                    (served, busy, batches)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chip worker does not panic"))
+            .collect()
+    });
+    let wall = epoch.elapsed();
+
+    let mut outputs: Vec<Option<Vec<f64>>> = vec![None; inputs.len()];
+    let mut latencies: Vec<Duration> = vec![Duration::ZERO; inputs.len()];
+    let mut per_chip = Vec::with_capacity(chips.len());
+    for (served, busy, batches) in per_worker {
+        per_chip.push((served.len(), batches, busy));
+        for (request, output, latency) in served {
+            latencies[request] = latency;
+            outputs[request] = Some(output);
+        }
+    }
+
+    ServeOutcome {
+        outputs: outputs
+            .into_iter()
+            .map(|o| o.expect("every request served"))
+            .collect(),
+        stats: ServeStats::from_run(policy_name, &latencies, wall, per_chip),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{RoundRobin, SizeAware};
+
+    struct ToyChip {
+        scale: f64,
+    }
+
+    impl Chip for ToyChip {
+        fn infer(&self, input: &[f64]) -> Vec<f64> {
+            input.iter().map(|x| x * self.scale).collect()
+        }
+    }
+
+    fn toy_engine(n: usize) -> Engine<ToyChip> {
+        let pool = ChipPool::manufacture(77, n, |_, seed| ToyChip {
+            scale: 1.0 + (seed % 1000) as f64 / 1000.0,
+        });
+        Engine::new(pool)
+    }
+
+    #[test]
+    fn engine_serve_returns_request_order_and_matches_assignment() {
+        let engine = toy_engine(3).with_policy(RoundRobin);
+        let inputs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let lens: Vec<usize> = inputs.iter().map(Vec::len).collect();
+        let assignment = engine.assignment(&lens);
+        let outcome = engine.serve(&inputs);
+        assert_eq!(outcome.stats.policy, "round_robin");
+        for (i, out) in outcome.outputs.iter().enumerate() {
+            let scale = engine.pool().chips()[assignment[i]].scale;
+            assert_eq!(out, &vec![inputs[i][0] * scale], "request {i}");
+        }
+    }
+
+    #[test]
+    fn streaming_session_reproduces_batch_assignment() {
+        let engine = toy_engine(4).with_policy(SizeAware);
+        let inputs: Vec<Vec<f64>> = (0..17).map(|i| vec![0.5; 1 + (i * 7) % 5]).collect();
+        let lens: Vec<usize> = inputs.iter().map(Vec::len).collect();
+        let batch = engine.assignment(&lens);
+        let mut session = engine.session();
+        let streamed: Vec<usize> = inputs
+            .iter()
+            .map(|input| engine.serve_one(&mut session, input).chip)
+            .collect();
+        assert_eq!(streamed, batch, "stream and batch placement diverged");
+        assert_eq!(session.served(), inputs.len() as u64);
+    }
+
+    #[test]
+    fn coalesce_cap_bounds_batches_without_changing_outputs() {
+        let engine_unbounded = toy_engine(2);
+        let engine_capped = toy_engine(2).with_coalesce(3);
+        let inputs: Vec<Vec<f64>> = (0..14).map(|i| vec![i as f64, 1.0]).collect();
+        let a = engine_unbounded.serve(&inputs);
+        let b = engine_capped.serve(&inputs);
+        assert_eq!(a.outputs, b.outputs, "coalescing must not change bits");
+        // Closed batch, cap 3: a chip with k requests runs ceil(k/3)
+        // batches; unbounded runs exactly 1 per non-empty queue.
+        for chip in &a.stats.per_chip {
+            if chip.served > 0 {
+                assert_eq!(chip.batches, 1);
+            }
+        }
+        for chip in &b.stats.per_chip {
+            assert_eq!(chip.batches, chip.served.div_ceil(3));
+        }
+    }
+
+    #[test]
+    fn open_loop_latency_includes_queueing_and_outputs_stay_exact() {
+        let engine = toy_engine(1);
+        let inputs: Vec<Vec<f64>> = (0..3).map(|i| vec![i as f64]).collect();
+        let arrivals = vec![
+            Duration::ZERO,
+            Duration::from_millis(4),
+            Duration::from_millis(8),
+        ];
+        let outcome = engine.serve_open_loop(&inputs, &arrivals);
+        assert!(outcome.stats.wall_secs >= 0.008);
+        let scale = engine.pool().chips()[0].scale;
+        for (input, out) in inputs.iter().zip(&outcome.outputs) {
+            assert_eq!(out, &vec![input[0] * scale]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cost model must cover every chip")]
+    fn mismatched_cost_model_is_rejected() {
+        let _ = toy_engine(3).with_cost_model(CostModel::input_length(2));
+    }
+}

@@ -19,18 +19,26 @@
 //!   instead of a thread spawn.
 //! * [`ChipPool`] — N independently manufactured [`Chip`] instances (each
 //!   with its own `(root_seed, chip_index)`-derived write-noise draw)
-//!   serving batched requests from per-chip queues under a deterministic
-//!   [`Placement`] policy, with open-loop load support and
-//!   throughput/latency/utilization [`ServeStats`].
+//!   with legacy [`Placement`] serve adapters.
+//! * [`Engine`] — the layered serving stack: a [`PlacementPolicy`]
+//!   ([`RoundRobin`], [`LeastLoaded`], [`SizeAware`]) over a [`CostModel`]
+//!   (unit input-length proxy, or [`CostModel::calibrate`]d from measured
+//!   per-chip inference times), request coalescing, batch and open-loop
+//!   runs, and streaming [`Session`]s for request-at-a-time sources.
+//! * [`net`] — a hermetic `std::net` TCP front-end: a line-oriented
+//!   protocol ([`net::Server`] / [`net::Client`]) serving engines to
+//!   clients outside the process, one placement session per connection.
 //!
 //! ## The determinism rule
 //!
 //! Every parallel task derives its randomness from the root seed and its
 //! *task index* via [`prng::substream`] — never from a generator threaded
-//! through the loop. Results are then a pure function of the seed: serial,
-//! 2-thread and 64-thread runs produce bit-identical output
-//! (`tests/parallel_determinism.rs` at the workspace root holds the
-//! end-to-end proof over Monte-Carlo robustness and SAAB training).
+//! through the loop. Placement is a pure function of the request sequence
+//! ([`policy`]), decided before execution. Results are then a pure
+//! function of the seed: serial, 2-thread and 64-thread runs — and
+//! in-process vs. loopback-TCP serving — produce bit-identical output
+//! (`tests/parallel_determinism.rs` and `tests/serving_engine.rs` at the
+//! workspace root hold the end-to-end proof).
 //!
 //! Like the rest of the workspace the crate is hermetic: `std` only, no
 //! external dependencies (see DESIGN.md, "Hermetic build").
@@ -40,10 +48,15 @@
 
 pub mod chip;
 pub mod crew;
+pub mod engine;
+pub mod net;
+pub mod policy;
 pub mod pool;
 pub mod stats;
 
 pub use chip::{Chip, ChipPool, Placement, ServeOutcome};
 pub use crew::Crew;
+pub use engine::{Engine, Served, Session};
+pub use policy::{CostModel, LeastLoaded, PlacementPolicy, PoolState, RoundRobin, SizeAware};
 pub use pool::{resolve_threads, ThreadPool};
 pub use stats::{percentile, ChipStats, ServeStats};

@@ -1,0 +1,693 @@
+//! Hermetic TCP front-end: a line-oriented wire protocol over `std::net`
+//! exposing one or more serving [`Engine`]s to clients outside the
+//! process. No HTTP crate, no async runtime — a blocking prefork accept
+//! loop, `BufReader`/`BufWriter`, and a grammar small enough to drive
+//! with `nc`.
+//!
+//! ## Wire protocol
+//!
+//! One request per line, one response line per request, in order:
+//!
+//! ```text
+//! request  = workload SP csv LF
+//! response = "ok" SP chip-id SP latency-us SP csv LF
+//!          | "err" SP message LF
+//! csv      = f64 *("," f64)
+//! ```
+//!
+//! `workload` names a registered [`NetWorkload`]; `csv` is the request's
+//! input vector (request) or output vector (response); `chip-id` is the
+//! pool chip that served it and `latency-us` the integer microseconds of
+//! the inline `infer` call. Floats are formatted with Rust's shortest
+//! round-trip `Display`, so **the output CSV is a bit-exact encoding**:
+//! parsing it back yields the identical `f64` bits the in-process engine
+//! produced. `chip-id` and the CSV are covered by the determinism
+//! contract; `latency-us` is a measurement and is not.
+//!
+//! Malformed lines, unknown workloads and wrong-arity inputs get an
+//! `err` line and the connection keeps serving; a line longer than
+//! [`ServerConfig::max_line_bytes`] gets an `err` line and a clean close
+//! (the stream can no longer be framed); a client disconnect mid-stream
+//! closes the handler without disturbing sibling connections.
+//!
+//! ## Determinism
+//!
+//! Each connection gets its own placement [`Session`] per workload, so
+//! the chip sequence a client observes is a pure function of *its own*
+//! request sequence — independent of server thread count and of any
+//! other connection. That is what makes loopback serving byte-identical
+//! (modulo the latency field) to feeding the same sequence through
+//! [`Engine::serve_one`] in process, asserted in `tests/serving_engine.rs`.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::chip::Chip;
+use crate::engine::{Engine, Session};
+
+/// Upper bound on a request line, including the newline.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Render values as the protocol's CSV: shortest round-trip `Display`
+/// per element, comma-separated. Injective on bit patterns (NaN payloads
+/// aside), so equal CSV strings ⇔ equal `f64` bits.
+#[must_use]
+pub fn format_csv(values: &[f64]) -> String {
+    let mut out = String::new();
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // `{}` on f64 prints the shortest string that parses back to the
+        // same bits — the protocol's bit-exactness hinges on this.
+        out.push_str(&format!("{v}"));
+    }
+    out
+}
+
+/// Parse the protocol's CSV into values.
+///
+/// # Errors
+///
+/// Returns the offending token when any element fails to parse as `f64`.
+pub fn parse_csv(csv: &str) -> Result<Vec<f64>, String> {
+    csv.split(',')
+        .map(|tok| {
+            tok.parse::<f64>()
+                .map_err(|_| format!("malformed number '{tok}'"))
+        })
+        .collect()
+}
+
+/// One response line, parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `ok <chip> <latency-us> <csv>` — the request was served.
+    Ok {
+        /// Chip id that ran the request.
+        chip: usize,
+        /// Service latency of the inline `infer`, integer microseconds.
+        latency_us: u128,
+        /// The output vector, bit-exact.
+        output: Vec<f64>,
+    },
+    /// `err <message>` — the request was rejected; the connection (and
+    /// the engine) keep serving.
+    Error(String),
+}
+
+impl Response {
+    /// Render as a protocol line (no trailing newline).
+    #[must_use]
+    pub fn format(&self) -> String {
+        match self {
+            Response::Ok {
+                chip,
+                latency_us,
+                output,
+            } => format!("ok {chip} {latency_us} {}", format_csv(output)),
+            Response::Error(message) => format!("err {message}"),
+        }
+    }
+
+    /// Parse a protocol line (newline already stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the line matches neither response form.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        if let Some(message) = line.strip_prefix("err ") {
+            return Ok(Response::Error(message.to_string()));
+        }
+        let body = line
+            .strip_prefix("ok ")
+            .ok_or_else(|| format!("unrecognized response line '{line}'"))?;
+        let mut parts = body.splitn(3, ' ');
+        let chip = parts
+            .next()
+            .and_then(|t| t.parse::<usize>().ok())
+            .ok_or_else(|| "missing chip id".to_string())?;
+        let latency_us = parts
+            .next()
+            .and_then(|t| t.parse::<u128>().ok())
+            .ok_or_else(|| "missing latency".to_string())?;
+        let output = parse_csv(parts.next().ok_or_else(|| "missing csv".to_string())?)?;
+        Ok(Response::Ok {
+            chip,
+            latency_us,
+            output,
+        })
+    }
+}
+
+/// A named workload the server exposes: an engine over type-erased chips
+/// plus the input arity it validates before letting a request reach
+/// `Chip::infer` (chips panic on wrong lengths by contract, so the
+/// server must reject, not forward, bad arities).
+pub struct NetWorkload {
+    name: String,
+    input_dim: usize,
+    engine: Engine<Box<dyn Chip>>,
+}
+
+impl NetWorkload {
+    /// Register `engine` under `name`, validating requests to
+    /// `input_dim` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty or contains whitespace (it must be a
+    /// single protocol token), or if `input_dim` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, input_dim: usize, engine: Engine<Box<dyn Chip>>) -> Self {
+        let name = name.into();
+        assert!(
+            !name.is_empty() && !name.contains(char::is_whitespace),
+            "workload name must be a single non-empty token"
+        );
+        assert!(input_dim > 0, "workloads take at least one input");
+        Self {
+            name,
+            input_dim,
+            engine,
+        }
+    }
+
+    /// The protocol token clients address this workload by.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Validated input arity.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// The serving engine.
+    #[must_use]
+    pub fn engine(&self) -> &Engine<Box<dyn Chip>> {
+        &self.engine
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Accept-loop threads; each handles one connection at a time, so
+    /// this is also the concurrent-connection capacity.
+    pub threads: usize,
+    /// Hard cap on a request line; longer lines are rejected and the
+    /// connection closed (the stream can no longer be framed).
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            threads: 2,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// A running server: `threads` prefork acceptors sharing one listener.
+/// Dropping the handle leaks the threads — call [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    // One slot per acceptor: the live connection it is handling, if any.
+    // The slot is cleared when the handler returns — a lingering clone
+    // would hold the socket open past the handler's close (the peer
+    // would never see EOF) and leak one fd per served connection.
+    conns: Arc<Mutex<Vec<Option<TcpStream>>>>,
+    acceptors: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `workloads`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind/clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads` is empty or `config.threads` is zero.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        workloads: Vec<NetWorkload>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        assert!(!workloads.is_empty(), "a server needs a workload");
+        assert!(config.threads > 0, "a server needs an acceptor thread");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<Option<TcpStream>>>> =
+            Arc::new(Mutex::new((0..config.threads).map(|_| None).collect()));
+        let workloads = Arc::new(workloads);
+        let acceptors = (0..config.threads)
+            .map(|slot| {
+                let listener = listener.try_clone()?;
+                let stop = Arc::clone(&stop);
+                let conns = Arc::clone(&conns);
+                let workloads = Arc::clone(&workloads);
+                let max_line = config.max_line_bytes;
+                Ok(std::thread::spawn(move || loop {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            if let Ok(clone) = stream.try_clone() {
+                                conns.lock().expect("conn registry")[slot] = Some(clone);
+                            }
+                            let _ = stream.set_nodelay(true);
+                            handle_connection(stream, &workloads, max_line);
+                            // Drop the registry clone with the handler:
+                            // the fd must close with the connection so
+                            // the peer sees EOF.
+                            conns.lock().expect("conn registry")[slot] = None;
+                        }
+                        Err(_) => {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                    }
+                }))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Self {
+            addr,
+            stop,
+            conns,
+            acceptors,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, close every live connection so
+    /// blocked reads return, wake each acceptor, and join them all.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for conn in self.conns.lock().expect("conn registry").iter().flatten() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for _ in &self.acceptors {
+            // A throwaway connect unblocks one accept(); the acceptor
+            // sees the stop flag and exits before handling it.
+            let _ = TcpStream::connect(self.addr);
+        }
+        for handle in self.acceptors {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Serve one connection to completion: one placement session per
+/// workload, one response line per request line, errors reported
+/// in-band. Returns when the client disconnects, a write fails, or a
+/// line exceeds the cap.
+fn handle_connection(stream: TcpStream, workloads: &[NetWorkload], max_line: usize) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut sessions: Vec<Session> = workloads.iter().map(|w| w.engine.session()).collect();
+    loop {
+        let line = match read_line_bounded(&mut reader, max_line) {
+            Ok(Some(line)) => line,
+            Ok(None) => return, // clean client disconnect
+            Err(ReadLineError::TooLong) => {
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    Response::Error(format!("request line exceeds {max_line} bytes")).format()
+                );
+                let _ = writer.flush();
+                return;
+            }
+            Err(ReadLineError::Io) => return,
+        };
+        let response = serve_line(&line, workloads, &mut sessions);
+        if writeln!(writer, "{}", response.format()).is_err() || writer.flush().is_err() {
+            return; // client went away mid-response
+        }
+    }
+}
+
+/// Parse and serve one request line against per-connection sessions.
+fn serve_line(line: &str, workloads: &[NetWorkload], sessions: &mut [Session]) -> Response {
+    let Some((name, csv)) = line.split_once(' ') else {
+        return Response::Error("malformed request: expected '<workload> <v1,v2,...>'".to_string());
+    };
+    let Some(index) = workloads.iter().position(|w| w.name == name) else {
+        return Response::Error(format!("unknown workload '{name}'"));
+    };
+    let input = match parse_csv(csv) {
+        Ok(input) => input,
+        Err(message) => return Response::Error(message),
+    };
+    let workload = &workloads[index];
+    if input.len() != workload.input_dim {
+        return Response::Error(format!(
+            "wrong arity: workload '{name}' expects {} inputs, got {}",
+            workload.input_dim,
+            input.len()
+        ));
+    }
+    let served = workload.engine.serve_one(&mut sessions[index], &input);
+    Response::Ok {
+        chip: served.chip,
+        latency_us: served.latency.as_micros(),
+        output: served.output,
+    }
+}
+
+enum ReadLineError {
+    TooLong,
+    Io,
+}
+
+/// Read one `\n`-terminated line of at most `max` bytes. `Ok(None)` on
+/// EOF before any newline (a partial trailing line is a disconnect, not
+/// a request). The trailing `\r`, if any, is stripped.
+fn read_line_bounded<R: Read>(
+    reader: &mut BufReader<R>,
+    max: usize,
+) -> Result<Option<String>, ReadLineError> {
+    let mut acc: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf().map_err(|_| ReadLineError::Io)?;
+        if buf.is_empty() {
+            return Ok(None); // EOF
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            acc.extend_from_slice(&buf[..pos]);
+            reader.consume(pos + 1);
+            if acc.len() > max {
+                return Err(ReadLineError::TooLong);
+            }
+            if acc.last() == Some(&b'\r') {
+                acc.pop();
+            }
+            return Ok(Some(String::from_utf8_lossy(&acc).into_owned()));
+        }
+        let taken = buf.len();
+        acc.extend_from_slice(buf);
+        reader.consume(taken);
+        if acc.len() > max {
+            return Err(ReadLineError::TooLong);
+        }
+    }
+}
+
+/// A blocking protocol client over one connection. Supports strict
+/// request/response ([`Client::request`]) and pipelining
+/// ([`Client::send`] several lines, then [`Client::recv`] in order).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one request line (flushes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send(&mut self, workload: &str, input: &[f64]) -> io::Result<()> {
+        writeln!(self.writer, "{workload} {}", format_csv(input))?;
+        self.writer.flush()
+    }
+
+    /// Send a raw line verbatim (for protocol tests — malformed lines,
+    /// oversized payloads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    /// Read one response line.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the server closed the connection;
+    /// `InvalidData` when the line matches neither response form.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::parse(line.trim_end_matches(['\r', '\n']))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// One round trip: [`Client::send`] then [`Client::recv`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (see [`Client::recv`]).
+    pub fn request(&mut self, workload: &str, input: &[f64]) -> io::Result<Response> {
+        self.send(workload, input)?;
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::ChipPool;
+    use crate::policy::RoundRobin;
+
+    struct ToyChip {
+        offset: f64,
+    }
+
+    impl Chip for ToyChip {
+        fn infer(&self, input: &[f64]) -> Vec<f64> {
+            input.iter().map(|x| x + self.offset).collect()
+        }
+    }
+
+    fn toy_engine(chips: usize) -> Engine<Box<dyn Chip>> {
+        let pool = ChipPool::manufacture(9, chips, |_, seed| ToyChip {
+            offset: (seed % 100) as f64,
+        });
+        Engine::new(pool.boxed()).with_policy(RoundRobin)
+    }
+
+    fn toy_server(threads: usize) -> Server {
+        let workloads = vec![NetWorkload::new("toy", 2, toy_engine(3))];
+        Server::bind(
+            "127.0.0.1:0",
+            workloads,
+            ServerConfig {
+                threads,
+                max_line_bytes: 256,
+            },
+        )
+        .expect("bind ephemeral")
+    }
+
+    #[test]
+    fn csv_round_trips_bit_exactly() {
+        let values = vec![0.1 + 0.2, -0.0, f64::MIN_POSITIVE, 1.0 / 3.0, 6.02214076e23];
+        let parsed = parse_csv(&format_csv(&values)).expect("round trip");
+        let bits: Vec<u64> = parsed.iter().map(|v| v.to_bits()).collect();
+        let expect: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, expect);
+        assert!(parse_csv("1.0,zzz").is_err());
+    }
+
+    #[test]
+    fn response_lines_round_trip() {
+        let ok = Response::Ok {
+            chip: 2,
+            latency_us: 41,
+            output: vec![0.5, -1.25],
+        };
+        assert_eq!(ok.format(), "ok 2 41 0.5,-1.25");
+        assert_eq!(Response::parse(&ok.format()), Ok(ok));
+        let err = Response::Error("wrong arity".to_string());
+        assert_eq!(Response::parse(&err.format()), Ok(err));
+        assert!(Response::parse("what 1 2 3").is_err());
+    }
+
+    #[test]
+    fn bounded_reader_frames_lines_and_caps_length() {
+        let data = b"short line\r\nsecond\n".to_vec();
+        let mut reader = BufReader::new(&data[..]);
+        assert_eq!(
+            read_line_bounded(&mut reader, 64).ok().flatten(),
+            Some("short line".to_string())
+        );
+        assert_eq!(
+            read_line_bounded(&mut reader, 64).ok().flatten(),
+            Some("second".to_string())
+        );
+        assert!(read_line_bounded(&mut reader, 64).ok().flatten().is_none());
+        // A partial trailing line (client died mid-write) is EOF.
+        let partial = b"no newline".to_vec();
+        let mut reader = BufReader::new(&partial[..]);
+        assert!(read_line_bounded(&mut reader, 64).ok().flatten().is_none());
+        // Over-cap lines are rejected even when a newline follows.
+        let long = vec![b'x'; 100]
+            .into_iter()
+            .chain(*b"\n")
+            .collect::<Vec<u8>>();
+        let mut reader = BufReader::new(&long[..]);
+        assert!(matches!(
+            read_line_bounded(&mut reader, 32),
+            Err(ReadLineError::TooLong)
+        ));
+    }
+
+    #[test]
+    fn loopback_round_trip_matches_in_process_bits() {
+        let server = toy_server(1);
+        let local = toy_engine(3);
+        let mut session = local.session();
+        let mut client = Client::connect(server.addr()).expect("connect");
+        for i in 0..7 {
+            let input = vec![i as f64 * 0.31, 1.5 - i as f64];
+            let expect = local.serve_one(&mut session, &input);
+            match client.request("toy", &input).expect("round trip") {
+                Response::Ok { chip, output, .. } => {
+                    assert_eq!(chip, expect.chip, "request {i} chip");
+                    let bits: Vec<u64> = output.iter().map(|v| v.to_bits()).collect();
+                    let expect_bits: Vec<u64> = expect.output.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(bits, expect_bits, "request {i} bits");
+                }
+                Response::Error(e) => panic!("unexpected err: {e}"),
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn protocol_errors_are_in_band_and_do_not_kill_the_connection() {
+        let server = toy_server(2);
+        let mut client = Client::connect(server.addr()).expect("connect");
+        client.send_raw("garbage-without-space").expect("send");
+        assert!(matches!(client.recv().expect("recv"), Response::Error(_)));
+        client.send_raw("nosuch 1,2").expect("send");
+        match client.recv().expect("recv") {
+            Response::Error(message) => assert!(message.contains("unknown workload")),
+            other => panic!("expected err, got {other:?}"),
+        }
+        client.send("toy", &[1.0, 2.0, 3.0]).expect("send");
+        match client.recv().expect("recv") {
+            Response::Error(message) => assert!(message.contains("wrong arity")),
+            other => panic!("expected err, got {other:?}"),
+        }
+        client.send_raw("toy 1.0,zzz").expect("send");
+        assert!(matches!(client.recv().expect("recv"), Response::Error(_)));
+        // After all that abuse the connection still serves.
+        assert!(matches!(
+            client.request("toy", &[0.5, 0.5]).expect("round trip"),
+            Response::Ok { .. }
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_line_closes_cleanly_and_siblings_survive() {
+        let server = toy_server(2);
+        let mut sibling = Client::connect(server.addr()).expect("connect sibling");
+        assert!(matches!(
+            sibling.request("toy", &[1.0, 1.0]).expect("warm up"),
+            Response::Ok { .. }
+        ));
+        let mut abuser = Client::connect(server.addr()).expect("connect abuser");
+        let huge = format!("toy {}", "9,".repeat(400));
+        abuser.send_raw(&huge).expect("send oversized");
+        match abuser.recv().expect("err line before close") {
+            Response::Error(message) => assert!(message.contains("exceeds")),
+            other => panic!("expected err, got {other:?}"),
+        }
+        assert!(abuser.recv().is_err(), "connection must be closed");
+        // The sibling connection was never disturbed.
+        assert!(matches!(
+            sibling.request("toy", &[2.0, 2.0]).expect("round trip"),
+            Response::Ok { .. }
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn mid_stream_disconnect_leaves_engine_serving() {
+        let server = toy_server(1);
+        {
+            let mut doomed = Client::connect(server.addr()).expect("connect");
+            doomed.send("toy", &[1.0, 2.0]).expect("send");
+            // Drop without reading the response: disconnect mid-stream.
+        }
+        let mut client = Client::connect(server.addr()).expect("reconnect");
+        assert!(matches!(
+            client.request("toy", &[3.0, 4.0]).expect("round trip"),
+            Response::Ok { .. }
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn fresh_connections_get_fresh_sessions() {
+        let server = toy_server(1);
+        let probe = |client: &mut Client| -> usize {
+            match client.request("toy", &[1.0, 1.0]).expect("round trip") {
+                Response::Ok { chip, .. } => chip,
+                Response::Error(e) => panic!("unexpected err: {e}"),
+            }
+        };
+        let mut a = Client::connect(server.addr()).expect("connect");
+        let first_a = probe(&mut a);
+        let second_a = probe(&mut a);
+        drop(a);
+        let mut b = Client::connect(server.addr()).expect("connect");
+        let first_b = probe(&mut b);
+        // Round-robin per session: a fresh connection restarts at chip 0.
+        assert_eq!(first_a, 0);
+        assert_eq!(second_a, 1);
+        assert_eq!(first_b, 0, "sessions must not leak across connections");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,473 @@
+//! Placement policies and the calibrated cost model.
+//!
+//! Placement — which chip serves which request — is the serving-side
+//! analogue of the paper's thesis: the *interface* layer, not the crossbar,
+//! decides end-to-end cost. This module makes that layer first-class:
+//!
+//! * [`PlacementPolicy`] — an object-safe strategy trait. A policy sees
+//!   the per-chip estimated cost of the next request and the accumulated
+//!   [`PoolState`], and returns a chip id. Placement must be a **pure
+//!   function** of `(costs, state)` — never of wall-clock time or thread
+//!   timing — so a request sequence maps to the same chips on every run.
+//! * [`RoundRobin`], [`LeastLoaded`] — the classic policies, behaviour-
+//!   compatible with the legacy [`Placement`](crate::Placement) enum.
+//! * [`SizeAware`] — greedy earliest-finish-time: picks the chip that
+//!   would *complete* the request soonest (`load + cost` argmin), which
+//!   routes work away from slow chips when the [`CostModel`] knows chips
+//!   differ in speed (heterogeneous / mixed-topology pools).
+//! * [`CostModel`] — per-chip affine estimates `t ≈ a + b·len` of service
+//!   time. [`CostModel::calibrate`] measures each chip's `infer` on
+//!   representative inputs and freezes the coefficients, after which
+//!   placement is deterministic again.
+//!
+//! ## Tie-breaking contract
+//!
+//! [`LeastLoaded`] and [`SizeAware`] resolve ties toward the **lowest
+//! chip index**: a candidate chip replaces the incumbent only when its
+//! key is *strictly* smaller. Equal-cost request streams therefore
+//! degenerate to round-robin-like sweeps deterministically, and the
+//! policy refactor cannot silently move equal-cost requests between
+//! chips (pinned by `tie_break_prefers_lowest_chip_index` below).
+
+use std::time::Instant;
+
+use crate::chip::{Chip, ChipPool};
+
+/// The placement-visible state of a pool: how many requests have been
+/// placed and the accumulated estimated load per chip. The engine owns
+/// and updates this; policies only read it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolState {
+    placed: u64,
+    load: Vec<f64>,
+}
+
+impl PoolState {
+    /// Fresh state for a pool of `chips` chips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero.
+    #[must_use]
+    pub fn new(chips: usize) -> Self {
+        assert!(chips > 0, "a pool needs at least one chip");
+        Self {
+            placed: 0,
+            load: vec![0.0; chips],
+        }
+    }
+
+    /// Number of chips in the pool.
+    #[must_use]
+    pub fn chips(&self) -> usize {
+        self.load.len()
+    }
+
+    /// Requests placed so far.
+    #[must_use]
+    pub fn placed(&self) -> u64 {
+        self.placed
+    }
+
+    /// Accumulated estimated load per chip, in the cost model's units.
+    #[must_use]
+    pub fn load(&self) -> &[f64] {
+        &self.load
+    }
+
+    /// Record a placement: request of estimated `cost` went to `chip`.
+    pub fn commit(&mut self, chip: usize, cost: f64) {
+        self.load[chip] += cost;
+        self.placed += 1;
+    }
+}
+
+/// An object-safe placement strategy. `costs[c]` is the cost model's
+/// estimate of serving the next request on chip `c`; the return value is
+/// the chosen chip id, `< state.chips()`.
+///
+/// Implementations must be pure: the same `(costs, state)` always yields
+/// the same chip, so the request → chip assignment — and therefore every
+/// output bit of a serve run — is a function of the request sequence.
+pub trait PlacementPolicy: Send + Sync {
+    /// Short stable identifier, used in stats and JSON reports.
+    fn name(&self) -> &'static str;
+
+    /// Choose the chip for the next request.
+    fn place(&self, costs: &[f64], state: &PoolState) -> usize;
+}
+
+/// Request `i` goes to chip `i mod N`, ignoring costs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl PlacementPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn place(&self, _costs: &[f64], state: &PoolState) -> usize {
+        (state.placed() % state.chips() as u64) as usize
+    }
+}
+
+/// Each request goes to the chip with the least accumulated estimated
+/// load. Ties break toward the lowest chip index (strict `<` keeps the
+/// incumbent), so equal-load pools fill from chip 0 upward.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded;
+
+impl PlacementPolicy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least_loaded"
+    }
+
+    fn place(&self, _costs: &[f64], state: &PoolState) -> usize {
+        argmin(state.load().iter().copied())
+    }
+}
+
+/// Greedy earliest-finish-time: the request goes to the chip minimizing
+/// `load[c] + costs[c]`, its estimated completion time there. On a
+/// homogeneous pool (all chips equally fast) this reduces to
+/// [`LeastLoaded`]; on a heterogeneous pool a calibrated [`CostModel`]
+/// makes it route proportionally more work to faster chips. Ties break
+/// toward the lowest chip index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SizeAware;
+
+impl PlacementPolicy for SizeAware {
+    fn name(&self) -> &'static str {
+        "size_aware"
+    }
+
+    fn place(&self, costs: &[f64], state: &PoolState) -> usize {
+        argmin(state.load().iter().zip(costs).map(|(&l, &c)| l + c))
+    }
+}
+
+/// Index of the strictly smallest value; the first (lowest index) wins
+/// ties.
+fn argmin(values: impl Iterator<Item = f64>) -> usize {
+    let mut best = 0usize;
+    let mut best_value = f64::INFINITY;
+    for (i, v) in values.enumerate() {
+        if v < best_value {
+            best = i;
+            best_value = v;
+        }
+    }
+    best
+}
+
+/// Per-chip affine service-time estimates: serving a request of input
+/// length `len` on chip `c` is predicted to cost
+/// `a_c + b_c · max(len, 1)`.
+///
+/// Two unit conventions coexist deliberately:
+///
+/// * [`CostModel::input_length`] — `a = 0, b = 1`: cost *is* the input
+///   length, the legacy proxy the [`Placement`](crate::Placement) enum
+///   used. Deterministic, no measurement needed.
+/// * [`CostModel::calibrate`] — coefficients are least-squares fits of
+///   measured `infer` wall time in **seconds**. The measurement itself is
+///   host-dependent, but once frozen the model (and all placement
+///   derived from it) is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    coefficients: Vec<(f64, f64)>,
+}
+
+impl CostModel {
+    /// The unit cost model for `chips` chips: cost = input length
+    /// (clamped to ≥ 1), matching the legacy `Placement` enum's proxy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero.
+    #[must_use]
+    pub fn input_length(chips: usize) -> Self {
+        assert!(chips > 0, "a cost model needs at least one chip");
+        Self {
+            coefficients: vec![(0.0, 1.0); chips],
+        }
+    }
+
+    /// Build from per-chip `(intercept, slope)` coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficients` is empty or any coefficient is not
+    /// finite and non-negative.
+    #[must_use]
+    pub fn from_coefficients(coefficients: Vec<(f64, f64)>) -> Self {
+        assert!(
+            !coefficients.is_empty(),
+            "a cost model needs at least one chip"
+        );
+        for &(a, b) in &coefficients {
+            assert!(
+                a.is_finite() && b.is_finite() && a >= 0.0 && b >= 0.0,
+                "cost coefficients must be finite and non-negative"
+            );
+        }
+        Self { coefficients }
+    }
+
+    /// Calibrate by timing every chip's `infer` on the representative
+    /// inputs: `passes` timed passes per input (plus one untimed warm-up),
+    /// the per-input minimum taken as its service time, and per-chip
+    /// `(a, b)` fit by least squares over `(len, time)` points. If every
+    /// representative input has the same length the slope is
+    /// indeterminate and the fit degenerates to `(mean time, 0)`.
+    ///
+    /// The returned coefficients are **frozen measurements** — placement
+    /// computed from them is deterministic even though the calibration
+    /// pass itself is not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `representative` is empty or `passes` is zero.
+    #[must_use]
+    pub fn calibrate<C: Chip>(
+        pool: &ChipPool<C>,
+        representative: &[Vec<f64>],
+        passes: usize,
+    ) -> Self {
+        assert!(
+            !representative.is_empty(),
+            "calibration needs representative inputs"
+        );
+        assert!(passes > 0, "calibration needs at least one timed pass");
+        let coefficients = pool
+            .chips()
+            .iter()
+            .map(|chip| {
+                let points: Vec<(f64, f64)> = representative
+                    .iter()
+                    .map(|input| {
+                        let _ = chip.infer(input); // warm-up, untimed
+                        let mut best = f64::INFINITY;
+                        for _ in 0..passes {
+                            let start = Instant::now();
+                            let _ = chip.infer(input);
+                            best = best.min(start.elapsed().as_secs_f64());
+                        }
+                        (input.len().max(1) as f64, best)
+                    })
+                    .collect();
+                fit_affine(&points)
+            })
+            .collect();
+        Self { coefficients }
+    }
+
+    /// Number of chips the model covers.
+    #[must_use]
+    pub fn chips(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// The frozen per-chip `(intercept, slope)` coefficients.
+    #[must_use]
+    pub fn coefficients(&self) -> &[(f64, f64)] {
+        &self.coefficients
+    }
+
+    /// Estimated cost of a request of `input_len` elements on `chip`.
+    #[must_use]
+    pub fn estimate(&self, chip: usize, input_len: usize) -> f64 {
+        let (a, b) = self.coefficients[chip];
+        a + b * input_len.max(1) as f64
+    }
+
+    /// Fill `out` with the estimate of this request on every chip.
+    pub fn estimates_into(&self, input_len: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.coefficients.len()).map(|chip| self.estimate(chip, input_len)));
+    }
+
+    /// The model as a JSON array of per-chip coefficient objects.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let chips: Vec<String> = self
+            .coefficients
+            .iter()
+            .map(|(a, b)| format!("{{\"intercept\":{a:.9},\"slope\":{b:.9}}}"))
+            .collect();
+        format!("[{}]", chips.join(","))
+    }
+}
+
+/// Least-squares affine fit of `(x, y)` points; slope clamped to ≥ 0 and
+/// the intercept to ≥ 0 (a negative service-time estimate would let load
+/// accounting run backwards). Zero x-variance degenerates to
+/// `(mean y, 0)`.
+fn fit_affine(points: &[(f64, f64)]) -> (f64, f64) {
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let var_x = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum::<f64>();
+    if var_x <= f64::EPSILON {
+        return (mean_y.max(0.0), 0.0);
+    }
+    let cov = points
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum::<f64>();
+    let slope = (cov / var_x).max(0.0);
+    let intercept = (mean_y - slope * mean_x).max(0.0);
+    (intercept, slope)
+}
+
+/// Replay a policy over a whole batch: `assignment[i]` is the chip id
+/// serving request `i`, with per-request costs taken from `model` and
+/// state threaded through `policy` in request order. This is the single
+/// definition of batch placement — the engine, the legacy enum adapters
+/// and the tests all call it.
+///
+/// # Panics
+///
+/// Panics if a policy returns a chip id out of range.
+#[must_use]
+pub fn assign_batch(
+    input_lens: &[usize],
+    policy: &dyn PlacementPolicy,
+    model: &CostModel,
+) -> Vec<usize> {
+    let mut state = PoolState::new(model.chips());
+    let mut costs = Vec::with_capacity(model.chips());
+    input_lens
+        .iter()
+        .map(|&len| {
+            model.estimates_into(len, &mut costs);
+            let chip = policy.place(&costs, &state);
+            assert!(chip < state.chips(), "policy chose an out-of-range chip");
+            state.commit(chip, costs[chip]);
+            chip
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let model = CostModel::input_length(3);
+        let lens = [5usize, 1, 9, 2, 2, 7, 1];
+        assert_eq!(
+            assign_batch(&lens, &RoundRobin, &model),
+            vec![0, 1, 2, 0, 1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn least_loaded_balances_by_cost() {
+        let model = CostModel::input_length(2);
+        assert_eq!(
+            assign_batch(&[10, 1, 1, 1], &LeastLoaded, &model),
+            vec![0, 1, 1, 1]
+        );
+    }
+
+    /// The documented tie-break: on equal keys the lowest chip index
+    /// wins, for both load-based policies, so equal-cost streams place
+    /// identically under the enum and under the trait forever.
+    #[test]
+    fn tie_break_prefers_lowest_chip_index() {
+        let model = CostModel::input_length(4);
+        let lens = [3usize; 8];
+        let expected = vec![0, 1, 2, 3, 0, 1, 2, 3];
+        assert_eq!(assign_batch(&lens, &LeastLoaded, &model), expected);
+        assert_eq!(assign_batch(&lens, &SizeAware, &model), expected);
+        // And a literal all-zero-load tie picks chip 0.
+        let state = PoolState::new(4);
+        assert_eq!(LeastLoaded.place(&[1.0; 4], &state), 0);
+        assert_eq!(SizeAware.place(&[1.0; 4], &state), 0);
+    }
+
+    #[test]
+    fn size_aware_equals_least_loaded_on_homogeneous_pools() {
+        let model = CostModel::input_length(3);
+        let lens = [4usize, 9, 1, 1, 6, 2, 8, 3, 3, 5];
+        assert_eq!(
+            assign_batch(&lens, &SizeAware, &model),
+            assign_batch(&lens, &LeastLoaded, &model)
+        );
+    }
+
+    #[test]
+    fn size_aware_prefers_faster_chips_when_costs_differ() {
+        // Chip 1 is 4x faster than chip 0; earliest-finish-time should
+        // give it the bulk of a uniform stream.
+        let model = CostModel::from_coefficients(vec![(0.0, 4.0), (0.0, 1.0)]);
+        let lens = [2usize; 10];
+        let assignment = assign_batch(&lens, &SizeAware, &model);
+        let to_fast = assignment.iter().filter(|&&c| c == 1).count();
+        assert!(
+            to_fast >= 7,
+            "fast chip got only {to_fast}/10 requests: {assignment:?}"
+        );
+        // Least-loaded on the same calibrated model also skews fast-ward,
+        // but earliest-finish-time never does worse.
+        let ll = assign_batch(&lens, &LeastLoaded, &model);
+        let ll_fast = ll.iter().filter(|&&c| c == 1).count();
+        assert!(to_fast >= ll_fast);
+    }
+
+    #[test]
+    fn cost_model_estimates_are_affine_and_clamped() {
+        let model = CostModel::from_coefficients(vec![(1.5, 0.5)]);
+        assert_eq!(model.estimate(0, 4), 1.5 + 0.5 * 4.0);
+        // Zero-length requests still cost the one-element price.
+        assert_eq!(model.estimate(0, 0), model.estimate(0, 1));
+        let mut out = Vec::new();
+        model.estimates_into(4, &mut out);
+        assert_eq!(out, vec![3.5]);
+    }
+
+    #[test]
+    fn affine_fit_recovers_exact_lines_and_degenerates_cleanly() {
+        let (a, b) = fit_affine(&[(1.0, 3.0), (2.0, 5.0), (3.0, 7.0)]);
+        assert!((a - 1.0).abs() < 1e-9 && (b - 2.0).abs() < 1e-9);
+        // Same x everywhere: slope indeterminate → mean, 0.
+        let (a, b) = fit_affine(&[(4.0, 2.0), (4.0, 4.0)]);
+        assert_eq!((a, b), (3.0, 0.0));
+        // A decreasing trend clamps to slope 0 rather than negative cost.
+        let (_, b) = fit_affine(&[(1.0, 5.0), (10.0, 1.0)]);
+        assert_eq!(b, 0.0);
+    }
+
+    struct FixedChip(f64);
+    impl Chip for FixedChip {
+        fn infer(&self, input: &[f64]) -> Vec<f64> {
+            // Busy-work proportional to input length so calibration has
+            // something real to measure.
+            let mut acc = self.0;
+            for x in input {
+                for _ in 0..50 {
+                    acc = (acc + x).sin();
+                }
+            }
+            vec![acc]
+        }
+    }
+
+    #[test]
+    fn calibrate_freezes_finite_nonnegative_coefficients() {
+        let pool = ChipPool::from_chips(vec![FixedChip(0.1), FixedChip(0.2)]);
+        let reps: Vec<Vec<f64>> = [1usize, 8, 32].iter().map(|&n| vec![0.5; n]).collect();
+        let model = CostModel::calibrate(&pool, &reps, 2);
+        assert_eq!(model.chips(), 2);
+        for &(a, b) in model.coefficients() {
+            assert!(a.is_finite() && b.is_finite());
+            assert!(a >= 0.0 && b >= 0.0);
+        }
+        // Longer inputs must never be estimated cheaper.
+        assert!(model.estimate(0, 32) >= model.estimate(0, 1));
+        let json = model.to_json();
+        assert!(json.starts_with("[{\"intercept\":"));
+    }
+}

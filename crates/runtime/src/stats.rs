@@ -10,6 +10,9 @@ use std::time::Duration;
 pub struct ChipStats {
     /// Requests this chip served.
     pub served: usize,
+    /// Coalesced batches the worker ran (contiguous groups of requests
+    /// served back-to-back without re-checking arrivals).
+    pub batches: usize,
     /// Time spent inside `Chip::infer`, seconds.
     pub busy_secs: f64,
     /// `busy_secs / wall_secs` — the worker thread's utilization.
@@ -19,6 +22,8 @@ pub struct ChipStats {
 /// Aggregate statistics of one serve run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeStats {
+    /// Name of the placement policy that assigned the requests.
+    pub policy: String,
     /// Requests completed.
     pub requests: usize,
     /// Wall-clock duration of the whole run, seconds.
@@ -36,22 +41,25 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    /// Aggregate from raw per-request latencies and per-chip tallies.
+    /// Aggregate from raw per-request latencies and per-chip
+    /// `(served, batches, busy)` tallies.
     ///
     /// # Panics
     ///
     /// Panics if `latencies` is empty (a serve run always has requests).
     #[must_use]
     pub fn from_run(
+        policy: &str,
         latencies: &[Duration],
         wall: Duration,
-        per_chip: Vec<(usize, Duration)>,
+        per_chip: Vec<(usize, usize, Duration)>,
     ) -> Self {
         assert!(!latencies.is_empty(), "a serve run needs requests");
         let mut sorted_us: Vec<f64> = latencies.iter().map(|l| l.as_secs_f64() * 1e6).collect();
         sorted_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
         let wall_secs = wall.as_secs_f64();
         Self {
+            policy: policy.to_string(),
             requests: latencies.len(),
             wall_secs,
             requests_per_sec: latencies.len() as f64 / wall_secs.max(f64::MIN_POSITIVE),
@@ -60,8 +68,9 @@ impl ServeStats {
             max_latency_us: *sorted_us.last().expect("non-empty"),
             per_chip: per_chip
                 .into_iter()
-                .map(|(served, busy)| ChipStats {
+                .map(|(served, batches, busy)| ChipStats {
                     served,
+                    batches,
                     busy_secs: busy.as_secs_f64(),
                     utilization: busy.as_secs_f64() / wall_secs.max(f64::MIN_POSITIVE),
                 })
@@ -78,15 +87,17 @@ impl ServeStats {
             .iter()
             .map(|c| {
                 format!(
-                    "{{\"served\":{},\"busy_secs\":{:.6},\"utilization\":{:.4}}}",
-                    c.served, c.busy_secs, c.utilization
+                    "{{\"served\":{},\"batches\":{},\"busy_secs\":{:.6},\"utilization\":{:.4}}}",
+                    c.served, c.batches, c.busy_secs, c.utilization
                 )
             })
             .collect();
         format!(
-            "{{\"requests\":{},\"wall_secs\":{:.6},\"requests_per_sec\":{:.3},\
+            "{{\"policy\":\"{}\",\"requests\":{},\"wall_secs\":{:.6},\
+             \"requests_per_sec\":{:.3},\
              \"p50_latency_us\":{:.3},\"p99_latency_us\":{:.3},\"max_latency_us\":{:.3},\
              \"per_chip\":[{}]}}",
+            self.policy,
             self.requests,
             self.wall_secs,
             self.requests_per_sec,
@@ -102,30 +113,37 @@ impl fmt::Display for ServeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} req in {:.3}s → {:.0} req/s (p50 {:.1} µs, p99 {:.1} µs) on {} chips",
+            "{} req in {:.3}s → {:.0} req/s (p50 {:.1} µs, p99 {:.1} µs) on {} chips [{}]",
             self.requests,
             self.wall_secs,
             self.requests_per_sec,
             self.p50_latency_us,
             self.p99_latency_us,
-            self.per_chip.len()
+            self.per_chip.len(),
+            self.policy
         )
     }
 }
 
-/// Linear-interpolated percentile of an ascending-sorted slice, `q` in
-/// `[0, 1]`.
+/// Linear-interpolated percentile of an ascending-sorted slice.
 ///
-/// # Panics
+/// Total over its inputs — it never panics:
 ///
-/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+/// * an **empty slice** yields `NaN` (there is no order statistic to
+///   report; callers that require a value must check first);
+/// * `q` is **clamped** to `[0, 1]`, so a caller computing `1.0 + ε` by
+///   accident gets the maximum rather than an abort;
+/// * a `NaN` quantile yields `NaN`;
+/// * a **single element** is every percentile of itself.
 #[must_use]
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of an empty slice");
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if sorted.is_empty() || q.is_nan() {
+        return f64::NAN;
+    }
     if sorted.len() == 1 {
         return sorted[0];
     }
+    let q = q.clamp(0.0, 1.0);
     let rank = q * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -146,52 +164,69 @@ mod tests {
         assert_eq!(percentile(&[7.0], 0.99), 7.0);
     }
 
+    /// The hardened edge cases: empty input, exact endpoints, a single
+    /// element, out-of-range and NaN quantiles — none may panic.
     #[test]
-    #[should_panic(expected = "empty")]
-    fn percentile_rejects_empty() {
-        let _ = percentile(&[], 0.5);
+    fn percentile_edge_cases_are_total() {
+        assert!(percentile(&[], 0.5).is_nan(), "empty slice → NaN");
+        assert!(percentile(&[], 0.0).is_nan());
+        let one = [42.0];
+        assert_eq!(percentile(&one, 0.0), 42.0);
+        assert_eq!(percentile(&one, 1.0), 42.0);
+        let xs = [1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0, "q=0 is the minimum");
+        assert_eq!(percentile(&xs, 1.0), 3.0, "q=1 is the maximum");
+        // Out-of-range quantiles clamp instead of panicking.
+        assert_eq!(percentile(&xs, -0.5), 1.0);
+        assert_eq!(percentile(&xs, 1.5), 3.0);
+        assert!(percentile(&xs, f64::NAN).is_nan());
     }
 
     #[test]
     fn stats_aggregate_and_order() {
         let lat: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
         let stats = ServeStats::from_run(
+            "least_loaded",
             &lat,
             Duration::from_millis(10),
             vec![
-                (60, Duration::from_millis(6)),
-                (40, Duration::from_millis(4)),
+                (60, 1, Duration::from_millis(6)),
+                (40, 2, Duration::from_millis(4)),
             ],
         );
         assert_eq!(stats.requests, 100);
+        assert_eq!(stats.policy, "least_loaded");
         assert!(stats.requests_per_sec > 0.0);
         assert!(stats.p50_latency_us <= stats.p99_latency_us);
         assert!(stats.p99_latency_us <= stats.max_latency_us);
         assert_eq!(stats.per_chip.len(), 2);
+        assert_eq!(stats.per_chip[1].batches, 2);
         assert!((stats.per_chip[0].utilization - 0.6).abs() < 1e-9);
     }
 
     #[test]
     fn json_shape_is_stable() {
         let stats = ServeStats::from_run(
+            "round_robin",
             &[Duration::from_micros(5), Duration::from_micros(15)],
             Duration::from_millis(1),
-            vec![(2, Duration::from_micros(20))],
+            vec![(2, 1, Duration::from_micros(20))],
         );
         let json = stats.to_json();
-        assert!(json.starts_with("{\"requests\":2,"));
-        assert!(json.contains("\"per_chip\":[{\"served\":2,"));
+        assert!(json.starts_with("{\"policy\":\"round_robin\",\"requests\":2,"));
+        assert!(json.contains("\"per_chip\":[{\"served\":2,\"batches\":1,"));
         assert!(json.contains("\"requests_per_sec\":"));
     }
 
     #[test]
-    fn display_mentions_throughput() {
+    fn display_mentions_throughput_and_policy() {
         let stats = ServeStats::from_run(
+            "size_aware",
             &[Duration::from_micros(5)],
             Duration::from_millis(1),
-            vec![(1, Duration::from_micros(5))],
+            vec![(1, 1, Duration::from_micros(5))],
         );
         let s = stats.to_string();
-        assert!(s.contains("req/s") && s.contains("1 chips"));
+        assert!(s.contains("req/s") && s.contains("1 chips") && s.contains("size_aware"));
     }
 }

@@ -1,0 +1,86 @@
+//! TCP serving quickstart: expose a chip pool on loopback and query it
+//! over the wire protocol.
+//!
+//! The front-end (`runtime::net`) is hermetic `std::net`: a line-oriented
+//! protocol — `workload SP f64-csv LF` in, `ok SP chip SP latency-µs SP
+//! f64-csv LF` (or `err SP message LF`) out — with no HTTP stack. Each
+//! connection gets its own placement session, so the chip sequence (and
+//! therefore the response bits) is a pure function of that connection's
+//! request order, whatever the server's thread count.
+//!
+//! This example trains a small MEI system, binds a 2-thread server on an
+//! ephemeral loopback port, round-trips a few requests through
+//! `runtime::net::Client`, shows an in-band protocol error, and shuts the
+//! server down gracefully.
+//!
+//! Run with: `cargo run --release --example serve_tcp`
+
+use mei::{manufacture_boxed_engine, MeiConfig, MeiRcs};
+use neural::{Dataset, TrainConfig};
+use prng::rngs::StdRng;
+use prng::{Rng, SeedableRng};
+use runtime::net::{Client, NetWorkload, Response, Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Train a small MEI system on exp(−x²).
+    let mut rng = StdRng::seed_from_u64(1);
+    let train = Dataset::generate(1_500, &mut rng, |r| {
+        let x: f64 = r.gen();
+        (vec![x], vec![(-x * x).exp()])
+    })?;
+    let mei = MeiRcs::train(
+        &train,
+        &MeiConfig {
+            hidden: 8,
+            seed: 1,
+            train: TrainConfig {
+                epochs: 40,
+                learning_rate: 0.8,
+                ..TrainConfig::default()
+            },
+            ..MeiConfig::default()
+        },
+    )?;
+
+    // A 4-chip pool behind the default least-loaded policy, published as
+    // the workload "expfit" (1 input element per request).
+    let engine = manufacture_boxed_engine(&mei, 4, 0.02, 42);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        vec![NetWorkload::new("expfit", 1, engine)],
+        ServerConfig::default(),
+    )?;
+    let addr = server.addr();
+    println!("serving 'expfit' on {addr}");
+
+    let mut client = Client::connect(addr)?;
+    for i in 0..4 {
+        let x = f64::from(i) / 4.0;
+        match client.request("expfit", &[x])? {
+            Response::Ok {
+                chip,
+                latency_us,
+                output,
+            } => println!(
+                "expfit({x:.2}) = {:.4}  (exact {:.4}, chip {chip}, {latency_us} µs)",
+                output[0],
+                (-x * x).exp()
+            ),
+            Response::Error(e) => println!("expfit({x:.2}) rejected: {e}"),
+        }
+    }
+
+    // Protocol errors come back in-band; the connection stays usable.
+    match client.request("expfit", &[0.1, 0.2])? {
+        Response::Error(e) => println!("wrong arity     → err {e}"),
+        Response::Ok { .. } => unreachable!("arity is validated server-side"),
+    }
+    match client.request("no_such_workload", &[0.5])? {
+        Response::Error(e) => println!("unknown workload → err {e}"),
+        Response::Ok { .. } => unreachable!("workload names are validated"),
+    }
+
+    server.shutdown();
+    println!("server drained and shut down");
+    Ok(())
+}
