@@ -35,6 +35,13 @@ MEI_BENCH_FAST=1 MEI_BENCH_SECONDS=0.5 \
 echo "==> TCP front-end smoke (loopback round trip, in-band errors, shutdown)"
 cargo run --release --offline --example serve_tcp > /dev/null
 
+echo "==> drift + admission bench smoke (online recalibration, knee-derived gate)"
+# Asserts the host-independent gate invariants: zero sheds at 0.5x the
+# measured knee, positive shed rate at 1.5x over it. The frozen-vs-
+# recalibrated p99 ratio is reported only (meaningless on 1-core hosts).
+MEI_BENCH_FAST=1 MEI_BENCH_SECONDS=0.4 \
+    cargo run --release --offline -p mei-bench --bin drift_admission > /dev/null
+
 echo "==> training throughput bench smoke (1-epoch calls, 0.3-second windows)"
 # The 0.9x sanity floor on the 2-thread speedup is enforced by the binary
 # only on hosts with >= 2 hardware threads; the bit-identity check across

@@ -128,7 +128,8 @@ fn tcp_open_phase(
 
         let mut reader = BufReader::new(reader_half);
         let mut latencies: Vec<Duration> = Vec::with_capacity(n);
-        let mut per_chip: Vec<(usize, usize, Duration)> = vec![(0, 0, Duration::ZERO); chips];
+        let mut per_chip: Vec<(usize, usize, usize, Duration)> =
+            vec![(0, 0, 0, Duration::ZERO); chips];
         let mut line = String::new();
         for i in 0..n {
             line.clear();
@@ -143,7 +144,7 @@ fn tcp_open_phase(
                 } => {
                     per_chip[chip].0 += 1;
                     per_chip[chip].1 += 1;
-                    per_chip[chip].2 += Duration::from_micros(latency_us as u64);
+                    per_chip[chip].3 += Duration::from_micros(latency_us as u64);
                 }
                 Response::Error(e) => panic!("bench request rejected: {e}"),
             }

@@ -14,7 +14,7 @@
 //! (lightly loaded) step, and "two steps over budget in a row" as the
 //! stop condition, so one noisy window cannot end the ramp early.
 
-use runtime::ServeStats;
+use runtime::{AdmissionConfig, ServeStats};
 
 /// One ramp step: the offered rate and what the pool did under it.
 #[derive(Debug, Clone)]
@@ -81,6 +81,29 @@ impl RampReport {
     #[must_use]
     pub fn knee_step(&self) -> &RampStep {
         &self.steps[self.knee]
+    }
+
+    /// Turn the measured knee into a serving [`AdmissionConfig`]: the
+    /// delay bound is `headroom ×` the knee step's p99, and the
+    /// cost→seconds conversion assumes the pool retires the knee rate
+    /// across `chips` chips at the workload's `mean_cost`
+    /// ([`AdmissionConfig::from_knee`]). This is the calibration loop the
+    /// serving stack closes: ramp → knee → gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the knee step is degenerate (non-positive rate or p99)
+    /// or the arguments are (see [`AdmissionConfig::from_knee`]).
+    #[must_use]
+    pub fn admission_config(&self, headroom: f64, mean_cost: f64, chips: usize) -> AdmissionConfig {
+        let knee = self.knee_step();
+        AdmissionConfig::from_knee(
+            knee.offered_rps,
+            knee.stats.p99_latency_us,
+            headroom,
+            mean_cost,
+            chips,
+        )
     }
 
     /// The report as a JSON object (knee summary + full step trace).
@@ -194,6 +217,26 @@ mod tests {
         let json = report.to_json();
         assert!(json.starts_with("{\"knee_rps\":"));
         assert!(json.contains("\"steps\":["));
+    }
+
+    #[test]
+    fn knee_converts_to_an_admission_config() {
+        let config = RampConfig {
+            start_rps: 250.0,
+            growth: 1.5,
+            max_steps: 16,
+            knee_factor: 4.0,
+        };
+        let report = ramp_to_knee(&config, synthetic);
+        let admit = report.admission_config(3.0, 2.0, 4);
+        let knee = report.knee_step();
+        assert!((admit.max_delay_secs - 3.0 * knee.stats.p99_latency_us * 1e-6).abs() < 1e-12);
+        assert!(
+            (admit.secs_per_cost - 4.0 / (knee.offered_rps * 2.0)).abs() < 1e-12,
+            "secs_per_cost {} for knee {}",
+            admit.secs_per_cost,
+            knee.offered_rps
+        );
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Ground-truth validation of the ramp controller: drive [`ramp_to_knee`]
+//! with a *simulated* D/D/1 queue whose capacity is known analytically,
+//! and check the reported knee lands within one growth factor of it.
+//!
+//! The simulated pool is one chip with a deterministic service time `s`:
+//! arrivals are evenly spaced at the offered rate, and request `i`
+//! completes at `max(arrival_i, completion_{i-1}) + s`. The analytic
+//! knee is the capacity `1/s` — below it the queue drains between
+//! arrivals and every latency is exactly `s`; above it the backlog (and
+//! therefore p99) grows linearly in the window length. No wall clock is
+//! involved, so this test is exact and host-speed-independent.
+
+use std::time::Duration;
+
+use mei_bench::ramp::{ramp_to_knee, RampConfig};
+use runtime::ServeStats;
+
+/// Simulate a `window_secs`-long open-loop run against a single D/D/1
+/// server with deterministic service time `service_secs`, offered
+/// `rate` requests/second.
+fn simulate_dd1(rate: f64, service_secs: f64, window_secs: f64) -> ServeStats {
+    let n = ((rate * window_secs).ceil() as usize).max(1);
+    let spacing = 1.0 / rate;
+    let mut completion = 0.0f64;
+    let latencies: Vec<Duration> = (0..n)
+        .map(|i| {
+            let arrival = i as f64 * spacing;
+            completion = completion.max(arrival) + service_secs;
+            Duration::from_secs_f64(completion - arrival)
+        })
+        .collect();
+    ServeStats::from_run(
+        "dd1",
+        &latencies,
+        Duration::from_secs_f64(completion.max(window_secs)),
+        vec![(n, n, 0, Duration::from_secs_f64(n as f64 * service_secs))],
+    )
+}
+
+#[test]
+fn ramp_knee_lands_within_one_growth_factor_of_the_analytic_capacity() {
+    let service_secs = 1e-3;
+    let capacity = 1.0 / service_secs; // 1000 req/s, analytically
+    let config = RampConfig {
+        start_rps: 100.0,
+        growth: 1.3,
+        max_steps: 20,
+        knee_factor: 4.0,
+    };
+    let report = ramp_to_knee(&config, |rate| simulate_dd1(rate, service_secs, 2.0));
+    assert!(report.kneed, "the D/D/1 elbow must be detected");
+    let knee_rps = report.knee_step().offered_rps;
+    assert!(
+        knee_rps <= capacity * config.growth && knee_rps >= capacity / config.growth,
+        "reported knee {knee_rps} req/s is more than one growth factor \
+         ({}) from the analytic capacity {capacity} req/s",
+        config.growth
+    );
+    // Below the knee the simulated latency is exactly the service time.
+    let knee_p99_us = report.knee_step().stats.p99_latency_us;
+    assert!(
+        (knee_p99_us - service_secs * 1e6).abs() < 1.0,
+        "knee p99 {knee_p99_us} µs should sit at the bare service time"
+    );
+}
+
+#[test]
+fn ramp_knee_tracks_the_capacity_when_the_service_time_changes() {
+    // Same harness, 4× faster chip: the knee must move 4× out.
+    let config = RampConfig {
+        start_rps: 100.0,
+        growth: 1.3,
+        max_steps: 24,
+        knee_factor: 4.0,
+    };
+    let slow = ramp_to_knee(&config, |rate| simulate_dd1(rate, 2e-3, 2.0));
+    let fast = ramp_to_knee(&config, |rate| simulate_dd1(rate, 0.5e-3, 2.0));
+    assert!(slow.kneed && fast.kneed);
+    let ratio = fast.knee_step().offered_rps / slow.knee_step().offered_rps;
+    // 4× capacity, measured on a 1.3-geometric grid: the ratio must be
+    // within one growth factor of 4.
+    assert!(
+        (4.0 / 1.3..=4.0 * 1.3).contains(&ratio),
+        "knee ratio {ratio} should track the 4x capacity ratio"
+    );
+}

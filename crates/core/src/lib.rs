@@ -77,7 +77,9 @@ pub use mei_arch::{MeiConfig, MeiRcs};
 pub use persist::ParseRcsError;
 pub use report::{system_report, ReportConfig};
 pub use saab::{Saab, SaabConfig, SaabTrainer};
-pub use serve::{manufacture_boxed_engine, manufacture_chips, manufacture_engine};
+pub use serve::{
+    manufacture_boxed_engine, manufacture_chips, manufacture_drifting_engine, manufacture_engine,
+};
 
 // The σ-vector shared by every noisy evaluation path.
 pub use rram::NonIdealFactors;

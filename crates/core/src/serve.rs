@@ -12,7 +12,7 @@
 use prng::rngs::StdRng;
 use prng::SeedableRng;
 use rram::VariationModel;
-use runtime::{Chip, ChipPool, Engine};
+use runtime::{Chip, ChipPool, DriftProfile, DriftingChip, Engine};
 
 use crate::adda::AddaRcs;
 use crate::digital::DigitalAnn;
@@ -102,6 +102,40 @@ where
     Engine::new(manufacture_chips(rcs, chips, write_sigma, root_seed).boxed())
 }
 
+/// Manufacture a pool (as [`manufacture_chips`]) and wrap every chip in
+/// a [`DriftingChip`] with retention drift `profile`, each chip's drift
+/// severity drawn from its `(root_seed, chip_index)` substream — the
+/// same seed that drew its write noise, salted to a distinct stream. The
+/// result is an [`Engine`] whose chips age deterministically as the
+/// engine's serving window advances (`Engine::advance_window` /
+/// `Engine::recalibrate_window`); at window 0 outputs are bit-identical
+/// to [`manufacture_engine`] over the same arguments.
+///
+/// # Panics
+///
+/// Panics if `chips` is zero.
+pub fn manufacture_drifting_engine<T>(
+    rcs: &T,
+    chips: usize,
+    write_sigma: f64,
+    root_seed: u64,
+    profile: DriftProfile,
+) -> Engine<DriftingChip<T>>
+where
+    T: Rcs + Chip + Clone,
+{
+    let variation = VariationModel::process_variation(write_sigma);
+    let pool = ChipPool::manufacture(root_seed, chips, |_, chip_seed| {
+        let mut chip = rcs.clone();
+        if !variation.is_ideal() {
+            let mut rng = StdRng::seed_from_u64(chip_seed);
+            chip.disturb(&variation, &mut rng);
+        }
+        DriftingChip::new(chip, profile, chip_seed)
+    });
+    Engine::new(pool)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +207,30 @@ mod tests {
         // The boxed engine is the same pool behind `dyn Chip`.
         let boxed = manufacture_boxed_engine(&rcs, 3, 0.05, 9);
         assert_eq!(boxed.serve(&inputs).outputs, pool_outcome.outputs);
+    }
+
+    #[test]
+    fn drifting_engine_is_transparent_at_window_zero_and_ages_reproducibly() {
+        let data = expfit_data(200, 6);
+        let rcs = MeiRcs::train(&data, &MeiConfig::quick_test()).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 8.0]).collect();
+        let fresh = manufacture_engine(&rcs, 2, 0.05, 13).serve(&inputs);
+        let profile = DriftProfile {
+            latency_per_drift: 0.0,
+            ..DriftProfile::aggressive()
+        };
+        let mut drifting = manufacture_drifting_engine(&rcs, 2, 0.05, 13, profile);
+        // Window 0: the wrapper is bit-transparent.
+        assert_eq!(drifting.serve(&inputs).outputs, fresh.outputs);
+        // Aged: outputs move, but identically on an identically-built twin.
+        let _ = drifting.advance_window();
+        let _ = drifting.advance_window();
+        let aged = drifting.serve(&inputs);
+        assert_ne!(aged.outputs, fresh.outputs, "drift must act by window 2");
+        let mut twin = manufacture_drifting_engine(&rcs, 2, 0.05, 13, profile);
+        let _ = twin.advance_window();
+        let _ = twin.advance_window();
+        assert_eq!(twin.serve(&inputs).outputs, aged.outputs);
     }
 
     #[test]

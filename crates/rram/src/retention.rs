@@ -69,6 +69,24 @@ impl RetentionModel {
         (1.0 + seconds / self.tau).powf(-self.nu)
     }
 
+    /// The decay factor after `window` serving windows of
+    /// `seconds_per_window` simulated bake each — the discretization the
+    /// serving runtime's drift injection uses: within a window the factor
+    /// is frozen, between windows it steps down the same power law as
+    /// [`RetentionModel::decay_factor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds_per_window` is negative or non-finite.
+    #[must_use]
+    pub fn window_decay(&self, window: u64, seconds_per_window: f64) -> f64 {
+        assert!(
+            seconds_per_window >= 0.0 && seconds_per_window.is_finite(),
+            "window length must be non-negative and finite"
+        );
+        self.decay_factor(window as f64 * seconds_per_window)
+    }
+
     /// The conductance a cell programmed to `g` exhibits after `seconds`.
     ///
     /// Drift acts on the window position, so a fully-RESET cell (`g_off`)
@@ -159,6 +177,26 @@ mod tests {
             assert!(g < last, "t={t}");
             last = g;
         }
+    }
+
+    #[test]
+    fn window_decay_matches_continuous_decay_and_is_monotone() {
+        let m = RetentionModel::hfox_room_temperature();
+        assert_eq!(m.window_decay(0, 1e4), 1.0, "window 0 is fresh");
+        for w in 0..6u64 {
+            assert_eq!(m.window_decay(w, 1e4), m.decay_factor(w as f64 * 1e4));
+            if w > 0 {
+                assert!(m.window_decay(w, 1e4) < m.window_decay(w - 1, 1e4));
+            }
+        }
+        // A zero-length window never ages the cell.
+        assert_eq!(m.window_decay(1_000, 0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn negative_window_length_rejected() {
+        let _ = RetentionModel::hfox_room_temperature().window_decay(1, -1.0);
     }
 
     #[test]

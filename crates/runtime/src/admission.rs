@@ -1,0 +1,415 @@
+//! Admission control: shed requests instead of queueing past the knee.
+//!
+//! An open system driven past its throughput knee has unbounded queues —
+//! p99 latency grows without limit while goodput stays flat. The paper's
+//! serving story ("fast and predictable when hardware misbehaves")
+//! therefore needs the runtime to *refuse* work it cannot serve within a
+//! latency bound, and the refusal has to obey the same determinism
+//! contract as placement: the same request sequence with the same arrival
+//! offsets must shed the same requests on every run, regardless of server
+//! thread count or host speed.
+//!
+//! The trick is **virtual time**. A [`Gate`] never reads the wall clock;
+//! it simulates per-chip queues using the engine's frozen [`CostModel`]
+//! estimates:
+//!
+//! ```text
+//!   start  = max(virtual_finish[chip], arrival)
+//!   wait   = start − arrival                    // estimated queueing delay
+//!   shed     if wait > max_delay_secs           // nothing is committed
+//!   admit    otherwise; virtual_finish[chip] = start + cost · secs_per_cost
+//! ```
+//!
+//! `arrival` is an explicit input (seconds since the gate's epoch): in
+//! batch serving it is the open-loop arrival offset, on the TCP front-end
+//! it is stamped when the request's bytes are read from the socket. Given
+//! the same `(chip, cost, arrival)` sequence the decisions are a pure
+//! fold — bit-identical across runs and thread counts.
+//!
+//! The two knobs come from the knee: [`AdmissionConfig::from_knee`] turns
+//! a measured [`ramp_to_knee`]-style `(knee_rps, knee_p99)` point into a
+//! threshold (`max_delay = headroom × knee_p99`) and a cost→seconds
+//! conversion (`secs_per_cost = chips / (knee_rps × mean_cost)`), so the
+//! virtual queue starts growing exactly when the offered rate passes the
+//! knee. Both can be overridden at deploy time via `MEI_ADMIT_MAX_DELAY_US`
+//! and `MEI_ADMIT_SECS_PER_COST` ([`AdmissionConfig::from_env`]).
+//!
+//! [`CostModel`]: crate::CostModel
+//! [`ramp_to_knee`]: ../../mei_bench/ramp/fn.ramp_to_knee.html
+
+use crate::chip::ServeOutcome;
+
+/// The admission threshold and the cost→seconds conversion a [`Gate`]
+/// simulates queues with. Immutable once built; one config can drive any
+/// number of gates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Maximum *estimated* queueing delay, in seconds. A request whose
+    /// estimated wait exceeds this is shed.
+    pub max_delay_secs: f64,
+    /// Seconds of simulated service time per unit of cost-model cost.
+    /// `1.0` when the cost model is already calibrated in seconds.
+    pub secs_per_cost: f64,
+}
+
+impl AdmissionConfig {
+    /// A config for a cost model calibrated in **seconds** (so
+    /// `secs_per_cost = 1`): shed when the estimated wait exceeds
+    /// `max_delay_secs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_delay_secs` is negative or non-finite.
+    #[must_use]
+    pub fn new(max_delay_secs: f64) -> Self {
+        assert!(
+            max_delay_secs >= 0.0 && max_delay_secs.is_finite(),
+            "admission delay bound must be non-negative and finite"
+        );
+        Self {
+            max_delay_secs,
+            secs_per_cost: 1.0,
+        }
+    }
+
+    /// Derive a config from a measured throughput knee.
+    ///
+    /// * `knee_rps`, `knee_p99_us` — the last sustainable step of a ramp
+    ///   (`mei_bench::ramp::ramp_to_knee` reports both).
+    /// * `headroom` — the delay bound as a multiple of the knee's p99
+    ///   (e.g. `3.0` = tolerate estimated waits up to 3× knee p99).
+    /// * `mean_cost`, `chips` — the workload's mean cost-model estimate
+    ///   and the pool size. At the knee the pool retires `knee_rps`
+    ///   requests/s across `chips` chips, i.e. `knee_rps × mean_cost / chips`
+    ///   cost units per chip-second, so one cost unit is worth
+    ///   `chips / (knee_rps × mean_cost)` seconds — exactly the conversion
+    ///   that makes the virtual queue grow iff the offered rate exceeds
+    ///   the knee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is non-positive or non-finite.
+    #[must_use]
+    pub fn from_knee(
+        knee_rps: f64,
+        knee_p99_us: f64,
+        headroom: f64,
+        mean_cost: f64,
+        chips: usize,
+    ) -> Self {
+        assert!(
+            knee_rps > 0.0 && knee_rps.is_finite(),
+            "knee rate must be positive and finite"
+        );
+        assert!(
+            knee_p99_us > 0.0 && knee_p99_us.is_finite(),
+            "knee p99 must be positive and finite"
+        );
+        assert!(
+            headroom > 0.0 && headroom.is_finite(),
+            "headroom must be positive and finite"
+        );
+        assert!(
+            mean_cost > 0.0 && mean_cost.is_finite(),
+            "mean cost must be positive and finite"
+        );
+        assert!(chips > 0, "a pool needs at least one chip");
+        Self {
+            max_delay_secs: headroom * knee_p99_us * 1e-6,
+            secs_per_cost: chips as f64 / (knee_rps * mean_cost),
+        }
+    }
+
+    /// Apply deploy-time overrides from the environment:
+    ///
+    /// * `MEI_ADMIT_MAX_DELAY_US` — replaces `max_delay_secs` (value in
+    ///   microseconds);
+    /// * `MEI_ADMIT_SECS_PER_COST` — replaces `secs_per_cost`.
+    ///
+    /// Unset or unparsable variables leave the config unchanged.
+    #[must_use]
+    pub fn from_env(mut self) -> Self {
+        if let Some(us) = env_f64("MEI_ADMIT_MAX_DELAY_US") {
+            if us >= 0.0 {
+                self.max_delay_secs = us * 1e-6;
+            }
+        }
+        if let Some(spc) = env_f64("MEI_ADMIT_SECS_PER_COST") {
+            if spc > 0.0 {
+                self.secs_per_cost = spc;
+            }
+        }
+        self
+    }
+}
+
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name)
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|v: &f64| v.is_finite())
+}
+
+/// One admission decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// The request may run; `estimated_wait_secs` is the simulated
+    /// queueing delay it was admitted with.
+    Admit {
+        /// Estimated queueing delay, seconds.
+        estimated_wait_secs: f64,
+    },
+    /// The request was refused (estimated wait above the bound). Nothing
+    /// was committed to the virtual queue.
+    Shed {
+        /// The estimated wait that tripped the bound, seconds.
+        estimated_wait_secs: f64,
+    },
+}
+
+impl Decision {
+    /// Whether this decision admits the request.
+    #[must_use]
+    pub fn is_admit(&self) -> bool {
+        matches!(self, Decision::Admit { .. })
+    }
+}
+
+/// Running tallies of a gate's decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateStats {
+    /// Requests offered to the gate.
+    pub offered: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests shed.
+    pub shed: u64,
+}
+
+impl GateStats {
+    /// `shed / offered`, or 0 when nothing was offered.
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// A virtual-time admission gate over one pool: per-chip simulated queue
+/// horizons plus decision tallies. One gate per request source (session /
+/// connection), mirroring how placement state is scoped — concurrent
+/// connections cannot perturb each other's decisions.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    config: AdmissionConfig,
+    virtual_finish: Vec<f64>,
+    stats: GateStats,
+}
+
+impl Gate {
+    /// A fresh gate (empty virtual queues) for a pool of `chips` chips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero.
+    #[must_use]
+    pub fn new(config: AdmissionConfig, chips: usize) -> Self {
+        assert!(chips > 0, "a gate needs at least one chip");
+        Self {
+            config,
+            virtual_finish: vec![0.0; chips],
+            stats: GateStats::default(),
+        }
+    }
+
+    /// Offer a request to the gate: the placement policy already chose
+    /// `chip`, the cost model estimated `cost`, and the request arrived
+    /// `arrival_secs` after the gate's epoch. Pure virtual-time fold — no
+    /// clock is read, so the same offer sequence always yields the same
+    /// decisions.
+    ///
+    /// Arrivals are expected to be non-decreasing per gate (each gate
+    /// watches one FIFO request source); the simulation stays
+    /// well-defined either way because `start` is clamped to the chip's
+    /// virtual horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is out of range, or `cost` / `arrival_secs` is
+    /// negative or non-finite.
+    pub fn offer(&mut self, chip: usize, cost: f64, arrival_secs: f64) -> Decision {
+        assert!(chip < self.virtual_finish.len(), "chip out of range");
+        assert!(
+            cost >= 0.0 && cost.is_finite(),
+            "cost must be non-negative and finite"
+        );
+        assert!(
+            arrival_secs >= 0.0 && arrival_secs.is_finite(),
+            "arrival must be non-negative and finite"
+        );
+        self.stats.offered += 1;
+        let start = self.virtual_finish[chip].max(arrival_secs);
+        let wait = start - arrival_secs;
+        if wait > self.config.max_delay_secs {
+            self.stats.shed += 1;
+            Decision::Shed {
+                estimated_wait_secs: wait,
+            }
+        } else {
+            self.virtual_finish[chip] = start + cost * self.config.secs_per_cost;
+            self.stats.admitted += 1;
+            Decision::Admit {
+                estimated_wait_secs: wait,
+            }
+        }
+    }
+
+    /// The gate's config.
+    #[must_use]
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Decision tallies so far.
+    #[must_use]
+    pub fn stats(&self) -> GateStats {
+        self.stats
+    }
+}
+
+/// What an admission-gated batch serve returns: the outcome of the
+/// admitted subset (if any), plus which request indices were admitted
+/// and which were shed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmittedOutcome {
+    /// Serve outcome over the **admitted** requests only (outputs in
+    /// admitted order — `admitted[i]` produced `outcome.outputs[i]`).
+    /// `None` when every request was shed.
+    pub outcome: Option<ServeOutcome>,
+    /// Original request indices that were admitted, ascending.
+    pub admitted: Vec<usize>,
+    /// Original request indices that were shed, ascending.
+    pub shed: Vec<usize>,
+    /// The gate's decision tallies for this batch.
+    pub gate_stats: GateStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_capacity_streams_never_shed() {
+        // Service costs 1 ms per request; arrivals 2 ms apart — the
+        // virtual queue drains between arrivals, so waits stay 0.
+        let mut gate = Gate::new(AdmissionConfig::new(0.5e-3), 1);
+        for i in 0..100u32 {
+            let d = gate.offer(0, 1e-3, f64::from(i) * 2e-3);
+            assert!(d.is_admit(), "request {i} shed: {d:?}");
+        }
+        assert_eq!(gate.stats().shed, 0);
+        assert_eq!(gate.stats().admitted, 100);
+    }
+
+    #[test]
+    fn over_capacity_streams_shed_once_the_bound_trips() {
+        // Service costs 2 ms but arrivals come every 1 ms: the wait grows
+        // 1 ms per request until it passes the 3 ms bound.
+        let mut gate = Gate::new(AdmissionConfig::new(3e-3), 1);
+        let decisions: Vec<Decision> = (0..10u32)
+            .map(|i| gate.offer(0, 2e-3, f64::from(i) * 1e-3))
+            .collect();
+        assert!(decisions[0].is_admit());
+        assert!(gate.stats().shed > 0, "overload never shed: {decisions:?}");
+        // Sheds do not commit: after the burst passes, a late request
+        // finds the queue drained and is admitted again.
+        let d = gate.offer(0, 2e-3, 1.0);
+        assert!(d.is_admit(), "gate failed to recover after burst: {d:?}");
+    }
+
+    #[test]
+    fn decisions_are_a_pure_function_of_the_offer_sequence() {
+        let offers: Vec<(usize, f64, f64)> = (0..50u32)
+            .map(|i| {
+                (
+                    (i % 3) as usize,
+                    1e-3 + f64::from(i % 7) * 1e-4,
+                    f64::from(i) * 8e-4,
+                )
+            })
+            .collect();
+        let run = || {
+            let mut gate = Gate::new(AdmissionConfig::new(2e-3), 3);
+            offers
+                .iter()
+                .map(|&(chip, cost, at)| gate.offer(chip, cost, at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "same offers must give same decisions");
+    }
+
+    #[test]
+    fn from_knee_converts_units_as_documented() {
+        // 4 chips at knee 1000 req/s over mean cost 2.0 → one cost unit
+        // is 4/(1000·2) = 2 ms; headroom 3 over a 500 µs knee p99 →
+        // 1.5 ms bound.
+        let c = AdmissionConfig::from_knee(1000.0, 500.0, 3.0, 2.0, 4);
+        assert!((c.secs_per_cost - 2e-3).abs() < 1e-12);
+        assert!((c.max_delay_secs - 1.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knee_calibrated_gate_sheds_iff_offered_rate_exceeds_knee() {
+        // Knee = 500 req/s on one chip, mean cost 1.0 → secs_per_cost
+        // = 2 ms. Offer at 400 req/s (under) then 1000 req/s (over).
+        let config = AdmissionConfig::from_knee(500.0, 200.0, 5.0, 1.0, 1);
+        let mut under = Gate::new(config, 1);
+        for i in 0..200u32 {
+            let _ = under.offer(0, 1.0, f64::from(i) * 2.5e-3);
+        }
+        assert_eq!(under.stats().shed, 0, "under-knee load must not shed");
+        let mut over = Gate::new(config, 1);
+        for i in 0..200u32 {
+            let _ = over.offer(0, 1.0, f64::from(i) * 1e-3);
+        }
+        assert!(over.stats().shed > 0, "over-knee load must shed");
+        // And the waits of admitted requests stay bounded by the config.
+        assert!(over.stats().admitted > 0);
+    }
+
+    #[test]
+    fn env_overrides_apply_and_ignore_garbage() {
+        // Serialized via fresh config values rather than env mutation in
+        // parallel tests: from_env on unset vars is the identity.
+        let base = AdmissionConfig::new(1e-3);
+        assert_eq!(base.from_env(), base);
+    }
+
+    #[test]
+    fn shed_rate_is_total() {
+        assert_eq!(GateStats::default().shed_rate(), 0.0);
+        let s = GateStats {
+            offered: 8,
+            admitted: 6,
+            shed: 2,
+        };
+        assert!((s.shed_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "chip out of range")]
+    fn out_of_range_chip_rejected() {
+        let _ = Gate::new(AdmissionConfig::new(1.0), 2).offer(2, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "admission delay bound")]
+    fn negative_delay_bound_rejected() {
+        let _ = AdmissionConfig::new(-1.0);
+    }
+}

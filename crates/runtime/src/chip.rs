@@ -26,7 +26,10 @@
 //! should build an `Engine` directly; these adapters exist so existing
 //! callers keep their exact placement behaviour.
 
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use rram::RetentionModel;
 
 use crate::engine::run_batch;
 use crate::policy::{self, CostModel, LeastLoaded, PlacementPolicy, RoundRobin};
@@ -38,17 +41,204 @@ use crate::stats::ServeStats;
 pub trait Chip: Send + Sync {
     /// Run one inference request.
     fn infer(&self, input: &[f64]) -> Vec<f64>;
+
+    /// Notify the chip that the serving runtime entered window `window`.
+    ///
+    /// Windows discretize wall time for drift purposes: within a window a
+    /// chip's behaviour must be a pure function of `(chip, window, input)`,
+    /// so serving stays bit-deterministic; between windows a chip may age
+    /// (see [`DriftingChip`]). The default is a no-op — ideal chips do not
+    /// notice time passing.
+    fn set_window(&self, window: u64) {
+        let _ = window;
+    }
 }
 
 impl<C: Chip + ?Sized> Chip for &C {
     fn infer(&self, input: &[f64]) -> Vec<f64> {
         (**self).infer(input)
     }
+
+    fn set_window(&self, window: u64) {
+        (**self).set_window(window);
+    }
 }
 
 impl<C: Chip + ?Sized> Chip for Box<C> {
     fn infer(&self, input: &[f64]) -> Vec<f64> {
         (**self).infer(input)
+    }
+
+    fn set_window(&self, window: u64) {
+        (**self).set_window(window);
+    }
+}
+
+/// How a [`DriftingChip`] degrades as its conductances relax.
+///
+/// The model discretizes the power-law retention decay of
+/// [`rram::RetentionModel`] into serving windows: after `w` windows the
+/// chip's *window position* has decayed by
+/// `d = retention.window_decay(w, severity × seconds_per_window)`, where
+/// `severity` is the chip's own aging-rate draw. The lost position
+/// `1 − d` feeds two observable effects:
+///
+/// * **latency** — service time is stretched by
+///   `1 + latency_per_drift × (1 − d)` (a drifted chip needs longer
+///   integration/more re-reads to resolve the shrunken window);
+/// * **accuracy** — when `output_drift` is set, every output element is
+///   scaled by `d` (the crossbar's currents sag with the conductances).
+///
+/// Both effects are pure functions of `(chip, window, input)`, so a
+/// serving window remains bit-deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftProfile {
+    /// The underlying power-law retention model.
+    pub retention: RetentionModel,
+    /// Simulated seconds of bake per serving window (before the per-chip
+    /// severity multiplier).
+    pub seconds_per_window: f64,
+    /// Service-time stretch per unit of lost window position.
+    pub latency_per_drift: f64,
+    /// Whether outputs are scaled by the decay factor (accuracy drift).
+    pub output_drift: bool,
+}
+
+impl DriftProfile {
+    /// Room-temperature HfOx retention aged one characteristic time `τ`
+    /// per window, with a strong latency response and output drift on —
+    /// aggressive enough that a few windows visibly reorder placement.
+    ///
+    /// # Panics
+    ///
+    /// Never — the constants are valid by construction.
+    #[must_use]
+    pub fn aggressive() -> Self {
+        let retention = RetentionModel::hfox_room_temperature();
+        Self {
+            seconds_per_window: retention.tau,
+            retention,
+            latency_per_drift: 15.0,
+            output_drift: true,
+        }
+    }
+
+    /// Latency-only drift: outputs stay bit-identical to the inner chip,
+    /// only service time degrades. Useful when a test wants drifted
+    /// *placement* without touching output bits.
+    #[must_use]
+    pub fn latency_only() -> Self {
+        Self {
+            output_drift: false,
+            ..Self::aggressive()
+        }
+    }
+}
+
+impl Default for DriftProfile {
+    fn default() -> Self {
+        Self::aggressive()
+    }
+}
+
+/// Salt separating the drift-severity stream from the write-noise stream
+/// that shares the chip's `(root_seed, chip_index)` substream.
+const DRIFT_SEVERITY_SALT: u64 = 0x4452_4946_545F_5345; // "DRIF T_SE"
+
+/// A chip wrapper that injects deterministic retention drift, window by
+/// window.
+///
+/// The wrapper holds the current window index (advanced by
+/// [`Chip::set_window`], which [`Engine::advance_window`] calls on every
+/// chip between windows) and a per-chip *severity* — an aging-rate
+/// multiplier in `[0, 2)` drawn once from the chip's seed, so a pool ages
+/// heterogeneously: some chips barely move, others drift at twice the
+/// nominal rate. Within a window, outputs are a pure function of
+/// `(chip_seed, window, input)`; latency is measurement and sits outside
+/// the determinism contract, like every other service time in the stack.
+///
+/// [`Engine::advance_window`]: crate::Engine::advance_window
+pub struct DriftingChip<C> {
+    inner: C,
+    profile: DriftProfile,
+    severity: f64,
+    window: AtomicU64,
+}
+
+impl<C: Chip> DriftingChip<C> {
+    /// Wrap `inner` with drift under `profile`. `chip_seed` is the chip's
+    /// manufacture seed (the `substream(root_seed, chip_index)` value the
+    /// pool factory receives); the severity draw is salted so it never
+    /// collides with the write-noise stream that consumed the same seed.
+    #[must_use]
+    pub fn new(inner: C, profile: DriftProfile, chip_seed: u64) -> Self {
+        // Map the salted substream to [0, 2): a 53-bit mantissa draw, the
+        // same uniform construction `prng`'s float distributions use.
+        let draw = prng::substream(chip_seed, DRIFT_SEVERITY_SALT) >> 11;
+        let severity = 2.0 * (draw as f64 / (1u64 << 53) as f64);
+        Self {
+            inner,
+            profile,
+            severity,
+            window: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped chip.
+    #[must_use]
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// The chip's aging-rate multiplier in `[0, 2)`.
+    #[must_use]
+    pub fn severity(&self) -> f64 {
+        self.severity
+    }
+
+    /// The current serving window.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window.load(Ordering::SeqCst)
+    }
+
+    /// The decay factor this chip exhibits in its current window
+    /// (1.0 at window 0, strictly decreasing for positive severity).
+    #[must_use]
+    pub fn decay(&self) -> f64 {
+        self.profile.retention.window_decay(
+            self.window(),
+            self.severity * self.profile.seconds_per_window,
+        )
+    }
+}
+
+impl<C: Chip> Chip for DriftingChip<C> {
+    fn infer(&self, input: &[f64]) -> Vec<f64> {
+        let decay = self.decay();
+        let start = Instant::now();
+        let mut output = self.inner.infer(input);
+        if self.profile.latency_per_drift > 0.0 && decay < 1.0 {
+            // Stretch the service time multiplicatively: a busy-wait to
+            // `elapsed × (1 + latency_per_drift × (1 − d))`, so the
+            // slowdown scales with the request's real cost.
+            let stretch = 1.0 + self.profile.latency_per_drift * (1.0 - decay);
+            let target = start.elapsed().mul_f64(stretch);
+            while start.elapsed() < target {
+                std::hint::spin_loop();
+            }
+        }
+        if self.profile.output_drift {
+            for v in &mut output {
+                *v *= decay;
+            }
+        }
+        output
+    }
+
+    fn set_window(&self, window: u64) {
+        self.window.store(window, Ordering::SeqCst);
+        self.inner.set_window(window);
     }
 }
 
@@ -84,8 +274,13 @@ impl Placement {
 /// statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeOutcome {
-    /// One output vector per request, in request order.
+    /// One output vector per request, in request order. A request whose
+    /// `Chip::infer` panicked gets an **empty** vector (the panic is
+    /// contained at the chip boundary; see `failed`).
     pub outputs: Vec<Vec<f64>>,
+    /// Request indices whose `infer` panicked, ascending. Empty on a
+    /// healthy pool.
+    pub failed: Vec<usize>,
     /// Throughput / latency / utilization statistics.
     pub stats: ServeStats,
 }
@@ -355,6 +550,98 @@ mod tests {
         assert_eq!(stats.per_chip.iter().map(|c| c.served).sum::<usize>(), 20);
         assert!(stats.requests_per_sec > 0.0);
         assert!(stats.p50_latency_us <= stats.p99_latency_us);
+    }
+
+    #[test]
+    fn drifting_chip_is_transparent_at_window_zero() {
+        let chip = DriftingChip::new(ToyChip { scale: 1.5 }, DriftProfile::aggressive(), 41);
+        let input = vec![0.25, -3.0, 7.5];
+        assert_eq!(chip.window(), 0);
+        assert_eq!(chip.decay(), 1.0, "window 0 is the fresh chip");
+        assert_eq!(chip.infer(&input), ToyChip { scale: 1.5 }.infer(&input));
+    }
+
+    #[test]
+    fn drifting_chip_outputs_are_a_pure_function_of_window() {
+        let chip = DriftingChip::new(ToyChip { scale: 2.0 }, DriftProfile::aggressive(), 99);
+        let twin = DriftingChip::new(ToyChip { scale: 2.0 }, DriftProfile::aggressive(), 99);
+        let input = vec![1.0, -0.5];
+        chip.set_window(3);
+        twin.set_window(3);
+        let a = chip.infer(&input);
+        assert_eq!(a, twin.infer(&input), "same seed+window → same bits");
+        assert_eq!(a, chip.infer(&input), "repeat calls do not age the chip");
+        // Output scaling follows the published decay factor exactly.
+        let d = chip.decay();
+        assert!(d < 1.0, "three aggressive windows must drift");
+        let expect: Vec<f64> = input.iter().map(|x| x * 2.0 * d).collect();
+        assert_eq!(a, expect);
+        // Rewinding the window restores the fresh bits (drift is a
+        // function of the window, not of call history).
+        chip.set_window(0);
+        assert_eq!(chip.infer(&input), ToyChip { scale: 2.0 }.infer(&input));
+    }
+
+    #[test]
+    fn latency_only_profile_preserves_output_bits() {
+        let chip = DriftingChip::new(ToyChip { scale: 1.1 }, DriftProfile::latency_only(), 7);
+        chip.set_window(5);
+        let input = vec![0.75, 2.5];
+        assert!(chip.decay() < 1.0 || chip.severity() == 0.0);
+        assert_eq!(chip.infer(&input), ToyChip { scale: 1.1 }.infer(&input));
+    }
+
+    #[test]
+    fn severity_is_seed_stable_and_heterogeneous() {
+        let severities: Vec<f64> = (0..8)
+            .map(|i| {
+                DriftingChip::new(
+                    ToyChip { scale: 1.0 },
+                    DriftProfile::aggressive(),
+                    prng::substream(13, i),
+                )
+                .severity()
+            })
+            .collect();
+        let again: Vec<f64> = (0..8)
+            .map(|i| {
+                DriftingChip::new(
+                    ToyChip { scale: 1.0 },
+                    DriftProfile::aggressive(),
+                    prng::substream(13, i),
+                )
+                .severity()
+            })
+            .collect();
+        assert_eq!(severities, again, "severity is a pure function of seed");
+        assert!(severities.iter().all(|s| (0.0..2.0).contains(s)));
+        let spread = severities.iter().copied().fold(f64::MIN, f64::max)
+            - severities.iter().copied().fold(f64::MAX, f64::min);
+        assert!(
+            spread > 0.1,
+            "eight chips should age at visibly different rates"
+        );
+    }
+
+    #[test]
+    fn set_window_reaches_chips_through_type_erasure() {
+        let chip: Box<dyn Chip> = Box::new(DriftingChip::new(
+            ToyChip { scale: 1.0 },
+            DriftProfile::aggressive(),
+            3,
+        ));
+        chip.set_window(4);
+        let fresh: Box<dyn Chip> = Box::new(DriftingChip::new(
+            ToyChip { scale: 1.0 },
+            DriftProfile::aggressive(),
+            3,
+        ));
+        let input = vec![1.0];
+        assert_ne!(
+            chip.infer(&input),
+            fresh.infer(&input),
+            "the boxed wrapper must have aged"
+        );
     }
 
     #[test]

@@ -30,8 +30,10 @@
 //! before execution and each chip is deterministic, so batching only
 //! affects *when* an inference runs, not what it returns.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
+use crate::admission::{AdmissionConfig, AdmittedOutcome, Decision, Gate, GateStats};
 use crate::chip::{Chip, ChipPool, ServeOutcome};
 use crate::policy::{self, CostModel, LeastLoaded, PlacementPolicy, PoolState};
 use crate::stats::ServeStats;
@@ -43,11 +45,15 @@ pub struct Engine<C: Chip> {
     policy: Box<dyn PlacementPolicy>,
     model: CostModel,
     coalesce: usize,
+    admission: Option<AdmissionConfig>,
+    window: u64,
+    model_history: Vec<CostModel>,
 }
 
 impl<C: Chip> Engine<C> {
     /// Wrap a pool with the defaults: [`LeastLoaded`] placement over the
-    /// [`CostModel::input_length`] proxy, unbounded coalescing.
+    /// [`CostModel::input_length`] proxy, unbounded coalescing, no
+    /// admission control, serving window 0.
     #[must_use]
     pub fn new(pool: ChipPool<C>) -> Self {
         let chips = pool.len();
@@ -56,6 +62,9 @@ impl<C: Chip> Engine<C> {
             policy: Box::new(LeastLoaded),
             model: CostModel::input_length(chips),
             coalesce: 0,
+            admission: None,
+            window: 0,
+            model_history: Vec::new(),
         }
     }
 
@@ -90,11 +99,33 @@ impl<C: Chip> Engine<C> {
         self
     }
 
-    /// Cap coalesced batches at `cap` requests (0 = unbounded, the
-    /// default).
+    /// Cap coalesced batches at `cap` requests.
+    ///
+    /// Edge semantics (pinned by tests):
+    ///
+    /// * `cap = 0` — coalescing is **disabled as a bound**: batches are
+    ///   unbounded (the default). A worker still groups every
+    ///   already-arrived request into one run.
+    /// * `cap = 1` — every request is its own batch (the fully
+    ///   uncoalesced path; the worker re-checks arrivals before each
+    ///   request).
+    ///
+    /// Neither value — nor any other — changes a single output bit:
+    /// placement happens before execution, so the cap only moves *when*
+    /// an inference runs.
     #[must_use]
     pub fn with_coalesce(mut self, cap: usize) -> Self {
         self.coalesce = cap;
+        self
+    }
+
+    /// Enable admission control: sessions and admitted serves gate every
+    /// request through a virtual-time [`Gate`] built from `config`,
+    /// shedding requests whose estimated wait exceeds the bound instead
+    /// of queueing them.
+    #[must_use]
+    pub fn with_admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(config);
         self
     }
 
@@ -123,6 +154,65 @@ impl<C: Chip> Engine<C> {
     #[must_use]
     pub fn cost_model(&self) -> &CostModel {
         &self.model
+    }
+
+    /// The admission config, if admission control is enabled.
+    #[must_use]
+    pub fn admission(&self) -> Option<&AdmissionConfig> {
+        self.admission.as_ref()
+    }
+
+    /// The current serving window.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Superseded cost-model snapshots, oldest first — the audit trail
+    /// of every [`Engine::recalibrate_window`] refresh. Snapshot `i` has
+    /// version `i`; the active model's version is `model_history.len()`.
+    #[must_use]
+    pub fn model_history(&self) -> &[CostModel] {
+        &self.model_history
+    }
+
+    /// Advance to the next serving window **without** recalibrating:
+    /// bump the window counter and broadcast it to every chip via
+    /// [`Chip::set_window`], stepping time-dependent behaviour (e.g.
+    /// [`DriftingChip`](crate::DriftingChip) retention drift) while the
+    /// cost coefficients stay frozen. This is the "frozen" serving mode
+    /// a recalibrating engine is benchmarked against.
+    pub fn advance_window(&mut self) -> u64 {
+        self.window += 1;
+        for chip in self.pool.chips() {
+            chip.set_window(self.window);
+        }
+        self.window
+    }
+
+    /// Advance to the next serving window **and** refresh the cost
+    /// model: bump + broadcast the window, re-time every chip on
+    /// `representative` inputs, and install the new coefficients as a
+    /// higher-versioned snapshot (the superseded model is pushed onto
+    /// [`Engine::model_history`]). Placement *within* the new window is
+    /// again a pure function of the frozen snapshot — recalibration
+    /// moves all nondeterministic measurement to the window boundary.
+    ///
+    /// A chip that panics while being re-timed is quarantined
+    /// ([`CostModel::calibrate`]), so subsequent windows deterministically
+    /// place around a broken device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `representative` is empty or `passes` is zero.
+    pub fn recalibrate_window(&mut self, representative: &[Vec<f64>], passes: usize) -> u64 {
+        let window = self.advance_window();
+        let next_version = self.model.version() + 1;
+        let refreshed =
+            CostModel::calibrate(&self.pool, representative, passes).with_version(next_version);
+        self.model_history
+            .push(std::mem::replace(&mut self.model, refreshed));
+        window
     }
 
     /// The deterministic request → chip assignment a batch serve will
@@ -174,11 +264,17 @@ impl<C: Chip> Engine<C> {
     }
 
     /// Open a streaming placement session (one per client connection).
+    /// When admission control is enabled the session carries its own
+    /// fresh [`Gate`] — like placement state, admission state is scoped
+    /// to one request source.
     #[must_use]
     pub fn session(&self) -> Session {
         Session {
             state: PoolState::new(self.pool.len()),
             costs: Vec::with_capacity(self.pool.len()),
+            gate: self
+                .admission
+                .map(|config| Gate::new(config, self.pool.len())),
         }
     }
 
@@ -202,15 +298,143 @@ impl<C: Chip> Engine<C> {
             output,
         }
     }
+
+    /// [`Engine::serve_one`] behind the session's admission gate: place
+    /// the request, offer `(chip, cost, arrival_secs)` to the gate, and
+    /// either serve it or shed it. A shed request commits **nothing** —
+    /// neither placement load nor virtual queue time — so the decision
+    /// stream stays a pure function of the `(input, arrival)` sequence.
+    ///
+    /// Without admission configured this is exactly `serve_one`.
+    pub fn offer_one(&self, session: &mut Session, input: &[f64], arrival_secs: f64) -> Offer {
+        self.model.estimates_into(input.len(), &mut session.costs);
+        let chip = self.policy.place(&session.costs, &session.state);
+        assert!(chip < self.pool.len(), "policy chose an out-of-range chip");
+        let cost = session.costs[chip];
+        if let Some(gate) = session.gate.as_mut() {
+            if let Decision::Shed {
+                estimated_wait_secs,
+            } = gate.offer(chip, cost, arrival_secs)
+            {
+                return Offer::Shed {
+                    chip,
+                    estimated_wait_secs,
+                };
+            }
+        }
+        session.state.commit(chip, cost);
+        let start = Instant::now();
+        let output = self.pool.chips()[chip].infer(input);
+        Offer::Served(Served {
+            chip,
+            latency: start.elapsed(),
+            output,
+        })
+    }
+
+    /// Admission-gated open-loop serve: replay the batch through a fresh
+    /// session's gate (requests in order, each with its arrival offset),
+    /// then run only the admitted subset as a batch. Decisions and
+    /// outputs are a pure function of `(inputs, arrivals)` — the gate
+    /// simulation never reads a clock — so reruns and different server
+    /// thread counts shed the same requests and return the same bits.
+    ///
+    /// Without admission configured, every request is admitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or the lengths differ.
+    #[must_use]
+    pub fn serve_open_loop_admitted(
+        &self,
+        inputs: &[Vec<f64>],
+        arrivals: &[Duration],
+    ) -> AdmittedOutcome {
+        assert!(!inputs.is_empty(), "a serve run needs requests");
+        assert_eq!(
+            inputs.len(),
+            arrivals.len(),
+            "one arrival offset per request"
+        );
+        let mut state = PoolState::new(self.pool.len());
+        let mut costs = Vec::with_capacity(self.pool.len());
+        let mut gate = self
+            .admission
+            .map(|config| Gate::new(config, self.pool.len()));
+        let mut admitted = Vec::with_capacity(inputs.len());
+        let mut assignment = Vec::with_capacity(inputs.len());
+        let mut shed = Vec::new();
+        for (i, (input, arrival)) in inputs.iter().zip(arrivals).enumerate() {
+            self.model.estimates_into(input.len(), &mut costs);
+            let chip = self.policy.place(&costs, &state);
+            assert!(chip < self.pool.len(), "policy chose an out-of-range chip");
+            let decision = gate.as_mut().map_or(
+                Decision::Admit {
+                    estimated_wait_secs: 0.0,
+                },
+                |g| g.offer(chip, costs[chip], arrival.as_secs_f64()),
+            );
+            if decision.is_admit() {
+                state.commit(chip, costs[chip]);
+                admitted.push(i);
+                assignment.push(chip);
+            } else {
+                shed.push(i);
+            }
+        }
+        let gate_stats = gate.map(|g| g.stats()).unwrap_or(GateStats {
+            offered: inputs.len() as u64,
+            admitted: admitted.len() as u64,
+            shed: 0,
+        });
+        let outcome = if admitted.is_empty() {
+            None
+        } else {
+            let sub_inputs: Vec<Vec<f64>> = admitted.iter().map(|&i| inputs[i].clone()).collect();
+            let sub_arrivals: Vec<Duration> = admitted.iter().map(|&i| arrivals[i]).collect();
+            Some(run_batch(
+                self.pool.chips(),
+                &sub_inputs,
+                Some(&sub_arrivals),
+                &assignment,
+                self.coalesce,
+                self.policy.name(),
+            ))
+        };
+        AdmittedOutcome {
+            outcome,
+            admitted,
+            shed,
+            gate_stats,
+        }
+    }
+}
+
+/// One gated request's result: served, or shed by admission control.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Offer {
+    /// Admitted and served.
+    Served(Served),
+    /// Shed: the estimated wait on the chip the policy chose exceeded
+    /// the admission bound. Nothing ran and nothing was committed.
+    Shed {
+        /// The chip the request would have been placed on.
+        chip: usize,
+        /// The estimated queueing delay that tripped the bound, seconds.
+        estimated_wait_secs: f64,
+    },
 }
 
 /// Streaming placement state for one request source (e.g. one TCP
 /// connection): the policy sees only this session's history, so
-/// concurrent sessions cannot perturb each other's placement.
+/// concurrent sessions cannot perturb each other's placement. When the
+/// engine has admission control enabled the session also carries its
+/// virtual-time [`Gate`], scoped the same way.
 #[derive(Debug, Clone)]
 pub struct Session {
     state: PoolState,
     costs: Vec<f64>,
+    gate: Option<Gate>,
 }
 
 impl Session {
@@ -218,6 +442,12 @@ impl Session {
     #[must_use]
     pub fn served(&self) -> u64 {
         self.state.placed()
+    }
+
+    /// The session gate's decision tallies, if admission is enabled.
+    #[must_use]
+    pub fn gate_stats(&self) -> Option<GateStats> {
+        self.gate.as_ref().map(Gate::stats)
     }
 }
 
@@ -259,8 +489,14 @@ pub(crate) fn run_batch<C: Chip>(
     }
 
     // One worker per chip; each returns (request, output, latency)
-    // triples plus its busy time and coalesced-batch count.
-    type WorkerLog = (Vec<(usize, Vec<f64>, Duration)>, Duration, usize);
+    // triples (output `None` = `infer` panicked and was contained) plus
+    // its busy time, coalesced-batch count and failure count.
+    type WorkerLog = (
+        Vec<(usize, Option<Vec<f64>>, Duration)>,
+        Duration,
+        usize,
+        usize,
+    );
 
     let arrival_of = |request: usize| arrivals.map_or(Duration::ZERO, |a| a[request]);
     let epoch = Instant::now();
@@ -273,6 +509,7 @@ pub(crate) fn run_batch<C: Chip>(
                     let mut served = Vec::with_capacity(queue.len());
                     let mut busy = Duration::ZERO;
                     let mut batches = 0usize;
+                    let mut failures = 0usize;
                     let mut i = 0usize;
                     while i < queue.len() {
                         // Wait for the head request, then coalesce every
@@ -296,9 +533,19 @@ pub(crate) fn run_batch<C: Chip>(
                         batches += 1;
                         for &request in &queue[i..j] {
                             let start = epoch.elapsed();
-                            let output = chip.infer(&inputs[request]);
+                            // Contain a panicking `infer` at the chip
+                            // boundary: the worker keeps draining its
+                            // queue (no deadlock, every other request on
+                            // this chip still completes) and the failure
+                            // is tallied instead of unwinding the pool.
+                            let output =
+                                catch_unwind(AssertUnwindSafe(|| chip.infer(&inputs[request])))
+                                    .ok();
                             let done = epoch.elapsed();
                             busy += done - start;
+                            if output.is_none() {
+                                failures += 1;
+                            }
                             served.push((
                                 request,
                                 output,
@@ -307,7 +554,7 @@ pub(crate) fn run_batch<C: Chip>(
                         }
                         i = j;
                     }
-                    (served, busy, batches)
+                    (served, busy, batches, failures)
                 })
             })
             .collect();
@@ -321,19 +568,25 @@ pub(crate) fn run_batch<C: Chip>(
     let mut outputs: Vec<Option<Vec<f64>>> = vec![None; inputs.len()];
     let mut latencies: Vec<Duration> = vec![Duration::ZERO; inputs.len()];
     let mut per_chip = Vec::with_capacity(chips.len());
-    for (served, busy, batches) in per_worker {
-        per_chip.push((served.len(), batches, busy));
+    let mut failed = Vec::new();
+    for (served, busy, batches, failures) in per_worker {
+        per_chip.push((served.len(), batches, failures, busy));
         for (request, output, latency) in served {
             latencies[request] = latency;
-            outputs[request] = Some(output);
+            if output.is_none() {
+                failed.push(request);
+            }
+            outputs[request] = Some(output.unwrap_or_default());
         }
     }
+    failed.sort_unstable();
 
     ServeOutcome {
         outputs: outputs
             .into_iter()
             .map(|o| o.expect("every request served"))
             .collect(),
+        failed,
         stats: ServeStats::from_run(policy_name, &latencies, wall, per_chip),
     }
 }
@@ -430,5 +683,117 @@ mod tests {
     #[should_panic(expected = "cost model must cover every chip")]
     fn mismatched_cost_model_is_rejected() {
         let _ = toy_engine(3).with_cost_model(CostModel::input_length(2));
+    }
+
+    /// The documented `with_coalesce` edge semantics: cap 0 (disabled /
+    /// unbounded) and cap 1 (fully uncoalesced, one request per batch)
+    /// are bit-identical to the default path and to each other.
+    #[test]
+    fn coalesce_edge_caps_are_bit_identical_to_default() {
+        let inputs: Vec<Vec<f64>> = (0..23).map(|i| vec![i as f64, 0.25, -1.5]).collect();
+        let baseline = toy_engine(3).serve(&inputs);
+        let cap0 = toy_engine(3).with_coalesce(0).serve(&inputs);
+        let cap1 = toy_engine(3).with_coalesce(1).serve(&inputs);
+        assert_eq!(baseline.outputs, cap0.outputs, "cap 0 ≠ default bits");
+        assert_eq!(baseline.outputs, cap1.outputs, "cap 1 ≠ default bits");
+        // cap 1 really is uncoalesced: every request its own batch.
+        for chip in &cap1.stats.per_chip {
+            assert_eq!(chip.batches, chip.served);
+        }
+        // cap 0 really is unbounded: one batch per non-empty closed queue.
+        for chip in &cap0.stats.per_chip {
+            if chip.served > 0 {
+                assert_eq!(chip.batches, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn advance_window_broadcasts_and_recalibrate_versions_snapshots() {
+        let mut engine = toy_engine(2);
+        assert_eq!(engine.window(), 0);
+        assert_eq!(engine.cost_model().version(), 0);
+        assert_eq!(engine.advance_window(), 1);
+        assert_eq!(engine.window(), 1);
+        // Advancing without recalibrating leaves the model untouched.
+        assert_eq!(engine.cost_model().version(), 0);
+        assert!(engine.model_history().is_empty());
+        let reps = vec![vec![0.5; 4], vec![0.5; 16]];
+        assert_eq!(engine.recalibrate_window(&reps, 1), 2);
+        assert_eq!(engine.cost_model().version(), 1);
+        assert_eq!(engine.model_history().len(), 1);
+        assert_eq!(engine.model_history()[0].version(), 0);
+        let _ = engine.recalibrate_window(&reps, 1);
+        assert_eq!(engine.cost_model().version(), 2);
+        assert_eq!(engine.model_history().len(), 2);
+    }
+
+    #[test]
+    fn admitted_serve_without_admission_admits_everything() {
+        let engine = toy_engine(2);
+        let inputs: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64]).collect();
+        let arrivals = vec![Duration::ZERO; 6];
+        let plain = engine.serve_open_loop(&inputs, &arrivals);
+        let gated = engine.serve_open_loop_admitted(&inputs, &arrivals);
+        assert!(gated.shed.is_empty());
+        assert_eq!(gated.admitted, (0..6).collect::<Vec<_>>());
+        let outcome = gated.outcome.expect("admitted requests ran");
+        assert_eq!(outcome.outputs, plain.outputs);
+        assert_eq!(gated.gate_stats.offered, 6);
+        assert_eq!(gated.gate_stats.shed, 0);
+    }
+
+    #[test]
+    fn admitted_serve_sheds_deterministically_and_serves_the_rest() {
+        // Zero tolerance for estimated wait over the input-length proxy:
+        // on one chip every request after the first (all arriving at 0)
+        // finds a non-empty virtual queue and is shed.
+        let engine = toy_engine(1).with_admission(AdmissionConfig::new(0.0));
+        let inputs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let arrivals = vec![Duration::ZERO; 5];
+        let a = engine.serve_open_loop_admitted(&inputs, &arrivals);
+        let b = engine.serve_open_loop_admitted(&inputs, &arrivals);
+        assert_eq!(a.admitted, vec![0]);
+        assert_eq!(a.shed, vec![1, 2, 3, 4]);
+        assert_eq!(a.admitted, b.admitted);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(
+            a.outcome.expect("one admitted").outputs,
+            b.outcome.expect("one admitted").outputs,
+            "rerun changed admitted bits"
+        );
+        assert_eq!(a.gate_stats.shed, 4);
+    }
+
+    #[test]
+    fn offer_one_matches_serve_one_when_admitting_and_commits_nothing_on_shed() {
+        let engine = toy_engine(2).with_admission(AdmissionConfig::new(1e6));
+        let open = toy_engine(2);
+        let inputs: Vec<Vec<f64>> = (0..8).map(|i| vec![0.5; 1 + i % 3]).collect();
+        let mut gated = engine.session();
+        let mut plain = open.session();
+        for input in &inputs {
+            let offer = engine.offer_one(&mut gated, input, 0.0);
+            let served = open.serve_one(&mut plain, input);
+            match offer {
+                Offer::Served(s) => {
+                    assert_eq!(s.chip, served.chip);
+                    assert_eq!(s.output, served.output);
+                }
+                Offer::Shed { .. } => panic!("generous bound must admit"),
+            }
+        }
+        assert_eq!(gated.gate_stats().expect("gated session").admitted, 8);
+
+        // A zero-bound session sheds from the second request on, and the
+        // shed commits nothing: served() only counts admitted requests.
+        let strict = toy_engine(1).with_admission(AdmissionConfig::new(0.0));
+        let mut session = strict.session();
+        let first = strict.offer_one(&mut session, &[1.0], 0.0);
+        assert!(matches!(first, Offer::Served(_)));
+        let second = strict.offer_one(&mut session, &[1.0], 0.0);
+        assert!(matches!(second, Offer::Shed { chip: 0, .. }), "{second:?}");
+        assert_eq!(session.served(), 1);
+        assert_eq!(session.gate_stats().expect("gate").shed, 1);
     }
 }

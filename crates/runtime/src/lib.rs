@@ -28,6 +28,15 @@
 //! * [`net`] — a hermetic `std::net` TCP front-end: a line-oriented
 //!   protocol ([`net::Server`] / [`net::Client`]) serving engines to
 //!   clients outside the process, one placement session per connection.
+//! * [`DriftingChip`] + [`Engine::recalibrate_window`] — deterministic
+//!   retention-drift injection (per-window, `rram::retention` power law)
+//!   and versioned online cost refresh, so placement re-routes around
+//!   chips that slow down or break while each window stays
+//!   bit-deterministic.
+//! * [`admission`] — virtual-time admission control above the engine:
+//!   knee-calibrated [`AdmissionConfig`] + per-session [`Gate`] shed
+//!   requests (`err overloaded` on the wire) instead of queueing past
+//!   the throughput knee.
 //!
 //! ## The determinism rule
 //!
@@ -46,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod chip;
 pub mod crew;
 pub mod engine;
@@ -54,9 +64,12 @@ pub mod policy;
 pub mod pool;
 pub mod stats;
 
-pub use chip::{Chip, ChipPool, Placement, ServeOutcome};
+pub use admission::{AdmissionConfig, AdmittedOutcome, Decision, Gate, GateStats};
+pub use chip::{Chip, ChipPool, DriftProfile, DriftingChip, Placement, ServeOutcome};
 pub use crew::Crew;
-pub use engine::{Engine, Served, Session};
-pub use policy::{CostModel, LeastLoaded, PlacementPolicy, PoolState, RoundRobin, SizeAware};
+pub use engine::{Engine, Offer, Served, Session};
+pub use policy::{
+    CostModel, LeastLoaded, PlacementPolicy, PoolState, RoundRobin, SizeAware, QUARANTINE_COST,
+};
 pub use pool::{resolve_threads, ThreadPool};
 pub use stats::{percentile, ChipStats, ServeStats};

@@ -30,6 +30,20 @@
 //! (the stream can no longer be framed); a client disconnect mid-stream
 //! closes the handler without disturbing sibling connections.
 //!
+//! ## Admission control
+//!
+//! When any served engine has admission enabled
+//! ([`Engine::with_admission`]), connections run a **gated** handler: a
+//! reader thread stamps each request's arrival the moment its line is
+//! read off the socket and hands `(line, arrival)` through a bounded
+//! queue to the serving thread, which offers the request to the
+//! session's virtual-time [`Gate`](crate::Gate) before running it. A
+//! shed request gets the fixed in-band line `err overloaded` — the exact
+//! bytes carry no measurement, so responses stay deterministic — and the
+//! connection keeps serving. Pipelined clients that outrun the engine
+//! build real arrival backlog and see sheds; request/response clients
+//! never do.
+//!
 //! ## Determinism
 //!
 //! Each connection gets its own placement [`Session`] per workload, so
@@ -42,14 +56,22 @@
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::chip::Chip;
-use crate::engine::{Engine, Session};
+use crate::engine::{Engine, Offer, Session};
 
 /// Upper bound on a request line, including the newline.
 pub const DEFAULT_MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Depth of the gated handler's reader → server queue. Bounds how far a
+/// pipelining client can run ahead of arrival stamping; past this the
+/// reader thread blocks on the queue (TCP backpressure), which only
+/// *delays* stamps — admission decisions remain a pure function of the
+/// stamped sequence.
+const ADMITTED_QUEUE_DEPTH: usize = 1024;
 
 /// Render values as the protocol's CSV: shortest round-trip `Display`
 /// per element, comma-separated. Injective on bit patterns (NaN payloads
@@ -251,6 +273,7 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<Option<TcpStream>>>> =
             Arc::new(Mutex::new((0..config.threads).map(|_| None).collect()));
+        let gated = workloads.iter().any(|w| w.engine.admission().is_some());
         let workloads = Arc::new(workloads);
         let acceptors = (0..config.threads)
             .map(|slot| {
@@ -272,7 +295,11 @@ impl Server {
                                 conns.lock().expect("conn registry")[slot] = Some(clone);
                             }
                             let _ = stream.set_nodelay(true);
-                            handle_connection(stream, &workloads, max_line);
+                            if gated {
+                                handle_connection_admitted(stream, &workloads, max_line);
+                            } else {
+                                handle_connection(stream, &workloads, max_line);
+                            }
                             // Drop the registry clone with the handler:
                             // the fd must close with the connection so
                             // the peer sees EOF.
@@ -352,32 +379,133 @@ fn handle_connection(stream: TcpStream, workloads: &[NetWorkload], max_line: usi
     }
 }
 
+/// Serve one connection through admission control: a reader thread
+/// stamps each request line's arrival at socket-read time and feeds a
+/// bounded queue; this thread gates and serves. A shed request answers
+/// the fixed line `err overloaded` and the connection keeps going.
+fn handle_connection_admitted(stream: TcpStream, workloads: &[NetWorkload], max_line: usize) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = BufWriter::new(stream);
+    let mut sessions: Vec<Session> = workloads.iter().map(|w| w.engine.session()).collect();
+    let epoch = Instant::now();
+    std::thread::scope(|scope| {
+        let (tx, rx) =
+            mpsc::sync_channel::<Result<(String, f64), ReadLineError>>(ADMITTED_QUEUE_DEPTH);
+        scope.spawn(move || {
+            let mut reader = BufReader::new(read_half);
+            loop {
+                match read_line_bounded(&mut reader, max_line) {
+                    Ok(Some(line)) => {
+                        // The stamp happens here — when the bytes left
+                        // the socket — so a pipelining client that
+                        // outruns service accumulates real arrival
+                        // backlog for the gate to see.
+                        let arrival = epoch.elapsed().as_secs_f64();
+                        if tx.send(Ok((line, arrival))).is_err() {
+                            return; // serving side gave up
+                        }
+                    }
+                    Ok(None) => return, // clean client disconnect
+                    Err(error) => {
+                        let _ = tx.send(Err(error));
+                        return;
+                    }
+                }
+            }
+        });
+        for message in rx {
+            match message {
+                Ok((line, arrival)) => {
+                    let response = serve_line_admitted(&line, arrival, workloads, &mut sessions);
+                    if writeln!(writer, "{}", response.format()).is_err() || writer.flush().is_err()
+                    {
+                        break; // client went away mid-response
+                    }
+                }
+                Err(ReadLineError::TooLong) => {
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        Response::Error(format!("request line exceeds {max_line} bytes")).format()
+                    );
+                    let _ = writer.flush();
+                    break;
+                }
+                Err(ReadLineError::Io) => break,
+            }
+        }
+        // Unblock the reader (it may be parked in a socket read) so the
+        // scope can join it; dropping rx already unblocks a parked send.
+        let _ = writer.get_ref().shutdown(Shutdown::Both);
+    });
+}
+
+/// [`serve_line`] behind the session's admission gate: the request is
+/// offered with its arrival stamp, and a shed answers the fixed
+/// `err overloaded` line (no interpolated measurement — response bytes
+/// stay deterministic).
+fn serve_line_admitted(
+    line: &str,
+    arrival_secs: f64,
+    workloads: &[NetWorkload],
+    sessions: &mut [Session],
+) -> Response {
+    let (index, input) = match parse_request(line, workloads) {
+        Ok(parsed) => parsed,
+        Err(response) => return response,
+    };
+    match workloads[index]
+        .engine
+        .offer_one(&mut sessions[index], &input, arrival_secs)
+    {
+        Offer::Served(served) => Response::Ok {
+            chip: served.chip,
+            latency_us: served.latency.as_micros(),
+            output: served.output,
+        },
+        Offer::Shed { .. } => Response::Error("overloaded".to_string()),
+    }
+}
+
 /// Parse and serve one request line against per-connection sessions.
 fn serve_line(line: &str, workloads: &[NetWorkload], sessions: &mut [Session]) -> Response {
-    let Some((name, csv)) = line.split_once(' ') else {
-        return Response::Error("malformed request: expected '<workload> <v1,v2,...>'".to_string());
+    let (index, input) = match parse_request(line, workloads) {
+        Ok(parsed) => parsed,
+        Err(response) => return response,
     };
-    let Some(index) = workloads.iter().position(|w| w.name == name) else {
-        return Response::Error(format!("unknown workload '{name}'"));
-    };
-    let input = match parse_csv(csv) {
-        Ok(input) => input,
-        Err(message) => return Response::Error(message),
-    };
-    let workload = &workloads[index];
-    if input.len() != workload.input_dim {
-        return Response::Error(format!(
-            "wrong arity: workload '{name}' expects {} inputs, got {}",
-            workload.input_dim,
-            input.len()
-        ));
-    }
-    let served = workload.engine.serve_one(&mut sessions[index], &input);
+    let served = workloads[index]
+        .engine
+        .serve_one(&mut sessions[index], &input);
     Response::Ok {
         chip: served.chip,
         latency_us: served.latency.as_micros(),
         output: served.output,
     }
+}
+
+/// Validate one request line: workload lookup, CSV parse, arity check.
+/// Returns the workload index and the parsed input, or the in-band
+/// `err` response to send back.
+fn parse_request(line: &str, workloads: &[NetWorkload]) -> Result<(usize, Vec<f64>), Response> {
+    let Some((name, csv)) = line.split_once(' ') else {
+        return Err(Response::Error(
+            "malformed request: expected '<workload> <v1,v2,...>'".to_string(),
+        ));
+    };
+    let Some(index) = workloads.iter().position(|w| w.name == name) else {
+        return Err(Response::Error(format!("unknown workload '{name}'")));
+    };
+    let input = parse_csv(csv).map_err(Response::Error)?;
+    if input.len() != workloads[index].input_dim {
+        return Err(Response::Error(format!(
+            "wrong arity: workload '{name}' expects {} inputs, got {}",
+            workloads[index].input_dim,
+            input.len()
+        )));
+    }
+    Ok((index, input))
 }
 
 enum ReadLineError {
@@ -666,6 +794,72 @@ mod tests {
             client.request("toy", &[3.0, 4.0]).expect("round trip"),
             Response::Ok { .. }
         ));
+        server.shutdown();
+    }
+
+    fn gated_server(chips: usize, max_delay_secs: f64, secs_per_cost: f64) -> Server {
+        let engine = toy_engine(chips).with_admission(crate::AdmissionConfig {
+            max_delay_secs,
+            secs_per_cost,
+        });
+        let workloads = vec![NetWorkload::new("toy", 2, engine)];
+        Server::bind(
+            "127.0.0.1:0",
+            workloads,
+            ServerConfig {
+                threads: 1,
+                max_line_bytes: 256,
+            },
+        )
+        .expect("bind ephemeral")
+    }
+
+    #[test]
+    fn gated_request_response_client_is_never_shed_and_bits_match_ungated() {
+        // A request/response client waits for each answer, so its virtual
+        // queue drains ahead of every offer under a generous bound.
+        let server = gated_server(3, 10.0, 1e-9);
+        let local = toy_engine(3);
+        let mut session = local.session();
+        let mut client = Client::connect(server.addr()).expect("connect");
+        for i in 0..5 {
+            let input = vec![i as f64, 0.5];
+            let expect = local.serve_one(&mut session, &input);
+            match client.request("toy", &input).expect("round trip") {
+                Response::Ok { chip, output, .. } => {
+                    assert_eq!(chip, expect.chip, "request {i} chip");
+                    assert_eq!(output, expect.output, "request {i} bits");
+                }
+                Response::Error(e) => panic!("unexpected shed/err: {e}"),
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn gated_pipelined_overload_sheds_in_band_and_keeps_serving() {
+        // One chip, zero tolerance, an absurd cost→seconds conversion:
+        // the first request books the chip's virtual horizon ~2×10⁶ s
+        // out, so every pipelined follow-up is shed with the fixed
+        // `overloaded` line.
+        let server = gated_server(1, 0.0, 1e6);
+        let mut client = Client::connect(server.addr()).expect("connect");
+        for _ in 0..3 {
+            client.send("toy", &[1.0, 2.0]).expect("pipeline send");
+        }
+        assert!(matches!(client.recv().expect("first"), Response::Ok { .. }));
+        for i in 1..3 {
+            match client.recv().expect("shed response") {
+                Response::Error(message) => assert_eq!(message, "overloaded", "response {i}"),
+                other => panic!("expected shed, got {other:?}"),
+            }
+        }
+        // Protocol errors still work in-band on a gated connection.
+        client.send_raw("nosuch 1,2").expect("send");
+        match client.recv().expect("recv") {
+            Response::Error(message) => assert!(message.contains("unknown workload")),
+            other => panic!("expected err, got {other:?}"),
+        }
         server.shutdown();
     }
 

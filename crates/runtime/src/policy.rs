@@ -29,9 +29,17 @@
 //! policy refactor cannot silently move equal-cost requests between
 //! chips (pinned by `tie_break_prefers_lowest_chip_index` below).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use crate::chip::{Chip, ChipPool};
+
+/// The intercept a [`CostModel::calibrate`] pass assigns to a chip whose
+/// `infer` panicked during measurement: a finite sentinel so large that
+/// cost-aware policies ([`SizeAware`]) route every request to any other
+/// chip first, effectively quarantining the broken device until a later
+/// recalibration finds it healthy again.
+pub const QUARANTINE_COST: f64 = 1e12;
 
 /// The placement-visible state of a pool: how many requests have been
 /// placed and the accumulated estimated load per chip. The engine owns
@@ -176,6 +184,7 @@ fn argmin(values: impl Iterator<Item = f64>) -> usize {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     coefficients: Vec<(f64, f64)>,
+    version: u64,
 }
 
 impl CostModel {
@@ -190,6 +199,7 @@ impl CostModel {
         assert!(chips > 0, "a cost model needs at least one chip");
         Self {
             coefficients: vec![(0.0, 1.0); chips],
+            version: 0,
         }
     }
 
@@ -211,7 +221,10 @@ impl CostModel {
                 "cost coefficients must be finite and non-negative"
             );
         }
-        Self { coefficients }
+        Self {
+            coefficients,
+            version: 0,
+        }
     }
 
     /// Calibrate by timing every chip's `infer` on the representative
@@ -224,6 +237,12 @@ impl CostModel {
     /// The returned coefficients are **frozen measurements** — placement
     /// computed from them is deterministic even though the calibration
     /// pass itself is not.
+    ///
+    /// A chip whose `infer` **panics** during calibration is not allowed
+    /// to abort the pass: the panic is caught at the chip boundary and the
+    /// chip is *quarantined* — its coefficients become
+    /// `(`[`QUARANTINE_COST`]`, 0)`, so cost-aware policies route around
+    /// it until a later recalibration measures it healthy.
     ///
     /// # Panics
     ///
@@ -243,29 +262,58 @@ impl CostModel {
             .chips()
             .iter()
             .map(|chip| {
-                let points: Vec<(f64, f64)> = representative
-                    .iter()
-                    .map(|input| {
-                        let _ = chip.infer(input); // warm-up, untimed
-                        let mut best = f64::INFINITY;
-                        for _ in 0..passes {
-                            let start = Instant::now();
-                            let _ = chip.infer(input);
-                            best = best.min(start.elapsed().as_secs_f64());
-                        }
-                        (input.len().max(1) as f64, best)
-                    })
-                    .collect();
-                fit_affine(&points)
+                catch_unwind(AssertUnwindSafe(|| {
+                    let points: Vec<(f64, f64)> = representative
+                        .iter()
+                        .map(|input| {
+                            let _ = chip.infer(input); // warm-up, untimed
+                            let mut best = f64::INFINITY;
+                            for _ in 0..passes {
+                                let start = Instant::now();
+                                let _ = chip.infer(input);
+                                best = best.min(start.elapsed().as_secs_f64());
+                            }
+                            (input.len().max(1) as f64, best)
+                        })
+                        .collect();
+                    fit_affine(&points)
+                }))
+                .unwrap_or((QUARANTINE_COST, 0.0))
             })
             .collect();
-        Self { coefficients }
+        Self {
+            coefficients,
+            version: 0,
+        }
     }
 
     /// Number of chips the model covers.
     #[must_use]
     pub fn chips(&self) -> usize {
         self.coefficients.len()
+    }
+
+    /// The model's coefficient-snapshot version. Freshly built models are
+    /// version 0; [`Engine::recalibrate_window`](crate::Engine::recalibrate_window)
+    /// bumps the version on every refresh, so stats and reports can say
+    /// *which* frozen snapshot placed a window's requests.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The same coefficients stamped as snapshot `version`.
+    #[must_use]
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// Whether calibration quarantined `chip` (its `infer` panicked while
+    /// being measured).
+    #[must_use]
+    pub fn is_quarantined(&self, chip: usize) -> bool {
+        self.coefficients[chip].0 >= QUARANTINE_COST
     }
 
     /// The frozen per-chip `(intercept, slope)` coefficients.
@@ -287,7 +335,8 @@ impl CostModel {
         out.extend((0..self.coefficients.len()).map(|chip| self.estimate(chip, input_len)));
     }
 
-    /// The model as a JSON array of per-chip coefficient objects.
+    /// The model as a JSON object: the snapshot version plus a per-chip
+    /// coefficient array.
     #[must_use]
     pub fn to_json(&self) -> String {
         let chips: Vec<String> = self
@@ -295,7 +344,11 @@ impl CostModel {
             .iter()
             .map(|(a, b)| format!("{{\"intercept\":{a:.9},\"slope\":{b:.9}}}"))
             .collect();
-        format!("[{}]", chips.join(","))
+        format!(
+            "{{\"version\":{},\"coefficients\":[{}]}}",
+            self.version,
+            chips.join(",")
+        )
     }
 }
 
@@ -468,6 +521,40 @@ mod tests {
         // Longer inputs must never be estimated cheaper.
         assert!(model.estimate(0, 32) >= model.estimate(0, 1));
         let json = model.to_json();
-        assert!(json.starts_with("[{\"intercept\":"));
+        assert!(json.starts_with("{\"version\":0,\"coefficients\":[{\"intercept\":"));
+    }
+
+    struct PanickyChip;
+    impl Chip for PanickyChip {
+        fn infer(&self, _input: &[f64]) -> Vec<f64> {
+            panic!("injected fault: chip is broken");
+        }
+    }
+
+    /// A panicking chip must not abort calibration: it gets quarantine
+    /// coefficients and `SizeAware` routes everything to the healthy chip.
+    #[test]
+    fn calibrate_quarantines_a_panicking_chip() {
+        let chips: Vec<Box<dyn Chip>> = vec![Box::new(PanickyChip), Box::new(FixedChip(0.1))];
+        let pool = ChipPool::from_chips(chips);
+        let reps = vec![vec![0.5; 8]];
+        let model = CostModel::calibrate(&pool, &reps, 1);
+        assert!(model.is_quarantined(0));
+        assert!(!model.is_quarantined(1));
+        assert_eq!(model.coefficients()[0], (QUARANTINE_COST, 0.0));
+        let assignment = assign_batch(&[8, 8, 8, 8], &SizeAware, &model);
+        assert_eq!(assignment, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn version_round_trips_and_survives_cloning() {
+        let model = CostModel::input_length(2);
+        assert_eq!(model.version(), 0);
+        let stamped = model.with_version(7);
+        assert_eq!(stamped.version(), 7);
+        assert_eq!(stamped.clone().version(), 7);
+        assert!(stamped.to_json().starts_with("{\"version\":7,"));
+        // Versions are labels, not behaviour: estimates are unchanged.
+        assert_eq!(stamped.estimate(0, 5), 5.0);
     }
 }

@@ -13,6 +13,11 @@ pub struct ChipStats {
     /// Coalesced batches the worker ran (contiguous groups of requests
     /// served back-to-back without re-checking arrivals).
     pub batches: usize,
+    /// Requests whose `Chip::infer` panicked. The panic is contained at
+    /// the chip boundary (the pool never deadlocks); failed requests get
+    /// an empty output and are tallied here so operators can see a broken
+    /// device in the stats instead of in a crash.
+    pub failures: usize,
     /// Time spent inside `Chip::infer`, seconds.
     pub busy_secs: f64,
     /// `busy_secs / wall_secs` — the worker thread's utilization.
@@ -42,7 +47,7 @@ pub struct ServeStats {
 
 impl ServeStats {
     /// Aggregate from raw per-request latencies and per-chip
-    /// `(served, batches, busy)` tallies.
+    /// `(served, batches, failures, busy)` tallies.
     ///
     /// # Panics
     ///
@@ -52,7 +57,7 @@ impl ServeStats {
         policy: &str,
         latencies: &[Duration],
         wall: Duration,
-        per_chip: Vec<(usize, usize, Duration)>,
+        per_chip: Vec<(usize, usize, usize, Duration)>,
     ) -> Self {
         assert!(!latencies.is_empty(), "a serve run needs requests");
         let mut sorted_us: Vec<f64> = latencies.iter().map(|l| l.as_secs_f64() * 1e6).collect();
@@ -68,9 +73,10 @@ impl ServeStats {
             max_latency_us: *sorted_us.last().expect("non-empty"),
             per_chip: per_chip
                 .into_iter()
-                .map(|(served, batches, busy)| ChipStats {
+                .map(|(served, batches, failures, busy)| ChipStats {
                     served,
                     batches,
+                    failures,
                     busy_secs: busy.as_secs_f64(),
                     utilization: busy.as_secs_f64() / wall_secs.max(f64::MIN_POSITIVE),
                 })
@@ -87,8 +93,9 @@ impl ServeStats {
             .iter()
             .map(|c| {
                 format!(
-                    "{{\"served\":{},\"batches\":{},\"busy_secs\":{:.6},\"utilization\":{:.4}}}",
-                    c.served, c.batches, c.busy_secs, c.utilization
+                    "{{\"served\":{},\"batches\":{},\"failures\":{},\
+                     \"busy_secs\":{:.6},\"utilization\":{:.4}}}",
+                    c.served, c.batches, c.failures, c.busy_secs, c.utilization
                 )
             })
             .collect();
@@ -190,8 +197,8 @@ mod tests {
             &lat,
             Duration::from_millis(10),
             vec![
-                (60, 1, Duration::from_millis(6)),
-                (40, 2, Duration::from_millis(4)),
+                (60, 1, 0, Duration::from_millis(6)),
+                (40, 2, 3, Duration::from_millis(4)),
             ],
         );
         assert_eq!(stats.requests, 100);
@@ -201,6 +208,8 @@ mod tests {
         assert!(stats.p99_latency_us <= stats.max_latency_us);
         assert_eq!(stats.per_chip.len(), 2);
         assert_eq!(stats.per_chip[1].batches, 2);
+        assert_eq!(stats.per_chip[0].failures, 0);
+        assert_eq!(stats.per_chip[1].failures, 3);
         assert!((stats.per_chip[0].utilization - 0.6).abs() < 1e-9);
     }
 
@@ -210,11 +219,11 @@ mod tests {
             "round_robin",
             &[Duration::from_micros(5), Duration::from_micros(15)],
             Duration::from_millis(1),
-            vec![(2, 1, Duration::from_micros(20))],
+            vec![(2, 1, 0, Duration::from_micros(20))],
         );
         let json = stats.to_json();
         assert!(json.starts_with("{\"policy\":\"round_robin\",\"requests\":2,"));
-        assert!(json.contains("\"per_chip\":[{\"served\":2,\"batches\":1,"));
+        assert!(json.contains("\"per_chip\":[{\"served\":2,\"batches\":1,\"failures\":0,"));
         assert!(json.contains("\"requests_per_sec\":"));
     }
 
@@ -224,7 +233,7 @@ mod tests {
             "size_aware",
             &[Duration::from_micros(5)],
             Duration::from_millis(1),
-            vec![(1, 1, Duration::from_micros(5))],
+            vec![(1, 1, 0, Duration::from_micros(5))],
         );
         let s = stats.to_string();
         assert!(s.contains("req/s") && s.contains("1 chips") && s.contains("size_aware"));

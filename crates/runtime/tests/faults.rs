@@ -1,0 +1,175 @@
+//! Fault injection: chips whose `infer` panics mid-window.
+//!
+//! The contract under test (DESIGN.md, "Degraded-mode serving"):
+//!
+//! 1. a panicking chip never deadlocks the pool — every other request in
+//!    the batch completes and the serve returns;
+//! 2. the failure is *visible*: `ChipStats::failures` counts it and
+//!    `ServeOutcome::failed` names the requests;
+//! 3. after a window recalibration the broken chip is quarantined and
+//!    subsequent placement routes around it — deterministically, so two
+//!    identically-built engines degrade identically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use runtime::{Chip, ChipPool, Engine, RoundRobin, SizeAware, QUARANTINE_COST};
+
+/// Healthy chip: output is a pure function of the input and its offset.
+struct GoodChip {
+    offset: f64,
+}
+
+impl Chip for GoodChip {
+    fn infer(&self, input: &[f64]) -> Vec<f64> {
+        input.iter().map(|x| x + self.offset).collect()
+    }
+}
+
+/// A chip that works until the serving window reaches `breaks_at`, then
+/// panics on every `infer` — the "dies mid-deployment" fault model.
+struct BreaksAtWindow {
+    offset: f64,
+    breaks_at: u64,
+    window: AtomicU64,
+}
+
+impl BreaksAtWindow {
+    fn new(offset: f64, breaks_at: u64) -> Self {
+        Self {
+            offset,
+            breaks_at,
+            window: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Chip for BreaksAtWindow {
+    fn infer(&self, input: &[f64]) -> Vec<f64> {
+        assert!(
+            self.window.load(Ordering::SeqCst) < self.breaks_at,
+            "injected fault: chip hardware failed"
+        );
+        input.iter().map(|x| x + self.offset).collect()
+    }
+
+    fn set_window(&self, window: u64) {
+        self.window.store(window, Ordering::SeqCst);
+    }
+}
+
+/// A chip that panics on every single request.
+struct DeadChip;
+
+impl Chip for DeadChip {
+    fn infer(&self, _input: &[f64]) -> Vec<f64> {
+        panic!("injected fault: chip is dead on arrival");
+    }
+}
+
+#[test]
+fn panicking_chip_neither_deadlocks_nor_hides() {
+    let chips: Vec<Box<dyn Chip>> = vec![
+        Box::new(GoodChip { offset: 10.0 }),
+        Box::new(DeadChip),
+        Box::new(GoodChip { offset: 30.0 }),
+    ];
+    let engine = Engine::new(ChipPool::from_chips(chips)).with_policy(RoundRobin);
+    let inputs: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64]).collect();
+    // Must return (no deadlock) with every healthy request served.
+    let outcome = engine.serve(&inputs);
+    assert_eq!(outcome.outputs.len(), 9);
+    // Round-robin sends requests 1, 4, 7 to the dead chip.
+    assert_eq!(outcome.failed, vec![1, 4, 7]);
+    for (i, out) in outcome.outputs.iter().enumerate() {
+        if outcome.failed.contains(&i) {
+            assert!(out.is_empty(), "failed request {i} must have no output");
+        } else {
+            let offset = if i % 3 == 0 { 10.0 } else { 30.0 };
+            assert_eq!(out, &vec![i as f64 + offset], "healthy request {i}");
+        }
+    }
+    // The failure surfaces in the per-chip stats.
+    assert_eq!(outcome.stats.per_chip[0].failures, 0);
+    assert_eq!(outcome.stats.per_chip[1].failures, 3);
+    assert_eq!(outcome.stats.per_chip[2].failures, 0);
+    // The engine is not poisoned: it serves the next batch too.
+    let again = engine.serve(&inputs);
+    assert_eq!(again.failed, vec![1, 4, 7]);
+}
+
+#[test]
+fn recalibration_quarantines_and_replaces_deterministically() {
+    let build = || {
+        let chips: Vec<Box<dyn Chip>> = vec![
+            Box::new(GoodChip { offset: 1.0 }),
+            Box::new(BreaksAtWindow::new(2.0, 1)),
+            Box::new(GoodChip { offset: 3.0 }),
+        ];
+        Engine::new(ChipPool::from_chips(chips)).with_policy(SizeAware)
+    };
+    let reps: Vec<Vec<f64>> = vec![vec![0.5; 2], vec![0.5; 8]];
+    let inputs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64, -0.5]).collect();
+
+    let mut engine = build();
+    // Window 0: all three chips healthy, all three get work.
+    let healthy = engine.serve(&inputs);
+    assert!(healthy.failed.is_empty());
+    assert!(healthy.stats.per_chip.iter().all(|c| c.served > 0));
+
+    // Window 1: chip 1's hardware dies. Recalibration catches its panic,
+    // quarantines it, and placement stops sending it anything.
+    let window = engine.recalibrate_window(&reps, 1);
+    assert_eq!(window, 1);
+    assert_eq!(engine.cost_model().version(), 1);
+    assert!(
+        engine.cost_model().is_quarantined(1),
+        "dead chip quarantined"
+    );
+    assert!(!engine.cost_model().is_quarantined(0));
+    assert_eq!(engine.cost_model().coefficients()[1].0, QUARANTINE_COST);
+    let lens: Vec<usize> = inputs.iter().map(Vec::len).collect();
+    let assignment = engine.assignment(&lens);
+    assert!(
+        assignment.iter().all(|&chip| chip != 1),
+        "placement must route around the quarantined chip: {assignment:?}"
+    );
+    let degraded = engine.serve(&inputs);
+    assert!(
+        degraded.failed.is_empty(),
+        "no request may reach the dead chip after recalibration"
+    );
+    assert_eq!(degraded.stats.per_chip[1].served, 0);
+
+    // Determinism of degradation. The recalibration pass itself is a
+    // measurement (wall-time coefficients differ run to run), but an
+    // independently recalibrated twin still quarantines the same chip
+    // and routes around it...
+    let mut twin = build();
+    let _ = twin.recalibrate_window(&reps, 1);
+    assert!(twin.cost_model().is_quarantined(1));
+    assert!(twin.assignment(&lens).iter().all(|&chip| chip != 1));
+    assert_eq!(twin.serve(&inputs).outputs, twin.serve(&inputs).outputs);
+    // ...and placement is a pure function of the *frozen snapshot*:
+    // replaying the engine's snapshot on a fresh pool reproduces its
+    // degraded assignment and output bits exactly.
+    let replay = build().with_cost_model(engine.cost_model().clone());
+    assert_eq!(replay.assignment(&lens), assignment);
+    assert_eq!(replay.serve(&inputs).outputs, degraded.outputs);
+}
+
+#[test]
+fn calibration_of_an_all_dead_pool_still_terminates() {
+    // Even a pool where *every* chip panics calibrates (all quarantined)
+    // and a serve reports every request failed rather than hanging.
+    let chips: Vec<Box<dyn Chip>> = vec![Box::new(DeadChip), Box::new(DeadChip)];
+    let mut engine = Engine::new(ChipPool::from_chips(chips)).with_policy(SizeAware);
+    let _ = engine.recalibrate_window(&[vec![0.0; 4]], 1);
+    assert!(engine.cost_model().is_quarantined(0));
+    assert!(engine.cost_model().is_quarantined(1));
+    let inputs: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+    let outcome = engine.serve(&inputs);
+    assert_eq!(outcome.failed, vec![0, 1, 2, 3]);
+    assert!(outcome.outputs.iter().all(Vec::is_empty));
+    let total_failures: usize = outcome.stats.per_chip.iter().map(|c| c.failures).sum();
+    assert_eq!(total_failures, 4);
+}

@@ -13,7 +13,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 use prng::{prop_check, substream};
-use runtime::{Chip, ChipPool, Placement, ThreadPool};
+use runtime::net::{format_csv, parse_csv, Client, NetWorkload, Response, Server, ServerConfig};
+use runtime::{Chip, ChipPool, Engine, Placement, ThreadPool};
 
 /// Parallel map equals the serial map, for arbitrary inputs, task counts
 /// and thread counts.
@@ -168,6 +169,183 @@ fn panicking_task_does_not_poison_the_pool() {
     // No deadlock, no poisoned state: the pool still works.
     let doubled = pool.par_map(&items, |_, &x| 2 * x);
     assert_eq!(doubled[49], 98);
+}
+
+/// The wire protocol's CSV codec is bit-exact on arbitrary finite f64s:
+/// encode → parse returns the identical bit patterns, including
+/// negative zero, subnormals, and extreme exponents drawn from raw bit
+/// patterns (not just "nice" values).
+#[test]
+fn wire_csv_round_trips_arbitrary_finite_f64_bit_exactly() {
+    prop_check!(|g| {
+        let n = g.usize_in(1, 32);
+        let values: Vec<f64> = (0..n)
+            .map(|_| loop {
+                let v = f64::from_bits(g.u64_any());
+                if v.is_finite() {
+                    break v;
+                }
+            })
+            .collect();
+        let parsed = parse_csv(&format_csv(&values)).expect("round trip parses");
+        let bits: Vec<u64> = parsed.iter().map(|v| v.to_bits()).collect();
+        let expect: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, expect, "CSV must be a bit-exact encoding");
+        // The full response line round-trips too.
+        let ok = Response::Ok {
+            chip: g.usize_in(0, 64),
+            latency_us: u128::from(g.u64_any()),
+            output: values,
+        };
+        assert_eq!(Response::parse(&ok.format()), Ok(ok));
+    });
+}
+
+/// Malformed and oversized request lines always answer `err` in-band and
+/// never corrupt the connection's session state machine: valid requests
+/// interleaved with arbitrary abuse still visit exactly the chips an
+/// in-process twin session predicts.
+#[test]
+fn wire_protocol_abuse_yields_err_without_corrupting_sessions() {
+    const MAX_LINE: usize = 256;
+    let make_engine = || {
+        Engine::new(ChipPool::manufacture(11, 3, |_, seed| SeededChip {
+            offset: (seed % 997) as f64,
+        }))
+    };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        vec![NetWorkload::new(
+            "prop",
+            2,
+            Engine::new(
+                ChipPool::manufacture(11, 3, |_, seed| SeededChip {
+                    offset: (seed % 997) as f64,
+                })
+                .boxed(),
+            ),
+        )],
+        ServerConfig {
+            threads: 1,
+            max_line_bytes: MAX_LINE,
+        },
+    )
+    .expect("bind ephemeral");
+
+    prop_check!(|g| {
+        let twin = make_engine();
+        let mut session = twin.session();
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let rounds = g.usize_in(1, 12);
+        for _ in 0..rounds {
+            match g.usize_in(0, 4) {
+                // Valid request: must be ok, on the twin's predicted chip,
+                // with the twin's exact bits.
+                0 => {
+                    let input = vec![g.f64_in(-8.0, 8.0), g.f64_in(-8.0, 8.0)];
+                    let expect = twin.serve_one(&mut session, &input);
+                    match client.request("prop", &input).expect("round trip") {
+                        Response::Ok { chip, output, .. } => {
+                            assert_eq!(chip, expect.chip, "session state diverged");
+                            assert_eq!(output, expect.output);
+                        }
+                        Response::Error(e) => panic!("valid request rejected: {e}"),
+                    }
+                }
+                // No-space garbage.
+                1 => {
+                    client.send_raw("garbage-no-space").expect("send");
+                    assert!(matches!(client.recv().expect("recv"), Response::Error(_)));
+                }
+                // Unknown workload.
+                2 => {
+                    client.send_raw("nosuch 1,2").expect("send");
+                    assert!(matches!(client.recv().expect("recv"), Response::Error(_)));
+                }
+                // Malformed number.
+                3 => {
+                    client.send_raw("prop 1.0,not-a-number").expect("send");
+                    assert!(matches!(client.recv().expect("recv"), Response::Error(_)));
+                }
+                // Wrong arity (1 or 3+ values against input_dim 2).
+                _ => {
+                    let wrong = if g.usize_in(0, 1) == 0 {
+                        1
+                    } else {
+                        g.usize_in(3, 6)
+                    };
+                    let input = g.vec_f64(-1.0, 1.0, wrong);
+                    match client.request("prop", &input).expect("round trip") {
+                        Response::Error(message) => {
+                            assert!(message.contains("wrong arity"), "{message}");
+                        }
+                        other => panic!("expected arity err, got {other:?}"),
+                    }
+                }
+            }
+        }
+        // After all abuse, the connection still serves and the session
+        // machine is exactly where the twin says it should be.
+        let input = vec![0.25, -0.75];
+        let expect = twin.serve_one(&mut session, &input);
+        match client.request("prop", &input).expect("final round trip") {
+            Response::Ok { chip, output, .. } => {
+                assert_eq!(chip, expect.chip, "abuse advanced the session");
+                assert_eq!(output, expect.output);
+            }
+            Response::Error(e) => panic!("healthy request rejected: {e}"),
+        }
+    });
+    server.shutdown();
+}
+
+/// An oversized line gets an in-band `err`, a clean close on that
+/// connection, and no interference with other connections — for any
+/// over-cap length.
+#[test]
+fn oversized_lines_always_err_and_close_only_their_own_connection() {
+    const MAX_LINE: usize = 128;
+    let server = Server::bind(
+        "127.0.0.1:0",
+        vec![NetWorkload::new(
+            "prop",
+            2,
+            Engine::new(
+                ChipPool::manufacture(11, 3, |_, seed| SeededChip {
+                    offset: (seed % 997) as f64,
+                })
+                .boxed(),
+            ),
+        )],
+        ServerConfig {
+            threads: 2,
+            max_line_bytes: MAX_LINE,
+        },
+    )
+    .expect("bind ephemeral");
+    prop_check!(|g| {
+        let mut survivor = Client::connect(server.addr()).expect("connect survivor");
+        assert!(matches!(
+            survivor.request("prop", &[1.0, 2.0]).expect("warm up"),
+            Response::Ok { .. }
+        ));
+        let mut abuser = Client::connect(server.addr()).expect("connect abuser");
+        let extra = g.usize_in(1, 512);
+        let line = format!("prop {}", "7,".repeat((MAX_LINE + extra) / 2));
+        abuser.send_raw(&line).expect("send oversized");
+        match abuser.recv().expect("err before close") {
+            Response::Error(message) => assert!(message.contains("exceeds"), "{message}"),
+            other => panic!("expected err, got {other:?}"),
+        }
+        assert!(abuser.recv().is_err(), "oversized line must close");
+        assert!(matches!(
+            survivor
+                .request("prop", &[3.0, 4.0])
+                .expect("survivor serves"),
+            Response::Ok { .. }
+        ));
+    });
+    server.shutdown();
 }
 
 /// Open-loop serving honours arrivals and reports sane statistics.

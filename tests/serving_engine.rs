@@ -14,12 +14,17 @@
 //! Latency fields are explicitly *outside* the determinism contract —
 //! only chip ids and output bits are compared.
 
+use std::time::Duration;
+
 use mei::{manufacture_boxed_engine, manufacture_chips, MeiConfig, MeiRcs};
 use neural::Dataset;
 use prng::rngs::StdRng;
 use prng::{Rng, SeedableRng};
 use runtime::net::{format_csv, Client, NetWorkload, Response, Server, ServerConfig};
-use runtime::{Engine, LeastLoaded, Placement, RoundRobin};
+use runtime::{
+    AdmissionConfig, Chip, ChipPool, DriftProfile, DriftingChip, Engine, LeastLoaded, Placement,
+    RoundRobin,
+};
 
 const ROOT_SEED: u64 = 42;
 const CHIPS: usize = 3;
@@ -127,6 +132,163 @@ fn server_thread_count_cannot_change_response_bits() {
         single, multi,
         "per-connection sessions make bits independent of server threads"
     );
+}
+
+/// The drifted deployment under test: the same manufactured pool as
+/// [`manufacture_boxed_engine`], each chip wrapped in a [`DriftingChip`]
+/// under its own `(ROOT_SEED, chip)` substream (exactly what
+/// `mei::manufacture_drifting_engine` does, but boxed so the TCP
+/// front-end can serve it), aged `windows` windows, with optional
+/// admission control.
+fn drifted_boxed_engine(
+    mei: &MeiRcs,
+    windows: u64,
+    admission: Option<AdmissionConfig>,
+) -> Engine<Box<dyn Chip>> {
+    let profile = DriftProfile {
+        latency_per_drift: 0.0,
+        ..DriftProfile::aggressive()
+    };
+    let chips: Vec<Box<dyn Chip>> = manufacture_chips(mei, CHIPS, WRITE_SIGMA, ROOT_SEED)
+        .into_chips()
+        .into_iter()
+        .enumerate()
+        .map(|(i, chip)| {
+            let seed = prng::substream(ROOT_SEED, i as u64);
+            Box::new(DriftingChip::new(chip, profile, seed)) as Box<dyn Chip>
+        })
+        .collect();
+    let mut engine = Engine::new(ChipPool::from_chips(chips));
+    if let Some(config) = admission {
+        engine = engine.with_admission(config);
+    }
+    for _ in 0..windows {
+        engine.advance_window();
+    }
+    engine
+}
+
+/// An admission bound so generous nothing is ever shed: the gate is on
+/// the wire path but every request passes it.
+fn generous_admission() -> AdmissionConfig {
+    AdmissionConfig {
+        max_delay_secs: 1e9,
+        secs_per_cost: 1.0,
+    }
+}
+
+/// Serve the fixed sequence over one connection against a *gated*
+/// server whose engine drifted two windows; panic on any shed.
+fn serve_drifted_gated_over_tcp(mei: &MeiRcs, threads: usize) -> Vec<(usize, Vec<f64>)> {
+    let engine = drifted_boxed_engine(mei, 2, Some(generous_admission()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        vec![NetWorkload::new("expfit", 1, engine)],
+        ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mut served = Vec::new();
+    for input in request_sequence() {
+        match client.request("expfit", &input).expect("round trip") {
+            Response::Ok { chip, output, .. } => served.push((chip, output)),
+            Response::Error(e) => panic!("generously gated request shed: {e}"),
+        }
+    }
+    drop(client);
+    server.shutdown();
+    served
+}
+
+#[test]
+fn drifted_gated_server_threads_cannot_change_bits() {
+    let mei = trained_mei();
+    // In-process reference: an ungated twin of the drifted pool, driven
+    // through a streaming session — drift is per-window state, so the
+    // admission gate and the wire must not perturb the bits.
+    let reference = drifted_boxed_engine(&mei, 2, None);
+    let mut session = reference.session();
+    let in_proc: Vec<(usize, Vec<f64>)> = request_sequence()
+        .iter()
+        .map(|input| {
+            let served = reference.serve_one(&mut session, input);
+            (served.chip, served.output)
+        })
+        .collect();
+
+    let single = serve_drifted_gated_over_tcp(&mei, 1);
+    let multi = serve_drifted_gated_over_tcp(&mei, 4);
+    assert_eq!(single, multi, "server threads must not move drifted bits");
+    assert_eq!(single, in_proc, "the gate must be bit-transparent");
+    // Sanity: the pool really is drifted — window 0 serves other bits.
+    let fresh = drifted_boxed_engine(&mei, 0, None);
+    let mut fresh_session = fresh.session();
+    let fresh_bits: Vec<(usize, Vec<f64>)> = request_sequence()
+        .iter()
+        .map(|input| {
+            let served = fresh.serve_one(&mut fresh_session, input);
+            (served.chip, served.output)
+        })
+        .collect();
+    assert_ne!(single, fresh_bits, "two windows of drift must show");
+}
+
+#[test]
+fn admission_decisions_and_bits_replay_identically() {
+    let mei = trained_mei();
+    // A bound tight enough that simultaneous arrivals overflow it: each
+    // admitted unit of cost books 0.1 simulated seconds, and anything
+    // estimated to wait more than 0.05 s is shed.
+    let tight = AdmissionConfig {
+        max_delay_secs: 0.05,
+        secs_per_cost: 0.1,
+    };
+    let engine = drifted_boxed_engine(&mei, 1, Some(tight));
+    let inputs = request_sequence();
+    let arrivals = vec![Duration::ZERO; inputs.len()];
+
+    let first = engine.serve_open_loop_admitted(&inputs, &arrivals);
+    assert!(!first.admitted.is_empty(), "the bound admits a front rank");
+    assert!(!first.shed.is_empty(), "simultaneous arrivals must shed");
+    assert_eq!(
+        first.gate_stats.offered as usize,
+        inputs.len(),
+        "every request is offered to the gate"
+    );
+
+    // Rerun on the same engine and on an identically-built twin: the
+    // decision stream and the served bits are pure functions of
+    // (inputs, arrivals), so both must replay exactly.
+    for rerun in [
+        engine.serve_open_loop_admitted(&inputs, &arrivals),
+        drifted_boxed_engine(&mei, 1, Some(tight)).serve_open_loop_admitted(&inputs, &arrivals),
+    ] {
+        assert_eq!(rerun.admitted, first.admitted);
+        assert_eq!(rerun.shed, first.shed);
+        assert_eq!(rerun.gate_stats, first.gate_stats);
+        assert_eq!(
+            rerun.outcome.as_ref().map(|o| &o.outputs),
+            first.outcome.as_ref().map(|o| &o.outputs),
+            "admitted bits must replay"
+        );
+    }
+}
+
+#[test]
+fn generous_admission_is_bit_transparent_end_to_end() {
+    let mei = trained_mei();
+    let engine = drifted_boxed_engine(&mei, 1, Some(generous_admission()));
+    let inputs = request_sequence();
+    let arrivals = vec![Duration::ZERO; inputs.len()];
+    let gated = engine.serve_open_loop_admitted(&inputs, &arrivals);
+    assert!(gated.shed.is_empty(), "a generous bound sheds nothing");
+    assert_eq!(gated.admitted, (0..inputs.len()).collect::<Vec<_>>());
+    let outcome = gated.outcome.expect("everything admitted");
+    // The admitted batch is the whole batch: bits equal the ungated serve.
+    assert_eq!(outcome.outputs, engine.serve(&inputs).outputs);
 }
 
 #[test]
