@@ -41,28 +41,18 @@ use std::time::{Duration, Instant};
 
 use mei::{manufacture_drifting_engine, manufacture_engine, MeiConfig, MeiRcs};
 use mei_bench::ramp::{ramp_to_knee, RampConfig};
-use mei_bench::{format_table, table1_setups, ExperimentConfig, EXPERIMENT_WRITE_SIGMA};
+use mei_bench::{
+    fast_mode, format_table, measure_window, table1_setups, ExperimentConfig,
+    EXPERIMENT_WRITE_SIGMA,
+};
 use neural::TrainConfig;
-use runtime::{AdmittedOutcome, Chip, DriftProfile, DriftingChip, Engine, ServeStats, SizeAware};
+use runtime::{
+    json_num, AdmittedOutcome, Chip, DriftProfile, DriftingChip, Engine, ServeStats, SizeAware,
+};
 
 const CHIPS: usize = 4;
 const DRIFT_WINDOWS: u64 = 2;
 const ADMIT_HEADROOM: f64 = 3.0;
-
-fn fast_mode() -> bool {
-    std::env::var("MEI_BENCH_FAST")
-        .map(|v| v == "1")
-        .unwrap_or(false)
-}
-
-fn measure_window() -> Duration {
-    let default = if fast_mode() { 0.3 } else { 2.0 };
-    let secs = std::env::var("MEI_BENCH_SECONDS")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(default);
-    Duration::from_secs_f64(secs.clamp(0.05, 60.0))
-}
 
 /// Uniform open-loop request schedule at `rate` req/s over `window`.
 fn schedule(inputs: &[Vec<f64>], rate: f64, window: Duration) -> (Vec<Vec<f64>>, Vec<Duration>) {
@@ -103,24 +93,25 @@ fn gated_phase<C: Chip>(
 }
 
 fn admitted_json(label: &str, rate: f64, outcome: &AdmittedOutcome) -> String {
-    let p99 = outcome.outcome.as_ref().map_or_else(
-        || "null".into(),
-        |o| format!("{:.3}", o.stats.p99_latency_us),
-    );
+    let p99 = outcome
+        .outcome
+        .as_ref()
+        .map_or_else(|| "null".into(), |o| json_num(o.stats.p99_latency_us, 3));
     format!(
-        "{{\"phase\":\"{label}\",\"offered_rps\":{rate:.3},\"offered\":{},\
-         \"admitted\":{},\"shed\":{},\"shed_rate\":{:.4},\"admitted_p99_us\":{p99}}}",
+        "{{\"phase\":\"{label}\",\"offered_rps\":{},\"offered\":{},\
+         \"admitted\":{},\"shed\":{},\"shed_rate\":{},\"admitted_p99_us\":{p99}}}",
+        json_num(rate, 3),
         outcome.gate_stats.offered,
         outcome.gate_stats.admitted,
         outcome.gate_stats.shed,
-        outcome.gate_stats.shed_rate()
+        json_num(outcome.gate_stats.shed_rate(), 4)
     )
 }
 
 #[allow(clippy::too_many_lines)]
 fn main() {
     let fast = fast_mode();
-    let window = measure_window();
+    let window = measure_window(if fast { 0.3 } else { 2.0 });
     let cfg = ExperimentConfig::from_env();
 
     let setup = table1_setups()
@@ -336,40 +327,44 @@ fn main() {
     );
 
     let json = format!(
-        "{{\"suite\":\"drift_admission/inversek2j\",\"window_secs\":{:.3},\
+        "{{\"suite\":\"drift_admission/inversek2j\",\"window_secs\":{},\
          \"drift\":{{\"windows\":{DRIFT_WINDOWS},\"profile\":\"latency_only\",\
          \"severities\":[{}],\"decays\":[{}],\
-         \"offered_rps\":{drift_rate:.3},\
+         \"offered_rps\":{},\
          \"frozen\":{{\"model_version\":{},\"stats\":{}}},\
          \"recalibrated\":{{\"model_version\":{},\"model_history\":{},\"stats\":{}}},\
-         \"recalibrated_p99_over_frozen_p99\":{p99_ratio:.4}}},\
-         \"admission\":{{\"knee_rps\":{knee_rps:.3},\"kneed\":{},\
-         \"knee_p99_us\":{:.3},\"headroom\":{ADMIT_HEADROOM},\
-         \"max_delay_us\":{:.3},\"secs_per_cost\":{:.6e},\"mean_cost\":{mean_cost:.4},\
-         \"runs\":[{},{}],\"ungated_over_p99_us\":{:.3}}}}}",
-        window.as_secs_f64(),
+         \"recalibrated_p99_over_frozen_p99\":{}}},\
+         \"admission\":{{\"knee_rps\":{},\"kneed\":{},\
+         \"knee_p99_us\":{},\"headroom\":{ADMIT_HEADROOM},\
+         \"max_delay_us\":{},\"secs_per_cost\":{:.6e},\"mean_cost\":{},\
+         \"runs\":[{},{}],\"ungated_over_p99_us\":{}}}}}",
+        json_num(window.as_secs_f64(), 3),
         severities
             .iter()
-            .map(|s| format!("{s:.4}"))
+            .map(|s| json_num(*s, 4))
             .collect::<Vec<_>>()
             .join(","),
         decays
             .iter()
-            .map(|d| format!("{d:.6}"))
+            .map(|d| json_num(*d, 6))
             .collect::<Vec<_>>()
             .join(","),
+        json_num(drift_rate, 3),
         frozen.cost_model().version(),
         frozen_stats.to_json(),
         refreshed.cost_model().version(),
         refreshed.model_history().len(),
         refreshed_stats.to_json(),
+        json_num(p99_ratio, 4),
+        json_num(knee_rps, 3),
         report.kneed,
-        knee.stats.p99_latency_us,
-        admit.max_delay_secs * 1e6,
+        json_num(knee.stats.p99_latency_us, 3),
+        json_num(admit.max_delay_secs * 1e6, 3),
         admit.secs_per_cost,
+        json_num(mean_cost, 4),
         admitted_json("under_knee_0.5x", under_rate, &under),
         admitted_json("over_knee_1.5x", over_rate, &over),
-        ungated_over.p99_latency_us
+        json_num(ungated_over.p99_latency_us, 3)
     );
     println!("{json}");
     if let Ok(path) = std::env::var("MEI_BENCH_JSON") {

@@ -13,7 +13,11 @@
 //! 3. **loopback-TCP knee** — the same ramp driven through
 //!    `runtime::net` over 127.0.0.1, a real socket round-trip per
 //!    request;
-//! 4. **policy comparison** — a *mixed-topology* pool (2 narrow + 2 wide
+//! 4. **wire protocol v2** — one client against the event-driven server
+//!    over loopback, closed loop: strict v1 text round trips versus
+//!    pipelined v2 binary batches, reporting both requests/sec and the
+//!    ratio (the win the framing buys a single connection);
+//! 5. **policy comparison** — a *mixed-topology* pool (2 narrow + 2 wide
 //!    chips of the same workload) served open-loop at a fixed rate under
 //!    `RoundRobin`, `LeastLoaded` (input-length proxy) and `SizeAware`
 //!    over a **calibrated** cost model; the calibrated policy should buy
@@ -25,10 +29,13 @@
 //!
 //! Environment knobs:
 //!
-//! * `MEI_BENCH_SECONDS=<f>` — measurement window per phase (default 2.0);
+//! * `MEI_BENCH_SECONDS=<f>` — measurement window per phase (default 2.0;
+//!   malformed values warn on stderr and fall back);
 //! * `MEI_BENCH_FAST=1` — smoke mode: ~0.2 s windows, tiny training
 //!   budget, shorter ramps;
 //! * `MEI_BENCH_JSON=<path>` — also write the JSON report to a file;
+//! * `MEI_BENCH_JSON_V2=<path>` — also write the standalone protocol-v2
+//!   report (the shape committed as `results/BENCH_serving_v2.json`);
 //! * `MEI_THREADS` is *not* read here: the pool size under test is the
 //!   experiment variable.
 //!
@@ -40,28 +47,19 @@ use std::time::{Duration, Instant};
 
 use mei::{manufacture_chips, MeiConfig, MeiRcs};
 use mei_bench::ramp::{ramp_to_knee, RampConfig, RampReport};
-use mei_bench::{format_table, table1_setups, ExperimentConfig, EXPERIMENT_WRITE_SIGMA};
-use neural::TrainConfig;
-use runtime::net::{NetWorkload, Response, Server, ServerConfig};
-use runtime::{
-    resolve_threads, Chip, ChipPool, CostModel, Engine, LeastLoaded, RoundRobin, ServeStats,
-    SizeAware,
+use mei_bench::{
+    fast_mode, format_table, measure_window, table1_setups, ExperimentConfig,
+    EXPERIMENT_WRITE_SIGMA,
 };
-
-fn fast_mode() -> bool {
-    std::env::var("MEI_BENCH_FAST")
-        .map(|v| v == "1")
-        .unwrap_or(false)
-}
-
-fn measure_window() -> Duration {
-    let default = if fast_mode() { 0.2 } else { 2.0 };
-    let secs = std::env::var("MEI_BENCH_SECONDS")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(default);
-    Duration::from_secs_f64(secs.clamp(0.05, 60.0))
-}
+use neural::TrainConfig;
+use runtime::net::frame::ItemResponse;
+use runtime::net::{
+    Client, ClientV2, EventServer, EventServerConfig, NetWorkload, Response, Server, ServerConfig,
+};
+use runtime::{
+    json_num, resolve_threads, Chip, ChipPool, CostModel, Engine, LeastLoaded, RoundRobin,
+    ServeStats, SizeAware,
+};
 
 /// Closed phase: serve saturating batches until the window elapses.
 fn closed_phase<C: Chip>(engine: &Engine<C>, inputs: &[Vec<f64>], window: Duration) -> f64 {
@@ -184,9 +182,9 @@ struct PolicyResult {
 impl PolicyResult {
     fn to_json(&self) -> String {
         format!(
-            "{{\"policy\":\"{}\",\"offered_rps\":{:.3},\"stats\":{}}}",
-            self.name,
-            self.offered_rps,
+            "{{\"policy\":\"{}\",\"offered_rps\":{},\"stats\":{}}}",
+            runtime::json_escape(self.name),
+            json_num(self.offered_rps, 3),
             self.stats.to_json()
         )
     }
@@ -219,10 +217,85 @@ fn knee_table(label: &str, report: &RampReport) -> String {
     )
 }
 
+/// Closed-loop v1 over one connection: strict request/response round
+/// trips until the window elapses. Returns requests/sec.
+fn v1_closed_loop(
+    addr: std::net::SocketAddr,
+    workload: &str,
+    inputs: &[Vec<f64>],
+    window: Duration,
+) -> f64 {
+    let mut client = Client::connect(addr).expect("connect v1 client");
+    let start = Instant::now();
+    let mut served = 0usize;
+    while start.elapsed() < window {
+        let input = &inputs[served % inputs.len()];
+        match client.request(workload, input).expect("v1 round trip") {
+            Response::Ok { .. } => served += 1,
+            Response::Error(e) => panic!("bench request rejected: {e}"),
+        }
+    }
+    served as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Closed-loop v2 over one connection: `depth` request frames of `batch`
+/// requests each kept in flight, receiving and refilling until the
+/// window elapses (then draining). Returns requests/sec.
+fn v2_pipelined_loop(
+    addr: std::net::SocketAddr,
+    workload: &str,
+    inputs: &[Vec<f64>],
+    batch: usize,
+    depth: usize,
+    window: Duration,
+) -> f64 {
+    let mut client = ClientV2::connect(addr).expect("connect v2 client");
+    let frame_inputs: Vec<Vec<f64>> = (0..batch)
+        .map(|i| inputs[i % inputs.len()].clone())
+        .collect();
+    let start = Instant::now();
+    let mut served = 0usize;
+    let mut in_flight = 0usize;
+    loop {
+        while in_flight < depth && start.elapsed() < window {
+            client
+                .send_batch(workload, &frame_inputs)
+                .expect("send v2 batch");
+            in_flight += 1;
+        }
+        if in_flight == 0 {
+            break;
+        }
+        let items = client.recv_batch().expect("recv v2 batch");
+        in_flight -= 1;
+        for item in &items {
+            match item {
+                ItemResponse::Ok { .. } => served += 1,
+                ItemResponse::Shed => {}
+                ItemResponse::Err(e) => panic!("bench request rejected: {e}"),
+            }
+        }
+    }
+    served as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Pull the v1 loopback-TCP knee rate out of the committed baseline
+/// report, if it is readable from the current directory. A one-key
+/// extraction, not a parser: the committed shape is under our control.
+fn baseline_tcp_knee_rps(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let tcp = text.split("\"tcp\":{\"knee_rps\":").nth(1)?;
+    let number: String = tcp
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    number.parse().ok()
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
     let fast = fast_mode();
-    let window = measure_window();
+    let window = measure_window(if fast { 0.2 } else { 2.0 });
     let cfg = ExperimentConfig::from_env();
 
     // The Table 1 inversek2j MEI system, trained with a small budget —
@@ -352,7 +425,72 @@ fn main() {
         knee_table("tcp", &tcp)
     );
 
-    // Phase 4: mixed-topology policy comparison. Two narrow (fast) and
+    // Phase 4: wire protocol v2 vs v1, one client, closed loop over the
+    // event-driven server. v1 pays a full round trip per request; v2
+    // pipelines binary batch frames, so a single connection can keep the
+    // pool busy.
+    let v2_batch = 64usize;
+    let v2_depth = 4usize;
+    let event_server = EventServer::bind(
+        "127.0.0.1:0",
+        vec![NetWorkload::new(
+            "inversek2j",
+            input_dim,
+            Engine::new(manufacture_chips(&mei, largest, EXPERIMENT_WRITE_SIGMA, cfg.seed).boxed()),
+        )],
+        EventServerConfig::default(),
+    )
+    .expect("bind event server");
+    let event_addr = event_server.addr();
+    let v1_rps = v1_closed_loop(event_addr, "inversek2j", &inputs, window);
+    let v2_rps = v2_pipelined_loop(
+        event_addr,
+        "inversek2j",
+        &inputs,
+        v2_batch,
+        v2_depth,
+        window,
+    );
+    event_server.shutdown();
+    let v2_over_v1 = if v1_rps > 0.0 {
+        v2_rps / v1_rps
+    } else {
+        f64::NAN
+    };
+    let baseline_path = "results/BENCH_serving_baseline.json";
+    let baseline_knee = baseline_tcp_knee_rps(baseline_path);
+    eprintln!(
+        "\n-- wire protocol v2 ({largest} chips, 1 connection, closed loop) --\n{}",
+        format_table(
+            &["protocol", "req/s"],
+            &[
+                vec!["v1 strict".into(), format!("{v1_rps:.0}")],
+                vec![
+                    format!("v2 pipelined ({v2_batch}×{v2_depth})"),
+                    format!("{v2_rps:.0}")
+                ],
+            ]
+        )
+    );
+    eprintln!("v2 pipelined / v1 strict = {v2_over_v1:.2}×");
+    let v2_json = format!(
+        "{{\"suite\":\"serving_v2/inversek2j\",\"hardware_threads\":{auto},\
+         \"window_secs\":{},\"chips\":{largest},\"batch\":{v2_batch},\"depth\":{v2_depth},\
+         \"v1_closed_loop_rps\":{},\"v2_pipelined_rps\":{},\"v2_over_v1\":{},\
+         \"v1_baseline_tcp_knee_rps\":{},\"v1_baseline_source\":\"{baseline_path}\"}}",
+        json_num(window.as_secs_f64(), 3),
+        json_num(v1_rps, 3),
+        json_num(v2_rps, 3),
+        json_num(v2_over_v1, 4),
+        baseline_knee.map_or_else(|| "null".into(), |k| json_num(k, 3)),
+    );
+    if let Ok(path) = std::env::var("MEI_BENCH_JSON_V2") {
+        if let Err(err) = std::fs::write(&path, &v2_json) {
+            panic!("cannot write MEI_BENCH_JSON_V2 report to '{path}': {err}");
+        }
+    }
+
+    // Phase 5: mixed-topology policy comparison. Two narrow (fast) and
     // two wide (slow) chips of the same workload; the calibrated
     // size-aware policy should hold a lower p99 at equal offered rate.
     let wide = train_mei(setup.mei_hidden * 6);
@@ -445,25 +583,32 @@ fn main() {
 
     let closed_json: Vec<String> = closed
         .iter()
-        .map(|(chips, rps)| format!("{{\"chips\":{chips},\"closed_requests_per_sec\":{rps:.3}}}"))
+        .map(|(chips, rps)| {
+            format!(
+                "{{\"chips\":{chips},\"closed_requests_per_sec\":{}}}",
+                json_num(*rps, 3)
+            )
+        })
         .collect();
     let policies_json: Vec<String> = policies.iter().map(PolicyResult::to_json).collect();
     let json = format!(
         "{{\"suite\":\"throughput/inversek2j\",\"hardware_threads\":{},\
-         \"window_secs\":{:.3},\"speedup_4v1\":{},\"pools\":[{}],\
+         \"window_secs\":{},\"speedup_4v1\":{},\"pools\":[{}],\
          \"knee\":{{\"in_process\":{},\"tcp\":{}}},\
+         \"v2\":{},\
          \"mixed_topology\":{{\"narrow_hidden\":{},\"wide_hidden\":{},\
-         \"cost_model\":{},\"closed_requests_per_sec\":{:.3},\"policies\":[{}]}}}}",
+         \"cost_model\":{},\"closed_requests_per_sec\":{},\"policies\":[{}]}}}}",
         auto,
-        window.as_secs_f64(),
-        speedup_4v1.map_or_else(|| "null".into(), |s| format!("{s:.4}")),
+        json_num(window.as_secs_f64(), 3),
+        speedup_4v1.map_or_else(|| "null".into(), |s| json_num(s, 4)),
         closed_json.join(","),
         in_process.to_json(),
         tcp.to_json(),
+        v2_json,
         setup.mei_hidden,
         setup.mei_hidden * 6,
         calibration.to_json(),
-        mixed_closed,
+        json_num(mixed_closed, 3),
         policies_json.join(",")
     );
     println!("{json}");

@@ -38,9 +38,9 @@ use std::time::{Duration, Instant};
 
 use interface::InterfaceSpec;
 use mei::exponential_bit_weights;
-use mei_bench::{format_table, table1_setups};
+use mei_bench::{fast_mode, format_table, measure_window, table1_setups};
 use neural::{Dataset, MlpBuilder, TrainConfig, Trainer, WeightedMse};
-use runtime::resolve_threads;
+use runtime::{json_num, resolve_threads};
 use workloads::expfit::ExpFit;
 use workloads::Workload;
 
@@ -93,23 +93,15 @@ struct RunResult {
 impl RunResult {
     fn to_json(&self, speedup: f64) -> String {
         format!(
-            "{{\"threads\":{},\"samples_per_sec\":{:.1},\"epochs_per_sec\":{:.3},\
-             \"speedup_vs_serial\":{:.4},\"final_loss\":{:.12}}}",
-            self.threads, self.samples_per_sec, self.epochs_per_sec, speedup, self.final_loss
+            "{{\"threads\":{},\"samples_per_sec\":{},\"epochs_per_sec\":{},\
+             \"speedup_vs_serial\":{},\"final_loss\":{}}}",
+            self.threads,
+            json_num(self.samples_per_sec, 1),
+            json_num(self.epochs_per_sec, 3),
+            json_num(speedup, 4),
+            json_num(self.final_loss, 12)
         )
     }
-}
-
-fn measure_window() -> Duration {
-    let fast = std::env::var("MEI_BENCH_FAST")
-        .map(|v| v == "1")
-        .unwrap_or(false);
-    let default = if fast { 0.2 } else { 2.0 };
-    let secs = std::env::var("MEI_BENCH_SECONDS")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(default);
-    Duration::from_secs_f64(secs.clamp(0.05, 60.0))
 }
 
 /// Repeat full training runs at one thread count until the window elapses.
@@ -149,10 +141,8 @@ fn measure(
 }
 
 fn main() {
-    let fast = std::env::var("MEI_BENCH_FAST")
-        .map(|v| v == "1")
-        .unwrap_or(false);
-    let window = measure_window();
+    let fast = fast_mode();
+    let window = measure_window(if fast { 0.2 } else { 2.0 });
     let epochs_per_call = if fast { 1 } else { 8 };
     let samples = if fast { 256 } else { 2_000 };
 
@@ -183,9 +173,11 @@ fn main() {
         window.as_secs_f64()
     );
 
-    let min_speedup = std::env::var("MEI_BENCH_MIN_SPEEDUP")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok());
+    let min_speedup = prng::env::parse_validated::<f64>(
+        "MEI_BENCH_MIN_SPEEDUP",
+        "a finite speedup factor > 0",
+        |s| s.is_finite() && *s > 0.0,
+    );
 
     let mut sections: Vec<String> = Vec::new();
     for problem in &problems {

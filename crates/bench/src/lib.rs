@@ -31,10 +31,16 @@
 //!
 //! Set `MEI_BENCH_QUICK=1` to shrink every training budget ~4× for smoke
 //! runs.
+//!
+//! Every numeric knob (`MEI_THREADS`, `MEI_BENCH_SECONDS`,
+//! `MEI_BENCH_MIN_SPEEDUP`, …) is parsed through [`prng::env`]: an unset
+//! variable silently takes the default, but a *set-and-malformed* one
+//! prints a warning on stderr instead of being silently ignored.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod ramp;
 pub mod timing;
 
@@ -81,10 +87,7 @@ impl ExperimentConfig {
         let quick = std::env::var("MEI_BENCH_QUICK")
             .map(|v| v == "1")
             .unwrap_or(false);
-        let threads = std::env::var("MEI_THREADS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0);
+        let threads = prng::env::parse_or("MEI_THREADS", 0);
         if quick {
             Self {
                 train_samples: 1_500,
@@ -318,6 +321,28 @@ where
         |acc, s| acc + s,
     );
     total / draws as f64
+}
+
+/// Whether `MEI_BENCH_FAST=1` smoke mode is on.
+#[must_use]
+pub fn fast_mode() -> bool {
+    std::env::var("MEI_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// The per-phase measurement window: `MEI_BENCH_SECONDS` when set and
+/// well-formed (malformed values warn on stderr and fall back), else
+/// `default_secs`; clamped to `[0.05, 60]` seconds either way.
+#[must_use]
+pub fn measure_window(default_secs: f64) -> std::time::Duration {
+    let secs = prng::env::parse_validated::<f64>(
+        "MEI_BENCH_SECONDS",
+        "a finite number of seconds > 0",
+        |s| s.is_finite() && *s > 0.0,
+    )
+    .unwrap_or(default_secs);
+    std::time::Duration::from_secs_f64(secs.clamp(0.05, 60.0))
 }
 
 /// Render an aligned text table.

@@ -10,11 +10,14 @@
 //! (in-process engine or loopback TCP), so both report comparable knees.
 //!
 //! The controller is deliberately simple and deterministic in structure:
-//! a geometric rate sweep, a latency budget derived from the first
-//! (lightly loaded) step, and "two steps over budget in a row" as the
-//! stop condition, so one noisy window cannot end the ramp early.
+//! a geometric rate sweep, a latency budget derived from the *lower* p99
+//! of the first two (lightly loaded) steps, and "two steps over budget
+//! in a row" as the stop condition. Both guards exist for the same
+//! reason — one noisy window must not decide the ramp: a spiky first
+//! window would otherwise inflate the budget and mask the true knee,
+//! and a single spiky later window would otherwise end the ramp early.
 
-use runtime::{AdmissionConfig, ServeStats};
+use runtime::{json_num, AdmissionConfig, ServeStats};
 
 /// One ramp step: the offered rate and what the pool did under it.
 #[derive(Debug, Clone)]
@@ -30,8 +33,8 @@ impl RampStep {
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"offered_rps\":{:.3},\"stats\":{}}}",
-            self.offered_rps,
+            "{{\"offered_rps\":{},\"stats\":{}}}",
+            json_num(self.offered_rps, 3),
             self.stats.to_json()
         )
     }
@@ -47,7 +50,9 @@ pub struct RampConfig {
     /// Hard cap on steps, in case the knee never shows.
     pub max_steps: usize,
     /// A step is "over budget" when its p99 exceeds
-    /// `knee_factor × baseline p99` (baseline = the first step).
+    /// `knee_factor × baseline p99` (baseline = the lower p99 of the
+    /// first two steps, so one inflated first window cannot raise the
+    /// budget and mask the knee).
     pub knee_factor: f64,
 }
 
@@ -112,12 +117,12 @@ impl RampReport {
         let knee = self.knee_step();
         let steps: Vec<String> = self.steps.iter().map(RampStep::to_json).collect();
         format!(
-            "{{\"knee_rps\":{:.3},\"kneed\":{},\"knee_p50_us\":{:.3},\"knee_p99_us\":{:.3},\
+            "{{\"knee_rps\":{},\"kneed\":{},\"knee_p50_us\":{},\"knee_p99_us\":{},\
              \"steps\":[{}]}}",
-            knee.offered_rps,
+            json_num(knee.offered_rps, 3),
             self.kneed,
-            knee.stats.p50_latency_us,
-            knee.stats.p99_latency_us,
+            json_num(knee.stats.p50_latency_us, 3),
+            json_num(knee.stats.p99_latency_us, 3),
             steps.join(",")
         )
     }
@@ -126,7 +131,9 @@ impl RampReport {
 /// Walk the offered rate up geometrically, calling `measure(rate)` for
 /// each step, until p99 blows past the budget on two consecutive steps
 /// (or `max_steps` runs out). Returns every step and the knee: the last
-/// step that stayed within `knee_factor ×` the first step's p99.
+/// step that stayed within `knee_factor ×` the baseline p99, where the
+/// baseline is the *lower* p99 of the first two steps (one noisy first
+/// window must not inflate the budget).
 ///
 /// # Panics
 ///
@@ -155,6 +162,14 @@ where
         });
         if step == 0 {
             budget_us = p99 * config.knee_factor;
+        } else if step == 1 {
+            // The baseline is the lower of the first two lightly loaded
+            // windows: a single inflated first window would otherwise
+            // raise the budget by knee_factor× and hide the real elbow.
+            let first = steps[0].stats.p99_latency_us;
+            // f64::min ignores a NaN operand, so an all-shed window
+            // (NaN p99) cannot poison the budget either.
+            budget_us = first.min(p99) * config.knee_factor;
         }
         if p99 > budget_us {
             over_in_a_row += 1;
@@ -183,6 +198,12 @@ mod tests {
     use super::*;
     use std::time::Duration;
 
+    /// A flat window: every latency sample at `p99_us`.
+    fn flat(p99_us: f64) -> ServeStats {
+        let lat = Duration::from_secs_f64(p99_us * 1e-6);
+        ServeStats::from_run("synthetic", &[lat; 4], Duration::from_millis(10), vec![])
+    }
+
     /// A synthetic pool: p99 flat at 100 µs below 1000 rps, exploding
     /// ~10× per step above it.
     fn synthetic(rate: f64) -> ServeStats {
@@ -191,8 +212,7 @@ mod tests {
         } else {
             100.0 * (rate / 1000.0).powi(4)
         };
-        let lat = Duration::from_secs_f64(p99_us * 1e-6);
-        ServeStats::from_run("synthetic", &[lat; 4], Duration::from_millis(10), vec![])
+        flat(p99_us)
     }
 
     #[test]
@@ -251,6 +271,42 @@ mod tests {
         assert!(!report.kneed);
         assert_eq!(report.steps.len(), 5);
         assert_eq!(report.knee, 4, "flat latency → knee is the last step");
+    }
+
+    #[test]
+    fn inflated_first_step_does_not_mask_the_knee() {
+        let config = RampConfig {
+            start_rps: 250.0,
+            growth: 1.5,
+            max_steps: 16,
+            knee_factor: 4.0,
+        };
+        let mut calls = 0usize;
+        let report = ramp_to_knee(&config, |rate| {
+            calls += 1;
+            if calls == 1 {
+                // A cold-start spike: 20× the true lightly loaded p99.
+                // With the budget derived from this window alone the
+                // elbow near 1000 rps would sit "within budget" and the
+                // ramp would sail far past capacity before stopping.
+                flat(2000.0)
+            } else {
+                synthetic(rate)
+            }
+        });
+        assert!(report.kneed, "the knee must still be found");
+        let knee = report.knee_step();
+        assert!(
+            knee.offered_rps <= 1300.0,
+            "knee rate {} is past the synthetic capacity — the spiky \
+             first window inflated the budget",
+            knee.offered_rps
+        );
+        assert!(
+            knee.stats.p99_latency_us <= 400.0,
+            "knee p99 {} exceeds 4× the true baseline",
+            knee.stats.p99_latency_us
+        );
     }
 
     #[test]

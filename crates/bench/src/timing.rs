@@ -45,18 +45,20 @@ pub struct BenchReport {
 
 impl BenchReport {
     /// The report as a JSON object (hand-rolled; the workspace has no
-    /// serialization dependency by policy).
+    /// serialization dependency by policy). Strings go through
+    /// [`runtime::json_escape`], floats through [`runtime::json_num`]
+    /// (non-finite → `null`), so the output is always parseable.
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
             "{{\"name\":\"{}\",\"iters_per_sample\":{},\"samples\":{},\
-             \"min_ns\":{:.3},\"median_ns\":{:.3},\"mean_ns\":{:.3}}}",
-            self.name.replace('"', "\\\""),
+             \"min_ns\":{},\"median_ns\":{},\"mean_ns\":{}}}",
+            runtime::json_escape(&self.name),
             self.iters_per_sample,
             self.samples,
-            self.min_ns,
-            self.median_ns,
-            self.mean_ns,
+            runtime::json_num(self.min_ns, 3),
+            runtime::json_num(self.median_ns, 3),
+            runtime::json_num(self.mean_ns, 3),
         )
     }
 }
@@ -154,7 +156,7 @@ impl Runner {
         let body: Vec<String> = self.reports.iter().map(BenchReport::to_json).collect();
         let json = format!(
             "{{\"suite\":\"{}\",\"benchmarks\":[{}]}}",
-            self.suite,
+            runtime::json_escape(&self.suite),
             body.join(",")
         );
         println!("{json}");

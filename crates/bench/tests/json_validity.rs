@@ -1,0 +1,150 @@
+//! Every hand-rolled JSON emitter in the workspace must produce strict
+//! RFC 8259 JSON — even when fed non-finite floats, quotes or control
+//! characters — and every committed `results/BENCH_*.json` must parse.
+//!
+//! The emitters write JSON by `format!` (no serde by policy), which is
+//! exactly the kind of code that silently regresses: one `{:.3}` on a
+//! NaN and the report is unreadable by any real parser. The validator
+//! (`mei_bench::json`) is the tripwire.
+
+use std::time::Duration;
+
+use mei_bench::json::validate;
+use mei_bench::ramp::{ramp_to_knee, RampConfig};
+use mei_bench::timing::BenchReport;
+use runtime::{json_escape, json_num, ServeStats};
+
+fn assert_valid(label: &str, text: &str) {
+    if let Err(err) = validate(text) {
+        panic!("{label} emitted invalid JSON: {err}\n{text}");
+    }
+}
+
+#[test]
+fn serve_stats_json_is_valid_even_with_non_finite_latencies() {
+    let healthy = ServeStats::from_run(
+        "least_loaded",
+        &[Duration::from_micros(50), Duration::from_micros(90)],
+        Duration::from_millis(5),
+        vec![(2, 1, 2, Duration::from_micros(140))],
+    );
+    assert_valid("ServeStats healthy", &healthy.to_json());
+
+    let poisoned = ServeStats::from_latencies_us(
+        "least_loaded",
+        &[50.0, f64::NAN, f64::INFINITY, 90.0],
+        Duration::from_millis(5),
+        vec![],
+    );
+    assert_eq!(poisoned.non_finite, 2);
+    assert_valid("ServeStats with NaN/inf samples", &poisoned.to_json());
+
+    let all_bad = ServeStats::from_latencies_us(
+        "least_loaded",
+        &[f64::NAN, f64::NAN],
+        Duration::from_millis(5),
+        vec![],
+    );
+    assert_valid("ServeStats all-NaN (percentiles null)", &all_bad.to_json());
+    assert!(all_bad.to_json().contains("\"p99_latency_us\":null"));
+}
+
+#[test]
+fn hostile_policy_names_stay_valid_json() {
+    let stats = ServeStats::from_run(
+        "quo\"te\\back\nslash\tand\u{1}ctrl",
+        &[Duration::from_micros(10)],
+        Duration::from_millis(1),
+        vec![],
+    );
+    assert_valid("ServeStats hostile policy name", &stats.to_json());
+}
+
+#[test]
+fn ramp_reports_stay_valid_json_with_degenerate_windows() {
+    let flat = |p99_us: f64| {
+        ServeStats::from_latencies_us("synthetic", &[p99_us; 4], Duration::from_millis(10), vec![])
+    };
+    // A ramp whose later windows are all-NaN (e.g. everything shed).
+    let mut calls = 0usize;
+    let report = ramp_to_knee(
+        &RampConfig {
+            start_rps: 100.0,
+            growth: 2.0,
+            max_steps: 4,
+            knee_factor: 4.0,
+        },
+        |_| {
+            calls += 1;
+            if calls >= 3 {
+                flat(f64::NAN)
+            } else {
+                flat(100.0)
+            }
+        },
+    );
+    assert_valid("RampReport with NaN steps", &report.to_json());
+    for step in &report.steps {
+        assert_valid("RampStep", &step.to_json());
+    }
+}
+
+#[test]
+fn bench_reports_stay_valid_json() {
+    let report = BenchReport {
+        name: "quoted\"name/with\\escapes".into(),
+        iters_per_sample: 3,
+        samples: 2,
+        min_ns: f64::NAN,
+        median_ns: f64::INFINITY,
+        mean_ns: 12.5,
+    };
+    let json = report.to_json();
+    assert_valid("BenchReport non-finite stats", &json);
+    assert!(json.contains("\"min_ns\":null"));
+    assert!(json.contains("\"median_ns\":null"));
+}
+
+#[test]
+fn json_helpers_agree_with_the_validator() {
+    for v in [
+        0.0,
+        -0.0,
+        1.5,
+        -2.25e-9,
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ] {
+        assert_valid("json_num", &json_num(v, 6));
+    }
+    for s in [
+        "plain",
+        "qu\"ote",
+        "back\\slash",
+        "new\nline",
+        "\u{0}\u{1f}",
+    ] {
+        assert_valid("json_escape", &format!("\"{}\"", json_escape(s)));
+    }
+}
+
+#[test]
+fn committed_results_reports_are_valid_json() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(dir).expect("results directory") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read report");
+        assert_valid(&name, &text);
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "expected the committed BENCH_*.json reports, found {checked}"
+    );
+}

@@ -1,0 +1,121 @@
+//! Centralized environment-variable parsing that refuses to fail
+//! silently.
+//!
+//! Every deploy-time knob in the workspace (`MEI_BENCH_SECONDS`,
+//! `MEI_THREADS`, `MEI_PROP_CASES`, `MEI_ADMIT_*`, …) used to hand-roll
+//! `std::env::var(..).ok().and_then(|v| v.parse().ok()).unwrap_or(d)` —
+//! which means a typo like `MEI_BENCH_SECONDS=2,5` *silently* ran the
+//! benchmark with the default window and the operator never learned
+//! their knob was ignored. These helpers keep the forgiving fallback
+//! behaviour (an unset variable is always the silent default) but print
+//! a `warning:` line to stderr whenever a variable is **set and
+//! malformed**, so misconfiguration is visible without aborting a run.
+//!
+//! This module lives in `prng` only because it is the one crate every
+//! other workspace member already depends on; it has nothing to do with
+//! randomness.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Parse `name` from the environment, falling back to `default`.
+///
+/// * unset → `default`, silently (the documented behaviour of every
+///   knob);
+/// * set and parsable (after trimming) → the parsed value;
+/// * set and malformed → `default`, with a warning on stderr naming the
+///   variable, the rejected value and the expected type.
+pub fn parse_or<T: FromStr + Display>(name: &str, default: T) -> T {
+    match parse_opt(name) {
+        Some(value) => value,
+        None => default,
+    }
+}
+
+/// Parse `name` from the environment, or `None`.
+///
+/// `None` covers both "unset" (silent) and "set but malformed" (warned
+/// on stderr); callers that need to distinguish can check
+/// `std::env::var` themselves.
+pub fn parse_opt<T: FromStr>(name: &str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse::<T>() {
+        Ok(value) => Some(value),
+        Err(_) => {
+            warn_malformed::<T>(name, &raw);
+            None
+        }
+    }
+}
+
+/// Parse `name` and additionally require `valid(&value)`; a parsed but
+/// out-of-range value is rejected with a stderr warning citing
+/// `requirement` (e.g. `"a finite number of microseconds >= 0"`).
+pub fn parse_validated<T: FromStr>(
+    name: &str,
+    requirement: &str,
+    valid: impl Fn(&T) -> bool,
+) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse::<T>() {
+        Ok(value) if valid(&value) => Some(value),
+        Ok(_) => {
+            eprintln!(
+                "warning: ignoring {name}={raw:?}: value must be {requirement}; \
+                 using the default"
+            );
+            None
+        }
+        Err(_) => {
+            warn_malformed::<T>(name, &raw);
+            None
+        }
+    }
+}
+
+fn warn_malformed<T>(name: &str, raw: &str) {
+    eprintln!(
+        "warning: ignoring {name}={raw:?}: cannot parse as {}; using the default",
+        std::any::type_name::<T>()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test owns a unique variable name so parallel test threads
+    // cannot race on shared env state.
+
+    #[test]
+    fn unset_is_the_silent_default() {
+        assert_eq!(parse_or("MEI_ENV_TEST_UNSET", 7u64), 7);
+        assert_eq!(parse_opt::<f64>("MEI_ENV_TEST_UNSET_OPT"), None);
+    }
+
+    #[test]
+    fn set_values_parse_with_whitespace_trimmed() {
+        std::env::set_var("MEI_ENV_TEST_TRIM", " 2.5 ");
+        assert_eq!(parse_or("MEI_ENV_TEST_TRIM", 0.0f64), 2.5);
+        std::env::remove_var("MEI_ENV_TEST_TRIM");
+    }
+
+    #[test]
+    fn malformed_values_fall_back_to_the_default() {
+        std::env::set_var("MEI_ENV_TEST_BAD", "2,5");
+        assert_eq!(parse_or("MEI_ENV_TEST_BAD", 4usize), 4);
+        assert_eq!(parse_opt::<usize>("MEI_ENV_TEST_BAD"), None);
+        std::env::remove_var("MEI_ENV_TEST_BAD");
+    }
+
+    #[test]
+    fn validated_values_reject_out_of_range() {
+        std::env::set_var("MEI_ENV_TEST_RANGE", "-3");
+        let v = parse_validated::<f64>("MEI_ENV_TEST_RANGE", "non-negative", |x| *x >= 0.0);
+        assert_eq!(v, None);
+        std::env::set_var("MEI_ENV_TEST_RANGE", "3");
+        let v = parse_validated::<f64>("MEI_ENV_TEST_RANGE", "non-negative", |x| *x >= 0.0);
+        assert_eq!(v, Some(3.0));
+        std::env::remove_var("MEI_ENV_TEST_RANGE");
+    }
+}

@@ -34,7 +34,9 @@
 //! * [`stream::substream`] — `(root_seed, task_index)` stream splitting
 //!   for deterministic parallelism;
 //! * [`prop`] — the deterministic property-test harness behind
-//!   [`prop_check!`].
+//!   [`prop_check!`];
+//! * [`env`] — warn-on-malformed environment-variable parsing shared by
+//!   every workspace knob (here because `prng` is the common base crate).
 //!
 //! ## Determinism contract
 //!
@@ -47,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod distributions;
+pub mod env;
 pub mod prop;
 pub mod seq;
 pub mod stream;

@@ -166,20 +166,20 @@ fn parse_seed(text: &str) -> Option<u64> {
 /// Re-raises the first failing case's panic, after printing the property
 /// name, case index and reproduction seed to stderr.
 pub fn run<F: FnMut(&mut Gen)>(name: &str, cases: u64, mut property: F) {
-    if let Some(seed) = std::env::var("MEI_PROP_SEED")
-        .ok()
-        .as_deref()
-        .and_then(parse_seed)
-    {
-        let mut g = Gen::from_seed(seed);
-        property(&mut g);
-        return;
+    if let Ok(raw) = std::env::var("MEI_PROP_SEED") {
+        match parse_seed(&raw) {
+            Some(seed) => {
+                let mut g = Gen::from_seed(seed);
+                property(&mut g);
+                return;
+            }
+            None => eprintln!(
+                "warning: ignoring MEI_PROP_SEED={raw:?}: expected a decimal or \
+                 0x-prefixed hex u64; running the full case sweep"
+            ),
+        }
     }
-    let cases = std::env::var("MEI_PROP_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(cases)
-        .max(1);
+    let cases = crate::env::parse_or("MEI_PROP_CASES", cases).max(1);
     let mut seeds = SplitMix64::new(fnv1a(name));
     for case in 0..cases {
         let seed = seeds.next_u64();

@@ -126,30 +126,27 @@ impl AdmissionConfig {
     ///   microseconds);
     /// * `MEI_ADMIT_SECS_PER_COST` — replaces `secs_per_cost`.
     ///
-    /// Unset or unparsable variables leave the config unchanged.
+    /// Unset variables leave the config unchanged; set-but-malformed or
+    /// out-of-range values also leave it unchanged but print a warning on
+    /// stderr (via [`prng::env`]) instead of being silently ignored.
     #[must_use]
     pub fn from_env(mut self) -> Self {
-        if let Some(us) = env_f64("MEI_ADMIT_MAX_DELAY_US") {
-            if us >= 0.0 {
-                self.max_delay_secs = us * 1e-6;
-            }
+        if let Some(us) = prng::env::parse_validated::<f64>(
+            "MEI_ADMIT_MAX_DELAY_US",
+            "a finite number of microseconds >= 0",
+            |us| us.is_finite() && *us >= 0.0,
+        ) {
+            self.max_delay_secs = us * 1e-6;
         }
-        if let Some(spc) = env_f64("MEI_ADMIT_SECS_PER_COST") {
-            if spc > 0.0 {
-                self.secs_per_cost = spc;
-            }
+        if let Some(spc) = prng::env::parse_validated::<f64>(
+            "MEI_ADMIT_SECS_PER_COST",
+            "a finite number of seconds > 0",
+            |spc| spc.is_finite() && *spc > 0.0,
+        ) {
+            self.secs_per_cost = spc;
         }
         self
     }
-}
-
-fn env_f64(name: &str) -> Option<f64> {
-    std::env::var(name)
-        .ok()?
-        .trim()
-        .parse()
-        .ok()
-        .filter(|v: &f64| v.is_finite())
 }
 
 /// One admission decision.

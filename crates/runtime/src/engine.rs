@@ -408,6 +408,116 @@ impl<C: Chip> Engine<C> {
             gate_stats,
         }
     }
+
+    /// Serve a pipelined batch against a session: the wire-protocol-v2
+    /// serving shape, where one frame carries many requests for the same
+    /// workload and the whole batch shares one arrival stamp (taken at
+    /// frame decode).
+    ///
+    /// Placement is the exact [`Engine::serve_one`] /
+    /// [`Engine::offer_one`] fold — requests placed in order against the
+    /// session's accumulated state, the gate (when `arrival_secs` is
+    /// `Some` and admission is enabled) offered each `(chip, cost,
+    /// arrival)` in turn, shed requests committing nothing. Execution
+    /// then groups admitted requests per chip and runs the busy chips on
+    /// scoped threads (inline when the batch lands on a single chip), so
+    /// a pipelining client overlaps the whole pool. Chips are
+    /// deterministic pure functions and placement is decided before
+    /// execution, so the items — chip ids and output bits — are identical
+    /// to feeding the same sequence through `serve_one`/`offer_one` one
+    /// request at a time, whatever the threading.
+    ///
+    /// A panicking `infer` is contained at the chip boundary and reported
+    /// as [`BatchItem::Failed`]; sibling requests still complete.
+    pub fn serve_session_batch(
+        &self,
+        session: &mut Session,
+        inputs: &[Vec<f64>],
+        arrival_secs: Option<f64>,
+    ) -> Vec<BatchItem> {
+        let mut items: Vec<Option<BatchItem>> = (0..inputs.len()).map(|_| None).collect();
+        // (request index, chip) pairs, in request order.
+        let mut admitted: Vec<(usize, usize)> = Vec::with_capacity(inputs.len());
+        for (i, input) in inputs.iter().enumerate() {
+            self.model.estimates_into(input.len(), &mut session.costs);
+            let chip = self.policy.place(&session.costs, &session.state);
+            assert!(chip < self.pool.len(), "policy chose an out-of-range chip");
+            let cost = session.costs[chip];
+            if let Some(arrival) = arrival_secs {
+                if let Some(gate) = session.gate.as_mut() {
+                    if let Decision::Shed {
+                        estimated_wait_secs,
+                    } = gate.offer(chip, cost, arrival)
+                    {
+                        items[i] = Some(BatchItem::Shed {
+                            chip,
+                            estimated_wait_secs,
+                        });
+                        continue;
+                    }
+                }
+            }
+            session.state.commit(chip, cost);
+            admitted.push((i, chip));
+        }
+
+        let chips = self.pool.chips();
+        let run_one = |chip: usize, request: usize| -> BatchItem {
+            let start = Instant::now();
+            let output =
+                catch_unwind(AssertUnwindSafe(|| chips[chip].infer(&inputs[request]))).ok();
+            let latency = start.elapsed();
+            match output {
+                Some(output) => BatchItem::Served(Served {
+                    chip,
+                    latency,
+                    output,
+                }),
+                None => BatchItem::Failed { chip },
+            }
+        };
+
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); chips.len()];
+        for &(request, chip) in &admitted {
+            queues[chip].push(request);
+        }
+        let busy_chips = queues.iter().filter(|q| !q.is_empty()).count();
+        if busy_chips <= 1 || admitted.len() <= 1 {
+            for &(request, chip) in &admitted {
+                items[request] = Some(run_one(chip, request));
+            }
+        } else {
+            let per_chip: Vec<Vec<(usize, BatchItem)>> = std::thread::scope(|scope| {
+                let run_one = &run_one;
+                let handles: Vec<_> = queues
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, queue)| !queue.is_empty())
+                    .map(|(chip, queue)| {
+                        scope.spawn(move || {
+                            queue
+                                .iter()
+                                .map(|&request| (request, run_one(chip, request)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chip worker does not panic"))
+                    .collect()
+            });
+            for worker in per_chip {
+                for (request, item) in worker {
+                    items[request] = Some(item);
+                }
+            }
+        }
+        items
+            .into_iter()
+            .map(|item| item.expect("every request resolved"))
+            .collect()
+    }
 }
 
 /// One gated request's result: served, or shed by admission control.
@@ -422,6 +532,27 @@ pub enum Offer {
         chip: usize,
         /// The estimated queueing delay that tripped the bound, seconds.
         estimated_wait_secs: f64,
+    },
+}
+
+/// One request's result within a [`Engine::serve_session_batch`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchItem {
+    /// Admitted and served.
+    Served(Served),
+    /// Shed by the session's admission gate; nothing was committed.
+    Shed {
+        /// The chip the request would have been placed on.
+        chip: usize,
+        /// The estimated queueing delay that tripped the bound, seconds.
+        estimated_wait_secs: f64,
+    },
+    /// `Chip::infer` panicked; the panic was contained at the chip
+    /// boundary (placement load *was* committed, matching `run_batch`'s
+    /// accounting of failed requests).
+    Failed {
+        /// The chip whose `infer` panicked.
+        chip: usize,
     },
 }
 
@@ -763,6 +894,119 @@ mod tests {
             "rerun changed admitted bits"
         );
         assert_eq!(a.gate_stats.shed, 4);
+    }
+
+    #[test]
+    fn session_batch_matches_serve_one_bits() {
+        // The v2 serving shape must be bit-identical to one-at-a-time
+        // streaming: same chips, same outputs, whatever the per-chip
+        // threading inside the batch.
+        let engine = toy_engine(3).with_policy(SizeAware);
+        let inputs: Vec<Vec<f64>> = (0..23).map(|i| vec![0.5; 1 + (i * 7) % 5]).collect();
+        let mut streamed_session = engine.session();
+        let streamed: Vec<Served> = inputs
+            .iter()
+            .map(|input| engine.serve_one(&mut streamed_session, input))
+            .collect();
+        let mut batched_session = engine.session();
+        let batched = engine.serve_session_batch(&mut batched_session, &inputs, None);
+        assert_eq!(batched.len(), streamed.len());
+        for (b, s) in batched.iter().zip(&streamed) {
+            match b {
+                BatchItem::Served(served) => {
+                    assert_eq!(served.chip, s.chip);
+                    assert_eq!(served.output, s.output);
+                }
+                other => panic!("ungated batch item must serve: {other:?}"),
+            }
+        }
+        assert_eq!(batched_session.served(), streamed_session.served());
+
+        // Splitting the same sequence across several batches continues
+        // the same session fold (latency is wall-clock, so compare the
+        // deterministic fields: chip and output bits).
+        let mut split_session = engine.session();
+        let mut split = engine.serve_session_batch(&mut split_session, &inputs[..7], None);
+        split.extend(engine.serve_session_batch(&mut split_session, &inputs[7..], None));
+        let bits = |items: &[BatchItem]| -> Vec<(usize, Vec<u64>)> {
+            items
+                .iter()
+                .map(|item| match item {
+                    BatchItem::Served(s) => {
+                        (s.chip, s.output.iter().map(|x| x.to_bits()).collect())
+                    }
+                    other => panic!("ungated batch item must serve: {other:?}"),
+                })
+                .collect()
+        };
+        assert_eq!(
+            bits(&split),
+            bits(&batched),
+            "batch boundaries changed placement"
+        );
+    }
+
+    #[test]
+    fn session_batch_respects_the_admission_gate() {
+        // Zero wait tolerance on one chip: with all requests stamped at
+        // arrival 0, only the first is admitted — exactly offer_one's
+        // decision stream.
+        let engine = toy_engine(1).with_admission(AdmissionConfig::new(0.0));
+        let inputs: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        let mut session = engine.session();
+        let items = engine.serve_session_batch(&mut session, &inputs, Some(0.0));
+        assert!(matches!(items[0], BatchItem::Served(_)));
+        for item in &items[1..] {
+            assert!(matches!(item, BatchItem::Shed { chip: 0, .. }), "{item:?}");
+        }
+        assert_eq!(session.served(), 1);
+        assert_eq!(session.gate_stats().expect("gate").shed, 3);
+
+        // Without an arrival stamp the gate is bypassed (v1 ungated
+        // connections reuse the same entry point).
+        let mut ungated = engine.session();
+        let items = engine.serve_session_batch(&mut ungated, &inputs, None);
+        assert!(items.iter().all(|i| matches!(i, BatchItem::Served(_))));
+    }
+
+    #[test]
+    fn session_batch_contains_a_panicking_chip() {
+        struct FlakyChip {
+            broken: bool,
+        }
+        impl Chip for FlakyChip {
+            fn infer(&self, input: &[f64]) -> Vec<f64> {
+                assert!(!self.broken, "injected fault");
+                input.to_vec()
+            }
+        }
+        let pool = ChipPool::from_chips(vec![
+            FlakyChip { broken: false },
+            FlakyChip { broken: true },
+        ]);
+        let engine = Engine::new(pool).with_policy(RoundRobin);
+        let inputs: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64]).collect();
+        let mut session = engine.session();
+        let items = engine.serve_session_batch(&mut session, &inputs, None);
+        // Round-robin alternates chips; every chip-1 request fails, every
+        // chip-0 request still completes.
+        for (i, item) in items.iter().enumerate() {
+            match item {
+                BatchItem::Served(s) => {
+                    assert_eq!(s.chip, 0, "request {i}");
+                    assert_eq!(s.output, inputs[i]);
+                }
+                BatchItem::Failed { chip } => assert_eq!(*chip, 1, "request {i}"),
+                BatchItem::Shed { .. } => panic!("no gate configured"),
+            }
+        }
+        assert_eq!(
+            items
+                .iter()
+                .filter(|i| matches!(i, BatchItem::Failed { .. }))
+                .count(),
+            3
+        );
     }
 
     #[test]

@@ -67,9 +67,9 @@ pub mod stats;
 pub use admission::{AdmissionConfig, AdmittedOutcome, Decision, Gate, GateStats};
 pub use chip::{Chip, ChipPool, DriftProfile, DriftingChip, Placement, ServeOutcome};
 pub use crew::Crew;
-pub use engine::{Engine, Offer, Served, Session};
+pub use engine::{BatchItem, Engine, Offer, Served, Session};
 pub use policy::{
     CostModel, LeastLoaded, PlacementPolicy, PoolState, RoundRobin, SizeAware, QUARANTINE_COST,
 };
 pub use pool::{resolve_threads, ThreadPool};
-pub use stats::{percentile, ChipStats, ServeStats};
+pub use stats::{json_escape, json_num, percentile, ChipStats, ServeStats};

@@ -1,10 +1,21 @@
-//! Hermetic TCP front-end: a line-oriented wire protocol over `std::net`
-//! exposing one or more serving [`Engine`]s to clients outside the
-//! process. No HTTP crate, no async runtime — a blocking prefork accept
-//! loop, `BufReader`/`BufWriter`, and a grammar small enough to drive
-//! with `nc`.
+//! Hermetic TCP front-end: two wire protocols over `std::net` exposing
+//! one or more serving [`Engine`]s to clients outside the process. No
+//! HTTP crate, no async runtime, no `libc`.
 //!
-//! ## Wire protocol
+//! The module tree:
+//!
+//! * `net` (this file) — the shared text-protocol pieces: CSV codec,
+//!   [`Response`], [`NetWorkload`], request parsing/serving.
+//! * [`frame`] — the v2 binary frame codec: length-prefixed batch
+//!   request/response/error frames and their incremental decoder.
+//! * [`conn`] — the sans-IO per-connection state machine: version
+//!   negotiation, v1 line framing and v2 frame decoding over a byte
+//!   buffer, with no sockets (unit-testable in memory).
+//! * [`server`] — the blocking prefork [`Server`]/[`Client`] (v1 only)
+//!   and the event-driven [`EventServer`]/[`ClientV2`] (v2 with v1
+//!   fallback).
+//!
+//! ## Wire protocol v1 (text)
 //!
 //! One request per line, one response line per request, in order:
 //!
@@ -30,48 +41,73 @@
 //! (the stream can no longer be framed); a client disconnect mid-stream
 //! closes the handler without disturbing sibling connections.
 //!
+//! ## Wire protocol v2 (binary, pipelined)
+//!
+//! Negotiated on the first line: a client whose first bytes are `v2 LF`
+//! is answered `"ok v2" SP name *("," name) LF` (the registered workload
+//! names; a workload's id is its index in that list) and the connection
+//! switches to length-prefixed binary frames. Any other first line is
+//! served as a v1 request and the connection stays v1 — old clients
+//! never notice. All integers are little-endian; see [`frame`] for the
+//! full grammar:
+//!
+//! ```text
+//! frame    = len:u32 kind:u8 body          ; len = 1 + len(body)
+//! request  = workload:u16 count:u32 count*dim × f64   ; kind 0x01
+//! response = workload:u16 count:u32 count × record    ; kind 0x02
+//! record   = 0x00 chip:u32 latency-us:u32 out-len:u32 out-len × f64
+//!          | 0x01                          ; shed by admission control
+//!          | 0x02 msg-len:u32 msg-len × utf8
+//! error    = utf8 message                  ; kind 0x03, whole-frame error
+//! ```
+//!
+//! One request frame carries a whole *batch* for one workload; the
+//! payload is the concatenated input vectors (`dim` implied by the
+//! workload), and the matching response frame answers every request in
+//! order. A pipelining client keeps several frames in flight and a
+//! single connection saturates the whole chip pool
+//! ([`Engine::serve_session_batch`] fans the batch out per chip).
+//! Malformed frame *bodies* get an in-band error frame and the
+//! connection keeps serving; an oversized frame length gets an error
+//! frame and a close (the stream can no longer be framed) — sibling
+//! connections are never disturbed.
+//!
 //! ## Admission control
 //!
 //! When any served engine has admission enabled
-//! ([`Engine::with_admission`]), connections run a **gated** handler: a
-//! reader thread stamps each request's arrival the moment its line is
-//! read off the socket and hands `(line, arrival)` through a bounded
-//! queue to the serving thread, which offers the request to the
-//! session's virtual-time [`Gate`](crate::Gate) before running it. A
-//! shed request gets the fixed in-band line `err overloaded` — the exact
-//! bytes carry no measurement, so responses stay deterministic — and the
-//! connection keeps serving. Pipelined clients that outrun the engine
-//! build real arrival backlog and see sheds; request/response clients
-//! never do.
+//! ([`Engine::with_admission`]), connections gate requests: each
+//! request's arrival is stamped the moment its line (v1) or frame (v2)
+//! is decoded off the socket, and the session's virtual-time
+//! [`Gate`](crate::Gate) is offered the request before it runs. A shed
+//! request gets the fixed in-band line `err overloaded` (v1) or a shed
+//! record (v2) — the exact bytes carry no measurement, so responses stay
+//! deterministic — and the connection keeps serving. Pipelined clients
+//! that outrun the engine build real arrival backlog and see sheds;
+//! request/response clients never do.
 //!
 //! ## Determinism
 //!
 //! Each connection gets its own placement [`Session`] per workload, so
 //! the chip sequence a client observes is a pure function of *its own*
-//! request sequence — independent of server thread count and of any
-//! other connection. That is what makes loopback serving byte-identical
-//! (modulo the latency field) to feeding the same sequence through
-//! [`Engine::serve_one`] in process, asserted in `tests/serving_engine.rs`.
+//! request sequence — independent of server thread count, worker pool
+//! size, protocol version and of any other connection. That is what
+//! makes loopback serving byte-identical (modulo the latency field) to
+//! feeding the same sequence through [`Engine::serve_one`] in process,
+//! asserted in `tests/serving_engine.rs`.
 
-use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::Instant;
+pub mod conn;
+pub mod frame;
+pub mod server;
+
+pub use server::{Client, ClientV2, EventServer, EventServerConfig, Server, ServerConfig};
+
+use std::io::{BufRead, BufReader, Read};
 
 use crate::chip::Chip;
 use crate::engine::{Engine, Offer, Session};
 
 /// Upper bound on a request line, including the newline.
 pub const DEFAULT_MAX_LINE_BYTES: usize = 64 * 1024;
-
-/// Depth of the gated handler's reader → server queue. Bounds how far a
-/// pipelining client can run ahead of arrival stamping; past this the
-/// reader thread blocks on the queue (TCP backpressure), which only
-/// *delays* stamps — admission decisions remain a pure function of the
-/// stamped sequence.
-const ADMITTED_QUEUE_DEPTH: usize = 1024;
 
 /// Render values as the protocol's CSV: shortest round-trip `Display`
 /// per element, comma-separated. Injective on bit patterns (NaN payloads
@@ -217,231 +253,6 @@ impl NetWorkload {
     }
 }
 
-/// Server tuning knobs.
-#[derive(Debug, Clone)]
-pub struct ServerConfig {
-    /// Accept-loop threads; each handles one connection at a time, so
-    /// this is also the concurrent-connection capacity.
-    pub threads: usize,
-    /// Hard cap on a request line; longer lines are rejected and the
-    /// connection closed (the stream can no longer be framed).
-    pub max_line_bytes: usize,
-}
-
-impl Default for ServerConfig {
-    fn default() -> Self {
-        Self {
-            threads: 2,
-            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
-        }
-    }
-}
-
-/// A running server: `threads` prefork acceptors sharing one listener.
-/// Dropping the handle leaks the threads — call [`Server::shutdown`].
-pub struct Server {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    // One slot per acceptor: the live connection it is handling, if any.
-    // The slot is cleared when the handler returns — a lingering clone
-    // would hold the socket open past the handler's close (the peer
-    // would never see EOF) and leak one fd per served connection.
-    conns: Arc<Mutex<Vec<Option<TcpStream>>>>,
-    acceptors: Vec<JoinHandle<()>>,
-}
-
-impl Server {
-    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
-    /// `workloads`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates socket errors from bind/clone.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workloads` is empty or `config.threads` is zero.
-    pub fn bind<A: ToSocketAddrs>(
-        addr: A,
-        workloads: Vec<NetWorkload>,
-        config: ServerConfig,
-    ) -> io::Result<Self> {
-        assert!(!workloads.is_empty(), "a server needs a workload");
-        assert!(config.threads > 0, "a server needs an acceptor thread");
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<Option<TcpStream>>>> =
-            Arc::new(Mutex::new((0..config.threads).map(|_| None).collect()));
-        let gated = workloads.iter().any(|w| w.engine.admission().is_some());
-        let workloads = Arc::new(workloads);
-        let acceptors = (0..config.threads)
-            .map(|slot| {
-                let listener = listener.try_clone()?;
-                let stop = Arc::clone(&stop);
-                let conns = Arc::clone(&conns);
-                let workloads = Arc::clone(&workloads);
-                let max_line = config.max_line_bytes;
-                Ok(std::thread::spawn(move || loop {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            if stop.load(Ordering::SeqCst) {
-                                break;
-                            }
-                            if let Ok(clone) = stream.try_clone() {
-                                conns.lock().expect("conn registry")[slot] = Some(clone);
-                            }
-                            let _ = stream.set_nodelay(true);
-                            if gated {
-                                handle_connection_admitted(stream, &workloads, max_line);
-                            } else {
-                                handle_connection(stream, &workloads, max_line);
-                            }
-                            // Drop the registry clone with the handler:
-                            // the fd must close with the connection so
-                            // the peer sees EOF.
-                            conns.lock().expect("conn registry")[slot] = None;
-                        }
-                        Err(_) => {
-                            if stop.load(Ordering::SeqCst) {
-                                break;
-                            }
-                        }
-                    }
-                }))
-            })
-            .collect::<io::Result<Vec<_>>>()?;
-        Ok(Self {
-            addr,
-            stop,
-            conns,
-            acceptors,
-        })
-    }
-
-    /// The bound address (with the resolved ephemeral port).
-    #[must_use]
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Graceful shutdown: stop accepting, close every live connection so
-    /// blocked reads return, wake each acceptor, and join them all.
-    pub fn shutdown(self) {
-        self.stop.store(true, Ordering::SeqCst);
-        for conn in self.conns.lock().expect("conn registry").iter().flatten() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        for _ in &self.acceptors {
-            // A throwaway connect unblocks one accept(); the acceptor
-            // sees the stop flag and exits before handling it.
-            let _ = TcpStream::connect(self.addr);
-        }
-        for handle in self.acceptors {
-            let _ = handle.join();
-        }
-    }
-}
-
-/// Serve one connection to completion: one placement session per
-/// workload, one response line per request line, errors reported
-/// in-band. Returns when the client disconnects, a write fails, or a
-/// line exceeds the cap.
-fn handle_connection(stream: TcpStream, workloads: &[NetWorkload], max_line: usize) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    let mut sessions: Vec<Session> = workloads.iter().map(|w| w.engine.session()).collect();
-    loop {
-        let line = match read_line_bounded(&mut reader, max_line) {
-            Ok(Some(line)) => line,
-            Ok(None) => return, // clean client disconnect
-            Err(ReadLineError::TooLong) => {
-                let _ = writeln!(
-                    writer,
-                    "{}",
-                    Response::Error(format!("request line exceeds {max_line} bytes")).format()
-                );
-                let _ = writer.flush();
-                return;
-            }
-            Err(ReadLineError::Io) => return,
-        };
-        let response = serve_line(&line, workloads, &mut sessions);
-        if writeln!(writer, "{}", response.format()).is_err() || writer.flush().is_err() {
-            return; // client went away mid-response
-        }
-    }
-}
-
-/// Serve one connection through admission control: a reader thread
-/// stamps each request line's arrival at socket-read time and feeds a
-/// bounded queue; this thread gates and serves. A shed request answers
-/// the fixed line `err overloaded` and the connection keeps going.
-fn handle_connection_admitted(stream: TcpStream, workloads: &[NetWorkload], max_line: usize) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = BufWriter::new(stream);
-    let mut sessions: Vec<Session> = workloads.iter().map(|w| w.engine.session()).collect();
-    let epoch = Instant::now();
-    std::thread::scope(|scope| {
-        let (tx, rx) =
-            mpsc::sync_channel::<Result<(String, f64), ReadLineError>>(ADMITTED_QUEUE_DEPTH);
-        scope.spawn(move || {
-            let mut reader = BufReader::new(read_half);
-            loop {
-                match read_line_bounded(&mut reader, max_line) {
-                    Ok(Some(line)) => {
-                        // The stamp happens here — when the bytes left
-                        // the socket — so a pipelining client that
-                        // outruns service accumulates real arrival
-                        // backlog for the gate to see.
-                        let arrival = epoch.elapsed().as_secs_f64();
-                        if tx.send(Ok((line, arrival))).is_err() {
-                            return; // serving side gave up
-                        }
-                    }
-                    Ok(None) => return, // clean client disconnect
-                    Err(error) => {
-                        let _ = tx.send(Err(error));
-                        return;
-                    }
-                }
-            }
-        });
-        for message in rx {
-            match message {
-                Ok((line, arrival)) => {
-                    let response = serve_line_admitted(&line, arrival, workloads, &mut sessions);
-                    if writeln!(writer, "{}", response.format()).is_err() || writer.flush().is_err()
-                    {
-                        break; // client went away mid-response
-                    }
-                }
-                Err(ReadLineError::TooLong) => {
-                    let _ = writeln!(
-                        writer,
-                        "{}",
-                        Response::Error(format!("request line exceeds {max_line} bytes")).format()
-                    );
-                    let _ = writer.flush();
-                    break;
-                }
-                Err(ReadLineError::Io) => break,
-            }
-        }
-        // Unblock the reader (it may be parked in a socket read) so the
-        // scope can join it; dropping rx already unblocks a parked send.
-        let _ = writer.get_ref().shutdown(Shutdown::Both);
-    });
-}
-
 /// [`serve_line`] behind the session's admission gate: the request is
 /// offered with its arrival stamp, and a shed answers the fixed
 /// `err overloaded` line (no interpolated measurement — response bytes
@@ -543,80 +354,6 @@ fn read_line_bounded<R: Read>(
         if acc.len() > max {
             return Err(ReadLineError::TooLong);
         }
-    }
-}
-
-/// A blocking protocol client over one connection. Supports strict
-/// request/response ([`Client::request`]) and pipelining
-/// ([`Client::send`] several lines, then [`Client::recv`] in order).
-pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-}
-
-impl Client {
-    /// Connect to a server.
-    ///
-    /// # Errors
-    ///
-    /// Propagates socket errors.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Self {
-            reader,
-            writer: BufWriter::new(stream),
-        })
-    }
-
-    /// Send one request line (flushes).
-    ///
-    /// # Errors
-    ///
-    /// Propagates socket errors.
-    pub fn send(&mut self, workload: &str, input: &[f64]) -> io::Result<()> {
-        writeln!(self.writer, "{workload} {}", format_csv(input))?;
-        self.writer.flush()
-    }
-
-    /// Send a raw line verbatim (for protocol tests — malformed lines,
-    /// oversized payloads).
-    ///
-    /// # Errors
-    ///
-    /// Propagates socket errors.
-    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
-        writeln!(self.writer, "{line}")?;
-        self.writer.flush()
-    }
-
-    /// Read one response line.
-    ///
-    /// # Errors
-    ///
-    /// `UnexpectedEof` when the server closed the connection;
-    /// `InvalidData` when the line matches neither response form.
-    pub fn recv(&mut self) -> io::Result<Response> {
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        Response::parse(line.trim_end_matches(['\r', '\n']))
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
-    }
-
-    /// One round trip: [`Client::send`] then [`Client::recv`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates socket errors (see [`Client::recv`]).
-    pub fn request(&mut self, workload: &str, input: &[f64]) -> io::Result<Response> {
-        self.send(workload, input)?;
-        self.recv()
     }
 }
 

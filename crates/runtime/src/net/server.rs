@@ -1,0 +1,1037 @@
+//! The two server shapes and their clients.
+//!
+//! * [`Server`]/[`Client`] — the original blocking prefork pair: one
+//!   acceptor thread per concurrent connection, v1 text only. Kept as
+//!   the portable fallback and the reference implementation the
+//!   event-driven path is tested against.
+//! * [`EventServer`]/[`ClientV2`] — the event-driven connection layer:
+//!   nonblocking sockets driven by one readiness-scan thread plus a
+//!   fixed worker pool, so thousands of idle connections cost one
+//!   thread, not one each. Speaks v2 binary frames with transparent v1
+//!   text fallback per connection.
+//!
+//! ## The readiness loop
+//!
+//! ```text
+//!            ┌────────────────────────────── event thread ───┐
+//!            │ accept → slab of connections                  │
+//! sockets ──▶│ read (nonblocking) → ConnMachine → events     │
+//!            │ stamp arrivals at decode, queue jobs          │──▶ work queue
+//!            │ collect results → per-conn write buffers      │◀── done queue
+//!            │ flush (nonblocking)                           │
+//!            └───────────────────────────────────────────────┘
+//!                                  workers (fixed pool) ──▶ Engine
+//! ```
+//!
+//! The scan is a level-triggered readiness loop over nonblocking
+//! sockets in plain `std` — the workspace forbids `unsafe` (and thus
+//! `epoll(7)` FFI), so readiness is discovered by trying the socket and
+//! backing off briefly when nothing progresses. This loop is the seam
+//! where an epoll/kqueue backend would slot in: everything above it
+//! (the [`ConnMachine`], job serialization, the worker pool) is
+//! readiness-agnostic.
+//!
+//! ## Determinism
+//!
+//! Each connection's requests are serialized: one job (a v1 line or a
+//! whole v2 batch) is in flight at a time, carrying the connection's
+//! placement [`Session`]s out to a worker and back. Responses therefore
+//! come back in request order and the chip sequence is a pure function
+//! of the connection's own request sequence — independent of the worker
+//! count, asserted in `tests/serving_engine.rs`.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use super::conn::{ConnEvent, ConnMachine, ConnMode};
+use super::frame::{self, Frame, ItemResponse, RequestFrame, ResponseFrame};
+use super::{
+    format_csv, read_line_bounded, serve_line, serve_line_admitted, NetWorkload, ReadLineError,
+    Response, DEFAULT_MAX_LINE_BYTES,
+};
+use crate::engine::{BatchItem, Session};
+
+/// Depth of the gated handler's reader → server queue. Bounds how far a
+/// pipelining client can run ahead of arrival stamping; past this the
+/// reader thread blocks on the queue (TCP backpressure), which only
+/// *delays* stamps — admission decisions remain a pure function of the
+/// stamped sequence.
+const ADMITTED_QUEUE_DEPTH: usize = 1024;
+
+/// Per-connection cap on decoded-but-unserved jobs in the event server;
+/// past this the loop stops reading that socket (TCP backpressure),
+/// mirroring [`ADMITTED_QUEUE_DEPTH`] on the prefork path.
+const EVENT_PENDING_CAP: usize = 1024;
+
+/// How long the event loop sleeps when one full scan makes no progress.
+const EVENT_IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Accept-loop threads; each handles one connection at a time, so
+    /// this is also the concurrent-connection capacity.
+    pub threads: usize,
+    /// Hard cap on a request line; longer lines are rejected and the
+    /// connection closed (the stream can no longer be framed).
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            threads: 2,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// A running server: `threads` prefork acceptors sharing one listener.
+/// Dropping the handle leaks the threads — call [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    // One slot per acceptor: the live connection it is handling, if any.
+    // The slot is cleared when the handler returns — a lingering clone
+    // would hold the socket open past the handler's close (the peer
+    // would never see EOF) and leak one fd per served connection.
+    conns: Arc<Mutex<Vec<Option<TcpStream>>>>,
+    acceptors: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `workloads`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind/clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads` is empty or `config.threads` is zero.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        workloads: Vec<NetWorkload>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        assert!(!workloads.is_empty(), "a server needs a workload");
+        assert!(config.threads > 0, "a server needs an acceptor thread");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<Option<TcpStream>>>> =
+            Arc::new(Mutex::new((0..config.threads).map(|_| None).collect()));
+        let gated = workloads.iter().any(|w| w.engine().admission().is_some());
+        let workloads = Arc::new(workloads);
+        let acceptors = (0..config.threads)
+            .map(|slot| {
+                let listener = listener.try_clone()?;
+                let stop = Arc::clone(&stop);
+                let conns = Arc::clone(&conns);
+                let workloads = Arc::clone(&workloads);
+                let max_line = config.max_line_bytes;
+                Ok(std::thread::spawn(move || loop {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            if let Ok(clone) = stream.try_clone() {
+                                conns.lock().expect("conn registry")[slot] = Some(clone);
+                            }
+                            let _ = stream.set_nodelay(true);
+                            if gated {
+                                handle_connection_admitted(stream, &workloads, max_line);
+                            } else {
+                                handle_connection(stream, &workloads, max_line);
+                            }
+                            // Drop the registry clone with the handler:
+                            // the fd must close with the connection so
+                            // the peer sees EOF.
+                            conns.lock().expect("conn registry")[slot] = None;
+                        }
+                        Err(_) => {
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                    }
+                }))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Self {
+            addr,
+            stop,
+            conns,
+            acceptors,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, close every live connection so
+    /// blocked reads return, wake each acceptor, and join them all.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for conn in self.conns.lock().expect("conn registry").iter().flatten() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for _ in &self.acceptors {
+            // A throwaway connect unblocks one accept(); the acceptor
+            // sees the stop flag and exits before handling it.
+            let _ = TcpStream::connect(self.addr);
+        }
+        for handle in self.acceptors {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Serve one connection to completion: one placement session per
+/// workload, one response line per request line, errors reported
+/// in-band. Returns when the client disconnects, a write fails, or a
+/// line exceeds the cap.
+fn handle_connection(stream: TcpStream, workloads: &[NetWorkload], max_line: usize) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut sessions: Vec<Session> = workloads.iter().map(|w| w.engine().session()).collect();
+    loop {
+        let line = match read_line_bounded(&mut reader, max_line) {
+            Ok(Some(line)) => line,
+            Ok(None) => return, // clean client disconnect
+            Err(ReadLineError::TooLong) => {
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    Response::Error(format!("request line exceeds {max_line} bytes")).format()
+                );
+                let _ = writer.flush();
+                return;
+            }
+            Err(ReadLineError::Io) => return,
+        };
+        let response = serve_line(&line, workloads, &mut sessions);
+        if writeln!(writer, "{}", response.format()).is_err() || writer.flush().is_err() {
+            return; // client went away mid-response
+        }
+    }
+}
+
+/// Serve one connection through admission control: a reader thread
+/// stamps each request line's arrival at socket-read time and feeds a
+/// bounded queue; this thread gates and serves. A shed request answers
+/// the fixed line `err overloaded` and the connection keeps going.
+fn handle_connection_admitted(stream: TcpStream, workloads: &[NetWorkload], max_line: usize) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = BufWriter::new(stream);
+    let mut sessions: Vec<Session> = workloads.iter().map(|w| w.engine().session()).collect();
+    let epoch = Instant::now();
+    std::thread::scope(|scope| {
+        let (tx, rx) =
+            mpsc::sync_channel::<Result<(String, f64), ReadLineError>>(ADMITTED_QUEUE_DEPTH);
+        scope.spawn(move || {
+            let mut reader = BufReader::new(read_half);
+            loop {
+                match read_line_bounded(&mut reader, max_line) {
+                    Ok(Some(line)) => {
+                        // The stamp happens here — when the bytes left
+                        // the socket — so a pipelining client that
+                        // outruns service accumulates real arrival
+                        // backlog for the gate to see.
+                        let arrival = epoch.elapsed().as_secs_f64();
+                        if tx.send(Ok((line, arrival))).is_err() {
+                            return; // serving side gave up
+                        }
+                    }
+                    Ok(None) => return, // clean client disconnect
+                    Err(error) => {
+                        let _ = tx.send(Err(error));
+                        return;
+                    }
+                }
+            }
+        });
+        for message in rx {
+            match message {
+                Ok((line, arrival)) => {
+                    let response = serve_line_admitted(&line, arrival, workloads, &mut sessions);
+                    if writeln!(writer, "{}", response.format()).is_err() || writer.flush().is_err()
+                    {
+                        break; // client went away mid-response
+                    }
+                }
+                Err(ReadLineError::TooLong) => {
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        Response::Error(format!("request line exceeds {max_line} bytes")).format()
+                    );
+                    let _ = writer.flush();
+                    break;
+                }
+                Err(ReadLineError::Io) => break,
+            }
+        }
+        // Unblock the reader (it may be parked in a socket read) so the
+        // scope can join it; dropping rx already unblocks a parked send.
+        let _ = writer.get_ref().shutdown(Shutdown::Both);
+    });
+}
+
+/// Event server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EventServerConfig {
+    /// Worker threads serving decoded jobs. The connection count is
+    /// unbounded by threads — idle connections cost a slab slot, not a
+    /// thread.
+    pub workers: usize,
+    /// Hard cap on one v2 frame; longer frames get an error frame and a
+    /// close (the stream can no longer be framed).
+    pub max_frame_bytes: usize,
+    /// Hard cap on a v1 request line, as in [`ServerConfig`].
+    pub max_line_bytes: usize,
+}
+
+impl Default for EventServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_frame_bytes: frame::DEFAULT_MAX_FRAME_BYTES,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// A decoded unit of work for one connection, processed in order.
+enum JobKind {
+    /// Bytes to echo to the connection verbatim (negotiation replies,
+    /// in-band protocol errors) — routed through the queue so they stay
+    /// ordered with real responses.
+    Reply(Vec<u8>),
+    /// One v1 request line with its arrival stamp.
+    V1Line { line: String, arrival: f64 },
+    /// One v2 request batch with its arrival stamp.
+    V2Batch { frame: RequestFrame, arrival: f64 },
+}
+
+/// A job travelling to a worker: the connection's sessions ride along
+/// (the connection is blocked on this job anyway), which is what
+/// serializes each connection and keeps its placement deterministic.
+struct Job {
+    slot: usize,
+    generation: u64,
+    sessions: Vec<Session>,
+    kind: JobKind,
+}
+
+/// A finished job travelling back to the event loop.
+struct Done {
+    slot: usize,
+    generation: u64,
+    sessions: Vec<Session>,
+    bytes: Vec<u8>,
+}
+
+/// One connection's state in the event loop's slab.
+struct EventConn {
+    stream: TcpStream,
+    generation: u64,
+    machine: ConnMachine,
+    /// `None` while a job is in flight (the worker holds them).
+    sessions: Option<Vec<Session>>,
+    pending: VecDeque<JobKind>,
+    out: Vec<u8>,
+    /// Close once the out buffer flushes and nothing is pending.
+    closing: bool,
+    /// Peer sent EOF; close once pending work drains.
+    eof: bool,
+}
+
+impl EventConn {
+    fn job_in_flight(&self) -> bool {
+        self.sessions.is_none()
+    }
+
+    fn drained(&self) -> bool {
+        self.out.is_empty() && self.pending.is_empty() && !self.job_in_flight()
+    }
+}
+
+/// The event-driven server: one readiness-scan thread over nonblocking
+/// sockets plus a fixed worker pool. Speaks wire protocol v2 with
+/// transparent per-connection v1 fallback. Dropping the handle leaks
+/// the threads — call [`EventServer::shutdown`].
+pub struct EventServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    event_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EventServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `workloads`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads` is empty, `config.workers` is zero, more
+    /// than `u16::MAX` workloads are registered (v2 ids are u16), or a
+    /// workload name contains a comma (the negotiation line is
+    /// comma-separated).
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        workloads: Vec<NetWorkload>,
+        config: EventServerConfig,
+    ) -> io::Result<Self> {
+        assert!(!workloads.is_empty(), "a server needs a workload");
+        assert!(config.workers > 0, "a server needs a worker thread");
+        assert!(
+            workloads.len() <= usize::from(u16::MAX),
+            "v2 workload ids are u16"
+        );
+        assert!(
+            workloads.iter().all(|w| !w.name().contains(',')),
+            "workload names must not contain commas (negotiation list)"
+        );
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let gated = workloads.iter().any(|w| w.engine().admission().is_some());
+        let workloads = Arc::new(workloads);
+
+        let (work_tx, work_rx) = mpsc::channel::<Job>();
+        let (done_tx, done_rx) = mpsc::channel::<Done>();
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let workers = (0..config.workers)
+            .map(|_| {
+                let work_rx = Arc::clone(&work_rx);
+                let done_tx = done_tx.clone();
+                let workloads = Arc::clone(&workloads);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let guard = work_rx.lock().expect("work queue");
+                        guard.recv()
+                    };
+                    let Ok(mut job) = job else {
+                        return; // sender dropped: server shut down
+                    };
+                    let bytes = run_job(&job.kind, gated, &workloads, &mut job.sessions);
+                    let done = Done {
+                        slot: job.slot,
+                        generation: job.generation,
+                        sessions: job.sessions,
+                        bytes,
+                    };
+                    if done_tx.send(done).is_err() {
+                        return; // event loop gone
+                    }
+                })
+            })
+            .collect();
+        drop(done_tx);
+
+        let event_stop = Arc::clone(&stop);
+        let event_workloads = Arc::clone(&workloads);
+        let event_thread = std::thread::spawn(move || {
+            event_loop(
+                &listener,
+                &event_workloads,
+                &config,
+                &event_stop,
+                &work_tx,
+                &done_rx,
+            );
+        });
+
+        Ok(Self {
+            addr,
+            stop,
+            event_thread: Some(event_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop the event loop (closing the listener and
+    /// every connection), let the work queue drain, and join all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.event_thread.take() {
+            let _ = handle.join();
+        }
+        // The event thread owned the work sender; workers see the
+        // channel close and exit.
+        for handle in self.workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Execute one job against the connection's sessions.
+fn run_job(
+    kind: &JobKind,
+    gated: bool,
+    workloads: &[NetWorkload],
+    sessions: &mut [Session],
+) -> Vec<u8> {
+    match kind {
+        JobKind::Reply(bytes) => bytes.clone(),
+        JobKind::V1Line { line, arrival } => {
+            let response = if gated {
+                serve_line_admitted(line, *arrival, workloads, sessions)
+            } else {
+                serve_line(line, workloads, sessions)
+            };
+            let mut bytes = response.format().into_bytes();
+            bytes.push(b'\n');
+            bytes
+        }
+        JobKind::V2Batch { frame, arrival } => {
+            serve_frame(frame, *arrival, workloads, sessions).encode()
+        }
+    }
+}
+
+/// Serve one v2 request batch: workload lookup, arity check, then
+/// [`Engine::serve_session_batch`](crate::Engine::serve_session_batch)
+/// over the whole batch. The arrival stamp (taken at frame decode)
+/// rides into the session's admission gate when one is configured.
+fn serve_frame(
+    request: &RequestFrame,
+    arrival: f64,
+    workloads: &[NetWorkload],
+    sessions: &mut [Session],
+) -> Frame {
+    let index = usize::from(request.workload);
+    let Some(workload) = workloads.get(index) else {
+        return Frame::Error(format!("unknown workload id {}", request.workload));
+    };
+    let dim = request.dim().expect("decoder guarantees divisibility");
+    if dim != workload.input_dim() {
+        let message = format!(
+            "wrong arity: workload '{}' expects {} inputs, got {dim}",
+            workload.name(),
+            workload.input_dim()
+        );
+        return Frame::Response(ResponseFrame {
+            workload: request.workload,
+            items: vec![ItemResponse::Err(message); request.count as usize],
+        });
+    }
+    let inputs = request.inputs();
+    let items = workload
+        .engine()
+        .serve_session_batch(&mut sessions[index], &inputs, Some(arrival));
+    let items = items
+        .into_iter()
+        .map(|item| match item {
+            BatchItem::Served(served) => ItemResponse::Ok {
+                chip: u32::try_from(served.chip).unwrap_or(u32::MAX),
+                latency_us: u32::try_from(served.latency.as_micros()).unwrap_or(u32::MAX),
+                output: served.output,
+            },
+            BatchItem::Shed { .. } => ItemResponse::Shed,
+            BatchItem::Failed { chip } => ItemResponse::Err(format!("chip {chip} failed")),
+        })
+        .collect();
+    Frame::Response(ResponseFrame {
+        workload: request.workload,
+        items,
+    })
+}
+
+/// The readiness-scan loop: accept, read, decode, dispatch, collect,
+/// flush — then sleep briefly if the whole scan made no progress.
+fn event_loop(
+    listener: &TcpListener,
+    workloads: &[NetWorkload],
+    config: &EventServerConfig,
+    stop: &AtomicBool,
+    work_tx: &mpsc::Sender<Job>,
+    done_rx: &mpsc::Receiver<Done>,
+) {
+    let negotiation_reply = {
+        let names: Vec<&str> = workloads.iter().map(NetWorkload::name).collect();
+        format!("ok v2 {}\n", names.join(",")).into_bytes()
+    };
+    let mut slab: Vec<Option<EventConn>> = Vec::new();
+    let mut next_generation: u64 = 0;
+    let epoch = Instant::now();
+
+    while !stop.load(Ordering::SeqCst) {
+        let mut progress = false;
+
+        // Accept every pending connection.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    next_generation += 1;
+                    let conn = EventConn {
+                        stream,
+                        generation: next_generation,
+                        machine: ConnMachine::new(config.max_line_bytes, config.max_frame_bytes),
+                        sessions: Some(workloads.iter().map(|w| w.engine().session()).collect()),
+                        pending: VecDeque::new(),
+                        out: Vec::new(),
+                        closing: false,
+                        eof: false,
+                    };
+                    let slot = slab.iter().position(Option::is_none);
+                    match slot {
+                        Some(slot) => slab[slot] = Some(conn),
+                        None => slab.push(Some(conn)),
+                    }
+                    progress = true;
+                }
+                Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // Collect finished jobs: restore sessions, queue the response
+        // bytes, dispatch the next pending job.
+        while let Ok(done) = done_rx.try_recv() {
+            progress = true;
+            if let Some(conn) = slab.get_mut(done.slot).and_then(Option::as_mut) {
+                if conn.generation == done.generation {
+                    conn.sessions = Some(done.sessions);
+                    conn.out.extend_from_slice(&done.bytes);
+                }
+                // A stale generation means the slot was reused; the old
+                // connection (and its sessions) are gone.
+            }
+        }
+
+        // Read every connection that has room for more work, then decode
+        // whatever is buffered. Decode is deliberately NOT tied to a
+        // successful read: a burst may leave complete frames in the
+        // machine after the pending cap interrupts decoding, and they
+        // must still come out on later scans even if the socket stays
+        // quiet.
+        let mut read_buf = [0u8; 8192];
+        for conn in slab.iter_mut().flatten() {
+            if !(conn.closing || conn.eof || conn.pending.len() >= EVENT_PENDING_CAP) {
+                loop {
+                    match conn.stream.read(&mut read_buf) {
+                        Ok(0) => {
+                            conn.eof = true;
+                            progress = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            progress = true;
+                            conn.machine.feed(&read_buf[..n]);
+                        }
+                        Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(ref e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            conn.eof = true;
+                            progress = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            while !conn.closing && conn.pending.len() < EVENT_PENDING_CAP {
+                // Arrival is stamped here — at decode, when the frame
+                // (or line) is framed off the connection's buffer.
+                let arrival = epoch.elapsed().as_secs_f64();
+                let Some(event) = conn.machine.poll() else {
+                    break;
+                };
+                progress = true;
+                match event {
+                    ConnEvent::NegotiatedV2 => conn
+                        .pending
+                        .push_back(JobKind::Reply(negotiation_reply.clone())),
+                    ConnEvent::Line(line) => {
+                        conn.pending.push_back(JobKind::V1Line { line, arrival });
+                    }
+                    ConnEvent::Request(request) => {
+                        conn.pending.push_back(JobKind::V2Batch {
+                            frame: request,
+                            arrival,
+                        });
+                    }
+                    ConnEvent::Corrupt(message) => {
+                        let reply = match conn.machine.mode() {
+                            ConnMode::BinaryV2 => Frame::Error(message).encode(),
+                            _ => {
+                                let mut bytes = Response::Error(message).format().into_bytes();
+                                bytes.push(b'\n');
+                                bytes
+                            }
+                        };
+                        conn.pending.push_back(JobKind::Reply(reply));
+                    }
+                    ConnEvent::TooLong => {
+                        let mut bytes = Response::Error(format!(
+                            "request line exceeds {} bytes",
+                            config.max_line_bytes
+                        ))
+                        .format()
+                        .into_bytes();
+                        bytes.push(b'\n');
+                        conn.pending.push_back(JobKind::Reply(bytes));
+                        conn.closing = true;
+                    }
+                    ConnEvent::Fatal(message) => {
+                        conn.pending
+                            .push_back(JobKind::Reply(Frame::Error(message).encode()));
+                        conn.closing = true;
+                    }
+                }
+            }
+        }
+
+        // Dispatch: one job in flight per connection, in order.
+        for (slot, entry) in slab.iter_mut().enumerate() {
+            let Some(conn) = entry.as_mut() else {
+                continue;
+            };
+            if conn.sessions.is_some() && !conn.pending.is_empty() {
+                let kind = conn.pending.pop_front().expect("non-empty");
+                let sessions = conn.sessions.take().expect("checked above");
+                let job = Job {
+                    slot,
+                    generation: conn.generation,
+                    sessions,
+                    kind,
+                };
+                if work_tx.send(job).is_err() {
+                    return; // workers gone: shutting down
+                }
+                progress = true;
+            }
+        }
+
+        // Flush write buffers; drop connections that are finished.
+        for entry in &mut slab {
+            let Some(conn) = entry.as_mut() else {
+                continue;
+            };
+            while !conn.out.is_empty() {
+                match conn.stream.write(&conn.out) {
+                    Ok(0) => {
+                        // Undeliverable: drop the buffer so the slot can
+                        // still drain and free.
+                        conn.out.clear();
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.out.drain(..n);
+                        progress = true;
+                    }
+                    Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.out.clear();
+                        conn.eof = true;
+                        break;
+                    }
+                }
+            }
+            // EOF only stops reads; responses already owed (pending or
+            // in flight) still go out before the slot frees.
+            let finished = (conn.closing || conn.eof) && conn.drained();
+            if finished {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                *entry = None;
+                progress = true;
+            }
+        }
+
+        if !progress {
+            std::thread::sleep(EVENT_IDLE_SLEEP);
+        }
+    }
+
+    // Shutdown: close every connection so peers see EOF promptly.
+    for conn in slab.iter().flatten() {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// A blocking protocol client over one connection. Supports strict
+/// request/response ([`Client::request`]) and pipelining
+/// ([`Client::send`] several lines, then [`Client::recv`] in order).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one request line (flushes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send(&mut self, workload: &str, input: &[f64]) -> io::Result<()> {
+        writeln!(self.writer, "{workload} {}", format_csv(input))?;
+        self.writer.flush()
+    }
+
+    /// Send a raw line verbatim (for protocol tests — malformed lines,
+    /// oversized payloads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    /// Read one response line.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the server closed the connection;
+    /// `InvalidData` when the line matches neither response form.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::parse(line.trim_end_matches(['\r', '\n']))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// One round trip: [`Client::send`] then [`Client::recv`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (see [`Client::recv`]).
+    pub fn request(&mut self, workload: &str, input: &[f64]) -> io::Result<Response> {
+        self.send(workload, input)?;
+        self.recv()
+    }
+}
+
+/// Cap on a frame the client will accept from a server. Response frames
+/// can legitimately exceed the server's *request* cap (outputs are
+/// larger than inputs), so this bound is generous.
+const CLIENT_MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// A blocking wire-protocol-v2 client over one connection: negotiates
+/// v2 on connect, then exchanges binary batch frames. Supports strict
+/// batch round trips ([`ClientV2::request_batch`]) and pipelining
+/// ([`ClientV2::send_batch`] several frames, then
+/// [`ClientV2::recv_batch`] in order).
+pub struct ClientV2 {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    workloads: Vec<String>,
+}
+
+impl ClientV2 {
+    /// Connect and negotiate v2: send `v2 LF`, parse the
+    /// `"ok v2" SP names LF` reply, and record the workload name list
+    /// (a workload's id is its index in that list).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; `InvalidData` when the server does not
+    /// speak v2 (e.g. the prefork [`Server`]).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        writer.write_all(b"v2\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed during negotiation",
+            ));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        let names = line.strip_prefix("ok v2 ").ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server did not negotiate v2: '{line}'"),
+            )
+        })?;
+        let workloads = names.split(',').map(str::to_string).collect();
+        Ok(Self {
+            reader,
+            writer,
+            workloads,
+        })
+    }
+
+    /// The server's workload names, in id order.
+    #[must_use]
+    pub fn workloads(&self) -> &[String] {
+        &self.workloads
+    }
+
+    /// The v2 id of a workload name from the negotiated list.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when the server did not announce the workload.
+    pub fn workload_id(&self, workload: &str) -> io::Result<u16> {
+        self.workloads
+            .iter()
+            .position(|name| name == workload)
+            .map(|index| u16::try_from(index).expect("ids fit u16 by server contract"))
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("workload '{workload}' not announced by the server"),
+                )
+            })
+    }
+
+    /// Send one request frame carrying `inputs` as a batch (flushes).
+    /// Several frames may be sent before receiving — responses come
+    /// back in frame order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (see [`ClientV2::workload_id`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or the vectors have differing
+    /// lengths (a frame shares one arity).
+    pub fn send_batch(&mut self, workload: &str, inputs: &[Vec<f64>]) -> io::Result<()> {
+        let id = self.workload_id(workload)?;
+        let frame = Frame::Request(RequestFrame::from_inputs(id, inputs));
+        self.writer.write_all(&frame.encode())?;
+        self.writer.flush()
+    }
+
+    /// Send raw bytes verbatim (for protocol tests — corrupt frames,
+    /// oversized lengths).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Read one frame off the connection.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the server closed the connection;
+    /// `InvalidData` on an undecodable frame.
+    pub fn recv_frame(&mut self) -> io::Result<Frame> {
+        let mut header = [0u8; 4];
+        self.reader.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header) as usize;
+        if len == 0 || len > CLIENT_MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("untrustworthy frame length {len}"),
+            ));
+        }
+        let mut buf = vec![0u8; 4 + len];
+        buf[..4].copy_from_slice(&header);
+        self.reader.read_exact(&mut buf[4..])?;
+        match frame::decode(&buf, CLIENT_MAX_FRAME_BYTES) {
+            frame::DecodeStep::Frame(frame, consumed) => {
+                debug_assert_eq!(consumed, buf.len());
+                Ok(frame)
+            }
+            frame::DecodeStep::Corrupt(message, _) | frame::DecodeStep::Fatal(message) => {
+                Err(io::Error::new(io::ErrorKind::InvalidData, message))
+            }
+            frame::DecodeStep::Incomplete => unreachable!("whole frame was read"),
+        }
+    }
+
+    /// Read one response frame and return its per-request items.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClientV2::recv_frame`]; additionally `InvalidData` when the
+    /// server answered a whole-frame [`Frame::Error`] (the message is
+    /// preserved) or an unexpected frame kind.
+    pub fn recv_batch(&mut self) -> io::Result<Vec<ItemResponse>> {
+        match self.recv_frame()? {
+            Frame::Response(response) => Ok(response.items),
+            Frame::Error(message) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server error: {message}"),
+            )),
+            Frame::Request(_) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected request frame from the server",
+            )),
+        }
+    }
+
+    /// One batch round trip: [`ClientV2::send_batch`] then
+    /// [`ClientV2::recv_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (see [`ClientV2::recv_batch`]).
+    pub fn request_batch(
+        &mut self,
+        workload: &str,
+        inputs: &[Vec<f64>],
+    ) -> io::Result<Vec<ItemResponse>> {
+        self.send_batch(workload, inputs)?;
+        self.recv_batch()
+    }
+}

@@ -342,7 +342,13 @@ impl CostModel {
         let chips: Vec<String> = self
             .coefficients
             .iter()
-            .map(|(a, b)| format!("{{\"intercept\":{a:.9},\"slope\":{b:.9}}}"))
+            .map(|(a, b)| {
+                format!(
+                    "{{\"intercept\":{},\"slope\":{}}}",
+                    crate::stats::json_num(*a, 9),
+                    crate::stats::json_num(*b, 9)
+                )
+            })
             .collect();
         format!(
             "{{\"version\":{},\"coefficients\":[{}]}}",

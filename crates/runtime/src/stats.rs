@@ -5,6 +5,46 @@
 use std::fmt;
 use std::time::Duration;
 
+/// Render a float as a JSON number with `decimals` fraction digits, or
+/// the JSON literal `null` when the value is not finite.
+///
+/// `format!("{:.3}", f64::NAN)` prints `NaN`, which no JSON parser
+/// accepts; every hand-rolled `to_json` in the workspace routes its
+/// floats through this helper so a NaN percentile (e.g. an empty latency
+/// sample) degrades to `null` instead of corrupting the whole document.
+#[must_use]
+pub fn json_num(value: f64, decimals: usize) -> String {
+    if value.is_finite() {
+        format!("{value:.decimals$}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escape a string for embedding inside JSON double quotes.
+///
+/// Handles the two mandatory classes — `"` / `\` and control characters
+/// below U+0020 (as `\uXXXX`, with the common `\n`/`\r`/`\t` shorthands).
+/// Everything else passes through as UTF-8.
+#[must_use]
+pub fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// One chip worker's share of a serve run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChipStats {
@@ -41,6 +81,10 @@ pub struct ServeStats {
     pub p99_latency_us: f64,
     /// Worst request latency, microseconds.
     pub max_latency_us: f64,
+    /// Latency samples that were NaN or infinite and therefore excluded
+    /// from the percentile computation. A non-zero count flags a broken
+    /// timing source without aborting the run.
+    pub non_finite: usize,
     /// Per-chip breakdown, indexed by chip id.
     pub per_chip: Vec<ChipStats>,
 }
@@ -59,18 +103,48 @@ impl ServeStats {
         wall: Duration,
         per_chip: Vec<(usize, usize, usize, Duration)>,
     ) -> Self {
-        assert!(!latencies.is_empty(), "a serve run needs requests");
-        let mut sorted_us: Vec<f64> = latencies.iter().map(|l| l.as_secs_f64() * 1e6).collect();
-        sorted_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let latencies_us: Vec<f64> = latencies.iter().map(|l| l.as_secs_f64() * 1e6).collect();
+        Self::from_latencies_us(policy, &latencies_us, wall, per_chip)
+    }
+
+    /// [`from_run`](Self::from_run) over raw microsecond samples.
+    ///
+    /// Total over its inputs: non-finite samples (a broken clock, a
+    /// subtraction of infinities upstream) are counted in
+    /// [`non_finite`](Self::non_finite) and excluded from the percentile
+    /// computation instead of aborting the run. If *every* sample is
+    /// non-finite the percentiles are NaN (rendered as `null` by
+    /// [`to_json`](Self::to_json)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latencies_us` is empty (a serve run always has
+    /// requests).
+    #[must_use]
+    pub fn from_latencies_us(
+        policy: &str,
+        latencies_us: &[f64],
+        wall: Duration,
+        per_chip: Vec<(usize, usize, usize, Duration)>,
+    ) -> Self {
+        assert!(!latencies_us.is_empty(), "a serve run needs requests");
+        let mut sorted_us: Vec<f64> = latencies_us
+            .iter()
+            .copied()
+            .filter(|l| l.is_finite())
+            .collect();
+        sorted_us.sort_by(f64::total_cmp);
+        let non_finite = latencies_us.len() - sorted_us.len();
         let wall_secs = wall.as_secs_f64();
         Self {
             policy: policy.to_string(),
-            requests: latencies.len(),
+            requests: latencies_us.len(),
             wall_secs,
-            requests_per_sec: latencies.len() as f64 / wall_secs.max(f64::MIN_POSITIVE),
+            requests_per_sec: latencies_us.len() as f64 / wall_secs.max(f64::MIN_POSITIVE),
             p50_latency_us: percentile(&sorted_us, 0.50),
             p99_latency_us: percentile(&sorted_us, 0.99),
-            max_latency_us: *sorted_us.last().expect("non-empty"),
+            max_latency_us: sorted_us.last().copied().unwrap_or(f64::NAN),
+            non_finite,
             per_chip: per_chip
                 .into_iter()
                 .map(|(served, batches, failures, busy)| ChipStats {
@@ -94,23 +168,28 @@ impl ServeStats {
             .map(|c| {
                 format!(
                     "{{\"served\":{},\"batches\":{},\"failures\":{},\
-                     \"busy_secs\":{:.6},\"utilization\":{:.4}}}",
-                    c.served, c.batches, c.failures, c.busy_secs, c.utilization
+                     \"busy_secs\":{},\"utilization\":{}}}",
+                    c.served,
+                    c.batches,
+                    c.failures,
+                    json_num(c.busy_secs, 6),
+                    json_num(c.utilization, 4)
                 )
             })
             .collect();
         format!(
-            "{{\"policy\":\"{}\",\"requests\":{},\"wall_secs\":{:.6},\
-             \"requests_per_sec\":{:.3},\
-             \"p50_latency_us\":{:.3},\"p99_latency_us\":{:.3},\"max_latency_us\":{:.3},\
-             \"per_chip\":[{}]}}",
-            self.policy,
+            "{{\"policy\":\"{}\",\"requests\":{},\"wall_secs\":{},\
+             \"requests_per_sec\":{},\
+             \"p50_latency_us\":{},\"p99_latency_us\":{},\"max_latency_us\":{},\
+             \"non_finite\":{},\"per_chip\":[{}]}}",
+            json_escape(&self.policy),
             self.requests,
-            self.wall_secs,
-            self.requests_per_sec,
-            self.p50_latency_us,
-            self.p99_latency_us,
-            self.max_latency_us,
+            json_num(self.wall_secs, 6),
+            json_num(self.requests_per_sec, 3),
+            json_num(self.p50_latency_us, 3),
+            json_num(self.p99_latency_us, 3),
+            json_num(self.max_latency_us, 3),
+            self.non_finite,
             chips.join(",")
         )
     }
@@ -225,6 +304,70 @@ mod tests {
         assert!(json.starts_with("{\"policy\":\"round_robin\",\"requests\":2,"));
         assert!(json.contains("\"per_chip\":[{\"served\":2,\"batches\":1,\"failures\":0,"));
         assert!(json.contains("\"requests_per_sec\":"));
+    }
+
+    #[test]
+    fn nan_latencies_are_counted_not_fatal() {
+        // Regression: `from_run` used `partial_cmp().expect("finite
+        // latencies")`, so a single NaN sample aborted the whole serve
+        // run. Non-finite samples are now tallied and excluded.
+        let stats = ServeStats::from_latencies_us(
+            "least_loaded",
+            &[10.0, f64::NAN, 30.0, f64::INFINITY, 20.0],
+            Duration::from_millis(1),
+            vec![(5, 1, 0, Duration::from_micros(60))],
+        );
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.non_finite, 2);
+        assert_eq!(stats.p50_latency_us, 20.0);
+        assert_eq!(stats.max_latency_us, 30.0);
+        let json = stats.to_json();
+        assert!(json.contains("\"non_finite\":2"));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn all_nan_latencies_render_as_json_null() {
+        let stats = ServeStats::from_latencies_us(
+            "round_robin",
+            &[f64::NAN, f64::NAN],
+            Duration::from_millis(1),
+            vec![],
+        );
+        assert_eq!(stats.non_finite, 2);
+        assert!(stats.p50_latency_us.is_nan());
+        let json = stats.to_json();
+        assert!(json.contains("\"p50_latency_us\":null"));
+        assert!(json.contains("\"max_latency_us\":null"));
+    }
+
+    #[test]
+    fn json_num_renders_non_finite_as_null() {
+        assert_eq!(json_num(1.5, 3), "1.500");
+        assert_eq!(json_num(f64::NAN, 3), "null");
+        assert_eq!(json_num(f64::INFINITY, 3), "null");
+        assert_eq!(json_num(f64::NEG_INFINITY, 6), "null");
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn policy_names_are_escaped_in_json() {
+        let stats = ServeStats::from_latencies_us(
+            "weird\"policy\\name",
+            &[1.0],
+            Duration::from_millis(1),
+            vec![],
+        );
+        assert!(stats
+            .to_json()
+            .starts_with("{\"policy\":\"weird\\\"policy\\\\name\""));
     }
 
     #[test]

@@ -365,3 +365,194 @@ fn open_loop_stats_are_consistent() {
         assert!((0.0..=1.0).contains(&chip.utilization));
     }
 }
+
+/// Any f64 bit pattern — NaN payloads, infinities, subnormals, negative
+/// zero — survives a v2 request-frame encode/decode round trip
+/// bit-exactly. The wire carries raw little-endian bits, never a
+/// decimal rendering.
+#[test]
+fn v2_request_frames_round_trip_any_f64_bits() {
+    use runtime::net::frame::{decode, DecodeStep, Frame, RequestFrame, DEFAULT_MAX_FRAME_BYTES};
+    prop_check!(|g| {
+        let count = g.usize_in(1, 6);
+        let dim = g.usize_in(1, 5);
+        let values: Vec<f64> = (0..count * dim)
+            .map(|_| f64::from_bits(g.u64_any()))
+            .collect();
+        let frame = RequestFrame {
+            workload: g.u16_any(),
+            count: count as u32,
+            values: values.clone(),
+        };
+        let bytes = Frame::Request(frame.clone()).encode();
+        match decode(&bytes, DEFAULT_MAX_FRAME_BYTES) {
+            DecodeStep::Frame(Frame::Request(back), consumed) => {
+                assert_eq!(consumed, bytes.len(), "whole frame consumed");
+                assert_eq!(back.workload, frame.workload);
+                assert_eq!(back.count, frame.count);
+                let sent: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+                let got: Vec<u64> = back.values.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, sent, "payload bits must survive the wire");
+            }
+            other => panic!("round trip failed: {other:?}"),
+        }
+    });
+}
+
+/// Response frames round-trip every status and arbitrary output bits.
+#[test]
+fn v2_response_frames_round_trip_any_items() {
+    use runtime::net::frame::{
+        decode, DecodeStep, Frame, ItemResponse, ResponseFrame, DEFAULT_MAX_FRAME_BYTES,
+    };
+    prop_check!(|g| {
+        let items: Vec<ItemResponse> = (0..g.usize_in(1, 8))
+            .map(|_| match g.usize_in(0, 2) {
+                0 => ItemResponse::Ok {
+                    chip: g.u64_any() as u32,
+                    latency_us: g.u64_any() as u32,
+                    output: (0..g.usize_in(0, 4))
+                        .map(|_| f64::from_bits(g.u64_any()))
+                        .collect(),
+                },
+                1 => ItemResponse::Shed,
+                _ => ItemResponse::Err(format!("e{}", g.u64_any())),
+            })
+            .collect();
+        let frame = ResponseFrame {
+            workload: g.u16_any(),
+            items,
+        };
+        let bytes = Frame::Response(frame.clone()).encode();
+        match decode(&bytes, DEFAULT_MAX_FRAME_BYTES) {
+            DecodeStep::Frame(Frame::Response(back), consumed) => {
+                assert_eq!(consumed, bytes.len());
+                assert_eq!(back.workload, frame.workload);
+                assert_eq!(back.items.len(), frame.items.len());
+                for (a, b) in frame.items.iter().zip(&back.items) {
+                    match (a, b) {
+                        (
+                            ItemResponse::Ok {
+                                chip,
+                                latency_us,
+                                output,
+                            },
+                            ItemResponse::Ok {
+                                chip: c2,
+                                latency_us: l2,
+                                output: o2,
+                            },
+                        ) => {
+                            assert_eq!(chip, c2);
+                            assert_eq!(latency_us, l2);
+                            let x: Vec<u64> = output.iter().map(|v| v.to_bits()).collect();
+                            let y: Vec<u64> = o2.iter().map(|v| v.to_bits()).collect();
+                            assert_eq!(x, y);
+                        }
+                        (ItemResponse::Shed, ItemResponse::Shed) => {}
+                        (ItemResponse::Err(m), ItemResponse::Err(m2)) => assert_eq!(m, m2),
+                        (a, b) => panic!("status flipped: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+            other => panic!("round trip failed: {other:?}"),
+        }
+    });
+}
+
+/// The decoder classifies arbitrary prefixes and corruptions without
+/// panicking: every truncation of a valid frame is `Incomplete`, and a
+/// corrupted body is either a `Corrupt` that consumes exactly the frame
+/// or (if the length field got clobbered) `Incomplete`/`Fatal` —
+/// never a panic, never consuming past the frame.
+#[test]
+fn v2_decoder_classifies_truncation_and_garbage_without_panicking() {
+    use runtime::net::frame::{decode, DecodeStep, Frame, RequestFrame, DEFAULT_MAX_FRAME_BYTES};
+    prop_check!(|g| {
+        let count = g.usize_in(1, 4);
+        let dim = g.usize_in(1, 4);
+        let inputs: Vec<Vec<f64>> = (0..count).map(|_| g.vec_f64(-1.0, 1.0, dim)).collect();
+        let bytes = Frame::Request(RequestFrame::from_inputs(g.u16_any(), &inputs)).encode();
+
+        // Every strict prefix is Incomplete.
+        let cut = g.usize_in(0, bytes.len() - 1);
+        assert!(
+            matches!(
+                decode(&bytes[..cut], DEFAULT_MAX_FRAME_BYTES),
+                DecodeStep::Incomplete
+            ),
+            "prefix of {cut} bytes must be Incomplete"
+        );
+
+        // Clobber one byte anywhere: the decoder must classify, not panic.
+        let mut mangled = bytes.clone();
+        let at = g.usize_in(0, mangled.len() - 1);
+        mangled[at] ^= (g.u64_any() as u8) | 1;
+        match decode(&mangled, DEFAULT_MAX_FRAME_BYTES) {
+            DecodeStep::Frame(_, consumed) | DecodeStep::Corrupt(_, consumed) => {
+                assert!(consumed <= mangled.len(), "never consume past the buffer");
+            }
+            DecodeStep::Incomplete | DecodeStep::Fatal(_) => {
+                // A clobbered length field may demand more bytes or blow
+                // the frame cap; both are in-band outcomes.
+            }
+        }
+    });
+}
+
+/// A byte stream of several valid frames yields the same event sequence
+/// through a `ConnMachine` regardless of how the stream is chopped into
+/// reads — the sans-IO layer is agnostic to TCP segmentation.
+#[test]
+fn conn_machine_events_are_invariant_under_read_segmentation() {
+    use runtime::net::conn::{ConnEvent, ConnMachine};
+    use runtime::net::frame::{Frame, RequestFrame, DEFAULT_MAX_FRAME_BYTES};
+    prop_check!(|g| {
+        let mut stream = b"v2\n".to_vec();
+        let frames = g.usize_in(1, 5);
+        let mut expected: Vec<(u16, u32)> = Vec::new();
+        for _ in 0..frames {
+            let count = g.usize_in(1, 3);
+            let dim = g.usize_in(1, 3);
+            let inputs: Vec<Vec<f64>> = (0..count).map(|_| g.vec_f64(-2.0, 2.0, dim)).collect();
+            let workload = g.u16_any();
+            expected.push((workload, count as u32));
+            stream.extend(Frame::Request(RequestFrame::from_inputs(workload, &inputs)).encode());
+        }
+
+        let drive = |chunks: &[usize]| -> Vec<(u16, u32)> {
+            let mut machine = ConnMachine::new(256, DEFAULT_MAX_FRAME_BYTES);
+            let mut events = Vec::new();
+            let mut offset = 0usize;
+            let mut negotiated = false;
+            let mut drain = |machine: &mut ConnMachine, events: &mut Vec<(u16, u32)>| {
+                while let Some(event) = machine.poll() {
+                    match event {
+                        ConnEvent::NegotiatedV2 => negotiated = true,
+                        ConnEvent::Request(request) => {
+                            events.push((request.workload, request.count));
+                        }
+                        other => panic!("unexpected event: {other:?}"),
+                    }
+                }
+            };
+            for &chunk in chunks {
+                let end = (offset + chunk).min(stream.len());
+                machine.feed(&stream[offset..end]);
+                offset = end;
+                drain(&mut machine, &mut events);
+            }
+            machine.feed(&stream[offset..]);
+            drain(&mut machine, &mut events);
+            assert!(negotiated, "the v2 line always negotiates");
+            events
+        };
+
+        // One big read vs arbitrary segmentation.
+        let whole = drive(&[stream.len()]);
+        let cuts: Vec<usize> = (0..g.usize_in(1, 8)).map(|_| g.usize_in(0, 64)).collect();
+        let chopped = drive(&cuts);
+        assert_eq!(whole, chopped, "segmentation must not change events");
+        assert_eq!(whole, expected, "every frame decodes exactly once");
+    });
+}

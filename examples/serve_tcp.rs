@@ -1,17 +1,26 @@
 //! TCP serving quickstart: expose a chip pool on loopback and query it
-//! over the wire protocol.
+//! over both generations of the wire protocol.
 //!
-//! The front-end (`runtime::net`) is hermetic `std::net`: a line-oriented
-//! protocol — `workload SP f64-csv LF` in, `ok SP chip SP latency-µs SP
-//! f64-csv LF` (or `err SP message LF`) out — with no HTTP stack. Each
-//! connection gets its own placement session, so the chip sequence (and
-//! therefore the response bits) is a pure function of that connection's
-//! request order, whatever the server's thread count.
+//! The front-end (`runtime::net`) is hermetic `std::net` with no HTTP
+//! stack. Two protocols share one port:
 //!
-//! This example trains a small MEI system, binds a 2-thread server on an
-//! ephemeral loopback port, round-trips a few requests through
-//! `runtime::net::Client`, shows an in-band protocol error, and shuts the
-//! server down gracefully.
+//! * **v1 (text)** — `workload SP f64-csv LF` in, `ok SP chip SP
+//!   latency-µs SP f64-csv LF` (or `err SP message LF`) out; one request
+//!   per round trip.
+//! * **v2 (binary)** — the client's first line `v2\n` upgrades the
+//!   connection to length-prefixed frames carrying whole request batches
+//!   (bit-exact little-endian f64 payloads), and the client may pipeline
+//!   many frames before reading any response.
+//!
+//! Each connection gets its own placement session, so the chip sequence
+//! (and therefore the response bits) is a pure function of that
+//! connection's request order, whatever the server's thread or worker
+//! count — and identical across v1 and v2.
+//!
+//! This example trains a small MEI system, serves it over the prefork v1
+//! `Server` with `runtime::net::Client`, then over the event-driven
+//! `EventServer` with the batch `ClientV2`, shows in-band protocol errors
+//! on both, and shuts everything down gracefully.
 //!
 //! Run with: `cargo run --release --example serve_tcp`
 
@@ -19,7 +28,10 @@ use mei::{manufacture_boxed_engine, MeiConfig, MeiRcs};
 use neural::{Dataset, TrainConfig};
 use prng::rngs::StdRng;
 use prng::{Rng, SeedableRng};
-use runtime::net::{Client, NetWorkload, Response, Server, ServerConfig};
+use runtime::net::frame::ItemResponse;
+use runtime::net::{
+    Client, ClientV2, EventServer, EventServerConfig, NetWorkload, Response, Server, ServerConfig,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Train a small MEI system on exp(−x²).
@@ -81,6 +93,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     server.shutdown();
-    println!("server drained and shut down");
+    println!("v1 server drained and shut down");
+
+    // The same pool behind the event-driven server: one readiness thread
+    // holds every connection, a small worker pool runs the inference.
+    let engine = manufacture_boxed_engine(&mei, 4, 0.02, 42);
+    let event_server = EventServer::bind(
+        "127.0.0.1:0",
+        vec![NetWorkload::new("expfit", 1, engine)],
+        EventServerConfig::default(),
+    )?;
+    let addr = event_server.addr();
+    println!("\nserving 'expfit' (protocol v2) on {addr}");
+
+    // `ClientV2::connect` sends the `v2` upgrade line and parses the
+    // server's workload directory from the negotiation reply.
+    let mut v2 = ClientV2::connect(addr)?;
+    println!("negotiated workloads: {:?}", v2.workloads());
+
+    // One frame carries a whole batch; responses come back in request
+    // order with the same bits v1 would have produced.
+    let inputs: Vec<Vec<f64>> = (0..4).map(|i| vec![f64::from(i) / 4.0]).collect();
+    for (input, item) in inputs.iter().zip(v2.request_batch("expfit", &inputs)?) {
+        match item {
+            ItemResponse::Ok {
+                chip,
+                latency_us,
+                output,
+            } => println!(
+                "expfit({:.2}) = {:.4}  (exact {:.4}, chip {chip}, {latency_us} µs)",
+                input[0],
+                output[0],
+                (-input[0] * input[0]).exp()
+            ),
+            ItemResponse::Shed => println!("expfit({:.2}) shed", input[0]),
+            ItemResponse::Err(e) => println!("expfit({:.2}) rejected: {e}", input[0]),
+        }
+    }
+
+    // Per-request errors are in-band and do not poison batch siblings.
+    let mixed = v2.request_batch("expfit", &[vec![0.1, 0.2], vec![0.3, 0.4]])?;
+    if let ItemResponse::Err(e) = &mixed[0] {
+        println!("wrong arity     → err {e}");
+    }
+    match v2.request_batch("expfit", &[vec![0.5]])?.first() {
+        Some(ItemResponse::Ok { .. }) => println!("connection still usable after batch errors"),
+        other => println!("unexpected follow-up response: {other:?}"),
+    }
+
+    event_server.shutdown();
+    println!("v2 server drained and shut down");
     Ok(())
 }

@@ -20,7 +20,11 @@ use mei::{manufacture_boxed_engine, manufacture_chips, MeiConfig, MeiRcs};
 use neural::Dataset;
 use prng::rngs::StdRng;
 use prng::{Rng, SeedableRng};
-use runtime::net::{format_csv, Client, NetWorkload, Response, Server, ServerConfig};
+use runtime::net::frame::ItemResponse;
+use runtime::net::{
+    format_csv, Client, ClientV2, EventServer, EventServerConfig, NetWorkload, Response, Server,
+    ServerConfig,
+};
 use runtime::{
     AdmissionConfig, Chip, ChipPool, DriftProfile, DriftingChip, Engine, LeastLoaded, Placement,
     RoundRobin,
@@ -289,6 +293,246 @@ fn generous_admission_is_bit_transparent_end_to_end() {
     let outcome = gated.outcome.expect("everything admitted");
     // The admitted batch is the whole batch: bits equal the ungated serve.
     assert_eq!(outcome.outputs, engine.serve(&inputs).outputs);
+}
+
+/// Bind an event-driven server over the standard manufactured pool.
+fn bind_event_server(mei: &MeiRcs, workers: usize) -> EventServer {
+    let engine = manufacture_boxed_engine(mei, CHIPS, WRITE_SIGMA, ROOT_SEED);
+    EventServer::bind(
+        "127.0.0.1:0",
+        vec![NetWorkload::new("expfit", 1, engine)],
+        EventServerConfig {
+            workers,
+            ..EventServerConfig::default()
+        },
+    )
+    .expect("bind event server")
+}
+
+/// Serve the fixed sequence over protocol v2 against an event server
+/// with the given worker count, split into deliberately uneven pipelined
+/// frames; return `(chip, output)` pairs in request order.
+fn serve_over_v2(mei: &MeiRcs, workers: usize, splits: &[usize]) -> Vec<(usize, Vec<f64>)> {
+    let inputs = request_sequence();
+    assert_eq!(
+        splits.iter().sum::<usize>(),
+        inputs.len(),
+        "splits cover all"
+    );
+    let server = bind_event_server(mei, workers);
+    let mut client = ClientV2::connect(server.addr()).expect("negotiate v2");
+    assert_eq!(client.workloads(), ["expfit".to_string()]);
+    // Pipeline: all frames go out before any response is read.
+    let mut offset = 0usize;
+    for &count in splits {
+        client
+            .send_batch("expfit", &inputs[offset..offset + count])
+            .expect("send frame");
+        offset += count;
+    }
+    let mut served = Vec::new();
+    for _ in splits {
+        for item in client.recv_batch().expect("recv frame") {
+            match item {
+                ItemResponse::Ok { chip, output, .. } => {
+                    served.push((usize::try_from(chip).unwrap(), output));
+                }
+                other => panic!("ungated request not served: {other:?}"),
+            }
+        }
+    }
+    drop(client);
+    server.shutdown();
+    served
+}
+
+#[test]
+fn v2_frames_serve_the_same_bits_as_v1_lines() {
+    let mei = trained_mei();
+    // v1 reference: strict text round trips against the prefork server.
+    let v1 = serve_over_tcp(&mei, 1);
+    // v2: one pipelined connection, uneven frame boundaries — framing
+    // must not leak into placement or payload bits.
+    let v2 = serve_over_v2(&mei, 2, &[5, 1, 8, 3]);
+    assert_eq!(v1.len(), v2.len(), "every request must be answered");
+    for (i, (a, b)) in v1.iter().zip(&v2).enumerate() {
+        assert_eq!(a.0, b.0, "request {i} placed on a different chip");
+        let a_bits: Vec<u64> = a.1.iter().map(|x| x.to_bits()).collect();
+        let b_bits: Vec<u64> = b.1.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            a_bits, b_bits,
+            "request {i} payload bits differ across protocols"
+        );
+    }
+}
+
+#[test]
+fn event_server_worker_count_cannot_change_v2_bits() {
+    let mei = trained_mei();
+    let single = serve_over_v2(&mei, 1, &[4, 4, 4, 5]);
+    let multi = serve_over_v2(&mei, 4, &[4, 4, 4, 5]);
+    assert_eq!(
+        single, multi,
+        "per-connection sessions make v2 bits independent of worker count"
+    );
+}
+
+#[test]
+fn v1_fallback_over_the_event_server_matches_the_prefork_server() {
+    let mei = trained_mei();
+    let prefork = serve_over_tcp(&mei, 1);
+    let server = bind_event_server(&mei, 2);
+    // A v1-only client that has never heard of negotiation.
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mut served = Vec::new();
+    for input in request_sequence() {
+        match client.request("expfit", &input).expect("round trip") {
+            Response::Ok { chip, output, .. } => served.push((chip, output)),
+            Response::Error(e) => panic!("request rejected: {e}"),
+        }
+    }
+    drop(client);
+    server.shutdown();
+    assert_eq!(served, prefork, "the v1 fallback must be bit-transparent");
+}
+
+#[test]
+fn corrupt_v2_frame_answers_in_band_and_spares_siblings() {
+    let mei = trained_mei();
+    let server = bind_event_server(&mei, 2);
+    let mut sibling = ClientV2::connect(server.addr()).expect("sibling connects");
+    let mut client = ClientV2::connect(server.addr()).expect("negotiate v2");
+    // An unknown frame kind: framed but undecodable → in-band error.
+    client
+        .send_raw(&[2, 0, 0, 0, 0xEE, 0x00])
+        .expect("send garbage");
+    match client.recv_frame().expect("error frame") {
+        runtime::net::frame::Frame::Error(message) => {
+            assert!(message.contains("kind"), "got: {message}");
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    // The same connection keeps serving…
+    let after = client
+        .request_batch("expfit", &[vec![0.25]])
+        .expect("post-corruption batch");
+    assert!(matches!(after[0], ItemResponse::Ok { .. }));
+    // …and so does the sibling.
+    let alive = sibling
+        .request_batch("expfit", &[vec![0.5]])
+        .expect("sibling batch");
+    assert!(matches!(alive[0], ItemResponse::Ok { .. }));
+    // An unknown workload id is a whole-frame error, also in-band.
+    client
+        .send_raw(
+            &runtime::net::frame::Frame::Request(runtime::net::frame::RequestFrame::from_inputs(
+                7,
+                &[vec![0.5]],
+            ))
+            .encode(),
+        )
+        .expect("send unknown workload");
+    match client.recv_frame().expect("error frame") {
+        runtime::net::frame::Frame::Error(message) => {
+            assert!(message.contains("unknown workload"), "got: {message}");
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    drop(client);
+    drop(sibling);
+    server.shutdown();
+}
+
+#[test]
+fn event_server_holds_hundreds_of_idle_connections() {
+    use std::io::{BufRead, BufReader, Write};
+
+    const IDLE: usize = 512;
+    let mei = trained_mei();
+    let server = bind_event_server(&mei, 2);
+    let addr = server.addr();
+
+    // Open all idle connections first and negotiate v2 in bulk — writes
+    // first, then reads — so negotiation is pipelined across the fleet
+    // rather than one blocking round trip at a time.
+    let mut idle: Vec<std::net::TcpStream> = (0..IDLE)
+        .map(|i| {
+            let stream = std::net::TcpStream::connect(addr)
+                .unwrap_or_else(|e| panic!("idle connect {i}: {e}"));
+            stream.set_nodelay(true).expect("nodelay");
+            stream
+        })
+        .collect();
+    for stream in &mut idle {
+        stream.write_all(b"v2\n").expect("negotiate");
+    }
+    let mut readers: Vec<BufReader<std::net::TcpStream>> = idle
+        .iter()
+        .map(|s| BufReader::new(s.try_clone().expect("clone")))
+        .collect();
+    for (i, reader) in readers.iter_mut().enumerate() {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("negotiation reply");
+        assert!(
+            line.starts_with("ok v2 "),
+            "idle connection {i} negotiated '{line}'"
+        );
+    }
+
+    // With the whole fleet parked, one pipelined client still gets the
+    // full deterministic service.
+    let reference = serve_over_v2(&mei, 2, &[5, 1, 8, 3]);
+    let mut active = ClientV2::connect(addr).expect("active client");
+    let inputs = request_sequence();
+    active.send_batch("expfit", &inputs).expect("send batch");
+    let items = active.recv_batch().expect("recv batch");
+    assert_eq!(items.len(), inputs.len());
+    for (i, (item, want)) in items.iter().zip(&reference).enumerate() {
+        match item {
+            ItemResponse::Ok { chip, output, .. } => {
+                assert_eq!(*chip as usize, want.0, "request {i} chip");
+                assert_eq!(output, &want.1, "request {i} bits");
+            }
+            other => panic!("request {i} not served: {other:?}"),
+        }
+    }
+
+    // The parked connections are still live afterwards: spot-check a few
+    // with a real batch each.
+    for index in [0, IDLE / 2, IDLE - 1] {
+        let stream = idle[index].try_clone().expect("clone");
+        let mut writer = stream;
+        let frame = runtime::net::frame::Frame::Request(
+            runtime::net::frame::RequestFrame::from_inputs(0, &[vec![0.125]]),
+        );
+        writer
+            .write_all(&frame.encode())
+            .expect("send on idle conn");
+        // Read the response frame through the buffered reader half.
+        let reader = &mut readers[index];
+        let mut header = [0u8; 4];
+        std::io::Read::read_exact(reader, &mut header).expect("frame header");
+        let len = u32::from_le_bytes(header) as usize;
+        let mut body = vec![0u8; len];
+        std::io::Read::read_exact(reader, &mut body).expect("frame body");
+        let mut whole = header.to_vec();
+        whole.extend_from_slice(&body);
+        match runtime::net::frame::decode(&whole, usize::MAX) {
+            runtime::net::frame::DecodeStep::Frame(
+                runtime::net::frame::Frame::Response(response),
+                _,
+            ) => {
+                assert_eq!(response.items.len(), 1, "idle connection {index}");
+                assert!(matches!(response.items[0], ItemResponse::Ok { .. }));
+            }
+            other => panic!("idle connection {index}: {other:?}"),
+        }
+    }
+
+    drop(active);
+    drop(readers);
+    drop(idle);
+    server.shutdown();
 }
 
 #[test]
