@@ -53,6 +53,18 @@ echo "==> drift + admission bench smoke (online recalibration, knee-derived gate
 MEI_BENCH_FAST=1 MEI_BENCH_SECONDS=0.4 \
     cargo run --release --offline -p mei-bench --bin drift_admission > /dev/null
 
+echo "==> fleet serving smoke (SLA search, forced-quarantine failover, zero loss)"
+# FAST mode runs the SLA capacity search on tiny windows and the 2-pool
+# failover drill: every chip in the primary pool is broken, the fleet
+# must eject it via recalibration, serve with zero lost requests, and
+# replay bit-identically. The report must be strict JSON (validated by
+# json_validity over committed results/ and checked non-empty here).
+MEI_BENCH_FAST=1 MEI_BENCH_SECONDS=0.4 \
+    MEI_BENCH_JSON=target/BENCH_fleet_smoke.json \
+    cargo run --release --offline -p mei-bench --bin fleet_serving > /dev/null 2>&1
+test -s target/BENCH_fleet_smoke.json
+cargo test -q --offline -p runtime --test fleet_failover > /dev/null
+
 echo "==> training throughput bench smoke (1-epoch calls, 0.3-second windows)"
 # The 0.9x sanity floor on the 2-thread speedup is enforced by the binary
 # only on hosts with >= 2 hardware threads; the bit-identity check across

@@ -326,8 +326,9 @@ fn main() {
         "1.5× over the knee the gate must shed"
     );
 
+    let meta = mei_bench::json::meta("drift_admission", cfg.seed);
     let json = format!(
-        "{{\"suite\":\"drift_admission/inversek2j\",\"window_secs\":{},\
+        "{{\"meta\":{meta},\"suite\":\"drift_admission/inversek2j\",\"window_secs\":{},\
          \"drift\":{{\"windows\":{DRIFT_WINDOWS},\"profile\":\"latency_only\",\
          \"severities\":[{}],\"decays\":[{}],\
          \"offered_rps\":{},\

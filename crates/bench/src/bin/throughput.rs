@@ -581,6 +581,7 @@ fn main() {
         auto
     );
 
+    let meta = mei_bench::json::meta("throughput", cfg.seed);
     let closed_json: Vec<String> = closed
         .iter()
         .map(|(chips, rps)| {
@@ -592,7 +593,7 @@ fn main() {
         .collect();
     let policies_json: Vec<String> = policies.iter().map(PolicyResult::to_json).collect();
     let json = format!(
-        "{{\"suite\":\"throughput/inversek2j\",\"hardware_threads\":{},\
+        "{{\"meta\":{meta},\"suite\":\"throughput/inversek2j\",\"hardware_threads\":{},\
          \"window_secs\":{},\"speedup_4v1\":{},\"pools\":[{}],\
          \"knee\":{{\"in_process\":{},\"tcp\":{}}},\
          \"v2\":{},\

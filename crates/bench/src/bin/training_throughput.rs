@@ -257,8 +257,12 @@ fn main() {
 
     eprintln!("(speedups on a {auto}-hardware-thread host are reported, not asserted)");
 
+    // Every net in this bench trains from the fixed seed 7 (see
+    // `MlpBuilder::seed` above), so that is the run's root seed.
+    let meta = mei_bench::json::meta("training_throughput", 7);
     let json = format!(
-        "{{\"suite\":\"training_throughput\",\"hardware_threads\":{},\"window_secs\":{:.3},\
+        "{{\"meta\":{meta},\"suite\":\"training_throughput\",\"hardware_threads\":{},\
+         \"window_secs\":{:.3},\
          \"epochs_per_call\":{},\"workloads\":[{}]}}",
         auto,
         window.as_secs_f64(),

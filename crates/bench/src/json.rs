@@ -14,6 +14,21 @@
 //! tested by shape elsewhere, this only answers "would a real parser
 //! accept these bytes?".
 
+/// The shared `meta` header every bench report embeds: the bench name,
+/// the root MEI seed the run derived its randomness from, and the
+/// host's hardware thread count — enough to tell two committed
+/// `results/BENCH_*.json` files apart without diffing their payloads.
+/// Emit as `"meta":<this>` as the report's first key; the value is one
+/// strict-JSON object (name escaped via [`runtime::json_escape`]).
+#[must_use]
+pub fn meta(bench: &str, mei_seed: u64) -> String {
+    let hw_threads = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    format!(
+        "{{\"bench\":\"{}\",\"mei_seed\":{mei_seed},\"hw_threads\":{hw_threads}}}",
+        runtime::json_escape(bench)
+    )
+}
+
 /// Validate that `text` is exactly one well-formed JSON value.
 ///
 /// # Errors
@@ -199,7 +214,19 @@ fn number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::validate;
+    use super::{meta, validate};
+
+    #[test]
+    fn meta_header_is_strict_json_with_the_expected_keys() {
+        let header = meta("fleet_serving", 42);
+        assert!(validate(&header).is_ok(), "meta must validate: {header}");
+        assert!(header.starts_with("{\"bench\":\"fleet_serving\""));
+        assert!(header.contains("\"mei_seed\":42"));
+        assert!(header.contains("\"hw_threads\":"));
+        // A hostile bench name is escaped, not emitted raw.
+        let hostile = meta("a\"b\\c\nd", 7);
+        assert!(validate(&hostile).is_ok(), "escaped name: {hostile}");
+    }
 
     #[test]
     fn accepts_the_grammar() {

@@ -193,6 +193,156 @@ where
     RampReport { steps, knee, kneed }
 }
 
+/// Closed-loop SLA search knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SlaConfig {
+    /// Absolute p99 target, µs — unlike the ramp's *relative* knee
+    /// budget, this is the latency promise being engineered for.
+    pub target_p99_us: f64,
+    /// Hard cap on bisection probes.
+    pub max_iters: usize,
+    /// Stop when the bracket has shrunk to `rel_tol × hi`.
+    pub rel_tol: f64,
+}
+
+impl SlaConfig {
+    /// A search for `target_p99_us` with the default budget: 8 probes,
+    /// 5% relative bracket tolerance.
+    #[must_use]
+    pub fn new(target_p99_us: f64) -> Self {
+        Self {
+            target_p99_us,
+            max_iters: 8,
+            rel_tol: 0.05,
+        }
+    }
+}
+
+/// The SLA search's verdict.
+#[derive(Debug, Clone)]
+pub struct SlaReport {
+    /// The absolute p99 target searched for, µs.
+    pub target_p99_us: f64,
+    /// The highest measured rate whose p99 met the target (0 when even
+    /// the lightest ramp step missed it).
+    pub max_rps: f64,
+    /// The measured p99 at `max_rps`, µs (NaN when `met` is false).
+    pub p99_at_max_us: f64,
+    /// Whether any measured rate met the target at all.
+    pub met: bool,
+    /// The final `(under, over)` rate bracket the bisection narrowed to
+    /// (`over` is infinite when no measured rate ever missed).
+    pub bracket: (f64, f64),
+    /// Every bisection probe, in probe order (empty when the ramp's own
+    /// steps already pinned the answer).
+    pub probes: Vec<RampStep>,
+}
+
+impl SlaReport {
+    /// The report as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let probes: Vec<String> = self.probes.iter().map(RampStep::to_json).collect();
+        format!(
+            "{{\"target_p99_us\":{},\"max_rps\":{},\"p99_at_max_us\":{},\"met\":{},\
+             \"bracket_under_rps\":{},\"bracket_over_rps\":{},\"probes\":[{}]}}",
+            json_num(self.target_p99_us, 3),
+            json_num(self.max_rps, 3),
+            json_num(self.p99_at_max_us, 3),
+            self.met,
+            json_num(self.bracket.0, 3),
+            json_num(self.bracket.1, 3),
+            probes.join(",")
+        )
+    }
+}
+
+/// Closed-loop SLA search: find the highest rate whose p99 stays under
+/// an **absolute** target, by bisecting inside the bracket the ramp
+/// already measured. The ramp's knee answers "where does latency
+/// explode *relative to baseline*"; this answers the capacity-planning
+/// question "how fast can this pool go while still honoring an SLA" —
+/// the per-pool number [`Fleet::pools_for`](runtime::Fleet::pools_for)
+/// scales up to a fleet size.
+///
+/// The bracket is seeded from `ramp.steps`: `lo` = the highest ramp
+/// rate that met the target, `hi` = the lowest that missed it (a NaN
+/// p99 — an all-shed window — counts as a miss). Bisection then probes
+/// arithmetic midpoints via `measure(rate)` until the bracket shrinks
+/// to `rel_tol` or `max_iters` runs out. With no missing rate there is
+/// nothing to bisect toward (`bracket.1` is infinite); with no meeting
+/// rate the search reports `met: false` without probing.
+///
+/// # Panics
+///
+/// Panics if `ramp.steps` is empty or the config is degenerate
+/// (non-positive target, zero tolerance).
+pub fn sla_search<F>(ramp: &RampReport, config: &SlaConfig, mut measure: F) -> SlaReport
+where
+    F: FnMut(f64) -> ServeStats,
+{
+    assert!(!ramp.steps.is_empty(), "the search needs ramp steps");
+    assert!(
+        config.target_p99_us > 0.0,
+        "the SLA target must be positive"
+    );
+    assert!(config.rel_tol > 0.0, "the tolerance must be positive");
+
+    let meets = |stats: &ServeStats| stats.p99_latency_us <= config.target_p99_us;
+    let mut lo: Option<RampStep> = None; // highest meeting rate
+    let mut hi = f64::INFINITY; // lowest missing rate
+    for step in &ramp.steps {
+        if meets(&step.stats) {
+            if lo.as_ref().is_none_or(|s| step.offered_rps > s.offered_rps) {
+                lo = Some(step.clone());
+            }
+        } else if step.offered_rps < hi {
+            hi = step.offered_rps;
+        }
+    }
+
+    let Some(mut lo) = lo else {
+        // Even the lightest measured rate missed the target: the pool
+        // cannot honor this SLA at any rate the ramp visited.
+        return SlaReport {
+            target_p99_us: config.target_p99_us,
+            max_rps: 0.0,
+            p99_at_max_us: f64::NAN,
+            met: false,
+            bracket: (0.0, hi),
+            probes: Vec::new(),
+        };
+    };
+
+    let mut probes = Vec::new();
+    for _ in 0..config.max_iters {
+        if !hi.is_finite() || hi - lo.offered_rps <= config.rel_tol * hi {
+            break;
+        }
+        let mid = 0.5 * (lo.offered_rps + hi);
+        let stats = measure(mid);
+        let step = RampStep {
+            offered_rps: mid,
+            stats,
+        };
+        if meets(&step.stats) {
+            lo = step.clone();
+        } else {
+            hi = mid;
+        }
+        probes.push(step);
+    }
+
+    SlaReport {
+        target_p99_us: config.target_p99_us,
+        max_rps: lo.offered_rps,
+        p99_at_max_us: lo.stats.p99_latency_us,
+        met: true,
+        bracket: (lo.offered_rps, hi),
+        probes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +457,113 @@ mod tests {
             "knee p99 {} exceeds 4× the true baseline",
             knee.stats.p99_latency_us
         );
+    }
+
+    #[test]
+    fn sla_search_bisects_to_the_synthetic_capacity() {
+        let config = RampConfig {
+            start_rps: 250.0,
+            growth: 1.5,
+            max_steps: 16,
+            knee_factor: 4.0,
+        };
+        let ramp = ramp_to_knee(&config, synthetic);
+        // 200 µs target: met up to ~1189 rps (100·(r/1000)⁴ ≤ 200).
+        let sla = sla_search(&ramp, &SlaConfig::new(200.0), synthetic);
+        assert!(sla.met);
+        assert!(
+            sla.max_rps > 1000.0 && sla.max_rps <= 1189.3,
+            "max rps {} should bisect close under the 200 µs capacity",
+            sla.max_rps
+        );
+        assert!(sla.p99_at_max_us <= 200.0);
+        // The bracket actually narrowed to tolerance.
+        assert!(sla.bracket.1 - sla.bracket.0 <= 0.05 * sla.bracket.1 + 1e-9);
+        assert!(!sla.probes.is_empty(), "the ramp steps alone are coarser");
+        let json = sla.to_json();
+        assert!(json.starts_with("{\"target_p99_us\":"));
+        assert!(json.contains("\"probes\":["));
+    }
+
+    #[test]
+    fn sla_search_is_deterministic() {
+        let ramp = ramp_to_knee(
+            &RampConfig {
+                start_rps: 250.0,
+                growth: 1.5,
+                max_steps: 16,
+                knee_factor: 4.0,
+            },
+            synthetic,
+        );
+        let a = sla_search(&ramp, &SlaConfig::new(300.0), synthetic);
+        let b = sla_search(&ramp, &SlaConfig::new(300.0), synthetic);
+        assert_eq!(a.max_rps.to_bits(), b.max_rps.to_bits());
+        assert_eq!(a.probes.len(), b.probes.len());
+    }
+
+    #[test]
+    fn unmeetable_sla_reports_unmet_without_probing() {
+        let ramp = ramp_to_knee(&RampConfig::default(), synthetic);
+        // Every synthetic window sits at ≥ 100 µs p99.
+        let sla = sla_search(&ramp, &SlaConfig::new(50.0), |_| {
+            panic!("no probe should run when no ramp step met the target")
+        });
+        assert!(!sla.met);
+        assert_eq!(sla.max_rps, 0.0);
+        assert!(sla.p99_at_max_us.is_nan());
+    }
+
+    #[test]
+    fn sla_looser_than_every_step_skips_bisection() {
+        let ramp = ramp_to_knee(
+            &RampConfig {
+                start_rps: 10.0,
+                growth: 2.0,
+                max_steps: 4,
+                knee_factor: 4.0,
+            },
+            |_| flat(100.0),
+        );
+        let sla = sla_search(&ramp, &SlaConfig::new(1e6), |_| {
+            panic!("nothing to bisect toward when no step missed")
+        });
+        assert!(sla.met);
+        assert_eq!(sla.max_rps, 80.0, "highest ramp rate wins");
+        assert!(!sla.bracket.1.is_finite());
+        assert!(sla.probes.is_empty());
+    }
+
+    #[test]
+    fn all_shed_windows_count_as_missing_the_target() {
+        // NaN p99 (every sample non-finite) must bracket as "over", not
+        // meet.
+        let nan_stats = |_: f64| {
+            ServeStats::from_latencies_us(
+                "synthetic",
+                &[f64::INFINITY],
+                Duration::from_millis(10),
+                vec![],
+            )
+        };
+        let ramp = RampReport {
+            steps: vec![
+                RampStep {
+                    offered_rps: 100.0,
+                    stats: flat(50.0),
+                },
+                RampStep {
+                    offered_rps: 200.0,
+                    stats: nan_stats(0.0),
+                },
+            ],
+            knee: 0,
+            kneed: true,
+        };
+        let sla = sla_search(&ramp, &SlaConfig::new(100.0), nan_stats);
+        assert!(sla.met);
+        assert_eq!(sla.bracket.0, sla.max_rps);
+        assert!(sla.bracket.1 <= 200.0, "the NaN step must cap the bracket");
     }
 
     #[test]

@@ -133,6 +133,7 @@ fn json_helpers_agree_with_the_validator() {
 fn committed_results_reports_are_valid_json() {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
     let mut checked = 0usize;
+    let mut with_meta = 0usize;
     for entry in std::fs::read_dir(dir).expect("results directory") {
         let path = entry.expect("dir entry").path();
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
@@ -141,10 +142,24 @@ fn committed_results_reports_are_valid_json() {
         }
         let text = std::fs::read_to_string(&path).expect("read report");
         assert_valid(&name, &text);
+        // Reports emitted since the shared `mei_bench::json::meta`
+        // header lead with it; wherever present it must carry the
+        // bench name, root seed and hardware thread count.
+        if let Some(rest) = text.strip_prefix("{\"meta\":{") {
+            let header = &rest[..rest.find('}').expect("meta object closes")];
+            for key in ["\"bench\":", "\"mei_seed\":", "\"hw_threads\":"] {
+                assert!(header.contains(key), "{name}: meta header lacks {key}");
+            }
+            with_meta += 1;
+        }
         checked += 1;
     }
     assert!(
         checked >= 4,
         "expected the committed BENCH_*.json reports, found {checked}"
+    );
+    assert!(
+        with_meta >= 1,
+        "at least the fleet report must carry the shared meta header"
     );
 }

@@ -78,7 +78,8 @@ pub use persist::ParseRcsError;
 pub use report::{system_report, ReportConfig};
 pub use saab::{Saab, SaabConfig, SaabTrainer};
 pub use serve::{
-    manufacture_boxed_engine, manufacture_chips, manufacture_drifting_engine, manufacture_engine,
+    manufacture_boxed_engine, manufacture_boxed_fleet, manufacture_chips,
+    manufacture_drifting_engine, manufacture_engine, manufacture_fleet,
 };
 
 // The σ-vector shared by every noisy evaluation path.

@@ -12,7 +12,7 @@
 use prng::rngs::StdRng;
 use prng::SeedableRng;
 use rram::VariationModel;
-use runtime::{Chip, ChipPool, DriftProfile, DriftingChip, Engine};
+use runtime::{Chip, ChipPool, DriftProfile, DriftingChip, Engine, Fleet, FleetConfig};
 
 use crate::adda::AddaRcs;
 use crate::digital::DigitalAnn;
@@ -100,6 +100,67 @@ where
     T: Rcs + Chip + Clone + 'static,
 {
     Engine::new(manufacture_chips(rcs, chips, write_sigma, root_seed).boxed())
+}
+
+/// Salt folded into a fleet's root seed before deriving per-pool
+/// manufacturing seeds, so pool substreams never collide with any other
+/// consumer of the same root seed (routing draws, chip write noise).
+const FLEET_POOL_SALT: u64 = 0x4D45_495F_504F_4F4C; // "MEI_POOL"
+
+/// Manufacture `pools` independent chip pools (as
+/// [`manufacture_engine`], pool `p` seeded from
+/// `substream(config.seed ^ SALT, p)`) and assemble them into a serving
+/// [`Fleet`] routed under `config`. Pool `p` holds the same physical
+/// devices on every run and for every fleet size — the fleet-level face
+/// of the manufacturing determinism rule.
+///
+/// # Panics
+///
+/// Panics if `pools` or `chips_per_pool` is zero.
+pub fn manufacture_fleet<T>(
+    rcs: &T,
+    pools: usize,
+    chips_per_pool: usize,
+    write_sigma: f64,
+    config: FleetConfig,
+) -> Fleet<T>
+where
+    T: Rcs + Chip + Clone,
+{
+    assert!(pools > 0, "a fleet needs a pool");
+    let engines = (0..pools)
+        .map(|p| {
+            let pool_seed = prng::substream(config.seed ^ FLEET_POOL_SALT, p as u64);
+            manufacture_engine(rcs, chips_per_pool, write_sigma, pool_seed)
+        })
+        .collect();
+    Fleet::new(engines, config)
+}
+
+/// [`manufacture_fleet`], but over type-erased chips — the form
+/// `runtime::net::NetWorkload::fleet` takes.
+///
+/// # Panics
+///
+/// Panics if `pools` or `chips_per_pool` is zero.
+pub fn manufacture_boxed_fleet<T>(
+    rcs: &T,
+    pools: usize,
+    chips_per_pool: usize,
+    write_sigma: f64,
+    config: FleetConfig,
+) -> Fleet<Box<dyn Chip>>
+where
+    T: Rcs + Chip + Clone + 'static,
+{
+    assert!(pools > 0, "a fleet needs a pool");
+    let engines = (0..pools)
+        .map(|p| {
+            let pool_seed = prng::substream(config.seed ^ FLEET_POOL_SALT, p as u64);
+            Engine::new(manufacture_chips(rcs, chips_per_pool, write_sigma, pool_seed).boxed())
+        })
+        .collect();
+    Fleet::new(engines, config)
 }
 
 /// Manufacture a pool (as [`manufacture_chips`]) and wrap every chip in
@@ -231,6 +292,45 @@ mod tests {
         let _ = twin.advance_window();
         let _ = twin.advance_window();
         assert_eq!(twin.serve(&inputs).outputs, aged.outputs);
+    }
+
+    #[test]
+    fn manufactured_fleet_pools_are_distinct_and_reproducible() {
+        let data = expfit_data(200, 8);
+        let rcs = MeiRcs::train(&data, &MeiConfig::quick_test()).unwrap();
+        // A heavy write sigma so the disturbance survives the chips'
+        // output quantization; probe several inputs per chip.
+        let config = runtime::FleetConfig::new(42);
+        let fleet_a = manufacture_fleet(&rcs, 2, 2, 0.4, config);
+        let fleet_b = manufacture_boxed_fleet(&rcs, 2, 2, 0.4, config);
+        let probes: Vec<Vec<f64>> = (0..8).map(|i| vec![f64::from(i) / 8.0]).collect();
+        let sample = |fleet: &Fleet<MeiRcs>, pool: usize| -> Vec<Vec<f64>> {
+            fleet
+                .engine(pool)
+                .pool()
+                .chips()
+                .iter()
+                .flat_map(|c| probes.iter().map(|x| Chip::infer(c, x)))
+                .collect()
+        };
+        // Pool p, chip c is the same physical device in the plain and
+        // boxed fleets (same substream), and across reruns.
+        for p in 0..2 {
+            let boxed: Vec<Vec<f64>> = fleet_b
+                .engine(p)
+                .pool()
+                .chips()
+                .iter()
+                .flat_map(|c| probes.iter().map(|x| c.infer(x)))
+                .collect();
+            assert_eq!(sample(&fleet_a, p), boxed);
+        }
+        // Different pools hold different write-noise draws.
+        assert_ne!(
+            sample(&fleet_a, 0),
+            sample(&fleet_a, 1),
+            "pools must carry independent manufacturing draws"
+        );
     }
 
     #[test]

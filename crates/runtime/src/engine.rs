@@ -48,7 +48,14 @@ pub struct Engine<C: Chip> {
     admission: Option<AdmissionConfig>,
     window: u64,
     model_history: Vec<CostModel>,
+    history_cap: usize,
 }
+
+/// Default bound on [`Engine::model_history`]: a long-running server
+/// recalibrating every window keeps the most recent 64 superseded
+/// snapshots rather than growing without bound. Override per engine
+/// with [`Engine::with_model_history_cap`].
+pub const MODEL_HISTORY_CAP: usize = 64;
 
 impl<C: Chip> Engine<C> {
     /// Wrap a pool with the defaults: [`LeastLoaded`] placement over the
@@ -65,6 +72,7 @@ impl<C: Chip> Engine<C> {
             admission: None,
             window: 0,
             model_history: Vec::new(),
+            history_cap: MODEL_HISTORY_CAP,
         }
     }
 
@@ -129,6 +137,24 @@ impl<C: Chip> Engine<C> {
         self
     }
 
+    /// Bound [`Engine::model_history`] to the most recent `cap`
+    /// superseded snapshots (default [`MODEL_HISTORY_CAP`]). When a
+    /// recalibration would exceed the cap the oldest snapshot is
+    /// dropped; snapshots keep their [`CostModel::version`], so after
+    /// truncation the history index no longer equals the version — read
+    /// versions off the snapshots, not their positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero (an engine that recalibrates always
+    /// retains at least the immediately superseded model).
+    #[must_use]
+    pub fn with_model_history_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "model history cap must be at least 1");
+        self.history_cap = cap;
+        self
+    }
+
     /// Calibrate the cost model in place: time every chip's `infer` on
     /// `representative` inputs ([`CostModel::calibrate`]) and freeze the
     /// fitted coefficients as this engine's model.
@@ -142,6 +168,13 @@ impl<C: Chip> Engine<C> {
     #[must_use]
     pub fn pool(&self) -> &ChipPool<C> {
         &self.pool
+    }
+
+    /// Consume the engine, returning its pool (e.g. to re-wrap the
+    /// chips — [`ChipPool::boxed`] — and rebuild the engine).
+    #[must_use]
+    pub fn into_pool(self) -> ChipPool<C> {
+        self.pool
     }
 
     /// The active placement policy.
@@ -168,9 +201,12 @@ impl<C: Chip> Engine<C> {
         self.window
     }
 
-    /// Superseded cost-model snapshots, oldest first — the audit trail
-    /// of every [`Engine::recalibrate_window`] refresh. Snapshot `i` has
-    /// version `i`; the active model's version is `model_history.len()`.
+    /// Superseded cost-model snapshots, oldest retained first — the
+    /// audit trail of [`Engine::recalibrate_window`] refreshes, bounded
+    /// by [`Engine::with_model_history_cap`]. Each snapshot keeps its
+    /// [`CostModel::version`]; until the cap truncates, snapshot `i` has
+    /// version `i` and the active model's version is
+    /// `model_history.len()`.
     #[must_use]
     pub fn model_history(&self) -> &[CostModel] {
         &self.model_history
@@ -212,6 +248,10 @@ impl<C: Chip> Engine<C> {
             CostModel::calibrate(&self.pool, representative, passes).with_version(next_version);
         self.model_history
             .push(std::mem::replace(&mut self.model, refreshed));
+        if self.model_history.len() > self.history_cap {
+            let excess = self.model_history.len() - self.history_cap;
+            self.model_history.drain(..excess);
+        }
         window
     }
 
@@ -857,6 +897,30 @@ mod tests {
         let _ = engine.recalibrate_window(&reps, 1);
         assert_eq!(engine.cost_model().version(), 2);
         assert_eq!(engine.model_history().len(), 2);
+    }
+
+    #[test]
+    fn model_history_cap_drops_the_oldest_snapshots() {
+        let mut engine = toy_engine(2).with_model_history_cap(3);
+        let reps = vec![vec![0.5; 4]];
+        for _ in 0..5 {
+            let _ = engine.recalibrate_window(&reps, 1);
+        }
+        // Five recalibrations, cap 3: versions 0 and 1 were dropped, the
+        // retained snapshots keep their original versions.
+        assert_eq!(engine.cost_model().version(), 5);
+        let versions: Vec<u64> = engine
+            .model_history()
+            .iter()
+            .map(CostModel::version)
+            .collect();
+        assert_eq!(versions, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "model history cap must be at least 1")]
+    fn model_history_cap_zero_panics() {
+        let _ = toy_engine(1).with_model_history_cap(0);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Pool health: the failover state machine and the signals that drive
+//! it.
+//!
+//! A pool is either `Healthy` (in the routing set) or `Ejected` (routed
+//! around). Transitions happen only at window boundaries, driven by the
+//! recalibration signals PR 5 already produces:
+//!
+//! ```text
+//!            quarantined fraction ≥ max_quarantined_frac
+//!            or mean cost > drift_cost_ratio × baseline
+//!   Healthy ───────────────────────────────────────────▶ Ejected
+//!      ▲                                                    │
+//!      └────────────────────────────────────────────────────┘
+//!            next recalibration clears both signals
+//!            (manual ejections clear only via `Fleet::readmit`)
+//! ```
+//!
+//! Both signals are read off the pool's freshly calibrated
+//! [`CostModel`]: a chip that panicked during re-timing carries the
+//! [`QUARANTINE_COST`](crate::QUARANTINE_COST) intercept, and drift
+//! shows up as the surviving chips' mean estimated cost climbing past a
+//! ratio of the baseline captured when the fleet was built (the pool's
+//! calibrated knee operating point). Assessments are pure functions of
+//! the model, so identical calibration outcomes yield identical failover
+//! decisions on every rerun.
+
+use crate::policy::CostModel;
+
+/// Why a pool left the routing set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EjectReason {
+    /// Recalibration quarantined at least the configured fraction of
+    /// the pool's chips.
+    Quarantine,
+    /// The surviving chips' mean calibrated cost drifted past the
+    /// configured ratio of the pool's baseline.
+    Drift,
+    /// An operator called [`Fleet::eject`](super::Fleet::eject); only
+    /// [`Fleet::readmit`](super::Fleet::readmit) clears it.
+    Manual,
+}
+
+/// One pool's position in the failover state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolHealth {
+    /// In the routing set.
+    Healthy,
+    /// Routed around since `window`, for `reason`.
+    Ejected {
+        /// The serving window at which the pool was ejected.
+        window: u64,
+        /// The signal that ejected it.
+        reason: EjectReason,
+    },
+}
+
+impl PoolHealth {
+    /// Whether the pool is in the routing set.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, PoolHealth::Healthy)
+    }
+}
+
+/// A health transition observed during
+/// [`Fleet::recalibrate_window`](super::Fleet::recalibrate_window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// The pool left the routing set.
+    Ejected(EjectReason),
+    /// The pool recovered and rejoined the routing set.
+    Readmitted,
+}
+
+/// Thresholds for the automatic transitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// Eject when at least this fraction of the pool's chips are
+    /// quarantined (`0.5` by default; `1e-9` effectively means "any").
+    pub max_quarantined_frac: f64,
+    /// Eject when the non-quarantined chips' mean estimated cost
+    /// exceeds this multiple of the pool's baseline (`3.0` by default —
+    /// a pool that slow is past the knee its admission gate was
+    /// calibrated for).
+    pub drift_cost_ratio: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self {
+            max_quarantined_frac: 0.5,
+            drift_cost_ratio: 3.0,
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// Apply deploy-time overrides from the environment:
+    ///
+    /// * `MEI_FLEET_QUARANTINE_FRAC` — replaces `max_quarantined_frac`
+    ///   (a fraction in `(0, 1]`);
+    /// * `MEI_FLEET_DRIFT_RATIO` — replaces `drift_cost_ratio` (a finite
+    ///   ratio `> 1`).
+    ///
+    /// Unset variables leave the policy unchanged; set-but-malformed
+    /// values warn on stderr (via [`prng::env`]) and are ignored.
+    #[must_use]
+    pub fn from_env(mut self) -> Self {
+        if let Some(frac) = prng::env::parse_validated::<f64>(
+            "MEI_FLEET_QUARANTINE_FRAC",
+            "a fraction in (0, 1]",
+            |f| f.is_finite() && *f > 0.0 && *f <= 1.0,
+        ) {
+            self.max_quarantined_frac = frac;
+        }
+        if let Some(ratio) =
+            prng::env::parse_validated::<f64>("MEI_FLEET_DRIFT_RATIO", "a finite ratio > 1", |r| {
+                r.is_finite() && *r > 1.0
+            })
+        {
+            self.drift_cost_ratio = ratio;
+        }
+        self
+    }
+}
+
+/// The non-quarantined chips' mean estimated cost at unit input length
+/// (the calibrated intercept dominates a timed model, so unit length is
+/// a stable probe). `NaN` when every chip is quarantined.
+#[must_use]
+pub fn mean_cost(model: &CostModel) -> f64 {
+    let live: Vec<f64> = (0..model.chips())
+        .filter(|&chip| !model.is_quarantined(chip))
+        .map(|chip| model.estimate(chip, 1))
+        .collect();
+    live.iter().sum::<f64>() / live.len() as f64
+}
+
+/// Assess one pool's freshly calibrated model against its baseline:
+/// `Some(reason)` when the pool should be out of the routing set.
+/// Quarantine dominates drift (a mostly-dead pool is ejected as
+/// `Quarantine` even if the survivors also drifted).
+#[must_use]
+pub fn assess(model: &CostModel, baseline_cost: f64, policy: &HealthPolicy) -> Option<EjectReason> {
+    let chips = model.chips();
+    let quarantined = (0..chips).filter(|&c| model.is_quarantined(c)).count();
+    if quarantined as f64 / chips as f64 >= policy.max_quarantined_frac {
+        return Some(EjectReason::Quarantine);
+    }
+    // mean_cost is NaN only when everything is quarantined, which the
+    // fraction check above already caught (frac = 1 ≥ any valid bound).
+    if baseline_cost > 0.0 && mean_cost(model) > policy.drift_cost_ratio * baseline_cost {
+        return Some(EjectReason::Drift);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::QUARANTINE_COST;
+
+    fn model(coefficients: Vec<(f64, f64)>) -> CostModel {
+        CostModel::from_coefficients(coefficients)
+    }
+
+    #[test]
+    fn healthy_model_passes() {
+        let m = model(vec![(10.0, 1.0), (11.0, 1.0)]);
+        assert_eq!(assess(&m, 11.5, &HealthPolicy::default()), None);
+    }
+
+    #[test]
+    fn quarantined_fraction_ejects() {
+        let policy = HealthPolicy::default();
+        let half = model(vec![(QUARANTINE_COST, 0.0), (10.0, 1.0)]);
+        assert_eq!(assess(&half, 11.0, &policy), Some(EjectReason::Quarantine));
+        let all = model(vec![(QUARANTINE_COST, 0.0), (QUARANTINE_COST, 0.0)]);
+        assert_eq!(assess(&all, 11.0, &policy), Some(EjectReason::Quarantine));
+        // Below the fraction: one of three quarantined survives.
+        let third = model(vec![(QUARANTINE_COST, 0.0), (10.0, 1.0), (10.0, 1.0)]);
+        assert_eq!(assess(&third, 11.0, &policy), None);
+    }
+
+    #[test]
+    fn drift_past_ratio_ejects_and_recovery_readmits() {
+        let policy = HealthPolicy::default();
+        let drifted = model(vec![(40.0, 1.0), (40.0, 1.0)]);
+        assert_eq!(assess(&drifted, 11.0, &policy), Some(EjectReason::Drift));
+        // A later calibration back under the ratio assesses clean again.
+        let recovered = model(vec![(12.0, 1.0), (12.0, 1.0)]);
+        assert_eq!(assess(&recovered, 11.0, &policy), None);
+    }
+
+    #[test]
+    fn quarantine_dominates_drift() {
+        let policy = HealthPolicy::default();
+        let both = model(vec![(QUARANTINE_COST, 0.0), (90.0, 1.0)]);
+        assert_eq!(assess(&both, 10.0, &policy), Some(EjectReason::Quarantine));
+    }
+
+    #[test]
+    fn env_overrides_are_identity_when_unset() {
+        let policy = HealthPolicy::default();
+        assert_eq!(policy.from_env(), policy);
+    }
+}

@@ -1,0 +1,136 @@
+//! Rendezvous (highest-random-weight) routing: the pure hashing core of
+//! the fleet router.
+//!
+//! Every `(key, pool)` pair gets an independent 64-bit score derived
+//! from the fleet seed via [`prng::substream`]; a key's pools are ranked
+//! by descending score. Because each pool's score depends only on its
+//! own identity — never on which other pools exist — removing a pool
+//! deletes exactly one entry from every key's ranking and shifts the
+//! rest up unchanged. That is the **minimal-disruption invariant**: when
+//! a pool is ejected, only the keys that ranked the victim move, and
+//! they land on their next-ranked survivor deterministically. The
+//! property test in `crates/runtime/tests/properties.rs` pins it for
+//! arbitrary key/pool sets.
+//!
+//! Scores are pure functions of `(seed, key, pool id)`, so routing is
+//! bit-identical across reruns, hosts and thread counts — the fleet-level
+//! face of the workspace determinism rule.
+
+use prng::substream;
+
+/// Salt folded into the key stream so fleet routing draws are
+/// decorrelated from every other consumer of the same root seed (the
+/// same trick as `DRIFT_SEVERITY_SALT` in [`crate::chip`]).
+const ROUTE_SALT: u64 = 0x464C_4545_545F_5256; // "FLEET_RV"
+
+/// Hash a workload key (its protocol name) to the 64-bit key id the
+/// router scores. FNV-1a over the bytes: stable, order-sensitive, and
+/// good enough as a substream selector — the real mixing happens inside
+/// [`substream`].
+#[must_use]
+pub fn key_hash(key: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &byte in key.as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The rendezvous score of `key` on pool identity `pool_id` under
+/// `seed`. Pure function of its arguments; independent of every other
+/// pool, which is what makes rebalancing minimal.
+#[must_use]
+pub fn score(seed: u64, key: u64, pool_id: u64) -> u64 {
+    substream(substream(seed ^ ROUTE_SALT, key), pool_id)
+}
+
+/// Rank `pool_ids` for `key`: indices into `pool_ids`, best first
+/// (highest score; ties — vanishingly rare on 64-bit scores — break
+/// toward the lower pool id so the order is total and reproducible).
+#[must_use]
+pub fn rank(seed: u64, key: u64, pool_ids: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..pool_ids.len()).collect();
+    order.sort_by_key(|&i| {
+        (
+            std::cmp::Reverse(score(seed, key, pool_ids[i])),
+            pool_ids[i],
+        )
+    });
+    order
+}
+
+/// The top-ranked pool for `key`, or `None` when `pool_ids` is empty.
+#[must_use]
+pub fn top(seed: u64, key: u64, pool_ids: &[u64]) -> Option<usize> {
+    (0..pool_ids.len()).max_by_key(|&i| {
+        (
+            score(seed, key, pool_ids[i]),
+            std::cmp::Reverse(pool_ids[i]),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_are_pure_and_seed_sensitive() {
+        let a = score(1, 2, 3);
+        assert_eq!(a, score(1, 2, 3), "score must be a pure function");
+        assert_ne!(a, score(4, 2, 3), "seed must matter");
+        assert_ne!(a, score(1, 5, 3), "key must matter");
+        assert_ne!(a, score(1, 2, 6), "pool id must matter");
+    }
+
+    #[test]
+    fn rank_is_a_permutation_and_top_matches() {
+        let pools: Vec<u64> = (0..7).collect();
+        for key in 0..50u64 {
+            let order = rank(9, key, &pools);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..pools.len()).collect::<Vec<_>>());
+            assert_eq!(top(9, key, &pools), Some(order[0]));
+        }
+        assert_eq!(top(9, 1, &[]), None);
+    }
+
+    #[test]
+    fn removing_a_pool_preserves_the_survivors_order() {
+        let pools: Vec<u64> = vec![10, 20, 30, 40, 50];
+        for key in 0..40u64 {
+            let before = rank(7, key, &pools);
+            for victim in 0..pools.len() {
+                let survivors: Vec<u64> = pools
+                    .iter()
+                    .copied()
+                    .filter(|&id| id != pools[victim])
+                    .collect();
+                let after = rank(7, key, &survivors);
+                let expect: Vec<u64> = before
+                    .iter()
+                    .map(|&i| pools[i])
+                    .filter(|&id| id != pools[victim])
+                    .collect();
+                let got: Vec<u64> = after.iter().map(|&i| survivors[i]).collect();
+                assert_eq!(got, expect, "key {key} victim {victim}");
+            }
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_pools() {
+        // Not a statistical test — just a sanity check that the hash is
+        // not constant: 256 keys over 4 pools must touch every pool.
+        let pools: Vec<u64> = (0..4).collect();
+        let mut hit = [false; 4];
+        for key in 0..256u64 {
+            hit[top(11, key, &pools).unwrap()] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "all pools must receive keys");
+    }
+}

@@ -37,6 +37,11 @@
 //!   knee-calibrated [`AdmissionConfig`] + per-session [`Gate`] shed
 //!   requests (`err overloaded` on the wire) instead of queueing past
 //!   the throughput knee.
+//! * [`fleet`] — fleet-scale serving above many engines: deterministic
+//!   rendezvous routing over healthy pools, R-way replication with
+//!   deterministic replica rotation, recalibration-driven failover
+//!   ([`fleet::health`]) and SLA-point capacity planning
+//!   ([`Fleet::pools_for`]).
 //!
 //! ## The determinism rule
 //!
@@ -59,6 +64,7 @@ pub mod admission;
 pub mod chip;
 pub mod crew;
 pub mod engine;
+pub mod fleet;
 pub mod net;
 pub mod policy;
 pub mod pool;
@@ -67,7 +73,10 @@ pub mod stats;
 pub use admission::{AdmissionConfig, AdmittedOutcome, Decision, Gate, GateStats};
 pub use chip::{Chip, ChipPool, DriftProfile, DriftingChip, Placement, ServeOutcome};
 pub use crew::Crew;
-pub use engine::{BatchItem, Engine, Offer, Served, Session};
+pub use engine::{BatchItem, Engine, Offer, Served, Session, MODEL_HISTORY_CAP};
+pub use fleet::{
+    EjectReason, Fleet, FleetConfig, FleetSession, HealthPolicy, PoolHealth, SlaPoint, Transition,
+};
 pub use policy::{
     CostModel, LeastLoaded, PlacementPolicy, PoolState, RoundRobin, SizeAware, QUARANTINE_COST,
 };

@@ -104,7 +104,8 @@ pub use server::{Client, ClientV2, EventServer, EventServerConfig, Server, Serve
 use std::io::{BufRead, BufReader, Read};
 
 use crate::chip::Chip;
-use crate::engine::{Engine, Offer, Session};
+use crate::engine::{BatchItem, Engine, Offer, Served, Session};
+use crate::fleet::{Fleet, FleetSession};
 
 /// Upper bound on a request line, including the newline.
 pub const DEFAULT_MAX_LINE_BYTES: usize = 64 * 1024;
@@ -201,14 +202,35 @@ impl Response {
     }
 }
 
-/// A named workload the server exposes: an engine over type-erased chips
-/// plus the input arity it validates before letting a request reach
-/// `Chip::infer` (chips panic on wrong lengths by contract, so the
-/// server must reject, not forward, bad arities).
+/// What actually serves a workload's requests: one engine pool, or a
+/// whole [`Fleet`] of them routed by workload key. Private — the servers
+/// go through the dispatching methods on [`NetWorkload`].
+enum Backend {
+    Engine(Engine<Box<dyn Chip>>),
+    Fleet(Fleet<Box<dyn Chip>>),
+}
+
+/// Per-connection serving state for one workload: the backend-shaped
+/// mirror of [`Session`]. Create with [`NetWorkload::open_session`]; the
+/// chip sequence it yields is a pure function of the connection's own
+/// request sequence either way.
+pub enum WorkloadSession {
+    /// Placement session over a single engine.
+    Engine(Session),
+    /// Routing session over a fleet (replica rotation + per-pool
+    /// placement sessions).
+    Fleet(FleetSession),
+}
+
+/// A named workload the server exposes: a serving backend (engine or
+/// fleet) over type-erased chips plus the input arity it validates
+/// before letting a request reach `Chip::infer` (chips panic on wrong
+/// lengths by contract, so the server must reject, not forward, bad
+/// arities).
 pub struct NetWorkload {
     name: String,
     input_dim: usize,
-    engine: Engine<Box<dyn Chip>>,
+    backend: Backend,
 }
 
 impl NetWorkload {
@@ -221,6 +243,23 @@ impl NetWorkload {
     /// single protocol token), or if `input_dim` is zero.
     #[must_use]
     pub fn new(name: impl Into<String>, input_dim: usize, engine: Engine<Box<dyn Chip>>) -> Self {
+        Self::build(name, input_dim, Backend::Engine(engine))
+    }
+
+    /// Register a whole `fleet` under `name`: requests route across the
+    /// fleet's healthy pools keyed by the workload name, and responses
+    /// carry **global** chip ids (`Fleet::chip_offset(pool) + chip`) —
+    /// the wire grammar is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// As [`NetWorkload::new`].
+    #[must_use]
+    pub fn fleet(name: impl Into<String>, input_dim: usize, fleet: Fleet<Box<dyn Chip>>) -> Self {
+        Self::build(name, input_dim, Backend::Fleet(fleet))
+    }
+
+    fn build(name: impl Into<String>, input_dim: usize, backend: Backend) -> Self {
         let name = name.into();
         assert!(
             !name.is_empty() && !name.contains(char::is_whitespace),
@@ -230,7 +269,7 @@ impl NetWorkload {
         Self {
             name,
             input_dim,
-            engine,
+            backend,
         }
     }
 
@@ -246,10 +285,103 @@ impl NetWorkload {
         self.input_dim
     }
 
-    /// The serving engine.
+    /// The serving engine, when the backend is a single engine (`None`
+    /// for fleet-backed workloads).
     #[must_use]
-    pub fn engine(&self) -> &Engine<Box<dyn Chip>> {
-        &self.engine
+    pub fn engine(&self) -> Option<&Engine<Box<dyn Chip>>> {
+        match &self.backend {
+            Backend::Engine(engine) => Some(engine),
+            Backend::Fleet(_) => None,
+        }
+    }
+
+    /// The serving fleet, when the backend is a fleet.
+    #[must_use]
+    pub fn as_fleet(&self) -> Option<&Fleet<Box<dyn Chip>>> {
+        match &self.backend {
+            Backend::Engine(_) => None,
+            Backend::Fleet(fleet) => Some(fleet),
+        }
+    }
+
+    /// Whether any serving path of this workload gates requests through
+    /// admission control (for a fleet: any pool's engine does).
+    #[must_use]
+    pub fn has_admission(&self) -> bool {
+        match &self.backend {
+            Backend::Engine(engine) => engine.admission().is_some(),
+            Backend::Fleet(fleet) => {
+                (0..fleet.len()).any(|p| fleet.engine(p).admission().is_some())
+            }
+        }
+    }
+
+    /// Open a fresh per-connection session for this workload.
+    #[must_use]
+    pub fn open_session(&self) -> WorkloadSession {
+        match &self.backend {
+            Backend::Engine(engine) => WorkloadSession::Engine(engine.session()),
+            Backend::Fleet(fleet) => WorkloadSession::Fleet(fleet.session(&self.name)),
+        }
+    }
+
+    /// Serve one request through the session (fleet chip ids are
+    /// global).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` came from a different-backed workload.
+    pub fn serve_one(&self, session: &mut WorkloadSession, input: &[f64]) -> Served {
+        match (&self.backend, session) {
+            (Backend::Engine(engine), WorkloadSession::Engine(s)) => engine.serve_one(s, input),
+            (Backend::Fleet(fleet), WorkloadSession::Fleet(s)) => fleet.serve_one(s, input),
+            _ => panic!("session opened on a different-backed workload"),
+        }
+    }
+
+    /// Serve one request behind the backend's admission gate.
+    ///
+    /// # Panics
+    ///
+    /// As [`NetWorkload::serve_one`].
+    pub fn offer_one(
+        &self,
+        session: &mut WorkloadSession,
+        input: &[f64],
+        arrival_secs: f64,
+    ) -> Offer {
+        match (&self.backend, session) {
+            (Backend::Engine(engine), WorkloadSession::Engine(s)) => {
+                engine.offer_one(s, input, arrival_secs)
+            }
+            (Backend::Fleet(fleet), WorkloadSession::Fleet(s)) => {
+                fleet.offer_one(s, input, arrival_secs)
+            }
+            _ => panic!("session opened on a different-backed workload"),
+        }
+    }
+
+    /// Serve a pipelined batch through the session (the v2 path),
+    /// results in request order.
+    ///
+    /// # Panics
+    ///
+    /// As [`NetWorkload::serve_one`].
+    pub fn serve_batch(
+        &self,
+        session: &mut WorkloadSession,
+        inputs: &[Vec<f64>],
+        arrival_secs: Option<f64>,
+    ) -> Vec<BatchItem> {
+        match (&self.backend, session) {
+            (Backend::Engine(engine), WorkloadSession::Engine(s)) => {
+                engine.serve_session_batch(s, inputs, arrival_secs)
+            }
+            (Backend::Fleet(fleet), WorkloadSession::Fleet(s)) => {
+                fleet.serve_session_batch(s, inputs, arrival_secs)
+            }
+            _ => panic!("session opened on a different-backed workload"),
+        }
     }
 }
 
@@ -261,16 +393,13 @@ fn serve_line_admitted(
     line: &str,
     arrival_secs: f64,
     workloads: &[NetWorkload],
-    sessions: &mut [Session],
+    sessions: &mut [WorkloadSession],
 ) -> Response {
     let (index, input) = match parse_request(line, workloads) {
         Ok(parsed) => parsed,
         Err(response) => return response,
     };
-    match workloads[index]
-        .engine
-        .offer_one(&mut sessions[index], &input, arrival_secs)
-    {
+    match workloads[index].offer_one(&mut sessions[index], &input, arrival_secs) {
         Offer::Served(served) => Response::Ok {
             chip: served.chip,
             latency_us: served.latency.as_micros(),
@@ -281,14 +410,12 @@ fn serve_line_admitted(
 }
 
 /// Parse and serve one request line against per-connection sessions.
-fn serve_line(line: &str, workloads: &[NetWorkload], sessions: &mut [Session]) -> Response {
+fn serve_line(line: &str, workloads: &[NetWorkload], sessions: &mut [WorkloadSession]) -> Response {
     let (index, input) = match parse_request(line, workloads) {
         Ok(parsed) => parsed,
         Err(response) => return response,
     };
-    let served = workloads[index]
-        .engine
-        .serve_one(&mut sessions[index], &input);
+    let served = workloads[index].serve_one(&mut sessions[index], &input);
     Response::Ok {
         chip: served.chip,
         latency_us: served.latency.as_micros(),

@@ -50,11 +50,12 @@ use std::time::{Duration, Instant};
 
 use super::conn::{ConnEvent, ConnMachine, ConnMode};
 use super::frame::{self, Frame, ItemResponse, RequestFrame, ResponseFrame};
+use super::WorkloadSession;
 use super::{
     format_csv, read_line_bounded, serve_line, serve_line_admitted, NetWorkload, ReadLineError,
     Response, DEFAULT_MAX_LINE_BYTES,
 };
-use crate::engine::{BatchItem, Session};
+use crate::engine::BatchItem;
 
 /// Depth of the gated handler's reader → server queue. Bounds how far a
 /// pipelining client can run ahead of arrival stamping; past this the
@@ -127,7 +128,7 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<Option<TcpStream>>>> =
             Arc::new(Mutex::new((0..config.threads).map(|_| None).collect()));
-        let gated = workloads.iter().any(|w| w.engine().admission().is_some());
+        let gated = workloads.iter().any(NetWorkload::has_admission);
         let workloads = Arc::new(workloads);
         let acceptors = (0..config.threads)
             .map(|slot| {
@@ -210,7 +211,8 @@ fn handle_connection(stream: TcpStream, workloads: &[NetWorkload], max_line: usi
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    let mut sessions: Vec<Session> = workloads.iter().map(|w| w.engine().session()).collect();
+    let mut sessions: Vec<WorkloadSession> =
+        workloads.iter().map(NetWorkload::open_session).collect();
     loop {
         let line = match read_line_bounded(&mut reader, max_line) {
             Ok(Some(line)) => line,
@@ -242,7 +244,8 @@ fn handle_connection_admitted(stream: TcpStream, workloads: &[NetWorkload], max_
         return;
     };
     let mut writer = BufWriter::new(stream);
-    let mut sessions: Vec<Session> = workloads.iter().map(|w| w.engine().session()).collect();
+    let mut sessions: Vec<WorkloadSession> =
+        workloads.iter().map(NetWorkload::open_session).collect();
     let epoch = Instant::now();
     std::thread::scope(|scope| {
         let (tx, rx) =
@@ -338,7 +341,7 @@ enum JobKind {
 struct Job {
     slot: usize,
     generation: u64,
-    sessions: Vec<Session>,
+    sessions: Vec<WorkloadSession>,
     kind: JobKind,
 }
 
@@ -346,7 +349,7 @@ struct Job {
 struct Done {
     slot: usize,
     generation: u64,
-    sessions: Vec<Session>,
+    sessions: Vec<WorkloadSession>,
     bytes: Vec<u8>,
 }
 
@@ -356,7 +359,7 @@ struct EventConn {
     generation: u64,
     machine: ConnMachine,
     /// `None` while a job is in flight (the worker holds them).
-    sessions: Option<Vec<Session>>,
+    sessions: Option<Vec<WorkloadSession>>,
     pending: VecDeque<JobKind>,
     out: Vec<u8>,
     /// Close once the out buffer flushes and nothing is pending.
@@ -419,7 +422,7 @@ impl EventServer {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let gated = workloads.iter().any(|w| w.engine().admission().is_some());
+        let gated = workloads.iter().any(NetWorkload::has_admission);
         let workloads = Arc::new(workloads);
 
         let (work_tx, work_rx) = mpsc::channel::<Job>();
@@ -501,7 +504,7 @@ fn run_job(
     kind: &JobKind,
     gated: bool,
     workloads: &[NetWorkload],
-    sessions: &mut [Session],
+    sessions: &mut [WorkloadSession],
 ) -> Vec<u8> {
     match kind {
         JobKind::Reply(bytes) => bytes.clone(),
@@ -522,14 +525,14 @@ fn run_job(
 }
 
 /// Serve one v2 request batch: workload lookup, arity check, then
-/// [`Engine::serve_session_batch`](crate::Engine::serve_session_batch)
-/// over the whole batch. The arrival stamp (taken at frame decode)
-/// rides into the session's admission gate when one is configured.
+/// [`NetWorkload::serve_batch`] over the whole batch (engine- or
+/// fleet-backed alike). The arrival stamp (taken at frame decode) rides
+/// into the session's admission gate when one is configured.
 fn serve_frame(
     request: &RequestFrame,
     arrival: f64,
     workloads: &[NetWorkload],
-    sessions: &mut [Session],
+    sessions: &mut [WorkloadSession],
 ) -> Frame {
     let index = usize::from(request.workload);
     let Some(workload) = workloads.get(index) else {
@@ -548,9 +551,7 @@ fn serve_frame(
         });
     }
     let inputs = request.inputs();
-    let items = workload
-        .engine()
-        .serve_session_batch(&mut sessions[index], &inputs, Some(arrival));
+    let items = workload.serve_batch(&mut sessions[index], &inputs, Some(arrival));
     let items = items
         .into_iter()
         .map(|item| match item {
@@ -603,7 +604,7 @@ fn event_loop(
                         stream,
                         generation: next_generation,
                         machine: ConnMachine::new(config.max_line_bytes, config.max_frame_bytes),
-                        sessions: Some(workloads.iter().map(|w| w.engine().session()).collect()),
+                        sessions: Some(workloads.iter().map(NetWorkload::open_session).collect()),
                         pending: VecDeque::new(),
                         out: Vec::new(),
                         closing: false,
@@ -920,11 +921,16 @@ impl ClientV2 {
         &self.workloads
     }
 
-    /// The v2 id of a workload name from the negotiated list.
+    /// The v2 id of a workload name from the negotiated directory. This
+    /// is a **client-side** check against the `ok v2 name0,name1,…`
+    /// list recorded at connect — an unknown name is rejected here with
+    /// the announced names in the message, without burning a server
+    /// round trip on a request that could only come back `err`.
     ///
     /// # Errors
     ///
-    /// `NotFound` when the server did not announce the workload.
+    /// `NotFound` when the server did not announce the workload; the
+    /// connection remains usable.
     pub fn workload_id(&self, workload: &str) -> io::Result<u16> {
         self.workloads
             .iter()
@@ -933,7 +939,11 @@ impl ClientV2 {
             .ok_or_else(|| {
                 io::Error::new(
                     io::ErrorKind::NotFound,
-                    format!("workload '{workload}' not announced by the server"),
+                    format!(
+                        "workload '{workload}' not announced by the server \
+                         (announced: {})",
+                        self.workloads.join(", ")
+                    ),
                 )
             })
     }

@@ -132,6 +132,66 @@ fn least_loaded_keeps_loads_balanced() {
     });
 }
 
+/// Rendezvous hashing is minimally disruptive: evicting one pool moves
+/// only the keys that ranked the victim first — every surviving pool
+/// keeps its relative order for every key, and the moved keys land on
+/// their next-ranked survivor. This is the invariant that makes fleet
+/// failover reproducible: `Fleet::eject` is exactly an eviction here.
+#[test]
+fn rendezvous_eviction_moves_only_the_victims_keys() {
+    use runtime::fleet::router::{rank, top};
+    prop_check!(|g| {
+        let seed = g.u64_any();
+        let n_pools = g.usize_in(2, 8);
+        // Arbitrary distinct pool identities, not just 0..n.
+        let mut pool_ids: Vec<u64> = Vec::new();
+        while pool_ids.len() < n_pools {
+            let id = g.u64_any();
+            if !pool_ids.contains(&id) {
+                pool_ids.push(id);
+            }
+        }
+        let victim = g.usize_in(0, n_pools - 1);
+        let survivors: Vec<u64> = pool_ids
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(i, _)| i != victim)
+            .map(|(_, id)| id)
+            .collect();
+        for _ in 0..g.usize_in(1, 24) {
+            let key = g.u64_any();
+            let before: Vec<u64> = rank(seed, key, &pool_ids)
+                .into_iter()
+                .map(|i| pool_ids[i])
+                .collect();
+            let after: Vec<u64> = rank(seed, key, &survivors)
+                .into_iter()
+                .map(|i| survivors[i])
+                .collect();
+            // The survivors' ranking is the old ranking minus the victim.
+            let expect: Vec<u64> = before
+                .iter()
+                .copied()
+                .filter(|&id| id != pool_ids[victim])
+                .collect();
+            assert_eq!(after, expect, "eviction must not reorder survivors");
+            // Routing moves iff the victim was this key's first choice,
+            // and then lands exactly on the key's second choice.
+            if before[0] == pool_ids[victim] {
+                assert_eq!(after[0], before[1], "moved key must take its next rank");
+            } else {
+                assert_eq!(after[0], before[0], "non-victim keys must not move");
+            }
+            assert_eq!(
+                top(seed, key, &survivors).map(|i| survivors[i]),
+                Some(after[0]),
+                "top must agree with rank"
+            );
+        }
+    });
+}
+
 /// The poison/panic contract, end to end: a panicking task neither
 /// deadlocks nor poisons the pool — the batch's remaining tasks all
 /// complete, the panic payload reaches the caller, and the same pool

@@ -377,6 +377,32 @@ fn event_server_worker_count_cannot_change_v2_bits() {
     );
 }
 
+/// `ClientV2` resolves workload names client-side against the
+/// negotiation directory (`ok v2 name0,name1,…`): an unknown name fails
+/// before a single byte hits the wire, the error names both the bad
+/// workload and the announced directory, and the connection stays fully
+/// usable — proof no partial frame leaked out.
+#[test]
+fn v2_unknown_workload_is_rejected_client_side() {
+    let mei = trained_mei();
+    let server = bind_event_server(&mei, 1);
+    let mut client = ClientV2::connect(server.addr()).expect("negotiate v2");
+    let err = client
+        .send_batch("nosuch", &[vec![0.5]])
+        .expect_err("unknown workload must fail client-side");
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    let message = err.to_string();
+    assert!(message.contains("'nosuch'"), "names the culprit: {message}");
+    assert!(message.contains("expfit"), "lists the directory: {message}");
+    // Nothing was sent, so the very same connection still serves.
+    let items = client
+        .request_batch("expfit", &[vec![0.5]])
+        .expect("connection unharmed");
+    assert!(matches!(items[0], ItemResponse::Ok { .. }));
+    drop(client);
+    server.shutdown();
+}
+
 #[test]
 fn v1_fallback_over_the_event_server_matches_the_prefork_server() {
     let mei = trained_mei();
