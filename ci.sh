@@ -65,6 +65,15 @@ MEI_BENCH_FAST=1 MEI_BENCH_SECONDS=0.4 \
 test -s target/BENCH_fleet_smoke.json
 cargo test -q --offline -p runtime --test fleet_failover > /dev/null
 
+echo "==> kernels bench smoke (packed ≡ scalar bits, GS ≡ CG currents)"
+# FAST mode uses 5 samples / 200 µs windows; the binary always asserts
+# the correctness contracts (bit-identical packed/scalar/uncached matvec,
+# solver agreement) before timing, self-validates its JSON, and skips the
+# speedup floors (those are enforced on full runs only).
+MEI_BENCH_FAST=1 MEI_BENCH_JSON=target/BENCH_kernels_smoke.json \
+    cargo run --release --offline -p mei-bench --bin kernels > /dev/null
+test -s target/BENCH_kernels_smoke.json
+
 echo "==> training throughput bench smoke (1-epoch calls, 0.3-second windows)"
 # The 0.9x sanity floor on the 2-thread speedup is enforced by the binary
 # only on hosts with >= 2 hardware threads; the bit-identity check across

@@ -41,6 +41,10 @@ pub struct BenchReport {
     pub median_ns: f64,
     /// Mean over all samples, ns/op.
     pub mean_ns: f64,
+    /// Median throughput, operations per second (`1e9 / median_ns`) —
+    /// the same statistic as `median_ns`, in the unit capacity planning
+    /// uses.
+    pub ops_per_sec: f64,
 }
 
 impl BenchReport {
@@ -52,13 +56,14 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"name\":\"{}\",\"iters_per_sample\":{},\"samples\":{},\
-             \"min_ns\":{},\"median_ns\":{},\"mean_ns\":{}}}",
+             \"min_ns\":{},\"median_ns\":{},\"mean_ns\":{},\"ops_per_sec\":{}}}",
             runtime::json_escape(&self.name),
             self.iters_per_sample,
             self.samples,
             runtime::json_num(self.min_ns, 3),
             runtime::json_num(self.median_ns, 3),
             runtime::json_num(self.mean_ns, 3),
+            runtime::json_num(self.ops_per_sec, 3),
         )
     }
 }
@@ -129,13 +134,15 @@ impl Runner {
             .collect();
         per_op.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
 
+        let median_ns = per_op[per_op.len() / 2];
         let report = BenchReport {
             name: name.to_string(),
             iters_per_sample: iters,
             samples: self.samples,
             min_ns: per_op[0],
-            median_ns: per_op[per_op.len() / 2],
+            median_ns,
             mean_ns: per_op.iter().sum::<f64>() / per_op.len() as f64,
+            ops_per_sec: 1e9 / median_ns,
         };
         eprintln!(
             "{:<40} {:>12} {:>12} {:>12}",
@@ -231,11 +238,13 @@ mod tests {
             min_ns: 1.0,
             median_ns: 2.0,
             mean_ns: 2.5,
+            ops_per_sec: 5e8,
         };
         assert_eq!(
             rep.to_json(),
             "{\"name\":\"x/1\",\"iters_per_sample\":10,\"samples\":3,\
-             \"min_ns\":1.000,\"median_ns\":2.000,\"mean_ns\":2.500}"
+             \"min_ns\":1.000,\"median_ns\":2.000,\"mean_ns\":2.500,\
+             \"ops_per_sec\":500000000.000}"
         );
     }
 
@@ -248,8 +257,11 @@ mod tests {
             min_ns: 0.0,
             median_ns: 0.0,
             mean_ns: 0.0,
+            ops_per_sec: f64::INFINITY,
         };
         assert!(rep.to_json().contains("a\\\"b"));
+        // Non-finite throughput serializes as null, keeping the JSON valid.
+        assert!(rep.to_json().contains("\"ops_per_sec\":null"));
     }
 
     #[test]

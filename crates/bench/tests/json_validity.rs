@@ -98,6 +98,7 @@ fn bench_reports_stay_valid_json() {
         min_ns: f64::NAN,
         median_ns: f64::INFINITY,
         mean_ns: 12.5,
+        ops_per_sec: 0.0,
     };
     let json = report.to_json();
     assert_valid("BenchReport non-finite stats", &json);

@@ -9,7 +9,7 @@ use neural::{Dataset, Mlp, MlpBuilder, TrainConfig, Trainer};
 use prng::Rng;
 use rram::{DeviceParams, VariationModel};
 
-use crate::analog::AnalogMlp;
+use crate::analog::{AnalogMlp, AnalogWorkspace};
 use crate::error::{InferError, TrainRcsError};
 
 /// Configuration of a traditional AD/DA-interfaced RCS.
@@ -144,6 +144,22 @@ impl AddaRcs {
         self.check_input(x)?;
         let dac: Vec<f64> = x.iter().map(|&v| quantize_fraction(v, self.bits)).collect();
         let out = self.analog.forward(&dac);
+        Ok(out
+            .iter()
+            .map(|&v| quantize_fraction(v, self.bits))
+            .collect())
+    }
+
+    /// [`infer`](Self::infer) against a caller-owned workspace (the
+    /// allocation-free serving path); bit-identical to [`infer`](Self::infer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::InputLength`] on a wrong-sized input.
+    pub fn infer_with(&self, x: &[f64], ws: &mut AnalogWorkspace) -> Result<Vec<f64>, InferError> {
+        self.check_input(x)?;
+        let dac: Vec<f64> = x.iter().map(|&v| quantize_fraction(v, self.bits)).collect();
+        let out = self.analog.forward_with(&dac, ws);
         Ok(out
             .iter()
             .map(|&v| quantize_fraction(v, self.bits))

@@ -9,10 +9,32 @@
 
 use std::fmt;
 
-use crossbar::{DifferentialPair, IrDropConfig, MapWeightsError, MappingConfig, SignalFluctuation};
+use crossbar::{
+    BitInput, DifferentialPair, IrDropConfig, MapWeightsError, MappingConfig, SignalFluctuation,
+};
 use neural::{Activation, Mlp};
 use prng::Rng;
 use rram::{DeviceParams, VariationModel};
+
+/// Reusable scratch for [`AnalogMlp::forward_with`]: the activation
+/// ping-pong buffers, the minus-array current scratch, and a packed-bit
+/// lane buffer for the interface-bit fast path. One workspace per serving
+/// thread removes every per-call allocation except the returned vector.
+#[derive(Debug, Clone, Default)]
+pub struct AnalogWorkspace {
+    a: Vec<f64>,
+    z: Vec<f64>,
+    scratch: Vec<f64>,
+    bits: BitInput,
+}
+
+impl AnalogWorkspace {
+    /// An empty workspace; buffers grow to the largest layer they serve.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// One crossbar-mapped layer: a differential pair over the augmented
 /// `[W | b]` matrix plus the peripheral activation.
@@ -102,20 +124,48 @@ impl AnalogMlp {
 
     /// Ideal forward pass (no noise, current device state).
     ///
+    /// Routes each layer through the bit-packed kernel when its input is an
+    /// exact interface-bit vector (MEI's whole first layer, bias included,
+    /// is 0/1) — bit-identical to the scalar path either way.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != input_dim()`.
     #[must_use]
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut ws = AnalogWorkspace::new();
+        self.forward_with(x, &mut ws)
+    }
+
+    /// [`forward`](Self::forward) against a caller-owned workspace: the
+    /// serving hot path. Per-layer activation buffers, the minus-array
+    /// current scratch, and the packed-bit lanes all live in `ws`, so a
+    /// thread reusing its workspace allocates only the returned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim()`.
+    #[must_use]
+    pub fn forward_with(&self, x: &[f64], ws: &mut AnalogWorkspace) -> Vec<f64> {
         assert_eq!(x.len(), self.input_dim, "analog input length");
-        let mut a = x.to_vec();
+        ws.a.clear();
+        ws.a.extend_from_slice(x);
         for layer in &self.layers {
-            a.push(1.0); // bias port
-            let mut z = layer.pair.matvec(&a);
-            layer.activation.apply_in_place(&mut z);
-            a = z;
+            ws.a.push(1.0); // bias port
+            let outputs = layer.pair.outputs();
+            ws.z.resize(outputs, 0.0);
+            ws.scratch.resize(outputs, 0.0);
+            if ws.bits.try_pack(&ws.a) {
+                layer
+                    .pair
+                    .matvec_binary_into(&ws.bits, &mut ws.z, &mut ws.scratch);
+            } else {
+                layer.pair.matvec_into(&ws.a, &mut ws.z, &mut ws.scratch);
+            }
+            layer.activation.apply_in_place(&mut ws.z);
+            std::mem::swap(&mut ws.a, &mut ws.z);
         }
-        a
+        ws.a.clone()
     }
 
     /// Forward pass with lognormal signal fluctuation applied to the voltage
@@ -317,5 +367,21 @@ mod tests {
     #[test]
     fn display_mentions_devices() {
         assert!(analog().to_string().contains("RRAM devices"));
+    }
+
+    #[test]
+    fn forward_with_reused_workspace_is_bit_identical() {
+        let p = analog();
+        let mut ws = AnalogWorkspace::new();
+        // Binary inputs hit the packed path; fractional ones the scalar
+        // path; a reused (dirty) workspace must never change the bits.
+        for x in [[1.0, 0.0, 1.0], [0.1, 0.5, 0.9], [0.0, 0.0, 0.0]] {
+            assert_eq!(p.forward_with(&x, &mut ws), p.forward(&x));
+        }
+        // The workspace also serves a differently-shaped network.
+        let deep = MlpBuilder::new(&[2, 6, 6, 3]).seed(11).build();
+        let q =
+            AnalogMlp::from_mlp(&deep, DeviceParams::hfox(), &MappingConfig::default()).unwrap();
+        assert_eq!(q.forward_with(&[1.0, 0.0], &mut ws), q.forward(&[1.0, 0.0]));
     }
 }

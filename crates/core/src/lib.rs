@@ -63,7 +63,7 @@ pub mod saab;
 pub mod serve;
 
 pub use adda::{AddaConfig, AddaRcs};
-pub use analog::AnalogMlp;
+pub use analog::{AnalogMlp, AnalogWorkspace};
 pub use bitweights::exponential_bit_weights;
 pub use diagnostics::{analog_fidelity, comparator_margins, FidelityReport, MarginReport};
 pub use digital::DigitalAnn;

@@ -16,7 +16,7 @@ use neural::{Dataset, Mlp, MlpBuilder, TrainConfig, Trainer};
 use prng::Rng;
 use rram::{DeviceParams, VariationModel};
 
-use crate::analog::AnalogMlp;
+use crate::analog::{AnalogMlp, AnalogWorkspace};
 use crate::bitweights::msb_weighted_loss;
 use crate::error::{InferError, TrainRcsError};
 
@@ -235,6 +235,23 @@ impl MeiRcs {
         Ok(self.comparator.bits(&self.analog.forward(bits)))
     }
 
+    /// [`infer_bits`](Self::infer_bits) against a caller-owned workspace:
+    /// the allocation-free serving hot path (the 0/1 input rides the
+    /// bit-packed crossbar kernel; scratch lives in `ws`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::InputLength`] if `bits.len()` differs from the
+    /// input port count.
+    pub fn infer_bits_with(
+        &self,
+        bits: &[f64],
+        ws: &mut AnalogWorkspace,
+    ) -> Result<Vec<f64>, InferError> {
+        self.check_bits(bits)?;
+        Ok(self.comparator.bits(&self.analog.forward_with(bits, ws)))
+    }
+
     /// Binary-domain inference under signal fluctuation on every analog
     /// voltage (the 0/1 drive levels included — they are physical signals).
     ///
@@ -266,6 +283,24 @@ impl MeiRcs {
             });
         }
         let bits = self.infer_bits(&self.input_spec.encode(x))?;
+        Ok(self.output_spec.decode(&bits))
+    }
+
+    /// [`infer`](Self::infer) against a caller-owned workspace (see
+    /// [`infer_bits_with`](Self::infer_bits_with)); bit-identical to
+    /// [`infer`](Self::infer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::InputLength`] on a wrong-sized input.
+    pub fn infer_with(&self, x: &[f64], ws: &mut AnalogWorkspace) -> Result<Vec<f64>, InferError> {
+        if x.len() != self.input_spec.groups() {
+            return Err(InferError::InputLength {
+                expected: self.input_spec.groups(),
+                found: x.len(),
+            });
+        }
+        let bits = self.infer_bits_with(&self.input_spec.encode(x), ws)?;
         Ok(self.output_spec.decode(&bits))
     }
 

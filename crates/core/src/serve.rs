@@ -9,26 +9,41 @@
 //! same physical device on every run and for every pool size — the
 //! serving-side face of the workspace's deterministic-parallelism rule.
 
+use std::cell::RefCell;
+
 use prng::rngs::StdRng;
 use prng::SeedableRng;
 use rram::VariationModel;
 use runtime::{Chip, ChipPool, DriftProfile, DriftingChip, Engine, Fleet, FleetConfig};
 
 use crate::adda::AddaRcs;
+use crate::analog::AnalogWorkspace;
 use crate::digital::DigitalAnn;
 use crate::eval::Rcs;
 use crate::mei_arch::MeiRcs;
 use crate::saab::Saab;
 
+thread_local! {
+    /// Per-worker analog scratch: `Chip::infer` takes `&self` (chips are
+    /// shared across serving threads), so the workspace that makes the
+    /// crossbar matvec allocation-free lives per thread, sized once by the
+    /// largest layer the thread serves.
+    static SERVE_WORKSPACE: RefCell<AnalogWorkspace> = RefCell::new(AnalogWorkspace::new());
+}
+
 impl Chip for MeiRcs {
     fn infer(&self, input: &[f64]) -> Vec<f64> {
-        MeiRcs::infer(self, input).expect("dataset-validated input")
+        SERVE_WORKSPACE
+            .with(|ws| MeiRcs::infer_with(self, input, &mut ws.borrow_mut()))
+            .expect("dataset-validated input")
     }
 }
 
 impl Chip for AddaRcs {
     fn infer(&self, input: &[f64]) -> Vec<f64> {
-        AddaRcs::infer(self, input).expect("dataset-validated input")
+        SERVE_WORKSPACE
+            .with(|ws| AddaRcs::infer_with(self, input, &mut ws.borrow_mut()))
+            .expect("dataset-validated input")
     }
 }
 

@@ -1,11 +1,14 @@
 //! The crossbar array: a grid of RRAM cells with analog readout.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use prng::Rng;
 use rram::{DeviceParams, RramDevice, VariationModel};
 
+use crate::bitvec::BitInput;
 use crate::ir_drop::IrDropConfig;
+use crate::kernel;
 
 /// An `rows × cols` crossbar of RRAM cells.
 ///
@@ -32,13 +35,28 @@ use crate::ir_drop::IrDropConfig;
 /// assert!((i[0] - 4e-4).abs() < 1e-12);
 /// assert!((i[1] - 6e-4).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CrossbarArray {
     rows: usize,
     cols: usize,
     params: DeviceParams,
     /// Row-major: `cells[k * cols + j]` is the device at row `k`, column `j`.
     cells: Vec<RramDevice>,
+    /// Lazily-built flat conductance plane (`plane[k * cols + j] = g_kj`)
+    /// the readout kernels run over; invalidated by every device mutation
+    /// (`program_clamped`, `cell_mut`, `disturb_all`, `restore_all`,
+    /// `age_all`). `OnceLock` so shared readers can build it concurrently.
+    plane: OnceLock<Vec<f64>>,
+}
+
+// The plane is derived state: two arrays are equal iff their devices are.
+impl PartialEq for CrossbarArray {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.params == other.params
+            && self.cells == other.cells
+    }
 }
 
 impl CrossbarArray {
@@ -58,7 +76,19 @@ impl CrossbarArray {
             cols,
             params,
             cells: vec![RramDevice::new(params); rows * cols],
+            plane: OnceLock::new(),
         }
+    }
+
+    /// The cached flat conductance plane, building it on first use.
+    pub(crate) fn plane(&self) -> &[f64] {
+        self.plane
+            .get_or_init(|| self.cells.iter().map(RramDevice::conductance).collect())
+    }
+
+    /// Drop the cached plane; every `&mut self` device mutation calls this.
+    fn invalidate_plane(&mut self) {
+        self.plane.take();
     }
 
     /// Number of input rows (word lines).
@@ -109,6 +139,7 @@ impl CrossbarArray {
             row < self.rows && col < self.cols,
             "cell ({row},{col}) out of bounds"
         );
+        self.invalidate_plane();
         &mut self.cells[row * self.cols + col]
     }
 
@@ -125,6 +156,7 @@ impl CrossbarArray {
             self.rows,
             "conductance matrix row count"
         );
+        self.invalidate_plane();
         for (k, row) in conductances.iter().enumerate() {
             assert_eq!(
                 row.len(),
@@ -152,6 +184,7 @@ impl CrossbarArray {
     /// Apply a variation model to every cell (re-sampling each actual
     /// conductance from its programmed target).
     pub fn disturb_all<R: Rng + ?Sized>(&mut self, variation: &VariationModel, rng: &mut R) {
+        self.invalidate_plane();
         for cell in &mut self.cells {
             cell.disturb(variation, rng);
         }
@@ -159,6 +192,7 @@ impl CrossbarArray {
 
     /// Restore every cell to its programmed target (undo all disturbances).
     pub fn restore_all(&mut self) {
+        self.invalidate_plane();
         for cell in &mut self.cells {
             cell.restore();
         }
@@ -168,6 +202,7 @@ impl CrossbarArray {
     /// drift; targets stay, so [`restore_all`](Self::restore_all) models a
     /// refresh cycle).
     pub fn age_all(&mut self, retention: &rram::RetentionModel, seconds: f64) {
+        self.invalidate_plane();
         for cell in &mut self.cells {
             retention.age(cell, seconds);
         }
@@ -183,11 +218,66 @@ impl CrossbarArray {
 
     /// Ideal virtual-ground readout: `I_j = Σ_k g_kj · V_k` for every column.
     ///
+    /// Runs over the cached conductance plane; bit-identical to
+    /// [`column_currents_uncached`](Self::column_currents_uncached).
+    ///
     /// # Panics
     ///
     /// Panics if `inputs.len() != rows`.
     #[must_use]
     pub fn column_currents(&self, inputs: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        self.column_currents_into(inputs, &mut out);
+        out
+    }
+
+    /// [`column_currents`](Self::column_currents) into a caller-provided
+    /// buffer (overwritten), for allocation-free serving loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != rows` or `out.len() != cols`.
+    pub fn column_currents_into(&self, inputs: &[f64], out: &mut [f64]) {
+        assert_eq!(inputs.len(), self.rows, "input vector length");
+        assert_eq!(out.len(), self.cols, "output buffer length");
+        kernel::matvec_scalar(self.plane(), self.cols, inputs, out);
+    }
+
+    /// Masked-column-sum readout for exact-binary inputs: bit-identical to
+    /// [`column_currents`](Self::column_currents) on the unpacked vector,
+    /// but multiply-free and skipping 64 zero rows per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != rows`.
+    #[must_use]
+    pub fn column_currents_binary(&self, bits: &BitInput) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        self.column_currents_binary_into(bits, &mut out);
+        out
+    }
+
+    /// [`column_currents_binary`](Self::column_currents_binary) into a
+    /// caller-provided buffer (overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != rows` or `out.len() != cols`.
+    pub fn column_currents_binary_into(&self, bits: &BitInput, out: &mut [f64]) {
+        assert_eq!(bits.len(), self.rows, "input vector length");
+        assert_eq!(out.len(), self.cols, "output buffer length");
+        kernel::matvec_binary(self.plane(), self.cols, bits, out);
+    }
+
+    /// The original cell-walk readout, kept as the bit-exact reference the
+    /// plane-cached kernels are pinned against (property-tested after every
+    /// invalidation event; also the honest baseline in the kernels bench).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != rows`.
+    #[must_use]
+    pub fn column_currents_uncached(&self, inputs: &[f64]) -> Vec<f64> {
         assert_eq!(inputs.len(), self.rows, "input vector length");
         let mut out = vec![0.0; self.cols];
         for (k, &v) in inputs.iter().enumerate() {
@@ -442,5 +532,59 @@ mod tests {
     #[test]
     fn display_mentions_shape() {
         assert!(format!("{}", two_by_two()).contains("2×2"));
+    }
+
+    #[test]
+    fn cached_kernel_matches_cell_walk_bit_for_bit() {
+        let x = two_by_two();
+        let inputs = [0.7, -1.3];
+        let cached = x.column_currents(&inputs);
+        assert_eq!(cached, x.column_currents_uncached(&inputs));
+        let mut buf = vec![f64::NAN; 2];
+        x.column_currents_into(&inputs, &mut buf);
+        assert_eq!(buf, cached);
+    }
+
+    #[test]
+    fn binary_readout_matches_scalar_bits() {
+        let x = two_by_two();
+        let bits = BitInput::try_from_values(&[1.0, 0.0]).unwrap();
+        assert_eq!(
+            x.column_currents_binary(&bits),
+            x.column_currents(&[1.0, 0.0])
+        );
+    }
+
+    #[test]
+    fn every_mutation_invalidates_the_plane() {
+        let mut x = two_by_two();
+        let probe = [1.0, 1.0];
+        let check = |x: &CrossbarArray| {
+            assert_eq!(
+                x.column_currents(&probe),
+                x.column_currents_uncached(&probe),
+                "cached plane must track the cells"
+            );
+        };
+        check(&x); // warm the cache
+        x.cell_mut(0, 0).program_clamped(5e-4);
+        check(&x);
+        x.program_clamped(&[vec![2e-4, 1e-4], vec![4e-4, 3e-4]]);
+        check(&x);
+        let mut rng = StdRng::seed_from_u64(11);
+        x.disturb_all(&VariationModel::process_variation(0.3), &mut rng);
+        check(&x);
+        x.age_all(&rram::RetentionModel::new(0.1, 1.0), 100.0);
+        check(&x);
+        x.restore_all();
+        check(&x);
+    }
+
+    #[test]
+    fn equality_ignores_the_cached_plane() {
+        let a = two_by_two();
+        let b = two_by_two();
+        let _ = a.column_currents(&[1.0, 1.0]); // warm a's cache only
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,178 @@
+//! Bit-packed binary input vectors for the interface-bit fast path.
+//!
+//! MEI's interface carries exact 0/1 arrays (paper §3.1): every value that
+//! reaches a crossbar row on the merged interface is either `0.0` or `1.0`.
+//! For such inputs the analog MVM `I_j = Σ_k g_kj·V_k` degenerates to a
+//! *masked column sum* — add row `k`'s conductances iff bit `k` is set.
+//! [`BitInput`] packs the mask into `u64` lanes so the kernel can skip 64
+//! zero rows per word and never multiplies.
+//!
+//! The packing is lossless with respect to the scalar path: `g · 1.0 == g`
+//! exactly in IEEE 754, and the scalar kernel skips `v == 0.0` rows, so a
+//! masked accumulation visiting set bits in ascending row order performs the
+//! *identical* floating-point operation sequence. Results are bit-identical,
+//! which is what lets the pipeline route through the packed path
+//! automatically (see `DifferentialPair::matvec_auto`).
+
+/// A binary (`0.0`/`1.0`) input vector packed into `u64` lanes.
+///
+/// Bit `k` of the vector lives at `words[k / 64] >> (k % 64) & 1`. Negative
+/// zero packs as an unset bit — the scalar kernel's `v == 0.0` skip treats
+/// `-0.0` the same way, so the paths still agree bit-for-bit.
+///
+/// ```
+/// use crossbar::BitInput;
+///
+/// let bits = BitInput::try_from_values(&[1.0, 0.0, 1.0]).expect("binary");
+/// assert_eq!(bits.len(), 3);
+/// assert!(bits.get(0) && !bits.get(1) && bits.get(2));
+/// assert!(BitInput::try_from_values(&[0.5]).is_none());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitInput {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitInput {
+    /// An empty vector (repack with [`try_pack`](Self::try_pack) to reuse
+    /// the lane storage across calls).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pack `values` if every entry is exactly `0.0` or `1.0`, reusing the
+    /// existing lane storage. Returns `false` (leaving the previous content
+    /// in an unspecified state) if any entry is not an interface bit.
+    pub fn try_pack(&mut self, values: &[f64]) -> bool {
+        self.len = values.len();
+        self.words.clear();
+        self.words.resize(values.len().div_ceil(64), 0);
+        for (k, &v) in values.iter().enumerate() {
+            if v == 1.0 {
+                self.words[k / 64] |= 1u64 << (k % 64);
+            } else if v != 0.0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Pack a vector of exact interface bits; `None` if any entry is not
+    /// exactly `0.0` or `1.0`.
+    #[must_use]
+    pub fn try_from_values(values: &[f64]) -> Option<Self> {
+        let mut bits = Self::new();
+        bits.try_pack(values).then_some(bits)
+    }
+
+    /// Pack a boolean mask.
+    #[must_use]
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut out = Self::new();
+        out.len = bits.len();
+        out.words.resize(bits.len().div_ceil(64), 0);
+        for (k, &b) in bits.iter().enumerate() {
+            if b {
+                out.words[k / 64] |= 1u64 << (k % 64);
+            }
+        }
+        out
+    }
+
+    /// Number of bits (the unpacked vector length).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the vector has no bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at position `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len()`.
+    #[must_use]
+    pub fn get(&self, k: usize) -> bool {
+        assert!(k < self.len, "bit {k} out of bounds for {} bits", self.len);
+        self.words[k / 64] >> (k % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The raw `u64` lanes (low bit of word 0 is vector position 0).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The unpacked `0.0`/`1.0` vector (for cross-checking against the
+    /// scalar path).
+    #[must_use]
+    pub fn to_values(&self) -> Vec<f64> {
+        (0..self.len)
+            .map(|k| f64::from(u8::from(self.get(k))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_arbitrary_masks() {
+        let pattern: Vec<bool> = (0..130).map(|i| i % 3 == 0 || i % 7 == 0).collect();
+        let bits = BitInput::from_bools(&pattern);
+        assert_eq!(bits.len(), 130);
+        for (k, &b) in pattern.iter().enumerate() {
+            assert_eq!(bits.get(k), b, "bit {k}");
+        }
+        assert_eq!(bits.count_ones(), pattern.iter().filter(|&&b| b).count());
+        let values = bits.to_values();
+        assert_eq!(BitInput::try_from_values(&values), Some(bits));
+    }
+
+    #[test]
+    fn rejects_non_binary_values() {
+        assert!(BitInput::try_from_values(&[0.0, 1.0, 0.5]).is_none());
+        assert!(BitInput::try_from_values(&[f64::NAN]).is_none());
+        assert!(BitInput::try_from_values(&[1.0 + 1e-15]).is_none());
+    }
+
+    #[test]
+    fn negative_zero_packs_as_unset() {
+        let bits = BitInput::try_from_values(&[-0.0, 1.0]).expect("binary");
+        assert!(!bits.get(0) && bits.get(1));
+    }
+
+    #[test]
+    fn try_pack_reuses_storage() {
+        let mut bits = BitInput::new();
+        assert!(bits.try_pack(&[1.0, 0.0]));
+        assert!(bits.get(0) && !bits.get(1));
+        // Repacking clears stale lanes entirely.
+        assert!(bits.try_pack(&[0.0, 0.0, 1.0]));
+        assert_eq!(bits.len(), 3);
+        assert!(!bits.get(0) && !bits.get(1) && bits.get(2));
+        assert!(!bits.try_pack(&[2.0]));
+    }
+
+    #[test]
+    fn empty_vector_is_empty() {
+        let bits = BitInput::try_from_values(&[]).expect("empty is binary");
+        assert!(bits.is_empty());
+        assert_eq!(bits.count_ones(), 0);
+        assert!(bits.words().is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! Cache-blocked matvec kernels over the flat conductance plane.
+//!
+//! The crossbar's cells are an array-of-structs grid ([`rram::RramDevice`]
+//! per cell); walking it in the hot loop chases struct fields and wastes
+//! bandwidth on the `target`/`params` payload. [`crate::CrossbarArray`]
+//! therefore caches a *plane*: the conductances alone, as one flat row-major
+//! `Vec<f64>` (`plane[k * cols + j]` = `g_kj`), rebuilt lazily after any
+//! device mutation. These kernels run over that slab.
+//!
+//! Both kernels process the output in blocks of [`COL_BLOCK`] columns:
+//! the output block stays resident in L1/registers while every input row
+//! streams past it once, so wide arrays do not thrash the accumulator
+//! lines. Blocking reorders nothing *within* a column — each output
+//! `out[j]` still accumulates its terms in ascending row order `k`, which
+//! is the exact floating-point sequence of the naive cell walk. The
+//! kernels are therefore bit-identical to the unblocked reference path.
+
+use crate::bitvec::BitInput;
+
+/// Columns per output block. 128 f64 accumulators = 1 KiB — comfortably
+/// inside L1 alongside one plane row segment of the same size.
+pub(crate) const COL_BLOCK: usize = 128;
+
+/// `out[j] = Σ_k plane[k·cols + j] · inputs[k]`, skipping zero inputs the
+/// way the cell-walk reference does.
+///
+/// # Panics
+///
+/// Debug-asserts the shapes agree (callers validate at the public API).
+pub(crate) fn matvec_scalar(plane: &[f64], cols: usize, inputs: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(plane.len(), inputs.len() * cols);
+    debug_assert_eq!(out.len(), cols);
+    out.fill(0.0);
+    let mut block_start = 0;
+    while block_start < cols {
+        let block_end = (block_start + COL_BLOCK).min(cols);
+        let out_block = &mut out[block_start..block_end];
+        for (k, &v) in inputs.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            let row = &plane[k * cols + block_start..k * cols + block_end];
+            for (o, &g) in out_block.iter_mut().zip(row) {
+                *o += g * v;
+            }
+        }
+        block_start = block_end;
+    }
+}
+
+/// `out[j] = Σ_{k: bits[k]} plane[k·cols + j]` — the masked column sum for
+/// exact-binary inputs. No multiplies; set bits are visited in ascending
+/// row order, so the result is bit-identical to [`matvec_scalar`] on the
+/// unpacked `0.0`/`1.0` vector (`g · 1.0 == g` exactly).
+pub(crate) fn matvec_binary(plane: &[f64], cols: usize, bits: &BitInput, out: &mut [f64]) {
+    debug_assert_eq!(plane.len(), bits.len() * cols);
+    debug_assert_eq!(out.len(), cols);
+    out.fill(0.0);
+    let words = bits.words();
+    let mut block_start = 0;
+    while block_start < cols {
+        let block_end = (block_start + COL_BLOCK).min(cols);
+        let out_block = &mut out[block_start..block_end];
+        for (w, &lane) in words.iter().enumerate() {
+            let mut lane = lane;
+            while lane != 0 {
+                let k = w * 64 + lane.trailing_zeros() as usize;
+                lane &= lane - 1;
+                let row = &plane[k * cols + block_start..k * cols + block_end];
+                for (o, &g) in out_block.iter_mut().zip(row) {
+                    *o += g;
+                }
+            }
+        }
+        block_start = block_end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(plane: &[f64], cols: usize, inputs: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; cols];
+        for (k, &v) in inputs.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += plane[k * cols + j] * v;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn scalar_kernel_matches_reference_across_block_boundary() {
+        // cols > COL_BLOCK so the blocked loop takes more than one trip.
+        let cols = COL_BLOCK + 37;
+        let rows = 5;
+        let plane: Vec<f64> = (0..rows * cols).map(|i| (i as f64).sin() * 1e-4).collect();
+        let inputs = [0.25, 0.0, -1.5, 1.0, 0.75];
+        let mut out = vec![f64::NAN; cols];
+        matvec_scalar(&plane, cols, &inputs, &mut out);
+        assert_eq!(out, reference(&plane, cols, &inputs));
+    }
+
+    #[test]
+    fn binary_kernel_matches_scalar_bits() {
+        let cols = COL_BLOCK * 2 + 5;
+        let rows = 70; // crosses a u64 lane boundary
+        let plane: Vec<f64> = (0..rows * cols).map(|i| (i as f64).cos() * 1e-4).collect();
+        let mask: Vec<bool> = (0..rows).map(|k| k % 3 != 1).collect();
+        let values: Vec<f64> = mask.iter().map(|&b| f64::from(u8::from(b))).collect();
+        let bits = BitInput::from_bools(&mask);
+        let mut packed = vec![0.0; cols];
+        let mut scalar = vec![0.0; cols];
+        matvec_binary(&plane, cols, &bits, &mut packed);
+        matvec_scalar(&plane, cols, &values, &mut scalar);
+        assert_eq!(packed, scalar, "packed and scalar paths must agree in bits");
+    }
+
+    #[test]
+    fn all_zero_bits_give_zero_output() {
+        let bits = BitInput::from_bools(&[false; 9]);
+        let plane = vec![1e-4; 9 * 4];
+        let mut out = vec![f64::NAN; 4];
+        matvec_binary(&plane, 4, &bits, &mut out);
+        assert_eq!(out, vec![0.0; 4]);
+    }
+}

@@ -17,9 +17,14 @@
 //! * [`pair::DifferentialPair`] — the two-array tile that computes `W·x` in
 //!   analog, with process variation applied at program time and signal
 //!   fluctuation at evaluation time.
+//! * [`bitvec::BitInput`] — interface-bit input vectors packed into `u64`
+//!   lanes, turning the MVM into a multiply-free masked column sum that is
+//!   bit-identical to the scalar path (the kernels themselves live in the
+//!   private `kernel` module and run over a cached flat conductance plane).
 //! * [`ir_drop`] — an iterative nodal-analysis solver for the wire-resistance
 //!   grid, for studying IR drop (the paper picks 90 nm interconnect exactly
-//!   to suppress this effect; we make it measurable).
+//!   to suppress this effect; we make it measurable): line-based red-black
+//!   Gauss–Seidel by default, conjugate gradient as the fallback.
 //! * [`sense`] — load resistors, transimpedance sensing and the 1-bit
 //!   comparators MEI uses instead of full ADCs.
 //! * [`noise`] — lognormal signal fluctuation on input vectors.
@@ -44,16 +49,19 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod bitvec;
 pub mod divider;
 pub mod ir_drop;
+mod kernel;
 pub mod mapping;
 pub mod noise;
 pub mod pair;
 pub mod sense;
 
 pub use array::CrossbarArray;
+pub use bitvec::BitInput;
 pub use divider::{DividerLayer, SignedDividerLayer};
-pub use ir_drop::IrDropConfig;
+pub use ir_drop::{IrDropConfig, IrSolver};
 pub use mapping::{MapWeightsError, MappingConfig, WeightMapping};
 pub use noise::SignalFluctuation;
 pub use pair::DifferentialPair;

@@ -6,6 +6,7 @@ use prng::Rng;
 use rram::{DeviceParams, VariationModel};
 
 use crate::array::CrossbarArray;
+use crate::bitvec::BitInput;
 use crate::ir_drop::IrDropConfig;
 use crate::mapping::{map_differential, MapWeightsError, MappingConfig};
 use crate::noise::SignalFluctuation;
@@ -106,8 +107,85 @@ impl DifferentialPair {
     /// Panics if `x.len() != inputs()`.
     #[must_use]
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        let ip = self.plus.column_currents(x);
-        let im = self.minus.column_currents(x);
+        let mut out = vec![0.0; self.outputs];
+        let mut scratch = vec![0.0; self.outputs];
+        self.matvec_into(x, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`matvec`](Self::matvec) into caller-provided buffers: `out` receives
+    /// the result, `scratch` holds the minus-array currents. Both are
+    /// overwritten. This is the allocation-free serving hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != inputs()` or either buffer's length differs
+    /// from `outputs()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+        self.plus.column_currents_into(x, out);
+        self.minus.column_currents_into(x, scratch);
+        for (o, &b) in out.iter_mut().zip(scratch.iter()) {
+            *o = (*o - b) * self.current_scale;
+        }
+    }
+
+    /// Matrix-vector product over a bit-packed binary input: bit-identical
+    /// to [`matvec`](Self::matvec) on the unpacked `0.0`/`1.0` vector, but
+    /// multiply-free in the column accumulation (masked column sums over
+    /// the cached conductance planes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != inputs()`.
+    #[must_use]
+    pub fn matvec_binary(&self, bits: &BitInput) -> Vec<f64> {
+        let mut out = vec![0.0; self.outputs];
+        let mut scratch = vec![0.0; self.outputs];
+        self.matvec_binary_into(bits, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`matvec_binary`](Self::matvec_binary) into caller-provided buffers
+    /// (both overwritten; `scratch` holds the minus-array currents).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != inputs()` or either buffer's length differs
+    /// from `outputs()`.
+    pub fn matvec_binary_into(&self, bits: &BitInput, out: &mut [f64], scratch: &mut [f64]) {
+        self.plus.column_currents_binary_into(bits, out);
+        self.minus.column_currents_binary_into(bits, scratch);
+        for (o, &b) in out.iter_mut().zip(scratch.iter()) {
+            *o = (*o - b) * self.current_scale;
+        }
+    }
+
+    /// [`matvec`](Self::matvec), routing through the bit-packed path when
+    /// `x` is an exact interface-bit vector (every entry `0.0` or `1.0`).
+    /// Always bit-identical to [`matvec`](Self::matvec), so callers can use
+    /// it unconditionally; the packed detour only changes speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != inputs()`.
+    #[must_use]
+    pub fn matvec_auto(&self, x: &[f64]) -> Vec<f64> {
+        match BitInput::try_from_values(x) {
+            Some(bits) => self.matvec_binary(&bits),
+            None => self.matvec(x),
+        }
+    }
+
+    /// The pre-kernel cell-walk matvec, kept as the bit-exact reference for
+    /// property tests and the honest baseline in the kernels bench.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != inputs()`.
+    #[must_use]
+    pub fn matvec_uncached(&self, x: &[f64]) -> Vec<f64> {
+        let ip = self.plus.column_currents_uncached(x);
+        let im = self.minus.column_currents_uncached(x);
         ip.iter()
             .zip(&im)
             .map(|(&a, &b)| (a - b) * self.current_scale)
@@ -322,6 +400,25 @@ mod tests {
     #[test]
     fn display_mentions_shape() {
         assert!(format!("{}", pair()).contains("3→2"));
+    }
+
+    #[test]
+    fn into_binary_auto_and_uncached_paths_agree_bitwise() {
+        let p = pair();
+        let x = [1.0, 0.0, 1.0];
+        let scalar = p.matvec(&x);
+        assert_eq!(scalar, p.matvec_uncached(&x));
+        assert_eq!(scalar, p.matvec_auto(&x));
+        let bits = BitInput::try_from_values(&x).unwrap();
+        assert_eq!(scalar, p.matvec_binary(&bits));
+        let (mut out, mut scratch) = (vec![f64::NAN; 2], vec![f64::NAN; 2]);
+        p.matvec_into(&x, &mut out, &mut scratch);
+        assert_eq!(out, scalar);
+        p.matvec_binary_into(&bits, &mut out, &mut scratch);
+        assert_eq!(out, scalar);
+        // Non-binary inputs fall back to the scalar path.
+        let y = [0.5, -0.25, 1.0];
+        assert_eq!(p.matvec_auto(&y), p.matvec(&y));
     }
 
     #[test]

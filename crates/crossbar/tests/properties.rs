@@ -6,8 +6,8 @@ use prng::prop_check;
 use prng::rngs::StdRng;
 use prng::SeedableRng;
 
-use crossbar::{CrossbarArray, DifferentialPair, IrDropConfig, MappingConfig};
-use rram::{DeviceParams, VariationModel};
+use crossbar::{BitInput, CrossbarArray, DifferentialPair, IrDropConfig, IrSolver, MappingConfig};
+use rram::{DeviceParams, RetentionModel, VariationModel};
 
 /// A weight matrix of up to `max_out × max_in` values in `[-5, 5)`.
 fn arb_weights(g: &mut Gen, max_out: usize, max_in: usize) -> Vec<Vec<f64>> {
@@ -141,6 +141,110 @@ fn divider_layer_realizes_coefficients() {
         for (j, row) in c.iter().enumerate() {
             let expect: f64 = row.iter().zip(&xs).map(|(a, b)| a * b).sum();
             assert!((v[j] - expect).abs() < 1e-9);
+        }
+    });
+}
+
+/// The bit-packed matvec is bit-identical to the scalar path (and both
+/// to the uncached cell-walk) for arbitrary bit patterns and shapes —
+/// including after device-state mutations (variation, aging).
+#[test]
+fn packed_matvec_is_bit_identical_for_any_bits_and_state() {
+    prop_check!(|g| {
+        // Shapes up to the jpeg layer (64 inputs × 448 outputs), biased
+        // small so most cases stay cheap.
+        let inputs = g.usize_in(1, 65);
+        let outputs = if g.bool_any() {
+            g.usize_in(1, 17)
+        } else {
+            g.usize_in(1, 449)
+        };
+        let w = g.matrix_f64(-2.0, 2.0, outputs, inputs);
+        let mut pair =
+            DifferentialPair::from_weights(&w, DeviceParams::hfox(), &MappingConfig::default())
+                .unwrap();
+        // Optionally perturb the device state: the identity must hold on
+        // disturbed and aged arrays, not only freshly-programmed ones.
+        let mut rng = StdRng::seed_from_u64(g.u64_any());
+        match g.usize_in(0, 3) {
+            0 => pair.disturb(&VariationModel::process_variation(0.4), &mut rng),
+            1 => pair.age(&RetentionModel::new(0.05, 1.0), g.f64_in(0.0, 1e4)),
+            _ => {}
+        }
+        let pattern = g.vec_bool(inputs);
+        let bits = BitInput::from_bools(&pattern);
+        let x: Vec<f64> = pattern.iter().map(|&b| f64::from(b)).collect();
+        let scalar = pair.matvec(&x);
+        assert_eq!(scalar, pair.matvec_binary(&bits));
+        assert_eq!(scalar, pair.matvec_uncached(&x));
+        assert_eq!(scalar, pair.matvec_auto(&x));
+    });
+}
+
+/// The cached conductance plane stays bit-identical to the cell walk
+/// across every mutation path (reprogram, disturb, age, restore,
+/// direct cell writes).
+#[test]
+fn cached_plane_tracks_every_mutation() {
+    prop_check!(|g| {
+        let n = g.usize_in(1, 9);
+        let m = g.usize_in(1, 9);
+        let mut x = CrossbarArray::new(n, m, DeviceParams::hfox());
+        x.program_clamped(&g.matrix_f64(1e-6, 9e-5, n, m));
+        let inputs = g.vec_f64(0.0, 1.0, n);
+        assert_eq!(
+            x.column_currents(&inputs),
+            x.column_currents_uncached(&inputs)
+        );
+        let mut rng = StdRng::seed_from_u64(g.u64_any());
+        for _ in 0..3 {
+            match g.usize_in(0, 5) {
+                0 => x.program_clamped(&g.matrix_f64(1e-6, 9e-5, n, m)),
+                1 => x.disturb_all(&VariationModel::process_variation(0.5), &mut rng),
+                2 => x.age_all(&RetentionModel::new(0.1, 1.0), g.f64_in(0.0, 1e3)),
+                3 => x.restore_all(),
+                _ => {
+                    let (k, j) = (g.usize_in(0, n), g.usize_in(0, m));
+                    x.cell_mut(k, j).program_clamped(g.f64_in(1e-6, 9e-5));
+                }
+            }
+            assert_eq!(
+                x.column_currents(&inputs),
+                x.column_currents_uncached(&inputs),
+                "cached plane diverged from the cell walk after a mutation"
+            );
+        }
+    });
+}
+
+/// The red-black Gauss–Seidel IR-drop sweep converges to the same
+/// currents as the conjugate-gradient fallback on random grids.
+#[test]
+fn gauss_seidel_matches_conjugate_gradient() {
+    prop_check!(|g| {
+        let n = g.usize_in(2, 11);
+        let m = g.usize_in(2, 11);
+        let mut x = CrossbarArray::new(n, m, DeviceParams::ideal());
+        x.program_clamped(&g.matrix_f64(5e-7, 5e-5, n, m));
+        let inputs = g.vec_f64(0.0, 1.0, n);
+        let gs_cfg = IrDropConfig::with_wire_resistance(g.f64_in(0.1, 25.0));
+        let cg_cfg = IrDropConfig {
+            solver: IrSolver::ConjugateGradient,
+            ..gs_cfg
+        };
+        let gs = x.column_currents_ir(&inputs, &gs_cfg);
+        let cg = x.column_currents_ir(&inputs, &cg_cfg);
+        let scale = cg
+            .iter()
+            .fold(0.0f64, |acc, v| acc.max(v.abs()))
+            .max(f64::MIN_POSITIVE);
+        for (a, b) in gs.iter().zip(&cg) {
+            // Both solvers stop on (different) tolerance criteria; they
+            // must agree well inside the physical accuracy they promise.
+            assert!(
+                (a - b).abs() <= 1e-6 * scale,
+                "GS {a} vs CG {b} on a {n}x{m} grid"
+            );
         }
     });
 }

@@ -156,8 +156,12 @@ impl ThreadPool {
         };
         std::thread::scope(|scope| {
             let shared = &shared;
-            for _ in 1..workers {
-                scope.spawn(move || worker_loop(shared));
+            for w in 1..workers {
+                scope.spawn(move || {
+                    // Advisory pinning; worker 0 is the caller's thread.
+                    let _ = crate::affinity::pin_worker(w);
+                    worker_loop(shared);
+                });
             }
             let crew = Crew { shared };
             let out = catch_unwind(AssertUnwindSafe(|| body(&crew)));

@@ -535,6 +535,9 @@ impl<C: Chip> Engine<C> {
                     .filter(|(_, queue)| !queue.is_empty())
                     .map(|(chip, queue)| {
                         scope.spawn(move || {
+                            // Advisory: keep this chip's worker (and its
+                            // thread-local workspace) on one core.
+                            let _ = crate::affinity::pin_worker(chip);
                             queue
                                 .iter()
                                 .map(|&request| (request, run_one(chip, request)))
@@ -675,8 +678,10 @@ pub(crate) fn run_batch<C: Chip>(
         let handles: Vec<_> = chips
             .iter()
             .zip(&queues)
-            .map(|(chip, queue)| {
+            .enumerate()
+            .map(|(w, (chip, queue))| {
                 scope.spawn(move || {
+                    let _ = crate::affinity::pin_worker(w);
                     let mut served = Vec::with_capacity(queue.len());
                     let mut busy = Duration::ZERO;
                     let mut batches = 0usize;

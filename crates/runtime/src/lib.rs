@@ -57,10 +57,13 @@
 //! Like the rest of the workspace the crate is hermetic: `std` only, no
 //! external dependencies (see DESIGN.md, "Hermetic build").
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the affinity shim carries the workspace's one
+// scoped `#[allow(unsafe_code)]` for its raw `sched_setaffinity` syscall.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod affinity;
 pub mod chip;
 pub mod crew;
 pub mod engine;
@@ -71,6 +74,7 @@ pub mod pool;
 pub mod stats;
 
 pub use admission::{AdmissionConfig, AdmittedOutcome, Decision, Gate, GateStats};
+pub use affinity::{pin_worker, AffinityMode};
 pub use chip::{Chip, ChipPool, DriftProfile, DriftingChip, Placement, ServeOutcome};
 pub use crew::Crew;
 pub use engine::{BatchItem, Engine, Offer, Served, Session, MODEL_HISTORY_CAP};

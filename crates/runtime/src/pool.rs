@@ -120,6 +120,9 @@ impl ThreadPool {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     scope.spawn(move || {
+                        // Best-effort, advisory: keeps worker w's shard hot
+                        // on one core under MEI_AFFINITY=compact.
+                        let _ = crate::affinity::pin_worker(w);
                         let mut produced: Vec<(usize, TaskOutcome<R>)> = Vec::new();
                         while let Some(i) = pop_or_steal(queues, w) {
                             let outcome = match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
