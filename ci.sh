@@ -65,6 +65,17 @@ MEI_BENCH_FAST=1 MEI_BENCH_SECONDS=0.4 \
 test -s target/BENCH_fleet_smoke.json
 cargo test -q --offline -p runtime --test fleet_failover > /dev/null
 
+echo "==> fleet cost smoke (Eq (6)/(7) accounting rollup + budgeted DSE pick)"
+# FAST mode trains a tiny MEI chip, rolls fleet accounting up from the
+# per-chip cost sheets (the binary asserts every chip is accounted),
+# and runs the capacity DSE under an explicit area+power budget. The
+# report must be strict JSON and non-empty; the committed full-run
+# report is shape-checked by json_validity.
+MEI_BENCH_FAST=1 MEI_BENCH_SECONDS=0.25 \
+    MEI_BENCH_JSON=target/BENCH_fleet_cost_smoke.json \
+    cargo run --release --offline -p mei-bench --bin fleet_cost > /dev/null 2>&1
+test -s target/BENCH_fleet_cost_smoke.json
+
 echo "==> kernels bench smoke (packed ≡ scalar bits, GS ≡ CG currents)"
 # FAST mode uses 5 samples / 200 µs windows; the binary always asserts
 # the correctness contracts (bit-identical packed/scalar/uncached matvec,

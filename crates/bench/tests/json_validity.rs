@@ -131,6 +131,46 @@ fn json_helpers_agree_with_the_validator() {
 }
 
 #[test]
+fn committed_fleet_cost_report_has_the_accounting_shape() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_fleet_cost.json"
+    );
+    let text = std::fs::read_to_string(path).expect("committed BENCH_fleet_cost.json");
+    assert_valid("BENCH_fleet_cost.json", &text);
+    assert!(
+        text.starts_with("{\"meta\":{"),
+        "fleet_cost report must lead with the shared meta header"
+    );
+    // The accounting layer's public contract: the report names its
+    // workload, carries the Eq (6)/(7) chip sheet, per-fleet rollups
+    // with per-pool rows, and a DSE section with an explicit budget
+    // and a pick. Key-presence checks only — values vary per host.
+    for key in [
+        "\"suite\":\"fleet_cost/inversek2j\"",
+        "\"chip_sheet\":{\"area_um2\":",
+        "\"sla\":{\"target_p99_us\":",
+        "\"fleets\":[",
+        "\"accounting\":{\"chips\":",
+        "\"per_pool\":[",
+        "\"area_mm2\":",
+        "\"leakage_w\":",
+        "\"j_per_inference\":",
+        "\"ops_per_mm2\":",
+        "\"j_per_mreq\":",
+        "\"dse\":{\"budget\":{\"area_mm2\":",
+        "\"power_w\":",
+        "\"max_j_per_mreq\":",
+        "\"pick\":",
+        "\"evaluated\":[",
+        "\"admitted_rps\":",
+        "\"feasible\":",
+    ] {
+        assert!(text.contains(key), "fleet_cost report lacks {key}");
+    }
+}
+
+#[test]
 fn committed_results_reports_are_valid_json() {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
     let mut checked = 0usize;

@@ -11,10 +11,13 @@
 
 use std::cell::RefCell;
 
+use interface::{CostModel, Throughput};
 use prng::rngs::StdRng;
 use prng::SeedableRng;
 use rram::VariationModel;
-use runtime::{Chip, ChipPool, DriftProfile, DriftingChip, Engine, Fleet, FleetConfig};
+use runtime::{
+    Chip, ChipCostSheet, ChipPool, DriftProfile, DriftingChip, Engine, Fleet, FleetConfig,
+};
 
 use crate::adda::AddaRcs;
 use crate::analog::AnalogWorkspace;
@@ -31,11 +34,31 @@ thread_local! {
     static SERVE_WORKSPACE: RefCell<AnalogWorkspace> = RefCell::new(AnalogWorkspace::new());
 }
 
+/// Translate an interface-crate [`interface::CostSheet`] (valued from the
+/// paper's Eq (6)/(7) at the default mixed-signal throughput) into the
+/// runtime's plain-numbers [`ChipCostSheet`]. This is the one bridge
+/// between the physics silo and the serving-time accounting layer —
+/// `runtime` cannot depend on `interface`, so the mapping lives here.
+fn to_runtime_sheet(sheet: interface::CostSheet) -> ChipCostSheet {
+    ChipCostSheet::new(
+        sheet.area_um2,
+        sheet.static_power_uw,
+        sheet.dynamic_j_per_evaluation,
+        sheet.ops_per_evaluation,
+    )
+}
+
 impl Chip for MeiRcs {
     fn infer(&self, input: &[f64]) -> Vec<f64> {
         SERVE_WORKSPACE
             .with(|ws| MeiRcs::infer_with(self, input, &mut ws.borrow_mut()))
             .expect("dataset-validated input")
+    }
+
+    fn cost_sheet(&self) -> Option<ChipCostSheet> {
+        let sheet =
+            CostModel::dac2015().sheet_mei(&self.topology(), &Throughput::default_mixed_signal());
+        Some(to_runtime_sheet(sheet))
     }
 }
 
@@ -45,14 +68,42 @@ impl Chip for AddaRcs {
             .with(|ws| AddaRcs::infer_with(self, input, &mut ws.borrow_mut()))
             .expect("dataset-validated input")
     }
+
+    fn cost_sheet(&self) -> Option<ChipCostSheet> {
+        let sheet =
+            CostModel::dac2015().sheet_adda(&self.topology(), &Throughput::default_mixed_signal());
+        Some(to_runtime_sheet(sheet))
+    }
 }
 
 impl Chip for Saab {
     fn infer(&self, input: &[f64]) -> Vec<f64> {
         Saab::infer(self, input).expect("dataset-validated input")
     }
+
+    // A SAAB chip is its learners side by side: one inference evaluates
+    // every (non-pruned) learner, so the sheets sum in learner order.
+    fn cost_sheet(&self) -> Option<ChipCostSheet> {
+        let model = CostModel::dac2015();
+        let throughput = Throughput::default_mixed_signal();
+        let mut area_um2 = 0.0;
+        let mut static_uw = 0.0;
+        let mut dynamic_j = 0.0;
+        let mut ops = 0.0;
+        for learner in self.learners() {
+            let sheet = model.sheet_mei(&learner.topology(), &throughput);
+            area_um2 += sheet.area_um2;
+            static_uw += sheet.static_power_uw;
+            dynamic_j += sheet.dynamic_j_per_evaluation;
+            ops += sheet.ops_per_evaluation;
+        }
+        Some(ChipCostSheet::new(area_um2, static_uw, dynamic_j, ops))
+    }
 }
 
+// The digital baseline stays unaccounted (`None`): the paper publishes no
+// area/power model for it, and inventing one would corrupt the
+// mixed-signal comparisons. Accounting reports it in `chips − known_chips`.
 impl Chip for DigitalAnn {
     fn infer(&self, input: &[f64]) -> Vec<f64> {
         DigitalAnn::infer(self, input)
@@ -307,6 +358,72 @@ mod tests {
         let _ = twin.advance_window();
         let _ = twin.advance_window();
         assert_eq!(twin.serve(&inputs).outputs, aged.outputs);
+    }
+
+    #[test]
+    fn cost_sheets_carry_eq67_physics_into_the_runtime() {
+        let data = expfit_data(200, 11);
+        let rcs = MeiRcs::train(&data, &MeiConfig::quick_test()).unwrap();
+        // The MEI chip's sheet is exactly the interface crate's Eq (7)
+        // valuation at the default mixed-signal throughput.
+        let sheet = Chip::cost_sheet(&rcs).expect("MEI chips are accounted");
+        let expect = interface::CostModel::dac2015()
+            .sheet_mei(&rcs.topology(), &Throughput::default_mixed_signal());
+        assert_eq!(sheet.area_um2.to_bits(), expect.area_um2.to_bits());
+        assert_eq!(sheet.leakage_uw.to_bits(), expect.static_power_uw.to_bits());
+        assert_eq!(
+            sheet.dynamic_j_per_inference.to_bits(),
+            expect.dynamic_j_per_evaluation.to_bits()
+        );
+        // Write noise and drift do not change the silicon's bill.
+        let pool = manufacture_chips(&rcs, 3, 0.1, 21);
+        for chip in pool.chips() {
+            assert_eq!(Chip::cost_sheet(chip), Some(sheet));
+        }
+        let acc = pool.accounting();
+        assert_eq!((acc.chips, acc.known_chips), (3, 3));
+        assert_eq!(acc.area_um2.to_bits(), (3.0 * sheet.area_um2).to_bits());
+        // A SAAB chip bills the learner-order sum of its ensemble.
+        let saab = Saab::train(
+            &data,
+            &MeiConfig::quick_test(),
+            &crate::saab::SaabConfig {
+                rounds: 2,
+                compare_bits: 4,
+                ..crate::saab::SaabConfig::default()
+            },
+        )
+        .unwrap();
+        let saab_sheet = Chip::cost_sheet(&saab).unwrap();
+        let learner_area: f64 = saab
+            .learners()
+            .iter()
+            .map(|l| {
+                interface::CostModel::dac2015()
+                    .sheet_mei(&l.topology(), &Throughput::default_mixed_signal())
+                    .area_um2
+            })
+            .sum();
+        assert_eq!(saab_sheet.area_um2.to_bits(), learner_area.to_bits());
+        // The digital baseline has no published physics: unaccounted.
+        let ann = DigitalAnn::train(
+            &data,
+            4,
+            &neural::TrainConfig {
+                epochs: 20,
+                learning_rate: 1.0,
+                ..neural::TrainConfig::default()
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(Chip::cost_sheet(&ann), None);
+        // Serving a manufactured engine reports measured energy.
+        let outcome = manufacture_engine(&rcs, 2, 0.05, 33)
+            .serve(&(0..6).map(|i| vec![i as f64 / 6.0]).collect::<Vec<_>>());
+        let energy = outcome.stats.energy.expect("MEI chips bill energy");
+        assert_eq!(energy.known_chips, 2);
+        assert!(energy.joules > 0.0 && energy.j_per_request > 0.0);
     }
 
     #[test]

@@ -208,6 +208,26 @@ impl CrossbarArray {
         }
     }
 
+    /// Total write pulses across all cells (see
+    /// [`RramDevice::write_count`]): programming, re-programming under a
+    /// variation model. Endurance wear for the wear-aware placement layer.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.cells.iter().map(RramDevice::write_count).sum()
+    }
+
+    /// The worst-worn cell's write count — the array's endurance
+    /// bottleneck (a crossbar dies at its most-cycled filament, not at
+    /// the average one).
+    #[must_use]
+    pub fn max_write_count(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(RramDevice::write_count)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Mean relative programming error over all cells (nonzero only after
     /// [`disturb_all`](Self::disturb_all)).
     #[must_use]
@@ -497,6 +517,25 @@ mod tests {
         x.restore_all();
         assert_eq!(x.conductances(), before);
         assert_eq!(x.mean_programming_error(), 0.0);
+    }
+
+    #[test]
+    fn write_counters_accumulate_over_program_and_disturb() {
+        let mut x = two_by_two();
+        // two_by_two programs every cell once.
+        assert_eq!(x.total_writes(), 4);
+        assert_eq!(x.max_write_count(), 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        x.disturb_all(&VariationModel::process_variation(0.1), &mut rng);
+        assert_eq!(x.total_writes(), 8, "disturb_all re-programs every cell");
+        // Aging and refresh-restore are not write pulses.
+        x.age_all(&rram::RetentionModel::hfox_room_temperature(), 1.0);
+        x.restore_all();
+        assert_eq!(x.total_writes(), 8);
+        // A single-cell rewrite moves only that cell's counter.
+        x.cell_mut(0, 0).program_clamped(2e-4);
+        assert_eq!(x.total_writes(), 9);
+        assert_eq!(x.max_write_count(), 3);
     }
 
     #[test]

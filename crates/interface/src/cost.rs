@@ -353,6 +353,35 @@ impl CostModel {
         }
     }
 
+    /// Per-component area breakdown of the merged-interface architecture.
+    /// MEI has no converters: the `dac` slot is zero and the `adc` slot
+    /// carries the output comparators (the 1-bit ADCs of Eq (7)'s
+    /// optional term).
+    #[must_use]
+    pub fn area_breakdown_mei(&self, t: &MeiTopology) -> CostBreakdown {
+        let c = &self.circuits;
+        CostBreakdown {
+            dac: 0.0,
+            adc: t.output_ports() as f64 * c.comparator.area_um2,
+            peripheral: t.hidden as f64 * c.peripheral.area_um2,
+            rram: t.device_count() as f64 * c.rram_cell.area_um2,
+        }
+    }
+
+    /// Per-component power breakdown of the merged-interface architecture
+    /// (comparators in the `adc` slot, as in
+    /// [`area_breakdown_mei`](Self::area_breakdown_mei)).
+    #[must_use]
+    pub fn power_breakdown_mei(&self, t: &MeiTopology) -> CostBreakdown {
+        let c = &self.circuits;
+        CostBreakdown {
+            dac: 0.0,
+            adc: t.output_ports() as f64 * c.comparator.power_uw,
+            peripheral: t.hidden as f64 * c.peripheral.power_uw,
+            rram: t.device_count() as f64 * c.rram_cell.power_uw,
+        }
+    }
+
     /// Fractional area saving of MEI over the traditional architecture:
     /// `1 − A_MEI / A_org`.
     #[must_use]
@@ -444,6 +473,29 @@ mod tests {
         );
         assert!(area.rram_fraction() < 0.02);
         assert!(power.rram_fraction() < 0.02);
+    }
+
+    #[test]
+    fn mei_breakdown_sums_to_eq7_totals() {
+        // The new per-component MEI breakdowns are definitionally tied to
+        // Eq (7): their totals must equal area_mei/power_mei (to rounding
+        // — the breakdown sums the same terms in `CostBreakdown::total`
+        // order), with and without a comparator cost, so the accounting
+        // layer built on them can never drift from the calibrated physics.
+        let mei = MeiTopology::new(64, 6, 64, 64, 7);
+        for m in [
+            CostModel::dac2015(),
+            CostModel::new(InterfaceCircuits::dac2015().with_comparator(CellCost::new(50.0, 10.0))),
+        ] {
+            let area = m.area_breakdown_mei(&mei);
+            let power = m.power_breakdown_mei(&mei);
+            let a = m.area_mei(&mei);
+            let p = m.power_mei(&mei);
+            assert!((area.total() - a).abs() < 1e-12 * a);
+            assert!((power.total() - p).abs() < 1e-12 * p);
+            assert_eq!(area.dac, 0.0, "MEI has no DACs");
+            assert!(area.rram_fraction() > 0.5, "MEI cost is RRAM-dominated");
+        }
     }
 
     #[test]

@@ -81,6 +81,44 @@ fn mac_count(inputs: usize, hidden: usize, outputs: usize) -> f64 {
     ((inputs * hidden) + (hidden * outputs)) as f64
 }
 
+/// One chip's physical cost sheet, decomposed for serving-time energy
+/// accounting: what the design costs to *have* (area), to *keep powered*
+/// (static power) and to *use* (dynamic energy per evaluation).
+///
+/// The split is by component class of the Eq (6)/(7) breakdowns:
+/// converter, peripheral and comparator bias burns for the whole wall
+/// window whether or not a request is in flight (**static**), while the
+/// RRAM crossbar's read current only flows during an evaluation pulse
+/// (**dynamic**, charged per inference as `P_rram / rate`). By
+/// construction `static + dynamic × rate` equals the Eq (6)/(7) power at
+/// the rated throughput — the sheet is a re-labelling of the calibrated
+/// physics, never a new model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostSheet {
+    /// Die area, µm² (Eq (6)/(7) total).
+    pub area_um2: f64,
+    /// Static (always-on) power, µW: every non-RRAM component.
+    pub static_power_uw: f64,
+    /// Dynamic energy of one network evaluation, joules: the RRAM read
+    /// power prorated over the rated evaluation rate.
+    pub dynamic_j_per_evaluation: f64,
+    /// Multiply-accumulates per evaluation.
+    pub ops_per_evaluation: f64,
+}
+
+impl fmt::Display for CostSheet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} µm², {:.1} µW static, {:.3e} J/eval, {:.0} ops/eval",
+            self.area_um2,
+            self.static_power_uw,
+            self.dynamic_j_per_evaluation,
+            self.ops_per_evaluation
+        )
+    }
+}
+
 impl CostModel {
     /// Efficiency of the traditional AD/DA architecture at the given
     /// throughput.
@@ -110,6 +148,32 @@ impl CostModel {
             gops,
             watts,
             gops_per_watt: gops / watts,
+        }
+    }
+
+    /// Cost sheet of the traditional AD/DA architecture at the given
+    /// throughput (see [`CostSheet`] for the static/dynamic split).
+    #[must_use]
+    pub fn sheet_adda(&self, t: &AddaTopology, throughput: &Throughput) -> CostSheet {
+        let power = self.power_breakdown_adda(t);
+        CostSheet {
+            area_um2: self.area_adda(t),
+            static_power_uw: power.total() - power.rram,
+            dynamic_j_per_evaluation: power.rram * 1e-6 / throughput.evaluations_per_second,
+            ops_per_evaluation: mac_count(t.inputs, t.hidden, t.outputs),
+        }
+    }
+
+    /// Cost sheet of the merged-interface architecture at the given
+    /// throughput.
+    #[must_use]
+    pub fn sheet_mei(&self, t: &MeiTopology, throughput: &Throughput) -> CostSheet {
+        let power = self.power_breakdown_mei(t);
+        CostSheet {
+            area_um2: self.area_mei(t),
+            static_power_uw: power.total() - power.rram,
+            dynamic_j_per_evaluation: power.rram * 1e-6 / throughput.evaluations_per_second,
+            ops_per_evaluation: mac_count(t.input_ports(), t.hidden, t.output_ports()),
         }
     }
 }
@@ -162,6 +226,36 @@ mod tests {
         assert!((fast.gops / slow.gops - 10.0).abs() < 1e-9);
         // Power is static in this model; GOPS/W scales with rate.
         assert!((fast.gops_per_watt / slow.gops_per_watt - 10.0).abs() < 1e-9);
+    }
+
+    /// The sheet invariant: static + dynamic × rate reproduces the
+    /// Eq (6)/(7) power exactly — the accounting decomposition can never
+    /// drift from the calibrated model it re-labels.
+    #[test]
+    fn sheet_static_plus_dynamic_equals_eq_power() {
+        let m = CostModel::dac2015();
+        let th = Throughput::new(2.5e6);
+        let adda = AddaTopology::new(64, 16, 64, 8);
+        let mei = MeiTopology::new(64, 6, 64, 64, 7);
+        let sa = m.sheet_adda(&adda, &th);
+        let sm = m.sheet_mei(&mei, &th);
+        let recon_a =
+            sa.static_power_uw + sa.dynamic_j_per_evaluation * th.evaluations_per_second * 1e6;
+        let recon_m =
+            sm.static_power_uw + sm.dynamic_j_per_evaluation * th.evaluations_per_second * 1e6;
+        assert!((recon_a - m.power_adda(&adda)).abs() < 1e-9 * m.power_adda(&adda));
+        assert!((recon_m - m.power_mei(&mei)).abs() < 1e-9 * m.power_mei(&mei));
+        assert_eq!(sa.area_um2.to_bits(), m.area_adda(&adda).to_bits());
+        assert_eq!(sm.area_um2.to_bits(), m.area_mei(&mei).to_bits());
+        // Ops match the efficiency estimator's count.
+        assert_eq!(
+            sm.ops_per_evaluation,
+            m.efficiency_mei(&mei, &th).ops_per_evaluation
+        );
+        // MEI's static share is small (no converters); AD/DA's dominates.
+        assert!(sa.static_power_uw / m.power_adda(&adda) > 0.9);
+        assert!(sm.dynamic_j_per_evaluation > 0.0);
+        assert!(sm.to_string().contains("J/eval"));
     }
 
     #[test]

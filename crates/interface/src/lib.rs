@@ -36,7 +36,7 @@ pub mod efficiency;
 pub mod quantize;
 
 pub use cost::{AddaTopology, CellCost, CostBreakdown, CostModel, InterfaceCircuits, MeiTopology};
-pub use efficiency::{Efficiency, Throughput};
+pub use efficiency::{CostSheet, Efficiency, Throughput};
 pub use quantize::{
     decode_bits, decode_bits_coded, encode_fraction, encode_fraction_coded, quantize_fraction,
     BitCoding, InterfaceSpec, MAX_BITS,

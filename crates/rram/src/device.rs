@@ -37,7 +37,11 @@ impl Error for ProgramDeviceError {}
 /// The cell distinguishes the *target* conductance (what the programming
 /// circuit aimed for) from the *actual* conductance (after process variation
 /// is applied by [`RramDevice::disturb`]); both are readable so higher layers
-/// can report programming error statistics.
+/// can report programming error statistics. Every write pulse (programming
+/// or re-programming under a variation model) increments the cell's
+/// endurance counter, [`RramDevice::write_count`] — RRAM filaments survive a
+/// finite number of SET/RESET cycles, so wear-aware placement needs to know
+/// how often each cell has been hammered.
 ///
 /// ```
 /// use rram::{DeviceParams, RramDevice};
@@ -47,16 +51,30 @@ impl Error for ProgramDeviceError {}
 /// cell.program(5e-4)?;
 /// assert_eq!(cell.conductance(), 5e-4);
 /// assert_eq!(cell.resistance(), 1.0 / 5e-4);
+/// assert_eq!(cell.write_count(), 1);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct RramDevice {
     params: DeviceParams,
     /// Conductance requested by the last `program` call (post-quantization).
     target: f64,
     /// Conductance actually presented to the crossbar (post-variation).
     actual: f64,
+    /// Write pulses applied to this cell (endurance wear).
+    write_count: u64,
+}
+
+/// Equality compares the *electrical* state only (params, target, actual).
+/// The endurance counter is excluded on purpose: two identically-programmed
+/// cells present the same conductance to the crossbar regardless of how many
+/// write cycles it took to get there, and the kernel layer's cached-plane
+/// equality checks must not distinguish them.
+impl PartialEq for RramDevice {
+    fn eq(&self, other: &Self) -> bool {
+        self.params == other.params && self.target == other.target && self.actual == other.actual
+    }
 }
 
 impl RramDevice {
@@ -67,6 +85,7 @@ impl RramDevice {
             params,
             target: params.g_off,
             actual: params.g_off,
+            write_count: 0,
         }
     }
 
@@ -95,6 +114,16 @@ impl RramDevice {
         self.target
     }
 
+    /// Write pulses applied to this cell so far: successful `program`
+    /// calls, `program_clamped` calls, and `disturb` re-programming
+    /// cycles all count. Retention drift ([`drift_to`](Self::drift_to))
+    /// and `restore` do **not** — they model physics acting on a cell
+    /// and an ideal refresh readback, not a write pulse.
+    #[must_use]
+    pub fn write_count(&self) -> u64 {
+        self.write_count
+    }
+
     /// Program the cell to conductance `g`.
     ///
     /// The value is snapped to the nearest representable state under the
@@ -116,6 +145,7 @@ impl RramDevice {
         }
         self.target = self.params.quantize(g);
         self.actual = self.target;
+        self.write_count += 1;
         Ok(())
     }
 
@@ -125,6 +155,7 @@ impl RramDevice {
         let g = if g.is_finite() { g } else { self.params.g_off };
         self.target = self.params.quantize(self.params.clamp(g));
         self.actual = self.target;
+        self.write_count += 1;
     }
 
     /// Program the cell to one of its discrete levels (`0` = `g_off`,
@@ -162,6 +193,7 @@ impl RramDevice {
     /// different process corners; the target is never modified.
     pub fn disturb<R: Rng + ?Sized>(&mut self, variation: &VariationModel, rng: &mut R) {
         self.actual = variation.apply(self.target, &self.params, rng);
+        self.write_count += 1;
     }
 
     /// Restore the actual conductance to the programmed target (an ideal,
@@ -320,5 +352,51 @@ mod tests {
     fn display_mentions_state() {
         let d = RramDevice::default();
         assert!(format!("{d}").contains("RRAM cell"));
+    }
+
+    #[test]
+    fn write_count_tracks_program_pulses() {
+        let mut d = RramDevice::new(DeviceParams::ideal());
+        assert_eq!(d.write_count(), 0, "a fresh cell has never been written");
+        d.program(2e-4).unwrap();
+        assert_eq!(d.write_count(), 1);
+        d.program_clamped(5e-4);
+        assert_eq!(d.write_count(), 2);
+        d.program_level(100).unwrap();
+        assert_eq!(d.write_count(), 3, "program_level is a program pulse");
+        // A rejected program is not a pulse: the circuit refuses up front.
+        assert!(d.program(f64::NAN).is_err());
+        assert_eq!(d.write_count(), 3);
+    }
+
+    #[test]
+    fn write_count_counts_disturb_but_not_drift_or_restore() {
+        let mut d = RramDevice::new(DeviceParams::ideal());
+        d.program(5e-4).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let var = VariationModel::process_variation(0.2);
+        d.disturb(&var, &mut rng);
+        assert_eq!(d.write_count(), 2, "disturb re-programs the target");
+        d.drift_to(4e-4);
+        d.restore();
+        assert_eq!(
+            d.write_count(),
+            2,
+            "retention drift and restore are not write pulses"
+        );
+    }
+
+    #[test]
+    fn equality_ignores_write_history() {
+        let p = DeviceParams::ideal();
+        let mut a = RramDevice::new(p);
+        let mut b = RramDevice::new(p);
+        a.program(3e-4).unwrap();
+        b.program_clamped(3e-4);
+        b.program_clamped(3e-4);
+        assert_ne!(a.write_count(), b.write_count());
+        assert_eq!(a, b, "identical electrical state compares equal");
+        b.program_clamped(4e-4);
+        assert_ne!(a, b, "different conductance still compares unequal");
     }
 }

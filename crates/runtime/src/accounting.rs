@@ -1,0 +1,402 @@
+//! The accounting layer: physical cost sheets per chip, measured window
+//! energy, and deterministic pool/fleet rollups.
+//!
+//! Before this layer, cost lived in two silos: the `interface` crate's
+//! Eq (6)/(7) area/power physics (design time) and the engine's latency
+//! [`CostModel`](crate::CostModel) (serve time) — the serving stack was
+//! blind to joules and mm². This module threads one physical currency
+//! through every tier:
+//!
+//! ```text
+//! ChipCostSheet            per chip: µm², leakage µW, dynamic J/inference
+//!    │  (attached by the Chip impl, valued by interface Eq (6)/(7))
+//!    ▼
+//! EnergyStats              per serve run: leakage × wall + dynamic × served
+//!    │  (integrated from measured busy windows in ServeStats)
+//!    ▼
+//! PoolAccounting           per engine: chip-order sums of the sheets
+//!    │
+//!    ▼
+//! FleetAccounting          per fleet: pool-order sums of the pools
+//!    │
+//!    ▼
+//! fleet::dse               capacity search under an area/power budget
+//! ```
+//!
+//! **Determinism contract.** Every rollup sums in *index order* (chips
+//! by chip id, pools by pool id), so the fleet totals are bitwise equal
+//! to the naive sum over pools and chips, for every serve-thread count.
+//! Accounting covers **all** pools, healthy or ejected — the silicon
+//! does not leave the rack when the router stops sending it traffic —
+//! so the totals are also invariant under ejection/re-admission order.
+//! Both invariants are pinned by property test
+//! (`crates/runtime/tests/properties.rs`).
+//!
+//! The sheet is plain physics numbers (this crate cannot depend on
+//! `interface`); the `mei` core values it from the paper's Eq (6)/(7)
+//! when it implements [`Chip`](crate::Chip) for the trained
+//! architectures.
+
+use std::fmt;
+
+use crate::stats::json_num;
+
+/// The physical cost sheet of one chip: what it costs to *have* (area),
+/// to *keep powered* (leakage) and to *use* (dynamic energy per
+/// inference). Valued from the paper's Eq (6)/(7) component model by the
+/// architecture crates; the runtime only aggregates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipCostSheet {
+    /// Die area, µm².
+    pub area_um2: f64,
+    /// Static power drawn whenever the chip is powered, µW (converter /
+    /// peripheral bias — burns for the whole wall window, busy or idle).
+    pub leakage_uw: f64,
+    /// Energy of one inference beyond leakage, joules (the crossbar read
+    /// pulse — charged per inference actually served).
+    pub dynamic_j_per_inference: f64,
+    /// Multiply-accumulates one inference performs (for ops/s and
+    /// ops/mm² reporting).
+    pub ops_per_inference: f64,
+}
+
+impl ChipCostSheet {
+    /// Create a sheet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is negative or non-finite (a cost sheet is a
+    /// physical datum; NaNs here would silently poison every rollup).
+    #[must_use]
+    pub fn new(
+        area_um2: f64,
+        leakage_uw: f64,
+        dynamic_j_per_inference: f64,
+        ops_per_inference: f64,
+    ) -> Self {
+        for (name, v) in [
+            ("area_um2", area_um2),
+            ("leakage_uw", leakage_uw),
+            ("dynamic_j_per_inference", dynamic_j_per_inference),
+            ("ops_per_inference", ops_per_inference),
+        ] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "cost sheet {name} must be finite and non-negative, got {v}"
+            );
+        }
+        Self {
+            area_um2,
+            leakage_uw,
+            dynamic_j_per_inference,
+            ops_per_inference,
+        }
+    }
+
+    /// The sheet of `n` identical units side by side — a SAAB ensemble
+    /// of `n` learners, or `n` chips on one board.
+    #[must_use]
+    pub fn scaled(&self, n: usize) -> Self {
+        let n = n as f64;
+        Self {
+            area_um2: self.area_um2 * n,
+            leakage_uw: self.leakage_uw * n,
+            dynamic_j_per_inference: self.dynamic_j_per_inference * n,
+            ops_per_inference: self.ops_per_inference * n,
+        }
+    }
+
+    /// Energy this chip consumed over a measured window: leakage burns
+    /// for the whole wall time (the chip is powered whether or not it is
+    /// busy), dynamic energy is charged per inference served.
+    #[must_use]
+    pub fn energy_j(&self, wall_secs: f64, inferences: usize) -> f64 {
+        self.leakage_uw * 1e-6 * wall_secs + self.dynamic_j_per_inference * inferences as f64
+    }
+
+    /// The sheet as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"area_um2\":{},\"leakage_uw\":{},\
+             \"dynamic_j_per_inference\":{},\"ops_per_inference\":{}}}",
+            json_num(self.area_um2, 3),
+            json_num(self.leakage_uw, 3),
+            json_num(self.dynamic_j_per_inference, 15),
+            json_num(self.ops_per_inference, 1),
+        )
+    }
+}
+
+impl fmt::Display for ChipCostSheet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} µm², {:.1} µW leakage, {:.3e} J/inf, {:.0} ops/inf",
+            self.area_um2, self.leakage_uw, self.dynamic_j_per_inference, self.ops_per_inference
+        )
+    }
+}
+
+/// Measured energy of one serve run, integrated from the per-chip busy
+/// windows by [`ServeStats::attach_energy`](crate::ServeStats::attach_energy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyStats {
+    /// Chips whose cost sheet was known (only they contribute joules;
+    /// fewer than `per_chip.len()` flags unaccounted hardware).
+    pub known_chips: usize,
+    /// Total energy over the run, joules (chip-id-order sum).
+    pub joules: f64,
+    /// `joules / requests` — the headline J/inference at this load.
+    pub j_per_request: f64,
+    /// Multiply-accumulates performed by known chips.
+    pub ops: f64,
+    /// `ops / wall_secs`.
+    pub ops_per_sec: f64,
+}
+
+impl EnergyStats {
+    /// The stats as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"known_chips\":{},\"joules\":{},\"j_per_request\":{},\
+             \"ops\":{},\"ops_per_sec\":{}}}",
+            self.known_chips,
+            json_num(self.joules, 9),
+            json_num(self.j_per_request, 15),
+            json_num(self.ops, 1),
+            json_num(self.ops_per_sec, 1),
+        )
+    }
+}
+
+/// Static physical totals of one chip pool: the chip-id-order sum of its
+/// chips' cost sheets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolAccounting {
+    /// Chips in the pool.
+    pub chips: usize,
+    /// Chips that published a cost sheet (only they are summed).
+    pub known_chips: usize,
+    /// Total die area, µm².
+    pub area_um2: f64,
+    /// Total leakage, µW.
+    pub leakage_uw: f64,
+    /// Sum of per-chip dynamic energy per inference, joules. For a
+    /// homogeneous pool this is `chips × per-chip dynamic`; divide by
+    /// [`known_chips`](Self::known_chips) for the per-chip figure.
+    pub dynamic_j_per_inference: f64,
+    /// Sum of per-chip ops per inference.
+    pub ops_per_inference: f64,
+}
+
+impl PoolAccounting {
+    /// Sum the sheets of a pool's chips, in chip-id order (the order is
+    /// what makes fleet totals bitwise-reproducible).
+    #[must_use]
+    pub fn from_sheets(sheets: &[Option<ChipCostSheet>]) -> Self {
+        let mut acc = Self {
+            chips: sheets.len(),
+            known_chips: 0,
+            area_um2: 0.0,
+            leakage_uw: 0.0,
+            dynamic_j_per_inference: 0.0,
+            ops_per_inference: 0.0,
+        };
+        for sheet in sheets.iter().flatten() {
+            acc.known_chips += 1;
+            acc.area_um2 += sheet.area_um2;
+            acc.leakage_uw += sheet.leakage_uw;
+            acc.dynamic_j_per_inference += sheet.dynamic_j_per_inference;
+            acc.ops_per_inference += sheet.ops_per_inference;
+        }
+        acc
+    }
+
+    /// Total area in mm².
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        self.area_um2 * 1e-6
+    }
+
+    /// Total leakage in watts.
+    #[must_use]
+    pub fn leakage_w(&self) -> f64 {
+        self.leakage_uw * 1e-6
+    }
+
+    /// The accounting as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"chips\":{},\"known_chips\":{},\"area_mm2\":{},\
+             \"leakage_w\":{},\"dynamic_j_per_inference\":{},\
+             \"ops_per_inference\":{}}}",
+            self.chips,
+            self.known_chips,
+            json_num(self.area_mm2(), 6),
+            json_num(self.leakage_w(), 6),
+            json_num(self.dynamic_j_per_inference, 15),
+            json_num(self.ops_per_inference, 1),
+        )
+    }
+}
+
+/// Fleet-wide physical totals: the pool-order sum of every pool's
+/// [`PoolAccounting`] — ejected pools included (the hardware exists
+/// whether or not the router uses it), which is what makes the totals
+/// invariant under ejection/re-admission ordering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetAccounting {
+    /// Per-pool breakdown, indexed by pool id.
+    pub per_pool: Vec<PoolAccounting>,
+    /// Total chips.
+    pub chips: usize,
+    /// Chips that published a cost sheet.
+    pub known_chips: usize,
+    /// Total die area, µm².
+    pub area_um2: f64,
+    /// Total leakage, µW.
+    pub leakage_uw: f64,
+}
+
+impl FleetAccounting {
+    /// Roll up pool accountings, summing in pool-id order.
+    #[must_use]
+    pub fn from_pools(per_pool: Vec<PoolAccounting>) -> Self {
+        let mut chips = 0usize;
+        let mut known_chips = 0usize;
+        let mut area_um2 = 0.0f64;
+        let mut leakage_uw = 0.0f64;
+        for pool in &per_pool {
+            chips += pool.chips;
+            known_chips += pool.known_chips;
+            area_um2 += pool.area_um2;
+            leakage_uw += pool.leakage_uw;
+        }
+        Self {
+            per_pool,
+            chips,
+            known_chips,
+            area_um2,
+            leakage_uw,
+        }
+    }
+
+    /// Total area in mm².
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        self.area_um2 * 1e-6
+    }
+
+    /// Total leakage in watts.
+    #[must_use]
+    pub fn leakage_w(&self) -> f64 {
+        self.leakage_uw * 1e-6
+    }
+
+    /// The rollup as a JSON object (per-pool breakdown included).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let pools: Vec<String> = self.per_pool.iter().map(PoolAccounting::to_json).collect();
+        format!(
+            "{{\"chips\":{},\"known_chips\":{},\"area_mm2\":{},\
+             \"leakage_w\":{},\"per_pool\":[{}]}}",
+            self.chips,
+            self.known_chips,
+            json_num(self.area_mm2(), 6),
+            json_num(self.leakage_w(), 6),
+            pools.join(","),
+        )
+    }
+}
+
+impl fmt::Display for FleetAccounting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} chips ({} accounted) over {} pools: {:.3} mm², {:.3} W leakage",
+            self.chips,
+            self.known_chips,
+            self.per_pool.len(),
+            self.area_mm2(),
+            self.leakage_w()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sheet(scale: f64) -> ChipCostSheet {
+        ChipCostSheet::new(1000.0 * scale, 50.0 * scale, 1e-9 * scale, 32.0 * scale)
+    }
+
+    #[test]
+    fn energy_splits_leakage_and_dynamic() {
+        let s = ChipCostSheet::new(1.0, 2_000_000.0, 0.5, 1.0); // 2 W leakage
+                                                                // 3 s powered, 4 inferences: 6 J leakage + 2 J dynamic.
+        assert!((s.energy_j(3.0, 4) - 8.0).abs() < 1e-12);
+        assert_eq!(s.energy_j(0.0, 0), 0.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_every_column() {
+        let s = sheet(1.0).scaled(3);
+        assert_eq!(s.area_um2, 3000.0);
+        assert_eq!(s.leakage_uw, 150.0);
+        assert_eq!(s.ops_per_inference, 96.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn sheet_rejects_nan() {
+        let _ = ChipCostSheet::new(f64::NAN, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn pool_accounting_sums_in_chip_order_and_skips_unknown() {
+        let sheets = vec![Some(sheet(1.0)), None, Some(sheet(2.0))];
+        let acc = PoolAccounting::from_sheets(&sheets);
+        assert_eq!(acc.chips, 3);
+        assert_eq!(acc.known_chips, 2);
+        // Bitwise: the sum is exactly sheet(1) + sheet(2) in that order.
+        assert_eq!(
+            acc.area_um2.to_bits(),
+            (sheet(1.0).area_um2 + sheet(2.0).area_um2).to_bits()
+        );
+        assert_eq!(acc.leakage_uw, 150.0);
+    }
+
+    #[test]
+    fn fleet_rollup_is_the_pool_order_sum() {
+        let a = PoolAccounting::from_sheets(&[Some(sheet(1.0)), Some(sheet(2.0))]);
+        let b = PoolAccounting::from_sheets(&[Some(sheet(5.0))]);
+        let fleet = FleetAccounting::from_pools(vec![a.clone(), b.clone()]);
+        assert_eq!(fleet.chips, 3);
+        assert_eq!(fleet.known_chips, 3);
+        assert_eq!(
+            fleet.area_um2.to_bits(),
+            (a.area_um2 + b.area_um2).to_bits()
+        );
+        assert_eq!(
+            fleet.leakage_uw.to_bits(),
+            (a.leakage_uw + b.leakage_uw).to_bits()
+        );
+        assert!((fleet.area_mm2() - fleet.area_um2 * 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn json_shapes_are_strict() {
+        let acc = PoolAccounting::from_sheets(&[Some(sheet(1.0))]);
+        let fleet = FleetAccounting::from_pools(vec![acc]);
+        let json = fleet.to_json();
+        assert!(json.starts_with("{\"chips\":1,\"known_chips\":1,"));
+        assert!(json.contains("\"per_pool\":[{\"chips\":1,"));
+        let sheet_json = sheet(1.0).to_json();
+        assert!(sheet_json.starts_with("{\"area_um2\":1000.000,"));
+        assert!(fleet.to_string().contains("mm²"));
+    }
+}

@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 
 use rram::RetentionModel;
 
+use crate::accounting::{ChipCostSheet, PoolAccounting};
 use crate::engine::run_batch;
 use crate::policy::{self, CostModel, LeastLoaded, PlacementPolicy, RoundRobin};
 use crate::stats::ServeStats;
@@ -52,6 +53,16 @@ pub trait Chip: Send + Sync {
     fn set_window(&self, window: u64) {
         let _ = window;
     }
+
+    /// The chip's physical cost sheet — area, leakage, and dynamic energy
+    /// per inference, valued from the paper's Eq (6)/(7) by the
+    /// architecture that implements the chip. The default is `None`
+    /// (unaccounted hardware: test doubles, digital baselines without a
+    /// published model); the accounting layer skips such chips and counts
+    /// them in `chips − known_chips`.
+    fn cost_sheet(&self) -> Option<ChipCostSheet> {
+        None
+    }
 }
 
 impl<C: Chip + ?Sized> Chip for &C {
@@ -62,6 +73,10 @@ impl<C: Chip + ?Sized> Chip for &C {
     fn set_window(&self, window: u64) {
         (**self).set_window(window);
     }
+
+    fn cost_sheet(&self) -> Option<ChipCostSheet> {
+        (**self).cost_sheet()
+    }
 }
 
 impl<C: Chip + ?Sized> Chip for Box<C> {
@@ -71,6 +86,10 @@ impl<C: Chip + ?Sized> Chip for Box<C> {
 
     fn set_window(&self, window: u64) {
         (**self).set_window(window);
+    }
+
+    fn cost_sheet(&self) -> Option<ChipCostSheet> {
+        (**self).cost_sheet()
     }
 }
 
@@ -240,6 +259,12 @@ impl<C: Chip> Chip for DriftingChip<C> {
         self.window.store(window, Ordering::SeqCst);
         self.inner.set_window(window);
     }
+
+    // Drift changes behaviour, not silicon: the wrapper bills exactly
+    // what the wrapped chip bills.
+    fn cost_sheet(&self) -> Option<ChipCostSheet> {
+        self.inner.cost_sheet()
+    }
 }
 
 /// How requests are placed onto chips — the legacy enum, kept as a thin
@@ -363,6 +388,20 @@ impl<C: Chip> ChipPool<C> {
                 .map(|c| Box::new(c) as Box<dyn Chip>)
                 .collect(),
         }
+    }
+
+    /// Every chip's cost sheet, indexed by chip id (`None` for
+    /// unaccounted chips).
+    #[must_use]
+    pub fn cost_sheets(&self) -> Vec<Option<ChipCostSheet>> {
+        self.chips.iter().map(Chip::cost_sheet).collect()
+    }
+
+    /// The pool's physical accounting: the chip-id-order sum of its
+    /// chips' cost sheets.
+    #[must_use]
+    pub fn accounting(&self) -> PoolAccounting {
+        PoolAccounting::from_sheets(&self.cost_sheets())
     }
 
     /// The deterministic request → chip assignment a serve run will use:
@@ -642,6 +681,48 @@ mod tests {
             fresh.infer(&input),
             "the boxed wrapper must have aged"
         );
+    }
+
+    /// A toy chip that publishes a cost sheet, unlike `ToyChip`.
+    struct BilledChip;
+
+    impl Chip for BilledChip {
+        fn infer(&self, input: &[f64]) -> Vec<f64> {
+            input.to_vec()
+        }
+
+        fn cost_sheet(&self) -> Option<ChipCostSheet> {
+            Some(ChipCostSheet::new(1000.0, 50.0, 1e-9, 32.0))
+        }
+    }
+
+    #[test]
+    fn cost_sheets_forward_through_wrappers_and_erasure() {
+        assert_eq!(ToyChip { scale: 1.0 }.cost_sheet(), None);
+        let sheet = BilledChip.cost_sheet().unwrap();
+        let boxed: Box<dyn Chip> = Box::new(BilledChip);
+        assert_eq!(boxed.cost_sheet(), Some(sheet));
+        let drifting = DriftingChip::new(BilledChip, DriftProfile::aggressive(), 9);
+        drifting.set_window(7);
+        assert_eq!(
+            drifting.cost_sheet(),
+            Some(sheet),
+            "drift ages behaviour, not the silicon's bill"
+        );
+        let pool = ChipPool::from_chips(vec![
+            Box::new(BilledChip) as Box<dyn Chip>,
+            Box::new(ToyChip { scale: 1.0 }),
+        ]);
+        let acc = pool.accounting();
+        assert_eq!((acc.chips, acc.known_chips), (2, 1));
+        assert_eq!(acc.area_um2, 1000.0);
+        // The serve path attaches measured energy for the billed chip only.
+        let outcome = pool.serve(&[vec![1.0], vec![2.0]], Placement::RoundRobin);
+        let energy = outcome.stats.energy.expect("one billed chip");
+        assert_eq!(energy.known_chips, 1);
+        assert!(energy.joules > 0.0);
+        assert!(outcome.stats.per_chip[0].joules.is_some());
+        assert!(outcome.stats.per_chip[1].joules.is_none());
     }
 
     #[test]

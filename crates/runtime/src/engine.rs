@@ -170,6 +170,13 @@ impl<C: Chip> Engine<C> {
         &self.pool
     }
 
+    /// The pool's physical accounting: the chip-id-order sum of its
+    /// chips' cost sheets (see [`crate::accounting`]).
+    #[must_use]
+    pub fn accounting(&self) -> crate::accounting::PoolAccounting {
+        self.pool.accounting()
+    }
+
     /// Consume the engine, returning its pool (e.g. to re-wrap the
     /// chips — [`ChipPool::boxed`] — and rebuild the engine).
     #[must_use]
@@ -757,13 +764,20 @@ pub(crate) fn run_batch<C: Chip>(
     }
     failed.sort_unstable();
 
+    let mut stats = ServeStats::from_run(policy_name, &latencies, wall, per_chip);
+    // Value the measured window in joules for every chip that publishes a
+    // cost sheet — this single call is what puts energy in every serving
+    // bench's JSON, from `ChipPool::serve` up through `Fleet`.
+    let sheets: Vec<_> = chips.iter().map(Chip::cost_sheet).collect();
+    stats.attach_energy(&sheets);
+
     ServeOutcome {
         outputs: outputs
             .into_iter()
             .map(|o| o.expect("every request served"))
             .collect(),
         failed,
-        stats: ServeStats::from_run(policy_name, &latencies, wall, per_chip),
+        stats,
     }
 }
 

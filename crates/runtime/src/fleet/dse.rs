@@ -1,0 +1,446 @@
+//! Fleet-level design-space exploration: turn the paper's design-time
+//! co-optimizer into a capacity planner.
+//!
+//! The paper's Eq (9) answers "how many MEI learners fit the single-chip
+//! area/power budget". At fleet scale the same question is "given an
+//! area and power budget for the rack, how many chips, how large a SAAB
+//! ensemble per chip, and how much replication maximize the throughput
+//! we can *admit* under the SLA". [`search`] answers it over an explicit
+//! candidate grid:
+//!
+//! * each candidate names `pools × chips_per_pool` chips, a SAAB
+//!   `ensemble` size per chip and a `replication` factor;
+//! * the caller supplies a [`CandidateModel`] per candidate — the
+//!   per-chip [`ChipCostSheet`] at that ensemble size (Eq (6)/(7)
+//!   scaled by `K`) and the measured SLA-compliant per-pool rate (a
+//!   `mei_bench::ramp::sla_search` knee, recorded as a
+//!   [`SlaPoint`](crate::SlaPoint));
+//! * **admitted** throughput reserves failover headroom: with `R`-way
+//!   replication the planner only counts `pools − (R − 1)` pools, so the
+//!   SLA survives `R − 1` simultaneous pool losses — replication buys
+//!   fault tolerance at the price of usable capacity, which is exactly
+//!   the trade the search weighs;
+//! * power is evaluated *at the admitted operating point*: leakage for
+//!   every chip plus dynamic energy × admitted rate, the same
+//!   `leakage × time + dynamic × inferences` integral the serving-time
+//!   [`EnergyStats`](crate::EnergyStats) measures.
+//!
+//! The search is exhaustive and deterministic: candidates are evaluated
+//! in the order given, the best feasible one wins, ties break toward
+//! smaller area and then earlier index. No randomness, no measurement —
+//! reruns over the same models produce bitwise-identical picks.
+
+use std::fmt;
+
+use crate::accounting::ChipCostSheet;
+use crate::stats::json_num;
+
+/// The budget the search must stay inside.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DseBudget {
+    /// Total die area budget, mm².
+    pub area_mm2: f64,
+    /// Total power budget at the admitted operating point, W.
+    pub power_w: f64,
+    /// Maximum energy cost per million requests, joules (∞ = unbounded).
+    pub max_j_per_mreq: f64,
+}
+
+impl DseBudget {
+    /// A budget with an unbounded cost-per-million-requests cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either budget is not positive and finite.
+    #[must_use]
+    pub fn new(area_mm2: f64, power_w: f64) -> Self {
+        assert!(
+            area_mm2 > 0.0 && area_mm2.is_finite() && power_w > 0.0 && power_w.is_finite(),
+            "budgets must be positive and finite: area={area_mm2} mm², power={power_w} W"
+        );
+        Self {
+            area_mm2,
+            power_w,
+            max_j_per_mreq: f64::INFINITY,
+        }
+    }
+
+    /// Apply deploy-time overrides from the environment:
+    ///
+    /// * `MEI_AREA_BUDGET_MM2` — replaces the area budget, mm²;
+    /// * `MEI_POWER_BUDGET_W` — replaces the power budget, W;
+    /// * `MEI_COST_PER_MREQ` — replaces the energy-cost cap, J per
+    ///   million requests.
+    ///
+    /// Unset variables leave the budget unchanged; malformed values warn
+    /// on stderr and fall back (`prng::env::parse_or`).
+    #[must_use]
+    pub fn from_env(mut self) -> Self {
+        self.area_mm2 = prng::env::parse_or("MEI_AREA_BUDGET_MM2", self.area_mm2);
+        self.power_w = prng::env::parse_or("MEI_POWER_BUDGET_W", self.power_w);
+        self.max_j_per_mreq = prng::env::parse_or("MEI_COST_PER_MREQ", self.max_j_per_mreq);
+        self
+    }
+
+    /// The budget as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"area_mm2\":{},\"power_w\":{},\"max_j_per_mreq\":{}}}",
+            json_num(self.area_mm2, 3),
+            json_num(self.power_w, 3),
+            json_num(self.max_j_per_mreq, 3), // null when unbounded (∞)
+        )
+    }
+}
+
+/// One point of the design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DseCandidate {
+    /// Engine pools in the fleet.
+    pub pools: usize,
+    /// Chips per pool.
+    pub chips_per_pool: usize,
+    /// SAAB learners per chip (1 = a single MEI RCS).
+    pub ensemble: usize,
+    /// Replication factor `R` (a workload is served by its top-`R`
+    /// pools; `R − 1` pools' capacity is held back as failover headroom).
+    pub replication: usize,
+}
+
+impl fmt::Display for DseCandidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}p×{}c, K={}, R={}",
+            self.pools, self.chips_per_pool, self.ensemble, self.replication
+        )
+    }
+}
+
+/// What the caller knows about a candidate: its per-chip physics and its
+/// measured SLA-compliant per-pool rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateModel {
+    /// Cost sheet of **one chip** at the candidate's ensemble size.
+    pub chip_sheet: ChipCostSheet,
+    /// Highest measured per-pool rate meeting the SLA at this ensemble
+    /// size, req/s (from `sla_search` / recorded `SlaPoint`s).
+    pub per_pool_rps: f64,
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseOutcome {
+    /// The candidate.
+    pub candidate: DseCandidate,
+    /// Throughput admitted under the SLA with failover headroom
+    /// reserved: `(pools − (R − 1)) × per_pool_rps`. Zero when `R`
+    /// exceeds the pool count.
+    pub admitted_rps: f64,
+    /// Total die area, mm².
+    pub area_mm2: f64,
+    /// Power at the admitted operating point, W: leakage for every chip
+    /// plus dynamic energy × admitted rate.
+    pub power_w: f64,
+    /// Energy per inference at the admitted operating point, joules.
+    pub j_per_inference: f64,
+    /// The headline cost line: joules per million requests.
+    pub j_per_mreq: f64,
+    /// Whether the candidate fits every budget.
+    pub feasible: bool,
+}
+
+impl DseOutcome {
+    /// The outcome as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"pools\":{},\"chips_per_pool\":{},\"ensemble\":{},\
+             \"replication\":{},\"admitted_rps\":{},\"area_mm2\":{},\
+             \"power_w\":{},\"j_per_inference\":{},\"j_per_mreq\":{},\
+             \"feasible\":{}}}",
+            self.candidate.pools,
+            self.candidate.chips_per_pool,
+            self.candidate.ensemble,
+            self.candidate.replication,
+            json_num(self.admitted_rps, 3),
+            json_num(self.area_mm2, 6),
+            json_num(self.power_w, 6),
+            json_num(self.j_per_inference, 15),
+            json_num(self.j_per_mreq, 9),
+            self.feasible,
+        )
+    }
+}
+
+/// The full search result: every candidate evaluated, in input order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseReport {
+    /// The budget searched under.
+    pub budget: DseBudget,
+    /// Every evaluated candidate, in input order.
+    pub evaluated: Vec<DseOutcome>,
+}
+
+impl DseReport {
+    /// The winning candidate: the feasible outcome with the highest
+    /// admitted throughput; ties break toward smaller area, then the
+    /// earlier candidate. `None` when nothing fits the budget.
+    #[must_use]
+    pub fn pick(&self) -> Option<&DseOutcome> {
+        self.evaluated
+            .iter()
+            .filter(|o| o.feasible)
+            .max_by(|a, b| {
+                a.admitted_rps
+                    .total_cmp(&b.admitted_rps)
+                    // max_by keeps the *last* of equal elements, so order
+                    // both tie-breaks to prefer the earlier/smaller one.
+                    .then(b.area_mm2.total_cmp(&a.area_mm2))
+            })
+            .into_iter()
+            // max_by returns the last maximal element; re-scan for the
+            // first outcome that compares equal so earlier candidates win.
+            .flat_map(|best| {
+                self.evaluated
+                    .iter()
+                    .filter(|o| o.feasible)
+                    .find(|o| o.admitted_rps == best.admitted_rps && o.area_mm2 == best.area_mm2)
+            })
+            .next()
+    }
+
+    /// The report as a JSON object (pick inlined, `null` when infeasible).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let evaluated: Vec<String> = self.evaluated.iter().map(DseOutcome::to_json).collect();
+        format!(
+            "{{\"budget\":{},\"pick\":{},\"evaluated\":[{}]}}",
+            self.budget.to_json(),
+            self.pick()
+                .map_or_else(|| "null".to_string(), DseOutcome::to_json),
+            evaluated.join(","),
+        )
+    }
+}
+
+/// Evaluate every candidate against the budget. `model` maps a candidate
+/// to its [`CandidateModel`]; it is called once per candidate, in order.
+///
+/// # Panics
+///
+/// Panics if a model reports a non-finite or negative per-pool rate.
+#[must_use]
+pub fn search(
+    budget: &DseBudget,
+    candidates: &[DseCandidate],
+    mut model: impl FnMut(&DseCandidate) -> CandidateModel,
+) -> DseReport {
+    let evaluated = candidates
+        .iter()
+        .map(|&candidate| {
+            let m = model(&candidate);
+            assert!(
+                m.per_pool_rps.is_finite() && m.per_pool_rps >= 0.0,
+                "per-pool rate must be finite and non-negative, got {}",
+                m.per_pool_rps
+            );
+            let usable_pools = candidate.pools.saturating_sub(candidate.replication - 1);
+            let admitted_rps = usable_pools as f64 * m.per_pool_rps;
+            let chips = (candidate.pools * candidate.chips_per_pool) as f64;
+            let area_mm2 = chips * m.chip_sheet.area_um2 * 1e-6;
+            let leakage_w = chips * m.chip_sheet.leakage_uw * 1e-6;
+            let power_w = leakage_w + m.chip_sheet.dynamic_j_per_inference * admitted_rps;
+            let j_per_inference = if admitted_rps > 0.0 {
+                power_w / admitted_rps
+            } else {
+                f64::INFINITY
+            };
+            let j_per_mreq = j_per_inference * 1e6;
+            let feasible = admitted_rps > 0.0
+                && area_mm2 <= budget.area_mm2
+                && power_w <= budget.power_w
+                && j_per_mreq <= budget.max_j_per_mreq;
+            DseOutcome {
+                candidate,
+                admitted_rps,
+                area_mm2,
+                power_w,
+                j_per_inference,
+                j_per_mreq,
+                feasible,
+            }
+        })
+        .collect();
+    DseReport {
+        budget: *budget,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip_sheet(ensemble: usize) -> ChipCostSheet {
+        // 1 mm² / 100 mW / 10 nJ per learner.
+        ChipCostSheet::new(1e6, 100_000.0, 1e-8, 64.0).scaled(ensemble)
+    }
+
+    fn model(c: &DseCandidate) -> CandidateModel {
+        CandidateModel {
+            chip_sheet: chip_sheet(c.ensemble),
+            // A bigger ensemble does K× the work per inference.
+            per_pool_rps: 10_000.0 / c.ensemble as f64,
+        }
+    }
+
+    fn grid() -> Vec<DseCandidate> {
+        let mut out = Vec::new();
+        for pools in [1usize, 2, 4] {
+            for ensemble in [1usize, 2] {
+                for replication in [1usize, 2] {
+                    out.push(DseCandidate {
+                        pools,
+                        chips_per_pool: 2,
+                        ensemble,
+                        replication,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn replication_reserves_failover_headroom() {
+        let budget = DseBudget::new(1e6, 1e6);
+        let report = search(&budget, &grid(), model);
+        let find = |pools, replication| {
+            report
+                .evaluated
+                .iter()
+                .find(|o| {
+                    o.candidate.pools == pools
+                        && o.candidate.replication == replication
+                        && o.candidate.ensemble == 1
+                })
+                .unwrap()
+        };
+        assert_eq!(find(4, 1).admitted_rps, 40_000.0);
+        assert_eq!(find(4, 2).admitted_rps, 30_000.0, "one pool held back");
+        assert_eq!(find(1, 2).admitted_rps, 0.0, "R > pools admits nothing");
+        assert!(!find(1, 2).feasible);
+    }
+
+    #[test]
+    fn unbounded_budget_picks_max_throughput() {
+        let budget = DseBudget::new(1e6, 1e6);
+        let report = search(&budget, &grid(), model);
+        let pick = report.pick().expect("huge budget fits something");
+        assert_eq!(
+            (
+                pick.candidate.pools,
+                pick.candidate.ensemble,
+                pick.candidate.replication
+            ),
+            (4, 1, 1)
+        );
+        assert_eq!(pick.admitted_rps, 40_000.0);
+    }
+
+    #[test]
+    fn area_budget_caps_the_fleet() {
+        // 5 mm² fits 4 single-learner chips (2 pools × 2 chips × 1 mm²)
+        // but not 8; the 4-pool candidates are infeasible.
+        let budget = DseBudget::new(5.0, 1e6);
+        let report = search(&budget, &grid(), model);
+        let pick = report.pick().expect("2 pools fit");
+        assert_eq!(pick.candidate.pools, 2);
+        assert_eq!(pick.candidate.ensemble, 1);
+        assert!(report
+            .evaluated
+            .iter()
+            .filter(|o| o.candidate.pools == 4)
+            .all(|o| !o.feasible));
+    }
+
+    #[test]
+    fn power_accounts_leakage_plus_dynamic_at_load() {
+        let budget = DseBudget::new(1e6, 1e6);
+        let report = search(&budget, &grid(), model);
+        let o = report
+            .evaluated
+            .iter()
+            .find(|o| {
+                o.candidate.pools == 2 && o.candidate.ensemble == 1 && o.candidate.replication == 1
+            })
+            .unwrap();
+        // 4 chips × 0.1 W + 1e-8 J × 20 000 rps.
+        let expect = 0.4 + 1e-8 * 20_000.0;
+        assert!((o.power_w - expect).abs() < 1e-12);
+        assert!((o.j_per_mreq - o.j_per_inference * 1e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_cap_rejects_expensive_designs() {
+        // j_per_inference ≈ leakage-dominated: fewer admitted rps per
+        // watt at R=2 makes the headline cost worse; cap between the two.
+        let budget = DseBudget::new(1e6, 1e6);
+        let free = search(&budget, &grid(), model);
+        let best = free.pick().unwrap();
+        let mut capped_budget = budget;
+        capped_budget.max_j_per_mreq = best.j_per_mreq * 0.5;
+        let capped = search(&capped_budget, &grid(), model);
+        assert!(capped
+            .evaluated
+            .iter()
+            .filter(|o| o.feasible)
+            .all(|o| o.j_per_mreq <= capped_budget.max_j_per_mreq));
+    }
+
+    #[test]
+    fn search_is_deterministic_and_ties_break_to_smaller_area() {
+        let budget = DseBudget::new(1e6, 1e6);
+        let a = search(&budget, &grid(), model);
+        let b = search(&budget, &grid(), model);
+        assert_eq!(a, b, "same models → same report, bitwise");
+        // Construct a tie: two candidates with equal throughput but
+        // different area. The smaller one must win.
+        let tied = vec![
+            DseCandidate {
+                pools: 2,
+                chips_per_pool: 4,
+                ensemble: 1,
+                replication: 1,
+            },
+            DseCandidate {
+                pools: 2,
+                chips_per_pool: 2,
+                ensemble: 1,
+                replication: 1,
+            },
+        ];
+        let report = search(&budget, &tied, model);
+        assert_eq!(report.pick().unwrap().candidate.chips_per_pool, 2);
+    }
+
+    #[test]
+    fn report_json_is_shaped() {
+        let budget = DseBudget::new(10.0, 2.0);
+        let report = search(&budget, &grid(), model);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"budget\":{\"area_mm2\":10.000,"));
+        assert!(json.contains("\"pick\":{") || json.contains("\"pick\":null"));
+        assert!(json.contains("\"evaluated\":[{\"pools\":1,"));
+        // Unbounded cost cap renders as null, keeping the JSON strict.
+        assert!(budget.to_json().contains("\"max_j_per_mreq\":null"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn degenerate_budget_rejected() {
+        let _ = DseBudget::new(0.0, 1.0);
+    }
+}

@@ -39,6 +39,7 @@
 //! count, and a killed pool's traffic lands identically on reruns —
 //! pinned end-to-end in `crates/runtime/tests/fleet_failover.rs`.
 
+pub mod dse;
 pub mod health;
 pub mod router;
 
@@ -246,6 +247,18 @@ impl<C: Chip> Fleet<C> {
     #[must_use]
     pub fn chip_offset(&self, pool: usize) -> usize {
         self.pools[pool].chip_offset
+    }
+
+    /// The fleet's physical accounting: pool-id-order rollup of every
+    /// pool's chip cost sheets. Covers **all** pools, healthy or ejected
+    /// — the silicon is on the rack whether or not the router sends it
+    /// traffic — so the totals are invariant under ejection and
+    /// re-admission ordering (see [`crate::accounting`]).
+    #[must_use]
+    pub fn accounting(&self) -> crate::accounting::FleetAccounting {
+        crate::accounting::FleetAccounting::from_pools(
+            self.pools.iter().map(|p| p.engine.accounting()).collect(),
+        )
     }
 
     /// The pool that owns global chip id `chip`.

@@ -42,6 +42,11 @@
 //!   deterministic replica rotation, recalibration-driven failover
 //!   ([`fleet::health`]) and SLA-point capacity planning
 //!   ([`Fleet::pools_for`]).
+//! * [`accounting`] — the physical accounting layer: per-chip
+//!   [`ChipCostSheet`]s (Eq (6)/(7) area, leakage, dynamic energy per
+//!   inference), measured-window energy integration on [`ServeStats`],
+//!   pool/fleet rollups ([`Fleet::accounting`]) and the budgeted
+//!   capacity search in [`fleet::dse`].
 //!
 //! ## The determinism rule
 //!
@@ -62,6 +67,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accounting;
 pub mod admission;
 pub mod affinity;
 pub mod chip;
@@ -73,6 +79,7 @@ pub mod policy;
 pub mod pool;
 pub mod stats;
 
+pub use accounting::{ChipCostSheet, EnergyStats, FleetAccounting, PoolAccounting};
 pub use admission::{AdmissionConfig, AdmittedOutcome, Decision, Gate, GateStats};
 pub use affinity::{pin_worker, AffinityMode};
 pub use chip::{Chip, ChipPool, DriftProfile, DriftingChip, Placement, ServeOutcome};

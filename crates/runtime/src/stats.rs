@@ -5,6 +5,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::accounting::{ChipCostSheet, EnergyStats};
+
 /// Render a float as a JSON number with `decimals` fraction digits, or
 /// the JSON literal `null` when the value is not finite.
 ///
@@ -62,6 +64,10 @@ pub struct ChipStats {
     pub busy_secs: f64,
     /// `busy_secs / wall_secs` — the worker thread's utilization.
     pub utilization: f64,
+    /// Energy this chip burned over the window (leakage × wall time +
+    /// dynamic × served), joules. `None` when the chip has no
+    /// [`ChipCostSheet`] (e.g. test doubles).
+    pub joules: Option<f64>,
 }
 
 /// Aggregate statistics of one serve run.
@@ -87,6 +93,11 @@ pub struct ServeStats {
     pub non_finite: usize,
     /// Per-chip breakdown, indexed by chip id.
     pub per_chip: Vec<ChipStats>,
+    /// Measured-window energy rollup ([`attach_energy`]
+    /// (Self::attach_energy)). `None` until attached, or when no chip in
+    /// the run carries a [`ChipCostSheet`] — legacy JSON shape is then
+    /// unchanged.
+    pub energy: Option<EnergyStats>,
 }
 
 impl ServeStats {
@@ -153,9 +164,46 @@ impl ServeStats {
                     failures,
                     busy_secs: busy.as_secs_f64(),
                     utilization: busy.as_secs_f64() / wall_secs.max(f64::MIN_POSITIVE),
+                    joules: None,
                 })
                 .collect(),
+            energy: None,
         }
+    }
+
+    /// Value the measured window in joules: chip `i` gets
+    /// `sheets[i].energy_j(wall_secs, served)` and the run-level
+    /// [`EnergyStats`] sums them in chip-id order (the accounting layer's
+    /// determinism contract — see [`crate::accounting`]).
+    ///
+    /// Chips without a sheet (`None` — e.g. test doubles) contribute
+    /// nothing and stay `joules: None`; if *no* chip has a sheet the
+    /// run-level [`energy`](Self::energy) stays `None` and the JSON shape
+    /// is unchanged. Extra or missing trailing sheets are ignored.
+    pub fn attach_energy(&mut self, sheets: &[Option<ChipCostSheet>]) {
+        let mut known_chips = 0usize;
+        let mut joules = 0.0f64;
+        let mut ops = 0.0f64;
+        for (chip, sheet) in self.per_chip.iter_mut().zip(sheets) {
+            if let Some(sheet) = sheet {
+                let j = sheet.energy_j(self.wall_secs, chip.served);
+                chip.joules = Some(j);
+                known_chips += 1;
+                joules += j;
+                ops += sheet.ops_per_inference * chip.served as f64;
+            }
+        }
+        if known_chips == 0 {
+            self.energy = None;
+            return;
+        }
+        self.energy = Some(EnergyStats {
+            known_chips,
+            joules,
+            j_per_request: joules / self.requests as f64,
+            ops,
+            ops_per_sec: ops / self.wall_secs.max(f64::MIN_POSITIVE),
+        });
     }
 
     /// The stats as a JSON object (machine-diffable, `MEI_BENCH_JSON`
@@ -166,22 +214,30 @@ impl ServeStats {
             .per_chip
             .iter()
             .map(|c| {
+                let joules = c
+                    .joules
+                    .map_or(String::new(), |j| format!(",\"joules\":{}", json_num(j, 9)));
                 format!(
                     "{{\"served\":{},\"batches\":{},\"failures\":{},\
-                     \"busy_secs\":{},\"utilization\":{}}}",
+                     \"busy_secs\":{},\"utilization\":{}{}}}",
                     c.served,
                     c.batches,
                     c.failures,
                     json_num(c.busy_secs, 6),
-                    json_num(c.utilization, 4)
+                    json_num(c.utilization, 4),
+                    joules
                 )
             })
             .collect();
+        let energy = self
+            .energy
+            .as_ref()
+            .map_or(String::new(), |e| format!(",\"energy\":{}", e.to_json()));
         format!(
             "{{\"policy\":\"{}\",\"requests\":{},\"wall_secs\":{},\
              \"requests_per_sec\":{},\
              \"p50_latency_us\":{},\"p99_latency_us\":{},\"max_latency_us\":{},\
-             \"non_finite\":{},\"per_chip\":[{}]}}",
+             \"non_finite\":{},\"per_chip\":[{}]{}}}",
             json_escape(&self.policy),
             self.requests,
             json_num(self.wall_secs, 6),
@@ -190,7 +246,8 @@ impl ServeStats {
             json_num(self.p99_latency_us, 3),
             json_num(self.max_latency_us, 3),
             self.non_finite,
-            chips.join(",")
+            chips.join(","),
+            energy
         )
     }
 }
@@ -368,6 +425,50 @@ mod tests {
         assert!(stats
             .to_json()
             .starts_with("{\"policy\":\"weird\\\"policy\\\\name\""));
+    }
+
+    #[test]
+    fn attach_energy_values_the_window_per_chip() {
+        let mut stats = ServeStats::from_run(
+            "least_loaded",
+            &[Duration::from_micros(5); 10],
+            Duration::from_secs(2),
+            vec![
+                (6, 1, 0, Duration::from_millis(6)),
+                (4, 1, 0, Duration::from_millis(4)),
+            ],
+        );
+        assert!(stats.energy.is_none(), "no energy until attached");
+        // Chip 0: 1 W leakage + 0.5 J/inf; chip 1: unknown sheet.
+        let sheets = vec![Some(ChipCostSheet::new(100.0, 1_000_000.0, 0.5, 8.0)), None];
+        stats.attach_energy(&sheets);
+        // 1 W × 2 s + 0.5 J × 6 = 5 J; only chip 0 accounted.
+        let energy = stats.energy.as_ref().expect("one sheet known");
+        assert_eq!(energy.known_chips, 1);
+        assert!((energy.joules - 5.0).abs() < 1e-12);
+        assert!((energy.j_per_request - 0.5).abs() < 1e-12);
+        assert!((energy.ops - 48.0).abs() < 1e-12);
+        assert_eq!(stats.per_chip[0].joules, Some(energy.joules));
+        assert_eq!(stats.per_chip[1].joules, None);
+        let json = stats.to_json();
+        assert!(json.contains("\"joules\":5.000000000"));
+        assert!(json.contains(",\"energy\":{\"known_chips\":1,"));
+        // The unknown chip's object carries no joules key.
+        assert!(json.contains("\"utilization\":0.0020}"));
+    }
+
+    #[test]
+    fn attach_energy_with_no_sheets_keeps_legacy_shape() {
+        let mut stats = ServeStats::from_run(
+            "round_robin",
+            &[Duration::from_micros(5)],
+            Duration::from_millis(1),
+            vec![(1, 1, 0, Duration::from_micros(5))],
+        );
+        let before = stats.to_json();
+        stats.attach_energy(&[None]);
+        assert!(stats.energy.is_none());
+        assert_eq!(stats.to_json(), before, "all-unknown leaves JSON unchanged");
     }
 
     #[test]

@@ -616,3 +616,105 @@ fn conn_machine_events_are_invariant_under_read_segmentation() {
         assert_eq!(whole, expected, "every frame decodes exactly once");
     });
 }
+
+/// The accounting layer's determinism contract: fleet totals are the
+/// bitwise pool-order/chip-order sum of the individual cost sheets, and
+/// are invariant under serve-thread count (pool sizing) and arbitrary
+/// ejection/re-admission histories — the silicon's bill never depends on
+/// what the router did.
+#[test]
+fn fleet_accounting_is_the_bitwise_sum_and_ignores_health_history() {
+    use runtime::{ChipCostSheet, EjectReason, Fleet, FleetConfig};
+
+    /// A chip billing a sheet derived from its manufacture seed, so every
+    /// chip in the property carries distinct, irregular numbers.
+    struct BilledChip {
+        sheet: Option<ChipCostSheet>,
+    }
+
+    impl Chip for BilledChip {
+        fn infer(&self, input: &[f64]) -> Vec<f64> {
+            input.to_vec()
+        }
+
+        fn cost_sheet(&self) -> Option<ChipCostSheet> {
+            self.sheet
+        }
+    }
+
+    prop_check!(|g| {
+        let root = g.u64_any();
+        let pools = g.usize_in(1, 4);
+        let chips_per_pool = g.usize_in(1, 4);
+        let build = |root: u64| -> Fleet<BilledChip> {
+            let engines: Vec<Engine<BilledChip>> = (0..pools)
+                .map(|p| {
+                    let pool_seed = substream(root, p as u64);
+                    Engine::new(ChipPool::manufacture(
+                        pool_seed,
+                        chips_per_pool,
+                        |_, seed| BilledChip {
+                            // Roughly one chip in five is unaccounted.
+                            sheet: (seed % 5 != 0).then(|| {
+                                ChipCostSheet::new(
+                                    1.0 + (seed % 10_007) as f64 / 3.0,
+                                    (seed % 997) as f64 / 7.0,
+                                    (seed % 89) as f64 * 1e-9,
+                                    (seed % 33) as f64,
+                                )
+                            }),
+                        },
+                    ))
+                })
+                .collect();
+            Fleet::new(engines, FleetConfig::new(root))
+        };
+
+        let mut fleet = build(root);
+        let baseline = fleet.accounting();
+
+        // 1. The rollup is the bitwise naive sum over pools and chips:
+        // chip-order subtotals per pool, pool-order total per fleet
+        // (the documented two-level shape — a flat sum would differ by
+        // float non-associativity).
+        let mut area = 0.0f64;
+        let mut leakage = 0.0f64;
+        let mut known = 0usize;
+        for p in 0..fleet.len() {
+            let mut pool_area = 0.0f64;
+            let mut pool_leakage = 0.0f64;
+            for chip in fleet.engine(p).pool().chips() {
+                if let Some(sheet) = chip.cost_sheet() {
+                    pool_area += sheet.area_um2;
+                    pool_leakage += sheet.leakage_uw;
+                    known += 1;
+                }
+            }
+            assert_eq!(baseline.per_pool[p].area_um2.to_bits(), pool_area.to_bits());
+            area += pool_area;
+            leakage += pool_leakage;
+        }
+        assert_eq!(baseline.area_um2.to_bits(), area.to_bits());
+        assert_eq!(baseline.leakage_uw.to_bits(), leakage.to_bits());
+        assert_eq!(baseline.known_chips, known);
+        assert_eq!(baseline.chips, pools * chips_per_pool);
+        assert_eq!(baseline.per_pool.len(), pools);
+
+        // 2. Invariant under an arbitrary ejection/re-admission history.
+        for _ in 0..g.usize_in(0, 9) {
+            let pool = g.usize_in(0, pools);
+            if g.usize_in(0, 2) == 0 {
+                fleet.eject(pool, EjectReason::Manual);
+            } else {
+                fleet.readmit(pool);
+            }
+            assert_eq!(fleet.accounting(), baseline);
+        }
+
+        // 3. Invariant under pool sizing of the serving side: a rebuilt
+        // fleet (fresh engines, same seeds) bills identically — thread
+        // count per pool equals chip count, so this is the serve-thread
+        // invariance at the accounting level.
+        assert_eq!(build(root).accounting(), baseline);
+    });
+}
