@@ -85,6 +85,25 @@ MEI_BENCH_FAST=1 MEI_BENCH_JSON=target/BENCH_kernels_smoke.json \
     cargo run --release --offline -p mei-bench --bin kernels > /dev/null
 test -s target/BENCH_kernels_smoke.json
 
+echo "==> cnn serving bench smoke (tiling identity, wear-aware vs round-robin)"
+# FAST mode trains a tiny binarized CNN; the binary always asserts the
+# tiled-conv ≡ direct-oracle bitwise identity at 1/2/N tiles BEFORE any
+# timing, and that wear-aware placement ends no more write-imbalanced
+# than round-robin, then emits strict JSON (committed full-run report is
+# shape-checked by json_validity).
+MEI_BENCH_FAST=1 MEI_BENCH_SECONDS=0.25 \
+    MEI_BENCH_JSON=target/BENCH_cnn_smoke.json \
+    cargo run --release --offline -p mei-bench --bin cnn_serving > /dev/null 2>&1
+test -s target/BENCH_cnn_smoke.json
+
+echo "==> conv + wear test suites (oracle properties, wear placement, endurance)"
+# The conv property suite pins tiled conv ≡ direct oracle bitwise over
+# random shapes/tilings and the packed ≡ scalar path; the wear suite pins
+# bit-identical wear-aware replay and the load-shift off worn chips.
+MEI_PROP_CASES=32 cargo test -q --offline -p crossbar --test properties > /dev/null
+cargo test -q --offline -p runtime --test wear > /dev/null
+cargo test -q --offline -p rram --lib > /dev/null
+
 echo "==> training throughput bench smoke (1-epoch calls, 0.3-second windows)"
 # The 0.9x sanity floor on the 2-thread speedup is enforced by the binary
 # only on hosts with >= 2 hardware threads; the bit-identity check across

@@ -171,6 +171,62 @@ fn committed_fleet_cost_report_has_the_accounting_shape() {
 }
 
 #[test]
+fn committed_cnn_report_has_the_serving_shape() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_cnn.json");
+    let text = std::fs::read_to_string(path).expect("committed BENCH_cnn.json");
+    assert_valid("BENCH_cnn.json", &text);
+    assert!(
+        text.starts_with("{\"meta\":{"),
+        "cnn_serving report must lead with the shared meta header"
+    );
+    // The CNN serving contract: the report names the conv shape and
+    // tiling, records that the tiling identity was checked bitwise
+    // against the direct oracle, carries digital/analog/disturbed
+    // accuracy, a measured throughput section with the chip cost sheet,
+    // and the round-robin vs. wear-aware write-imbalance experiment.
+    // Key-presence checks only — measured values vary per host.
+    for key in [
+        "\"suite\":\"cnn_serving\"",
+        "\"shape\":{\"in_channels\":",
+        "\"tiles\":",
+        "\"patch_len\":",
+        "\"interface_bits\":",
+        "\"identity\":{\"images\":",
+        "\"tile_counts\":[",
+        "\"bitwise\":true",
+        "\"accuracy\":{\"digital\":",
+        "\"analog\":",
+        "\"disturbed\":",
+        "\"throughput\":{\"chips\":",
+        "\"rps\":",
+        "\"chip_sheet\":{\"area_um2\":",
+        "\"wear\":{\"windows\":",
+        "\"round_robin\":{\"per_chip_writes\":[",
+        "\"wear_aware\":{\"per_chip_writes\":[",
+        "\"imbalance\":",
+        "\"fleet\":{\"pools\":",
+    ] {
+        assert!(text.contains(key), "cnn_serving report lacks {key}");
+    }
+    // The committed report must witness the acceptance criterion:
+    // wear-aware placement ends no more imbalanced than round-robin.
+    let imbalance_after = |policy: &str| -> u64 {
+        let section = text.split(policy).nth(1).expect("policy section");
+        let field = section.split("\"imbalance\":").nth(1).expect("imbalance");
+        field
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .expect("digits")
+            .parse()
+            .expect("imbalance is an integer")
+    };
+    assert!(
+        imbalance_after("\"wear_aware\":") <= imbalance_after("\"round_robin\":"),
+        "committed report must show wear-aware ≤ round-robin imbalance"
+    );
+}
+
+#[test]
 fn committed_results_reports_are_valid_json() {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
     let mut checked = 0usize;

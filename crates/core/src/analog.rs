@@ -122,6 +122,23 @@ impl AnalogMlp {
         self.layers.iter().map(|l| l.pair.device_count()).sum()
     }
 
+    /// Total write pulses across every layer's devices — the stack's
+    /// endurance wear (see `rram::RramDevice::write_count`).
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.layers.iter().map(|l| l.pair.total_writes()).sum()
+    }
+
+    /// The worst-worn cell's write count across all layers.
+    #[must_use]
+    pub fn max_write_count(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.pair.max_write_count())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Ideal forward pass (no noise, current device state).
     ///
     /// Routes each layer through the bit-packed kernel when its input is an

@@ -50,6 +50,7 @@
 pub mod adda;
 pub mod analog;
 pub mod bitweights;
+pub mod cnn;
 pub mod diagnostics;
 pub mod digital;
 pub mod dse;
@@ -65,6 +66,7 @@ pub mod serve;
 pub use adda::{AddaConfig, AddaRcs};
 pub use analog::{AnalogMlp, AnalogWorkspace};
 pub use bitweights::exponential_bit_weights;
+pub use cnn::{argmax, tile_significance, CnnConfig, CnnRcs, CnnWorkspace};
 pub use diagnostics::{analog_fidelity, comparator_margins, FidelityReport, MarginReport};
 pub use digital::DigitalAnn;
 pub use dse::{DseConfig, DseDesign, DseResult, HiddenGrowth};

@@ -21,6 +21,7 @@ use runtime::{
 
 use crate::adda::AddaRcs;
 use crate::analog::AnalogWorkspace;
+use crate::cnn::{CnnRcs, CnnWorkspace};
 use crate::digital::DigitalAnn;
 use crate::eval::Rcs;
 use crate::mei_arch::MeiRcs;
@@ -32,6 +33,9 @@ thread_local! {
     /// crossbar matvec allocation-free lives per thread, sized once by the
     /// largest layer the thread serves.
     static SERVE_WORKSPACE: RefCell<AnalogWorkspace> = RefCell::new(AnalogWorkspace::new());
+
+    /// The CNN counterpart: conv tiling buffers plus head scratch.
+    static CNN_SERVE_WORKSPACE: RefCell<CnnWorkspace> = RefCell::new(CnnWorkspace::new());
 }
 
 /// Translate an interface-crate [`interface::CostSheet`] (valued from the
@@ -59,6 +63,10 @@ impl Chip for MeiRcs {
         let sheet =
             CostModel::dac2015().sheet_mei(&self.topology(), &Throughput::default_mixed_signal());
         Some(to_runtime_sheet(sheet))
+    }
+
+    fn wear(&self) -> Option<u64> {
+        Some(self.analog().total_writes())
     }
 }
 
@@ -101,12 +109,56 @@ impl Chip for Saab {
     }
 }
 
-// The digital baseline stays unaccounted (`None`): the paper publishes no
-// area/power model for it, and inventing one would corrupt the
-// mixed-signal comparisons. Accounting reports it in `chips − known_chips`.
+impl Chip for CnnRcs {
+    fn infer(&self, input: &[f64]) -> Vec<f64> {
+        CNN_SERVE_WORKSPACE
+            .with(|ws| CnnRcs::infer_with(self, input, &mut ws.borrow_mut()))
+            .expect("dataset-validated input")
+    }
+
+    // The CNN chip is its conv tiles plus its head side by side: each
+    // tile is costed as a 1-bit-input stage with a `tile_bits`-wide sense
+    // interface (the Eq (6)/(7) machinery applied per tile), the head as
+    // a regular MEI stack. One inference evaluates all of them.
+    fn cost_sheet(&self) -> Option<ChipCostSheet> {
+        let model = CostModel::dac2015();
+        let throughput = Throughput::default_mixed_signal();
+        let mut area_um2 = 0.0;
+        let mut static_uw = 0.0;
+        let mut dynamic_j = 0.0;
+        let mut ops = 0.0;
+        for topology in self
+            .tile_topologies()
+            .iter()
+            .chain(std::iter::once(&self.head_topology()))
+        {
+            let sheet = model.sheet_mei(topology, &throughput);
+            area_um2 += sheet.area_um2;
+            static_uw += sheet.static_power_uw;
+            dynamic_j += sheet.dynamic_j_per_evaluation;
+            ops += sheet.ops_per_evaluation;
+        }
+        Some(ChipCostSheet::new(area_um2, static_uw, dynamic_j, ops))
+    }
+
+    fn wear(&self) -> Option<u64> {
+        Some(CnnRcs::total_writes(self))
+    }
+}
+
+// The digital baseline carries an explicit all-zero sheet rather than
+// `None`: the paper publishes no area/power model for it, and inventing
+// one would corrupt the mixed-signal comparisons — but an unaccounted
+// chip silently lands in `chips − known_chips`, which reads as an
+// accounting bug in fleet_cost-style reports. Zero cost states the truth
+// ("present, free in this model") and keeps `known_chips == chips`.
 impl Chip for DigitalAnn {
     fn infer(&self, input: &[f64]) -> Vec<f64> {
         DigitalAnn::infer(self, input)
+    }
+
+    fn cost_sheet(&self) -> Option<ChipCostSheet> {
+        Some(ChipCostSheet::new(0.0, 0.0, 0.0, 0.0))
     }
 }
 
@@ -290,6 +342,35 @@ mod tests {
     }
 
     #[test]
+    fn cnn_chips_serve_bill_and_report_wear() {
+        let data = workloads::cnn_dataset(8, 8, 12, 5);
+        let rcs = crate::cnn::CnnRcs::train(&data, &crate::cnn::CnnConfig::quick_test()).unwrap();
+        let (x, _) = data.iter().next().unwrap();
+        // Chip::infer matches the direct path and rides per-thread scratch.
+        let chip: &dyn Chip = &rcs;
+        assert_eq!(chip.infer(x), rcs.infer(x).unwrap());
+        // The sheet sums the per-tile stages and the head, so it must
+        // strictly exceed the head alone.
+        let sheet = chip.cost_sheet().expect("CNN chips are accounted");
+        let head_only = interface::CostModel::dac2015()
+            .sheet_mei(&rcs.head_topology(), &Throughput::default_mixed_signal());
+        assert!(sheet.area_um2 > head_only.area_um2);
+        // Wear rolls up through the Chip trait, manufacture included:
+        // write noise is programming (`program_clamped`), so every
+        // manufactured chip has more pulses than the pristine master.
+        assert_eq!(chip.wear(), Some(rcs.total_writes()));
+        let pool = manufacture_chips(&rcs, 2, 0.05, 9);
+        for made in pool.chips() {
+            assert!(Chip::wear(made).unwrap() >= rcs.total_writes());
+        }
+        let outcome = pool.serve(
+            &data.iter().map(|(x, _)| x.to_vec()).collect::<Vec<_>>(),
+            Placement::RoundRobin,
+        );
+        assert_eq!(outcome.outputs.len(), data.len());
+    }
+
+    #[test]
     fn manufactured_chips_are_distinct_but_reproducible() {
         let data = expfit_data(200, 2);
         let rcs = MeiRcs::train(&data, &MeiConfig::quick_test()).unwrap();
@@ -405,7 +486,9 @@ mod tests {
             })
             .sum();
         assert_eq!(saab_sheet.area_um2.to_bits(), learner_area.to_bits());
-        // The digital baseline has no published physics: unaccounted.
+        // The digital baseline has no published physics, but it must not
+        // vanish from accounting: an explicit zero-cost sheet keeps
+        // `known_chips == chips` while adding nothing to the bill.
         let ann = DigitalAnn::train(
             &data,
             4,
@@ -417,7 +500,12 @@ mod tests {
             0,
         )
         .unwrap();
-        assert_eq!(Chip::cost_sheet(&ann), None);
+        let ann_sheet = Chip::cost_sheet(&ann).expect("digital baseline is accounted");
+        assert_eq!(ann_sheet, runtime::ChipCostSheet::new(0.0, 0.0, 0.0, 0.0));
+        let digital_pool = runtime::ChipPool::from_chips(vec![ann]);
+        let digital_acc = digital_pool.accounting();
+        assert_eq!((digital_acc.chips, digital_acc.known_chips), (1, 1));
+        assert_eq!(digital_acc.area_um2, 0.0);
         // Serving a manufactured engine reports measured energy.
         let outcome = manufacture_engine(&rcs, 2, 0.05, 33)
             .serve(&(0..6).map(|i| vec![i as f64 / 6.0]).collect::<Vec<_>>());

@@ -50,6 +50,7 @@
 
 pub mod array;
 pub mod bitvec;
+pub mod conv;
 pub mod divider;
 pub mod ir_drop;
 mod kernel;
@@ -60,6 +61,7 @@ pub mod sense;
 
 pub use array::CrossbarArray;
 pub use bitvec::BitInput;
+pub use conv::{direct_conv, im2col, tile_ranges, ConvError, ConvShape, ConvWorkspace, TiledConv};
 pub use divider::{DividerLayer, SignedDividerLayer};
 pub use ir_drop::{IrDropConfig, IrSolver};
 pub use mapping::{MapWeightsError, MappingConfig, WeightMapping};

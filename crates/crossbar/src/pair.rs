@@ -100,6 +100,20 @@ impl DifferentialPair {
         &self.minus
     }
 
+    /// Total write pulses across both arrays — the pair's endurance wear.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.plus.total_writes() + self.minus.total_writes()
+    }
+
+    /// The worst-worn cell's write count across both arrays.
+    #[must_use]
+    pub fn max_write_count(&self) -> u64 {
+        self.plus
+            .max_write_count()
+            .max(self.minus.max_write_count())
+    }
+
     /// Ideal analog matrix-vector product `W·x`.
     ///
     /// # Panics

@@ -6,7 +6,10 @@ use prng::prop_check;
 use prng::rngs::StdRng;
 use prng::SeedableRng;
 
-use crossbar::{BitInput, CrossbarArray, DifferentialPair, IrDropConfig, IrSolver, MappingConfig};
+use crossbar::{
+    direct_conv, BitInput, ConvShape, CrossbarArray, DifferentialPair, IrDropConfig, IrSolver,
+    MappingConfig, TiledConv,
+};
 use rram::{DeviceParams, RetentionModel, VariationModel};
 
 /// A weight matrix of up to `max_out × max_in` values in `[-5, 5)`.
@@ -263,5 +266,127 @@ fn signed_divider_is_exact() {
             let expect: f64 = row.iter().zip(&xs).map(|(a, b)| a * b).sum();
             assert!((v[j] - expect).abs() < 1e-9);
         }
+    });
+}
+
+/// A random *valid* conv shape small enough for the property budget.
+fn arb_conv_shape(g: &mut Gen) -> ConvShape {
+    let kernel = g.usize_in(1, 4);
+    ConvShape {
+        in_channels: g.usize_in(1, 3),
+        in_h: g.usize_in(kernel, 7),
+        in_w: g.usize_in(kernel, 7),
+        filters: g.usize_in(1, 5),
+        kernel,
+        stride: g.usize_in(1, 3),
+    }
+    .validated()
+    .expect("arb_conv_shape only draws valid shapes")
+}
+
+/// Random ternary filter bank for `shape`: every tap in {-1, 0, +1}.
+fn arb_ternary_weights(g: &mut Gen, shape: &ConvShape) -> Vec<Vec<f64>> {
+    (0..shape.filters)
+        .map(|_| {
+            (0..shape.patch_len())
+                .map(|_| g.usize_in(0, 3) as f64 - 1.0)
+                .collect()
+        })
+        .collect()
+}
+
+/// Random binary image for `shape`: every pixel in {0, 1}.
+fn arb_binary_input(g: &mut Gen, shape: &ConvShape) -> Vec<f64> {
+    g.vec_bool(shape.input_len())
+        .into_iter()
+        .map(|b| if b { 1.0 } else { 0.0 })
+        .collect()
+}
+
+/// Sharding the im2col patch dimension over crossbar tiles is invisible:
+/// for ANY valid shape, ternary weights, binary input and tile count, the
+/// analog tiled pipeline reproduces the digital direct-convolution oracle
+/// **bitwise** — at 1 tile, 2 tiles and an arbitrary tile count alike.
+/// (Integer sensing: every per-tile partial sum is an exact small integer,
+/// so per-tile rounding and fixed-order folding are both exact.)
+#[test]
+fn tiled_conv_matches_the_direct_oracle_bitwise_for_any_tiling() {
+    prop_check!(|g| {
+        let shape = arb_conv_shape(g);
+        let w = arb_ternary_weights(g, &shape);
+        let x = arb_binary_input(g, &shape);
+        let oracle = direct_conv(&shape, &w, &x);
+        let tiles = g.usize_in(1, shape.patch_len() + 3);
+        for t in [1, 2, tiles] {
+            let conv = TiledConv::new(
+                shape,
+                &w,
+                t,
+                DeviceParams::hfox(),
+                &MappingConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                conv.forward(&x),
+                oracle,
+                "tiles={t} diverged from the oracle on {shape}"
+            );
+        }
+    });
+}
+
+/// The packed `BitInput` fast path and the scalar matvec path produce
+/// bit-identical conv outputs for any shape, weights, input and tiling.
+#[test]
+fn packed_and_scalar_conv_paths_are_bit_identical() {
+    prop_check!(|g| {
+        let shape = arb_conv_shape(g);
+        let w = arb_ternary_weights(g, &shape);
+        let x = arb_binary_input(g, &shape);
+        let tiles = g.usize_in(1, shape.patch_len() + 3);
+        let conv = TiledConv::new(
+            shape,
+            &w,
+            tiles,
+            DeviceParams::hfox(),
+            &MappingConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(conv.forward(&x), conv.forward_scalar(&x));
+    });
+}
+
+/// Endurance accounting along the conv programming path: mapping a filter
+/// bank programs every device exactly once (`total_writes == device_count`,
+/// per-cell max 1), a disturb cycle adds exactly one write per device, and
+/// `restore` (a state copy, not a programming pulse) adds none.
+#[test]
+fn conv_programming_counts_exactly_one_write_per_device() {
+    prop_check!(|g| {
+        let shape = arb_conv_shape(g);
+        let w = arb_ternary_weights(g, &shape);
+        let tiles = g.usize_in(1, shape.patch_len() + 3);
+        let mut conv = TiledConv::new(
+            shape,
+            &w,
+            tiles,
+            DeviceParams::hfox(),
+            &MappingConfig::default(),
+        )
+        .unwrap();
+        let devices = conv.device_count() as u64;
+        assert_eq!(conv.total_writes(), devices);
+        assert_eq!(conv.max_write_count(), 1);
+        let variation = VariationModel::process_variation(0.02);
+        let mut rng = StdRng::seed_from_u64(g.u64_any());
+        conv.disturb(&variation, &mut rng);
+        assert_eq!(conv.total_writes(), 2 * devices);
+        assert_eq!(conv.max_write_count(), 2);
+        conv.restore();
+        assert_eq!(
+            conv.total_writes(),
+            2 * devices,
+            "restore must not count as a write"
+        );
     });
 }

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod conv;
 pub mod data;
 pub mod gradcheck;
 pub mod io;
@@ -60,6 +61,10 @@ pub mod mlp;
 pub mod train;
 
 pub use activation::Activation;
+pub use conv::{
+    binarize, conv_forward, ternarize, train_ste, BinConv, ConvSpec, ConvTrainError, SteConfig,
+    SteReport,
+};
 pub use data::{Dataset, DatasetError};
 pub use gradcheck::{check_gradients, GradCheckReport};
 pub use io::{read_mlp, write_mlp, ParseMlpError};

@@ -63,6 +63,14 @@ pub trait Chip: Send + Sync {
     fn cost_sheet(&self) -> Option<ChipCostSheet> {
         None
     }
+
+    /// The chip's endurance wear: total RRAM write pulses across its
+    /// devices (see `rram::RramDevice::write_count`). The default is
+    /// `None` (hardware without endurance counters: test doubles, digital
+    /// baselines); wear-aware placement treats such chips as unworn.
+    fn wear(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl<C: Chip + ?Sized> Chip for &C {
@@ -77,6 +85,10 @@ impl<C: Chip + ?Sized> Chip for &C {
     fn cost_sheet(&self) -> Option<ChipCostSheet> {
         (**self).cost_sheet()
     }
+
+    fn wear(&self) -> Option<u64> {
+        (**self).wear()
+    }
 }
 
 impl<C: Chip + ?Sized> Chip for Box<C> {
@@ -90,6 +102,10 @@ impl<C: Chip + ?Sized> Chip for Box<C> {
 
     fn cost_sheet(&self) -> Option<ChipCostSheet> {
         (**self).cost_sheet()
+    }
+
+    fn wear(&self) -> Option<u64> {
+        (**self).wear()
     }
 }
 
@@ -261,9 +277,13 @@ impl<C: Chip> Chip for DriftingChip<C> {
     }
 
     // Drift changes behaviour, not silicon: the wrapper bills exactly
-    // what the wrapped chip bills.
+    // what the wrapped chip bills, and wears exactly what it wears.
     fn cost_sheet(&self) -> Option<ChipCostSheet> {
         self.inner.cost_sheet()
+    }
+
+    fn wear(&self) -> Option<u64> {
+        self.inner.wear()
     }
 }
 
@@ -364,6 +384,20 @@ impl<C: Chip> ChipPool<C> {
     #[must_use]
     pub fn chips(&self) -> &[C] {
         &self.chips
+    }
+
+    /// Mutable access to the chips (maintenance passes: refresh cycles,
+    /// disturb/restore between serving windows). Chip ids are positions,
+    /// so callers must not reorder the vector's contents.
+    pub fn chips_mut(&mut self) -> &mut [C] {
+        &mut self.chips
+    }
+
+    /// Every chip's endurance wear, indexed by chip id (`None` for chips
+    /// without counters).
+    #[must_use]
+    pub fn wear(&self) -> Vec<Option<u64>> {
+        self.chips.iter().map(Chip::wear).collect()
     }
 
     /// Unwrap into the chip vector (e.g. to box chips of several

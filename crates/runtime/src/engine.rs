@@ -164,10 +164,35 @@ impl<C: Chip> Engine<C> {
         self
     }
 
+    /// Replace the placement policy on a live engine (non-consuming
+    /// counterpart of [`Engine::with_boxed_policy`], for window-boundary
+    /// policy refreshes).
+    pub fn set_boxed_policy(&mut self, policy: Box<dyn PlacementPolicy>) {
+        self.policy = policy;
+    }
+
+    /// Re-snapshot the pool's endurance wear and install a fresh
+    /// [`WearAware`](crate::WearAware) policy built from it (penalty
+    /// scale `alpha`; see [`WearAware::from_wear`](crate::WearAware::from_wear)).
+    /// Call at window boundaries: within a window the snapshot — and so
+    /// placement — stays frozen and deterministic. Returns the snapshot,
+    /// indexed by chip id.
+    pub fn refresh_wear_policy(&mut self, alpha: f64) -> Vec<Option<u64>> {
+        let wear = self.pool.wear();
+        self.set_boxed_policy(Box::new(crate::policy::WearAware::from_wear(&wear, alpha)));
+        wear
+    }
+
     /// The underlying pool.
     #[must_use]
     pub fn pool(&self) -> &ChipPool<C> {
         &self.pool
+    }
+
+    /// Mutable access to the pool (maintenance between windows; see
+    /// [`ChipPool::chips_mut`]).
+    pub fn pool_mut(&mut self) -> &mut ChipPool<C> {
+        &mut self.pool
     }
 
     /// The pool's physical accounting: the chip-id-order sum of its

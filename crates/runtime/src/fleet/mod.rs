@@ -334,6 +334,30 @@ impl<C: Chip> Fleet<C> {
         window
     }
 
+    /// The fleet-level wear-rotation hook: advance every pool one window
+    /// in lockstep, then rebuild each pool's placement as a
+    /// [`WearAware`](crate::WearAware) policy frozen from that pool's
+    /// current endurance snapshot
+    /// ([`Engine::refresh_wear_policy`]) with penalty scale `alpha`.
+    /// Within the new window placement is again a pure function of the
+    /// request sequence; heavily-written chips shed load until a later
+    /// rotation finds the pool rebalanced. Returns `(window, per-pool
+    /// wear snapshots in pool order)`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Fleet::advance_window`]; also if `alpha` is negative or
+    /// non-finite.
+    pub fn rotate_wear(&mut self, alpha: f64) -> (u64, Vec<Vec<Option<u64>>>) {
+        let window = self.advance_window();
+        let snapshots = self
+            .pools
+            .iter_mut()
+            .map(|p| p.engine.refresh_wear_policy(alpha))
+            .collect();
+        (window, snapshots)
+    }
+
     /// Advance every pool one window **and** recalibrate its cost model
     /// (see [`Engine::recalibrate_window`]), then run the failover state
     /// machine: assess each pool's fresh model against its baseline and

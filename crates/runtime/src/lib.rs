@@ -89,7 +89,8 @@ pub use fleet::{
     EjectReason, Fleet, FleetConfig, FleetSession, HealthPolicy, PoolHealth, SlaPoint, Transition,
 };
 pub use policy::{
-    CostModel, LeastLoaded, PlacementPolicy, PoolState, RoundRobin, SizeAware, QUARANTINE_COST,
+    CostModel, LeastLoaded, PlacementPolicy, PoolState, RoundRobin, SizeAware, WearAware,
+    QUARANTINE_COST,
 };
 pub use pool::{resolve_threads, ThreadPool};
 pub use stats::{json_escape, json_num, percentile, ChipStats, ServeStats};

@@ -15,6 +15,10 @@
 //!   would *complete* the request soonest (`load + cost` argmin), which
 //!   routes work away from slow chips when the [`CostModel`] knows chips
 //!   differ in speed (heterogeneous / mixed-topology pools).
+//! * [`WearAware`] — earliest-finish-time with each chip's key inflated
+//!   by an endurance penalty frozen from a `write_count` snapshot, so hot
+//!   streams drift off heavily-written chips (RRAM endurance is finite;
+//!   placement is the cheapest wear-leveling lever the serving layer has).
 //! * [`CostModel`] — per-chip affine estimates `t ≈ a + b·len` of service
 //!   time. [`CostModel::calibrate`] measures each chip's `infer` on
 //!   representative inputs and freezes the coefficients, after which
@@ -151,6 +155,98 @@ impl PlacementPolicy for SizeAware {
 
     fn place(&self, costs: &[f64], state: &PoolState) -> usize {
         argmin(state.load().iter().zip(costs).map(|(&l, &c)| l + c))
+    }
+}
+
+/// Wear-aware earliest-finish-time: [`SizeAware`]'s completion-time key,
+/// inflated per chip by an endurance penalty **frozen at construction**
+/// from a wear snapshot — `key_c = (load_c + cost_c) · (1 + penalty_c)`,
+/// ties toward the lowest chip index.
+///
+/// Freezing matters for determinism: live `write_count` reads would make
+/// placement depend on maintenance timing. Instead the engine snapshots
+/// wear at a window boundary ([`crate::Engine::refresh_wear_policy`]),
+/// and within the window request → chip stays a pure function of the
+/// request sequence. A heavily-written chip gets a proportionally larger
+/// penalty, so hot streams drift off it toward less-worn silicon while
+/// it still absorbs work when the others are saturated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearAware {
+    penalties: Vec<f64>,
+}
+
+impl WearAware {
+    /// Build from explicit per-chip penalties (≥ 0, finite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `penalties` is empty or contains a negative or
+    /// non-finite value.
+    #[must_use]
+    pub fn new(penalties: Vec<f64>) -> Self {
+        assert!(!penalties.is_empty(), "a policy needs at least one chip");
+        assert!(
+            penalties.iter().all(|p| p.is_finite() && *p >= 0.0),
+            "wear penalties must be finite and non-negative"
+        );
+        Self { penalties }
+    }
+
+    /// Build from a wear snapshot (as [`crate::ChipPool::wear`] returns
+    /// it): chip `c`'s penalty is `alpha · wear_c / max_wear`, so the
+    /// most-worn chip is handicapped by a factor `1 + alpha` and pristine
+    /// chips not at all. Chips without counters (`None`) count as unworn.
+    /// An all-unworn snapshot degenerates to [`SizeAware`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wear` is empty or `alpha` is negative or non-finite.
+    #[must_use]
+    pub fn from_wear(wear: &[Option<u64>], alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be finite and non-negative"
+        );
+        let max = wear.iter().flatten().copied().max().unwrap_or(0);
+        let penalties = wear
+            .iter()
+            .map(|w| {
+                if max == 0 {
+                    0.0
+                } else {
+                    alpha * w.unwrap_or(0) as f64 / max as f64
+                }
+            })
+            .collect();
+        Self::new(penalties)
+    }
+
+    /// The frozen per-chip penalties.
+    #[must_use]
+    pub fn penalties(&self) -> &[f64] {
+        &self.penalties
+    }
+}
+
+impl PlacementPolicy for WearAware {
+    fn name(&self) -> &'static str {
+        "wear_aware"
+    }
+
+    fn place(&self, costs: &[f64], state: &PoolState) -> usize {
+        assert_eq!(
+            self.penalties.len(),
+            state.chips(),
+            "wear snapshot covers a different pool"
+        );
+        argmin(
+            state
+                .load()
+                .iter()
+                .zip(costs)
+                .zip(&self.penalties)
+                .map(|((&l, &c), &p)| (l + c) * (1.0 + p)),
+        )
     }
 }
 
@@ -474,6 +570,48 @@ mod tests {
         let ll = assign_batch(&lens, &LeastLoaded, &model);
         let ll_fast = ll.iter().filter(|&&c| c == 1).count();
         assert!(to_fast >= ll_fast);
+    }
+
+    #[test]
+    fn wear_aware_with_zero_wear_equals_size_aware() {
+        let model = CostModel::input_length(3);
+        let lens = [4usize, 9, 1, 1, 6, 2, 8, 3, 3, 5];
+        let unworn = WearAware::from_wear(&[None, Some(0), None], 0.5);
+        assert_eq!(unworn.penalties(), &[0.0, 0.0, 0.0]);
+        assert_eq!(
+            assign_batch(&lens, &unworn, &model),
+            assign_batch(&lens, &SizeAware, &model)
+        );
+    }
+
+    #[test]
+    fn wear_aware_shifts_load_off_the_worn_chip() {
+        let model = CostModel::input_length(2);
+        let lens = [3usize; 10];
+        // Chip 0 heavily written, chip 1 pristine.
+        let policy = WearAware::from_wear(&[Some(1000), Some(10)], 1.0);
+        let assignment = assign_batch(&lens, &policy, &model);
+        let to_worn = assignment.iter().filter(|&&c| c == 0).count();
+        let to_fresh = assignment.iter().filter(|&&c| c == 1).count();
+        assert!(
+            to_fresh > to_worn,
+            "worn chip still got {to_worn}/10: {assignment:?}"
+        );
+        // But the worn chip is throttled, not drained: it still serves.
+        assert!(to_worn > 0, "assignment starved chip 0: {assignment:?}");
+    }
+
+    #[test]
+    fn wear_aware_tie_breaks_toward_lowest_index() {
+        let state = PoolState::new(3);
+        let policy = WearAware::new(vec![0.25; 3]);
+        assert_eq!(policy.place(&[1.0; 3], &state), 0);
+    }
+
+    #[test]
+    fn wear_penalties_scale_with_alpha_and_normalize_to_max() {
+        let policy = WearAware::from_wear(&[Some(50), Some(100), Some(0)], 0.8);
+        assert_eq!(policy.penalties(), &[0.4, 0.8, 0.0]);
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Wear-aware placement, end to end: the [`WearAware`] policy must be a
+//! drop-in [`PlacementPolicy`] that (a) replays bit-identically — reruns
+//! and threaded-batch vs. streaming serving agree on every placement and
+//! every output bit, (b) provably shifts load off a chip reporting an
+//! inflated endurance write count, and (c) refreshes only at window
+//! boundaries ([`Engine::refresh_wear_policy`], [`Fleet::rotate_wear`]),
+//! so placement stays a pure function of the request sequence inside a
+//! window.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use runtime::{
+    Chip, ChipPool, Engine, Fleet, FleetConfig, PlacementPolicy, PoolState, RoundRobin, WearAware,
+};
+
+const CHIPS: usize = 4;
+
+/// A deterministic toy chip that reports an endurance wear counter.
+/// `infer` is a pure tag function; `writes` models maintenance
+/// programming pulses accumulated outside the serve path.
+struct WearChip {
+    tag: f64,
+    writes: AtomicU64,
+}
+
+impl WearChip {
+    fn new(tag: f64, writes: u64) -> Self {
+        Self {
+            tag,
+            writes: AtomicU64::new(writes),
+        }
+    }
+
+    /// Model a maintenance disturb/refresh cycle: `n` programming
+    /// pulses land on the chip.
+    fn wear_out(&self, n: u64) {
+        self.writes.fetch_add(n, Ordering::SeqCst);
+    }
+}
+
+impl Chip for WearChip {
+    fn infer(&self, input: &[f64]) -> Vec<f64> {
+        input.iter().map(|x| x * 10.0 + self.tag).collect()
+    }
+
+    fn wear(&self) -> Option<u64> {
+        Some(self.writes.load(Ordering::SeqCst))
+    }
+}
+
+fn wear_pool(writes: &[u64]) -> ChipPool<WearChip> {
+    ChipPool::from_chips(
+        writes
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| WearChip::new(i as f64, w))
+            .collect(),
+    )
+}
+
+fn requests(n: usize) -> Vec<Vec<f64>> {
+    (0..n).map(|i| vec![0.125 * i as f64, -0.5]).collect()
+}
+
+/// Per-chip request counts of an assignment.
+fn tally(assignment: &[usize], chips: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; chips];
+    for &chip in assignment {
+        counts[chip] += 1;
+    }
+    counts
+}
+
+/// The one-line identity everything else leans on: a `WearAware` engine
+/// replays **bit-identically** — two engines built from the same wear
+/// snapshot produce the same assignment and the same output bits for the
+/// same request sequence, run after run.
+#[test]
+fn wear_aware_placement_replays_bit_identically() {
+    let build = || {
+        let mut engine = Engine::new(wear_pool(&[700, 3, 40, 3]));
+        engine.refresh_wear_policy(1.0);
+        engine
+    };
+    let inputs = requests(64);
+    let lens: Vec<usize> = inputs.iter().map(Vec::len).collect();
+    let (a, b) = (build(), build());
+    assert_eq!(a.assignment(&lens), b.assignment(&lens));
+    let (ra, rb) = (a.serve(&inputs), b.serve(&inputs));
+    let bits = |outs: &[Vec<f64>]| -> Vec<Vec<u64>> {
+        outs.iter()
+            .map(|o| o.iter().map(|x| x.to_bits()).collect())
+            .collect()
+    };
+    assert_eq!(bits(&ra.outputs), bits(&rb.outputs));
+    assert!(ra.failed.is_empty());
+}
+
+/// Threaded batch serving (one worker thread per chip) and the inline
+/// sequential `serve_one` fold are the same pure placement function:
+/// same chips, same output bits, request by request.
+#[test]
+fn batch_and_streaming_wear_serving_agree() {
+    let mut engine = Engine::new(wear_pool(&[700, 3, 40, 3]));
+    engine.refresh_wear_policy(1.0);
+    let inputs = requests(48);
+    let lens: Vec<usize> = inputs.iter().map(Vec::len).collect();
+    let assignment = engine.assignment(&lens);
+    let batch = engine.serve(&inputs);
+
+    let mut session = engine.session();
+    for (i, input) in inputs.iter().enumerate() {
+        let served = engine.serve_one(&mut session, input);
+        assert_eq!(served.chip, assignment[i], "request {i} placed elsewhere");
+        let batch_bits: Vec<u64> = batch.outputs[i].iter().map(|x| x.to_bits()).collect();
+        let one_bits: Vec<u64> = served.output.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(batch_bits, one_bits, "request {i} output diverged");
+    }
+}
+
+/// The acceptance property: against a pool where chip 0 reports a wear
+/// counter two orders of magnitude above its peers, `WearAware` serves
+/// strictly fewer requests on the worn chip than `RoundRobin` does, and
+/// strictly more on the freshest chips — while still keeping the worn
+/// chip in rotation (derating, not quarantining).
+#[test]
+fn wear_aware_shifts_load_off_the_worn_chip() {
+    let writes = [5_000u64, 50, 50, 50];
+    let inputs = requests(120);
+    let lens: Vec<usize> = inputs.iter().map(Vec::len).collect();
+
+    let rr = Engine::new(wear_pool(&writes)).with_policy(RoundRobin);
+    let rr_counts = tally(&rr.assignment(&lens), CHIPS);
+
+    let mut wa = Engine::new(wear_pool(&writes));
+    wa.refresh_wear_policy(1.0);
+    let wa_counts = tally(&wa.assignment(&lens), CHIPS);
+
+    assert!(
+        wa_counts[0] < rr_counts[0],
+        "wear-aware must derate the worn chip: {wa_counts:?} vs round-robin {rr_counts:?}"
+    );
+    assert!(wa_counts[0] > 0, "derate, don't quarantine");
+    for fresh in 1..CHIPS {
+        assert!(
+            wa_counts[fresh] >= rr_counts[fresh],
+            "shed load must land on fresh chips: {wa_counts:?} vs {rr_counts:?}"
+        );
+    }
+}
+
+/// With an all-equal wear snapshot every penalty is uniform and ties are
+/// broken toward the lowest index — a uniform derate cancels out of the
+/// argmin, so the placement is exactly the size-aware rotation, replayed
+/// identically every run.
+#[test]
+fn equal_wear_ties_break_deterministically() {
+    let policy = WearAware::from_wear(&[Some(7u64); CHIPS], 0.9);
+    assert_eq!(policy.penalties(), &[0.9; CHIPS]);
+    let mut state = PoolState::new(CHIPS);
+    let costs = vec![1.0; CHIPS];
+    let mut picks = Vec::new();
+    for _ in 0..8 {
+        let chip = policy.place(&costs, &state);
+        state.commit(chip, costs[chip]);
+        picks.push(chip);
+    }
+    // Lowest-index tie-break + load commit = plain rotation.
+    assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+}
+
+/// `Engine::refresh_wear_policy` freezes the pool's wear snapshot at the
+/// call: wear accumulated afterwards does not move placement until the
+/// next refresh, and the returned snapshot reflects the pool exactly.
+#[test]
+fn refresh_freezes_the_snapshot_until_the_next_window() {
+    let mut engine = Engine::new(wear_pool(&[0, 0, 0, 0]));
+    let snapshot = engine.refresh_wear_policy(1.0);
+    assert_eq!(snapshot, vec![Some(0); CHIPS]);
+
+    let lens: Vec<usize> = requests(40).iter().map(Vec::len).collect();
+    let before = engine.assignment(&lens);
+
+    // A maintenance cycle hammers chip 1 mid-window. Placement must not
+    // move: the snapshot is frozen until the boundary refresh.
+    engine.pool().chips()[1].wear_out(10_000);
+    assert_eq!(engine.assignment(&lens), before, "mid-window drift");
+
+    // The boundary refresh sees the new wear and derates chip 1.
+    let snapshot = engine.refresh_wear_policy(1.0);
+    assert_eq!(snapshot[1], Some(10_000));
+    let after = tally(&engine.assignment(&lens), CHIPS);
+    let before = tally(&before, CHIPS);
+    assert!(
+        after[1] < before[1],
+        "refresh must derate the newly worn chip: {after:?} vs {before:?}"
+    );
+}
+
+/// `Fleet::rotate_wear` is the fleet-wide boundary hook: every pool's
+/// window advances in lockstep and every pool gets a fresh wear-aware
+/// policy from its own chips' counters, and the whole rotation replays
+/// bit-identically across fleet rebuilds.
+#[test]
+fn fleet_rotation_advances_windows_and_refreshes_every_pool() {
+    let build = || {
+        let engines: Vec<Engine<WearChip>> = (0..3)
+            .map(|pool| Engine::new(wear_pool(&[100 * pool as u64, 5, 5, 5])))
+            .collect();
+        Fleet::new(engines, FleetConfig::new(42))
+    };
+
+    let mut fleet = build();
+    let (window, snapshots) = fleet.rotate_wear(0.8);
+    assert_eq!(window, 1, "one lockstep window advance");
+    assert_eq!(snapshots.len(), 3, "one snapshot per pool");
+    for (pool, snapshot) in snapshots.iter().enumerate() {
+        assert_eq!(snapshot[0], Some(100 * pool as u64));
+        assert_eq!(snapshot[1..], vec![Some(5); CHIPS - 1]);
+    }
+
+    // Rotation is deterministic: a rebuilt fleet rotates to the same
+    // windows and the same snapshots.
+    let mut again = build();
+    assert_eq!(again.rotate_wear(0.8), (window, snapshots));
+    assert_eq!(again.rotate_wear(0.8).0, 2);
+}
+
+/// Chips that do not report wear (`wear() == None`, the default) are
+/// treated as unworn: a mixed pool derates only the reporting worn chip
+/// and the policy never panics on the `None`s.
+#[test]
+fn non_reporting_chips_count_as_unworn() {
+    struct Mute(f64);
+    impl Chip for Mute {
+        fn infer(&self, input: &[f64]) -> Vec<f64> {
+            input.iter().map(|x| x + self.0).collect()
+        }
+    }
+    let pool = ChipPool::from_chips(vec![Mute(0.0), Mute(1.0), Mute(2.0)]);
+    assert_eq!(pool.wear(), vec![None, None, None]);
+    let policy = WearAware::from_wear(&pool.wear(), 1.0);
+    assert_eq!(policy.penalties(), &[0.0, 0.0, 0.0]);
+
+    let mixed = vec![None, Some(400u64), None];
+    let policy = WearAware::from_wear(&mixed, 1.0);
+    assert_eq!(policy.penalties(), &[0.0, 1.0, 0.0]);
+}

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cnn;
 pub mod expfit;
 pub mod fft;
 pub mod image;
@@ -51,6 +52,7 @@ pub mod sobel;
 pub mod traces;
 pub mod workload;
 
+pub use cnn::{binary_image, cnn_dataset, CnnClass, CNN_CLASSES};
 pub use image::GrayImage;
 pub use metrics::ErrorMetric;
 pub use workload::{all_benchmarks, Workload};
